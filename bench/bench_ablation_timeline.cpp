@@ -1,0 +1,60 @@
+// Ablation: cost vs timeline length T (not in the paper's evaluation).
+//
+// The paper's complexity bounds carry a T factor (O(T^2(...)) for
+// relevance, O(2^T ...) worst case for duration). This sweep measures how
+// the engine actually scales with the timeline resolution of the archive —
+// the practical question when choosing day vs week vs month granularity —
+// holding nodes, edges, and target edge connectivity fixed.
+
+#include "bench/bench_util.h"
+
+namespace tgks::bench {
+namespace {
+
+int Run() {
+  PrintTitle("Ablation: engine cost vs timeline length",
+             "network ~8k nodes, connectivity target 0.7, top-20, " +
+                 std::to_string(NumQueries()) + " queries per point");
+  std::printf("%-10s %14s %16s %14s %12s\n", "T", "relevance_ms",
+              "start_time_ms", "duration_ms", "ntds/node");
+
+  for (const temporal::TimePoint horizon : {25, 50, 100, 200, 400}) {
+    datagen::SocialParams params;
+    params.num_nodes = static_cast<int32_t>(8000 * Scale());
+    params.timeline_length = horizon;
+    params.edge_connectivity = 0.7;
+    params.seed = 7;
+    auto social = datagen::GenerateSocial(params);
+    if (!social.ok()) return 1;
+
+    datagen::QueryWorkloadParams wl;
+    wl.num_queries = NumQueries();
+    wl.seed = 1618;
+    const auto workload =
+        MakeMatchSetWorkload(social->graph, wl, ScaledMatches());
+
+    double per_factor_ms[3] = {0, 0, 0};
+    double ntds = 0;
+    const search::RankFactor factors[3] = {
+        search::RankFactor::kRelevance, search::RankFactor::kStartTimeAsc,
+        search::RankFactor::kDurationDesc};
+    for (int f = 0; f < 3; ++f) {
+      search::SearchOptions options;
+      options.k = 20;
+      options.max_pops = 300000;
+      std::vector<datagen::WorkloadQuery> ranked = workload;
+      for (auto& wq : ranked) wq.query.ranking.factors = {factors[f]};
+      const RunStats stats = RunOurs(social->graph, nullptr, ranked, options);
+      per_factor_ms[f] = stats.MsPerQuery();
+      if (f == 0) ntds = stats.AvgNtds();
+    }
+    std::printf("%-10d %14.2f %16.2f %14.2f %12.2f\n", horizon,
+                per_factor_ms[0], per_factor_ms[1], per_factor_ms[2], ntds);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tgks::bench
+
+int main() { return tgks::bench::Run(); }

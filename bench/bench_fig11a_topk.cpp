@@ -1,0 +1,41 @@
+// Figure 11a: scalability over k on the social network (rank by relevance).
+//
+// Expected shape (paper): both Ours and BANKS(W) grow roughly linearly in k.
+
+#include "bench/bench_util.h"
+
+namespace tgks::bench {
+namespace {
+
+int Run() {
+  const auto social = MakeSocial(0.7);
+  PrintTitle("Figure 11a: processing time vs k (network, relevance)",
+             std::to_string(NumQueries()) + " match-set queries per point");
+  std::printf("%-6s %14s %18s\n", "k", "ours_ms/query", "banks(w)_ms/query");
+
+  datagen::QueryWorkloadParams wl;
+  wl.num_queries = NumQueries();
+  wl.seed = 999;
+  const auto workload =
+      MakeMatchSetWorkload(social.graph, wl, ScaledMatches());
+
+  for (const int k : {10, 20, 30, 40, 50}) {
+    search::SearchOptions ours;
+    ours.k = k;
+    ours.max_pops = 2000000;
+    const RunStats mine = RunOurs(social.graph, nullptr, workload, ours);
+    baseline::BanksOptions banksw;
+    banksw.k = k;
+    banksw.max_pops = 500000;
+    const RunStats theirs =
+        RunBanksWWorkload(social.graph, nullptr, workload, banksw);
+    std::printf("%-6d %14.2f %18.2f\n", k, mine.MsPerQuery(),
+                theirs.MsPerQuery());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tgks::bench
+
+int main() { return tgks::bench::Run(); }

@@ -1,0 +1,66 @@
+// Figure 11b: scalability over dataset size — the network replicated 1x-5x
+// with 100 random bridge edges between copies (rank by relevance, top-20).
+//
+// Expected shape (paper): time does not grow monotonically — bigger data
+// means more keyword matches, hence more iterators, but also denser
+// matches, so results are found after fewer expansions.
+
+#include "bench/bench_util.h"
+
+#include "datagen/replicate.h"
+
+namespace tgks::bench {
+namespace {
+
+int Run() {
+  // Base graph kept smaller: the 5x copy is 5 graphs worth of work.
+  datagen::SocialParams params;
+  params.num_nodes = static_cast<int32_t>(6000 * Scale());
+  params.edge_connectivity = 0.7;
+  params.seed = 7;
+  auto base = datagen::GenerateSocial(params);
+  if (!base.ok()) return 1;
+
+  PrintTitle("Figure 11b: processing time vs data size (network, relevance)",
+             "base graph " + std::to_string(base->graph.num_nodes()) +
+                 " nodes, replicated 1x-5x with 100 bridge edges; " +
+                 std::to_string(NumQueries()) + " queries per point");
+  std::printf("%-8s %10s %14s %18s\n", "copies", "nodes", "ours_ms/query",
+              "banks(w)_ms/query");
+
+  Rng rng(31);
+  for (int copies = 1; copies <= 5; ++copies) {
+    auto big = datagen::ReplicateGraph(base->graph, copies,
+                                       copies == 1 ? 0 : 100, &rng);
+    if (!big.ok()) {
+      std::fprintf(stderr, "replicate failed: %s\n",
+                   big.status().ToString().c_str());
+      return 1;
+    }
+    datagen::QueryWorkloadParams wl;
+    wl.num_queries = NumQueries();
+    wl.seed = 12;
+    // Match density follows the paper: more data, more matches.
+    datagen::MatchSetParams matches = ScaledMatches();
+    matches.matches_min *= copies;
+    matches.matches_max *= copies;
+    const auto workload = MakeMatchSetWorkload(*big, wl, matches);
+
+    search::SearchOptions ours;
+    ours.k = 20;
+    ours.max_pops = 2000000;
+    const RunStats mine = RunOurs(*big, nullptr, workload, ours);
+    baseline::BanksOptions banksw;
+    banksw.k = 20;
+    banksw.max_pops = 500000;
+    const RunStats theirs = RunBanksWWorkload(*big, nullptr, workload, banksw);
+    std::printf("%-8d %10d %14.2f %18.2f\n", copies, big->num_nodes(),
+                mine.MsPerQuery(), theirs.MsPerQuery());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tgks::bench
+
+int main() { return tgks::bench::Run(); }

@@ -1,0 +1,68 @@
+// Figure 12: efficiency breakdown vs edge connectivity (network, rank by
+// relevance, top-20), connectivity from 10% to 90%.
+//
+// Expected shape (paper): ours significantly outperforms BANKS(W) at
+// connectivity <= 50% (invalid candidates dominate BANKS(W)'s cost, which
+// grows as connectivity falls); our time is non-monotone in connectivity
+// (higher connectivity = easier results but more NTDs per node); BANKS(I)
+// is slowest everywhere and degrades as connectivity falls.
+
+#include "bench/bench_util.h"
+
+namespace tgks::bench {
+namespace {
+
+int Run() {
+  PrintTitle("Figure 12: efficiency vs edge connectivity (network)",
+             "rank by relevance, top-20, " + std::to_string(NumQueries()) +
+                 " match-set queries per point");
+  PrintBreakdownHeader();
+  for (const double connectivity : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    datagen::SocialParams params;
+    params.num_nodes = static_cast<int32_t>(8000 * Scale());
+    params.edge_connectivity = connectivity;
+    params.seed = 7;
+    auto generated = datagen::GenerateSocial(params);
+    if (!generated.ok()) return 1;
+    const auto& social = *generated;
+    const std::string label =
+        std::to_string(static_cast<int>(connectivity * 100)) + "% (" +
+        std::to_string(social.measured_connectivity).substr(0, 4) + ")";
+    datagen::QueryWorkloadParams wl;
+    wl.num_queries = NumQueries();
+    wl.seed = 2718;
+    const auto workload =
+        MakeMatchSetWorkload(social.graph, wl, ScaledMatches());
+
+    search::SearchOptions ours;
+    ours.k = 20;
+    ours.max_pops = 300000;
+    PrintBreakdownRow(label, "ours",
+                      RunOurs(social.graph, nullptr, workload, ours));
+
+    baseline::BanksOptions banksw;
+    banksw.k = 20;
+    banksw.max_pops = 100000;
+    banksw.max_combos_per_pop = 4096;
+    PrintBreakdownRow(label, "banks(w)",
+                      RunBanksWWorkload(social.graph, nullptr, workload,
+                                        banksw));
+
+    const std::vector<datagen::WorkloadQuery> prefix(
+        workload.begin(),
+        workload.begin() + std::min<size_t>(workload.size(), 1));
+    baseline::BanksIOptions banksi;
+    banksi.per_snapshot_k = 20;
+    banksi.k = 20;
+    banksi.max_pops_per_snapshot = 10000;
+    PrintBreakdownRow(
+        label, "banks(i)",
+        RunBanksIWorkload(social.graph, nullptr, prefix, banksi));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tgks::bench
+
+int main() { return tgks::bench::Run(); }

@@ -1,0 +1,103 @@
+// Figure 13b-d: the quality/efficiency trade-off of the three score upper
+// bounds (accurate / empirical / average) across the three ranking
+// functions, top-20 on the network data.
+//
+// Truth per query = our engine under the ACCURATE bound, which returns the
+// true top-k (Propositions 4.1-4.3). F-measure compares each configuration's
+// top-20 set against that truth.
+//
+// Expected shape (paper): accurate = 100% F-measure but slowest; empirical
+// fastest with a modest quality dip; average in between. The runtime spread
+// is largest under relevance ranking (the bound is hardest to beat there).
+
+#include <set>
+
+#include "bench/bench_util.h"
+
+namespace tgks::bench {
+namespace {
+
+double FMeasure(const std::vector<search::ResultTree>& system,
+                const std::vector<search::ResultTree>& truth) {
+  if (truth.empty()) return system.empty() ? 1.0 : 0.0;
+  std::set<std::string> truth_set;
+  for (const auto& t : truth) truth_set.insert(t.Signature());
+  size_t hit = 0;
+  for (const auto& t : system) hit += truth_set.count(t.Signature());
+  if (system.empty()) return 0.0;
+  const double precision = static_cast<double>(hit) / system.size();
+  const double recall = static_cast<double>(hit) / truth_set.size();
+  if (precision + recall == 0) return 0.0;
+  return 2 * precision * recall / (precision + recall);
+}
+
+int Run() {
+  const auto social = MakeSocial(0.7);
+  PrintTitle("Figure 13b-d: upper bound quality/efficiency trade-off",
+             "network, top-20, " + std::to_string(NumQueries()) +
+                 " match-set queries per cell; truth = accurate-bound run");
+  std::printf("%-12s %-10s %12s %12s %12s\n", "ranking", "bound",
+              "ms/query", "f-measure", "pops/query");
+
+  const struct {
+    const char* name;
+    search::RankFactor factor;
+  } rankings[] = {
+      {"relevance", search::RankFactor::kRelevance},
+      {"start-time", search::RankFactor::kStartTimeAsc},
+      {"duration", search::RankFactor::kDurationDesc},
+  };
+  for (const auto& ranking : rankings) {
+    datagen::QueryWorkloadParams wl;
+    wl.num_queries = NumQueries();
+    wl.ranking.factors = {ranking.factor};
+    wl.seed = 31337;
+    const auto workload =
+        MakeMatchSetWorkload(social.graph, wl, ScaledMatches());
+    const search::SearchEngine engine(social.graph);
+
+    // Truth per query under the accurate bound.
+    std::vector<std::vector<search::ResultTree>> truth;
+    for (const auto& wq : workload) {
+      search::SearchOptions options;
+      options.k = 20;
+      options.bound = search::UpperBoundKind::kAccurate;
+      options.max_pops = 2000000;
+      auto r = engine.SearchWithMatches(wq.query, wq.matches, options);
+      truth.push_back(r.ok() ? std::move(r->results)
+                             : std::vector<search::ResultTree>{});
+    }
+
+    for (const auto bound :
+         {search::UpperBoundKind::kAccurate, search::UpperBoundKind::kAverage,
+          search::UpperBoundKind::kEmpirical}) {
+      Stopwatch watch;
+      double f_sum = 0;
+      int64_t pops = 0;
+      for (size_t qi = 0; qi < workload.size(); ++qi) {
+        search::SearchOptions options;
+        options.k = 20;
+        options.bound = bound;
+        options.max_pops = 2000000;
+        watch.Start();
+        auto r = engine.SearchWithMatches(workload[qi].query,
+                                          workload[qi].matches, options);
+        watch.Stop();
+        if (!r.ok()) continue;
+        f_sum += FMeasure(r->results, truth[qi]);
+        pops += r->counters.pops;
+      }
+      std::printf("%-12s %-10s %12.2f %12.3f %12.1f\n", ranking.name,
+                  std::string(search::UpperBoundKindName(bound)).c_str(),
+                  watch.seconds() * 1000.0 / workload.size(),
+                  f_sum / workload.size(),
+                  static_cast<double>(pops) / workload.size());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tgks::bench
+
+int main() { return tgks::bench::Run(); }

@@ -1,0 +1,126 @@
+// Microbenchmarks (google-benchmark): the temporal algebra and iterator
+// primitives everything else is built on.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "datagen/social_generator.h"
+#include "search/best_path_iterator.h"
+#include "temporal/interval_set.h"
+#include "temporal/ntd_bitmap_index.h"
+
+namespace tgks {
+namespace {
+
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+IntervalSet RandomSet(Rng* rng, TimePoint horizon, int max_fragments) {
+  std::vector<Interval> ivs;
+  const int n = 1 + static_cast<int>(rng->Uniform(max_fragments));
+  for (int i = 0; i < n; ++i) {
+    const TimePoint a = static_cast<TimePoint>(rng->Uniform(horizon));
+    const TimePoint b = static_cast<TimePoint>(rng->Uniform(horizon));
+    ivs.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  return IntervalSet(std::move(ivs));
+}
+
+void BM_IntervalSetIntersect(benchmark::State& state) {
+  Rng rng(1);
+  const TimePoint horizon = static_cast<TimePoint>(state.range(0));
+  std::vector<IntervalSet> sets;
+  for (int i = 0; i < 512; ++i) sets.push_back(RandomSet(&rng, horizon, 4));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sets[i % 512].Intersect(sets[(i + 7) % 512]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalSetIntersect)->Arg(53)->Arg(100)->Arg(1000);
+
+void BM_IntervalSetSubtract(benchmark::State& state) {
+  Rng rng(2);
+  const TimePoint horizon = static_cast<TimePoint>(state.range(0));
+  std::vector<IntervalSet> sets;
+  for (int i = 0; i < 512; ++i) sets.push_back(RandomSet(&rng, horizon, 4));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sets[i % 512].Subtract(sets[(i + 13) % 512]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalSetSubtract)->Arg(100);
+
+void BM_IntervalSetSubsumes(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<IntervalSet> sets;
+  for (int i = 0; i < 512; ++i) sets.push_back(RandomSet(&rng, 100, 4));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sets[i % 512].Subsumes(sets[(i + 3) % 512]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IntervalSetSubsumes);
+
+void BM_NtdIndexProbe(benchmark::State& state) {
+  const auto kind = static_cast<temporal::NtdIndexKind>(state.range(0));
+  const TimePoint horizon = 100;
+  Rng rng(4);
+  auto index = temporal::CreateNtdIndex(kind, horizon);
+  std::vector<IntervalSet> probes;
+  for (int i = 0; i < state.range(1); ++i) {
+    index->AddRow(RandomSet(&rng, horizon, 3));
+  }
+  for (int i = 0; i < 256; ++i) probes.push_back(RandomSet(&rng, horizon, 3));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->SubsumedByExisting(probes[i % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_NtdIndexProbe)
+    ->ArgsProduct({{0, 1, 2}, {8, 64, 512}})
+    ->ArgNames({"kind", "rows"});
+
+void BM_BestPathIteratorDrain(benchmark::State& state) {
+  datagen::SocialParams params;
+  params.num_nodes = 4000;
+  params.edge_connectivity = 0.7;
+  params.seed = 5;
+  auto dataset = datagen::GenerateSocial(params);
+  if (!dataset.ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  const auto factor = static_cast<search::RankFactor>(state.range(0));
+  Rng rng(6);
+  for (auto _ : state) {
+    search::BestPathIterator::Options options;
+    options.ranking.factors = {factor};
+    search::BestPathIterator iter(
+        dataset->graph,
+        static_cast<graph::NodeId>(rng.Uniform(
+            static_cast<uint64_t>(dataset->graph.num_nodes()))),
+        options);
+    int64_t pops = 0;
+    // Drain a bounded frontier: 2000 pops covers a realistic top-k search.
+    while (pops < 2000 && iter.Next() != search::kInvalidNtd) ++pops;
+    benchmark::DoNotOptimize(pops);
+  }
+}
+BENCHMARK(BM_BestPathIteratorDrain)
+    ->Arg(0)   // relevance
+    ->Arg(1)   // end time
+    ->Arg(2)   // start time
+    ->Arg(3)   // duration
+    ->ArgNames({"factor"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tgks
+
+BENCHMARK_MAIN();

@@ -1,0 +1,225 @@
+// Shared infrastructure for the figure-reproduction benchmarks.
+//
+// Every bench binary regenerates one table/figure of the paper's evaluation
+// (§6) on the synthetic stand-in datasets (see DESIGN.md §5). Sizes default
+// to laptop scale; set TGKS_BENCH_SCALE (float, default 1.0) to grow the
+// datasets and TGKS_BENCH_QUERIES (int, default 15) to change the workload
+// size toward the paper's 100 queries.
+
+#ifndef TGKS_BENCH_BENCH_UTIL_H_
+#define TGKS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/banks_i.h"
+#include "baseline/banks_w.h"
+#include "common/timer.h"
+#include "datagen/dblp_generator.h"
+#include "datagen/query_generator.h"
+#include "datagen/social_generator.h"
+#include "graph/inverted_index.h"
+#include "search/search_engine.h"
+
+namespace tgks::bench {
+
+inline int64_t EnvInt(const char* name, int64_t default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return default_value;
+  return std::atoll(raw);
+}
+
+inline double EnvDouble(const char* name, double default_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return default_value;
+  return std::atof(raw);
+}
+
+inline double Scale() { return EnvDouble("TGKS_BENCH_SCALE", 1.0); }
+inline int NumQueries() {
+  return static_cast<int>(EnvInt("TGKS_BENCH_QUERIES", 15));
+}
+
+/// DBLP-like dataset sized by Scale(): ~14k nodes at scale 1.
+inline datagen::DblpDataset MakeDblp(uint64_t seed = 42) {
+  datagen::DblpParams params;
+  params.num_papers = static_cast<int32_t>(8000 * Scale());
+  params.num_authors = static_cast<int32_t>(3000 * Scale());
+  params.num_venues = static_cast<int32_t>(50 * Scale()) + 10;
+  params.vocab_size = 2500;
+  params.seed = seed;
+  auto d = datagen::GenerateDblp(params);
+  if (!d.ok()) {
+    std::fprintf(stderr, "dblp generation failed: %s\n",
+                 d.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(d).value();
+}
+
+/// Social dataset sized by Scale() at a connectivity target.
+inline datagen::SocialDataset MakeSocial(double connectivity = 0.7,
+                                         uint64_t seed = 7) {
+  datagen::SocialParams params;
+  params.num_nodes = static_cast<int32_t>(15000 * Scale());
+  params.edges_per_node = 2;
+  params.edge_connectivity = connectivity;
+  params.seed = seed;
+  auto d = datagen::GenerateSocial(params);
+  if (!d.ok()) {
+    std::fprintf(stderr, "social generation failed: %s\n",
+                 d.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(d).value();
+}
+
+/// Network match-set sizes, scaled down from the paper's 200-5000.
+inline datagen::MatchSetParams ScaledMatches() {
+  datagen::MatchSetParams p;
+  p.matches_min = static_cast<int32_t>(50 * Scale());
+  p.matches_max = static_cast<int32_t>(400 * Scale());
+  return p;
+}
+
+/// Aggregated per-workload measurements (averages are per query).
+struct RunStats {
+  int64_t queries = 0;
+  double seconds_match = 0;
+  double seconds_filter = 0;
+  double seconds_expand = 0;
+  double seconds_generate = 0;
+  int64_t results = 0;
+  int64_t pops = 0;
+  int64_t nodes_visited = 0;
+  int64_t candidates = 0;
+  int64_t invalid = 0;
+  double avg_ntds_sum = 0;  ///< Sum of per-query avg NTDs per node.
+
+  double TotalSeconds() const {
+    return seconds_match + seconds_filter + seconds_expand + seconds_generate;
+  }
+  double MsPerQuery() const {
+    return queries == 0 ? 0 : TotalSeconds() * 1000.0 / queries;
+  }
+  double AvgNtds() const { return queries == 0 ? 0 : avg_ntds_sum / queries; }
+};
+
+/// Resolves a workload query's matches: explicit sets if present, otherwise
+/// inverted-index lookups (timed into *match_seconds).
+inline std::vector<std::vector<graph::NodeId>> ResolveMatches(
+    const datagen::WorkloadQuery& wq, const graph::InvertedIndex* index,
+    double* match_seconds) {
+  if (!wq.matches.empty()) return wq.matches;
+  Stopwatch watch;
+  watch.Start();
+  std::vector<std::vector<graph::NodeId>> matches;
+  for (const auto& kw : wq.query.keywords) {
+    const auto posting = index->Lookup(kw);
+    matches.emplace_back(posting.begin(), posting.end());
+  }
+  watch.Stop();
+  *match_seconds += watch.seconds();
+  return matches;
+}
+
+/// Runs the temporal engine over a workload.
+inline RunStats RunOurs(const graph::TemporalGraph& graph,
+                        const graph::InvertedIndex* index,
+                        const std::vector<datagen::WorkloadQuery>& workload,
+                        const search::SearchOptions& options) {
+  RunStats stats;
+  const search::SearchEngine engine(graph);
+  for (const auto& wq : workload) {
+    const auto matches = ResolveMatches(wq, index, &stats.seconds_match);
+    auto response = engine.SearchWithMatches(wq.query, matches, options);
+    if (!response.ok()) continue;
+    const auto& c = response->counters;
+    stats.seconds_filter += c.seconds_filter;
+    stats.seconds_expand += c.seconds_expand;
+    stats.seconds_generate += c.seconds_generate;
+    stats.results += c.results;
+    stats.pops += c.pops;
+    stats.nodes_visited += c.nodes_visited;
+    stats.candidates += c.candidates;
+    stats.invalid += c.invalid_time + c.invalid_structure;
+    stats.avg_ntds_sum += c.avg_ntds_per_node;
+    ++stats.queries;
+  }
+  return stats;
+}
+
+/// Runs BANKS(W) over a workload.
+inline RunStats RunBanksWWorkload(
+    const graph::TemporalGraph& graph, const graph::InvertedIndex* index,
+    const std::vector<datagen::WorkloadQuery>& workload,
+    const baseline::BanksOptions& options) {
+  RunStats stats;
+  for (const auto& wq : workload) {
+    const auto matches = ResolveMatches(wq, index, &stats.seconds_match);
+    auto response = baseline::RunBanksW(graph, wq.query, matches, options);
+    stats.seconds_expand += response.counters.seconds_expand;
+    stats.seconds_generate += response.counters.seconds_generate;
+    stats.results += response.counters.results;
+    stats.pops += response.counters.pops;
+    stats.nodes_visited += response.counters.nodes_visited;
+    stats.candidates += response.counters.candidates;
+    stats.invalid += response.counters.invalid_time;
+    ++stats.queries;
+  }
+  return stats;
+}
+
+/// Runs BANKS(I) over a workload.
+inline RunStats RunBanksIWorkload(
+    const graph::TemporalGraph& graph, const graph::InvertedIndex* index,
+    const std::vector<datagen::WorkloadQuery>& workload,
+    const baseline::BanksIOptions& options, int64_t* snapshots = nullptr) {
+  RunStats stats;
+  for (const auto& wq : workload) {
+    const auto matches = ResolveMatches(wq, index, &stats.seconds_match);
+    auto response = baseline::RunBanksI(graph, wq.query, matches, options);
+    stats.seconds_expand += response.counters.seconds_expand;
+    stats.seconds_generate += response.counters.seconds_generate;
+    stats.results += response.counters.results;
+    stats.pops += response.counters.pops;
+    stats.nodes_visited += response.counters.nodes_visited;
+    stats.candidates += response.counters.candidates;
+    stats.invalid += response.counters.invalid_time;
+    if (snapshots != nullptr) *snapshots += response.snapshots_traversed;
+    ++stats.queries;
+  }
+  return stats;
+}
+
+/// Table rendering ---------------------------------------------------------
+
+inline void PrintTitle(const std::string& title, const std::string& note) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+}
+
+inline void PrintBreakdownHeader() {
+  std::printf("%-14s %-10s %10s %10s %10s %10s %10s %9s %9s\n", "config",
+              "system", "match_ms", "filter_ms", "expand_ms", "gen_ms",
+              "total_ms", "results", "ntds/node");
+}
+
+inline void PrintBreakdownRow(const std::string& config,
+                              const std::string& system,
+                              const RunStats& stats) {
+  const double q = stats.queries == 0 ? 1 : static_cast<double>(stats.queries);
+  std::printf("%-14s %-10s %10.2f %10.2f %10.2f %10.2f %10.2f %9.1f %9.2f\n",
+              config.c_str(), system.c_str(),
+              stats.seconds_match * 1000 / q, stats.seconds_filter * 1000 / q,
+              stats.seconds_expand * 1000 / q,
+              stats.seconds_generate * 1000 / q, stats.MsPerQuery(),
+              static_cast<double>(stats.results) / q, stats.AvgNtds());
+}
+
+}  // namespace tgks::bench
+
+#endif  // TGKS_BENCH_BENCH_UTIL_H_

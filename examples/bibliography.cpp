@@ -1,0 +1,99 @@
+// Bibliography search: the paper's Q4-Q6 scenario on a generated DBLP-like
+// archive.
+//
+//   $ ./build/examples/bibliography
+//
+// Demonstrates: the DBLP generator, tag + value keywords, temporal
+// predicates (CONTAINS / FOLLOWS), start-time ranking, and a comparison of
+// the temporal engine with the BANKS(W) baseline on the same query.
+
+#include <iostream>
+
+#include "baseline/banks_w.h"
+#include "datagen/dblp_generator.h"
+#include "examples/example_util.h"
+#include "graph/inverted_index.h"
+#include "search/query_parser.h"
+#include "search/search_engine.h"
+
+namespace {
+
+using tgks::datagen::DblpParams;
+using tgks::datagen::GenerateDblp;
+
+int Run() {
+  DblpParams params;
+  params.num_papers = 4000;
+  params.num_authors = 1500;
+  params.num_venues = 30;
+  params.seed = 2026;
+  auto dataset = GenerateDblp(params);
+  if (!dataset.ok()) {
+    std::cerr << "generation failed: " << dataset.status() << "\n";
+    return 1;
+  }
+  const auto& g = dataset->graph;
+  std::cout << "Generated bibliographic archive: " << g.num_nodes()
+            << " nodes, " << g.num_edges() << " edges, "
+            << g.timeline_length() << " yearly instants.\n\n";
+
+  const tgks::graph::InvertedIndex index(g);
+  const tgks::search::SearchEngine engine(g, &index);
+
+  // Pick two frequent title words so the queries have matches regardless of
+  // seed; w0 is the most popular word in the vocabulary.
+  const std::string& w0 = dataset->vocabulary[0];
+  const std::string& w1 = dataset->vocabulary[1];
+
+  const std::string queries[] = {
+      // Q4-style: work on <w0> by any author, alive throughout years 20-25.
+      w0 + ", author result time contains [20,25]",
+      // Q5-style: earliest venue connection of a topic.
+      w0 + ", venue rank by ascending order of result start time",
+      // Q6-style: papers on "<w0> <w1>" published after year 40.
+      "\"" + w0 + " " + w1 + "\", paper result time follows 40",
+  };
+  for (const std::string& text : queries) {
+    auto query = tgks::search::ParseQuery(text);
+    if (!query.ok()) {
+      std::cerr << "parse error: " << query.status() << "\n";
+      return 1;
+    }
+    tgks::search::SearchOptions options;
+    options.k = 3;
+    auto response = engine.Search(*query, options);
+    if (!response.ok()) {
+      std::cerr << "search error: " << response.status() << "\n";
+      return 1;
+    }
+    tgks::examples::PrintResults(g, *query, *response);
+    tgks::examples::PrintCounters(response->counters);
+    std::cout << "\n";
+  }
+
+  // Same query through BANKS(W): identical results on append-only data
+  // (every subtree is valid at the final instant), which is exactly why the
+  // paper found BANKS(W) competitive on DBLP yet broken on interval data.
+  {
+    auto query = tgks::search::ParseQuery(w0 + ", author");
+    if (!query.ok()) return 1;
+    std::vector<std::vector<tgks::graph::NodeId>> matches;
+    for (const auto& kw : query->keywords) {
+      const auto posting = index.Lookup(kw);
+      matches.emplace_back(posting.begin(), posting.end());
+    }
+    tgks::baseline::BanksOptions options;
+    options.k = 3;
+    auto banks = tgks::baseline::RunBanksW(g, *query, matches, options);
+    std::cout << "BANKS(W) on \"" << w0 << ", author\": "
+              << banks.results.size() << " results, "
+              << banks.counters.invalid_time
+              << " invalid candidates discarded (0 expected on append-only "
+                 "DBLP).\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

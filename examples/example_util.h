@@ -1,0 +1,53 @@
+// Shared pretty-printing helpers for the examples.
+
+#ifndef TGKS_EXAMPLES_EXAMPLE_UTIL_H_
+#define TGKS_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <iostream>
+#include <string>
+
+#include "graph/temporal_graph.h"
+#include "search/search_engine.h"
+
+namespace tgks::examples {
+
+/// Renders one result tree as indented label lines with its valid time and
+/// score, e.g.
+///   #1  [weight=3, time={[6,7]}]  (relevance=0.333333)
+///       Mary -(knows)-> Bob -> Ross -> John
+inline void PrintResults(const graph::TemporalGraph& g,
+                         const search::Query& query,
+                         const search::SearchResponse& response) {
+  std::cout << "query: " << query.ToString() << "\n";
+  if (response.results.empty()) {
+    std::cout << "  (no results)\n";
+    return;
+  }
+  int rank = 0;
+  for (const search::ResultTree& tree : response.results) {
+    std::cout << "  #" << ++rank << "  root=\"" << g.node(tree.root).label
+              << "\" weight=" << tree.total_weight
+              << " time=" << tree.time.ToString() << "  ("
+              << search::FormatScore(query.ranking, tree.score) << ")\n";
+    for (const graph::EdgeId e : tree.edges) {
+      std::cout << "      " << g.node(g.edge(e).src).label << " -> "
+                << g.node(g.edge(e).dst).label << "  valid "
+                << g.edge(e).validity.ToString() << "\n";
+    }
+    if (tree.edges.empty()) {
+      std::cout << "      (single node) " << g.node(tree.root).label << "\n";
+    }
+  }
+}
+
+/// One-line summary of the work the engine did.
+inline void PrintCounters(const search::SearchCounters& c) {
+  std::cout << "  [iterators=" << c.iterators << " pops=" << c.pops
+            << " nodes_visited=" << c.nodes_visited
+            << " candidates=" << c.candidates << " results=" << c.results
+            << " avg_ntds_per_node=" << c.avg_ntds_per_node << "]\n";
+}
+
+}  // namespace tgks::examples
+
+#endif  // TGKS_EXAMPLES_EXAMPLE_UTIL_H_

@@ -1,0 +1,102 @@
+// Quickstart: build the paper's Fig.-1 social network, run the motivating
+// queries, and show why temporal awareness matters.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks through: constructing a temporal graph with GraphBuilder, parsing
+// the paper's query syntax, searching with SearchEngine, and reading the
+// results (valid times, scores, work counters).
+
+#include <iostream>
+
+#include "examples/example_util.h"
+#include "graph/graph_builder.h"
+#include "graph/inverted_index.h"
+#include "search/query_parser.h"
+#include "search/search_engine.h"
+
+namespace {
+
+using tgks::graph::GraphBuilder;
+using tgks::graph::InvertedIndex;
+using tgks::graph::NodeId;
+using tgks::graph::TemporalGraph;
+using tgks::temporal::IntervalSet;
+
+/// The introduction's social network: Mary and John are connected through
+/// Bob's circle at some times and through Microsoft never (their employment
+/// intervals do not overlap).
+TemporalGraph BuildSocialNetwork() {
+  GraphBuilder b(/*timeline_length=*/8);
+  const NodeId mary = b.AddNode("Mary", IntervalSet{{0, 7}});
+  const NodeId john = b.AddNode("John", IntervalSet{{0, 7}});
+  const NodeId bob = b.AddNode("Bob", IntervalSet{{2, 7}});
+  const NodeId ross = b.AddNode("Ross", IntervalSet{{5, 7}});
+  const NodeId mike = b.AddNode("Mike", IntervalSet{{2, 5}});
+  const NodeId jim = b.AddNode("Jim", IntervalSet{{3, 6}});
+  const NodeId microsoft = b.AddNode("Microsoft", IntervalSet{{0, 7}});
+  auto friends = [&b](NodeId u, NodeId v, IntervalSet when) {
+    b.AddEdge(u, v, when);
+    b.AddEdge(v, u, std::move(when));
+  };
+  friends(mary, bob, IntervalSet{{2, 7}});
+  friends(bob, ross, IntervalSet{{5, 7}});
+  friends(ross, john, IntervalSet{{6, 7}});
+  friends(bob, mike, IntervalSet{{2, 5}});
+  friends(mike, jim, IntervalSet{{3, 4}});
+  friends(jim, john, IntervalSet{{4, 6}});
+  friends(mary, microsoft, IntervalSet{{0, 2}});   // Mary worked there early,
+  friends(microsoft, john, IntervalSet{{5, 7}});   // John much later.
+  auto g = b.Build();
+  if (!g.ok()) {
+    std::cerr << "graph build failed: " << g.status() << "\n";
+    std::abort();
+  }
+  return std::move(g).value();
+}
+
+int Run() {
+  const TemporalGraph g = BuildSocialNetwork();
+  const InvertedIndex index(g);
+  const tgks::search::SearchEngine engine(g, &index);
+
+  // The queries of Table 1, in the paper's own syntax.
+  const char* queries[] = {
+      // A plain keyword query: who connects Mary and John, and when?
+      "Mary, John",
+      // Q1: the k earliest relationships between Mary and John.
+      "Mary, John rank by ascending order of result start time",
+      // Q3-style: connections that existed before t5.
+      "Mary, John result time precedes 5",
+      // Longest-lived connection between Mary and Bob.
+      "Mary, Bob rank by descending order of duration",
+  };
+  for (const char* text : queries) {
+    auto query = tgks::search::ParseQuery(text);
+    if (!query.ok()) {
+      std::cerr << "parse error: " << query.status() << "\n";
+      return 1;
+    }
+    tgks::search::SearchOptions options;
+    options.k = 5;
+    auto response = engine.Search(*query, options);
+    if (!response.ok()) {
+      std::cerr << "search error: " << response.status() << "\n";
+      return 1;
+    }
+    tgks::examples::PrintResults(g, *query, *response);
+    tgks::examples::PrintCounters(response->counters);
+    std::cout << "\n";
+  }
+
+  std::cout << "Note how no result ever routes through Microsoft: the\n"
+               "Mary-Microsoft-John path exists structurally but its\n"
+               "elements never coexist, so a temporal-aware search never\n"
+               "generates it — while a time-oblivious search would emit it\n"
+               "and then have to discard it.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,144 @@
+// tgks_cli: run temporal keyword queries against a .tgf graph file.
+//
+//   tgks_cli GRAPH.tgf [options] "QUERY"
+//   tgks_cli --demo [options] "QUERY"       (built-in Fig.-1 social graph)
+//
+// Options:
+//   --k N            top-k (default 10; 0 = all results)
+//   --bound KIND     accurate | empirical | average (default empirical)
+//   --stats          print work counters after the results
+//
+// Examples:
+//   tgks_cli --demo "Mary, John"
+//   tgks_cli --demo --k 3 "Mary, John rank by ascending order of result
+//                          start time"
+//   tgks_cli archive.tgf --bound accurate "GenBank, Blast result time
+//                          meets 7"
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "examples/example_util.h"
+#include "graph/graph_builder.h"
+#include "graph/inverted_index.h"
+#include "graph/serialization.h"
+#include "search/query_parser.h"
+#include "search/search_engine.h"
+
+namespace {
+
+using tgks::graph::GraphBuilder;
+using tgks::graph::NodeId;
+using tgks::graph::TemporalGraph;
+using tgks::temporal::IntervalSet;
+
+TemporalGraph DemoGraph() {
+  GraphBuilder b(8);
+  const NodeId mary = b.AddNode("Mary", IntervalSet{{0, 7}});
+  const NodeId john = b.AddNode("John", IntervalSet{{0, 7}});
+  const NodeId bob = b.AddNode("Bob", IntervalSet{{2, 7}});
+  const NodeId ross = b.AddNode("Ross", IntervalSet{{5, 7}});
+  const NodeId mike = b.AddNode("Mike", IntervalSet{{2, 5}});
+  const NodeId jim = b.AddNode("Jim", IntervalSet{{3, 6}});
+  const NodeId microsoft = b.AddNode("Microsoft", IntervalSet{{0, 7}});
+  auto both = [&b](NodeId u, NodeId v, IntervalSet when) {
+    b.AddEdge(u, v, when);
+    b.AddEdge(v, u, std::move(when));
+  };
+  both(mary, bob, IntervalSet{{2, 7}});
+  both(bob, ross, IntervalSet{{5, 7}});
+  both(ross, john, IntervalSet{{6, 7}});
+  both(bob, mike, IntervalSet{{2, 5}});
+  both(mike, jim, IntervalSet{{3, 4}});
+  both(jim, john, IntervalSet{{4, 6}});
+  both(mary, microsoft, IntervalSet{{0, 2}});
+  both(microsoft, john, IntervalSet{{5, 7}});
+  return std::move(b.Build()).value();
+}
+
+int Usage() {
+  std::cerr
+      << "usage: tgks_cli (GRAPH.tgf | --demo) [--k N] [--bound KIND] "
+         "[--stats] \"QUERY\"\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string graph_path;
+  bool demo = false, stats = false;
+  tgks::search::SearchOptions options;
+  options.k = 10;
+  std::string query_text;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--k" && i + 1 < argc) {
+      options.k = std::atoi(argv[++i]);
+    } else if (arg == "--bound" && i + 1 < argc) {
+      const std::string kind = argv[++i];
+      if (kind == "accurate") {
+        options.bound = tgks::search::UpperBoundKind::kAccurate;
+      } else if (kind == "empirical") {
+        options.bound = tgks::search::UpperBoundKind::kEmpirical;
+      } else if (kind == "average") {
+        options.bound = tgks::search::UpperBoundKind::kAverage;
+      } else {
+        std::cerr << "unknown bound '" << kind << "'\n";
+        return Usage();
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (graph_path.empty() && !demo && query_text.empty()) {
+      graph_path = arg;
+    } else if (query_text.empty()) {
+      query_text = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (query_text.empty() && !graph_path.empty() && demo) {
+    query_text = graph_path;  // --demo consumed the positional slot.
+    graph_path.clear();
+  }
+  if (query_text.empty() || (graph_path.empty() && !demo)) return Usage();
+
+  TemporalGraph graph;
+  if (demo) {
+    graph = DemoGraph();
+  } else {
+    const bool binary = graph_path.size() > 4 &&
+                        graph_path.compare(graph_path.size() - 4, 4, ".tgb") ==
+                            0;
+    auto loaded = binary ? tgks::graph::LoadGraphBinaryFromFile(graph_path)
+                         : tgks::graph::LoadGraphFromFile(graph_path);
+    if (!loaded.ok()) {
+      std::cerr << "cannot load '" << graph_path
+                << "': " << loaded.status() << "\n";
+      return 1;
+    }
+    graph = std::move(loaded).value();
+  }
+
+  auto query = tgks::search::ParseQuery(query_text);
+  if (!query.ok()) {
+    std::cerr << "query error: " << query.status() << "\n";
+    return 1;
+  }
+  const tgks::graph::InvertedIndex index(graph);
+  const tgks::search::SearchEngine engine(graph, &index);
+  auto response = engine.Search(*query, options);
+  if (!response.ok()) {
+    std::cerr << "search error: " << response.status() << "\n";
+    return 1;
+  }
+  tgks::examples::PrintResults(graph, *query, *response);
+  if (stats) tgks::examples::PrintCounters(response->counters);
+  return 0;
+}

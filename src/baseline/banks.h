@@ -1,0 +1,83 @@
+// BANKS: time-oblivious backward-expansion keyword search [9], the core of
+// the paper's two comparison systems (§6.1).
+//
+// One Dijkstra iterator per keyword match explores backward; a candidate is
+// born when a node has been settled by at least one iterator of every
+// keyword. Candidates are ranked by relevance (inverse weighted tree size).
+// Temporal information is ignored during search; BanksW/BanksI layer the
+// temporal handling on top.
+
+#ifndef TGKS_BASELINE_BANKS_H_
+#define TGKS_BASELINE_BANKS_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/inverted_index.h"
+#include "graph/temporal_graph.h"
+#include "search/result_tree.h"
+#include "search/search_engine.h"
+
+namespace tgks::baseline {
+
+/// Knobs for one BANKS run.
+struct BanksOptions {
+  /// Stop once this many accepted results are found and the §4.2-style
+  /// bound confirms them; <= 0 means ALL.
+  int32_t k = 20;
+  /// Upper bound flavor (the evaluation gives all systems the same bounds).
+  search::UpperBoundKind bound = search::UpperBoundKind::kEmpirical;
+  /// Restrict the whole search to one snapshot (BANKS(I) inner runs).
+  std::optional<temporal::TimePoint> snapshot;
+  /// Safety valves.
+  int64_t max_pops = -1;
+  int64_t max_combos_per_pop = 1 << 16;
+};
+
+/// Work counters for the harness.
+struct BanksCounters {
+  int64_t iterators = 0;
+  int64_t pops = 0;             ///< Nodes settled across iterators.
+  int64_t nodes_visited = 0;    ///< Distinct nodes settled by >= 1 iterator.
+  int64_t candidates = 0;       ///< Cross products examined.
+  int64_t generated = 0;        ///< Structurally valid trees generated.
+  int64_t invalid_time = 0;     ///< Generated trees with empty real time.
+  int64_t predicate_rejected = 0;
+  int64_t duplicates = 0;
+  int64_t results = 0;          ///< Accepted results.
+  /// Wall-clock split: path expansion vs. result generation (the caller
+  /// times keyword-match lookup itself).
+  double seconds_expand = 0.0;
+  double seconds_generate = 0.0;
+};
+
+/// Outcome of one BANKS run.
+struct BanksResponse {
+  std::vector<search::ResultTree> results;  ///< Best (smallest weight) first.
+  BanksCounters counters;
+  bool exhausted = false;
+  bool truncated = false;
+};
+
+/// Predicate applied to a *generated* tree; return false to discard it.
+/// BanksW uses this for post-filtering by validity and temporal predicates.
+using TreeFilter = std::function<bool(const search::ResultTree&)>;
+
+/// Runs BANKS over `graph` for the given per-keyword match sets.
+///
+/// Classic BANKS has no notion of time, so it happily *generates* trees
+/// whose elements never coexist; those are counted in `generated` and
+/// `invalid_time` and then discarded (the post-processing step of BANKS(W)).
+/// `accept` (optional) further filters generated valid trees — BanksW uses
+/// it for temporal predicates; rejections count in `predicate_rejected`.
+BanksResponse RunBanks(const graph::TemporalGraph& graph,
+                       const std::vector<std::vector<graph::NodeId>>& matches,
+                       const BanksOptions& options,
+                       const TreeFilter* accept = nullptr);
+
+}  // namespace tgks::baseline
+
+#endif  // TGKS_BASELINE_BANKS_H_

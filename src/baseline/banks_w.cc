@@ -1,0 +1,42 @@
+#include "baseline/banks_w.h"
+
+#include <algorithm>
+
+namespace tgks::baseline {
+
+using search::ResultTree;
+
+BanksResponse RunBanksW(const graph::TemporalGraph& graph,
+                        const search::Query& query,
+                        const std::vector<std::vector<graph::NodeId>>& matches,
+                        BanksOptions options) {
+  const TreeFilter accept = [&query](const ResultTree& tree) {
+    return query.predicate == nullptr ||
+           query.predicate->EvalResultTime(tree.time);
+  };
+  const bool temporal_primary = query.ranking.PrimaryIsTemporal();
+  BanksOptions run_options = options;
+  if (temporal_primary) {
+    // BANKS generates roughly by relevance; for temporal ranking it cannot
+    // stop early, so enumerate everything the budget allows and sort later.
+    run_options.k = 0;
+  }
+  BanksResponse response = RunBanks(graph, matches, run_options, &accept);
+  // Re-score under the query's ranking spec and re-rank.
+  for (ResultTree& tree : response.results) {
+    tree.score =
+        search::MakeScore(query.ranking, tree.total_weight, tree.time);
+  }
+  std::sort(response.results.begin(), response.results.end(),
+            [](const ResultTree& a, const ResultTree& b) {
+              if (a.score != b.score) return search::ScoreBetter(a.score, b.score);
+              return a.Signature() < b.Signature();
+            });
+  if (temporal_primary && options.k > 0 &&
+      static_cast<int64_t>(response.results.size()) > options.k) {
+    response.results.resize(static_cast<size_t>(options.k));
+  }
+  return response;
+}
+
+}  // namespace tgks::baseline

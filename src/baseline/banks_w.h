@@ -1,0 +1,30 @@
+// BANKS(W): run BANKS once against the whole temporal graph, oblivious to
+// timestamps, then post-filter invalid results (§6.1 comparison system 2).
+//
+// Invalid results (element validities share no instant) are generated, paid
+// for, and discarded; valid ones are additionally checked against the
+// query's temporal predicates. For temporal ranking functions BANKS has no
+// ordered generation, so BanksW enumerates (up to a budget) and sorts — the
+// behaviour §6.2.1 describes as "may take hours", which the budget caps.
+
+#ifndef TGKS_BASELINE_BANKS_W_H_
+#define TGKS_BASELINE_BANKS_W_H_
+
+#include "baseline/banks.h"
+#include "search/query.h"
+
+namespace tgks::baseline {
+
+/// Runs BANKS(W) for `query` with the given match sets.
+///
+/// Relevance ranking streams results and stops by the configured bound
+/// (options.k valid results). Temporal primaries exhaust the candidate space
+/// (bounded by options.max_pops) and sort by the query's ranking spec.
+BanksResponse RunBanksW(const graph::TemporalGraph& graph,
+                        const search::Query& query,
+                        const std::vector<std::vector<graph::NodeId>>& matches,
+                        BanksOptions options = {});
+
+}  // namespace tgks::baseline
+
+#endif  // TGKS_BASELINE_BANKS_W_H_

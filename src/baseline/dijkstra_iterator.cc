@@ -1,0 +1,83 @@
+#include "baseline/dijkstra_iterator.h"
+
+#include <cassert>
+
+namespace tgks::baseline {
+
+using graph::EdgeId;
+using graph::NodeId;
+
+DijkstraIterator::DijkstraIterator(const graph::TemporalGraph& graph,
+                                   NodeId source,
+                                   std::optional<temporal::TimePoint> snapshot)
+    : graph_(&graph), source_(source), snapshot_(snapshot) {
+  assert(source >= 0 && source < graph.num_nodes());
+  if (!NodeVisible(source)) return;
+  const double d0 = graph.node(source).weight;
+  best_seen_[source] = d0;
+  queue_.push(Entry{d0, source});
+}
+
+bool DijkstraIterator::NodeVisible(NodeId n) const {
+  return !snapshot_.has_value() || graph_->NodeAliveAt(n, *snapshot_);
+}
+
+bool DijkstraIterator::EdgeVisible(EdgeId e) const {
+  return !snapshot_.has_value() || graph_->EdgeAliveAt(e, *snapshot_);
+}
+
+void DijkstraIterator::SettleTop() {
+  while (!queue_.empty() &&
+         settled_.find(queue_.top().node) != settled_.end()) {
+    queue_.pop();  // Stale entry (lazy decrease-key).
+  }
+}
+
+std::optional<double> DijkstraIterator::PeekDistance() {
+  SettleTop();
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().dist;
+}
+
+NodeId DijkstraIterator::Next() {
+  SettleTop();
+  if (queue_.empty()) return graph::kInvalidNode;
+  const Entry top = queue_.top();
+  queue_.pop();
+  settled_.emplace(top.node, top.dist);
+  for (const EdgeId e : graph_->InEdges(top.node)) {
+    if (!EdgeVisible(e)) continue;
+    const NodeId neighbor = graph_->edge(e).src;
+    if (!NodeVisible(neighbor)) continue;
+    if (settled_.find(neighbor) != settled_.end()) continue;
+    const double nd =
+        top.dist + graph_->edge(e).weight + graph_->node(neighbor).weight;
+    const auto it = best_seen_.find(neighbor);
+    if (it == best_seen_.end() || nd < it->second) {
+      best_seen_[neighbor] = nd;
+      parent_edge_[neighbor] = e;
+      queue_.push(Entry{nd, neighbor});
+    }
+  }
+  return top.node;
+}
+
+std::optional<double> DijkstraIterator::DistanceTo(NodeId node) const {
+  const auto it = settled_.find(node);
+  if (it == settled_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<EdgeId> DijkstraIterator::PathEdges(NodeId node) const {
+  assert(settled_.find(node) != settled_.end());
+  std::vector<EdgeId> edges;
+  NodeId cur = node;
+  while (cur != source_) {
+    const EdgeId e = parent_edge_.at(cur);
+    edges.push_back(e);
+    cur = graph_->edge(e).dst;
+  }
+  return edges;
+}
+
+}  // namespace tgks::baseline

@@ -1,0 +1,79 @@
+// Classic (time-oblivious) single-source backward Dijkstra — the path
+// iterator of BANKS [9].
+//
+// Deliberately an independent implementation from search::BestPathIterator:
+// it is both the building block of the BANKS(W)/BANKS(I) comparison systems
+// (§6.1) and an independent cross-check for the temporal iterator's
+// single-snapshot behaviour.
+
+#ifndef TGKS_BASELINE_DIJKSTRA_ITERATOR_H_
+#define TGKS_BASELINE_DIJKSTRA_ITERATOR_H_
+
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "temporal/time_point.h"
+
+namespace tgks::baseline {
+
+/// Backward Dijkstra from one source over a temporal graph viewed either
+/// whole (timestamps ignored — BANKS(W)) or restricted to one snapshot
+/// (BANKS(I)). Expands one settled node per Next() call; records a single
+/// shortest-path parent per node.
+class DijkstraIterator {
+ public:
+  /// `snapshot`: when set, nodes/edges not alive at that instant are
+  /// invisible. The graph must outlive the iterator.
+  DijkstraIterator(const graph::TemporalGraph& graph, graph::NodeId source,
+                   std::optional<temporal::TimePoint> snapshot = std::nullopt);
+
+  DijkstraIterator(const DijkstraIterator&) = delete;
+  DijkstraIterator& operator=(const DijkstraIterator&) = delete;
+  DijkstraIterator(DijkstraIterator&&) noexcept = default;
+
+  /// Settles and expands the next nearest node; returns it, or kInvalidNode
+  /// when the frontier is exhausted.
+  graph::NodeId Next();
+
+  /// Distance of the node Next() would settle; nullopt when exhausted.
+  std::optional<double> PeekDistance();
+
+  /// Shortest distance to `node`; nullopt if not settled (yet).
+  std::optional<double> DistanceTo(graph::NodeId node) const;
+
+  /// Forward path node -> ... -> source as edge ids; empty for the source.
+  /// `node` must be settled.
+  std::vector<graph::EdgeId> PathEdges(graph::NodeId node) const;
+
+  graph::NodeId source() const { return source_; }
+  int64_t nodes_settled() const { return static_cast<int64_t>(settled_.size()); }
+
+ private:
+  struct Entry {
+    double dist;
+    graph::NodeId node;
+    bool operator>(const Entry& other) const {
+      if (dist != other.dist) return dist > other.dist;
+      return node > other.node;
+    }
+  };
+
+  bool EdgeVisible(graph::EdgeId e) const;
+  bool NodeVisible(graph::NodeId n) const;
+  void SettleTop();
+
+  const graph::TemporalGraph* graph_;
+  graph::NodeId source_;
+  std::optional<temporal::TimePoint> snapshot_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  std::unordered_map<graph::NodeId, double> settled_;
+  std::unordered_map<graph::NodeId, double> best_seen_;
+  std::unordered_map<graph::NodeId, graph::EdgeId> parent_edge_;
+};
+
+}  // namespace tgks::baseline
+
+#endif  // TGKS_BASELINE_DIJKSTRA_ITERATOR_H_

@@ -1,0 +1,112 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace tgks {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Expand the seed through SplitMix64 as recommended by the xoshiro authors;
+  // guards against all-zero state.
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Debiased modulo via rejection on the tail.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return UniformDouble() < p;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  // Inverse-CDF on the continuous approximation, then clamp. Accurate enough
+  // for workload skew; avoids per-call harmonic sums.
+  const double exponent = 1.0 - s;
+  double u = UniformDouble();
+  double value;
+  if (std::abs(exponent) < 1e-9) {
+    value = std::exp(u * std::log(static_cast<double>(n)));
+  } else {
+    const double hi = std::pow(static_cast<double>(n), exponent);
+    value = std::pow(u * (hi - 1.0) + 1.0, 1.0 / exponent);
+  }
+  uint64_t rank = static_cast<uint64_t>(value) - (value >= 1.0 ? 1 : 0);
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k > n / 2) {
+    // Dense case: partial Fisher-Yates over an explicit universe.
+    std::vector<uint64_t> universe(n);
+    for (uint64_t i = 0; i < n; ++i) universe[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      const uint64_t j = i + Uniform(n - i);
+      std::swap(universe[i], universe[j]);
+      out.push_back(universe[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling into a set.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const uint64_t v = Uniform(n);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace tgks

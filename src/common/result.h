@@ -1,0 +1,82 @@
+// Result<T>: a value-or-Status holder, the return type of fallible functions
+// that produce a value. Mirrors arrow::Result / absl::StatusOr.
+
+#ifndef TGKS_COMMON_RESULT_H_
+#define TGKS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace tgks {
+
+/// Holds either a T or a non-OK Status.
+///
+/// Access the value only after checking `ok()`; accessing the value of an
+/// errored Result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status` must not be OK.
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok() &&
+           "Result constructed from OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define TGKS_ASSIGN_OR_RETURN(lhs, expr)                \
+  TGKS_ASSIGN_OR_RETURN_IMPL_(                          \
+      TGKS_CONCAT_(_tgks_result_, __LINE__), lhs, expr)
+
+#define TGKS_CONCAT_INNER_(a, b) a##b
+#define TGKS_CONCAT_(a, b) TGKS_CONCAT_INNER_(a, b)
+#define TGKS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace tgks
+
+#endif  // TGKS_COMMON_RESULT_H_

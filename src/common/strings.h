@@ -1,0 +1,39 @@
+// Small string utilities: tokenization for the inverted index and parser,
+// joining, and case folding. ASCII-only by design (labels in the supported
+// datasets are ASCII identifiers).
+
+#ifndef TGKS_COMMON_STRINGS_H_
+#define TGKS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tgks {
+
+/// Lowercases ASCII letters; other bytes pass through.
+std::string AsciiToLower(std::string_view s);
+
+/// Splits `s` into maximal runs of alphanumeric characters, lowercased.
+/// "Graph-Search 2016" -> {"graph", "search", "2016"}.
+std::vector<std::string> TokenizeWords(std::string_view s);
+
+/// Splits on any occurrence of `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True iff `s` parses fully as a (possibly signed) decimal integer; stores
+/// the value in *out.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// True iff `s` parses fully as a double; stores the value in *out.
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace tgks
+
+#endif  // TGKS_COMMON_STRINGS_H_

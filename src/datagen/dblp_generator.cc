@@ -1,0 +1,190 @@
+#include "datagen/dblp_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+
+namespace tgks::datagen {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+namespace {
+
+/// Deterministic pseudo-word: consonant-vowel syllables keyed by index, so
+/// vocabulary word i is stable across runs and readable in examples.
+std::string MakeWord(int32_t index) {
+  static constexpr char kConsonants[] = "bcdfgklmnprstvz";
+  static constexpr char kVowels[] = "aeiou";
+  std::string word;
+  uint32_t v = static_cast<uint32_t>(index) + 7;
+  const int syllables = 2 + static_cast<int>(v % 3);
+  for (int s = 0; s < syllables; ++s) {
+    word.push_back(kConsonants[v % (sizeof(kConsonants) - 1)]);
+    v /= sizeof(kConsonants) - 1;
+    word.push_back(kVowels[v % (sizeof(kVowels) - 1)]);
+    v /= sizeof(kVowels) - 1;
+    v = v * 2654435761u + 0x9E3779B9u + static_cast<uint32_t>(index);
+  }
+  return word;
+}
+
+/// Publication years skew toward the recent past (DBLP volume grows).
+TimePoint SampleYear(Rng* rng, TimePoint horizon) {
+  const double u = rng->UniformDouble();
+  // Quadratic bias toward the end of the timeline.
+  const double biased = std::sqrt(u);
+  TimePoint year = static_cast<TimePoint>(biased * horizon);
+  if (year >= horizon) year = horizon - 1;
+  return year;
+}
+
+}  // namespace
+
+Result<DblpDataset> GenerateDblp(const DblpParams& params) {
+  if (params.num_papers <= 0 || params.num_authors <= 0 ||
+      params.num_venues <= 0 || params.vocab_size <= 0) {
+    return Status::InvalidArgument("dblp generator sizes must be positive");
+  }
+  if (params.timeline_length <= 1) {
+    return Status::InvalidArgument("timeline must have at least 2 instants");
+  }
+  if (params.title_words_min <= 0 ||
+      params.title_words_max < params.title_words_min ||
+      params.authors_per_paper_min <= 0 ||
+      params.authors_per_paper_max < params.authors_per_paper_min) {
+    return Status::InvalidArgument("malformed dblp range parameters");
+  }
+
+  Rng rng(params.seed);
+  const TimePoint horizon = params.timeline_length;
+  const TimePoint last = horizon - 1;
+  DblpDataset out;
+  out.vocabulary.reserve(static_cast<size_t>(params.vocab_size));
+  for (int32_t i = 0; i < params.vocab_size; ++i) {
+    out.vocabulary.push_back(MakeWord(i));
+  }
+
+  GraphBuilder b(horizon, graph::ValidityPolicy::kStrict);
+  out.root = b.AddNode("DBLP", IntervalSet(Interval(0, last)));
+
+  // Venues appear over the first half of the timeline and live on.
+  std::vector<TimePoint> venue_start(static_cast<size_t>(params.num_venues));
+  for (int32_t v = 0; v < params.num_venues; ++v) {
+    const TimePoint start =
+        static_cast<TimePoint>(rng.Uniform(std::max<TimePoint>(1, horizon / 2)));
+    venue_start[static_cast<size_t>(v)] = start;
+    out.venues.push_back(b.AddNode("venue " + MakeWord(1000000 + v),
+                                   IntervalSet(Interval(start, last))));
+    b.AddEdge(out.root, out.venues.back(),
+              IntervalSet(Interval(start, last)));
+  }
+
+  // Authors: start years sampled like papers; fixed later to cover their
+  // first paper. We first sample paper-author assignments, then create
+  // author nodes with validity from their earliest paper.
+  struct PaperPlan {
+    TimePoint year;
+    int32_t venue;
+    std::vector<int32_t> authors;
+    std::string title;
+  };
+  std::vector<PaperPlan> plans(static_cast<size_t>(params.num_papers));
+  std::vector<TimePoint> author_first(static_cast<size_t>(params.num_authors),
+                                      last);
+  for (int32_t p = 0; p < params.num_papers; ++p) {
+    PaperPlan& plan = plans[static_cast<size_t>(p)];
+    plan.venue = static_cast<int32_t>(rng.Zipf(
+        static_cast<uint64_t>(params.num_venues), params.zipf_exponent));
+    const TimePoint venue_born = venue_start[static_cast<size_t>(plan.venue)];
+    plan.year = std::max(SampleYear(&rng, horizon), venue_born);
+    const int32_t num_authors = static_cast<int32_t>(
+        rng.UniformInt(params.authors_per_paper_min,
+                       params.authors_per_paper_max));
+    std::unordered_set<int32_t> chosen;
+    while (static_cast<int32_t>(chosen.size()) < num_authors) {
+      chosen.insert(static_cast<int32_t>(rng.Zipf(
+          static_cast<uint64_t>(params.num_authors), params.zipf_exponent)));
+    }
+    plan.authors.assign(chosen.begin(), chosen.end());
+    std::sort(plan.authors.begin(), plan.authors.end());
+    for (const int32_t a : plan.authors) {
+      author_first[static_cast<size_t>(a)] =
+          std::min(author_first[static_cast<size_t>(a)], plan.year);
+    }
+    const int32_t words = static_cast<int32_t>(rng.UniformInt(
+        params.title_words_min, params.title_words_max));
+    plan.title = "paper";
+    for (int32_t w = 0; w < words; ++w) {
+      plan.title += ' ';
+      plan.title += out.vocabulary[rng.Zipf(
+          static_cast<uint64_t>(params.vocab_size), params.zipf_exponent)];
+    }
+  }
+
+  // Zipf sampling can starve tail authors entirely; real DBLP has no
+  // paperless authors, and they would be unreachable islands. Attach each
+  // starved author to a random paper.
+  {
+    std::vector<int32_t> paper_count(static_cast<size_t>(params.num_authors),
+                                     0);
+    for (const PaperPlan& plan : plans) {
+      for (const int32_t a : plan.authors) {
+        ++paper_count[static_cast<size_t>(a)];
+      }
+    }
+    for (int32_t a = 0; a < params.num_authors; ++a) {
+      if (paper_count[static_cast<size_t>(a)] > 0) continue;
+      PaperPlan& plan = plans[rng.Uniform(plans.size())];
+      plan.authors.push_back(a);
+      author_first[static_cast<size_t>(a)] =
+          std::min(author_first[static_cast<size_t>(a)], plan.year);
+    }
+  }
+
+  for (int32_t a = 0; a < params.num_authors; ++a) {
+    const TimePoint start = author_first[static_cast<size_t>(a)];
+    out.authors.push_back(
+        b.AddNode("author " + MakeWord(2000000 + a) + " " +
+                      MakeWord(3000000 + a),
+                  IntervalSet(Interval(start, last))));
+  }
+
+  // Papers, authorship edges (bidirectional: BANKS-style search wants to
+  // walk from authors to papers and back), and citations to older papers.
+  for (int32_t p = 0; p < params.num_papers; ++p) {
+    const PaperPlan& plan = plans[static_cast<size_t>(p)];
+    const IntervalSet life(Interval(plan.year, last));
+    const NodeId paper = b.AddNode(plan.title, life);
+    out.papers.push_back(paper);
+    b.AddEdge(out.venues[static_cast<size_t>(plan.venue)], paper, life);
+    for (const int32_t a : plan.authors) {
+      b.AddEdge(paper, out.authors[static_cast<size_t>(a)], life);
+      b.AddEdge(out.authors[static_cast<size_t>(a)], paper, life);
+    }
+    // Citations reference already-generated (hence older-or-equal) papers.
+    if (p > 0) {
+      const double expected = params.citations_per_paper;
+      int32_t cites = static_cast<int32_t>(expected);
+      if (rng.UniformDouble() < expected - cites) ++cites;
+      for (int32_t c = 0; c < cites; ++c) {
+        const int32_t target = static_cast<int32_t>(rng.Uniform(
+            static_cast<uint64_t>(p)));
+        if (plans[static_cast<size_t>(target)].year > plan.year) continue;
+        b.AddEdge(paper, out.papers[static_cast<size_t>(target)], life);
+      }
+    }
+  }
+
+  auto built = b.Build();
+  if (!built.ok()) return built.status();
+  out.graph = std::move(built).value();
+  return out;
+}
+
+}  // namespace tgks::datagen

@@ -1,0 +1,118 @@
+#include "datagen/query_generator.h"
+
+#include <algorithm>
+
+namespace tgks::datagen {
+
+using graph::NodeId;
+using search::PredicateExpr;
+using search::PredicateOp;
+using temporal::TimePoint;
+
+namespace {
+
+/// Random predicate of the requested operator with arguments placed in the
+/// middle 80% of the timeline (so clipping predicates actually clip).
+std::shared_ptr<const PredicateExpr> MakePredicate(Rng* rng, PredicateOp op,
+                                                   TimePoint horizon) {
+  const TimePoint lo = horizon / 10;
+  const TimePoint hi = horizon - 1 - horizon / 10;
+  const TimePoint a =
+      static_cast<TimePoint>(rng->UniformInt(lo, std::max(lo, hi)));
+  switch (op) {
+    case PredicateOp::kPrecedes:
+    case PredicateOp::kFollows:
+    case PredicateOp::kMeets:
+      return PredicateExpr::Atom(op, a);
+    case PredicateOp::kOverlaps:
+    case PredicateOp::kContains:
+    case PredicateOp::kContainedBy: {
+      // Window length: small for CONTAINS (else nothing qualifies), larger
+      // for CONTAINED BY (else everything is rejected).
+      const TimePoint max_len =
+          op == PredicateOp::kContains
+              ? std::max<TimePoint>(2, horizon / 10)
+              : std::max<TimePoint>(4, horizon / 2);
+      const TimePoint len =
+          static_cast<TimePoint>(1 + rng->Uniform(
+                                         static_cast<uint64_t>(max_len)));
+      TimePoint b =
+          std::min<TimePoint>(static_cast<TimePoint>(a + len), horizon - 1);
+      // On append-only archives every result is valid through the final
+      // instant, so a CONTAINED BY window that stops earlier is
+      // unsatisfiable; half the windows therefore reach "now".
+      if (op == PredicateOp::kContainedBy && rng->Bernoulli(0.5)) {
+        b = horizon - 1;
+      }
+      return PredicateExpr::Atom(op, a, b);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<WorkloadQuery> MakeDblpWorkload(
+    const DblpDataset& dataset, const QueryWorkloadParams& params) {
+  Rng rng(params.seed);
+  const TimePoint horizon = dataset.graph.timeline_length();
+  static constexpr const char* kTypeWords[] = {"paper", "author", "venue"};
+  std::vector<WorkloadQuery> out;
+  out.reserve(static_cast<size_t>(params.num_queries));
+  for (int32_t i = 0; i < params.num_queries; ++i) {
+    WorkloadQuery wq;
+    const int32_t m = static_cast<int32_t>(
+        rng.UniformInt(params.keywords_min, params.keywords_max));
+    // At least one value keyword; others are values or (rarely) type words.
+    for (int32_t k = 0; k < m; ++k) {
+      if (k > 0 && rng.Bernoulli(0.15)) {
+        wq.query.keywords.emplace_back(
+            kTypeWords[rng.Uniform(std::size(kTypeWords))]);
+      } else {
+        wq.query.keywords.push_back(dataset.vocabulary[rng.Zipf(
+            dataset.vocabulary.size(), /*s=*/1.0)]);
+      }
+    }
+    if (params.predicate.has_value()) {
+      wq.query.predicate = MakePredicate(&rng, *params.predicate, horizon);
+    }
+    wq.query.ranking = params.ranking;
+    out.push_back(std::move(wq));
+  }
+  return out;
+}
+
+std::vector<WorkloadQuery> MakeMatchSetWorkload(
+    const graph::TemporalGraph& graph, const QueryWorkloadParams& params,
+    const MatchSetParams& match_params) {
+  Rng rng(params.seed);
+  const TimePoint horizon = graph.timeline_length();
+  const int64_t n = graph.num_nodes();
+  std::vector<WorkloadQuery> out;
+  out.reserve(static_cast<size_t>(params.num_queries));
+  for (int32_t i = 0; i < params.num_queries; ++i) {
+    WorkloadQuery wq;
+    const int32_t m = static_cast<int32_t>(
+        rng.UniformInt(params.keywords_min, params.keywords_max));
+    for (int32_t k = 0; k < m; ++k) {
+      wq.query.keywords.push_back("kw" + std::to_string(k));
+      const int64_t want = rng.UniformInt(
+          std::min<int64_t>(match_params.matches_min, n),
+          std::min<int64_t>(match_params.matches_max, n));
+      std::vector<NodeId> matches;
+      for (const uint64_t v : rng.SampleWithoutReplacement(
+               static_cast<uint64_t>(n), static_cast<uint64_t>(want))) {
+        matches.push_back(static_cast<NodeId>(v));
+      }
+      wq.matches.push_back(std::move(matches));
+    }
+    if (params.predicate.has_value()) {
+      wq.query.predicate = MakePredicate(&rng, *params.predicate, horizon);
+    }
+    wq.query.ranking = params.ranking;
+    out.push_back(std::move(wq));
+  }
+  return out;
+}
+
+}  // namespace tgks::datagen

@@ -1,0 +1,57 @@
+// Query workload generation (§6.1 protocol).
+//
+// DBLP workload: 100 random queries of 2-4 keywords, at least one drawn
+// from node values (the title vocabulary), the rest from values or tag-like
+// type words. Network workload: per keyword, a random match set of 200-5000
+// nodes (scaled), since that dataset carries no text. Predicate workloads
+// attach one random predicate of a chosen operator.
+
+#ifndef TGKS_DATAGEN_QUERY_GENERATOR_H_
+#define TGKS_DATAGEN_QUERY_GENERATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/dblp_generator.h"
+#include "graph/temporal_graph.h"
+#include "search/query.h"
+
+namespace tgks::datagen {
+
+/// One benchmark query: the Query plus (for match-set workloads) explicit
+/// per-keyword match lists.
+struct WorkloadQuery {
+  search::Query query;
+  /// Empty when keywords resolve through the inverted index.
+  std::vector<std::vector<graph::NodeId>> matches;
+};
+
+struct QueryWorkloadParams {
+  int32_t num_queries = 100;
+  int32_t keywords_min = 2;
+  int32_t keywords_max = 4;
+  /// Predicate attached to every query; nullopt = none.
+  std::optional<search::PredicateOp> predicate;
+  search::RankingSpec ranking;
+  uint64_t seed = 1234;
+};
+
+/// DBLP workload: keywords sampled from the generated vocabulary (Zipf) and
+/// occasionally the type words "paper"/"author"/"venue".
+std::vector<WorkloadQuery> MakeDblpWorkload(const DblpDataset& dataset,
+                                            const QueryWorkloadParams& params);
+
+struct MatchSetParams {
+  int32_t matches_min = 200;
+  int32_t matches_max = 5000;
+};
+
+/// Network workload: random match sets per keyword (uniform over nodes).
+std::vector<WorkloadQuery> MakeMatchSetWorkload(
+    const graph::TemporalGraph& graph, const QueryWorkloadParams& params,
+    const MatchSetParams& match_params);
+
+}  // namespace tgks::datagen
+
+#endif  // TGKS_DATAGEN_QUERY_GENERATOR_H_

@@ -1,0 +1,65 @@
+#include "datagen/replicate.h"
+
+#include "graph/graph_builder.h"
+
+namespace tgks::datagen {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+Result<graph::TemporalGraph> ReplicateGraph(const graph::TemporalGraph& graph,
+                                            int32_t copies,
+                                            int32_t bridge_edges, Rng* rng) {
+  if (copies <= 0) {
+    return Status::InvalidArgument("copies must be positive");
+  }
+  if (copies == 1 && bridge_edges > 0) {
+    return Status::InvalidArgument("bridges need at least two copies");
+  }
+  GraphBuilder b(graph.timeline_length(), graph::ValidityPolicy::kStrict);
+  const NodeId stride = graph.num_nodes();
+  for (int32_t c = 0; c < copies; ++c) {
+    for (NodeId n = 0; n < stride; ++n) {
+      const graph::Node& node = graph.node(n);
+      b.AddNode(node.label, node.validity, node.weight);
+    }
+  }
+  for (int32_t c = 0; c < copies; ++c) {
+    const NodeId offset = c * stride;
+    for (graph::EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const graph::Edge& edge = graph.edge(e);
+      b.AddEdge(edge.src + offset, edge.dst + offset, edge.validity,
+                edge.weight);
+    }
+  }
+  int32_t added = 0;
+  int64_t attempts = 0;
+  const int64_t max_attempts = static_cast<int64_t>(bridge_edges) * 1000 + 1;
+  while (added < bridge_edges && attempts < max_attempts) {
+    ++attempts;
+    const int32_t c1 = static_cast<int32_t>(rng->Uniform(
+        static_cast<uint64_t>(copies)));
+    int32_t c2 = static_cast<int32_t>(rng->Uniform(
+        static_cast<uint64_t>(copies)));
+    if (c1 == c2) continue;
+    const NodeId u = static_cast<NodeId>(rng->Uniform(
+                         static_cast<uint64_t>(stride))) +
+                     c1 * stride;
+    const NodeId v = static_cast<NodeId>(rng->Uniform(
+                         static_cast<uint64_t>(stride))) +
+                     c2 * stride;
+    if (!graph.node(u % stride).validity.Overlaps(
+            graph.node(v % stride).validity)) {
+      continue;  // Resample until the bridge can be valid somewhere.
+    }
+    b.AddEdge(u, v);  // Validity defaults to the endpoint intersection.
+    b.AddEdge(v, u);
+    ++added;
+  }
+  if (added < bridge_edges) {
+    return Status::Internal("could not place the requested bridge edges");
+  }
+  return b.Build();
+}
+
+}  // namespace tgks::datagen

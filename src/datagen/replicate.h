@@ -1,0 +1,26 @@
+// Dataset replication for the Fig.-11b scaling experiment: "we repeat the
+// Network data 1-5 times, and randomly add 100 edges among different
+// duplications".
+
+#ifndef TGKS_DATAGEN_REPLICATE_H_
+#define TGKS_DATAGEN_REPLICATE_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/temporal_graph.h"
+
+namespace tgks::datagen {
+
+/// Concatenates `copies` disjoint copies of `graph` and adds `bridge_edges`
+/// random edges between distinct copies (endpoints resampled until their
+/// validities overlap; edge validity is the endpoint intersection).
+/// copies == 1 with bridge_edges == 0 returns a plain copy.
+Result<graph::TemporalGraph> ReplicateGraph(const graph::TemporalGraph& graph,
+                                            int32_t copies,
+                                            int32_t bridge_edges, Rng* rng);
+
+}  // namespace tgks::datagen
+
+#endif  // TGKS_DATAGEN_REPLICATE_H_

@@ -1,0 +1,158 @@
+#include "datagen/social_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+
+namespace tgks::datagen {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+namespace {
+
+/// Preferential-attachment topology: each new node links to
+/// `edges_per_node` targets drawn from the endpoint multiset (plus one
+/// uniform fallback), giving the heavy-tailed degrees of real social graphs.
+std::vector<std::pair<NodeId, NodeId>> MakeTopology(Rng* rng,
+                                                    int32_t num_nodes,
+                                                    int32_t edges_per_node) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<NodeId> endpoints;  // Degree-biased sampling pool.
+  edges.reserve(static_cast<size_t>(num_nodes) * edges_per_node);
+  for (NodeId n = 1; n < num_nodes; ++n) {
+    const int32_t links = std::min<int32_t>(edges_per_node, n);
+    for (int32_t l = 0; l < links; ++l) {
+      NodeId target;
+      if (!endpoints.empty() && rng->Bernoulli(0.8)) {
+        target = endpoints[rng->Uniform(endpoints.size())];
+      } else {
+        target = static_cast<NodeId>(rng->Uniform(static_cast<uint64_t>(n)));
+      }
+      if (target == n) continue;
+      edges.emplace_back(n, target);
+      endpoints.push_back(n);
+      endpoints.push_back(target);
+    }
+  }
+  return edges;
+}
+
+/// Samples one edge's interval set: 1..max_fragments intervals with total
+/// length ~ length_budget instants, scattered over the timeline.
+IntervalSet SampleEdgeValidity(Rng* rng, TimePoint horizon,
+                               double length_budget, int32_t max_fragments) {
+  const int32_t fragments =
+      1 + static_cast<int32_t>(rng->Uniform(
+              static_cast<uint64_t>(std::max(1, max_fragments))));
+  std::vector<Interval> intervals;
+  for (int32_t f = 0; f < fragments; ++f) {
+    const double share = length_budget / fragments;
+    int32_t len = std::max<int32_t>(1, static_cast<int32_t>(share + 0.5));
+    if (len > horizon) len = horizon;
+    const TimePoint start = static_cast<TimePoint>(
+        rng->Uniform(static_cast<uint64_t>(horizon - len + 1)));
+    intervals.emplace_back(start, start + len - 1);
+  }
+  return IntervalSet(std::move(intervals));
+}
+
+/// Builds the temporal graph for a given per-edge length budget.
+Result<SocialDataset> BuildWithBudget(
+    const SocialParams& params,
+    const std::vector<std::pair<NodeId, NodeId>>& topology,
+    double length_budget, uint64_t temporal_seed) {
+  Rng rng(temporal_seed);
+  const TimePoint horizon = params.timeline_length;
+  // First sample edge validities, derive node validity as their union.
+  std::vector<IntervalSet> edge_validity;
+  edge_validity.reserve(topology.size());
+  std::vector<IntervalSet> node_validity(
+      static_cast<size_t>(params.num_nodes));
+  for (const auto& [u, v] : topology) {
+    IntervalSet validity = SampleEdgeValidity(
+        &rng, horizon, length_budget, params.max_intervals_per_edge);
+    node_validity[static_cast<size_t>(u)] =
+        node_validity[static_cast<size_t>(u)].Union(validity);
+    node_validity[static_cast<size_t>(v)] =
+        node_validity[static_cast<size_t>(v)].Union(validity);
+    edge_validity.push_back(std::move(validity));
+  }
+  GraphBuilder b(horizon, graph::ValidityPolicy::kStrict);
+  for (NodeId n = 0; n < params.num_nodes; ++n) {
+    IntervalSet validity = node_validity[static_cast<size_t>(n)];
+    if (validity.IsEmpty()) {
+      // Isolated node: give it a token single instant so it exists.
+      validity = IntervalSet::Point(
+          static_cast<TimePoint>(rng.Uniform(static_cast<uint64_t>(horizon))));
+    }
+    b.AddNode("user " + std::to_string(n), std::move(validity));
+  }
+  for (size_t e = 0; e < topology.size(); ++e) {
+    // Interactions are symmetric; keep both directions traversable.
+    b.AddEdge(topology[e].first, topology[e].second, edge_validity[e]);
+    b.AddEdge(topology[e].second, topology[e].first, edge_validity[e]);
+  }
+  auto built = b.Build();
+  if (!built.ok()) return built.status();
+  SocialDataset out;
+  out.graph = std::move(built).value();
+  Rng measure_rng(temporal_seed ^ 0xABCDEF);
+  out.measured_connectivity =
+      graph::MeasureEdgeConnectivity(out.graph, &measure_rng, 20000);
+  return out;
+}
+
+}  // namespace
+
+Result<SocialDataset> GenerateSocial(const SocialParams& params) {
+  if (params.num_nodes < 2 || params.edges_per_node <= 0) {
+    return Status::InvalidArgument("social generator sizes must be positive");
+  }
+  if (params.timeline_length <= 1) {
+    return Status::InvalidArgument("timeline must have at least 2 instants");
+  }
+  if (params.edge_connectivity <= 0.0 || params.edge_connectivity > 1.0) {
+    return Status::InvalidArgument("edge connectivity must be in (0, 1]");
+  }
+  Rng rng(params.seed);
+  const auto topology =
+      MakeTopology(&rng, params.num_nodes, params.edges_per_node);
+  if (topology.empty()) {
+    return Status::InvalidArgument("topology has no edges");
+  }
+
+  // Calibrate the per-edge validity length by bisection: longer validities
+  // raise the chance that adjacent edges share an instant.
+  double lo = 1.0;
+  double hi = static_cast<double>(params.timeline_length);
+  Result<SocialDataset> best = Status::Internal("calibration never ran");
+  double best_gap = 2.0;
+  for (int iter = 0; iter < 12; ++iter) {
+    const double budget = (lo + hi) / 2.0;
+    auto attempt = BuildWithBudget(params, topology, budget,
+                                   params.seed * 1000003ULL + 17);
+    if (!attempt.ok()) return attempt.status();
+    const double measured = attempt->measured_connectivity;
+    const double gap = std::abs(measured - params.edge_connectivity);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = std::move(attempt);
+    }
+    if (best_gap <= params.connectivity_tolerance) break;
+    if (measured < params.edge_connectivity) {
+      lo = budget;
+    } else {
+      hi = budget;
+    }
+  }
+  return best;
+}
+
+}  // namespace tgks::datagen

@@ -1,0 +1,204 @@
+#include "datagen/workflow_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace tgks::datagen {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+namespace {
+
+std::string MakeWord(uint32_t index) {
+  static constexpr char kConsonants[] = "bcdfgklmnprstvz";
+  static constexpr char kVowels[] = "aeiou";
+  std::string word;
+  uint32_t v = index * 2654435761u + 97;
+  for (int s = 0; s < 3; ++s) {
+    word.push_back(kConsonants[v % (sizeof(kConsonants) - 1)]);
+    v /= sizeof(kConsonants) - 1;
+    word.push_back(kVowels[v % (sizeof(kVowels) - 1)]);
+    v /= sizeof(kVowels) - 1;
+    v = v * 2654435761u + index;
+  }
+  return word;
+}
+
+std::string MakeName(Rng* rng, const std::vector<std::string>& vocabulary) {
+  std::string name = vocabulary[rng->Zipf(vocabulary.size(), 1.02)];
+  if (rng->Bernoulli(0.5)) {
+    name += ' ';
+    name += vocabulary[rng->Zipf(vocabulary.size(), 1.02)];
+  }
+  return name;
+}
+
+/// Everything about one workflow, planned before any node is created so
+/// that reused tasks get their full validity up front.
+struct WorkflowPlan {
+  TimePoint created;
+  std::vector<Interval> version_spans;
+  struct TaskPlan {
+    std::string name;
+    std::vector<int32_t> versions;  ///< Ascending version indexes using it.
+    std::vector<int32_t> entities;  ///< Entity indexes wired at creation.
+  };
+  std::vector<TaskPlan> task_plans;
+};
+
+}  // namespace
+
+Result<WorkflowDataset> GenerateWorkflows(const WorkflowParams& params) {
+  if (params.num_workflows <= 0 || params.num_entities <= 0 ||
+      params.vocab_size <= 0) {
+    return Status::InvalidArgument("workflow generator sizes must be positive");
+  }
+  if (params.timeline_length < 4) {
+    return Status::InvalidArgument("timeline too short for versioning");
+  }
+  if (params.versions_min <= 0 || params.versions_max < params.versions_min ||
+      params.tasks_per_version_min <= 0 ||
+      params.tasks_per_version_max < params.tasks_per_version_min) {
+    return Status::InvalidArgument("malformed workflow range parameters");
+  }
+
+  Rng rng(params.seed);
+  const TimePoint horizon = params.timeline_length;
+  const TimePoint last = horizon - 1;
+  WorkflowDataset out;
+  out.vocabulary.reserve(static_cast<size_t>(params.vocab_size));
+  for (int32_t i = 0; i < params.vocab_size; ++i) {
+    out.vocabulary.push_back(MakeWord(static_cast<uint32_t>(i)));
+  }
+
+  // Phase 1: plan every workflow (version spans, task lifetimes).
+  std::vector<WorkflowPlan> plans;
+  std::vector<TimePoint> entity_discovered(
+      static_cast<size_t>(params.num_entities));
+  for (auto& t : entity_discovered) {
+    t = static_cast<TimePoint>(rng.Uniform(static_cast<uint64_t>(horizon / 2)));
+  }
+  for (int32_t w = 0; w < params.num_workflows; ++w) {
+    WorkflowPlan plan;
+    plan.created = static_cast<TimePoint>(
+        rng.Uniform(static_cast<uint64_t>(horizon / 2)));
+    const int32_t versions = static_cast<int32_t>(
+        rng.UniformInt(params.versions_min, params.versions_max));
+    std::vector<TimePoint> boundaries = {plan.created};
+    for (int32_t v = 1; v < versions; ++v) {
+      boundaries.push_back(
+          static_cast<TimePoint>(rng.UniformInt(plan.created + 1, last)));
+    }
+    boundaries.push_back(static_cast<TimePoint>(last + 1));
+    std::sort(boundaries.begin(), boundaries.end());
+    for (size_t v = 0; v + 1 < boundaries.size(); ++v) {
+      const TimePoint from = boundaries[v];
+      const TimePoint to = static_cast<TimePoint>(boundaries[v + 1] - 1);
+      if (from <= to) plan.version_spans.emplace_back(from, to);
+    }
+
+    // Task lifecycles: carried tasks survive to the next version with
+    // probability task_retention; dropped tasks are retired for good
+    // (their validity becomes a strict prefix of the workflow's — the
+    // deletions that distinguish this dataset).
+    std::vector<int32_t> live;  // Indexes into plan.task_plans.
+    for (int32_t v = 0; v < static_cast<int32_t>(plan.version_spans.size());
+         ++v) {
+      std::vector<int32_t> survivors;
+      for (const int32_t task : live) {
+        if (rng.Bernoulli(params.task_retention)) {
+          plan.task_plans[static_cast<size_t>(task)].versions.push_back(v);
+          survivors.push_back(task);
+        }
+      }
+      const int32_t want = static_cast<int32_t>(rng.UniformInt(
+          params.tasks_per_version_min, params.tasks_per_version_max));
+      while (static_cast<int32_t>(survivors.size()) < want) {
+        WorkflowPlan::TaskPlan task;
+        task.name = "task " + MakeName(&rng, out.vocabulary);
+        task.versions.push_back(v);
+        double expected = params.entities_per_task;
+        while (expected >= 1 || (expected > 0 && rng.UniformDouble() < expected)) {
+          task.entities.push_back(static_cast<int32_t>(
+              rng.Uniform(static_cast<uint64_t>(params.num_entities))));
+          expected -= 1;
+        }
+        plan.task_plans.push_back(std::move(task));
+        survivors.push_back(static_cast<int32_t>(plan.task_plans.size()) - 1);
+      }
+      live = std::move(survivors);
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Phase 2: build the graph with full validities known.
+  GraphBuilder b(horizon, graph::ValidityPolicy::kStrict);
+  for (int32_t i = 0; i < params.num_entities; ++i) {
+    out.entities.push_back(b.AddNode(
+        "entity " + MakeName(&rng, out.vocabulary),
+        IntervalSet(Interval(entity_discovered[static_cast<size_t>(i)], last))));
+  }
+  auto both = [&b](NodeId u, NodeId v, const IntervalSet& when) {
+    b.AddEdge(u, v, when);
+    b.AddEdge(v, u, when);
+  };
+  for (const WorkflowPlan& plan : plans) {
+    const NodeId workflow =
+        b.AddNode("workflow " + MakeName(&rng, out.vocabulary),
+                  IntervalSet(Interval(plan.created, last)));
+    out.workflows.push_back(workflow);
+    std::vector<NodeId> version_nodes;
+    for (size_t v = 0; v < plan.version_spans.size(); ++v) {
+      const IntervalSet span(plan.version_spans[v]);
+      const NodeId sub =
+          b.AddNode("subworkflow " + MakeName(&rng, out.vocabulary) + " v" +
+                        std::to_string(v + 1),
+                    span);
+      out.subworkflows.push_back(sub);
+      version_nodes.push_back(sub);
+      both(workflow, sub, span);
+    }
+    for (const auto& task_plan : plan.task_plans) {
+      // Carried tasks use consecutive versions; their validity is the union
+      // of the spans (a single interval by construction).
+      std::vector<Interval> spans;
+      for (const int32_t v : task_plan.versions) {
+        spans.push_back(plan.version_spans[static_cast<size_t>(v)]);
+      }
+      const IntervalSet task_validity{std::vector<Interval>(spans)};
+      const NodeId task = b.AddNode(task_plan.name, task_validity);
+      out.tasks.push_back(task);
+      for (const int32_t v : task_plan.versions) {
+        both(version_nodes[static_cast<size_t>(v)], task,
+             IntervalSet(plan.version_spans[static_cast<size_t>(v)]));
+      }
+      const Interval first_span =
+          plan.version_spans[static_cast<size_t>(task_plan.versions.front())];
+      for (const int32_t entity : task_plan.entities) {
+        // The relationship is "discovered" when the task first runs; it can
+        // only exist while both sides do.
+        const TimePoint discovered = std::max(
+            first_span.start, entity_discovered[static_cast<size_t>(entity)]);
+        const IntervalSet relation =
+            task_validity.Intersect(IntervalSet(Interval(discovered, last)))
+                .Intersect(IntervalSet(Interval(
+                    entity_discovered[static_cast<size_t>(entity)], last)));
+        if (relation.IsEmpty()) continue;
+        both(task, out.entities[static_cast<size_t>(entity)], relation);
+      }
+    }
+  }
+
+  auto built = b.Build();
+  if (!built.ok()) return built.status();
+  out.graph = std::move(built).value();
+  return out;
+}
+
+}  // namespace tgks::datagen

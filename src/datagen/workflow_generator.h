@@ -1,0 +1,60 @@
+// Synthetic workflow-provenance temporal graph — the third application
+// domain of the paper's introduction (VisTrails-style archives, Q7-Q9).
+//
+// Character, deliberately different from both other generators:
+//
+//  * *versioned*: each workflow is a sequence of versions; a new version
+//    retires its predecessor's subworkflow at a version boundary, so
+//    deletions are the norm (nothing like DBLP's append-only validity);
+//  * *task reuse*: tasks persist across versions or are dropped and later
+//    revived, producing gappy multi-interval validity;
+//  * long-lived entities (proteins, datasets) hang off tasks, giving Q7-like
+//    "relationship discovered at t" edges.
+//
+// Labels carry type words ("workflow", "subworkflow", "task", "entity")
+// plus names from a vocabulary, so tag and value keywords both work.
+
+#ifndef TGKS_DATAGEN_WORKFLOW_GENERATOR_H_
+#define TGKS_DATAGEN_WORKFLOW_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/temporal_graph.h"
+
+namespace tgks::datagen {
+
+struct WorkflowParams {
+  int32_t num_workflows = 200;
+  int32_t versions_min = 2;
+  int32_t versions_max = 6;
+  int32_t tasks_per_version_min = 3;
+  int32_t tasks_per_version_max = 8;
+  /// Probability that a version keeps a given task of its predecessor.
+  double task_retention = 0.6;
+  /// Entities shared across the archive.
+  int32_t num_entities = 400;
+  double entities_per_task = 1.2;
+  int32_t vocab_size = 800;
+  temporal::TimePoint timeline_length = 60;
+  uint64_t seed = 77;
+};
+
+struct WorkflowDataset {
+  graph::TemporalGraph graph;
+  std::vector<graph::NodeId> workflows;
+  std::vector<graph::NodeId> subworkflows;  ///< One per version.
+  std::vector<graph::NodeId> tasks;
+  std::vector<graph::NodeId> entities;
+  std::vector<std::string> vocabulary;
+};
+
+/// Generates a provenance archive; deterministic in `params.seed`.
+Result<WorkflowDataset> GenerateWorkflows(const WorkflowParams& params);
+
+}  // namespace tgks::datagen
+
+#endif  // TGKS_DATAGEN_WORKFLOW_GENERATOR_H_

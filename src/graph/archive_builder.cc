@@ -1,0 +1,134 @@
+#include "graph/archive_builder.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+
+namespace tgks::graph {
+
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+NodeId ArchiveBuilder::DeclareNode(std::string label, double weight) {
+  nodes_.push_back(NodeDecl{std::move(label), weight, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+EdgeId ArchiveBuilder::DeclareEdge(NodeId src, NodeId dst, double weight) {
+  edges_.push_back(EdgeDecl{src, dst, weight, {}});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+Status ArchiveBuilder::AddEvent(Lifecycle* life, TimePoint t, bool appears) {
+  if (t < 0) return Status::InvalidArgument("event before the timeline");
+  life->events.emplace_back(t, appears);
+  return Status::OK();
+}
+
+Status ArchiveBuilder::NodeAppears(NodeId node, TimePoint t) {
+  if (node < 0 || node >= num_nodes()) {
+    return Status::InvalidArgument("undeclared node");
+  }
+  return AddEvent(&nodes_[static_cast<size_t>(node)].life, t, true);
+}
+
+Status ArchiveBuilder::NodeDisappears(NodeId node, TimePoint t) {
+  if (node < 0 || node >= num_nodes()) {
+    return Status::InvalidArgument("undeclared node");
+  }
+  return AddEvent(&nodes_[static_cast<size_t>(node)].life, t, false);
+}
+
+Status ArchiveBuilder::EdgeAppears(EdgeId edge, TimePoint t) {
+  if (edge < 0 || edge >= num_edges()) {
+    return Status::InvalidArgument("undeclared edge");
+  }
+  return AddEvent(&edges_[static_cast<size_t>(edge)].life, t, true);
+}
+
+Status ArchiveBuilder::EdgeDisappears(EdgeId edge, TimePoint t) {
+  if (edge < 0 || edge >= num_edges()) {
+    return Status::InvalidArgument("undeclared edge");
+  }
+  return AddEvent(&edges_[static_cast<size_t>(edge)].life, t, false);
+}
+
+Result<IntervalSet> ArchiveBuilder::FoldEvents(const Lifecycle& life,
+                                               TimePoint timeline_length,
+                                               const std::string& what) {
+  // Sort by instant; a disappearance and an appearance at the same instant
+  // order disappearance first ("replaced at t" = old dies at t, new lives
+  // from t), which for a single element means seamless continuation is
+  // expressed as no event at all.
+  std::vector<std::pair<TimePoint, bool>> events = life.events;
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second < b.second;  // false (disappear) first.
+            });
+  std::vector<Interval> intervals;
+  TimePoint open_since = temporal::kNoTimePoint;
+  for (const auto& [t, appears] : events) {
+    if (t >= timeline_length) {
+      return Status::InvalidArgument(what + ": event at " + std::to_string(t) +
+                                     " beyond the timeline");
+    }
+    if (appears) {
+      if (open_since != temporal::kNoTimePoint) {
+        return Status::InvalidArgument(what + ": appears at " +
+                                       std::to_string(t) +
+                                       " while already alive");
+      }
+      open_since = t;
+    } else {
+      if (open_since == temporal::kNoTimePoint) {
+        return Status::InvalidArgument(what + ": disappears at " +
+                                       std::to_string(t) +
+                                       " while not alive");
+      }
+      if (t <= open_since) {
+        return Status::InvalidArgument(what + ": empty lifetime at " +
+                                       std::to_string(t));
+      }
+      intervals.emplace_back(open_since, t - 1);
+      open_since = temporal::kNoTimePoint;
+    }
+  }
+  if (open_since != temporal::kNoTimePoint) {
+    // Still alive: the paper's "valid until now" convention.
+    intervals.emplace_back(open_since, timeline_length - 1);
+  }
+  if (intervals.empty()) {
+    return Status::InvalidArgument(what + ": never appears");
+  }
+  return IntervalSet(std::move(intervals));
+}
+
+Result<TemporalGraph> ArchiveBuilder::Build(TimePoint timeline_length) const {
+  if (timeline_length <= 0) {
+    return Status::InvalidArgument("timeline must be positive");
+  }
+  GraphBuilder builder(timeline_length, ValidityPolicy::kStrict);
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    std::ostringstream what;
+    what << "node " << n << " (" << nodes_[n].label << ")";
+    auto validity = FoldEvents(nodes_[n].life, timeline_length, what.str());
+    if (!validity.ok()) return validity.status();
+    builder.AddNode(nodes_[n].label, std::move(validity).value(),
+                    nodes_[n].weight);
+  }
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    std::ostringstream what;
+    what << "edge " << e;
+    auto validity = FoldEvents(edges_[e].life, timeline_length, what.str());
+    if (!validity.ok()) return validity.status();
+    builder.AddEdge(edges_[e].src, edges_[e].dst, std::move(validity).value(),
+                    edges_[e].weight);
+  }
+  // GraphBuilder (strict) rejects edges alive outside their endpoints.
+  return builder.Build();
+}
+
+}  // namespace tgks::graph

@@ -1,0 +1,133 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace tgks::graph {
+
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+GraphBuilder::GraphBuilder(TimePoint timeline_length, ValidityPolicy policy)
+    : timeline_length_(timeline_length), policy_(policy) {}
+
+NodeId GraphBuilder::AddNode(std::string label, IntervalSet validity,
+                             double weight) {
+  Node node;
+  node.label = std::move(label);
+  node.weight = weight;
+  node.validity =
+      validity.Intersect(IntervalSet(Interval(0, timeline_length_ - 1)));
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId GraphBuilder::AddNode(std::string label, double weight) {
+  return AddNode(std::move(label), IntervalSet::All(timeline_length_), weight);
+}
+
+void GraphBuilder::AddEdge(NodeId src, NodeId dst, IntervalSet validity,
+                           double weight) {
+  Edge edge;
+  edge.src = src;
+  edge.dst = dst;
+  edge.weight = weight;
+  edge.validity = std::move(validity);
+  edges_.push_back(std::move(edge));
+  edge_validity_defaulted_.push_back(false);
+}
+
+void GraphBuilder::AddEdge(NodeId src, NodeId dst, double weight) {
+  Edge edge;
+  edge.src = src;
+  edge.dst = dst;
+  edge.weight = weight;
+  edges_.push_back(std::move(edge));
+  edge_validity_defaulted_.push_back(true);
+}
+
+Result<TemporalGraph> GraphBuilder::Build() {
+  if (timeline_length_ <= 0 ||
+      timeline_length_ > temporal::kMaxTimelineLength) {
+    return Status::InvalidArgument("timeline length out of range");
+  }
+  const NodeId n = num_nodes();
+  for (EdgeId e = 0; e < static_cast<EdgeId>(edges_.size()); ++e) {
+    Edge& edge = edges_[static_cast<size_t>(e)];
+    if (edge.src < 0 || edge.src >= n || edge.dst < 0 || edge.dst >= n) {
+      std::ostringstream msg;
+      msg << "edge " << e << " references missing node";
+      return Status::InvalidArgument(msg.str());
+    }
+    if (edge.weight < 0) {
+      std::ostringstream msg;
+      msg << "edge " << e << " has negative weight";
+      return Status::InvalidArgument(msg.str());
+    }
+    const IntervalSet endpoint_common =
+        nodes_[static_cast<size_t>(edge.src)].validity.Intersect(
+            nodes_[static_cast<size_t>(edge.dst)].validity);
+    if (edge_validity_defaulted_[static_cast<size_t>(e)]) {
+      edge.validity = endpoint_common;
+    } else if (!endpoint_common.Subsumes(edge.validity)) {
+      if (policy_ == ValidityPolicy::kStrict) {
+        std::ostringstream msg;
+        msg << "edge " << e << " (" << edge.src << "->" << edge.dst
+            << ") valid " << edge.validity.ToString()
+            << " outside endpoint validity " << endpoint_common.ToString();
+        return Status::InvalidArgument(msg.str());
+      }
+      edge.validity = edge.validity.Intersect(endpoint_common);
+    }
+    if (edge.validity.IsEmpty()) {
+      std::ostringstream msg;
+      msg << "edge " << e << " (" << edge.src << "->" << edge.dst
+          << ") is never valid";
+      return Status::InvalidArgument(msg.str());
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (nodes_[static_cast<size_t>(v)].weight < 0) {
+      std::ostringstream msg;
+      msg << "node " << v << " has negative weight";
+      return Status::InvalidArgument(msg.str());
+    }
+  }
+
+  TemporalGraph g;
+  g.timeline_length_ = timeline_length_;
+  g.nodes_ = std::move(nodes_);
+  g.edges_ = std::move(edges_);
+
+  // CSR in both directions via counting sort over endpoints.
+  const auto build_csr = [&](bool outgoing, std::vector<int64_t>* offsets,
+                             std::vector<EdgeId>* adjacency) {
+    offsets->assign(static_cast<size_t>(n) + 1, 0);
+    for (const Edge& edge : g.edges_) {
+      const NodeId key = outgoing ? edge.src : edge.dst;
+      ++(*offsets)[static_cast<size_t>(key) + 1];
+    }
+    for (size_t i = 1; i < offsets->size(); ++i) {
+      (*offsets)[i] += (*offsets)[i - 1];
+    }
+    adjacency->assign(g.edges_.size(), kInvalidEdge);
+    std::vector<int64_t> cursor(offsets->begin(), offsets->end() - 1);
+    for (EdgeId e = 0; e < static_cast<EdgeId>(g.edges_.size()); ++e) {
+      const NodeId key = outgoing ? g.edges_[static_cast<size_t>(e)].src
+                                  : g.edges_[static_cast<size_t>(e)].dst;
+      (*adjacency)[static_cast<size_t>(cursor[static_cast<size_t>(key)]++)] =
+          e;
+    }
+  };
+  build_csr(/*outgoing=*/true, &g.out_offsets_, &g.out_edges_);
+  build_csr(/*outgoing=*/false, &g.in_offsets_, &g.in_edges_);
+
+  nodes_.clear();
+  edges_.clear();
+  edge_validity_defaulted_.clear();
+  return g;
+}
+
+}  // namespace tgks::graph

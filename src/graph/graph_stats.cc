@@ -1,0 +1,65 @@
+#include "graph/graph_stats.h"
+
+#include <vector>
+
+namespace tgks::graph {
+
+double MeasureEdgeConnectivity(const TemporalGraph& graph, Rng* rng,
+                               int64_t samples) {
+  if (graph.num_edges() < 2) return 1.0;
+  int64_t tried = 0, connected = 0;
+  for (int64_t i = 0; i < samples; ++i) {
+    const EdgeId e = static_cast<EdgeId>(
+        rng->Uniform(static_cast<uint64_t>(graph.num_edges())));
+    // Pick a random edge adjacent to e through either endpoint.
+    const Edge& edge = graph.edge(e);
+    std::vector<EdgeId> neighbors;
+    for (const NodeId endpoint : {edge.src, edge.dst}) {
+      for (EdgeId other : graph.OutEdges(endpoint)) {
+        if (other != e) neighbors.push_back(other);
+      }
+      for (EdgeId other : graph.InEdges(endpoint)) {
+        if (other != e) neighbors.push_back(other);
+      }
+    }
+    if (neighbors.empty()) continue;
+    const EdgeId other = neighbors[rng->Uniform(neighbors.size())];
+    ++tried;
+    connected += graph.edge(e).validity.Overlaps(graph.edge(other).validity);
+  }
+  if (tried == 0) return 1.0;
+  return static_cast<double>(connected) / static_cast<double>(tried);
+}
+
+GraphStats ComputeGraphStats(const TemporalGraph& graph, Rng* rng,
+                             int64_t connectivity_samples) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  stats.timeline_length = graph.timeline_length();
+  int64_t node_intervals = 0;
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    node_intervals +=
+        static_cast<int64_t>(graph.node(n).validity.intervals().size());
+  }
+  int64_t edge_intervals = 0;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    edge_intervals +=
+        static_cast<int64_t>(graph.edge(e).validity.intervals().size());
+  }
+  if (graph.num_nodes() > 0) {
+    stats.avg_out_degree =
+        static_cast<double>(graph.num_edges()) / graph.num_nodes();
+    stats.avg_intervals_per_node =
+        static_cast<double>(node_intervals) / graph.num_nodes();
+  }
+  if (graph.num_edges() > 0) {
+    stats.avg_intervals_per_edge =
+        static_cast<double>(edge_intervals) / graph.num_edges();
+  }
+  stats.edge_connectivity =
+      MeasureEdgeConnectivity(graph, rng, connectivity_samples);
+  return stats;
+}
+
+}  // namespace tgks::graph

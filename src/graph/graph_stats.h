@@ -1,0 +1,37 @@
+// Dataset statistics used by the evaluation harness.
+
+#ifndef TGKS_GRAPH_GRAPH_STATS_H_
+#define TGKS_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "graph/temporal_graph.h"
+
+namespace tgks::graph {
+
+/// Summary statistics of a temporal graph.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+  temporal::TimePoint timeline_length = 0;
+  double avg_out_degree = 0.0;
+  double avg_intervals_per_node = 0.0;
+  double avg_intervals_per_edge = 0.0;
+  /// Measured adjacent-edge connectivity: probability that two edges sharing
+  /// a node also share a time instant (§6.1's "edge connectivity").
+  double edge_connectivity = 0.0;
+};
+
+/// Computes summary statistics. Edge connectivity is estimated from up to
+/// `connectivity_samples` random adjacent edge pairs.
+GraphStats ComputeGraphStats(const TemporalGraph& graph, Rng* rng,
+                             int64_t connectivity_samples = 20000);
+
+/// Estimates only the adjacent-edge connectivity.
+double MeasureEdgeConnectivity(const TemporalGraph& graph, Rng* rng,
+                               int64_t samples = 20000);
+
+}  // namespace tgks::graph
+
+#endif  // TGKS_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,27 @@
+#include "graph/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace tgks::graph {
+
+InvertedIndex::InvertedIndex(const TemporalGraph& graph) {
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    for (std::string& word : TokenizeWords(graph.node(n).label)) {
+      std::vector<NodeId>& posting = postings_[std::move(word)];
+      // Words can repeat within one label; postings stay deduplicated
+      // because node ids arrive in ascending order.
+      if (posting.empty() || posting.back() != n) posting.push_back(n);
+    }
+  }
+}
+
+std::span<const NodeId> InvertedIndex::Lookup(std::string_view keyword) const {
+  const std::string folded = AsciiToLower(keyword);
+  const auto it = postings_.find(folded);
+  if (it == postings_.end()) return {};
+  return it->second;
+}
+
+}  // namespace tgks::graph

@@ -1,0 +1,44 @@
+// InvertedIndex: keyword -> matching node ids.
+//
+// Query keywords match *words of node labels* (§2.1). Labels are tokenized
+// into lowercase alphanumeric words; each word's posting list holds the ids
+// of nodes whose label contains it.
+
+#ifndef TGKS_GRAPH_INVERTED_INDEX_H_
+#define TGKS_GRAPH_INVERTED_INDEX_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+
+namespace tgks::graph {
+
+/// Maps label words to sorted posting lists of node ids.
+class InvertedIndex {
+ public:
+  /// Builds the index over every node label of `graph`.
+  explicit InvertedIndex(const TemporalGraph& graph);
+
+  InvertedIndex(const InvertedIndex&) = default;
+  InvertedIndex(InvertedIndex&&) noexcept = default;
+  InvertedIndex& operator=(const InvertedIndex&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) noexcept = default;
+
+  /// Node ids whose label contains `keyword` (case-insensitive exact word
+  /// match), ascending. Empty if the keyword is unknown.
+  std::span<const NodeId> Lookup(std::string_view keyword) const;
+
+  /// Number of distinct indexed words.
+  size_t num_terms() const { return postings_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<NodeId>> postings_;
+};
+
+}  // namespace tgks::graph
+
+#endif  // TGKS_GRAPH_INVERTED_INDEX_H_

@@ -1,0 +1,21 @@
+#include "graph/snapshot.h"
+
+namespace tgks::graph {
+
+std::vector<NodeId> Snapshot::AliveNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < graph_->num_nodes(); ++n) {
+    if (NodeAlive(n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<EdgeId> Snapshot::AliveEdges() const {
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    if (EdgeAlive(e)) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace tgks::graph

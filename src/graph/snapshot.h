@@ -1,0 +1,46 @@
+// Snapshot: the materialized state of a temporal graph at one instant.
+//
+// BANKS(I) and the brute-force reference engine operate snapshot by snapshot
+// (§6.1: "run BANKS's algorithm on data graph snapshot at distinct time
+// instant"). A Snapshot is a filter view — it shares the underlying
+// TemporalGraph and answers aliveness in O(log #intervals) — plus optional
+// materialized alive lists for enumeration.
+
+#ifndef TGKS_GRAPH_SNAPSHOT_H_
+#define TGKS_GRAPH_SNAPSHOT_H_
+
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "temporal/time_point.h"
+
+namespace tgks::graph {
+
+/// A read-only view of `graph` restricted to instant `t`.
+///
+/// The referenced graph must outlive the snapshot.
+class Snapshot {
+ public:
+  Snapshot(const TemporalGraph& graph, temporal::TimePoint t)
+      : graph_(&graph), t_(t) {}
+
+  const TemporalGraph& graph() const { return *graph_; }
+  temporal::TimePoint instant() const { return t_; }
+
+  bool NodeAlive(NodeId n) const { return graph_->NodeAliveAt(n, t_); }
+  bool EdgeAlive(EdgeId e) const { return graph_->EdgeAliveAt(e, t_); }
+
+  /// All node ids alive at the instant (materializes on each call).
+  std::vector<NodeId> AliveNodes() const;
+
+  /// All edge ids alive at the instant (materializes on each call).
+  std::vector<EdgeId> AliveEdges() const;
+
+ private:
+  const TemporalGraph* graph_;
+  temporal::TimePoint t_;
+};
+
+}  // namespace tgks::graph
+
+#endif  // TGKS_GRAPH_SNAPSHOT_H_

@@ -1,0 +1,67 @@
+#include "graph/transform.h"
+
+#include "graph/graph_builder.h"
+
+namespace tgks::graph {
+
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+Result<TransformedGraph> RestrictToWindow(const TemporalGraph& graph,
+                                          Interval window, bool shift_origin) {
+  if (window.IsEmpty() || window.start < 0 ||
+      window.end >= graph.timeline_length()) {
+    return Status::InvalidArgument("window outside the timeline");
+  }
+  const IntervalSet window_set{window};
+  const TimePoint new_horizon =
+      shift_origin ? static_cast<TimePoint>(window.Length())
+                   : graph.timeline_length();
+  const TimePoint shift = shift_origin ? window.start : 0;
+
+  auto shifted = [&](const IntervalSet& validity) {
+    IntervalSet clipped = validity.Intersect(window_set);
+    if (shift == 0) return clipped;
+    std::vector<Interval> moved;
+    moved.reserve(clipped.intervals().size());
+    for (const Interval& iv : clipped.intervals()) {
+      moved.emplace_back(iv.start - shift, iv.end - shift);
+    }
+    return IntervalSet(std::move(moved));
+  };
+
+  TransformedGraph out;
+  out.node_mapping.assign(static_cast<size_t>(graph.num_nodes()),
+                          kInvalidNode);
+  GraphBuilder builder(new_horizon, ValidityPolicy::kStrict);
+  for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+    IntervalSet validity = shifted(graph.node(n).validity);
+    if (validity.IsEmpty()) continue;  // Never exists in the window.
+    out.node_mapping[static_cast<size_t>(n)] =
+        builder.AddNode(graph.node(n).label, std::move(validity),
+                        graph.node(n).weight);
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edge(e);
+    IntervalSet validity = shifted(edge.validity);
+    if (validity.IsEmpty()) continue;
+    const NodeId src = out.node_mapping[static_cast<size_t>(edge.src)];
+    const NodeId dst = out.node_mapping[static_cast<size_t>(edge.dst)];
+    // Both endpoints survive whenever the edge does (model invariant).
+    builder.AddEdge(src, dst, std::move(validity), edge.weight);
+  }
+  auto built = builder.Build();
+  if (!built.ok()) return built.status();
+  out.graph = std::move(built).value();
+  return out;
+}
+
+Result<TransformedGraph> MaterializeSnapshot(const TemporalGraph& graph,
+                                             TimePoint t) {
+  auto restricted = RestrictToWindow(graph, Interval::Point(t),
+                                     /*shift_origin=*/true);
+  return restricted;
+}
+
+}  // namespace tgks::graph

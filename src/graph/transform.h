@@ -1,0 +1,42 @@
+// Graph transforms: window restriction and snapshot materialization.
+//
+// RestrictToWindow projects an archive onto a sub-range of its timeline —
+// the storage-side dual of the CONTAINED BY predicate, and the natural way
+// to carve a study period out of a long archive. MaterializeSnapshot
+// extracts one instant as a standalone (timeline-length-1) graph. Both drop
+// elements that never exist in the target range and therefore re-number
+// nodes; the mapping is returned.
+
+#ifndef TGKS_GRAPH_TRANSFORM_H_
+#define TGKS_GRAPH_TRANSFORM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/temporal_graph.h"
+#include "temporal/interval.h"
+
+namespace tgks::graph {
+
+/// A transformed graph plus the node-id mapping into it.
+struct TransformedGraph {
+  TemporalGraph graph;
+  /// old node id -> new node id, or kInvalidNode when dropped.
+  std::vector<NodeId> node_mapping;
+};
+
+/// Restricts `graph` to the instants of `window` (intersecting every
+/// validity with it). `shift_origin` re-bases instants so window.start
+/// becomes 0 and the timeline length becomes window length; otherwise the
+/// original timeline length and instant numbering are kept.
+Result<TransformedGraph> RestrictToWindow(const TemporalGraph& graph,
+                                          temporal::Interval window,
+                                          bool shift_origin = true);
+
+/// The graph of everything alive at instant `t`, on a 1-instant timeline.
+Result<TransformedGraph> MaterializeSnapshot(const TemporalGraph& graph,
+                                             temporal::TimePoint t);
+
+}  // namespace tgks::graph
+
+#endif  // TGKS_GRAPH_TRANSFORM_H_

@@ -1,0 +1,236 @@
+#include "search/best_path_iterator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tgks::search {
+
+using graph::EdgeId;
+using graph::NodeId;
+using temporal::IntervalSet;
+
+BestPathIterator::BestPathIterator(const graph::TemporalGraph& graph,
+                                   NodeId source, Options options)
+    : graph_(&graph), source_(source), options_(std::move(options)) {
+  assert(source >= 0 && source < graph.num_nodes());
+  const graph::Node& src = graph.node(source);
+  if (options_.prune != nullptr &&
+      !options_.prune->ElementMayQualify(src.validity,
+          options_.containedby_prune)) {
+    return;  // QUALIFY(s, P) failed; iterator starts exhausted.
+  }
+  if (src.validity.IsEmpty()) return;
+  Ntd initial;
+  initial.node = source;
+  initial.time = src.validity;
+  initial.dist = src.weight;
+  Push(std::move(initial));
+}
+
+void BestPathIterator::Push(Ntd ntd) {
+  ScoreVec score = MakeScore(options_.ranking, ntd.dist, ntd.time);
+  const NtdId id = static_cast<NtdId>(arena_.size());
+  if (pushed_nodes_.insert(ntd.node).second) ++stats_.nodes_pushed;
+  arena_.push_back(std::move(ntd));
+  queue_.push(QueueEntry{std::move(score), id});
+  ++stats_.ntds_pushed;
+}
+
+IntervalSet BestPathIterator::UnvisitedPart(NodeId node,
+                                            const IntervalSet& time) const {
+  const auto it = visited_.find(node);
+  if (it == visited_.end()) return time;
+  return time.Subtract(it->second);
+}
+
+bool BestPathIterator::SettleTop() {
+  while (!queue_.empty()) {
+    const NtdId id = queue_.top().id;
+    const Ntd& ntd = arena_[static_cast<size_t>(id)];
+    if (ntd.state == NtdState::kDead) {
+      queue_.pop();  // Evicted by Algorithm-2 subsumption while queued.
+      ++stats_.useless_pops;
+      continue;
+    }
+    if (!UsesSubsumptionSemantics() &&
+        UnvisitedPart(ntd.node, ntd.time).IsEmpty()) {
+      // Every instant of T is already claimed by a better NTD: the paper's
+      // "visited(n, t) = true for all t in T -> continue" (Alg. 1 line 5).
+      queue_.pop();
+      ++stats_.useless_pops;
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+const ScoreVec* BestPathIterator::PeekScore() {
+  if (!SettleTop()) return nullptr;
+  return &queue_.top().score;
+}
+
+NtdId BestPathIterator::Next() {
+  if (!SettleTop()) return kInvalidNtd;
+  const NtdId id = queue_.top().id;
+  queue_.pop();
+  Ntd& ntd = arena_[static_cast<size_t>(id)];
+  ntd.state = NtdState::kPopped;
+  if (!UsesSubsumptionSemantics()) {
+    // Claim the instants of T (Alg. 1 lines 7-9). We mark the full T; pops
+    // whose T is entirely claimed are skipped in SettleTop.
+    IntervalSet& visited = visited_[ntd.node];
+    visited = visited.Union(ntd.time);
+  }
+  std::vector<NtdId>& popped_here = popped_at_[ntd.node];
+  if (popped_here.empty()) ++stats_.nodes_reached;
+  popped_here.push_back(id);
+  ++stats_.ntds_popped;
+  ExpandNeighbors(id);
+  return id;
+}
+
+void BestPathIterator::ExpandNeighbors(NtdId id) {
+  if (UsesSubsumptionSemantics()) {
+    ExpandNeighborsSubsumption(id);
+  } else {
+    ExpandNeighborsPartition(id);
+  }
+}
+
+void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
+  // Copy the parent fields: Push() may reallocate the arena.
+  const IntervalSet parent_time = arena_[static_cast<size_t>(id)].time;
+  const double parent_dist = arena_[static_cast<size_t>(id)].dist;
+  const NodeId node = arena_[static_cast<size_t>(id)].node;
+
+  for (const EdgeId e : graph_->InEdges(node)) {
+    ++stats_.edges_scanned;
+    const graph::Edge& edge = graph_->edge(e);
+    const NodeId neighbor = edge.src;
+    if (options_.prune != nullptr) {
+      if (!options_.prune->ElementMayQualify(edge.validity,
+                                             options_.containedby_prune)) {
+        continue;
+      }
+      if (!options_.prune->ElementMayQualify(graph_->node(neighbor).validity,
+                                             options_.containedby_prune)) {
+        continue;
+      }
+    }
+    // T∩ = T ∩ val(n' -> n); by the model invariant T∩ ⊆ val(n').
+    // The NTD must carry the FULL path validity: its queue key is the path's
+    // true score, and dropping already-claimed instants here would shrink
+    // temporal keys and let a worse path claim an instant first. Fully
+    // claimed entries are skipped lazily at pop (the paper's in-place
+    // update).
+    IntervalSet surviving = parent_time.Intersect(edge.validity);
+    if (surviving.IsEmpty()) continue;
+    if (UnvisitedPart(neighbor, surviving).IsEmpty()) {
+      // Every instant is already claimed at the neighbor by strictly
+      // earlier (hence no-worse) pops — safe to drop eagerly.
+      continue;
+    }
+    Ntd next;
+    next.node = neighbor;
+    next.time = std::move(surviving);
+    next.dist = parent_dist + edge.weight + graph_->node(neighbor).weight;
+    next.parent = id;
+    next.via_edge = e;
+    Push(std::move(next));
+  }
+}
+
+void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
+  const IntervalSet parent_time = arena_[static_cast<size_t>(id)].time;
+  const double parent_dist = arena_[static_cast<size_t>(id)].dist;
+  const NodeId node = arena_[static_cast<size_t>(id)].node;
+
+  // Register the popped NTD itself in its node's index (it prunes future
+  // inferior arrivals). The source NTD registers on first expansion.
+  {
+    NodeIndex& here = subsumption_[node];
+    if (here.index == nullptr) {
+      here.index = temporal::CreateNtdIndex(options_.duration_index,
+                                            graph_->timeline_length());
+    }
+    Ntd& self = arena_[static_cast<size_t>(id)];
+    if (self.index_row < 0) {
+      self.index_row = here.index->AddRow(self.time);
+      here.row_to_ntd[self.index_row] = id;
+    }
+  }
+
+  for (const EdgeId e : graph_->InEdges(node)) {
+    ++stats_.edges_scanned;
+    const graph::Edge& edge = graph_->edge(e);
+    const NodeId neighbor = edge.src;
+    if (options_.prune != nullptr) {
+      if (!options_.prune->ElementMayQualify(edge.validity,
+                                             options_.containedby_prune)) {
+        continue;
+      }
+      if (!options_.prune->ElementMayQualify(graph_->node(neighbor).validity,
+                                             options_.containedby_prune)) {
+        continue;
+      }
+    }
+    IntervalSet surviving = parent_time.Intersect(edge.validity);
+    if (surviving.IsEmpty()) continue;
+
+    NodeIndex& entry = subsumption_[neighbor];
+    if (entry.index == nullptr) {
+      entry.index = temporal::CreateNtdIndex(options_.duration_index,
+                                             graph_->timeline_length());
+    }
+    // Case 1 (Alg. 2 lines 11-12): T∩ subsumed by an existing NTD of the
+    // neighbor -> the existing path already beats this one at every instant
+    // and has no shorter duration; skip.
+    if (entry.index->SubsumedByExisting(surviving)) {
+      ++stats_.subsumption_skips;
+      continue;
+    }
+    // Case 3 (lines 13-15): evict NTDs strictly subsumed by T∩. Only queued
+    // NTDs can be evicted: pops are in non-increasing duration order, so a
+    // popped NTD's duration >= |T∩|, and a strict superset would have to be
+    // longer — impossible; an equal set would have hit case 1.
+    for (const temporal::NtdRowHandle row :
+         entry.index->CollectSubsumed(surviving)) {
+      const NtdId victim = entry.row_to_ntd.at(row);
+      assert(arena_[static_cast<size_t>(victim)].state == NtdState::kQueued);
+      arena_[static_cast<size_t>(victim)].state = NtdState::kDead;
+      entry.index->RemoveRow(row);
+      entry.row_to_ntd.erase(row);
+      ++stats_.subsumption_evictions;
+    }
+    // Case 2 (line 16): record the new NTD.
+    Ntd next;
+    next.node = neighbor;
+    next.time = surviving;
+    next.dist = parent_dist + edge.weight + graph_->node(neighbor).weight;
+    next.parent = id;
+    next.via_edge = e;
+    next.index_row = entry.index->AddRow(surviving);
+    const NtdId next_id = static_cast<NtdId>(arena_.size());
+    entry.row_to_ntd[next.index_row] = next_id;
+    Push(std::move(next));
+  }
+}
+
+std::span<const NtdId> BestPathIterator::PoppedAt(NodeId node) const {
+  const auto it = popped_at_.find(node);
+  if (it == popped_at_.end()) return {};
+  return it->second;
+}
+
+std::vector<EdgeId> BestPathIterator::PathEdges(NtdId id) const {
+  std::vector<EdgeId> edges;
+  for (NtdId cur = id; cur != kInvalidNtd;
+       cur = arena_[static_cast<size_t>(cur)].parent) {
+    const Ntd& n = arena_[static_cast<size_t>(cur)];
+    if (n.via_edge != graph::kInvalidEdge) edges.push_back(n.via_edge);
+  }
+  return edges;
+}
+
+}  // namespace tgks::search

@@ -1,0 +1,251 @@
+#include "search/label_correcting_iterator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+#include <unordered_set>
+
+#include "search/result_tree.h"
+
+namespace tgks::search {
+
+using graph::EdgeId;
+using graph::NodeId;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+std::string_view InverseRankFactorName(InverseRankFactor factor) {
+  switch (factor) {
+    case InverseRankFactor::kEndTimeAsc:
+      return "end-time-asc";
+    case InverseRankFactor::kStartTimeDesc:
+      return "start-time-desc";
+    case InverseRankFactor::kDurationAsc:
+      return "duration-asc";
+  }
+  return "unknown";
+}
+
+int32_t InverseValue(InverseRankFactor factor, const IntervalSet& time) {
+  assert(!time.IsEmpty());
+  switch (factor) {
+    case InverseRankFactor::kEndTimeAsc:
+      return time.End();
+    case InverseRankFactor::kStartTimeDesc:
+      return -time.Start();
+    case InverseRankFactor::kDurationAsc:
+      return static_cast<int32_t>(time.Duration());
+  }
+  return 0;
+}
+
+LabelCorrectingIterator::LabelCorrectingIterator(
+    const graph::TemporalGraph& graph, NodeId source, Options options)
+    : graph_(&graph), source_(source), options_(options) {
+  assert(source >= 0 && source < graph.num_nodes());
+  const IntervalSet& validity = graph.node(source).validity;
+  if (validity.IsEmpty()) return;
+  Fragment initial;
+  initial.node = source;
+  initial.time = validity;
+  initial.parent = kInvalidNtd;
+  initial.via_edge = graph::kInvalidEdge;
+  const NtdId id = TryKeep(std::move(initial));
+  if (id != kInvalidNtd) worklist_.push_back(id);
+}
+
+NtdId LabelCorrectingIterator::TryKeep(Fragment fragment) {
+  NodeState& state = states_[fragment.node];
+  if (state.index == nullptr) {
+    state.index = temporal::CreateNtdIndex(temporal::NtdIndexKind::kRowMajor,
+                                           graph_->timeline_length());
+  }
+  // Drop iff the kept subsets of fragment.time jointly cover it: each such
+  // subset dominates the arrival at its own instants under every future
+  // intersection (see header).
+  IntervalSet uncovered = fragment.time;
+  for (const temporal::NtdRowHandle row :
+       state.index->CollectSubsumed(fragment.time)) {
+    uncovered = uncovered.Subtract(
+        arena_[static_cast<size_t>(state.row_to_fragment.at(row))].time);
+    if (uncovered.IsEmpty()) return kInvalidNtd;
+  }
+  const NtdId id = static_cast<NtdId>(arena_.size());
+  const temporal::NtdRowHandle row = state.index->AddRow(fragment.time);
+  state.row_to_fragment[row] = id;
+  arena_.push_back(std::move(fragment));
+  return id;
+}
+
+bool LabelCorrectingIterator::Run() {
+  if (ran_) return complete_;
+  ran_ = true;
+  while (!worklist_.empty()) {
+    if (options_.max_relaxations > 0 &&
+        relaxations_ >= options_.max_relaxations) {
+      complete_ = false;
+      worklist_.clear();
+      break;
+    }
+    const NtdId id = worklist_.front();
+    worklist_.pop_front();
+    ++relaxations_;
+    // Copy: TryKeep below may reallocate the arena.
+    const NodeId node = arena_[static_cast<size_t>(id)].node;
+    const IntervalSet time = arena_[static_cast<size_t>(id)].time;
+    for (const EdgeId e : graph_->InEdges(node)) {
+      const graph::Edge& edge = graph_->edge(e);
+      IntervalSet surviving = time.Intersect(edge.validity);
+      if (surviving.IsEmpty()) continue;
+      Fragment next;
+      next.node = edge.src;
+      next.time = std::move(surviving);
+      next.parent = id;
+      next.via_edge = e;
+      const NtdId kept = TryKeep(std::move(next));
+      if (kept != kInvalidNtd) worklist_.push_back(kept);
+    }
+  }
+  return complete_;
+}
+
+std::optional<int32_t> LabelCorrectingIterator::BestAt(NodeId node,
+                                                       TimePoint t) const {
+  const auto it = states_.find(node);
+  if (it == states_.end()) return std::nullopt;
+  std::optional<int32_t> best;
+  for (const auto& [row, fragment_id] : it->second.row_to_fragment) {
+    const Fragment& fragment = arena_[static_cast<size_t>(fragment_id)];
+    if (!fragment.time.Contains(t)) continue;
+    const int32_t value = InverseValue(options_.factor, fragment.time);
+    if (!best.has_value() || value < *best) best = value;
+  }
+  return best;
+}
+
+std::vector<NtdId> LabelCorrectingIterator::FragmentsAt(NodeId node) const {
+  std::vector<NtdId> out;
+  const auto it = states_.find(node);
+  if (it == states_.end()) return out;
+  for (const auto& [row, fragment_id] : it->second.row_to_fragment) {
+    out.push_back(fragment_id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const IntervalSet& LabelCorrectingIterator::FragmentTime(NtdId id) const {
+  return arena_[static_cast<size_t>(id)].time;
+}
+
+std::vector<EdgeId> LabelCorrectingIterator::PathEdges(NtdId id) const {
+  std::vector<EdgeId> edges;
+  for (NtdId cur = id; cur != kInvalidNtd;
+       cur = arena_[static_cast<size_t>(cur)].parent) {
+    const Fragment& fragment = arena_[static_cast<size_t>(cur)];
+    if (fragment.via_edge != graph::kInvalidEdge) {
+      edges.push_back(fragment.via_edge);
+    }
+  }
+  return edges;
+}
+
+std::vector<InverseSearchResult> SearchInverse(
+    const graph::TemporalGraph& graph,
+    const std::vector<std::vector<NodeId>>& matches,
+    InverseRankFactor factor, int32_t k,
+    int64_t max_relaxations_per_iterator) {
+  const size_t m = matches.size();
+  LabelCorrectingIterator::Options options;
+  options.factor = factor;
+  options.max_relaxations = max_relaxations_per_iterator;
+
+  // One iterator per match node, grouped by keyword.
+  std::vector<std::vector<std::unique_ptr<LabelCorrectingIterator>>> per_kw(m);
+  std::vector<std::unordered_set<NodeId>> match_sets(m);
+  for (size_t kw = 0; kw < m; ++kw) {
+    std::vector<NodeId> list = matches[kw];
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    match_sets[kw] = {list.begin(), list.end()};
+    for (const NodeId source : list) {
+      per_kw[kw].push_back(std::make_unique<LabelCorrectingIterator>(
+          graph, source, options));
+      per_kw[kw].back()->Run();
+    }
+  }
+  std::vector<const std::unordered_set<NodeId>*> match_views;
+  for (const auto& set : match_sets) match_views.push_back(&set);
+
+  // Join: for every node with fragments from all keywords, combine one
+  // fragment per keyword, intersect, assemble.
+  std::vector<InverseSearchResult> results;
+  std::set<std::string> seen;
+  for (NodeId root = 0; root < graph.num_nodes(); ++root) {
+    // Gather (iterator, fragment) pairs per keyword at this node.
+    std::vector<std::vector<std::pair<const LabelCorrectingIterator*, NtdId>>>
+        lists(m);
+    bool all = true;
+    for (size_t kw = 0; kw < m && all; ++kw) {
+      for (const auto& iter : per_kw[kw]) {
+        for (const NtdId id : iter->FragmentsAt(root)) {
+          lists[kw].push_back({iter.get(), id});
+        }
+      }
+      all = !lists[kw].empty();
+    }
+    if (!all) continue;
+
+    // Depth-first cross product with intersection pruning.
+    std::vector<std::pair<const LabelCorrectingIterator*, NtdId>> chosen(m);
+    int64_t combos = 0;
+    constexpr int64_t kMaxCombos = 4096;
+    auto recurse = [&](auto&& self, size_t kw,
+                       const IntervalSet& common) -> void {
+      if (combos >= kMaxCombos) return;
+      if (kw == m) {
+        ++combos;
+        std::vector<std::vector<EdgeId>> paths(m);
+        std::vector<NodeId> leaf_matches(m);
+        for (size_t i = 0; i < m; ++i) {
+          paths[i] = chosen[i].first->PathEdges(chosen[i].second);
+          leaf_matches[i] = chosen[i].first->source();
+        }
+        auto tree = AssembleCandidate(graph, root, paths, leaf_matches,
+                                      &match_views);
+        if (!tree.has_value()) return;
+        if (!seen.insert(tree->Signature()).second) return;
+        InverseSearchResult result;
+        result.root = tree->root;
+        result.nodes = std::move(tree->nodes);
+        result.edges = std::move(tree->edges);
+        result.value = InverseValue(factor, tree->time);
+        result.time = std::move(tree->time);
+        results.push_back(std::move(result));
+        return;
+      }
+      for (const auto& entry : lists[kw]) {
+        const IntervalSet narrowed =
+            common.Intersect(entry.first->FragmentTime(entry.second));
+        if (narrowed.IsEmpty()) continue;
+        chosen[kw] = entry;
+        self(self, kw + 1, narrowed);
+        if (combos >= kMaxCombos) return;
+      }
+    };
+    recurse(recurse, 0, IntervalSet::All(graph.timeline_length()));
+  }
+
+  std::sort(results.begin(), results.end(),
+            [](const InverseSearchResult& a, const InverseSearchResult& b) {
+              if (a.value != b.value) return a.value < b.value;
+              if (a.root != b.root) return a.root < b.root;
+              return a.edges < b.edges;
+            });
+  if (k > 0 && static_cast<int32_t>(results.size()) > k) {
+    results.resize(static_cast<size_t>(k));
+  }
+  return results;
+}
+
+}  // namespace tgks::search

@@ -1,0 +1,31 @@
+#include "search/query.h"
+
+#include <sstream>
+
+namespace tgks::search {
+
+Status Query::Validate() const {
+  if (keywords.empty()) {
+    return Status::InvalidArgument("query needs at least one keyword");
+  }
+  for (const std::string& k : keywords) {
+    if (k.empty()) return Status::InvalidArgument("empty keyword");
+  }
+  if (ranking.factors.empty()) {
+    return Status::InvalidArgument("ranking spec needs at least one factor");
+  }
+  return Status::OK();
+}
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '"' << keywords[i] << '"';
+  }
+  if (predicate != nullptr) os << ' ' << predicate->ToString();
+  os << ' ' << ranking.ToString();
+  return os.str();
+}
+
+}  // namespace tgks::search

@@ -1,0 +1,38 @@
+// Query model: <Q> ::= <KEYWORD>+ <PRED>* <RF>* (Definition 2.1).
+
+#ifndef TGKS_SEARCH_QUERY_H_
+#define TGKS_SEARCH_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "search/predicate.h"
+#include "search/ranking.h"
+
+namespace tgks::search {
+
+/// A parsed temporal keyword query.
+struct Query {
+  /// One or more keywords; each matches label words of data nodes.
+  std::vector<std::string> keywords;
+
+  /// Optional temporal predicate over the result time; null = none.
+  std::shared_ptr<const PredicateExpr> predicate;
+
+  /// Ranking function; defaults to descending relevance.
+  RankingSpec ranking;
+
+  /// Validates structural invariants (at least one keyword, none empty).
+  Status Validate() const;
+
+  /// Canonical textual form, e.g.
+  /// `"mary", "john" result time precedes 5 rank by ascending order of
+  /// result start time`.
+  std::string ToString() const;
+};
+
+}  // namespace tgks::search
+
+#endif  // TGKS_SEARCH_QUERY_H_

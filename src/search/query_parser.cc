@@ -1,0 +1,348 @@
+#include "search/query_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace tgks::search {
+
+namespace {
+
+using temporal::TimePoint;
+
+struct Token {
+  enum class Kind { kWord, kQuoted, kInt, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;   // Lowercased for words; raw for quoted.
+  int64_t number = 0;
+};
+
+/// Splits the query string into words, quoted phrases, integers, and the
+/// symbols , [ ] ( ).
+class Lexer {
+ public:
+  static Result<std::vector<Token>> Lex(std::string_view text) {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < text.size()) {
+      const char c = text[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const size_t close = text.find(c, i + 1);
+        if (close == std::string_view::npos) {
+          return Status::InvalidArgument("unterminated quote");
+        }
+        tokens.push_back({Token::Kind::kQuoted,
+                          std::string(text.substr(i + 1, close - i - 1)), 0});
+        i = close + 1;
+        continue;
+      }
+      if (c == ',' || c == '[' || c == ']' || c == '(' || c == ')') {
+        tokens.push_back({Token::Kind::kSymbol, std::string(1, c), 0});
+        ++i;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i + 1 < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+        size_t j = i + 1;
+        while (j < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[j]))) {
+          ++j;
+        }
+        int64_t value = 0;
+        if (!ParseInt64(text.substr(i, j - i), &value)) {
+          return Status::InvalidArgument("bad number in query");
+        }
+        tokens.push_back({Token::Kind::kInt, std::string(text.substr(i, j - i)),
+                          value});
+        i = j;
+        continue;
+      }
+      // A word: letters, digits, and inner punctuation except delimiters.
+      size_t j = i;
+      while (j < text.size() &&
+             !std::isspace(static_cast<unsigned char>(text[j])) &&
+             text[j] != ',' && text[j] != '[' && text[j] != ']' &&
+             text[j] != '(' && text[j] != ')' && text[j] != '"' &&
+             text[j] != '\'') {
+        ++j;
+      }
+      tokens.push_back(
+          {Token::Kind::kWord, AsciiToLower(text.substr(i, j - i)), 0});
+      i = j;
+    }
+    tokens.push_back({Token::Kind::kEnd, "", 0});
+    return tokens;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query query;
+    TGKS_RETURN_IF_ERROR(ParseKeywords(&query));
+    if (PeekPhrase({"result", "time"}) || PeekWord("not") ||
+        PeekSymbol("(")) {
+      TGKS_ASSIGN_OR_RETURN(query.predicate, ParseOr());
+    }
+    if (PeekPhrase({"rank", "by"})) {
+      TGKS_RETURN_IF_ERROR(ParseRanking(&query.ranking));
+    }
+    if (!AtEnd()) {
+      return Status::InvalidArgument("unexpected token '" + Peek().text +
+                                     "' after query");
+    }
+    TGKS_RETURN_IF_ERROR(query.Validate());
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == Token::Kind::kEnd; }
+
+  bool PeekWord(std::string_view word, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == Token::Kind::kWord && t.text == word;
+  }
+  bool PeekSymbol(std::string_view symbol) const {
+    const Token& t = Peek();
+    return t.kind == Token::Kind::kSymbol && t.text == symbol;
+  }
+  bool PeekPhrase(std::initializer_list<std::string_view> words) const {
+    size_t ahead = 0;
+    for (const std::string_view w : words) {
+      if (!PeekWord(w, ahead++)) return false;
+    }
+    return true;
+  }
+  bool ConsumeWord(std::string_view word) {
+    if (!PeekWord(word)) return false;
+    ++pos_;
+    return true;
+  }
+  Status ExpectWord(std::string_view word) {
+    if (!ConsumeWord(word)) {
+      return Status::InvalidArgument("expected '" + std::string(word) +
+                                     "', found '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(std::string_view symbol) {
+    if (!PeekSymbol(symbol)) {
+      return Status::InvalidArgument("expected '" + std::string(symbol) +
+                                     "', found '" + Peek().text + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+  Result<TimePoint> ExpectInt() {
+    if (Peek().kind != Token::Kind::kInt) {
+      return Status::InvalidArgument("expected a time instant, found '" +
+                                     Peek().text + "'");
+    }
+    return static_cast<TimePoint>(Advance().number);
+  }
+
+  /// The keyword section ends at the first RESULT TIME / RANK BY / NOT / "("
+  /// lookahead — those begin the predicate or ranking sections.
+  bool AtKeywordSectionEnd() const {
+    return AtEnd() || PeekPhrase({"result", "time"}) ||
+           PeekPhrase({"rank", "by"}) || PeekWord("not") || PeekSymbol("(");
+  }
+
+  Status ParseKeywords(Query* query) {
+    while (!AtKeywordSectionEnd()) {
+      const Token& t = Peek();
+      if (t.kind == Token::Kind::kSymbol && t.text == ",") {
+        ++pos_;
+        continue;
+      }
+      if (t.kind == Token::Kind::kWord || t.kind == Token::Kind::kInt ||
+          t.kind == Token::Kind::kQuoted) {
+        // Keywords match label *words*, so every term is normalized to its
+        // word tokens ("graph-search" and "graph search" both become
+        // graph, search). A term with no searchable word can never match
+        // and would not round-trip; reject it.
+        std::vector<std::string> words = TokenizeWords(t.text);
+        if (words.empty()) {
+          return Status::InvalidArgument("keyword '" + t.text +
+                                         "' has no searchable word");
+        }
+        for (std::string& word : words) {
+          query->keywords.push_back(std::move(word));
+        }
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument("unexpected token '" + t.text +
+                                     "' in keyword list");
+    }
+    if (query->keywords.empty()) {
+      return Status::InvalidArgument("query needs at least one keyword");
+    }
+    return Status::OK();
+  }
+
+  /// range := "[" INT "," INT "]" | INT.
+  Result<std::pair<TimePoint, TimePoint>> ParseRange() {
+    if (PeekSymbol("[")) {
+      ++pos_;
+      TGKS_ASSIGN_OR_RETURN(const TimePoint lo, ExpectInt());
+      TGKS_RETURN_IF_ERROR(ExpectSymbol(","));
+      TGKS_ASSIGN_OR_RETURN(const TimePoint hi, ExpectInt());
+      TGKS_RETURN_IF_ERROR(ExpectSymbol("]"));
+      if (lo > hi) {
+        return Status::InvalidArgument("empty interval in predicate");
+      }
+      return std::make_pair(lo, hi);
+    }
+    TGKS_ASSIGN_OR_RETURN(const TimePoint t, ExpectInt());
+    return std::make_pair(t, t);
+  }
+
+  Result<std::shared_ptr<const PredicateExpr>> ParseAtom() {
+    TGKS_RETURN_IF_ERROR(ExpectWord("result"));
+    TGKS_RETURN_IF_ERROR(ExpectWord("time"));
+    if (ConsumeWord("precedes")) {
+      TGKS_ASSIGN_OR_RETURN(const TimePoint t, ExpectInt());
+      return PredicateExpr::Atom(PredicateOp::kPrecedes, t);
+    }
+    if (ConsumeWord("follows")) {
+      TGKS_ASSIGN_OR_RETURN(const TimePoint t, ExpectInt());
+      return PredicateExpr::Atom(PredicateOp::kFollows, t);
+    }
+    if (ConsumeWord("meets")) {
+      TGKS_ASSIGN_OR_RETURN(const TimePoint t, ExpectInt());
+      return PredicateExpr::Atom(PredicateOp::kMeets, t);
+    }
+    if (ConsumeWord("overlaps")) {
+      TGKS_ASSIGN_OR_RETURN(const auto range, ParseRange());
+      return PredicateExpr::Atom(PredicateOp::kOverlaps, range.first,
+                                 range.second);
+    }
+    if (ConsumeWord("contains")) {
+      TGKS_ASSIGN_OR_RETURN(const auto range, ParseRange());
+      return PredicateExpr::Atom(PredicateOp::kContains, range.first,
+                                 range.second);
+    }
+    if (ConsumeWord("contained")) {
+      TGKS_RETURN_IF_ERROR(ExpectWord("by"));
+      TGKS_ASSIGN_OR_RETURN(const auto range, ParseRange());
+      return PredicateExpr::Atom(PredicateOp::kContainedBy, range.first,
+                                 range.second);
+    }
+    if (ConsumeWord("is")) {
+      // Accept the paper's long form "is contained by".
+      TGKS_RETURN_IF_ERROR(ExpectWord("contained"));
+      TGKS_RETURN_IF_ERROR(ExpectWord("by"));
+      TGKS_ASSIGN_OR_RETURN(const auto range, ParseRange());
+      return PredicateExpr::Atom(PredicateOp::kContainedBy, range.first,
+                                 range.second);
+    }
+    return Status::InvalidArgument("unknown predicate operator '" +
+                                   Peek().text + "'");
+  }
+
+  Result<std::shared_ptr<const PredicateExpr>> ParseUnary() {
+    if (ConsumeWord("not")) {
+      TGKS_ASSIGN_OR_RETURN(auto child, ParseUnary());
+      return PredicateExpr::Not(std::move(child));
+    }
+    if (PeekSymbol("(")) {
+      ++pos_;
+      TGKS_ASSIGN_OR_RETURN(auto inner, ParseOr());
+      TGKS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  Result<std::shared_ptr<const PredicateExpr>> ParseAnd() {
+    TGKS_ASSIGN_OR_RETURN(auto first, ParseUnary());
+    std::vector<std::shared_ptr<const PredicateExpr>> children;
+    children.push_back(std::move(first));
+    while (ConsumeWord("and")) {
+      TGKS_ASSIGN_OR_RETURN(auto next, ParseUnary());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) return std::move(children[0]);
+    return PredicateExpr::And(std::move(children));
+  }
+
+  Result<std::shared_ptr<const PredicateExpr>> ParseOr() {
+    TGKS_ASSIGN_OR_RETURN(auto first, ParseAnd());
+    std::vector<std::shared_ptr<const PredicateExpr>> children;
+    children.push_back(std::move(first));
+    while (ConsumeWord("or")) {
+      TGKS_ASSIGN_OR_RETURN(auto next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) return std::move(children[0]);
+    return PredicateExpr::Or(std::move(children));
+  }
+
+  /// axis := descending order of X | ascending order of result start time.
+  Result<RankFactor> ParseAxis() {
+    if (ConsumeWord("descending")) {
+      TGKS_RETURN_IF_ERROR(ExpectWord("order"));
+      TGKS_RETURN_IF_ERROR(ExpectWord("of"));
+      if (ConsumeWord("relevance")) return RankFactor::kRelevance;
+      if (ConsumeWord("duration")) return RankFactor::kDurationDesc;
+      if (ConsumeWord("result")) {
+        TGKS_RETURN_IF_ERROR(ExpectWord("end"));
+        TGKS_RETURN_IF_ERROR(ExpectWord("time"));
+        return RankFactor::kEndTimeDesc;
+      }
+      return Status::InvalidArgument("unknown descending ranking factor '" +
+                                     Peek().text + "'");
+    }
+    if (ConsumeWord("ascending")) {
+      TGKS_RETURN_IF_ERROR(ExpectWord("order"));
+      TGKS_RETURN_IF_ERROR(ExpectWord("of"));
+      TGKS_RETURN_IF_ERROR(ExpectWord("result"));
+      TGKS_RETURN_IF_ERROR(ExpectWord("start"));
+      TGKS_RETURN_IF_ERROR(ExpectWord("time"));
+      return RankFactor::kStartTimeAsc;
+    }
+    return Status::InvalidArgument("expected 'ascending' or 'descending'");
+  }
+
+  Status ParseRanking(RankingSpec* spec) {
+    spec->factors.clear();
+    while (PeekPhrase({"rank", "by"})) {
+      pos_ += 2;
+      TGKS_ASSIGN_OR_RETURN(RankFactor axis, ParseAxis());
+      spec->factors.push_back(axis);
+      while (PeekSymbol(",")) {
+        ++pos_;
+        TGKS_ASSIGN_OR_RETURN(axis, ParseAxis());
+        spec->factors.push_back(axis);
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  TGKS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer::Lex(text));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace tgks::search

@@ -1,0 +1,44 @@
+// Parser for the paper's query syntax (Definition 2.1).
+//
+// Grammar (case-insensitive):
+//
+//   query      := keywords predicate? ranking?
+//   keywords   := term ((",")? term)*         -- ends before RESULT TIME /
+//                                                RANK BY lookahead
+//   term       := WORD | QUOTED               -- quoted phrases split into
+//                                                word keywords
+//   predicate  := or_expr
+//   or_expr    := and_expr ("or" and_expr)*
+//   and_expr   := unary ("and" unary)*
+//   unary      := "not" unary | "(" or_expr ")" | atom
+//   atom       := "result" "time" op
+//   op         := ("precedes"|"follows"|"meets") INT
+//               | ("overlaps"|"contains"|"contained" "by") range
+//   range      := "[" INT "," INT "]" | INT
+//   ranking    := rf+
+//   rf         := "rank" "by" axis ("," axis)*
+//   axis       := "descending" "order" "of"
+//                   ("relevance" | "result" "end" "time" | "duration")
+//               | "ascending" "order" "of" "result" "start" "time"
+//
+// Examples (Table 1):
+//   Mary, John rank by ascending order of result start time
+//   Mike, friend rank by descending order of duration
+//   Microsoft, employee result time precedes 2016
+
+#ifndef TGKS_SEARCH_QUERY_PARSER_H_
+#define TGKS_SEARCH_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "search/query.h"
+
+namespace tgks::search {
+
+/// Parses `text` into a Query; errors report the offending token.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace tgks::search
+
+#endif  // TGKS_SEARCH_QUERY_PARSER_H_

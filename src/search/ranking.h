@@ -1,0 +1,75 @@
+// Ranking factors and score algebra (paper §2.3, §3).
+//
+// Every supported factor is monotonically non-increasing under edge
+// expansion (Corollary 3.3): extending a path grows its weighted size and
+// shrinks its valid time, so relevance drops, end time cannot grow, start
+// time cannot shrink, duration cannot grow. That monotonicity is what lets
+// one Dijkstra-style iterator serve all of them.
+//
+// Scores are represented as vectors of doubles normalized so that LARGER IS
+// BETTER in every component (relevance -> -weight, end time -> end,
+// start time -> -start, duration -> duration); lexicographic comparison
+// implements combined ranking functions ("<RF>*" in the grammar).
+
+#ifndef TGKS_SEARCH_RANKING_H_
+#define TGKS_SEARCH_RANKING_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "temporal/interval_set.h"
+
+namespace tgks::search {
+
+/// The ranking factors of Definition 2.1.
+enum class RankFactor {
+  kRelevance,     ///< Descending relevance = ascending weighted tree size.
+  kEndTimeDesc,   ///< Descending result end time.
+  kStartTimeAsc,  ///< Ascending result start time.
+  kDurationDesc,  ///< Descending result duration.
+};
+
+/// Stable name ("relevance", "end-time", "start-time", "duration").
+std::string_view RankFactorName(RankFactor factor);
+
+/// An ordered list of factors; earlier factors dominate. Defaults to pure
+/// relevance, the classic keyword-search ranking.
+struct RankingSpec {
+  std::vector<RankFactor> factors = {RankFactor::kRelevance};
+
+  /// The dominating factor.
+  RankFactor primary() const { return factors.front(); }
+
+  /// True iff the primary factor is temporal, which switches the engine to
+  /// keyword round-robin iterator scheduling (§4.1).
+  bool PrimaryIsTemporal() const {
+    return primary() != RankFactor::kRelevance;
+  }
+
+  /// "rank by descending order of duration, ..." rendering.
+  std::string ToString() const;
+};
+
+/// A larger-is-better score vector under some RankingSpec.
+using ScoreVec = std::vector<double>;
+
+/// Score of a path/result with total weight `weight` and valid time `time`.
+/// `time` may be empty only for pure-relevance specs (temporal components
+/// then score -inf).
+ScoreVec MakeScore(const RankingSpec& spec, double weight,
+                   const temporal::IntervalSet& time);
+
+/// Lexicographic comparison; true iff `a` is strictly better than `b`.
+bool ScoreBetter(const ScoreVec& a, const ScoreVec& b);
+
+/// The best conceivable score (+inf everywhere), useful as an initial bound.
+ScoreVec BestPossibleScore(const RankingSpec& spec);
+
+/// Renders the score in user units: relevance back to 1/weight, start/end
+/// times un-negated.
+std::string FormatScore(const RankingSpec& spec, const ScoreVec& score);
+
+}  // namespace tgks::search
+
+#endif  // TGKS_SEARCH_RANKING_H_

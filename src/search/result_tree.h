@@ -1,0 +1,77 @@
+// Result trees (Definition 2.2) and candidate assembly.
+//
+// A result is a rooted subtree of the data graph containing a match for
+// every query keyword, minimal (no node removable), valid in at least one
+// instant, and satisfying the query predicates. Candidates are assembled
+// from one best-path NTD per keyword meeting at a common root; this module
+// turns such a bundle of paths into a validated, reduced, canonicalized
+// ResultTree.
+
+#ifndef TGKS_SEARCH_RESULT_TREE_H_
+#define TGKS_SEARCH_RESULT_TREE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "search/ranking.h"
+#include "temporal/interval_set.h"
+
+namespace tgks::search {
+
+/// A validated query result.
+struct ResultTree {
+  graph::NodeId root = graph::kInvalidNode;
+  /// Tree nodes, sorted ascending (root included).
+  std::vector<graph::NodeId> nodes;
+  /// Tree edges in forward (root-to-leaf) direction, sorted ascending.
+  std::vector<graph::EdgeId> edges;
+  /// Exact result time: the intersection of every node's and edge's
+  /// validity. Non-empty for any valid result.
+  temporal::IntervalSet time;
+  /// Sum of node and edge weights (the paper's weighted tree size; relevance
+  /// score is its inverse).
+  double total_weight = 0.0;
+  /// Score under the query's ranking spec, larger-is-better per component.
+  ScoreVec score;
+  /// For each query keyword, the matched node serving it in this tree.
+  std::vector<graph::NodeId> keyword_nodes;
+
+  /// Stable identity for deduplication: root plus the sorted edge set.
+  std::string Signature() const;
+};
+
+/// Why a candidate bundle failed to become a result.
+enum class CandidateRejection {
+  kAccepted,
+  kNotATree,      ///< The union of paths has a node with two parents.
+  kEmptyTime,     ///< Element validities share no instant.
+  kRootReducible, ///< Root had one child and covered no keyword: a
+                  ///< lower-rooted duplicate exists and is emitted instead.
+};
+
+/// Assembles a candidate from per-keyword forward paths meeting at `root`.
+///
+/// `paths[i]` holds the edge ids of the forward path root -> match node for
+/// keyword i (empty if the root itself is the match); `matches[i]` is that
+/// match node. On success the tree is leaf-reduced (leaves not needed for
+/// keyword coverage removed, yielding minimal trees) and exactly timed; the
+/// caller still applies predicates and scoring.
+///
+/// `match_sets`, when given, holds keyword i's full match set so that any
+/// tree node matching keyword i counts as covering it during reduction;
+/// otherwise only the designated `matches[i]` covers i.
+/// `rejection` (optional) reports the failure reason.
+std::optional<ResultTree> AssembleCandidate(
+    const graph::TemporalGraph& graph, graph::NodeId root,
+    const std::vector<std::vector<graph::EdgeId>>& paths,
+    const std::vector<graph::NodeId>& matches,
+    const std::vector<const std::unordered_set<graph::NodeId>*>* match_sets =
+        nullptr,
+    CandidateRejection* rejection = nullptr);
+
+}  // namespace tgks::search
+
+#endif  // TGKS_SEARCH_RESULT_TREE_H_

@@ -1,0 +1,454 @@
+#include "search/search_engine.h"
+
+#include "common/timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tgks::search {
+
+using graph::EdgeId;
+using graph::NodeId;
+using temporal::IntervalSet;
+
+std::string_view UpperBoundKindName(UpperBoundKind kind) {
+  switch (kind) {
+    case UpperBoundKind::kAccurate:
+      return "accurate";
+    case UpperBoundKind::kEmpirical:
+      return "empirical";
+    case UpperBoundKind::kAverage:
+      return "average";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One Search() invocation; owns iterators and bookkeeping.
+class Runner {
+ public:
+  Runner(const graph::TemporalGraph& graph, const Query& query,
+         std::vector<std::vector<NodeId>> matches,
+         const SearchOptions& options)
+      : graph_(graph),
+        query_(query),
+        options_(options),
+        m_(query.keywords.size()),
+        match_lists_(std::move(matches)) {}
+
+  SearchResponse Run() {
+    FilterMatches();
+    CreateIterators();
+    const bool any_keyword_dead =
+        std::any_of(keyword_heaps_.begin(), keyword_heaps_.end(),
+                    [](const auto& h) { return h.empty(); });
+    if (any_keyword_dead) {
+      // Some keyword has no qualifying match: no result can exist.
+      response_.exhausted = true;
+    } else {
+      MainLoop();
+    }
+    Finalize();
+    return std::move(response_);
+  }
+
+ private:
+  struct IterEntry {
+    ScoreVec score;
+    int32_t iter;
+  };
+  struct IterEntryWorse {
+    // make_heap keeps the *largest* on top; largest = best score.
+    bool operator()(const IterEntry& a, const IterEntry& b) const {
+      if (a.score != b.score) return ScoreBetter(b.score, a.score);
+      return a.iter > b.iter;
+    }
+  };
+
+  /// QUALIFY(s, P): drop matches that cannot satisfy the predicate.
+  void FilterMatches() {
+    filter_timer_.Start();
+    const PredicateExpr* pred = query_.predicate.get();
+    for (auto& list : match_lists_) {
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+      if (pred != nullptr) {
+        std::erase_if(list, [&](NodeId n) {
+          return !pred->ElementMayQualify(graph_.node(n).validity,
+                                          options_.containedby_prune);
+        });
+      }
+    }
+    match_set_storage_.resize(m_);
+    match_set_views_.resize(m_);
+    for (size_t i = 0; i < m_; ++i) {
+      match_set_storage_[i] = {match_lists_[i].begin(), match_lists_[i].end()};
+      match_set_views_[i] = &match_set_storage_[i];
+    }
+    filter_timer_.Stop();
+  }
+
+  void CreateIterators() {
+    expand_timer_.Start();
+    keyword_heaps_.resize(m_);
+    BestPathIterator::Options iter_options;
+    iter_options.ranking = query_.ranking;
+    iter_options.prune = query_.predicate.get();
+    iter_options.containedby_prune = options_.containedby_prune;
+    iter_options.duration_index = options_.duration_index;
+    for (size_t kw = 0; kw < m_; ++kw) {
+      for (const NodeId source : match_lists_[kw]) {
+        iterators_.push_back(std::make_unique<BestPathIterator>(
+            graph_, source, iter_options));
+        const int32_t idx = static_cast<int32_t>(iterators_.size()) - 1;
+        const ScoreVec* peek = iterators_.back()->PeekScore();
+        if (peek != nullptr) {
+          keyword_heaps_[kw].push_back(IterEntry{*peek, idx});
+        }
+      }
+      std::make_heap(keyword_heaps_[kw].begin(), keyword_heaps_[kw].end(),
+                     IterEntryWorse());
+    }
+    response_.counters.iterators = static_cast<int64_t>(iterators_.size());
+    expand_timer_.Stop();
+  }
+
+  /// Selects which keyword's best iterator expands next (§4.1): global best
+  /// for relevance, keyword round-robin for temporal rankings. Returns the
+  /// keyword, or -1 when every frontier is exhausted.
+  int SelectKeyword() {
+    const bool round_robin =
+        options_.round_robin_keywords && query_.ranking.PrimaryIsTemporal();
+    if (round_robin) {
+      for (size_t step = 0; step < m_; ++step) {
+        const int kw = static_cast<int>((rr_cursor_ + step) % m_);
+        if (!keyword_heaps_[static_cast<size_t>(kw)].empty()) {
+          rr_cursor_ = (kw + 1) % static_cast<int>(m_);
+          return kw;
+        }
+      }
+      return -1;
+    }
+    int best = -1;
+    for (size_t kw = 0; kw < m_; ++kw) {
+      if (keyword_heaps_[kw].empty()) continue;
+      if (best < 0 ||
+          ScoreBetter(keyword_heaps_[kw].front().score,
+                      keyword_heaps_[static_cast<size_t>(best)].front().score)) {
+        best = static_cast<int>(kw);
+      }
+    }
+    return best;
+  }
+
+  void MainLoop() {
+    while (true) {
+      if (options_.max_pops > 0 &&
+          response_.counters.pops >= options_.max_pops) {
+        response_.truncated = true;
+        return;
+      }
+      expand_timer_.Start();
+      const int kw = SelectKeyword();
+      if (kw < 0) {
+        expand_timer_.Stop();
+        response_.exhausted = true;  // Every frontier drained.
+        return;
+      }
+      auto& heap = keyword_heaps_[static_cast<size_t>(kw)];
+      std::pop_heap(heap.begin(), heap.end(), IterEntryWorse());
+      const int32_t iter_idx = heap.back().iter;
+      heap.pop_back();
+      BestPathIterator& iter = *iterators_[static_cast<size_t>(iter_idx)];
+      const NtdId popped = iter.Next();
+      assert(popped != kInvalidNtd);
+      ++response_.counters.pops;
+      const ScoreVec* peek = iter.PeekScore();
+      if (peek != nullptr) {
+        heap.push_back(IterEntry{*peek, iter_idx});
+        std::push_heap(heap.begin(), heap.end(), IterEntryWorse());
+      }
+      const NodeId node = iter.ntd(popped).node;
+      auto& lists = reached_[node];
+      if (lists.empty()) lists.resize(m_);
+      lists[static_cast<size_t>(kw)].push_back({iter_idx, popped});
+      expand_timer_.Stop();
+
+      const bool met_all =
+          std::all_of(lists.begin(), lists.end(),
+                      [](const auto& l) { return !l.empty(); });
+      if (met_all) {
+        generate_timer_.Start();
+        GenerateCandidates(node, static_cast<size_t>(kw), iter_idx, popped,
+                           lists);
+        generate_timer_.Stop();
+      }
+
+      if (options_.k > 0 &&
+          static_cast<int64_t>(results_.size()) >= options_.k &&
+          KthBeatsBound()) {
+        return;
+      }
+    }
+  }
+
+  /// Enumerates NTDset cross products with the fresh NTD pinned for its
+  /// keyword (Algorithm 3 lines 15-19).
+  void GenerateCandidates(
+      NodeId root, size_t fresh_kw, int32_t fresh_iter, NtdId fresh_ntd,
+      const std::vector<std::vector<std::pair<int32_t, NtdId>>>& lists) {
+    std::vector<std::pair<int32_t, NtdId>> chosen(m_);
+    chosen[fresh_kw] = {fresh_iter, fresh_ntd};
+    int64_t combos = 0;
+    const IntervalSet& fresh_time =
+        iterators_[static_cast<size_t>(fresh_iter)]->ntd(fresh_ntd).time;
+    EnumerateCombos(root, fresh_kw, 0, fresh_time, lists, &chosen, &combos);
+  }
+
+  void EnumerateCombos(
+      NodeId root, size_t fresh_kw, size_t kw, const IntervalSet& common,
+      const std::vector<std::vector<std::pair<int32_t, NtdId>>>& lists,
+      std::vector<std::pair<int32_t, NtdId>>* chosen, int64_t* combos) {
+    if (*combos >= options_.max_combos_per_pop) {
+      ++response_.counters.combo_overflows;
+      return;
+    }
+    if (kw == m_) {
+      ++(*combos);
+      EmitCandidate(root, *chosen, common);
+      return;
+    }
+    if (kw == fresh_kw) {
+      EnumerateCombos(root, fresh_kw, kw + 1, common, lists, chosen, combos);
+      return;
+    }
+    for (const auto& [iter_idx, ntd_id] : lists[kw]) {
+      const IntervalSet narrowed = common.Intersect(
+          iterators_[static_cast<size_t>(iter_idx)]->ntd(ntd_id).time);
+      if (narrowed.IsEmpty()) {
+        // Validity pre-check (Algorithm 3 line 17): the chosen paths never
+        // coexist; every completion would be invalid too.
+        ++response_.counters.candidates;
+        ++response_.counters.invalid_time;
+        continue;
+      }
+      (*chosen)[kw] = {iter_idx, ntd_id};
+      EnumerateCombos(root, fresh_kw, kw + 1, narrowed, lists, chosen, combos);
+      if (*combos >= options_.max_combos_per_pop) return;
+    }
+  }
+
+  void EmitCandidate(NodeId root,
+                     const std::vector<std::pair<int32_t, NtdId>>& chosen,
+                     const IntervalSet& common_time) {
+    (void)common_time;  // Exact time is recomputed from tree elements.
+    ++response_.counters.candidates;
+    std::vector<std::vector<EdgeId>> paths(m_);
+    std::vector<NodeId> matches(m_);
+    for (size_t i = 0; i < m_; ++i) {
+      const auto& [iter_idx, ntd_id] = chosen[i];
+      BestPathIterator& iter = *iterators_[static_cast<size_t>(iter_idx)];
+      paths[i] = iter.PathEdges(ntd_id);
+      matches[i] = iter.source();
+    }
+    CandidateRejection rejection = CandidateRejection::kAccepted;
+    auto tree = AssembleCandidate(graph_, root, paths, matches,
+                                  &match_set_views_, &rejection);
+    if (!tree.has_value()) {
+      switch (rejection) {
+        case CandidateRejection::kNotATree:
+          ++response_.counters.invalid_structure;
+          break;
+        case CandidateRejection::kEmptyTime:
+          ++response_.counters.invalid_time;
+          break;
+        case CandidateRejection::kRootReducible:
+          ++response_.counters.root_reducible;
+          break;
+        case CandidateRejection::kAccepted:
+          break;
+      }
+      return;
+    }
+    // Final predicate check; skippable when element pruning was exact (§5).
+    if (query_.predicate != nullptr && !query_.predicate->PruningIsExact() &&
+        !query_.predicate->EvalResultTime(tree->time)) {
+      ++response_.counters.predicate_rejected;
+      return;
+    }
+    if (!seen_.insert(tree->Signature()).second) {
+      ++response_.counters.duplicates;
+      return;
+    }
+    tree->score = MakeScore(query_.ranking, tree->total_weight, tree->time);
+    // Track primary scores (descending) for the §4.2 stop test.
+    const double primary = tree->score[0];
+    primaries_.insert(
+        std::upper_bound(primaries_.begin(), primaries_.end(), primary,
+                         std::greater<double>()),
+        primary);
+    results_.push_back(std::move(*tree));
+    ++response_.counters.results;
+  }
+
+  /// §4.2 stop test: does the kth best found result already beat the upper
+  /// bound on everything unseen?
+  bool KthBeatsBound() {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    // Peek the best entry of each keyword's scheduling heap; entries are
+    // kept fresh, so heap fronts are the per-keyword best next NTD scores.
+    double best_top = -kInf;   // max over keyword queue tops.
+    double worst_top = kInf;   // min over keyword queue tops.
+    bool any = false;
+    for (const auto& heap : keyword_heaps_) {
+      if (heap.empty()) continue;
+      any = true;
+      best_top = std::max(best_top, heap.front().score[0]);
+      worst_top = std::min(worst_top, heap.front().score[0]);
+    }
+    if (!any) return true;  // Exhausted: everything has been seen.
+
+    // Accurate bound (Propositions 4.1-4.3): an unseen result is emitted at
+    // the future pop of its last NTD, whose score is at most its queue's
+    // top, hence at most the best top.
+    const double accurate = best_top;
+    // Empirical bound (§4.2): 1/(m·d) for relevance (primary = -weight, so
+    // multiply by m); the worst queue top for temporal factors.
+    const double empirical =
+        query_.ranking.primary() == RankFactor::kRelevance
+            ? best_top * static_cast<double>(m_)
+            : worst_top;
+    double bound = accurate;
+    switch (options_.bound) {
+      case UpperBoundKind::kAccurate:
+        bound = accurate;
+        break;
+      case UpperBoundKind::kEmpirical:
+        bound = empirical;
+        break;
+      case UpperBoundKind::kAverage:
+        bound = (accurate + empirical) / 2.0;
+        break;
+    }
+    const double kth = primaries_[static_cast<size_t>(options_.k) - 1];
+    return kth >= bound;
+  }
+
+  void Finalize() {
+    std::sort(results_.begin(), results_.end(),
+              [](const ResultTree& a, const ResultTree& b) {
+                if (a.score != b.score) return ScoreBetter(a.score, b.score);
+                return a.Signature() < b.Signature();
+              });
+    if (options_.k > 0 &&
+        static_cast<int64_t>(results_.size()) > options_.k) {
+      results_.resize(static_cast<size_t>(options_.k));
+    }
+    response_.results = std::move(results_);
+
+    SearchCounters& c = response_.counters;
+    int64_t pushed_nodes_sum = 0;
+    int64_t active_ntds_sum = 0;
+    for (const auto& iter : iterators_) {
+      c.useless_pops += iter->stats().useless_pops;
+      c.ntds_created += iter->num_ntds();
+      if (iter->num_ntds() > 1) {
+        // The paper's "average number of NTDs associated with each node in
+        // the priority queue": created (queued) NTDs over the nodes the
+        // expansion actually processed. Iterators that never expanded past
+        // their source (common with huge match sets and an early bound
+        // stop) are excluded — they would dilute the ratio toward 1.
+        active_ntds_sum += iter->num_ntds();
+        pushed_nodes_sum += iter->stats().nodes_reached;
+      }
+    }
+    c.nodes_visited = static_cast<int64_t>(reached_.size());
+    c.avg_ntds_per_node =
+        pushed_nodes_sum > 0
+            ? static_cast<double>(active_ntds_sum) /
+                  static_cast<double>(pushed_nodes_sum)
+            : 0.0;
+    c.seconds_match = match_timer_.seconds();
+    c.seconds_filter = filter_timer_.seconds();
+    c.seconds_expand = expand_timer_.seconds();
+    c.seconds_generate = generate_timer_.seconds();
+  }
+
+ public:
+  Stopwatch match_timer_;  // Started by SearchEngine during match lookup.
+
+ private:
+  const graph::TemporalGraph& graph_;
+  const Query& query_;
+  const SearchOptions& options_;
+  const size_t m_;
+
+  std::vector<std::vector<NodeId>> match_lists_;
+  std::vector<std::unordered_set<NodeId>> match_set_storage_;
+  std::vector<const std::unordered_set<NodeId>*> match_set_views_;
+
+  std::vector<std::unique_ptr<BestPathIterator>> iterators_;
+  std::vector<std::vector<IterEntry>> keyword_heaps_;
+  int rr_cursor_ = 0;
+
+  std::unordered_map<NodeId, std::vector<std::vector<std::pair<int32_t, NtdId>>>>
+      reached_;
+  std::vector<ResultTree> results_;
+  std::vector<double> primaries_;  // Primary scores, descending.
+  std::unordered_set<std::string> seen_;
+
+  Stopwatch filter_timer_, expand_timer_, generate_timer_;
+  SearchResponse response_;
+};
+
+}  // namespace
+
+SearchEngine::SearchEngine(const graph::TemporalGraph& graph,
+                           const graph::InvertedIndex* index)
+    : graph_(&graph), index_(index) {}
+
+Result<SearchResponse> SearchEngine::Search(const Query& query,
+                                            const SearchOptions& options) const {
+  TGKS_RETURN_IF_ERROR(query.Validate());
+  if (index_ == nullptr) {
+    return Status::InvalidArgument(
+        "engine has no inverted index; use SearchWithMatches()");
+  }
+  Stopwatch match_timer;
+  match_timer.Start();
+  std::vector<std::vector<NodeId>> matches;
+  matches.reserve(query.keywords.size());
+  for (const std::string& keyword : query.keywords) {
+    const auto posting = index_->Lookup(keyword);
+    matches.emplace_back(posting.begin(), posting.end());
+  }
+  match_timer.Stop();
+
+  Runner runner(*graph_, query, std::move(matches), options);
+  runner.match_timer_ = match_timer;
+  return runner.Run();
+}
+
+Result<SearchResponse> SearchEngine::SearchWithMatches(
+    const Query& query, const std::vector<std::vector<NodeId>>& matches,
+    const SearchOptions& options) const {
+  TGKS_RETURN_IF_ERROR(query.Validate());
+  if (matches.size() != query.keywords.size()) {
+    return Status::InvalidArgument("one match list per keyword required");
+  }
+  for (const auto& list : matches) {
+    for (const NodeId n : list) {
+      if (n < 0 || n >= graph_->num_nodes()) {
+        return Status::InvalidArgument("match node out of range");
+      }
+    }
+  }
+  Runner runner(*graph_, query, matches, options);
+  return runner.Run();
+}
+
+}  // namespace tgks::search

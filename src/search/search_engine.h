@@ -1,0 +1,127 @@
+// SearchEngine: top-k keyword search over temporal graphs (Algorithm 3).
+//
+// One best path iterator per keyword match expands backward; a result is
+// born when some node has been reached from every keyword and the chosen
+// NTDs' valid times intersect. Iterator scheduling follows §4.1: global
+// best-first when ranking by relevance, round-robin over *keywords* (best
+// iterator within the keyword) for temporal rankings. Termination follows
+// §4.2: the search stops once the kth best result beats the configured
+// upper bound on unseen results.
+
+#ifndef TGKS_SEARCH_SEARCH_ENGINE_H_
+#define TGKS_SEARCH_SEARCH_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/inverted_index.h"
+#include "graph/temporal_graph.h"
+#include "search/best_path_iterator.h"
+#include "search/query.h"
+#include "search/result_tree.h"
+#include "temporal/ntd_bitmap_index.h"
+
+namespace tgks::search {
+
+/// Score upper bounds for unseen results (§4.2).
+enum class UpperBoundKind {
+  kAccurate,   ///< Tight (Propositions 4.1-4.3): exact top-k, slowest stop.
+  kEmpirical,  ///< 1/(m·d) resp. worst queue top: fast stop, may skip some
+               ///< true top-k results.
+  kAverage,    ///< Midpoint of the two.
+};
+
+std::string_view UpperBoundKindName(UpperBoundKind kind);
+
+/// Engine knobs; the defaults reproduce the paper's primary configuration.
+struct SearchOptions {
+  /// Number of results wanted; <= 0 means ALL (run to exhaustion).
+  int32_t k = 20;
+  UpperBoundKind bound = UpperBoundKind::kEmpirical;
+  /// §4.1 keyword round-robin for temporal rankings; disable only for the
+  /// ablation study.
+  bool round_robin_keywords = true;
+  /// Subsumption index used when ranking by duration (row-major measured
+  /// fastest; kColumnMajor is the paper's Fig.-5 layout — see
+  /// bench_ablation_bitmap).
+  temporal::NtdIndexKind duration_index = temporal::NtdIndexKind::kRowMajor;
+  /// Documented extension (§5 deviation): also prune elements disjoint from
+  /// a CONTAINED BY window. Off by default for paper fidelity.
+  bool containedby_prune = false;
+  /// Safety valve: stop after this many NTD pops (<= 0 = unlimited).
+  int64_t max_pops = -1;
+  /// Safety valve: cap on NTD-set cross products explored per pop.
+  int64_t max_combos_per_pop = 1 << 16;
+};
+
+/// Work counters for the evaluation harness (§6's reported quantities).
+struct SearchCounters {
+  int64_t iterators = 0;           ///< Best path iterators created.
+  int64_t pops = 0;                ///< NTDs popped (all iterators).
+  int64_t useless_pops = 0;        ///< Stale queue entries skipped.
+  int64_t ntds_created = 0;        ///< Arena NTDs across iterators.
+  int64_t nodes_visited = 0;       ///< Distinct nodes popped by >=1 iterator.
+  int64_t candidates = 0;          ///< NTD-set combinations examined.
+  int64_t invalid_time = 0;        ///< Candidates with empty common time.
+  int64_t invalid_structure = 0;   ///< Path unions that were not trees.
+  int64_t root_reducible = 0;      ///< Candidates dropped per the root rule.
+  int64_t predicate_rejected = 0;  ///< Results failing the final check.
+  int64_t duplicates = 0;          ///< Re-derived known trees.
+  int64_t combo_overflows = 0;     ///< Pops hitting max_combos_per_pop.
+  int64_t results = 0;             ///< Distinct valid results found.
+  /// Mean NTDs per reached node per iterator (the paper's "average number
+  /// of NTDs associated with each node").
+  double avg_ntds_per_node = 0.0;
+
+  /// Wall-clock phase breakdown in seconds (Figs. 7-10): keyword-match
+  /// lookup, predicate filtering of matches, best-path iteration, result
+  /// generation.
+  double seconds_match = 0.0;
+  double seconds_filter = 0.0;
+  double seconds_expand = 0.0;
+  double seconds_generate = 0.0;
+};
+
+/// Outcome of one search.
+struct SearchResponse {
+  /// Up to k results, best score first.
+  std::vector<ResultTree> results;
+  SearchCounters counters;
+  /// True when every iterator drained (vs. stopping on the bound).
+  bool exhausted = false;
+  /// True when a safety valve (max_pops) fired.
+  bool truncated = false;
+};
+
+/// Top-k keyword search over one temporal graph.
+///
+/// The graph (and index, if given) must outlive the engine. The engine is
+/// stateless across Search() calls and therefore reusable.
+class SearchEngine {
+ public:
+  /// `index` resolves keywords to match nodes; pass nullptr if every query
+  /// will use SearchWithMatches().
+  explicit SearchEngine(const graph::TemporalGraph& graph,
+                        const graph::InvertedIndex* index = nullptr);
+
+  /// Runs `query`, resolving keywords through the inverted index.
+  Result<SearchResponse> Search(const Query& query,
+                                const SearchOptions& options = {}) const;
+
+  /// Runs `query` with externally supplied match sets, one per keyword
+  /// (the paper's protocol for the unlabeled social-network data).
+  Result<SearchResponse> SearchWithMatches(
+      const Query& query,
+      const std::vector<std::vector<graph::NodeId>>& matches,
+      const SearchOptions& options = {}) const;
+
+ private:
+  const graph::TemporalGraph* graph_;
+  const graph::InvertedIndex* index_;
+};
+
+}  // namespace tgks::search
+
+#endif  // TGKS_SEARCH_SEARCH_ENGINE_H_

@@ -1,0 +1,18 @@
+#include "temporal/interval.h"
+
+#include <sstream>
+
+namespace tgks::temporal {
+
+std::string Interval::ToString() const {
+  if (IsEmpty()) return "[]";
+  std::ostringstream os;
+  os << '[' << start << ',' << end << ']';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval) {
+  return os << interval.ToString();
+}
+
+}  // namespace tgks::temporal

@@ -1,0 +1,72 @@
+// A closed interval of discrete time instants.
+
+#ifndef TGKS_TEMPORAL_INTERVAL_H_
+#define TGKS_TEMPORAL_INTERVAL_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "temporal/time_point.h"
+
+namespace tgks::temporal {
+
+/// A closed, non-empty-by-convention interval [start, end] of time instants.
+///
+/// An Interval with start > end is treated as empty; `IsEmpty()` tests this.
+/// Intervals are trivially copyable value types.
+struct Interval {
+  TimePoint start = 0;
+  TimePoint end = -1;  // Default-constructed Interval is empty.
+
+  constexpr Interval() = default;
+  constexpr Interval(TimePoint s, TimePoint e) : start(s), end(e) {}
+
+  /// A single instant [t, t].
+  static constexpr Interval Point(TimePoint t) { return Interval(t, t); }
+
+  /// True iff the interval contains no instant.
+  constexpr bool IsEmpty() const { return start > end; }
+
+  /// Number of instants in the interval; 0 if empty.
+  constexpr int64_t Length() const {
+    return IsEmpty() ? 0 : static_cast<int64_t>(end) - start + 1;
+  }
+
+  /// True iff t lies inside the interval.
+  constexpr bool Contains(TimePoint t) const { return start <= t && t <= end; }
+
+  /// True iff this interval fully contains `other` (empty is contained in
+  /// everything).
+  constexpr bool Subsumes(const Interval& other) const {
+    if (other.IsEmpty()) return true;
+    if (IsEmpty()) return false;
+    return start <= other.start && other.end <= end;
+  }
+
+  /// True iff the two intervals share at least one instant.
+  constexpr bool Overlaps(const Interval& other) const {
+    if (IsEmpty() || other.IsEmpty()) return false;
+    return start <= other.end && other.start <= end;
+  }
+
+  /// The (possibly empty) intersection.
+  constexpr Interval Intersect(const Interval& other) const {
+    return Interval(start > other.start ? start : other.start,
+                    end < other.end ? end : other.end);
+  }
+
+  friend constexpr bool operator==(const Interval& a, const Interval& b) {
+    if (a.IsEmpty() && b.IsEmpty()) return true;
+    return a.start == b.start && a.end == b.end;
+  }
+
+  /// "[s,e]" or "[]" when empty.
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Interval& interval);
+
+}  // namespace tgks::temporal
+
+#endif  // TGKS_TEMPORAL_INTERVAL_H_

@@ -1,0 +1,208 @@
+#include "temporal/interval_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "temporal/bitmap.h"
+
+namespace tgks::temporal {
+
+IntervalSet::IntervalSet(Interval interval) {
+  if (!interval.IsEmpty()) intervals_.push_back(interval);
+}
+
+IntervalSet::IntervalSet(std::initializer_list<Interval> intervals)
+    : intervals_(intervals) {
+  Normalize();
+}
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  Normalize();
+}
+
+IntervalSet IntervalSet::All(TimePoint timeline_length) {
+  if (timeline_length <= 0) return IntervalSet();
+  return IntervalSet(Interval(0, timeline_length - 1));
+}
+
+IntervalSet IntervalSet::Point(TimePoint t) {
+  return IntervalSet(Interval::Point(t));
+}
+
+IntervalSet IntervalSet::FromBitmap(const Bitmap& bitmap) {
+  std::vector<Interval> runs;
+  int64_t i = bitmap.FindFirstSet(0);
+  while (i >= 0) {
+    const int64_t end = bitmap.FindFirstClear(i);
+    const int64_t run_end = end < 0 ? bitmap.size() : end;
+    runs.emplace_back(static_cast<TimePoint>(i),
+                      static_cast<TimePoint>(run_end - 1));
+    if (end < 0) break;
+    i = bitmap.FindFirstSet(end);
+  }
+  IntervalSet out;
+  out.intervals_ = std::move(runs);  // Runs are already canonical.
+  return out;
+}
+
+void IntervalSet::Normalize() {
+  std::erase_if(intervals_, [](const Interval& iv) { return iv.IsEmpty(); });
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size());
+  for (const Interval& iv : intervals_) {
+    // Merge overlapping *and adjacent* intervals ([0,2] + [3,5] == [0,5] over
+    // discrete instants).
+    if (!merged.empty() && iv.start <= merged.back().end + 1) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  intervals_ = std::move(merged);
+}
+
+int64_t IntervalSet::Duration() const {
+  int64_t total = 0;
+  for (const Interval& iv : intervals_) total += iv.Length();
+  return total;
+}
+
+TimePoint IntervalSet::Start() const {
+  return intervals_.empty() ? kNoTimePoint : intervals_.front().start;
+}
+
+TimePoint IntervalSet::End() const {
+  return intervals_.empty() ? kNoTimePoint : intervals_.back().end;
+}
+
+bool IntervalSet::Contains(TimePoint t) const {
+  // First interval with start > t; the candidate container precedes it.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](TimePoint v, const Interval& iv) { return v < iv.start; });
+  if (it == intervals_.begin()) return false;
+  return std::prev(it)->Contains(t);
+}
+
+bool IntervalSet::Subsumes(const IntervalSet& other) const {
+  // Each interval of `other` must lie inside a single interval of `this`
+  // (canonical form guarantees no split is needed).
+  size_t i = 0;
+  for (const Interval& o : other.intervals_) {
+    while (i < intervals_.size() && intervals_[i].end < o.start) ++i;
+    if (i == intervals_.size() || !intervals_[i].Subsumes(o)) return false;
+  }
+  return true;
+}
+
+bool IntervalSet::Overlaps(const IntervalSet& other) const {
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    if (intervals_[i].Overlaps(other.intervals_[j])) return true;
+    if (intervals_[i].end < other.intervals_[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  size_t i = 0, j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    const Interval common = intervals_[i].Intersect(other.intervals_[j]);
+    if (!common.IsEmpty()) out.intervals_.push_back(common);
+    if (intervals_[i].end < other.intervals_[j].end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  // Intersection of canonical sets is canonical: pieces inherit sortedness
+  // and remain separated by the gaps of the inputs.
+  return out;
+}
+
+IntervalSet IntervalSet::Intersect(const Interval& other) const {
+  return Intersect(IntervalSet(other));
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  std::vector<Interval> all = intervals_;
+  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
+  return IntervalSet(std::move(all));
+}
+
+IntervalSet IntervalSet::Subtract(const IntervalSet& other) const {
+  IntervalSet out;
+  size_t j = 0;
+  for (Interval iv : intervals_) {
+    // Walk the subtrahend intervals that can affect iv.
+    while (j < other.intervals_.size() && other.intervals_[j].end < iv.start) {
+      ++j;
+    }
+    size_t k = j;
+    TimePoint cursor = iv.start;
+    while (k < other.intervals_.size() &&
+           other.intervals_[k].start <= iv.end) {
+      const Interval& cut = other.intervals_[k];
+      if (cut.start > cursor) {
+        out.intervals_.emplace_back(cursor, cut.start - 1);
+      }
+      cursor = std::max(cursor, static_cast<TimePoint>(cut.end + 1));
+      if (cursor > iv.end) break;
+      ++k;
+    }
+    if (cursor <= iv.end) out.intervals_.emplace_back(cursor, iv.end);
+  }
+  // Pieces of a canonical set minus something remain canonical.
+  return out;
+}
+
+IntervalSet IntervalSet::ComplementWithin(TimePoint timeline_length) const {
+  return All(timeline_length).Subtract(*this);
+}
+
+std::vector<TimePoint> IntervalSet::Instants() const {
+  std::vector<TimePoint> out;
+  out.reserve(static_cast<size_t>(Duration()));
+  for (const Interval& iv : intervals_) {
+    for (TimePoint t = iv.start; t <= iv.end; ++t) out.push_back(t);
+  }
+  return out;
+}
+
+Bitmap IntervalSet::ToBitmap(TimePoint timeline_length) const {
+  Bitmap bm(timeline_length);
+  for (const Interval& iv : intervals_) {
+    const TimePoint lo = std::max<TimePoint>(iv.start, 0);
+    const TimePoint hi = std::min<TimePoint>(iv.end, timeline_length - 1);
+    if (lo <= hi) bm.SetRange(lo, hi);
+  }
+  return bm;
+}
+
+std::string IntervalSet::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << intervals_[i].ToString();
+  }
+  os << '}';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set) {
+  return os << set.ToString();
+}
+
+}  // namespace tgks::temporal

@@ -1,0 +1,119 @@
+// IntervalSet: a normalized set of time instants, stored as sorted, disjoint,
+// non-adjacent closed intervals.
+//
+// This is the algebra all of tgks runs on. Node/edge validity (val(n),
+// val(e)), the T component of NTD triplets, result time val(T), and predicate
+// arguments are all IntervalSets. Operations are linear in the number of
+// stored intervals, which the paper's datasets keep tiny (append-only DBLP
+// has exactly one interval per element).
+
+#ifndef TGKS_TEMPORAL_INTERVAL_SET_H_
+#define TGKS_TEMPORAL_INTERVAL_SET_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "temporal/interval.h"
+#include "temporal/time_point.h"
+
+namespace tgks::temporal {
+
+class Bitmap;  // bitmap.h
+
+/// A set of discrete time instants with interval-based set algebra.
+///
+/// Invariant: `intervals()` is sorted by start, each interval is non-empty,
+/// and consecutive intervals are separated by at least one missing instant
+/// (i.e., the representation is canonical). Equal sets compare equal.
+class IntervalSet {
+ public:
+  /// The empty set.
+  IntervalSet() = default;
+
+  /// The set containing exactly `interval` (empty set if it is empty).
+  explicit IntervalSet(Interval interval);
+
+  /// Normalizes an arbitrary collection of intervals (any order, overlaps
+  /// and adjacency allowed) into canonical form.
+  IntervalSet(std::initializer_list<Interval> intervals);
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  IntervalSet(const IntervalSet&) = default;
+  IntervalSet& operator=(const IntervalSet&) = default;
+  IntervalSet(IntervalSet&&) noexcept = default;
+  IntervalSet& operator=(IntervalSet&&) noexcept = default;
+
+  /// The set of every instant in [0, timeline_length).
+  static IntervalSet All(TimePoint timeline_length);
+
+  /// The set {t}.
+  static IntervalSet Point(TimePoint t);
+
+  /// Builds from the 1-bits of `bitmap` (bit i == instant i).
+  static IntervalSet FromBitmap(const Bitmap& bitmap);
+
+  /// True iff the set has no instants.
+  bool IsEmpty() const { return intervals_.empty(); }
+
+  /// Number of instants in the set (the paper's "duration").
+  int64_t Duration() const;
+
+  /// Earliest instant; kNoTimePoint if empty.
+  TimePoint Start() const;
+
+  /// Latest instant; kNoTimePoint if empty.
+  TimePoint End() const;
+
+  /// True iff instant `t` is in the set. O(log #intervals).
+  bool Contains(TimePoint t) const;
+
+  /// True iff every instant of `other` is in this set.
+  bool Subsumes(const IntervalSet& other) const;
+
+  /// True iff the two sets share at least one instant.
+  bool Overlaps(const IntervalSet& other) const;
+
+  /// Set intersection.
+  IntervalSet Intersect(const IntervalSet& other) const;
+  IntervalSet Intersect(const Interval& other) const;
+
+  /// Set union.
+  IntervalSet Union(const IntervalSet& other) const;
+
+  /// Set difference (this \ other).
+  IntervalSet Subtract(const IntervalSet& other) const;
+
+  /// Complement within [0, timeline_length).
+  IntervalSet ComplementWithin(TimePoint timeline_length) const;
+
+  /// The canonical interval list.
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Materializes every instant, ascending. Intended for tests and small
+  /// sets; cost is Duration().
+  std::vector<TimePoint> Instants() const;
+
+  /// Writes 1-bits for each instant into a bitmap of `timeline_length` bits.
+  Bitmap ToBitmap(TimePoint timeline_length) const;
+
+  friend bool operator==(const IntervalSet& a, const IntervalSet& b) {
+    return a.intervals_ == b.intervals_;
+  }
+
+  /// "{[0,3] [7,7]}" style rendering.
+  std::string ToString() const;
+
+ private:
+  void Normalize();
+
+  std::vector<Interval> intervals_;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& set);
+
+}  // namespace tgks::temporal
+
+#endif  // TGKS_TEMPORAL_INTERVAL_SET_H_

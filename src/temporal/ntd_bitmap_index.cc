@@ -1,0 +1,233 @@
+#include "temporal/ntd_bitmap_index.h"
+
+#include <cassert>
+
+namespace tgks::temporal {
+
+std::unique_ptr<NtdSubsumptionIndex> CreateNtdIndex(
+    NtdIndexKind kind, TimePoint timeline_length) {
+  switch (kind) {
+    case NtdIndexKind::kNaive:
+      return std::make_unique<NaiveNtdIndex>(timeline_length);
+    case NtdIndexKind::kRowMajor:
+      return std::make_unique<RowMajorNtdIndex>(timeline_length);
+    case NtdIndexKind::kColumnMajor:
+      return std::make_unique<ColumnMajorNtdIndex>(timeline_length);
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// NaiveNtdIndex
+
+NaiveNtdIndex::NaiveNtdIndex(TimePoint timeline_length) {
+  (void)timeline_length;  // Interval sets carry their own extent.
+}
+
+bool NaiveNtdIndex::SubsumedByExisting(const IntervalSet& t) const {
+  for (const auto& row : rows_) {
+    if (row.has_value() && row->Subsumes(t)) return true;
+  }
+  return false;
+}
+
+std::vector<NtdRowHandle> NaiveNtdIndex::CollectSubsumed(
+    const IntervalSet& t) const {
+  std::vector<NtdRowHandle> out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].has_value() && t.Subsumes(*rows_[i])) {
+      out.push_back(static_cast<NtdRowHandle>(i));
+    }
+  }
+  return out;
+}
+
+NtdRowHandle NaiveNtdIndex::AddRow(const IntervalSet& t) {
+  assert(!t.IsEmpty());
+  if (!free_list_.empty()) {
+    const NtdRowHandle h = free_list_.back();
+    free_list_.pop_back();
+    rows_[static_cast<size_t>(h)] = t;
+    return h;
+  }
+  rows_.push_back(t);
+  return static_cast<NtdRowHandle>(rows_.size() - 1);
+}
+
+void NaiveNtdIndex::RemoveRow(NtdRowHandle handle) {
+  assert(handle >= 0 && static_cast<size_t>(handle) < rows_.size());
+  assert(rows_[static_cast<size_t>(handle)].has_value());
+  rows_[static_cast<size_t>(handle)].reset();
+  free_list_.push_back(handle);
+}
+
+int64_t NaiveNtdIndex::LiveRows() const {
+  return static_cast<int64_t>(rows_.size()) -
+         static_cast<int64_t>(free_list_.size());
+}
+
+// ---------------------------------------------------------------------------
+// RowMajorNtdIndex
+
+RowMajorNtdIndex::RowMajorNtdIndex(TimePoint timeline_length)
+    : timeline_length_(timeline_length) {}
+
+bool RowMajorNtdIndex::SubsumedByExisting(const IntervalSet& t) const {
+  const Bitmap probe = t.ToBitmap(timeline_length_);
+  for (const auto& row : rows_) {
+    if (row.has_value() && probe.IsSubsetOf(*row)) return true;
+  }
+  return false;
+}
+
+std::vector<NtdRowHandle> RowMajorNtdIndex::CollectSubsumed(
+    const IntervalSet& t) const {
+  const Bitmap probe = t.ToBitmap(timeline_length_);
+  std::vector<NtdRowHandle> out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].has_value() && rows_[i]->IsSubsetOf(probe)) {
+      out.push_back(static_cast<NtdRowHandle>(i));
+    }
+  }
+  return out;
+}
+
+NtdRowHandle RowMajorNtdIndex::AddRow(const IntervalSet& t) {
+  assert(!t.IsEmpty());
+  Bitmap row = t.ToBitmap(timeline_length_);
+  if (!free_list_.empty()) {
+    const NtdRowHandle h = free_list_.back();
+    free_list_.pop_back();
+    rows_[static_cast<size_t>(h)] = std::move(row);
+    return h;
+  }
+  rows_.push_back(std::move(row));
+  return static_cast<NtdRowHandle>(rows_.size() - 1);
+}
+
+void RowMajorNtdIndex::RemoveRow(NtdRowHandle handle) {
+  assert(handle >= 0 && static_cast<size_t>(handle) < rows_.size());
+  assert(rows_[static_cast<size_t>(handle)].has_value());
+  rows_[static_cast<size_t>(handle)].reset();
+  free_list_.push_back(handle);
+}
+
+int64_t RowMajorNtdIndex::LiveRows() const {
+  return static_cast<int64_t>(rows_.size()) -
+         static_cast<int64_t>(free_list_.size());
+}
+
+// ---------------------------------------------------------------------------
+// ColumnMajorNtdIndex
+
+ColumnMajorNtdIndex::ColumnMajorNtdIndex(TimePoint timeline_length)
+    : timeline_length_(timeline_length), live_rows_(0) {
+  assert(timeline_length >= 0);
+  columns_.assign(static_cast<size_t>(timeline_length), Bitmap(0));
+}
+
+void ColumnMajorNtdIndex::GrowRowCapacity(int64_t min_capacity) {
+  int64_t capacity = row_capacity_ == 0 ? 8 : row_capacity_;
+  while (capacity < min_capacity) capacity *= 2;
+  if (capacity == row_capacity_) return;
+  // Rebuild every column at the wider row capacity from the retained
+  // per-row interval sets. Amortized O(1) per AddRow.
+  std::vector<Bitmap> wider(columns_.size(), Bitmap(capacity));
+  Bitmap live(capacity);
+  for (size_t slot = 0; slot < row_intervals_.size(); ++slot) {
+    if (!live_rows_.Test(static_cast<int64_t>(slot))) continue;
+    live.Set(static_cast<int64_t>(slot));
+    for (const Interval& iv : row_intervals_[slot].intervals()) {
+      for (TimePoint t = iv.start; t <= iv.end; ++t) {
+        if (t >= 0 && t < timeline_length_) {
+          wider[static_cast<size_t>(t)].Set(static_cast<int64_t>(slot));
+        }
+      }
+    }
+  }
+  columns_ = std::move(wider);
+  live_rows_ = std::move(live);
+  row_capacity_ = capacity;
+}
+
+bool ColumnMajorNtdIndex::SubsumedByExisting(const IntervalSet& t) const {
+  assert(!t.IsEmpty());
+  if (LiveRows() == 0) return false;
+  // AND of the columns selected by the instants of t, over live rows only
+  // (Fig. 5: "extract the columns that correspond to the time instants in
+  // T∩ and perform an AND").
+  Bitmap acc = live_rows_;
+  for (const Interval& iv : t.intervals()) {
+    for (TimePoint instant = iv.start; instant <= iv.end; ++instant) {
+      if (instant < 0 || instant >= timeline_length_) return false;
+      acc.And(columns_[static_cast<size_t>(instant)]);
+      if (acc.None()) return false;
+    }
+  }
+  return acc.Any();
+}
+
+std::vector<NtdRowHandle> ColumnMajorNtdIndex::CollectSubsumed(
+    const IntervalSet& t) const {
+  std::vector<NtdRowHandle> out;
+  if (LiveRows() == 0) return out;
+  // OR of the columns *outside* t; live rows left at 0 have every instant
+  // inside t and are therefore subsumed by it.
+  Bitmap acc(row_capacity_);
+  const IntervalSet outside = t.ComplementWithin(timeline_length_);
+  for (const Interval& iv : outside.intervals()) {
+    for (TimePoint instant = iv.start; instant <= iv.end; ++instant) {
+      acc.Or(columns_[static_cast<size_t>(instant)]);
+    }
+  }
+  Bitmap zero_rows = live_rows_;
+  zero_rows.AndNot(acc);
+  for (int64_t slot = zero_rows.FindFirstSet(0); slot >= 0;
+       slot = zero_rows.FindFirstSet(slot + 1)) {
+    out.push_back(static_cast<NtdRowHandle>(slot));
+  }
+  return out;
+}
+
+NtdRowHandle ColumnMajorNtdIndex::AddRow(const IntervalSet& t) {
+  assert(!t.IsEmpty());
+  NtdRowHandle slot;
+  if (!free_list_.empty()) {
+    slot = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    slot = static_cast<NtdRowHandle>(row_intervals_.size());
+    if (slot >= row_capacity_) GrowRowCapacity(slot + 1);
+    row_intervals_.emplace_back();
+  }
+  row_intervals_[static_cast<size_t>(slot)] = t;
+  live_rows_.Set(slot);
+  for (const Interval& iv : t.intervals()) {
+    for (TimePoint instant = iv.start; instant <= iv.end; ++instant) {
+      if (instant >= 0 && instant < timeline_length_) {
+        columns_[static_cast<size_t>(instant)].Set(slot);
+      }
+    }
+  }
+  return slot;
+}
+
+void ColumnMajorNtdIndex::RemoveRow(NtdRowHandle handle) {
+  assert(handle >= 0 && handle < row_capacity_);
+  assert(live_rows_.Test(handle));
+  live_rows_.Clear(handle);
+  const IntervalSet& t = row_intervals_[static_cast<size_t>(handle)];
+  for (const Interval& iv : t.intervals()) {
+    for (TimePoint instant = iv.start; instant <= iv.end; ++instant) {
+      if (instant >= 0 && instant < timeline_length_) {
+        columns_[static_cast<size_t>(instant)].Clear(handle);
+      }
+    }
+  }
+  row_intervals_[static_cast<size_t>(handle)] = IntervalSet();
+  free_list_.push_back(handle);
+}
+
+int64_t ColumnMajorNtdIndex::LiveRows() const { return live_rows_.Count(); }
+
+}  // namespace tgks::temporal

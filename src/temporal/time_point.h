@@ -1,0 +1,29 @@
+// Discrete time instants.
+//
+// The paper models time as a finite sequence of discrete instants (53 yearly
+// instants for DBLP, 100 for the social-network data). A TimePoint is an
+// index into that sequence; a dataset fixes its own timeline length.
+
+#ifndef TGKS_TEMPORAL_TIME_POINT_H_
+#define TGKS_TEMPORAL_TIME_POINT_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tgks::temporal {
+
+/// Index of a discrete time instant, 0-based within a dataset's timeline.
+using TimePoint = int32_t;
+
+/// Sentinel for "no instant" (e.g., start of an empty interval set).
+inline constexpr TimePoint kNoTimePoint =
+    std::numeric_limits<TimePoint>::min();
+
+/// Upper bound on timeline lengths accepted by validating constructors.
+/// Large enough for any realistic archive at instant granularity; small
+/// enough to catch garbage inputs.
+inline constexpr TimePoint kMaxTimelineLength = 1 << 22;
+
+}  // namespace tgks::temporal
+
+#endif  // TGKS_TEMPORAL_TIME_POINT_H_

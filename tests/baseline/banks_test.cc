@@ -1,0 +1,229 @@
+#include "baseline/banks.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/banks_i.h"
+#include "baseline/banks_w.h"
+#include "search/query_parser.h"
+#include "testutil/paper_graphs.h"
+
+namespace tgks::baseline {
+namespace {
+
+using graph::NodeId;
+using graph::TemporalGraph;
+using search::Query;
+using temporal::IntervalSet;
+
+Query MustParse(const std::string& text) {
+  auto q = search::ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status();
+  return std::move(q).value();
+}
+
+TEST(BanksTest, GeneratesAndDiscardsInvalidResults) {
+  // Time-oblivious BANKS generates the Mary-Microsoft-John tree; the
+  // temporal post-filter must count and discard it.
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  BanksOptions options;
+  options.k = 0;
+  auto r = RunBanks(g, {{ids.mary}, {ids.john}}, options);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_GT(r.counters.invalid_time, 0);
+  for (const auto& tree : r.results) {
+    EXPECT_FALSE(tree.time.IsEmpty());
+  }
+}
+
+TEST(BanksTest, ResultsSortedByWeight) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  BanksOptions options;
+  options.k = 0;
+  auto r = RunBanks(g, {{ids.mary}, {ids.john}}, options);
+  for (size_t i = 1; i < r.results.size(); ++i) {
+    EXPECT_LE(r.results[i - 1].total_weight, r.results[i].total_weight);
+  }
+}
+
+TEST(BanksTest, SnapshotModeOnlySeesAliveElements) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  BanksOptions options;
+  options.k = 0;
+  options.snapshot = 0;  // Only Mary, John, Microsoft alive.
+  auto r = RunBanks(g, {{ids.mary}, {ids.john}}, options);
+  // At t0 the Microsoft-John edge (from t5) is dead: no connection.
+  EXPECT_TRUE(r.results.empty());
+  options.snapshot = 6;
+  r = RunBanks(g, {{ids.mary}, {ids.john}}, options);
+  ASSERT_FALSE(r.results.empty());
+  for (const auto& tree : r.results) {
+    EXPECT_TRUE(tree.time.Contains(6));
+  }
+}
+
+TEST(BanksTest, TopKStopsEarly) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  BanksOptions all;
+  all.k = 0;
+  BanksOptions topk;
+  topk.k = 1;
+  topk.bound = search::UpperBoundKind::kEmpirical;
+  const std::vector<std::vector<NodeId>> matches = {{ids.mary}, {ids.john}};
+  auto r_all = RunBanks(g, matches, all);
+  auto r_top = RunBanks(g, matches, topk);
+  EXPECT_LE(r_top.counters.pops, r_all.counters.pops);
+  ASSERT_GE(r_top.results.size(), 1u);
+  EXPECT_DOUBLE_EQ(r_top.results[0].total_weight,
+                   r_all.results[0].total_weight);
+}
+
+TEST(BanksWTest, PostFiltersPredicate) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const Query q = MustParse("mary, john result time precedes 5");
+  BanksOptions options;
+  options.k = 0;
+  auto r = RunBanksW(g, q, {{ids.mary}, {ids.john}}, options);
+  ASSERT_FALSE(r.results.empty());
+  for (const auto& tree : r.results) {
+    EXPECT_LT(tree.time.Start(), 5);
+  }
+  EXPECT_GT(r.counters.predicate_rejected + r.counters.invalid_time, 0);
+}
+
+TEST(BanksWTest, TemporalRankingSortsByRequestedFactor) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const Query q =
+      MustParse("mary, john rank by ascending order of result start time");
+  BanksOptions options;
+  options.k = 2;
+  auto r = RunBanksW(g, q, {{ids.mary}, {ids.john}}, options);
+  ASSERT_GE(r.results.size(), 2u);
+  EXPECT_LE(r.results[0].time.Start(), r.results[1].time.Start());
+}
+
+TEST(BanksITest, MergesAcrossSnapshotsWithExactTimes) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const Query q = MustParse("mary, john");
+  BanksIOptions options;
+  options.per_snapshot_k = 0;
+  options.k = 0;
+  auto r = RunBanksI(g, q, {{ids.mary}, {ids.john}}, options);
+  EXPECT_EQ(r.snapshots_traversed, 8);
+  ASSERT_FALSE(r.results.empty());
+  // The Bob-Ross tree must carry its full [6,7] validity even though each
+  // snapshot finds it separately.
+  const bool has_ross = std::any_of(
+      r.results.begin(), r.results.end(), [&](const auto& tree) {
+        return std::binary_search(tree.nodes.begin(), tree.nodes.end(),
+                                  ids.ross) &&
+               tree.time == IntervalSet{{6, 7}};
+      });
+  EXPECT_TRUE(has_ross);
+}
+
+TEST(BanksITest, PredicateClipsTraversedSnapshots) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const std::vector<std::vector<NodeId>> matches = {{ids.mary}, {ids.john}};
+  BanksIOptions options;
+  options.per_snapshot_k = 0;
+  options.k = 0;
+  auto precedes =
+      RunBanksI(g, MustParse("a, b result time precedes 5"), matches, options);
+  EXPECT_EQ(precedes.snapshots_traversed, 5);  // t0..t4.
+  auto overlaps = RunBanksI(g, MustParse("a, b result time overlaps [2,3]"),
+                            matches, options);
+  EXPECT_EQ(overlaps.snapshots_traversed, 2);
+  auto meets =
+      RunBanksI(g, MustParse("a, b result time meets 4"), matches, options);
+  EXPECT_EQ(meets.snapshots_traversed, 8);  // No clipping (paper-faithful).
+  auto contained = RunBanksI(
+      g, MustParse("a, b result time contained by [3,4]"), matches, options);
+  EXPECT_EQ(contained.snapshots_traversed, 8);
+}
+
+TEST(BanksITest, PerSnapshotTopKLimitsWork) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const Query q = MustParse("mary, john");
+  const std::vector<std::vector<NodeId>> matches = {{ids.mary}, {ids.john}};
+  BanksIOptions exhaustive;
+  exhaustive.per_snapshot_k = 0;
+  exhaustive.k = 0;
+  BanksIOptions limited;
+  limited.per_snapshot_k = 1;
+  limited.k = 0;
+  auto full = RunBanksI(g, q, matches, exhaustive);
+  auto capped = RunBanksI(g, q, matches, limited);
+  EXPECT_LE(capped.counters.pops, full.counters.pops);
+  EXPECT_LE(capped.results.size(), full.results.size());
+  // The per-snapshot best (smallest) tree must still be present.
+  ASSERT_FALSE(capped.results.empty());
+  EXPECT_DOUBLE_EQ(capped.results[0].total_weight,
+                   full.results[0].total_weight);
+}
+
+TEST(BanksITest, FinalTopKTruncates) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const Query q = MustParse("mary, john");
+  BanksIOptions options;
+  options.per_snapshot_k = 0;
+  options.k = 1;
+  auto r = RunBanksI(g, q, {{ids.mary}, {ids.john}}, options);
+  EXPECT_EQ(r.results.size(), 1u);
+}
+
+TEST(BanksITest, TemporalRankingOrdersMergedResults) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const Query q =
+      MustParse("mary, john rank by ascending order of result start time");
+  BanksIOptions options;
+  options.per_snapshot_k = 0;
+  options.k = 0;
+  auto r = RunBanksI(g, q, {{ids.mary}, {ids.john}}, options);
+  for (size_t i = 1; i < r.results.size(); ++i) {
+    EXPECT_LE(r.results[i - 1].time.Start(), r.results[i].time.Start());
+  }
+}
+
+TEST(BanksWTest, CountersAccountForAllCandidates) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const Query q = MustParse("mary, john");
+  BanksOptions options;
+  options.k = 0;
+  auto r = RunBanksW(g, q, {{ids.mary}, {ids.john}}, options);
+  // Every generated tree is accepted, invalid, predicate-rejected, or a
+  // duplicate.
+  EXPECT_EQ(r.counters.generated,
+            r.counters.results + r.counters.invalid_time +
+                r.counters.predicate_rejected + r.counters.duplicates);
+}
+
+TEST(BanksITest, PredicateCheckedOnMergedResults) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const Query q = MustParse("mary, john result time meets 7");
+  BanksIOptions options;
+  options.per_snapshot_k = 0;
+  options.k = 0;
+  auto r = RunBanksI(g, q, {{ids.mary}, {ids.john}}, options);
+  for (const auto& tree : r.results) {
+    EXPECT_TRUE(tree.time.Contains(7));
+    EXPECT_TRUE(tree.time.Start() == 7 || tree.time.End() == 7);
+  }
+}
+
+}  // namespace
+}  // namespace tgks::baseline

@@ -1,0 +1,98 @@
+#include "baseline/dijkstra_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "testutil/paper_graphs.h"
+
+namespace tgks::baseline {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TemporalGraph;
+using temporal::IntervalSet;
+
+TEST(DijkstraIteratorTest, WholeGraphIgnoresTime) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  DijkstraIterator iter(g, ids.john);
+  while (iter.Next() != graph::kInvalidNode) {
+  }
+  // Time-obliviously, Mary is 2 hops away via Microsoft.
+  ASSERT_TRUE(iter.DistanceTo(ids.mary).has_value());
+  EXPECT_DOUBLE_EQ(*iter.DistanceTo(ids.mary), 2.0);
+}
+
+TEST(DijkstraIteratorTest, SnapshotRestrictsReachability) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  // At t0 only Mary-Microsoft exists (John-Microsoft starts at t5).
+  DijkstraIterator at0(g, ids.john, 0);
+  while (at0.Next() != graph::kInvalidNode) {
+  }
+  EXPECT_FALSE(at0.DistanceTo(ids.mary).has_value());
+  // At t6 the Mary-Microsoft edge ([0,2]) is dead; Bob-Ross (3 hops) wins.
+  DijkstraIterator at6(g, ids.john, 6);
+  while (at6.Next() != graph::kInvalidNode) {
+  }
+  ASSERT_TRUE(at6.DistanceTo(ids.mary).has_value());
+  EXPECT_DOUBLE_EQ(*at6.DistanceTo(ids.mary), 3.0);
+}
+
+TEST(DijkstraIteratorTest, SnapshotWithDeadSourceIsExhausted) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  DijkstraIterator iter(g, ids.ross, 0);  // Ross exists from t5.
+  EXPECT_FALSE(iter.PeekDistance().has_value());
+  EXPECT_EQ(iter.Next(), graph::kInvalidNode);
+}
+
+TEST(DijkstraIteratorTest, PopsInNondecreasingOrder) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  DijkstraIterator iter(g, 0);
+  double last = 0;
+  for (NodeId n = iter.Next(); n != graph::kInvalidNode; n = iter.Next()) {
+    const double d = *iter.DistanceTo(n);
+    EXPECT_GE(d, last);
+    last = d;
+  }
+}
+
+TEST(DijkstraIteratorTest, PathEdgesWalksToSource) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  DijkstraIterator iter(g, ids.john);
+  while (iter.Next() != graph::kInvalidNode) {
+  }
+  const auto edges = iter.PathEdges(ids.mary);
+  EXPECT_EQ(edges.size(), 2u);  // Mary -> Microsoft -> John.
+  NodeId cur = ids.mary;
+  for (const auto e : edges) {
+    EXPECT_EQ(g.edge(e).src, cur);
+    cur = g.edge(e).dst;
+  }
+  EXPECT_EQ(cur, ids.john);
+  EXPECT_TRUE(iter.PathEdges(ids.john).empty());
+}
+
+TEST(DijkstraIteratorTest, RespectsWeights) {
+  GraphBuilder b(4);
+  const NodeId a = b.AddNode("a");
+  const NodeId c = b.AddNode("c");
+  const NodeId d = b.AddNode("d");
+  b.AddEdge(c, a, IntervalSet{{0, 3}}, 10.0);  // Direct but heavy.
+  b.AddEdge(c, d, IntervalSet{{0, 3}}, 1.0);
+  b.AddEdge(d, a, IntervalSet{{0, 3}}, 2.0);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  DijkstraIterator iter(*g, a);
+  while (iter.Next() != graph::kInvalidNode) {
+  }
+  EXPECT_DOUBLE_EQ(*iter.DistanceTo(c), 3.0);  // Via d.
+  const auto edges = iter.PathEdges(c);
+  EXPECT_EQ(edges.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tgks::baseline

@@ -1,0 +1,108 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tgks {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRespectsProbabilityRoughly) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(13);
+  const uint64_t n = 1000;
+  int head = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    const uint64_t v = rng.Zipf(n, 1.0);
+    EXPECT_LT(v, n);
+    head += (v < 10);
+  }
+  // Under Zipf(1.0) the top-10 ranks carry far more than the uniform share
+  // (which would be 1%).
+  EXPECT_GT(head, samples / 20);
+}
+
+TEST(RngTest, ZipfSingleElement) {
+  Rng rng(13);
+  EXPECT_EQ(rng.Zipf(1, 1.2), 0u);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(17);
+  for (uint64_t k : {0ull, 1ull, 5ull, 50ull, 100ull}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<uint64_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (uint64_t v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RngTest, SampleFullUniverseIsPermutation) {
+  Rng rng(19);
+  auto sample = rng.SampleWithoutReplacement(64, 64);
+  std::sort(sample.begin(), sample.end());
+  for (uint64_t i = 0; i < 64; ++i) EXPECT_EQ(sample[i], i);
+}
+
+}  // namespace
+}  // namespace tgks

@@ -1,0 +1,343 @@
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "datagen/dblp_generator.h"
+#include "datagen/query_generator.h"
+#include "datagen/replicate.h"
+#include "datagen/social_generator.h"
+#include "datagen/workflow_generator.h"
+#include "graph/graph_stats.h"
+#include "graph/inverted_index.h"
+
+namespace tgks::datagen {
+namespace {
+
+using graph::NodeId;
+using temporal::TimePoint;
+
+DblpParams SmallDblp() {
+  DblpParams p;
+  p.num_papers = 500;
+  p.num_authors = 200;
+  p.num_venues = 10;
+  p.vocab_size = 150;
+  p.seed = 11;
+  return p;
+}
+
+TEST(DblpGeneratorTest, ShapesAndCounts) {
+  auto d = GenerateDblp(SmallDblp());
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->papers.size(), 500u);
+  EXPECT_EQ(d->authors.size(), 200u);
+  EXPECT_EQ(d->venues.size(), 10u);
+  EXPECT_EQ(d->graph.timeline_length(), 53);
+  EXPECT_EQ(d->graph.num_nodes(), 1 + 10 + 200 + 500);
+}
+
+TEST(DblpGeneratorTest, AppendOnlyValidity) {
+  auto d = GenerateDblp(SmallDblp());
+  ASSERT_TRUE(d.ok());
+  const TimePoint last = d->graph.timeline_length() - 1;
+  for (NodeId n = 0; n < d->graph.num_nodes(); ++n) {
+    const auto& validity = d->graph.node(n).validity;
+    ASSERT_EQ(validity.intervals().size(), 1u) << n;
+    EXPECT_EQ(validity.End(), last) << n;
+  }
+  for (graph::EdgeId e = 0; e < d->graph.num_edges(); ++e) {
+    EXPECT_EQ(d->graph.edge(e).validity.End(), last);
+  }
+}
+
+TEST(DblpGeneratorTest, FullEdgeConnectivity) {
+  // Append-only validity => any two adjacent edges share the final instant.
+  auto d = GenerateDblp(SmallDblp());
+  ASSERT_TRUE(d.ok());
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(graph::MeasureEdgeConnectivity(d->graph, &rng, 5000), 1.0);
+}
+
+TEST(DblpGeneratorTest, RootReachesEverything) {
+  auto d = GenerateDblp(SmallDblp());
+  ASSERT_TRUE(d.ok());
+  // BFS over forward edges from the DBLP root.
+  std::vector<bool> seen(static_cast<size_t>(d->graph.num_nodes()), false);
+  std::vector<NodeId> frontier = {d->root};
+  seen[static_cast<size_t>(d->root)] = true;
+  size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId n = frontier.back();
+    frontier.pop_back();
+    for (const auto e : d->graph.OutEdges(n)) {
+      const NodeId next = d->graph.edge(e).dst;
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        ++reached;
+        frontier.push_back(next);
+      }
+    }
+  }
+  EXPECT_EQ(reached, static_cast<size_t>(d->graph.num_nodes()));
+}
+
+TEST(DblpGeneratorTest, CitationsPointBackwardInTime) {
+  auto d = GenerateDblp(SmallDblp());
+  ASSERT_TRUE(d.ok());
+  std::unordered_set<NodeId> papers(d->papers.begin(), d->papers.end());
+  for (graph::EdgeId e = 0; e < d->graph.num_edges(); ++e) {
+    const auto& edge = d->graph.edge(e);
+    if (papers.count(edge.src) && papers.count(edge.dst)) {
+      EXPECT_GE(d->graph.node(edge.src).validity.Start(),
+                d->graph.node(edge.dst).validity.Start());
+    }
+  }
+}
+
+TEST(DblpGeneratorTest, DeterministicInSeed) {
+  auto a = GenerateDblp(SmallDblp());
+  auto b = GenerateDblp(SmallDblp());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->graph.num_nodes(), b->graph.num_nodes());
+  ASSERT_EQ(a->graph.num_edges(), b->graph.num_edges());
+  for (NodeId n = 0; n < a->graph.num_nodes(); ++n) {
+    EXPECT_EQ(a->graph.node(n).label, b->graph.node(n).label);
+  }
+  DblpParams other = SmallDblp();
+  other.seed = 99;
+  auto c = GenerateDblp(other);
+  ASSERT_TRUE(c.ok());
+  bool any_diff = false;
+  for (NodeId n = 0; n < std::min(a->graph.num_nodes(), c->graph.num_nodes());
+       ++n) {
+    any_diff |= (a->graph.node(n).label != c->graph.node(n).label);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DblpGeneratorTest, RejectsBadParams) {
+  DblpParams p = SmallDblp();
+  p.num_papers = 0;
+  EXPECT_FALSE(GenerateDblp(p).ok());
+  p = SmallDblp();
+  p.timeline_length = 1;
+  EXPECT_FALSE(GenerateDblp(p).ok());
+  p = SmallDblp();
+  p.title_words_max = 0;
+  EXPECT_FALSE(GenerateDblp(p).ok());
+}
+
+SocialParams SmallSocial(double connectivity) {
+  SocialParams p;
+  p.num_nodes = 2000;
+  p.edges_per_node = 2;
+  p.edge_connectivity = connectivity;
+  p.seed = 5;
+  return p;
+}
+
+TEST(SocialGeneratorTest, HitsTargetConnectivity) {
+  for (const double target : {0.3, 0.5, 0.7, 0.9}) {
+    auto d = GenerateSocial(SmallSocial(target));
+    ASSERT_TRUE(d.ok()) << d.status();
+    EXPECT_NEAR(d->measured_connectivity, target, 0.07) << target;
+  }
+}
+
+TEST(SocialGeneratorTest, NodeValidityIsUnionOfEdges) {
+  auto d = GenerateSocial(SmallSocial(0.7));
+  ASSERT_TRUE(d.ok());
+  const auto& g = d->graph;
+  for (graph::EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& edge = g.edge(e);
+    EXPECT_TRUE(g.node(edge.src).validity.Subsumes(edge.validity));
+    EXPECT_TRUE(g.node(edge.dst).validity.Subsumes(edge.validity));
+  }
+}
+
+TEST(SocialGeneratorTest, MultiIntervalValidityPresent) {
+  auto d = GenerateSocial(SmallSocial(0.5));
+  ASSERT_TRUE(d.ok());
+  int multi = 0;
+  for (NodeId n = 0; n < d->graph.num_nodes(); ++n) {
+    multi += d->graph.node(n).validity.intervals().size() > 1;
+  }
+  EXPECT_GT(multi, d->graph.num_nodes() / 20);
+}
+
+TEST(SocialGeneratorTest, RejectsBadParams) {
+  SocialParams p = SmallSocial(0.7);
+  p.edge_connectivity = 0.0;
+  EXPECT_FALSE(GenerateSocial(p).ok());
+  p = SmallSocial(0.7);
+  p.num_nodes = 1;
+  EXPECT_FALSE(GenerateSocial(p).ok());
+}
+
+WorkflowParams SmallWorkflows() {
+  WorkflowParams p;
+  p.num_workflows = 40;
+  p.num_entities = 80;
+  p.vocab_size = 120;
+  p.seed = 13;
+  return p;
+}
+
+TEST(WorkflowGeneratorTest, ShapesAndTypes) {
+  auto d = GenerateWorkflows(SmallWorkflows());
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->workflows.size(), 40u);
+  EXPECT_EQ(d->entities.size(), 80u);
+  EXPECT_GE(d->subworkflows.size(), d->workflows.size() * 2);  // >= 2 versions.
+  EXPECT_GT(d->tasks.size(), d->subworkflows.size());
+  const graph::InvertedIndex index(d->graph);
+  EXPECT_EQ(index.Lookup("workflow").size(), d->workflows.size());
+  EXPECT_EQ(index.Lookup("subworkflow").size(), d->subworkflows.size());
+  EXPECT_EQ(index.Lookup("task").size(), d->tasks.size());
+  EXPECT_EQ(index.Lookup("entity").size(), d->entities.size());
+}
+
+TEST(WorkflowGeneratorTest, DeletionsAreCommon) {
+  // Unlike DBLP, many elements must die before the final instant.
+  auto d = GenerateWorkflows(SmallWorkflows());
+  ASSERT_TRUE(d.ok());
+  const TimePoint final_instant = d->graph.timeline_length() - 1;
+  int dead_subworkflows = 0;
+  for (const NodeId n : d->subworkflows) {
+    dead_subworkflows += d->graph.node(n).validity.End() < final_instant;
+  }
+  // Every non-final version of a multi-version workflow dies.
+  EXPECT_GT(dead_subworkflows, static_cast<int>(d->workflows.size()) / 2);
+  Rng rng(5);
+  EXPECT_LT(graph::MeasureEdgeConnectivity(d->graph, &rng, 5000), 1.0);
+}
+
+TEST(WorkflowGeneratorTest, VersionSpansPartitionWorkflowLifetime) {
+  auto d = GenerateWorkflows(SmallWorkflows());
+  ASSERT_TRUE(d.ok());
+  // For each workflow node, the union of its subworkflow children's
+  // validity must equal the workflow's validity.
+  for (const NodeId w : d->workflows) {
+    temporal::IntervalSet versions_union;
+    for (const auto e : d->graph.OutEdges(w)) {
+      const NodeId child = d->graph.edge(e).dst;
+      const auto& label = d->graph.node(child).label;
+      if (label.rfind("subworkflow", 0) == 0) {
+        versions_union = versions_union.Union(d->graph.node(child).validity);
+      }
+    }
+    EXPECT_EQ(versions_union, d->graph.node(w).validity)
+        << d->graph.node(w).label;
+  }
+}
+
+TEST(WorkflowGeneratorTest, RejectsBadParams) {
+  WorkflowParams p = SmallWorkflows();
+  p.num_workflows = 0;
+  EXPECT_FALSE(GenerateWorkflows(p).ok());
+  p = SmallWorkflows();
+  p.timeline_length = 2;
+  EXPECT_FALSE(GenerateWorkflows(p).ok());
+  p = SmallWorkflows();
+  p.versions_max = 0;
+  EXPECT_FALSE(GenerateWorkflows(p).ok());
+}
+
+TEST(QueryGeneratorTest, DblpWorkloadShape) {
+  auto d = GenerateDblp(SmallDblp());
+  ASSERT_TRUE(d.ok());
+  QueryWorkloadParams params;
+  params.num_queries = 50;
+  const auto workload = MakeDblpWorkload(*d, params);
+  ASSERT_EQ(workload.size(), 50u);
+  const graph::InvertedIndex index(d->graph);
+  int with_matches = 0;
+  for (const auto& wq : workload) {
+    EXPECT_GE(wq.query.keywords.size(), 2u);
+    EXPECT_LE(wq.query.keywords.size(), 4u);
+    EXPECT_TRUE(wq.matches.empty());
+    EXPECT_TRUE(wq.query.Validate().ok());
+    for (const auto& kw : wq.query.keywords) {
+      with_matches += !index.Lookup(kw).empty();
+    }
+  }
+  EXPECT_GT(with_matches, 0);
+}
+
+TEST(QueryGeneratorTest, PredicateAttached) {
+  auto d = GenerateDblp(SmallDblp());
+  ASSERT_TRUE(d.ok());
+  QueryWorkloadParams params;
+  params.num_queries = 20;
+  params.predicate = search::PredicateOp::kOverlaps;
+  const auto workload = MakeDblpWorkload(*d, params);
+  for (const auto& wq : workload) {
+    ASSERT_NE(wq.query.predicate, nullptr);
+    EXPECT_NE(wq.query.predicate->ToString().find("overlaps"),
+              std::string::npos);
+  }
+}
+
+TEST(QueryGeneratorTest, MatchSetWorkloadRespectsBounds) {
+  auto d = GenerateSocial(SmallSocial(0.7));
+  ASSERT_TRUE(d.ok());
+  QueryWorkloadParams params;
+  params.num_queries = 20;
+  MatchSetParams match_params;
+  match_params.matches_min = 20;
+  match_params.matches_max = 100;
+  const auto workload = MakeMatchSetWorkload(d->graph, params, match_params);
+  for (const auto& wq : workload) {
+    ASSERT_EQ(wq.matches.size(), wq.query.keywords.size());
+    for (const auto& set : wq.matches) {
+      EXPECT_GE(set.size(), 20u);
+      EXPECT_LE(set.size(), 100u);
+      std::set<NodeId> uniq(set.begin(), set.end());
+      EXPECT_EQ(uniq.size(), set.size());
+      for (const NodeId n : set) {
+        EXPECT_GE(n, 0);
+        EXPECT_LT(n, d->graph.num_nodes());
+      }
+    }
+  }
+}
+
+TEST(ReplicateTest, CopiesAndBridges) {
+  auto d = GenerateSocial(SmallSocial(0.7));
+  ASSERT_TRUE(d.ok());
+  Rng rng(9);
+  auto big = ReplicateGraph(d->graph, 3, 50, &rng);
+  ASSERT_TRUE(big.ok()) << big.status();
+  EXPECT_EQ(big->num_nodes(), d->graph.num_nodes() * 3);
+  // 3 copies of edges plus 50 bidirectional bridges.
+  EXPECT_EQ(big->num_edges(), d->graph.num_edges() * 3 + 100);
+  // Copy 0 preserves labels and validity.
+  for (NodeId n = 0; n < d->graph.num_nodes(); n += 97) {
+    EXPECT_EQ(big->node(n).label, d->graph.node(n).label);
+    EXPECT_EQ(big->node(n).validity, d->graph.node(n).validity);
+  }
+}
+
+TEST(ReplicateTest, SingleCopyIdentity) {
+  auto d = GenerateSocial(SmallSocial(0.7));
+  ASSERT_TRUE(d.ok());
+  Rng rng(9);
+  auto same = ReplicateGraph(d->graph, 1, 0, &rng);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->num_nodes(), d->graph.num_nodes());
+  EXPECT_EQ(same->num_edges(), d->graph.num_edges());
+}
+
+TEST(ReplicateTest, RejectsBadParams) {
+  auto d = GenerateSocial(SmallSocial(0.7));
+  ASSERT_TRUE(d.ok());
+  Rng rng(9);
+  EXPECT_FALSE(ReplicateGraph(d->graph, 0, 0, &rng).ok());
+  EXPECT_FALSE(ReplicateGraph(d->graph, 1, 5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace tgks::datagen

@@ -1,0 +1,181 @@
+#include "graph/archive_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/transform.h"
+#include "temporal/interval_set.h"
+
+namespace tgks::graph {
+namespace {
+
+using temporal::Interval;
+using temporal::IntervalSet;
+
+TEST(ArchiveBuilderTest, FoldsEventsIntoIntervals) {
+  ArchiveBuilder b;
+  const NodeId mary = b.DeclareNode("Mary");
+  const NodeId bob = b.DeclareNode("Bob");
+  const EdgeId friendship = b.DeclareEdge(mary, bob);
+  ASSERT_TRUE(b.NodeAppears(mary, 0).ok());
+  ASSERT_TRUE(b.NodeAppears(bob, 2).ok());
+  ASSERT_TRUE(b.EdgeAppears(friendship, 3).ok());
+  ASSERT_TRUE(b.EdgeDisappears(friendship, 6).ok());
+  auto g = b.Build(10);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->node(mary).validity, IntervalSet(Interval(0, 9)));
+  EXPECT_EQ(g->node(bob).validity, IntervalSet(Interval(2, 9)));
+  EXPECT_EQ(g->edge(0).validity, IntervalSet(Interval(3, 5)));
+}
+
+TEST(ArchiveBuilderTest, MultipleLifetimes) {
+  ArchiveBuilder b;
+  const NodeId n = b.DeclareNode("account");
+  ASSERT_TRUE(b.NodeAppears(n, 1).ok());
+  ASSERT_TRUE(b.NodeDisappears(n, 3).ok());
+  ASSERT_TRUE(b.NodeAppears(n, 6).ok());  // Re-activated.
+  auto g = b.Build(10);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->node(n).validity, (IntervalSet{{1, 2}, {6, 9}}));
+}
+
+TEST(ArchiveBuilderTest, EventsArriveOutOfOrder) {
+  ArchiveBuilder b;
+  const NodeId n = b.DeclareNode("x");
+  ASSERT_TRUE(b.NodeDisappears(n, 5).ok());  // Logged late.
+  ASSERT_TRUE(b.NodeAppears(n, 1).ok());
+  auto g = b.Build(10);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->node(n).validity, IntervalSet(Interval(1, 4)));
+}
+
+TEST(ArchiveBuilderTest, RejectsInconsistentEvents) {
+  {
+    ArchiveBuilder b;
+    const NodeId n = b.DeclareNode("x");
+    ASSERT_TRUE(b.NodeAppears(n, 1).ok());
+    ASSERT_TRUE(b.NodeAppears(n, 3).ok());  // Already alive.
+    EXPECT_FALSE(b.Build(10).ok());
+  }
+  {
+    ArchiveBuilder b;
+    const NodeId n = b.DeclareNode("x");
+    ASSERT_TRUE(b.NodeDisappears(n, 3).ok());  // Never appeared.
+    EXPECT_FALSE(b.Build(10).ok());
+  }
+  {
+    ArchiveBuilder b;
+    const NodeId n = b.DeclareNode("x");
+    ASSERT_TRUE(b.NodeAppears(n, 3).ok());
+    ASSERT_TRUE(b.NodeDisappears(n, 3).ok());  // Empty lifetime.
+    EXPECT_FALSE(b.Build(10).ok());
+  }
+  {
+    ArchiveBuilder b;
+    b.DeclareNode("never-appears");
+    EXPECT_FALSE(b.Build(10).ok());
+  }
+  {
+    ArchiveBuilder b;
+    const NodeId n = b.DeclareNode("x");
+    ASSERT_TRUE(b.NodeAppears(n, 99).ok());
+    EXPECT_FALSE(b.Build(10).ok());  // Beyond the timeline.
+  }
+  {
+    ArchiveBuilder b;
+    EXPECT_FALSE(b.NodeAppears(5, 0).ok());     // Undeclared.
+    EXPECT_FALSE(b.EdgeAppears(0, 0).ok());     // Undeclared.
+    EXPECT_FALSE(b.NodeAppears(0, -1).ok());    // Before the timeline.
+  }
+}
+
+TEST(ArchiveBuilderTest, RejectsEdgeOutlivingEndpoint) {
+  ArchiveBuilder b;
+  const NodeId u = b.DeclareNode("u");
+  const NodeId v = b.DeclareNode("v");
+  const EdgeId e = b.DeclareEdge(u, v);
+  ASSERT_TRUE(b.NodeAppears(u, 0).ok());
+  ASSERT_TRUE(b.NodeAppears(v, 0).ok());
+  ASSERT_TRUE(b.NodeDisappears(v, 4).ok());
+  ASSERT_TRUE(b.EdgeAppears(e, 2).ok());  // Edge stays open through 9...
+  EXPECT_FALSE(b.Build(10).ok());         // ...but v died at 4.
+}
+
+TEST(TransformTest, RestrictToWindowClipsAndShifts) {
+  ArchiveBuilder b;
+  const NodeId early = b.DeclareNode("early");
+  const NodeId late = b.DeclareNode("late");
+  const NodeId both = b.DeclareNode("both");
+  ASSERT_TRUE(b.NodeAppears(early, 0).ok());
+  ASSERT_TRUE(b.NodeDisappears(early, 3).ok());
+  ASSERT_TRUE(b.NodeAppears(late, 7).ok());
+  ASSERT_TRUE(b.NodeAppears(both, 1).ok());
+  const EdgeId e = b.DeclareEdge(late, both);
+  ASSERT_TRUE(b.EdgeAppears(e, 8).ok());
+  auto g = b.Build(10);
+  ASSERT_TRUE(g.ok()) << g.status();
+
+  auto window = RestrictToWindow(*g, Interval(5, 9));
+  ASSERT_TRUE(window.ok()) << window.status();
+  EXPECT_EQ(window->graph.timeline_length(), 5);
+  // "early" (dead by t3) is dropped; the ids of the others are remapped.
+  EXPECT_EQ(window->node_mapping[static_cast<size_t>(early)], kInvalidNode);
+  const NodeId new_late = window->node_mapping[static_cast<size_t>(late)];
+  const NodeId new_both = window->node_mapping[static_cast<size_t>(both)];
+  ASSERT_NE(new_late, kInvalidNode);
+  ASSERT_NE(new_both, kInvalidNode);
+  EXPECT_EQ(window->graph.node(new_late).validity,
+            IntervalSet(Interval(2, 4)));  // [7,9] shifted by 5.
+  EXPECT_EQ(window->graph.node(new_both).validity,
+            IntervalSet(Interval(0, 4)));
+  EXPECT_EQ(window->graph.num_edges(), 1);
+  EXPECT_EQ(window->graph.edge(0).validity, IntervalSet(Interval(3, 4)));
+}
+
+TEST(TransformTest, RestrictWithoutShiftKeepsNumbering) {
+  ArchiveBuilder b;
+  const NodeId n = b.DeclareNode("n");
+  ASSERT_TRUE(b.NodeAppears(n, 2).ok());
+  auto g = b.Build(10);
+  ASSERT_TRUE(g.ok());
+  auto window = RestrictToWindow(*g, Interval(4, 7), /*shift_origin=*/false);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->graph.timeline_length(), 10);
+  EXPECT_EQ(window->graph.node(0).validity, IntervalSet(Interval(4, 7)));
+}
+
+TEST(TransformTest, MaterializeSnapshot) {
+  ArchiveBuilder b;
+  const NodeId a = b.DeclareNode("a");
+  const NodeId c = b.DeclareNode("c");
+  ASSERT_TRUE(b.NodeAppears(a, 0).ok());
+  ASSERT_TRUE(b.NodeAppears(c, 5).ok());
+  const EdgeId e = b.DeclareEdge(a, c);
+  ASSERT_TRUE(b.EdgeAppears(e, 6).ok());
+  auto g = b.Build(10);
+  ASSERT_TRUE(g.ok());
+
+  auto at3 = MaterializeSnapshot(*g, 3);
+  ASSERT_TRUE(at3.ok());
+  EXPECT_EQ(at3->graph.num_nodes(), 1);  // Only "a".
+  EXPECT_EQ(at3->graph.num_edges(), 0);
+  EXPECT_EQ(at3->graph.timeline_length(), 1);
+
+  auto at7 = MaterializeSnapshot(*g, 7);
+  ASSERT_TRUE(at7.ok());
+  EXPECT_EQ(at7->graph.num_nodes(), 2);
+  EXPECT_EQ(at7->graph.num_edges(), 1);
+}
+
+TEST(TransformTest, RejectsBadWindows) {
+  ArchiveBuilder b;
+  const NodeId n = b.DeclareNode("n");
+  ASSERT_TRUE(b.NodeAppears(n, 0).ok());
+  auto g = b.Build(10);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(RestrictToWindow(*g, Interval(5, 4)).ok());
+  EXPECT_FALSE(RestrictToWindow(*g, Interval(-1, 4)).ok());
+  EXPECT_FALSE(RestrictToWindow(*g, Interval(5, 99)).ok());
+}
+
+}  // namespace
+}  // namespace tgks::graph

@@ -1,0 +1,67 @@
+#include "graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "testutil/paper_graphs.h"
+
+namespace tgks::graph {
+namespace {
+
+using temporal::IntervalSet;
+
+TEST(GraphStatsTest, CountsAndDegrees) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  Rng rng(1);
+  const GraphStats stats = ComputeGraphStats(g, &rng);
+  EXPECT_EQ(stats.num_nodes, g.num_nodes());
+  EXPECT_EQ(stats.num_edges, g.num_edges());
+  EXPECT_EQ(stats.timeline_length, 8);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree,
+                   static_cast<double>(g.num_edges()) / g.num_nodes());
+  EXPECT_GE(stats.avg_intervals_per_node, 1.0);
+}
+
+TEST(GraphStatsTest, FullOverlapGivesConnectivityOne) {
+  // Append-only graph (all validity reaching the end): any two adjacent
+  // edges share the final instant, exactly DBLP's 100% edge connectivity.
+  GraphBuilder b(10);
+  const NodeId a = b.AddNode("a", IntervalSet{{0, 9}});
+  const NodeId c = b.AddNode("c", IntervalSet{{3, 9}});
+  const NodeId d = b.AddNode("d", IntervalSet{{6, 9}});
+  b.AddEdge(a, c);
+  b.AddEdge(c, d);
+  b.AddEdge(a, d);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(MeasureEdgeConnectivity(*g, &rng, 2000), 1.0);
+}
+
+TEST(GraphStatsTest, DisjointEdgesGiveConnectivityZero) {
+  GraphBuilder b(10);
+  const NodeId a = b.AddNode("a", IntervalSet{{0, 9}});
+  const NodeId c = b.AddNode("c", IntervalSet{{0, 9}});
+  const NodeId d = b.AddNode("d", IntervalSet{{0, 9}});
+  b.AddEdge(a, c, IntervalSet{{0, 2}});
+  b.AddEdge(c, d, IntervalSet{{5, 9}});
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(MeasureEdgeConnectivity(*g, &rng, 2000), 0.0);
+}
+
+TEST(GraphStatsTest, TinyGraphsDoNotCrash) {
+  GraphBuilder b(5);
+  b.AddNode("solo");
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(4);
+  const GraphStats stats = ComputeGraphStats(*g, &rng);
+  EXPECT_EQ(stats.num_edges, 0);
+  EXPECT_DOUBLE_EQ(stats.edge_connectivity, 1.0);  // Vacuous.
+}
+
+}  // namespace
+}  // namespace tgks::graph

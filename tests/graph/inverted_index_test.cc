@@ -1,0 +1,81 @@
+#include "graph/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "testutil/paper_graphs.h"
+
+namespace tgks::graph {
+namespace {
+
+using temporal::IntervalSet;
+
+TemporalGraph MakeLabeledGraph() {
+  GraphBuilder b(4);
+  b.AddNode("Keyword Search on Temporal Graphs");  // 0
+  b.AddNode("graph search");                       // 1
+  b.AddNode("TEMPORAL");                           // 2
+  b.AddNode("");                                   // 3
+  b.AddNode("search search search");               // 4
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(InvertedIndexTest, WordLookupIsCaseInsensitive) {
+  const TemporalGraph g = MakeLabeledGraph();
+  const InvertedIndex index(g);
+  const auto matches = index.Lookup("Temporal");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], 0);
+  EXPECT_EQ(matches[1], 2);
+}
+
+TEST(InvertedIndexTest, MultiWordLabelsIndexEachWord) {
+  const TemporalGraph g = MakeLabeledGraph();
+  const InvertedIndex index(g);
+  EXPECT_EQ(index.Lookup("keyword").size(), 1u);
+  EXPECT_EQ(index.Lookup("on").size(), 1u);
+  const auto search = index.Lookup("search");
+  ASSERT_EQ(search.size(), 3u);
+  EXPECT_EQ(search[0], 0);
+  EXPECT_EQ(search[1], 1);
+  EXPECT_EQ(search[2], 4);
+}
+
+TEST(InvertedIndexTest, RepeatedWordInLabelPostsOnce) {
+  const TemporalGraph g = MakeLabeledGraph();
+  const InvertedIndex index(g);
+  int count = 0;
+  for (NodeId n : index.Lookup("search")) count += (n == 4);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(InvertedIndexTest, UnknownKeywordEmpty) {
+  const TemporalGraph g = MakeLabeledGraph();
+  const InvertedIndex index(g);
+  EXPECT_TRUE(index.Lookup("nonexistent").empty());
+  EXPECT_TRUE(index.Lookup("").empty());
+}
+
+TEST(InvertedIndexTest, NoPartialWordMatch) {
+  const TemporalGraph g = MakeLabeledGraph();
+  const InvertedIndex index(g);
+  EXPECT_TRUE(index.Lookup("grap").empty());
+  EXPECT_TRUE(index.Lookup("searching").empty());
+}
+
+TEST(InvertedIndexTest, SocialFixtureNames) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const InvertedIndex index(g);
+  const auto mary = index.Lookup("mary");
+  ASSERT_EQ(mary.size(), 1u);
+  EXPECT_EQ(mary[0], ids.mary);
+  const auto microsoft = index.Lookup("MICROSOFT");
+  ASSERT_EQ(microsoft.size(), 1u);
+  EXPECT_EQ(microsoft[0], ids.microsoft);
+}
+
+}  // namespace
+}  // namespace tgks::graph

@@ -1,0 +1,219 @@
+#include "graph/serialization.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "testutil/paper_graphs.h"
+
+namespace tgks::graph {
+namespace {
+
+using temporal::Interval;
+using temporal::IntervalSet;
+
+TEST(ValidityLiteralTest, ParseSingleInterval) {
+  auto r = ParseValidity("@[2,5]", 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, IntervalSet(Interval(2, 5)));
+}
+
+TEST(ValidityLiteralTest, ParseMultipleIntervals) {
+  auto r = ParseValidity("@[0,1][4,4][8,9]", 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (IntervalSet{{0, 1}, {4, 4}, {8, 9}}));
+}
+
+TEST(ValidityLiteralTest, ParseStar) {
+  auto r = ParseValidity("@*", 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, IntervalSet::All(7));
+}
+
+TEST(ValidityLiteralTest, RejectsMalformed) {
+  for (const char* bad : {"", "[0,1]", "@", "@[1,0]", "@[a,b]", "@[0,1",
+                          "@(0,1)", "@[0,1]x"}) {
+    EXPECT_FALSE(ParseValidity(bad, 10).ok()) << bad;
+  }
+}
+
+TEST(ValidityLiteralTest, FormatRoundTrip) {
+  const IntervalSet sets[] = {
+      IntervalSet{{0, 3}},
+      IntervalSet{{0, 1}, {5, 6}},
+      IntervalSet::All(10),
+  };
+  for (const auto& s : sets) {
+    auto parsed = ParseValidity(FormatValidity(s, 10), 10);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, s);
+  }
+}
+
+TEST(SerializationTest, SaveLoadRoundTrip) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveGraph(g, out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadGraph(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_nodes(), g.num_nodes());
+  ASSERT_EQ(loaded->num_edges(), g.num_edges());
+  EXPECT_EQ(loaded->timeline_length(), g.timeline_length());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(loaded->node(n).label, g.node(n).label);
+    EXPECT_EQ(loaded->node(n).validity, g.node(n).validity);
+    EXPECT_DOUBLE_EQ(loaded->node(n).weight, g.node(n).weight);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(loaded->edge(e).src, g.edge(e).src);
+    EXPECT_EQ(loaded->edge(e).dst, g.edge(e).dst);
+    EXPECT_EQ(loaded->edge(e).validity, g.edge(e).validity);
+  }
+}
+
+TEST(SerializationTest, LabelsWithSpacesSurvive) {
+  GraphBuilder b(5);
+  b.AddNode("Keyword Search on Temporal Graphs", IntervalSet{{0, 4}});
+  b.AddNode("J. Gray", IntervalSet{{1, 3}});
+  b.AddEdge(0, 1);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(SaveGraph(*g, out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadGraph(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->node(0).label, "Keyword Search on Temporal Graphs");
+  EXPECT_EQ(loaded->node(1).label, "J. Gray");
+}
+
+TEST(SerializationTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "tgf 1\n"
+      "# a comment\n"
+      "\n"
+      "timeline 5\n"
+      "node 0 0 @[0,4] a\n"
+      "  # indented comment\n"
+      "node 1 0 @[0,4] b\n"
+      "edge 0 1 1 @[1,2]\n";
+  std::istringstream in(text);
+  auto g = LoadGraph(in);
+  ASSERT_TRUE(g.ok()) << g.status();
+  EXPECT_EQ(g->num_nodes(), 2);
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_EQ(g->edge(0).validity, IntervalSet(Interval(1, 2)));
+}
+
+TEST(SerializationTest, RejectsCorruptInputs) {
+  const char* cases[] = {
+      "",                                                // No header.
+      "tgf 2\ntimeline 5\n",                             // Wrong version.
+      "tgf 1\n",                                         // Missing timeline.
+      "tgf 1\ntimeline 0\n",                             // Bad horizon.
+      "tgf 1\ntimeline 5\nnode 1 0 @* a\n",              // Non-dense ids.
+      "tgf 1\ntimeline 5\nnode 0 0 @* a\nedge 0 1 1 @*\n",  // Dangling edge.
+      "tgf 1\ntimeline 5\nnode 0 x @* a\n",              // Bad weight.
+      "tgf 1\ntimeline 5\nwhat 0\n",                     // Unknown record.
+      "tgf 1\ntimeline 5\nnode 0 0 @[9,9] a\nnode 1 0 @* b\n"
+      "edge 0 1 1 @[0,0]\n",  // Edge outside endpoint validity (strict).
+  };
+  for (const char* text : cases) {
+    std::istringstream in(text);
+    EXPECT_FALSE(LoadGraph(in).ok()) << text;
+  }
+}
+
+TEST(BinarySerializationTest, RoundTrip) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(SaveGraphBinary(g, buffer).ok());
+  auto loaded = LoadGraphBinary(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_nodes(), g.num_nodes());
+  ASSERT_EQ(loaded->num_edges(), g.num_edges());
+  EXPECT_EQ(loaded->timeline_length(), g.timeline_length());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_EQ(loaded->node(n).label, g.node(n).label);
+    EXPECT_EQ(loaded->node(n).validity, g.node(n).validity);
+    EXPECT_DOUBLE_EQ(loaded->node(n).weight, g.node(n).weight);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(loaded->edge(e).src, g.edge(e).src);
+    EXPECT_EQ(loaded->edge(e).dst, g.edge(e).dst);
+    EXPECT_EQ(loaded->edge(e).validity, g.edge(e).validity);
+    EXPECT_DOUBLE_EQ(loaded->edge(e).weight, g.edge(e).weight);
+  }
+}
+
+TEST(BinarySerializationTest, PreservesExoticValues) {
+  GraphBuilder b(100);
+  b.AddNode("weight\tand\nnewlines in labels survive binary",
+            IntervalSet{{0, 3}, {50, 99}}, 0.125);
+  b.AddNode("", IntervalSet{{7, 7}, {50, 60}}, 1e300);
+  b.AddEdge(0, 1, IntervalSet{{50, 55}}, 3.5);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok()) << g.status();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(SaveGraphBinary(*g, buffer).ok());
+  auto loaded = LoadGraphBinary(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->node(0).label,
+            "weight\tand\nnewlines in labels survive binary");
+  EXPECT_DOUBLE_EQ(loaded->node(1).weight, 1e300);
+  EXPECT_EQ(loaded->edge(0).validity, g->edge(0).validity);
+}
+
+TEST(BinarySerializationTest, RejectsCorruptInput) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(SaveGraphBinary(g, buffer).ok());
+  const std::string blob = buffer.str();
+  // Wrong magic.
+  {
+    std::string bad = blob;
+    bad[0] = 'X';
+    std::istringstream in(bad, std::ios::binary);
+    EXPECT_EQ(LoadGraphBinary(in).status().code(), StatusCode::kCorruption);
+  }
+  // Truncations at every prefix length must error, never crash.
+  for (const size_t cut : {0ul, 3ul, 9ul, 17ul, blob.size() / 2}) {
+    std::istringstream in(blob.substr(0, cut), std::ios::binary);
+    EXPECT_FALSE(LoadGraphBinary(in).ok()) << cut;
+  }
+  // Implausible node count.
+  {
+    std::string bad = blob;
+    bad[12] = '\xFF';
+    bad[13] = '\xFF';
+    bad[14] = '\xFF';
+    bad[15] = '\x7F';
+    std::istringstream in(bad, std::ios::binary);
+    EXPECT_FALSE(LoadGraphBinary(in).ok());
+  }
+}
+
+TEST(BinarySerializationTest, FileRoundTrip) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const std::string path = ::testing::TempDir() + "/social.tgb";
+  ASSERT_TRUE(SaveGraphBinaryToFile(g, path).ok());
+  auto loaded = LoadGraphBinaryFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_FALSE(LoadGraphBinaryFromFile(path + ".missing").ok());
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const std::string path = ::testing::TempDir() + "/social.tgf";
+  ASSERT_TRUE(SaveGraphToFile(g, path).ok());
+  auto loaded = LoadGraphFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_FALSE(LoadGraphFromFile(path + ".missing").ok());
+}
+
+}  // namespace
+}  // namespace tgks::graph

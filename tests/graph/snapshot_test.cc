@@ -1,0 +1,76 @@
+#include "graph/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil/paper_graphs.h"
+
+namespace tgks::graph {
+namespace {
+
+TEST(SnapshotTest, FiltersNodesByInstant) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const Snapshot at0(g, 0);
+  EXPECT_TRUE(at0.NodeAlive(ids.mary));
+  EXPECT_FALSE(at0.NodeAlive(ids.bob));  // Bob joins at t2.
+  const Snapshot at7(g, 7);
+  EXPECT_TRUE(at7.NodeAlive(ids.bob));
+  EXPECT_FALSE(at7.NodeAlive(ids.mike));  // Mike leaves after t5.
+}
+
+TEST(SnapshotTest, AliveListsMatchPointQueries) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  for (temporal::TimePoint t = 0; t < g.timeline_length(); ++t) {
+    const Snapshot snap(g, t);
+    size_t alive_nodes = 0, alive_edges = 0;
+    for (NodeId n = 0; n < g.num_nodes(); ++n) alive_nodes += snap.NodeAlive(n);
+    for (EdgeId e = 0; e < g.num_edges(); ++e) alive_edges += snap.EdgeAlive(e);
+    EXPECT_EQ(snap.AliveNodes().size(), alive_nodes);
+    EXPECT_EQ(snap.AliveEdges().size(), alive_edges);
+  }
+}
+
+TEST(SnapshotTest, EdgeAliveImpliesEndpointsAlive) {
+  // The §2.2 invariant must survive construction: whenever an edge is alive,
+  // both endpoints are.
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  for (temporal::TimePoint t = 0; t < g.timeline_length(); ++t) {
+    const Snapshot snap(g, t);
+    for (EdgeId e : snap.AliveEdges()) {
+      EXPECT_TRUE(snap.NodeAlive(g.edge(e).src));
+      EXPECT_TRUE(snap.NodeAlive(g.edge(e).dst));
+    }
+  }
+}
+
+TEST(SnapshotTest, IntroFactsHoldOnFig1Fixture) {
+  // Mary-Bob-Ross-John exists at t6/t7 only; Mary-Bob-Mike-Jim-John at t4.
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  auto edge_between = [&](NodeId u, NodeId v) -> EdgeId {
+    for (EdgeId e : g.OutEdges(u)) {
+      if (g.edge(e).dst == v) return e;
+    }
+    return kInvalidEdge;
+  };
+  auto path_alive_at = [&](const std::vector<NodeId>& path,
+                           temporal::TimePoint t) {
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      const EdgeId e = edge_between(path[i], path[i + 1]);
+      if (e == kInvalidEdge || !g.EdgeAliveAt(e, t)) return false;
+    }
+    return true;
+  };
+  const std::vector<NodeId> via_ross = {ids.mary, ids.bob, ids.ross, ids.john};
+  const std::vector<NodeId> via_mike = {ids.mary, ids.bob, ids.mike, ids.jim,
+                                        ids.john};
+  const std::vector<NodeId> via_msft = {ids.mary, ids.microsoft, ids.john};
+  for (temporal::TimePoint t = 0; t < 8; ++t) {
+    EXPECT_EQ(path_alive_at(via_ross, t), t == 6 || t == 7) << t;
+    EXPECT_EQ(path_alive_at(via_mike, t), t == 4) << t;
+    EXPECT_FALSE(path_alive_at(via_msft, t)) << t;
+  }
+}
+
+}  // namespace
+}  // namespace tgks::graph

@@ -1,0 +1,180 @@
+#include "search/query_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace tgks::search {
+namespace {
+
+TEST(QueryParserTest, BareKeywords) {
+  auto q = ParseQuery("Mary, John");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->keywords.size(), 2u);
+  EXPECT_EQ(q->keywords[0], "mary");
+  EXPECT_EQ(q->keywords[1], "john");
+  EXPECT_EQ(q->predicate, nullptr);
+  EXPECT_EQ(q->ranking.primary(), RankFactor::kRelevance);
+}
+
+TEST(QueryParserTest, CommasOptional) {
+  auto q = ParseQuery("graph search temporal");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->keywords.size(), 3u);
+}
+
+TEST(QueryParserTest, QuotedPhraseSplitsIntoWords) {
+  auto q = ParseQuery("\"graph search\", gray");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->keywords.size(), 3u);
+  EXPECT_EQ(q->keywords[0], "graph");
+  EXPECT_EQ(q->keywords[1], "search");
+  EXPECT_EQ(q->keywords[2], "gray");
+}
+
+// Table 1: the paper's renderings of Q1-Q3.
+TEST(QueryParserTest, Table1Q1) {
+  auto q = ParseQuery("Mary, John rank by ascending order of result start time");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->keywords.size(), 2u);
+  ASSERT_EQ(q->ranking.factors.size(), 1u);
+  EXPECT_EQ(q->ranking.primary(), RankFactor::kStartTimeAsc);
+}
+
+TEST(QueryParserTest, Table1Q2) {
+  auto q = ParseQuery("Mike, friend rank by descending order of duration");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->ranking.primary(), RankFactor::kDurationDesc);
+}
+
+TEST(QueryParserTest, Table1Q3) {
+  auto q = ParseQuery("Microsoft, employee result time precedes 2016");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_NE(q->predicate, nullptr);
+  EXPECT_EQ(q->predicate->ToString(), "result time precedes 2016");
+  EXPECT_EQ(q->ranking.primary(), RankFactor::kRelevance);
+}
+
+TEST(QueryParserTest, AllAtomOperators) {
+  const struct {
+    const char* text;
+    const char* expect;
+  } cases[] = {
+      {"a result time precedes 3", "result time precedes 3"},
+      {"a result time follows 3", "result time follows 3"},
+      {"a result time meets 3", "result time meets 3"},
+      {"a result time overlaps [2,4]", "result time overlaps [2,4]"},
+      {"a result time overlaps 2", "result time overlaps [2,2]"},
+      {"a result time contains [2,4]", "result time contains [2,4]"},
+      {"a result time contained by [2,4]", "result time contained by [2,4]"},
+      {"a result time is contained by [2,4]",
+       "result time contained by [2,4]"},
+  };
+  for (const auto& c : cases) {
+    auto q = ParseQuery(c.text);
+    ASSERT_TRUE(q.ok()) << c.text << ": " << q.status();
+    ASSERT_NE(q->predicate, nullptr) << c.text;
+    EXPECT_EQ(q->predicate->ToString(), c.expect);
+  }
+}
+
+TEST(QueryParserTest, BooleanCombinations) {
+  auto q = ParseQuery(
+      "a, b result time precedes 5 and not result time follows 5 "
+      "rank by descending order of relevance");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->predicate->ToString(),
+            "(result time precedes 5 and not result time follows 5)");
+}
+
+TEST(QueryParserTest, ParenthesesAndOr) {
+  auto q = ParseQuery(
+      "a (result time precedes 3 or result time follows 7) and "
+      "result time contains [4,5]");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->predicate->ToString(),
+            "((result time precedes 3 or result time follows 7) and "
+            "result time contains [4,5])");
+}
+
+TEST(QueryParserTest, CombinedRankingFactors) {
+  auto q = ParseQuery(
+      "a, b rank by descending order of result end time, "
+      "descending order of relevance");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->ranking.factors.size(), 2u);
+  EXPECT_EQ(q->ranking.factors[0], RankFactor::kEndTimeDesc);
+  EXPECT_EQ(q->ranking.factors[1], RankFactor::kRelevance);
+}
+
+TEST(QueryParserTest, RepeatedRankBy) {
+  auto q = ParseQuery(
+      "a rank by descending order of duration rank by descending order of "
+      "relevance");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->ranking.factors.size(), 2u);
+}
+
+// Q1-Q9 from the introduction, rendered in the syntax.
+TEST(QueryParserTest, IntroductionQueriesExpressible) {
+  const char* queries[] = {
+      // Q1: k earliest relationships between Mary and John.
+      "Mary, John rank by ascending order of result start time",
+      // Q2: friends of Mike by descending friendship duration.
+      "Mike, friend rank by descending order of duration",
+      // Q3: employed by Microsoft before 2016.
+      "Microsoft, employee result time precedes 2016",
+      // Q4: paper by Dimitris valid through 2004-2006.
+      "Dimitris, paper result time contains [2004,2006]",
+      // Q5: earliest relationship of Gray and SIGMOD.
+      "Gray, SIGMOD rank by ascending order of result start time",
+      // Q6: paper on graph search after 2015.
+      "\"graph search\", paper result time follows 2015",
+      // Q7: Tuberin/Hamartin discovered after 2004 by time of discovery.
+      "Tuberin, Hamartin result time follows 2004 "
+      "rank by ascending order of result start time",
+      // Q8: subworkflows gone after July 2010 (instant 130 say).
+      "GenBank, \"Process Blast\" result time precedes 130 and "
+      "not result time follows 130",
+      // Q9: workflows created after 2009.
+      "workflow, \"spectral analysis\" result time follows 2009",
+  };
+  for (const char* text : queries) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << text << ": " << q.status();
+  }
+}
+
+TEST(QueryParserTest, Errors) {
+  const char* bad[] = {
+      "",                                        // No keywords.
+      "result time precedes 3",                  // Predicate without keyword.
+      "a result time precedes",                  // Missing operand.
+      "a result time precedes x",                // Non-numeric operand.
+      "a result time resembles 3",               // Unknown operator.
+      "a result time overlaps [5,2]",            // Empty window.
+      "a result time overlaps [2,4",             // Unterminated bracket.
+      "a rank by sideways order of relevance",   // Bad direction.
+      "a rank by descending order of funkiness", // Unknown factor.
+      "a rank by ascending order of duration",   // Unsupported combination.
+      "a \"unterminated",                        // Bad quoting.
+      "a result time precedes 3 trailing",       // Trailing junk.
+  };
+  for (const char* text : bad) {
+    auto q = ParseQuery(text);
+    EXPECT_FALSE(q.ok()) << text;
+  }
+}
+
+TEST(QueryParserTest, RoundTripThroughToString) {
+  auto q = ParseQuery(
+      "mary, john result time overlaps [2,4] "
+      "rank by descending order of duration");
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q->ToString() << " -> " << q2.status();
+  EXPECT_EQ(q2->keywords, q->keywords);
+  EXPECT_EQ(q2->predicate->ToString(), q->predicate->ToString());
+  EXPECT_EQ(q2->ranking.factors, q->ranking.factors);
+}
+
+}  // namespace
+}  // namespace tgks::search

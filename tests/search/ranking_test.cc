@@ -1,0 +1,97 @@
+#include "search/ranking.h"
+
+#include <gtest/gtest.h>
+
+namespace tgks::search {
+namespace {
+
+using temporal::IntervalSet;
+
+TEST(RankingTest, RelevancePrefersSmallerWeight) {
+  const RankingSpec spec;  // Default: relevance.
+  const auto light = MakeScore(spec, 2.0, IntervalSet{{0, 5}});
+  const auto heavy = MakeScore(spec, 5.0, IntervalSet{{0, 5}});
+  EXPECT_TRUE(ScoreBetter(light, heavy));
+  EXPECT_FALSE(ScoreBetter(heavy, light));
+  EXPECT_FALSE(ScoreBetter(light, light));
+}
+
+TEST(RankingTest, EndTimePrefersLaterEnd) {
+  const RankingSpec spec{{RankFactor::kEndTimeDesc}};
+  const auto late = MakeScore(spec, 9.0, IntervalSet{{0, 7}});
+  const auto early = MakeScore(spec, 1.0, IntervalSet{{0, 5}});
+  EXPECT_TRUE(ScoreBetter(late, early));
+}
+
+TEST(RankingTest, StartTimePrefersEarlierStart) {
+  const RankingSpec spec{{RankFactor::kStartTimeAsc}};
+  const auto early = MakeScore(spec, 9.0, IntervalSet{{1, 7}});
+  const auto late = MakeScore(spec, 1.0, IntervalSet{{3, 7}});
+  EXPECT_TRUE(ScoreBetter(early, late));
+}
+
+TEST(RankingTest, DurationPrefersLonger) {
+  const RankingSpec spec{{RankFactor::kDurationDesc}};
+  const auto longer = MakeScore(spec, 9.0, IntervalSet{{0, 3}, {5, 9}});  // 9.
+  const auto shorter = MakeScore(spec, 1.0, IntervalSet{{0, 7}});         // 8.
+  EXPECT_TRUE(ScoreBetter(longer, shorter));
+}
+
+TEST(RankingTest, LexicographicCombination) {
+  const RankingSpec spec{{RankFactor::kEndTimeDesc, RankFactor::kRelevance}};
+  const auto a = MakeScore(spec, 2.0, IntervalSet{{0, 5}});
+  const auto b = MakeScore(spec, 9.0, IntervalSet{{0, 5}});  // Same end.
+  const auto c = MakeScore(spec, 1.0, IntervalSet{{0, 4}});  // Earlier end.
+  EXPECT_TRUE(ScoreBetter(a, b));  // Tie on end time -> relevance decides.
+  EXPECT_TRUE(ScoreBetter(b, c));  // End time dominates weight.
+}
+
+TEST(RankingTest, EmptyTimeScoresWorst) {
+  const RankingSpec spec{{RankFactor::kEndTimeDesc}};
+  const auto empty = MakeScore(spec, 0.0, IntervalSet{});
+  const auto any = MakeScore(spec, 100.0, IntervalSet{{0, 0}});
+  EXPECT_TRUE(ScoreBetter(any, empty));
+}
+
+TEST(RankingTest, MonotonicityUnderExpansion) {
+  // Corollary 3.3's premise: shrinking time / growing weight never improves
+  // any factor.
+  const IntervalSet before{{2, 8}};
+  const IntervalSet after{{3, 6}};  // Expansion intersected away instants.
+  for (const RankFactor factor :
+       {RankFactor::kRelevance, RankFactor::kEndTimeDesc,
+        RankFactor::kStartTimeAsc, RankFactor::kDurationDesc}) {
+    const RankingSpec spec{{factor}};
+    const auto parent = MakeScore(spec, 3.0, before);
+    const auto child = MakeScore(spec, 4.0, after);
+    EXPECT_FALSE(ScoreBetter(child, parent)) << RankFactorName(factor);
+  }
+}
+
+TEST(RankingTest, PrimaryIsTemporal) {
+  EXPECT_FALSE(RankingSpec{}.PrimaryIsTemporal());
+  EXPECT_TRUE((RankingSpec{{RankFactor::kEndTimeDesc}}).PrimaryIsTemporal());
+  EXPECT_FALSE((RankingSpec{{RankFactor::kRelevance,
+                             RankFactor::kDurationDesc}})
+                   .PrimaryIsTemporal());
+}
+
+TEST(RankingTest, BestPossibleBeatsEverything) {
+  const RankingSpec spec{{RankFactor::kDurationDesc, RankFactor::kRelevance}};
+  const auto best = BestPossibleScore(spec);
+  const auto real = MakeScore(spec, 1.0, IntervalSet{{0, 9}});
+  EXPECT_TRUE(ScoreBetter(best, real));
+}
+
+TEST(RankingTest, ToStringAndFormat) {
+  const RankingSpec spec{{RankFactor::kStartTimeAsc}};
+  EXPECT_EQ(spec.ToString(), "rank by ascending order of result start time");
+  const auto score = MakeScore(spec, 1.0, IntervalSet{{3, 7}});
+  EXPECT_EQ(FormatScore(spec, score), "start-time=3");
+  const RankingSpec rel;  // Relevance.
+  EXPECT_EQ(FormatScore(rel, MakeScore(rel, 4.0, IntervalSet{})),
+            "relevance=0.25");
+}
+
+}  // namespace
+}  // namespace tgks::search

@@ -1,0 +1,176 @@
+#include "search/result_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "testutil/paper_graphs.h"
+
+namespace tgks::search {
+namespace {
+
+using graph::EdgeId;
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TemporalGraph;
+using temporal::IntervalSet;
+
+// A small forward tree: 0 -> 1 -> 2, 0 -> 3 with controllable validities.
+TemporalGraph MakeChainGraph() {
+  GraphBuilder b(10);
+  b.AddNode("root", IntervalSet{{0, 9}});   // 0
+  b.AddNode("mid", IntervalSet{{0, 6}});    // 1
+  b.AddNode("k1", IntervalSet{{2, 9}});     // 2
+  b.AddNode("k2", IntervalSet{{0, 4}});     // 3
+  b.AddEdge(0, 1);                          // e0 [0,6]
+  b.AddEdge(1, 2);                          // e1 [2,6]
+  b.AddEdge(0, 3);                          // e2 [0,4]
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(ResultTreeTest, AssemblesTwoPathTree) {
+  const TemporalGraph g = MakeChainGraph();
+  CandidateRejection why;
+  auto tree = AssembleCandidate(g, /*root=*/0, {{EdgeId{0}, EdgeId{1}}, {EdgeId{2}}},
+                                {NodeId{2}, NodeId{3}}, nullptr, &why);
+  ASSERT_TRUE(tree.has_value()) << static_cast<int>(why);
+  EXPECT_EQ(tree->root, 0);
+  EXPECT_EQ(tree->nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(tree->edges, (std::vector<EdgeId>{0, 1, 2}));
+  // Exact time: [0,9]∩[0,6]∩[2,9]∩[0,4]∩edges = [2,4].
+  EXPECT_EQ(tree->time, (IntervalSet{{2, 4}}));
+  EXPECT_DOUBLE_EQ(tree->total_weight, 3.0);  // Three unit edges.
+  EXPECT_EQ(tree->keyword_nodes, (std::vector<NodeId>{2, 3}));
+}
+
+TEST(ResultTreeTest, SingleNodeResult) {
+  const TemporalGraph g = MakeChainGraph();
+  auto tree = AssembleCandidate(g, 2, {{}}, {NodeId{2}});
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->nodes, (std::vector<NodeId>{2}));
+  EXPECT_TRUE(tree->edges.empty());
+  EXPECT_EQ(tree->time, g.node(2).validity);
+  EXPECT_DOUBLE_EQ(tree->total_weight, 0.0);
+}
+
+TEST(ResultTreeTest, SharedPrefixDeduplicated) {
+  const TemporalGraph g = MakeChainGraph();
+  // Keywords 0 and 1 share the prefix edge e0; keyword 2 gives the root a
+  // second child so the root rule does not fire.
+  auto tree = AssembleCandidate(
+      g, 0, {{EdgeId{0}, EdgeId{1}}, {EdgeId{0}}, {EdgeId{2}}},
+      {NodeId{2}, NodeId{1}, NodeId{3}});
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->edges, (std::vector<EdgeId>{0, 1, 2}));  // e0 once.
+  EXPECT_DOUBLE_EQ(tree->total_weight, 3.0);
+}
+
+TEST(ResultTreeTest, SharedSingleChildRootIsReducible) {
+  const TemporalGraph g = MakeChainGraph();
+  // Both keywords reached through the same first edge: the root has one
+  // child and matches nothing, so the lower-rooted duplicate wins.
+  CandidateRejection why;
+  auto tree = AssembleCandidate(g, 0, {{EdgeId{0}, EdgeId{1}}, {EdgeId{0}}},
+                                {NodeId{2}, NodeId{1}}, nullptr, &why);
+  EXPECT_FALSE(tree.has_value());
+  EXPECT_EQ(why, CandidateRejection::kRootReducible);
+}
+
+TEST(ResultTreeTest, RejectsEmptyTime) {
+  GraphBuilder b(10);
+  b.AddNode("root", IntervalSet{{0, 9}});
+  b.AddNode("early", IntervalSet{{0, 2}});
+  b.AddNode("late", IntervalSet{{7, 9}});
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  CandidateRejection why;
+  auto tree = AssembleCandidate(*g, 0, {{EdgeId{0}}, {EdgeId{1}}},
+                                {NodeId{1}, NodeId{2}}, nullptr, &why);
+  EXPECT_FALSE(tree.has_value());
+  EXPECT_EQ(why, CandidateRejection::kEmptyTime);
+}
+
+TEST(ResultTreeTest, RejectsNonTreeUnion) {
+  // Diamond: 0->1->3 and 0->2->3; node 3 would have two parents.
+  GraphBuilder b(5);
+  for (int i = 0; i < 4; ++i) b.AddNode("n" + std::to_string(i));
+  b.AddEdge(0, 1);  // e0
+  b.AddEdge(1, 3);  // e1
+  b.AddEdge(0, 2);  // e2
+  b.AddEdge(2, 3);  // e3
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  CandidateRejection why;
+  auto tree =
+      AssembleCandidate(*g, 0, {{EdgeId{0}, EdgeId{1}}, {EdgeId{2}, EdgeId{3}}},
+                        {NodeId{3}, NodeId{3}}, nullptr, &why);
+  EXPECT_FALSE(tree.has_value());
+  EXPECT_EQ(why, CandidateRejection::kNotATree);
+}
+
+TEST(ResultTreeTest, RejectsRootWithSingleChildNotMatching) {
+  const TemporalGraph g = MakeChainGraph();
+  // Root 0 with both keywords down the same chain: root is reducible.
+  CandidateRejection why;
+  auto tree = AssembleCandidate(g, 0, {{EdgeId{0}, EdgeId{1}}, {EdgeId{0}}},
+                                {NodeId{2}, NodeId{1}}, nullptr, &why);
+  // Keyword 2 matches node 1, keyword 1 matches node 2: root 0 covers
+  // nothing and has a single child -> reducible.
+  EXPECT_FALSE(tree.has_value());
+  EXPECT_EQ(why, CandidateRejection::kRootReducible);
+}
+
+TEST(ResultTreeTest, RootMatchingAKeywordSurvivesSingleChild) {
+  const TemporalGraph g = MakeChainGraph();
+  // Keyword 0 matches the root itself, keyword 1 down the chain.
+  auto tree = AssembleCandidate(g, 0, {{}, {EdgeId{0}}}, {NodeId{0}, NodeId{1}});
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->root, 0);
+  EXPECT_EQ(tree->nodes, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(ResultTreeTest, LeafReductionWithMatchSets) {
+  const TemporalGraph g = MakeChainGraph();
+  // Keyword 0's designated match is leaf 3, but node 1 (interior, on
+  // keyword 1's path) also matches it per the match sets: the leaf peels
+  // and the tree becomes the chain 0->1->2... whose root then reduces.
+  const std::unordered_set<NodeId> set0{NodeId{3}, NodeId{1}};
+  const std::unordered_set<NodeId> set1{NodeId{2}};
+  std::vector<const std::unordered_set<NodeId>*> sets{&set0, &set1};
+  CandidateRejection why;
+  auto tree = AssembleCandidate(g, 0, {{EdgeId{2}}, {EdgeId{0}, EdgeId{1}}},
+                                {NodeId{3}, NodeId{2}}, &sets, &why);
+  // After peeling leaf 3, the root has one child and covers nothing.
+  EXPECT_FALSE(tree.has_value());
+  EXPECT_EQ(why, CandidateRejection::kRootReducible);
+}
+
+TEST(ResultTreeTest, LeafReductionKeepsNeededLeaves) {
+  const TemporalGraph g = MakeChainGraph();
+  const std::unordered_set<NodeId> set0{NodeId{3}};
+  const std::unordered_set<NodeId> set1{NodeId{2}};
+  std::vector<const std::unordered_set<NodeId>*> sets{&set0, &set1};
+  auto tree = AssembleCandidate(g, 0, {{EdgeId{2}}, {EdgeId{0}, EdgeId{1}}},
+                                {NodeId{3}, NodeId{2}}, &sets);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_EQ(tree->nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(ResultTreeTest, SignatureDistinguishesTrees) {
+  const TemporalGraph g = MakeChainGraph();
+  auto t1 = AssembleCandidate(g, 0, {{EdgeId{0}, EdgeId{1}}, {EdgeId{2}}},
+                              {NodeId{2}, NodeId{3}});
+  auto t2 = AssembleCandidate(g, 2, {{}}, {NodeId{2}});
+  ASSERT_TRUE(t1.has_value());
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_NE(t1->Signature(), t2->Signature());
+  auto t1_again = AssembleCandidate(g, 0, {{EdgeId{0}, EdgeId{1}}, {EdgeId{2}}},
+                                    {NodeId{2}, NodeId{3}});
+  EXPECT_EQ(t1->Signature(), t1_again->Signature());
+}
+
+}  // namespace
+}  // namespace tgks::search

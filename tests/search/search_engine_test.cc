@@ -1,0 +1,368 @@
+#include "search/search_engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/inverted_index.h"
+#include "search/query_parser.h"
+#include "testutil/paper_graphs.h"
+
+namespace tgks::search {
+namespace {
+
+using graph::InvertedIndex;
+using graph::NodeId;
+using graph::TemporalGraph;
+using temporal::IntervalSet;
+
+Query MustParse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status();
+  return std::move(q).value();
+}
+
+SearchOptions Exhaustive() {
+  SearchOptions options;
+  options.k = 0;  // ALL.
+  return options;
+}
+
+// Every returned tree must satisfy Definition 2.2 on its face.
+void CheckWellFormed(const TemporalGraph& g, const Query& q,
+                     const SearchResponse& r) {
+  for (const ResultTree& tree : r.results) {
+    EXPECT_FALSE(tree.time.IsEmpty());
+    // Exact validity: recompute.
+    IntervalSet time = g.node(tree.root).validity;
+    for (const NodeId n : tree.nodes) time = time.Intersect(g.node(n).validity);
+    for (const auto e : tree.edges) time = time.Intersect(g.edge(e).validity);
+    EXPECT_EQ(time, tree.time);
+    // Tree shape: |E| = |V| - 1 and every edge endpoint is a tree node.
+    EXPECT_EQ(tree.edges.size() + 1, tree.nodes.size());
+    for (const auto e : tree.edges) {
+      EXPECT_TRUE(std::binary_search(tree.nodes.begin(), tree.nodes.end(),
+                                     g.edge(e).src));
+      EXPECT_TRUE(std::binary_search(tree.nodes.begin(), tree.nodes.end(),
+                                     g.edge(e).dst));
+    }
+    // Keyword coverage.
+    ASSERT_EQ(tree.keyword_nodes.size(), q.keywords.size());
+    for (const NodeId kn : tree.keyword_nodes) {
+      EXPECT_NE(kn, graph::kInvalidNode);
+      EXPECT_TRUE(
+          std::binary_search(tree.nodes.begin(), tree.nodes.end(), kn));
+    }
+    // Predicate.
+    if (q.predicate != nullptr) {
+      EXPECT_TRUE(q.predicate->EvalResultTime(tree.time));
+    }
+  }
+  // Scores sorted best-first.
+  for (size_t i = 1; i < r.results.size(); ++i) {
+    EXPECT_FALSE(ScoreBetter(r.results[i].score, r.results[i - 1].score));
+  }
+}
+
+TEST(SearchEngineTest, IntroMaryJohnFindsValidTreesOnly) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  const Query q = MustParse("mary, john");
+  auto r = engine.Search(q, Exhaustive());
+  ASSERT_TRUE(r.ok()) << r.status();
+  CheckWellFormed(g, q, *r);
+  ASSERT_FALSE(r->results.empty());
+  // No result may use the Microsoft shortcut (its time would be empty).
+  for (const ResultTree& tree : r->results) {
+    const bool uses_microsoft = std::binary_search(
+        tree.nodes.begin(), tree.nodes.end(), ids.microsoft);
+    EXPECT_FALSE(uses_microsoft);
+  }
+  // The best result connects Mary and John via Bob-Ross (weight 3, valid
+  // t6-t7).
+  const ResultTree& best = r->results.front();
+  EXPECT_DOUBLE_EQ(best.total_weight, 3.0);
+  EXPECT_EQ(best.time, (IntervalSet{{6, 7}}));
+  // The via-Mike tree (weight 4, valid t4) must also be found.
+  const bool found_mike_path = std::any_of(
+      r->results.begin(), r->results.end(), [&](const ResultTree& t) {
+        return std::binary_search(t.nodes.begin(), t.nodes.end(), ids.mike) &&
+               t.time == IntervalSet{{4, 4}};
+      });
+  EXPECT_TRUE(found_mike_path);
+}
+
+TEST(SearchEngineTest, SingleKeywordReturnsMatchesThemselves) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  auto r = engine.Search(MustParse("mary"), Exhaustive());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->results.size(), 1u);
+  EXPECT_EQ(r->results[0].root, ids.mary);
+  EXPECT_TRUE(r->results[0].edges.empty());
+}
+
+TEST(SearchEngineTest, UnknownKeywordYieldsNoResults) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  auto r = engine.Search(MustParse("mary, nonexistent"), Exhaustive());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->results.empty());
+  EXPECT_TRUE(r->exhausted);
+}
+
+TEST(SearchEngineTest, PredicateFiltersResults) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  // Results valid only before t5: the t6-t7 Ross tree is excluded, the t4
+  // Mike tree qualifies ("precedes 5" = some instant < 5).
+  const Query q = MustParse("mary, john result time precedes 5");
+  auto r = engine.Search(q, Exhaustive());
+  ASSERT_TRUE(r.ok());
+  CheckWellFormed(g, q, *r);
+  ASSERT_FALSE(r->results.empty());
+  for (const ResultTree& tree : r->results) {
+    EXPECT_LT(tree.time.Start(), 5);
+  }
+  const bool has_ross_tree = std::any_of(
+      r->results.begin(), r->results.end(), [&](const ResultTree& t) {
+        return std::binary_search(t.nodes.begin(), t.nodes.end(), ids.ross);
+      });
+  EXPECT_FALSE(has_ross_tree);
+}
+
+TEST(SearchEngineTest, ContainsPredicateExactPruningSkipsFinalCheck) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  const Query q = MustParse("mary, john result time contains [6,7]");
+  auto r = engine.Search(q, Exhaustive());
+  ASSERT_TRUE(r.ok());
+  CheckWellFormed(g, q, *r);
+  ASSERT_FALSE(r->results.empty());
+  EXPECT_EQ(r->counters.predicate_rejected, 0);
+  for (const ResultTree& tree : r->results) {
+    EXPECT_TRUE(tree.time.Subsumes(IntervalSet{{6, 7}}));
+  }
+}
+
+TEST(SearchEngineTest, RankByStartTimePutsEarliestFirst) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  // Q1: earliest relationships between Mary and John.
+  const Query q =
+      MustParse("mary, john rank by ascending order of result start time");
+  auto r = engine.Search(q, Exhaustive());
+  ASSERT_TRUE(r.ok());
+  CheckWellFormed(g, q, *r);
+  ASSERT_GE(r->results.size(), 2u);
+  // The t4 Mike tree starts earlier than the t6 Ross tree.
+  EXPECT_EQ(r->results.front().time.Start(), 4);
+}
+
+TEST(SearchEngineTest, RankByDurationPutsLongestFirst) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  const Query q = MustParse("mary, bob rank by descending order of duration");
+  auto r = engine.Search(q, Exhaustive());
+  ASSERT_TRUE(r.ok());
+  CheckWellFormed(g, q, *r);
+  ASSERT_FALSE(r->results.empty());
+  // Mary-Bob edge alone: valid t2-t7, duration 6 — the longest possible.
+  EXPECT_EQ(r->results.front().time.Duration(), 6);
+}
+
+TEST(SearchEngineTest, Fig6EndTimeRankingFindsRootOneResult) {
+  // Example 4.1: "k1, k2" rank by end time. The result rooted at node 1 is
+  // valid at t1 only; round-robin must find it despite the t2 cloud.
+  testutil::Fig6Ids ids;
+  const TemporalGraph g = testutil::MakeFig6Graph(&ids);
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  const Query q =
+      MustParse("k1, k2 rank by descending order of result end time");
+  SearchOptions options;
+  options.k = 1;
+  options.bound = UpperBoundKind::kAccurate;
+  auto r = engine.Search(q, options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->results.size(), 1u);
+  // With bidirectional edges the tree may be rooted at node 1 or at the k1
+  // match itself; either way it is the t1-only connection through node 3.
+  EXPECT_EQ(r->results[0].time, (IntervalSet{{0, 0}}));
+  EXPECT_TRUE(std::binary_search(r->results[0].nodes.begin(),
+                                 r->results[0].nodes.end(), ids.n3));
+}
+
+TEST(SearchEngineTest, Fig6Example42ResultAtT2) {
+  // Example 4.2: "k3, k4" — the result 6-7-9 is valid at t2.
+  testutil::Fig6Ids ids;
+  const TemporalGraph g = testutil::MakeFig6Graph(&ids);
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  const Query q =
+      MustParse("k3, k4 rank by descending order of result end time");
+  auto r = engine.Search(q, Exhaustive());
+  ASSERT_TRUE(r.ok());
+  ASSERT_FALSE(r->results.empty());
+  const ResultTree& best = r->results.front();
+  EXPECT_EQ(best.time, (IntervalSet{{1, 1}}));
+  EXPECT_TRUE(std::binary_search(best.nodes.begin(), best.nodes.end(),
+                                 ids.n7));
+}
+
+TEST(SearchEngineTest, RoundRobinOnOffSameResultSet) {
+  // §6.2.1 reports identical quality with and without round-robin; on an
+  // exhaustive run the result sets must match exactly.
+  const TemporalGraph g = testutil::MakeFig6Graph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  const Query q =
+      MustParse("k1, k2 rank by descending order of result end time");
+  SearchOptions with_rr = Exhaustive();
+  SearchOptions without_rr = Exhaustive();
+  without_rr.round_robin_keywords = false;
+  auto a = engine.Search(q, with_rr);
+  auto b = engine.Search(q, without_rr);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::set<std::string> sig_a, sig_b;
+  for (const auto& t : a->results) sig_a.insert(t.Signature());
+  for (const auto& t : b->results) sig_b.insert(t.Signature());
+  EXPECT_EQ(sig_a, sig_b);
+}
+
+TEST(SearchEngineTest, TopKAccurateBoundFindsTrueTopK) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  const Query q = MustParse("mary, john");
+  auto all = engine.Search(q, Exhaustive());
+  ASSERT_TRUE(all.ok());
+  SearchOptions topk;
+  topk.k = 2;
+  topk.bound = UpperBoundKind::kAccurate;
+  auto top = engine.Search(q, topk);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->results.size(),
+            std::min<size_t>(2, all->results.size()));
+  for (size_t i = 0; i < top->results.size(); ++i) {
+    EXPECT_EQ(top->results[i].score, all->results[i].score) << i;
+  }
+}
+
+TEST(SearchEngineTest, EmpiricalBoundStopsEarlier) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  const Query q = MustParse("mary, john");
+  SearchOptions accurate;
+  accurate.k = 1;
+  accurate.bound = UpperBoundKind::kAccurate;
+  SearchOptions empirical = accurate;
+  empirical.bound = UpperBoundKind::kEmpirical;
+  auto ra = engine.Search(q, accurate);
+  auto re = engine.Search(q, empirical);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(re.ok());
+  EXPECT_LE(re->counters.pops, ra->counters.pops);
+  ASSERT_EQ(re->results.size(), 1u);
+}
+
+TEST(SearchEngineTest, SearchWithMatchesValidatesInput) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const SearchEngine engine(g);
+  const Query q = MustParse("a, b");
+  EXPECT_FALSE(engine.SearchWithMatches(q, {{0}}).ok());      // Arity.
+  EXPECT_FALSE(engine.SearchWithMatches(q, {{0}, {999}}).ok());  // Range.
+  EXPECT_FALSE(engine.Search(q).ok());  // No index.
+}
+
+TEST(SearchEngineTest, SearchWithExplicitMatches) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  const SearchEngine engine(g);
+  const Query q = MustParse("a, b");  // Keywords are placeholders.
+  auto r = engine.SearchWithMatches(q, {{ids.mary}, {ids.john}}, Exhaustive());
+  ASSERT_TRUE(r.ok());
+  CheckWellFormed(g, q, *r);
+  EXPECT_FALSE(r->results.empty());
+}
+
+TEST(SearchEngineTest, DuplicateTreesReportedOnce) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  auto r = engine.Search(MustParse("mary, john"), Exhaustive());
+  ASSERT_TRUE(r.ok());
+  std::set<std::string> sigs;
+  for (const auto& t : r->results) {
+    EXPECT_TRUE(sigs.insert(t.Signature()).second);
+  }
+}
+
+TEST(SearchEngineTest, MaxPopsTruncates) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  SearchOptions options = Exhaustive();
+  options.max_pops = 2;
+  auto r = engine.Search(MustParse("mary, john"), options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->truncated);
+  EXPECT_LE(r->counters.pops, 2);
+}
+
+TEST(SearchEngineTest, CountersPopulated) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  auto r = engine.Search(MustParse("mary, john"), Exhaustive());
+  ASSERT_TRUE(r.ok());
+  const SearchCounters& c = r->counters;
+  EXPECT_EQ(c.iterators, 2);
+  EXPECT_GT(c.pops, 0);
+  EXPECT_GT(c.ntds_created, 0);
+  EXPECT_GT(c.nodes_visited, 0);
+  EXPECT_GT(c.candidates, 0);
+  EXPECT_EQ(c.results, static_cast<int64_t>(r->results.size()));
+  EXPECT_GT(c.avg_ntds_per_node, 0.0);
+}
+
+TEST(SearchEngineTest, DurationIndexKindsAgree) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  const Query q = MustParse("mary, john rank by descending order of duration");
+  std::set<std::string> expected;
+  for (const auto kind :
+       {temporal::NtdIndexKind::kNaive, temporal::NtdIndexKind::kRowMajor,
+        temporal::NtdIndexKind::kColumnMajor}) {
+    SearchOptions options = Exhaustive();
+    options.duration_index = kind;
+    auto r = engine.Search(q, options);
+    ASSERT_TRUE(r.ok());
+    std::set<std::string> sigs;
+    for (const auto& t : r->results) sigs.insert(t.Signature());
+    if (expected.empty()) {
+      expected = sigs;
+      EXPECT_FALSE(expected.empty());
+    } else {
+      EXPECT_EQ(sigs, expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tgks::search

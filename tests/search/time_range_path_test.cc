@@ -1,0 +1,130 @@
+#include "search/time_range_path.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+#include "testutil/paper_graphs.h"
+
+namespace tgks::search {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TemporalGraph;
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+TEST(TimeRangePathTest, ThroughoutRequiresContinuousValidity) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  // Mary -> John throughout [6,7]: the Ross chain is valid on all of it.
+  auto path = ShortestPathInRange(g, ids.mary, ids.john, {6, 7},
+                                  RangeSemantics::kThroughout);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->weight, 3.0);
+  EXPECT_TRUE(path->time.Subsumes(IntervalSet{{6, 7}}));
+  // Throughout [4,7]: no chain survives the whole window.
+  EXPECT_FALSE(ShortestPathInRange(g, ids.mary, ids.john, {4, 7},
+                                   RangeSemantics::kThroughout)
+                   .has_value());
+}
+
+TEST(TimeRangePathTest, SometimeAcceptsAnyOverlap) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  // Sometime within [4,7]: the Ross chain (weight 3) exists at t6-t7.
+  auto path = ShortestPathInRange(g, ids.mary, ids.john, {4, 7},
+                                  RangeSemantics::kSometime);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->weight, 3.0);
+  // Sometime within [4,4]: only the Mike chain (weight 4) exists.
+  auto at4 = ShortestPathInRange(g, ids.mary, ids.john, {4, 4},
+                                 RangeSemantics::kSometime);
+  ASSERT_TRUE(at4.has_value());
+  EXPECT_DOUBLE_EQ(at4->weight, 4.0);
+  // Sometime within [0,1]: nothing connects them.
+  EXPECT_FALSE(ShortestPathInRange(g, ids.mary, ids.john, {0, 1},
+                                   RangeSemantics::kSometime)
+                   .has_value());
+}
+
+TEST(TimeRangePathTest, PathEdgesRunForwardSourceToTarget) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  for (const auto semantics :
+       {RangeSemantics::kThroughout, RangeSemantics::kSometime}) {
+    auto path =
+        ShortestPathInRange(g, ids.mary, ids.john, {6, 7}, semantics);
+    ASSERT_TRUE(path.has_value());
+    NodeId cur = ids.mary;
+    for (const auto e : path->edges) {
+      EXPECT_EQ(g.edge(e).src, cur);
+      cur = g.edge(e).dst;
+    }
+    EXPECT_EQ(cur, ids.john);
+  }
+}
+
+TEST(TimeRangePathTest, RejectsBadRanges) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  EXPECT_FALSE(ShortestPathInRange(g, 0, 1, {5, 4}).has_value());
+  EXPECT_FALSE(ShortestPathInRange(g, 0, 1, {-1, 2}).has_value());
+  EXPECT_FALSE(ShortestPathInRange(g, 0, 1, {0, 99}).has_value());
+}
+
+TEST(TimeRangePathTest, SourceEqualsTarget) {
+  testutil::SocialNetworkIds ids;
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  auto path = ShortestPathInRange(g, ids.mary, ids.mary, {0, 0},
+                                  RangeSemantics::kThroughout);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->edges.empty());
+  EXPECT_DOUBLE_EQ(path->weight, 0.0);
+}
+
+// Property: on single-instant ranges the two semantics agree with each
+// other and with the snapshot-restricted Dijkstra of the baseline layer.
+TEST(TimeRangePathTest, SingleInstantSemanticsAgree) {
+  Rng rng(808);
+  for (int round = 0; round < 6; ++round) {
+    GraphBuilder b(6, graph::ValidityPolicy::kClamp);
+    for (int i = 0; i < 8; ++i) {
+      const TimePoint a = static_cast<TimePoint>(rng.Uniform(6));
+      const TimePoint c = static_cast<TimePoint>(rng.Uniform(6));
+      b.AddNode("n" + std::to_string(i),
+                IntervalSet{{std::min(a, c), std::max(a, c)}});
+    }
+    for (int i = 0; i < 20; ++i) {
+      const NodeId u = static_cast<NodeId>(rng.Uniform(8));
+      const NodeId v = static_cast<NodeId>(rng.Uniform(8));
+      if (u == v) continue;
+      const TimePoint a = static_cast<TimePoint>(rng.Uniform(6));
+      const TimePoint c = static_cast<TimePoint>(rng.Uniform(6));
+      b.AddEdge(u, v, IntervalSet{{std::min(a, c), std::max(a, c)}});
+    }
+    auto built = b.Build();
+    if (!built.ok()) continue;
+    const TemporalGraph& g = *built;
+    for (NodeId s = 0; s < g.num_nodes(); ++s) {
+      for (NodeId t = 0; t < g.num_nodes(); ++t) {
+        for (TimePoint instant = 0; instant < 6; ++instant) {
+          const auto a = ShortestPathInRange(g, s, t, {instant, instant},
+                                             RangeSemantics::kThroughout);
+          const auto c = ShortestPathInRange(g, s, t, {instant, instant},
+                                             RangeSemantics::kSometime);
+          ASSERT_EQ(a.has_value(), c.has_value())
+              << s << "->" << t << " @" << instant;
+          if (a.has_value()) {
+            EXPECT_DOUBLE_EQ(a->weight, c->weight)
+                << s << "->" << t << " @" << instant;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tgks::search

@@ -1,0 +1,203 @@
+#include "temporal/interval_set.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "temporal/bitmap.h"
+
+namespace tgks::temporal {
+namespace {
+
+TEST(IntervalSetTest, DefaultIsEmpty) {
+  IntervalSet s;
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_EQ(s.Duration(), 0);
+  EXPECT_EQ(s.Start(), kNoTimePoint);
+  EXPECT_EQ(s.End(), kNoTimePoint);
+}
+
+TEST(IntervalSetTest, NormalizationMergesOverlapsAndAdjacency) {
+  const IntervalSet s{{5, 9}, {0, 2}, {3, 4}, {8, 12}};
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], Interval(0, 12));
+}
+
+TEST(IntervalSetTest, NormalizationDropsEmptyIntervals) {
+  const IntervalSet s{{3, 1}, {5, 5}};
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], Interval(5, 5));
+}
+
+TEST(IntervalSetTest, NormalizationKeepsGaps) {
+  const IntervalSet s{{0, 2}, {4, 6}};
+  ASSERT_EQ(s.intervals().size(), 2u);
+  EXPECT_EQ(s.Duration(), 6);
+  EXPECT_EQ(s.Start(), 0);
+  EXPECT_EQ(s.End(), 6);
+}
+
+TEST(IntervalSetTest, ContainsBinarySearches) {
+  const IntervalSet s{{0, 2}, {5, 7}, {10, 10}};
+  for (TimePoint t : {0, 1, 2, 5, 6, 7, 10}) EXPECT_TRUE(s.Contains(t));
+  for (TimePoint t : {-1, 3, 4, 8, 9, 11}) EXPECT_FALSE(s.Contains(t));
+}
+
+TEST(IntervalSetTest, SubsumesAcrossIntervalBoundaries) {
+  const IntervalSet big{{0, 5}, {8, 12}};
+  EXPECT_TRUE(big.Subsumes(IntervalSet{{1, 3}}));
+  EXPECT_TRUE(big.Subsumes(IntervalSet{{0, 5}, {9, 10}}));
+  EXPECT_TRUE(big.Subsumes(IntervalSet{}));
+  EXPECT_FALSE(big.Subsumes(IntervalSet{{4, 9}}));  // Spans the gap.
+  EXPECT_FALSE(big.Subsumes(IntervalSet{{6, 7}}));
+  EXPECT_FALSE(IntervalSet{}.Subsumes(IntervalSet{{0, 0}}));
+}
+
+TEST(IntervalSetTest, OverlapsEarlyExit) {
+  const IntervalSet a{{0, 2}, {10, 12}};
+  EXPECT_TRUE(a.Overlaps(IntervalSet{{12, 20}}));
+  EXPECT_TRUE(a.Overlaps(IntervalSet{{2, 3}}));
+  EXPECT_FALSE(a.Overlaps(IntervalSet{{3, 9}}));
+  EXPECT_FALSE(a.Overlaps(IntervalSet{}));
+}
+
+TEST(IntervalSetTest, IntersectMultipleFragments) {
+  const IntervalSet a{{0, 10}};
+  const IntervalSet b{{2, 3}, {5, 6}, {9, 15}};
+  const IntervalSet expect{{2, 3}, {5, 6}, {9, 10}};
+  EXPECT_EQ(a.Intersect(b), expect);
+  EXPECT_EQ(b.Intersect(a), expect);
+}
+
+TEST(IntervalSetTest, IntersectWithIntervalOverload) {
+  const IntervalSet a{{0, 3}, {6, 9}};
+  EXPECT_EQ(a.Intersect(Interval(2, 7)), (IntervalSet{{2, 3}, {6, 7}}));
+}
+
+TEST(IntervalSetTest, UnionMerges) {
+  const IntervalSet a{{0, 2}, {8, 9}};
+  const IntervalSet b{{3, 4}, {6, 8}};
+  EXPECT_EQ(a.Union(b), (IntervalSet{{0, 4}, {6, 9}}));
+}
+
+TEST(IntervalSetTest, SubtractCutsMiddle) {
+  const IntervalSet a{{0, 10}};
+  EXPECT_EQ(a.Subtract(IntervalSet{{3, 5}}), (IntervalSet{{0, 2}, {6, 10}}));
+}
+
+TEST(IntervalSetTest, SubtractEverything) {
+  const IntervalSet a{{2, 4}};
+  EXPECT_TRUE(a.Subtract(IntervalSet{{0, 9}}).IsEmpty());
+}
+
+TEST(IntervalSetTest, SubtractDisjointIsIdentity) {
+  const IntervalSet a{{2, 4}};
+  EXPECT_EQ(a.Subtract(IntervalSet{{6, 9}}), a);
+}
+
+TEST(IntervalSetTest, SubtractMultipleCuts) {
+  const IntervalSet a{{0, 20}};
+  const IntervalSet cuts{{0, 1}, {5, 6}, {10, 10}, {19, 25}};
+  EXPECT_EQ(a.Subtract(cuts),
+            (IntervalSet{{2, 4}, {7, 9}, {11, 18}}));
+}
+
+TEST(IntervalSetTest, ComplementWithin) {
+  const IntervalSet a{{2, 3}, {6, 7}};
+  EXPECT_EQ(a.ComplementWithin(10), (IntervalSet{{0, 1}, {4, 5}, {8, 9}}));
+  EXPECT_EQ(IntervalSet().ComplementWithin(3), IntervalSet::All(3));
+}
+
+TEST(IntervalSetTest, AllAndPoint) {
+  EXPECT_EQ(IntervalSet::All(5), IntervalSet(Interval(0, 4)));
+  EXPECT_TRUE(IntervalSet::All(0).IsEmpty());
+  EXPECT_EQ(IntervalSet::Point(3).Duration(), 1);
+}
+
+TEST(IntervalSetTest, InstantsEnumerates) {
+  const IntervalSet s{{1, 2}, {5, 5}};
+  const std::vector<TimePoint> expect = {1, 2, 5};
+  EXPECT_EQ(s.Instants(), expect);
+}
+
+TEST(IntervalSetTest, BitmapRoundTrip) {
+  const IntervalSet s{{0, 2}, {4, 4}, {7, 9}};
+  const Bitmap bm = s.ToBitmap(10);
+  EXPECT_EQ(bm.Count(), s.Duration());
+  EXPECT_EQ(IntervalSet::FromBitmap(bm), s);
+}
+
+TEST(IntervalSetTest, BitmapClipsOutOfRange) {
+  const IntervalSet s{{-5, 2}, {8, 20}};
+  const Bitmap bm = s.ToBitmap(10);
+  EXPECT_EQ(IntervalSet::FromBitmap(bm), (IntervalSet{{0, 2}, {8, 9}}));
+}
+
+TEST(IntervalSetTest, ToString) {
+  EXPECT_EQ((IntervalSet{{0, 3}, {7, 7}}).ToString(), "{[0,3] [7,7]}");
+  EXPECT_EQ(IntervalSet().ToString(), "{}");
+}
+
+// Property test: interval-set algebra agrees with std::set semantics on
+// random inputs across the whole API surface.
+class IntervalSetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+IntervalSet RandomSet(Rng* rng, TimePoint horizon) {
+  std::vector<Interval> ivs;
+  const int n = static_cast<int>(rng->Uniform(5));
+  for (int i = 0; i < n; ++i) {
+    const TimePoint a = static_cast<TimePoint>(rng->Uniform(horizon));
+    const TimePoint b = static_cast<TimePoint>(rng->Uniform(horizon));
+    ivs.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  return IntervalSet(std::move(ivs));
+}
+
+std::set<TimePoint> Materialize(const IntervalSet& s) {
+  const auto v = s.Instants();
+  return {v.begin(), v.end()};
+}
+
+TEST_P(IntervalSetPropertyTest, AlgebraMatchesSetSemantics) {
+  Rng rng(GetParam());
+  constexpr TimePoint kHorizon = 40;
+  for (int iter = 0; iter < 200; ++iter) {
+    const IntervalSet a = RandomSet(&rng, kHorizon);
+    const IntervalSet b = RandomSet(&rng, kHorizon);
+    const auto sa = Materialize(a);
+    const auto sb = Materialize(b);
+
+    std::set<TimePoint> expect_and, expect_or, expect_sub;
+    for (TimePoint t : sa) {
+      if (sb.count(t)) expect_and.insert(t);
+      if (!sb.count(t)) expect_sub.insert(t);
+    }
+    expect_or = sa;
+    expect_or.insert(sb.begin(), sb.end());
+
+    EXPECT_EQ(Materialize(a.Intersect(b)), expect_and);
+    EXPECT_EQ(Materialize(a.Union(b)), expect_or);
+    EXPECT_EQ(Materialize(a.Subtract(b)), expect_sub);
+    EXPECT_EQ(a.Overlaps(b), !expect_and.empty());
+    EXPECT_EQ(a.Subsumes(b), expect_and.size() == sb.size());
+    EXPECT_EQ(a.Duration(), static_cast<int64_t>(sa.size()));
+    for (TimePoint t = 0; t < kHorizon; ++t) {
+      EXPECT_EQ(a.Contains(t), sa.count(t) > 0);
+    }
+    // Canonical-form invariant: re-normalizing is a no-op; neighbors gapped.
+    const IntervalSet intersection = a.Intersect(b);
+    const auto& ivs = intersection.intervals();
+    for (size_t i = 1; i < ivs.size(); ++i) {
+      EXPECT_GT(ivs[i].start, ivs[i - 1].end + 1);
+    }
+    // Bitmap round trip.
+    EXPECT_EQ(IntervalSet::FromBitmap(a.ToBitmap(kHorizon)), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace tgks::temporal

@@ -1,0 +1,76 @@
+#include "temporal/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace tgks::temporal {
+namespace {
+
+TEST(IntervalTest, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.IsEmpty());
+  EXPECT_EQ(iv.Length(), 0);
+}
+
+TEST(IntervalTest, PointHasLengthOne) {
+  const Interval iv = Interval::Point(5);
+  EXPECT_FALSE(iv.IsEmpty());
+  EXPECT_EQ(iv.Length(), 1);
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_FALSE(iv.Contains(4));
+  EXPECT_FALSE(iv.Contains(6));
+}
+
+TEST(IntervalTest, LengthIsInclusive) {
+  EXPECT_EQ(Interval(2, 5).Length(), 4);
+  EXPECT_EQ(Interval(0, 0).Length(), 1);
+  EXPECT_EQ(Interval(3, 2).Length(), 0);
+}
+
+TEST(IntervalTest, ContainsBoundaries) {
+  const Interval iv(2, 5);
+  EXPECT_TRUE(iv.Contains(2));
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_FALSE(iv.Contains(1));
+  EXPECT_FALSE(iv.Contains(6));
+}
+
+TEST(IntervalTest, SubsumesHandlesEmpty) {
+  EXPECT_TRUE(Interval(0, 3).Subsumes(Interval()));   // Empty inside anything.
+  EXPECT_TRUE(Interval().Subsumes(Interval()));       // Empty inside empty.
+  EXPECT_FALSE(Interval().Subsumes(Interval(0, 0)));  // Nothing inside empty.
+}
+
+TEST(IntervalTest, SubsumesProper) {
+  EXPECT_TRUE(Interval(0, 9).Subsumes(Interval(2, 5)));
+  EXPECT_TRUE(Interval(2, 5).Subsumes(Interval(2, 5)));
+  EXPECT_FALSE(Interval(2, 5).Subsumes(Interval(1, 5)));
+  EXPECT_FALSE(Interval(2, 5).Subsumes(Interval(2, 6)));
+}
+
+TEST(IntervalTest, OverlapsIsSymmetricAndTightAtBoundaries) {
+  EXPECT_TRUE(Interval(0, 3).Overlaps(Interval(3, 5)));
+  EXPECT_TRUE(Interval(3, 5).Overlaps(Interval(0, 3)));
+  EXPECT_FALSE(Interval(0, 2).Overlaps(Interval(3, 5)));
+  EXPECT_FALSE(Interval(0, 3).Overlaps(Interval()));
+  EXPECT_FALSE(Interval().Overlaps(Interval()));
+}
+
+TEST(IntervalTest, IntersectClipsToCommonRange) {
+  EXPECT_EQ(Interval(0, 5).Intersect(Interval(3, 9)), Interval(3, 5));
+  EXPECT_EQ(Interval(0, 5).Intersect(Interval(5, 9)), Interval(5, 5));
+  EXPECT_TRUE(Interval(0, 2).Intersect(Interval(4, 9)).IsEmpty());
+}
+
+TEST(IntervalTest, EqualityTreatsAllEmptyAsEqual) {
+  EXPECT_EQ(Interval(5, 2), Interval(9, 0));
+  EXPECT_EQ(Interval(5, 2), Interval());
+  EXPECT_FALSE(Interval(1, 2) == Interval(1, 3));
+}
+
+TEST(IntervalTest, ToString) {
+  EXPECT_EQ(Interval(1, 4).ToString(), "[1,4]");
+  EXPECT_EQ(Interval().ToString(), "[]");
+}
+
+}  // namespace
+}  // namespace tgks::temporal

@@ -1,0 +1,122 @@
+// Shared test fixtures: temporal graphs reconstructing the paper's running
+// examples (Fig. 1 social network, a Fig.-2-like graph, Fig. 6).
+
+#ifndef TGKS_TESTS_TESTUTIL_PAPER_GRAPHS_H_
+#define TGKS_TESTS_TESTUTIL_PAPER_GRAPHS_H_
+
+#include <cassert>
+
+#include "graph/graph_builder.h"
+#include "graph/temporal_graph.h"
+#include "temporal/interval_set.h"
+
+namespace tgks::testutil {
+
+/// Node ids of the Fig.-1 social-network fixture.
+struct SocialNetworkIds {
+  graph::NodeId mary, john, bob, ross, mike, jim, microsoft;
+};
+
+/// Fig. 1: the social-network temporal graph of the introduction.
+///
+/// Constructed so the intro's facts hold for query "Mary, John":
+///  - Mary - Bob - Ross - John is valid at t6 and t7;
+///  - Mary - Bob - Mike - Jim - John is valid at t4;
+///  - Mary - Microsoft - John is never valid (no common instant), which is
+///    the invalid result a time-oblivious search would emit.
+/// Timeline: 8 instants t0..t7 (the paper's t1..t8 shifted to 0-based).
+inline graph::TemporalGraph MakeSocialNetworkGraph(
+    SocialNetworkIds* ids = nullptr) {
+  using temporal::IntervalSet;
+  graph::GraphBuilder b(8);
+  const graph::NodeId mary = b.AddNode("Mary", IntervalSet{{0, 7}});
+  const graph::NodeId john = b.AddNode("John", IntervalSet{{0, 7}});
+  const graph::NodeId bob = b.AddNode("Bob", IntervalSet{{2, 7}});
+  const graph::NodeId ross = b.AddNode("Ross", IntervalSet{{5, 7}});
+  const graph::NodeId mike = b.AddNode("Mike", IntervalSet{{2, 5}});
+  const graph::NodeId jim = b.AddNode("Jim", IntervalSet{{3, 6}});
+  const graph::NodeId microsoft = b.AddNode("Microsoft", IntervalSet{{0, 7}});
+  // Friendship edges (directed both ways so backward expansion can traverse
+  // them regardless of orientation).
+  auto both = [&b](graph::NodeId u, graph::NodeId v, IntervalSet val) {
+    b.AddEdge(u, v, val);
+    b.AddEdge(v, u, std::move(val));
+  };
+  both(mary, bob, IntervalSet{{2, 7}});
+  both(bob, ross, IntervalSet{{5, 7}});
+  both(ross, john, IntervalSet{{6, 7}});
+  both(bob, mike, IntervalSet{{2, 5}});
+  both(mike, jim, IntervalSet{{3, 4}});
+  both(jim, john, IntervalSet{{4, 6}});
+  // Mary worked at Microsoft early, John later: intervals never meet.
+  both(mary, microsoft, IntervalSet{{0, 2}});
+  both(microsoft, john, IntervalSet{{5, 7}});
+  auto built = b.Build();
+  assert(built.ok());
+  if (ids != nullptr) {
+    *ids = SocialNetworkIds{mary, john, bob, ross, mike, jim, microsoft};
+  }
+  return std::move(built).value();
+}
+
+/// Node ids of the Fig.-6 fixture.
+struct Fig6Ids {
+  graph::NodeId n1, n2, n3, n4, n5, n6, n7, n9;
+  std::vector<graph::NodeId> cloud;
+};
+
+/// Fig. 6: the graph of Examples 4.1 and 4.2.
+///
+/// Properties used by the examples (paper instants t1/t2 are 0/1 here):
+///  - keyword k1 matches node 2, k2 matches node 4;
+///  - node 3 is valid only at t1; node 1 connects 2 and 3;
+///  - a "cloud" of nodes valid at t2 hangs off node 2, so end-time-greedy
+///    expansion without keyword round-robin wanders into the cloud;
+///  - k3 matches node 6, k4 matches node 9; 6 -> 7 -> 9 is valid at t2 while
+///    node 5 (another neighbor of 6) ends at t1.
+inline graph::TemporalGraph MakeFig6Graph(Fig6Ids* ids = nullptr,
+                                          int cloud_size = 6) {
+  using temporal::IntervalSet;
+  graph::GraphBuilder b(2);
+  const IntervalSet t1{{0, 0}};
+  const IntervalSet t2{{1, 1}};
+  const IntervalSet both_t{{0, 1}};
+  Fig6Ids out;
+  out.n1 = b.AddNode("root1", both_t);
+  out.n2 = b.AddNode("k1", both_t);
+  out.n3 = b.AddNode("bridge3", t1);
+  out.n4 = b.AddNode("k2", both_t);
+  out.n5 = b.AddNode("five", t1);
+  out.n6 = b.AddNode("k3", both_t);
+  out.n7 = b.AddNode("seven", t2);
+  out.n9 = b.AddNode("k4", both_t);
+  auto add_undirected = [&b](graph::NodeId u, graph::NodeId v,
+                             IntervalSet val) {
+    b.AddEdge(u, v, val);
+    b.AddEdge(v, u, std::move(val));
+  };
+  // Result rooted at node 1: 1 -> 2 (k1) and 1 -> 3 -> 4 (k2), valid at t1.
+  add_undirected(out.n1, out.n2, t1);
+  add_undirected(out.n1, out.n3, t1);
+  add_undirected(out.n3, out.n4, t1);
+  // The distracting cloud valid at t2, reachable from node 2.
+  graph::NodeId prev = out.n2;
+  for (int i = 0; i < cloud_size; ++i) {
+    const graph::NodeId c = b.AddNode("cloud" + std::to_string(i), both_t);
+    add_undirected(prev, c, t2);
+    out.cloud.push_back(c);
+    prev = c;
+  }
+  // Example 4.2: 6 - 5 ends at t1; 6 - 7 - 9 valid at t2.
+  add_undirected(out.n6, out.n5, t1);
+  add_undirected(out.n6, out.n7, t2);
+  add_undirected(out.n7, out.n9, t2);
+  auto built = b.Build();
+  assert(built.ok());
+  if (ids != nullptr) *ids = out;
+  return std::move(built).value();
+}
+
+}  // namespace tgks::testutil
+
+#endif  // TGKS_TESTS_TESTUTIL_PAPER_GRAPHS_H_
