@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_roundrobin.dir/bench_ablation_roundrobin.cpp.o"
+  "CMakeFiles/bench_ablation_roundrobin.dir/bench_ablation_roundrobin.cpp.o.d"
+  "bench_ablation_roundrobin"
+  "bench_ablation_roundrobin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_roundrobin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

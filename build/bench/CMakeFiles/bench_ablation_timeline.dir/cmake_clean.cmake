@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_timeline.dir/bench_ablation_timeline.cpp.o"
+  "CMakeFiles/bench_ablation_timeline.dir/bench_ablation_timeline.cpp.o.d"
+  "bench_ablation_timeline"
+  "bench_ablation_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_inverse.dir/bench_extension_inverse.cpp.o"
+  "CMakeFiles/bench_extension_inverse.dir/bench_extension_inverse.cpp.o.d"
+  "bench_extension_inverse"
+  "bench_extension_inverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_inverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_workflow.dir/bench_extension_workflow.cpp.o"
+  "CMakeFiles/bench_extension_workflow.dir/bench_extension_workflow.cpp.o.d"
+  "bench_extension_workflow"
+  "bench_extension_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_topk.dir/bench_fig11a_topk.cpp.o"
+  "CMakeFiles/bench_fig11a_topk.dir/bench_fig11a_topk.cpp.o.d"
+  "bench_fig11a_topk"
+  "bench_fig11a_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_connectivity.dir/bench_fig12_connectivity.cpp.o"
+  "CMakeFiles/bench_fig12_connectivity.dir/bench_fig12_connectivity.cpp.o.d"
+  "bench_fig12_connectivity"
+  "bench_fig12_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ranking_dblp.dir/bench_fig7_ranking_dblp.cpp.o"
+  "CMakeFiles/bench_fig7_ranking_dblp.dir/bench_fig7_ranking_dblp.cpp.o.d"
+  "bench_fig7_ranking_dblp"
+  "bench_fig7_ranking_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ranking_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

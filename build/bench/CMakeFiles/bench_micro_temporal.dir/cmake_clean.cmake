@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_temporal.dir/bench_micro_temporal.cpp.o"
+  "CMakeFiles/bench_micro_temporal.dir/bench_micro_temporal.cpp.o.d"
+  "bench_micro_temporal"
+  "bench_micro_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

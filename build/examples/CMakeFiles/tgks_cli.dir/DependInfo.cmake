@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/tgks_cli.cpp" "examples/CMakeFiles/tgks_cli.dir/tgks_cli.cpp.o" "gcc" "examples/CMakeFiles/tgks_cli.dir/tgks_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/tgks_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/tgks_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/tgks_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgks_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/tgks_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tgks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

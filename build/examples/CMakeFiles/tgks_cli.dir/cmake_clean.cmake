@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgks_cli.dir/tgks_cli.cpp.o"
+  "CMakeFiles/tgks_cli.dir/tgks_cli.cpp.o.d"
+  "tgks_cli"
+  "tgks_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgks_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

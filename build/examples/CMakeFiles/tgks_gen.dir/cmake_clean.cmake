@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgks_gen.dir/tgks_datagen.cpp.o"
+  "CMakeFiles/tgks_gen.dir/tgks_datagen.cpp.o.d"
+  "tgks_gen"
+  "tgks_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgks_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_provenance.dir/workflow_provenance.cpp.o"
+  "CMakeFiles/workflow_provenance.dir/workflow_provenance.cpp.o.d"
+  "workflow_provenance"
+  "workflow_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/banks.cc" "src/baseline/CMakeFiles/tgks_baseline.dir/banks.cc.o" "gcc" "src/baseline/CMakeFiles/tgks_baseline.dir/banks.cc.o.d"
+  "/root/repo/src/baseline/banks_i.cc" "src/baseline/CMakeFiles/tgks_baseline.dir/banks_i.cc.o" "gcc" "src/baseline/CMakeFiles/tgks_baseline.dir/banks_i.cc.o.d"
+  "/root/repo/src/baseline/banks_w.cc" "src/baseline/CMakeFiles/tgks_baseline.dir/banks_w.cc.o" "gcc" "src/baseline/CMakeFiles/tgks_baseline.dir/banks_w.cc.o.d"
+  "/root/repo/src/baseline/dijkstra_iterator.cc" "src/baseline/CMakeFiles/tgks_baseline.dir/dijkstra_iterator.cc.o" "gcc" "src/baseline/CMakeFiles/tgks_baseline.dir/dijkstra_iterator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/search/CMakeFiles/tgks_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgks_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/tgks_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tgks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgks_baseline.dir/banks.cc.o"
+  "CMakeFiles/tgks_baseline.dir/banks.cc.o.d"
+  "CMakeFiles/tgks_baseline.dir/banks_i.cc.o"
+  "CMakeFiles/tgks_baseline.dir/banks_i.cc.o.d"
+  "CMakeFiles/tgks_baseline.dir/banks_w.cc.o"
+  "CMakeFiles/tgks_baseline.dir/banks_w.cc.o.d"
+  "CMakeFiles/tgks_baseline.dir/dijkstra_iterator.cc.o"
+  "CMakeFiles/tgks_baseline.dir/dijkstra_iterator.cc.o.d"
+  "libtgks_baseline.a"
+  "libtgks_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgks_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

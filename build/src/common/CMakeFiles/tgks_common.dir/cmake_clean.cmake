@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgks_common.dir/random.cc.o"
+  "CMakeFiles/tgks_common.dir/random.cc.o.d"
+  "CMakeFiles/tgks_common.dir/status.cc.o"
+  "CMakeFiles/tgks_common.dir/status.cc.o.d"
+  "CMakeFiles/tgks_common.dir/strings.cc.o"
+  "CMakeFiles/tgks_common.dir/strings.cc.o.d"
+  "libtgks_common.a"
+  "libtgks_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgks_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

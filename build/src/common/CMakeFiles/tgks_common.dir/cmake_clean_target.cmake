@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtgks_common.a"
+)

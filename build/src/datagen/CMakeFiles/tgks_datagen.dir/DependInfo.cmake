@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dblp_generator.cc" "src/datagen/CMakeFiles/tgks_datagen.dir/dblp_generator.cc.o" "gcc" "src/datagen/CMakeFiles/tgks_datagen.dir/dblp_generator.cc.o.d"
+  "/root/repo/src/datagen/query_generator.cc" "src/datagen/CMakeFiles/tgks_datagen.dir/query_generator.cc.o" "gcc" "src/datagen/CMakeFiles/tgks_datagen.dir/query_generator.cc.o.d"
+  "/root/repo/src/datagen/replicate.cc" "src/datagen/CMakeFiles/tgks_datagen.dir/replicate.cc.o" "gcc" "src/datagen/CMakeFiles/tgks_datagen.dir/replicate.cc.o.d"
+  "/root/repo/src/datagen/social_generator.cc" "src/datagen/CMakeFiles/tgks_datagen.dir/social_generator.cc.o" "gcc" "src/datagen/CMakeFiles/tgks_datagen.dir/social_generator.cc.o.d"
+  "/root/repo/src/datagen/workflow_generator.cc" "src/datagen/CMakeFiles/tgks_datagen.dir/workflow_generator.cc.o" "gcc" "src/datagen/CMakeFiles/tgks_datagen.dir/workflow_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tgks_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/tgks_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/tgks_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tgks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

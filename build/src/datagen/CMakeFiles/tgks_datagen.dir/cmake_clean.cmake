@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgks_datagen.dir/dblp_generator.cc.o"
+  "CMakeFiles/tgks_datagen.dir/dblp_generator.cc.o.d"
+  "CMakeFiles/tgks_datagen.dir/query_generator.cc.o"
+  "CMakeFiles/tgks_datagen.dir/query_generator.cc.o.d"
+  "CMakeFiles/tgks_datagen.dir/replicate.cc.o"
+  "CMakeFiles/tgks_datagen.dir/replicate.cc.o.d"
+  "CMakeFiles/tgks_datagen.dir/social_generator.cc.o"
+  "CMakeFiles/tgks_datagen.dir/social_generator.cc.o.d"
+  "CMakeFiles/tgks_datagen.dir/workflow_generator.cc.o"
+  "CMakeFiles/tgks_datagen.dir/workflow_generator.cc.o.d"
+  "libtgks_datagen.a"
+  "libtgks_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgks_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/archive_builder.cc" "src/graph/CMakeFiles/tgks_graph.dir/archive_builder.cc.o" "gcc" "src/graph/CMakeFiles/tgks_graph.dir/archive_builder.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/graph/CMakeFiles/tgks_graph.dir/graph_builder.cc.o" "gcc" "src/graph/CMakeFiles/tgks_graph.dir/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/tgks_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/tgks_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/inverted_index.cc" "src/graph/CMakeFiles/tgks_graph.dir/inverted_index.cc.o" "gcc" "src/graph/CMakeFiles/tgks_graph.dir/inverted_index.cc.o.d"
+  "/root/repo/src/graph/serialization.cc" "src/graph/CMakeFiles/tgks_graph.dir/serialization.cc.o" "gcc" "src/graph/CMakeFiles/tgks_graph.dir/serialization.cc.o.d"
+  "/root/repo/src/graph/snapshot.cc" "src/graph/CMakeFiles/tgks_graph.dir/snapshot.cc.o" "gcc" "src/graph/CMakeFiles/tgks_graph.dir/snapshot.cc.o.d"
+  "/root/repo/src/graph/transform.cc" "src/graph/CMakeFiles/tgks_graph.dir/transform.cc.o" "gcc" "src/graph/CMakeFiles/tgks_graph.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tgks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/tgks_temporal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgks_graph.dir/archive_builder.cc.o"
+  "CMakeFiles/tgks_graph.dir/archive_builder.cc.o.d"
+  "CMakeFiles/tgks_graph.dir/graph_builder.cc.o"
+  "CMakeFiles/tgks_graph.dir/graph_builder.cc.o.d"
+  "CMakeFiles/tgks_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/tgks_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/tgks_graph.dir/inverted_index.cc.o"
+  "CMakeFiles/tgks_graph.dir/inverted_index.cc.o.d"
+  "CMakeFiles/tgks_graph.dir/serialization.cc.o"
+  "CMakeFiles/tgks_graph.dir/serialization.cc.o.d"
+  "CMakeFiles/tgks_graph.dir/snapshot.cc.o"
+  "CMakeFiles/tgks_graph.dir/snapshot.cc.o.d"
+  "CMakeFiles/tgks_graph.dir/transform.cc.o"
+  "CMakeFiles/tgks_graph.dir/transform.cc.o.d"
+  "libtgks_graph.a"
+  "libtgks_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgks_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/best_path_iterator.cc" "src/search/CMakeFiles/tgks_search.dir/best_path_iterator.cc.o" "gcc" "src/search/CMakeFiles/tgks_search.dir/best_path_iterator.cc.o.d"
+  "/root/repo/src/search/label_correcting_iterator.cc" "src/search/CMakeFiles/tgks_search.dir/label_correcting_iterator.cc.o" "gcc" "src/search/CMakeFiles/tgks_search.dir/label_correcting_iterator.cc.o.d"
+  "/root/repo/src/search/predicate.cc" "src/search/CMakeFiles/tgks_search.dir/predicate.cc.o" "gcc" "src/search/CMakeFiles/tgks_search.dir/predicate.cc.o.d"
+  "/root/repo/src/search/query.cc" "src/search/CMakeFiles/tgks_search.dir/query.cc.o" "gcc" "src/search/CMakeFiles/tgks_search.dir/query.cc.o.d"
+  "/root/repo/src/search/query_parser.cc" "src/search/CMakeFiles/tgks_search.dir/query_parser.cc.o" "gcc" "src/search/CMakeFiles/tgks_search.dir/query_parser.cc.o.d"
+  "/root/repo/src/search/ranking.cc" "src/search/CMakeFiles/tgks_search.dir/ranking.cc.o" "gcc" "src/search/CMakeFiles/tgks_search.dir/ranking.cc.o.d"
+  "/root/repo/src/search/result_tree.cc" "src/search/CMakeFiles/tgks_search.dir/result_tree.cc.o" "gcc" "src/search/CMakeFiles/tgks_search.dir/result_tree.cc.o.d"
+  "/root/repo/src/search/search_engine.cc" "src/search/CMakeFiles/tgks_search.dir/search_engine.cc.o" "gcc" "src/search/CMakeFiles/tgks_search.dir/search_engine.cc.o.d"
+  "/root/repo/src/search/time_range_path.cc" "src/search/CMakeFiles/tgks_search.dir/time_range_path.cc.o" "gcc" "src/search/CMakeFiles/tgks_search.dir/time_range_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tgks_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/tgks_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tgks_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

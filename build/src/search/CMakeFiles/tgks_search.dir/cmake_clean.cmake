@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgks_search.dir/best_path_iterator.cc.o"
+  "CMakeFiles/tgks_search.dir/best_path_iterator.cc.o.d"
+  "CMakeFiles/tgks_search.dir/label_correcting_iterator.cc.o"
+  "CMakeFiles/tgks_search.dir/label_correcting_iterator.cc.o.d"
+  "CMakeFiles/tgks_search.dir/predicate.cc.o"
+  "CMakeFiles/tgks_search.dir/predicate.cc.o.d"
+  "CMakeFiles/tgks_search.dir/query.cc.o"
+  "CMakeFiles/tgks_search.dir/query.cc.o.d"
+  "CMakeFiles/tgks_search.dir/query_parser.cc.o"
+  "CMakeFiles/tgks_search.dir/query_parser.cc.o.d"
+  "CMakeFiles/tgks_search.dir/ranking.cc.o"
+  "CMakeFiles/tgks_search.dir/ranking.cc.o.d"
+  "CMakeFiles/tgks_search.dir/result_tree.cc.o"
+  "CMakeFiles/tgks_search.dir/result_tree.cc.o.d"
+  "CMakeFiles/tgks_search.dir/search_engine.cc.o"
+  "CMakeFiles/tgks_search.dir/search_engine.cc.o.d"
+  "CMakeFiles/tgks_search.dir/time_range_path.cc.o"
+  "CMakeFiles/tgks_search.dir/time_range_path.cc.o.d"
+  "libtgks_search.a"
+  "libtgks_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgks_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/temporal/bitmap.cc" "src/temporal/CMakeFiles/tgks_temporal.dir/bitmap.cc.o" "gcc" "src/temporal/CMakeFiles/tgks_temporal.dir/bitmap.cc.o.d"
+  "/root/repo/src/temporal/interval.cc" "src/temporal/CMakeFiles/tgks_temporal.dir/interval.cc.o" "gcc" "src/temporal/CMakeFiles/tgks_temporal.dir/interval.cc.o.d"
+  "/root/repo/src/temporal/interval_set.cc" "src/temporal/CMakeFiles/tgks_temporal.dir/interval_set.cc.o" "gcc" "src/temporal/CMakeFiles/tgks_temporal.dir/interval_set.cc.o.d"
+  "/root/repo/src/temporal/ntd_bitmap_index.cc" "src/temporal/CMakeFiles/tgks_temporal.dir/ntd_bitmap_index.cc.o" "gcc" "src/temporal/CMakeFiles/tgks_temporal.dir/ntd_bitmap_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tgks_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

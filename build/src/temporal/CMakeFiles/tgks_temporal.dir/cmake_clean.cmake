@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgks_temporal.dir/bitmap.cc.o"
+  "CMakeFiles/tgks_temporal.dir/bitmap.cc.o.d"
+  "CMakeFiles/tgks_temporal.dir/interval.cc.o"
+  "CMakeFiles/tgks_temporal.dir/interval.cc.o.d"
+  "CMakeFiles/tgks_temporal.dir/interval_set.cc.o"
+  "CMakeFiles/tgks_temporal.dir/interval_set.cc.o.d"
+  "CMakeFiles/tgks_temporal.dir/ntd_bitmap_index.cc.o"
+  "CMakeFiles/tgks_temporal.dir/ntd_bitmap_index.cc.o.d"
+  "libtgks_temporal.a"
+  "libtgks_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgks_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archive_builder_test.dir/graph/archive_builder_test.cc.o"
+  "CMakeFiles/archive_builder_test.dir/graph/archive_builder_test.cc.o.d"
+  "archive_builder_test"
+  "archive_builder_test.pdb"
+  "archive_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archive_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_path_iterator_test.dir/search/best_path_iterator_test.cc.o"
+  "CMakeFiles/best_path_iterator_test.dir/search/best_path_iterator_test.cc.o.d"
+  "best_path_iterator_test"
+  "best_path_iterator_test.pdb"
+  "best_path_iterator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_path_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dijkstra_iterator_test.dir/baseline/dijkstra_iterator_test.cc.o"
+  "CMakeFiles/dijkstra_iterator_test.dir/baseline/dijkstra_iterator_test.cc.o.d"
+  "dijkstra_iterator_test"
+  "dijkstra_iterator_test.pdb"
+  "dijkstra_iterator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dijkstra_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_correcting_iterator_test.dir/search/label_correcting_iterator_test.cc.o"
+  "CMakeFiles/label_correcting_iterator_test.dir/search/label_correcting_iterator_test.cc.o.d"
+  "label_correcting_iterator_test"
+  "label_correcting_iterator_test.pdb"
+  "label_correcting_iterator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_correcting_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntd_bitmap_index_test.dir/temporal/ntd_bitmap_index_test.cc.o"
+  "CMakeFiles/ntd_bitmap_index_test.dir/temporal/ntd_bitmap_index_test.cc.o.d"
+  "ntd_bitmap_index_test"
+  "ntd_bitmap_index_test.pdb"
+  "ntd_bitmap_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntd_bitmap_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

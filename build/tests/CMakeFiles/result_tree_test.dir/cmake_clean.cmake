@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_tree_test.dir/search/result_tree_test.cc.o"
+  "CMakeFiles/result_tree_test.dir/search/result_tree_test.cc.o.d"
+  "result_tree_test"
+  "result_tree_test.pdb"
+  "result_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

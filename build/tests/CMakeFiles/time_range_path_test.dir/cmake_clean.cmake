@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_range_path_test.dir/search/time_range_path_test.cc.o"
+  "CMakeFiles/time_range_path_test.dir/search/time_range_path_test.cc.o.d"
+  "time_range_path_test"
+  "time_range_path_test.pdb"
+  "time_range_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_range_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

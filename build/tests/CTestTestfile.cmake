@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/strings_test[1]_include.cmake")
+include("/root/repo/build/tests/interval_test[1]_include.cmake")
+include("/root/repo/build/tests/interval_set_test[1]_include.cmake")
+include("/root/repo/build/tests/bitmap_test[1]_include.cmake")
+include("/root/repo/build/tests/ntd_bitmap_index_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/inverted_index_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/archive_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/predicate_test[1]_include.cmake")
+include("/root/repo/build/tests/ranking_test[1]_include.cmake")
+include("/root/repo/build/tests/query_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/best_path_iterator_test[1]_include.cmake")
+include("/root/repo/build/tests/result_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/search_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_property_test[1]_include.cmake")
+include("/root/repo/build/tests/label_correcting_iterator_test[1]_include.cmake")
+include("/root/repo/build/tests/time_range_path_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/dijkstra_iterator_test[1]_include.cmake")
+include("/root/repo/build/tests/banks_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_validation_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
