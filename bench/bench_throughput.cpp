@@ -1,0 +1,165 @@
+// Concurrent query throughput: QueryExecutor thread sweep on the DBLP and
+// social datasets. Emits one JSON object per (dataset, threads) cell with
+// queries/sec and latency percentiles, and cross-checks that every thread
+// count reproduces the sequential results bit-identically.
+//
+// Environment knobs (see bench_util.h): TGKS_BENCH_SCALE, TGKS_BENCH_QUERIES.
+// TGKS_BENCH_THREADS ("1,2,4,8" by default) picks the sweep points and
+// TGKS_BENCH_DEADLINE_MS (<=0 = off) adds a per-query deadline row.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exec/query_executor.h"
+
+namespace tgks::bench {
+namespace {
+
+std::vector<int> SweepThreads() {
+  const char* raw = std::getenv("TGKS_BENCH_THREADS");
+  const std::string spec = raw == nullptr ? "1,2,4,8" : raw;
+  std::vector<int> threads;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    const size_t comma = spec.find(',', pos);
+    const std::string token =
+        spec.substr(pos, comma == std::string::npos ? spec.size() - pos
+                                                    : comma - pos);
+    const int value = std::atoi(token.c_str());
+    if (value > 0) threads.push_back(value);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (threads.empty()) threads.push_back(1);
+  return threads;
+}
+
+std::vector<exec::BatchQuery> ToBatch(
+    const std::vector<datagen::WorkloadQuery>& workload) {
+  std::vector<exec::BatchQuery> batch;
+  batch.reserve(workload.size());
+  for (const auto& wq : workload) {
+    batch.push_back(exec::BatchQuery{wq.query, wq.matches});
+  }
+  return batch;
+}
+
+/// One response's identity: every result signature and score, in rank order.
+std::string ResponseFingerprint(const Result<search::SearchResponse>& r) {
+  if (!r.ok()) return "error:" + r.status().ToString();
+  std::string out;
+  for (const auto& tree : r->results) {
+    out += tree.Signature();
+    out += '|';
+    for (const double s : tree.score) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g,", s);
+      out += buf;
+    }
+    out += ';';
+  }
+  return out;
+}
+
+std::vector<std::string> Fingerprints(const exec::BatchResponse& response) {
+  std::vector<std::string> prints;
+  prints.reserve(response.responses.size());
+  for (const auto& r : response.responses) {
+    prints.push_back(ResponseFingerprint(r));
+  }
+  return prints;
+}
+
+void PrintRow(const std::string& dataset, int threads, int64_t deadline_ms,
+              const exec::BatchResponse& response, bool identical) {
+  std::printf(
+      "{\"dataset\": \"%s\", \"threads\": %d, \"deadline_ms\": %lld, "
+      "\"queries\": %zu, \"wall_seconds\": %.6f, \"qps\": %.2f, "
+      "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
+      "\"mean_ms\": %.3f, \"deadline_exceeded\": %lld, \"truncated\": %lld, "
+      "\"failed\": %lld, \"identical_to_sequential\": %s}\n",
+      dataset.c_str(), threads, static_cast<long long>(deadline_ms),
+      response.responses.size(), response.wall_seconds,
+      response.QueriesPerSecond(), response.latency.p50_ms,
+      response.latency.p90_ms, response.latency.p99_ms,
+      response.latency.mean_ms,
+      static_cast<long long>(response.deadline_exceeded),
+      static_cast<long long>(response.truncated),
+      static_cast<long long>(response.failed), identical ? "true" : "false");
+  std::fflush(stdout);
+}
+
+int SweepDataset(const std::string& name, const graph::TemporalGraph& graph,
+                 const graph::InvertedIndex& index,
+                 const std::vector<datagen::WorkloadQuery>& workload) {
+  const std::vector<exec::BatchQuery> batch = ToBatch(workload);
+  search::SearchOptions search_options;
+  search_options.k = 10;
+
+  // Sequential reference: one worker thread, no deadline.
+  exec::ExecutorOptions ref_options;
+  ref_options.threads = 1;
+  ref_options.search = search_options;
+  exec::QueryExecutor reference(graph, &index, ref_options);
+  const exec::BatchResponse ref = reference.Run(batch);
+  const std::vector<std::string> ref_prints = Fingerprints(ref);
+  PrintRow(name, 1, -1, ref, true);
+
+  int mismatches = 0;
+  for (const int threads : SweepThreads()) {
+    if (threads == 1) continue;  // Already printed as the reference row.
+    exec::ExecutorOptions options = ref_options;
+    options.threads = threads;
+    exec::QueryExecutor executor(graph, &index, options);
+    const exec::BatchResponse response = executor.Run(batch);
+    const bool identical = Fingerprints(response) == ref_prints;
+    if (!identical) ++mismatches;
+    PrintRow(name, threads, -1, response, identical);
+  }
+
+  const int64_t deadline_ms = EnvInt("TGKS_BENCH_DEADLINE_MS", -1);
+  if (deadline_ms > 0) {
+    exec::ExecutorOptions options = ref_options;
+    options.threads = SweepThreads().back();
+    options.deadline_ms = deadline_ms;
+    exec::QueryExecutor executor(graph, &index, options);
+    // Deadlined runs legitimately diverge from the reference; don't count
+    // them as mismatches.
+    PrintRow(name, options.threads, deadline_ms, executor.Run(batch), true);
+  }
+  return mismatches;
+}
+
+int Main() {
+  datagen::QueryWorkloadParams params;
+  params.num_queries = NumQueries();
+
+  const datagen::DblpDataset dblp = MakeDblp();
+  const graph::InvertedIndex dblp_index(dblp.graph);
+  const auto dblp_workload = datagen::MakeDblpWorkload(dblp, params);
+
+  const datagen::SocialDataset social = MakeSocial();
+  const graph::InvertedIndex social_index(social.graph);
+  const auto social_workload =
+      datagen::MakeMatchSetWorkload(social.graph, params, ScaledMatches());
+
+  int mismatches = 0;
+  mismatches += SweepDataset("dblp", dblp.graph, dblp_index, dblp_workload);
+  mismatches +=
+      SweepDataset("social", social.graph, social_index, social_workload);
+  if (mismatches > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d thread-count cells diverged from sequential\n",
+                 mismatches);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace tgks::bench
+
+int main() { return tgks::bench::Main(); }

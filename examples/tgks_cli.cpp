@@ -2,11 +2,15 @@
 //
 //   tgks_cli GRAPH.tgf [options] "QUERY"
 //   tgks_cli --demo [options] "QUERY"       (built-in Fig.-1 social graph)
+//   tgks_cli --demo [options] --batch FILE  (one query per line)
 //
 // Options:
 //   --k N            top-k (default 10; 0 = all results)
 //   --bound KIND     accurate | empirical | average (default empirical)
 //   --stats          print work counters after the results
+//   --deadline-ms N  per-query wall-clock budget (default: none)
+//   --batch FILE     run every query in FILE concurrently ('#' = comment)
+//   --threads N      worker threads for --batch (default: hardware)
 //
 // Examples:
 //   tgks_cli --demo "Mary, John"
@@ -14,12 +18,16 @@
 //                          start time"
 //   tgks_cli archive.tgf --bound accurate "GenBank, Blast result time
 //                          meets 7"
+//   tgks_cli archive.tgf --threads 8 --deadline-ms 50 --batch queries.txt
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "examples/example_util.h"
+#include "exec/query_executor.h"
 #include "graph/graph_builder.h"
 #include "graph/inverted_index.h"
 #include "graph/serialization.h"
@@ -60,8 +68,72 @@ TemporalGraph DemoGraph() {
 int Usage() {
   std::cerr
       << "usage: tgks_cli (GRAPH.tgf | --demo) [--k N] [--bound KIND] "
-         "[--stats] \"QUERY\"\n";
+         "[--stats] [--deadline-ms N] (\"QUERY\" | --batch FILE [--threads "
+         "N])\n";
   return 2;
+}
+
+// Reads one query per line; blank lines and '#' comments are skipped.
+bool LoadBatchFile(const std::string& path, std::vector<std::string>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const size_t last = line.find_last_not_of(" \t\r");
+    out->push_back(line.substr(first, last - first + 1));
+  }
+  return true;
+}
+
+int RunBatch(const tgks::graph::TemporalGraph& graph,
+             const tgks::graph::InvertedIndex& index,
+             const std::vector<std::string>& lines,
+             const tgks::search::SearchOptions& options, int threads,
+             int64_t deadline_ms, bool stats) {
+  std::vector<tgks::exec::BatchQuery> batch;
+  batch.reserve(lines.size());
+  for (const std::string& text : lines) {
+    auto query = tgks::search::ParseQuery(text);
+    if (!query.ok()) {
+      std::cerr << "query error in '" << text << "': " << query.status()
+                << "\n";
+      return 1;
+    }
+    batch.push_back(tgks::exec::BatchQuery{*std::move(query), {}});
+  }
+
+  tgks::exec::ExecutorOptions exec_options;
+  exec_options.threads = threads;
+  exec_options.deadline_ms = deadline_ms;
+  exec_options.search = options;
+  tgks::exec::QueryExecutor executor(graph, &index, exec_options);
+  const tgks::exec::BatchResponse response = executor.Run(batch);
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto& r = response.responses[i];
+    std::cout << "[" << i << "] " << lines[i] << "\n    ";
+    if (!r.ok()) {
+      std::cout << "error: " << r.status() << "\n";
+      continue;
+    }
+    std::cout << r->results.size() << " results in "
+              << response.latencies_seconds[i] * 1000.0 << " ms ("
+              << tgks::search::StopReasonName(r->stop_reason) << ")\n";
+  }
+  std::cout << "\nbatch: " << response.completed << " ok, " << response.failed
+            << " failed, " << response.deadline_exceeded << " past deadline, "
+            << response.truncated << " truncated\n"
+            << "threads " << executor.threads() << "  wall "
+            << response.wall_seconds * 1000.0 << " ms  qps "
+            << response.QueriesPerSecond() << "\n"
+            << "latency ms: mean " << response.latency.mean_ms << "  p50 "
+            << response.latency.p50_ms << "  p90 " << response.latency.p90_ms
+            << "  p99 " << response.latency.p99_ms << "  max "
+            << response.latency.max_ms << "\n";
+  if (stats) tgks::examples::PrintCounters(response.totals);
+  return response.failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -72,6 +144,9 @@ int main(int argc, char** argv) {
   tgks::search::SearchOptions options;
   options.k = 10;
   std::string query_text;
+  std::string batch_path;
+  int threads = 0;
+  int64_t deadline_ms = -1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -81,6 +156,12 @@ int main(int argc, char** argv) {
       stats = true;
     } else if (arg == "--k" && i + 1 < argc) {
       options.k = std::atoi(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::atoll(argv[++i]);
+    } else if (arg == "--batch" && i + 1 < argc) {
+      batch_path = argv[++i];
     } else if (arg == "--bound" && i + 1 < argc) {
       const std::string kind = argv[++i];
       if (kind == "accurate") {
@@ -107,7 +188,12 @@ int main(int argc, char** argv) {
     query_text = graph_path;  // --demo consumed the positional slot.
     graph_path.clear();
   }
-  if (query_text.empty() || (graph_path.empty() && !demo)) return Usage();
+  const bool batch_mode = !batch_path.empty();
+  if (batch_mode) {
+    if (!query_text.empty() || (graph_path.empty() && !demo)) return Usage();
+  } else if (query_text.empty() || (graph_path.empty() && !demo)) {
+    return Usage();
+  }
 
   TemporalGraph graph;
   if (demo) {
@@ -126,12 +212,27 @@ int main(int argc, char** argv) {
     graph = std::move(loaded).value();
   }
 
+  const tgks::graph::InvertedIndex index(graph);
+
+  if (batch_mode) {
+    std::vector<std::string> lines;
+    if (!LoadBatchFile(batch_path, &lines)) {
+      std::cerr << "cannot read batch file '" << batch_path << "'\n";
+      return 1;
+    }
+    if (lines.empty()) {
+      std::cerr << "batch file '" << batch_path << "' has no queries\n";
+      return 1;
+    }
+    return RunBatch(graph, index, lines, options, threads, deadline_ms, stats);
+  }
+
   auto query = tgks::search::ParseQuery(query_text);
   if (!query.ok()) {
     std::cerr << "query error: " << query.status() << "\n";
     return 1;
   }
-  const tgks::graph::InvertedIndex index(graph);
+  options.deadline_ms = deadline_ms;
   const tgks::search::SearchEngine engine(graph, &index);
   auto response = engine.Search(*query, options);
   if (!response.ok()) {
@@ -139,6 +240,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   tgks::examples::PrintResults(graph, *query, *response);
+  if (response->deadline_exceeded) {
+    std::cout << "(stopped early: deadline of " << deadline_ms
+              << " ms exceeded)\n";
+  }
   if (stats) tgks::examples::PrintCounters(response->counters);
   return 0;
 }

@@ -1,0 +1,153 @@
+#include "exec/query_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/timer.h"
+
+namespace tgks::exec {
+
+namespace {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  size_t idx = static_cast<size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+void AccumulateCounters(const search::SearchCounters& c,
+                        search::SearchCounters* total) {
+  total->iterators += c.iterators;
+  total->pops += c.pops;
+  total->useless_pops += c.useless_pops;
+  total->ntds_created += c.ntds_created;
+  total->nodes_visited += c.nodes_visited;
+  total->candidates += c.candidates;
+  total->invalid_time += c.invalid_time;
+  total->invalid_structure += c.invalid_structure;
+  total->root_reducible += c.root_reducible;
+  total->predicate_rejected += c.predicate_rejected;
+  total->duplicates += c.duplicates;
+  total->combo_overflows += c.combo_overflows;
+  total->results += c.results;
+  total->seconds_match += c.seconds_match;
+  total->seconds_filter += c.seconds_filter;
+  total->seconds_expand += c.seconds_expand;
+  total->seconds_generate += c.seconds_generate;
+}
+
+}  // namespace
+
+LatencySummary SummarizeLatencies(std::vector<double> latencies_seconds) {
+  LatencySummary summary;
+  if (latencies_seconds.empty()) return summary;
+  std::sort(latencies_seconds.begin(), latencies_seconds.end());
+  double sum = 0.0;
+  for (const double s : latencies_seconds) sum += s;
+  const double to_ms = 1000.0;
+  summary.mean_ms =
+      sum / static_cast<double>(latencies_seconds.size()) * to_ms;
+  summary.p50_ms = Percentile(latencies_seconds, 50.0) * to_ms;
+  summary.p90_ms = Percentile(latencies_seconds, 90.0) * to_ms;
+  summary.p99_ms = Percentile(latencies_seconds, 99.0) * to_ms;
+  summary.max_ms = latencies_seconds.back() * to_ms;
+  return summary;
+}
+
+QueryExecutor::QueryExecutor(const graph::TemporalGraph& graph,
+                             const graph::InvertedIndex* index,
+                             ExecutorOptions options)
+    : graph_(&graph),
+      index_(index),
+      options_(options),
+      engine_(graph, index),
+      pool_(std::make_unique<ThreadPool>(ResolveThreads(options.threads))) {}
+
+QueryExecutor::~QueryExecutor() = default;
+
+BatchResponse QueryExecutor::Run(const std::vector<BatchQuery>& batch) {
+  cancel_.store(false, std::memory_order_relaxed);
+
+  search::SearchOptions per_query = options_.search;
+  if (options_.deadline_ms > 0) per_query.deadline_ms = options_.deadline_ms;
+  per_query.cancel = &cancel_;
+
+  BatchResponse out;
+  out.responses.reserve(batch.size());
+  out.latencies_seconds.assign(batch.size(), 0.0);
+  // Pre-fill the index-aligned slots; workers overwrite their own slot only,
+  // so no two threads touch the same element.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    out.responses.emplace_back(Status::Internal("query not executed"));
+  }
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t remaining = batch.size();
+
+  Stopwatch wall;
+  wall.Start();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    pool_->Submit([this, &batch, &out, &per_query, &done_mu, &done_cv,
+                   &remaining, i] {
+      Stopwatch latency;
+      latency.Start();
+      const BatchQuery& bq = batch[i];
+      Result<search::SearchResponse> response =
+          bq.matches.empty()
+              ? engine_.Search(bq.query, per_query)
+              : engine_.SearchWithMatches(bq.query, bq.matches, per_query);
+      latency.Stop();
+      out.latencies_seconds[i] = latency.seconds();
+      out.responses[i] = std::move(response);
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        --remaining;
+      }
+      done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&remaining] { return remaining == 0; });
+  }
+  wall.Stop();
+  out.wall_seconds = wall.seconds();
+
+  for (const auto& response : out.responses) {
+    if (!response.ok()) {
+      ++out.failed;
+      continue;
+    }
+    ++out.completed;
+    AccumulateCounters(response->counters, &out.totals);
+    if (response->truncated) ++out.truncated;
+    if (response->deadline_exceeded) ++out.deadline_exceeded;
+    if (response->cancelled) ++out.cancelled;
+  }
+  out.latency = SummarizeLatencies(out.latencies_seconds);
+  return out;
+}
+
+BatchResponse QueryExecutor::RunQueries(
+    const std::vector<search::Query>& queries) {
+  std::vector<BatchQuery> batch;
+  batch.reserve(queries.size());
+  for (const search::Query& q : queries) batch.push_back(BatchQuery{q, {}});
+  return Run(batch);
+}
+
+}  // namespace tgks::exec

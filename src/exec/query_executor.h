@@ -1,0 +1,129 @@
+// QueryExecutor: concurrent batch execution of independent queries over one
+// shared TemporalGraph + InvertedIndex.
+//
+// The engine side makes this safe by construction: the graph and inverted
+// index are immutable after build and SearchEngine is stateless across
+// Search() calls, so queries fan out over shared read-only structures with
+// no synchronization beyond the work queue (the same read-only-index model
+// concurrent temporal-graph traversal systems use). Results are written into
+// index-aligned slots, so a batch's output — and each individual
+// SearchResponse — is bit-identical to running the same queries
+// sequentially, regardless of thread count or scheduling order.
+//
+// Robustness controls ride on SearchOptions: a per-query wall-clock deadline
+// and a batch-wide cooperative cancellation token, both checked at the
+// engine's pop boundary (deadline_exceeded / cancelled surface on the
+// response instead of a crash or unbounded run).
+
+#ifndef TGKS_EXEC_QUERY_EXECUTOR_H_
+#define TGKS_EXEC_QUERY_EXECUTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/thread_pool.h"
+#include "graph/inverted_index.h"
+#include "graph/temporal_graph.h"
+#include "search/search_engine.h"
+
+namespace tgks::exec {
+
+/// Executor knobs.
+struct ExecutorOptions {
+  /// Worker threads; <= 0 picks std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Per-query wall-clock deadline in milliseconds (<= 0 = none). Applied
+  /// on top of `search` (overrides search.deadline_ms when positive).
+  int64_t deadline_ms = -1;
+  /// Base engine options for every query in a batch.
+  search::SearchOptions search;
+};
+
+/// One query of a batch: keywords resolve through the inverted index unless
+/// explicit per-keyword match lists are supplied (the paper's protocol for
+/// unlabeled graphs).
+struct BatchQuery {
+  search::Query query;
+  /// When non-empty, passed to SearchWithMatches (one list per keyword).
+  std::vector<std::vector<graph::NodeId>> matches;
+};
+
+/// Latency distribution of a batch, in milliseconds per query.
+struct LatencySummary {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Outcome of one batch.
+struct BatchResponse {
+  /// Index-aligned with the submitted batch.
+  std::vector<Result<search::SearchResponse>> responses;
+  /// Per-query wall-clock latencies, index-aligned (seconds).
+  std::vector<double> latencies_seconds;
+  /// Counters summed over the ok() responses.
+  search::SearchCounters totals;
+  LatencySummary latency;
+  /// Wall-clock time for the whole batch (submission to last completion).
+  double wall_seconds = 0.0;
+  int64_t completed = 0;          ///< ok() responses.
+  int64_t failed = 0;             ///< Error-status responses.
+  int64_t deadline_exceeded = 0;  ///< Responses stopped by the deadline.
+  int64_t cancelled = 0;          ///< Responses stopped by cancellation.
+  int64_t truncated = 0;          ///< Responses with any safety valve fired.
+
+  double QueriesPerSecond() const {
+    return wall_seconds > 0
+               ? static_cast<double>(responses.size()) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Runs batches of independent queries concurrently over one shared graph.
+///
+/// The graph (and index, if given) must outlive the executor. Run() is
+/// synchronous and may be called repeatedly; one batch runs at a time.
+class QueryExecutor {
+ public:
+  /// `index` may be null if every BatchQuery carries explicit matches.
+  QueryExecutor(const graph::TemporalGraph& graph,
+                const graph::InvertedIndex* index, ExecutorOptions options);
+  ~QueryExecutor();
+
+  QueryExecutor(const QueryExecutor&) = delete;
+  QueryExecutor& operator=(const QueryExecutor&) = delete;
+
+  /// Runs every query of `batch`, blocking until all complete (or stop on
+  /// their deadline / the cancellation token).
+  BatchResponse Run(const std::vector<BatchQuery>& batch);
+
+  /// Convenience wrapper: index-resolved queries only.
+  BatchResponse RunQueries(const std::vector<search::Query>& queries);
+
+  /// Cooperatively cancels the in-flight batch (callable from any thread);
+  /// in-flight queries stop at their next pop boundary with `cancelled`
+  /// set. Cleared automatically when the next batch starts.
+  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+  int threads() const { return pool_->num_threads(); }
+
+ private:
+  const graph::TemporalGraph* graph_;
+  const graph::InvertedIndex* index_;
+  ExecutorOptions options_;
+  search::SearchEngine engine_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> cancel_{false};
+};
+
+/// Computes the latency distribution of `latencies_seconds` (unsorted ok).
+LatencySummary SummarizeLatencies(std::vector<double> latencies_seconds);
+
+}  // namespace tgks::exec
+
+#endif  // TGKS_EXEC_QUERY_EXECUTOR_H_

@@ -1,0 +1,50 @@
+// Fixed-size worker pool for the concurrent query executor.
+//
+// Deliberately minimal: a mutex-guarded FIFO of std::function tasks drained
+// by N long-lived threads. Queries are coarse units of work (milliseconds to
+// seconds each), so a lock per dequeue is noise; no work stealing or
+// lock-free machinery is warranted at this granularity.
+
+#ifndef TGKS_EXEC_THREAD_POOL_H_
+#define TGKS_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tgks::exec {
+
+/// N worker threads draining a shared task queue. Threads start in the
+/// constructor and join in the destructor after the queue drains.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Finishes queued tasks, then joins every worker.
+  ~ThreadPool();
+
+  /// Enqueues one task. Must not be called after destruction begins.
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tgks::exec
+
+#endif  // TGKS_EXEC_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
@@ -26,6 +27,22 @@ std::string_view UpperBoundKindName(UpperBoundKind kind) {
   return "unknown";
 }
 
+std::string_view StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kExhausted:
+      return "exhausted";
+    case StopReason::kBound:
+      return "bound";
+    case StopReason::kMaxPops:
+      return "max_pops";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// One Search() invocation; owns iterators and bookkeeping.
@@ -41,6 +58,11 @@ class Runner {
         match_lists_(std::move(matches)) {}
 
   SearchResponse Run() {
+    if (options_.deadline_ms > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(options_.deadline_ms);
+      has_deadline_ = true;
+    }
     FilterMatches();
     CreateIterators();
     const bool any_keyword_dead =
@@ -49,6 +71,7 @@ class Runner {
     if (any_keyword_dead) {
       // Some keyword has no qualifying match: no result can exist.
       response_.exhausted = true;
+      response_.stop_reason = StopReason::kExhausted;
     } else {
       MainLoop();
     }
@@ -147,9 +170,23 @@ class Runner {
 
   void MainLoop() {
     while (true) {
+      if (options_.cancel != nullptr &&
+          options_.cancel->load(std::memory_order_relaxed)) {
+        response_.truncated = true;
+        response_.cancelled = true;
+        response_.stop_reason = StopReason::kCancelled;
+        return;
+      }
+      if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+        response_.truncated = true;
+        response_.deadline_exceeded = true;
+        response_.stop_reason = StopReason::kDeadline;
+        return;
+      }
       if (options_.max_pops > 0 &&
           response_.counters.pops >= options_.max_pops) {
         response_.truncated = true;
+        response_.stop_reason = StopReason::kMaxPops;
         return;
       }
       expand_timer_.Start();
@@ -157,6 +194,7 @@ class Runner {
       if (kw < 0) {
         expand_timer_.Stop();
         response_.exhausted = true;  // Every frontier drained.
+        response_.stop_reason = StopReason::kExhausted;
         return;
       }
       auto& heap = keyword_heaps_[static_cast<size_t>(kw)];
@@ -191,6 +229,7 @@ class Runner {
       if (options_.k > 0 &&
           static_cast<int64_t>(results_.size()) >= options_.k &&
           KthBeatsBound()) {
+        response_.stop_reason = StopReason::kBound;
         return;
       }
     }
@@ -316,12 +355,44 @@ class Runner {
     // the future pop of its last NTD, whose score is at most its queue's
     // top, hence at most the best top.
     const double accurate = best_top;
-    // Empirical bound (§4.2): 1/(m·d) for relevance (primary = -weight, so
-    // multiply by m); the worst queue top for temporal factors.
-    const double empirical =
-        query_.ranking.primary() == RankFactor::kRelevance
-            ? best_top * static_cast<double>(m_)
-            : worst_top;
+    double empirical;
+    double average;
+    if (query_.ranking.primary() == RankFactor::kRelevance) {
+      // §4.2 relevance bounds, derived in the paper's relevance space
+      // r = 1/weight and transformed into the engine's score space
+      // s = -weight (so s = -1/r; the map is monotone but NOT linear).
+      //
+      //   accurate:  r_acc = 1/d        with d = -best_top, the weight of
+      //                                 the cheapest queue top;
+      //   empirical: r_emp = 1/(m·d)    ("an unseen result ~ m paths of
+      //                                 frontier cost d");
+      //   average:   (r_acc + r_emp)/2 = (m+1)/(2·m·d).
+      //
+      // Mapping back through s = -1/r gives s_emp = -m·d and
+      // s_avg = -2·m·d/(m+1). The average MUST be taken in relevance space:
+      // averaging the negated weights instead — (-d + -m·d)/2 — lands at
+      // -d·(m+1)/2, which for m >= 2 is below the true midpoint, so the stop
+      // test fired too early and could silently return a non-top-k tree
+      // (see termination_bound_test.cc for a 2-keyword graph where the
+      // returned top-1 differs).
+      const double m = static_cast<double>(m_);
+      const double d = -best_top;
+      if (d <= 0) {
+        // Zero-weight frontier: 1/(m·d) is undefined; every relaxation
+        // collapses onto the accurate bound.
+        empirical = accurate;
+        average = accurate;
+      } else {
+        empirical = -(m * d);
+        average = -(2.0 * m * d) / (m + 1.0);
+      }
+    } else {
+      // Temporal primaries are affine in the score, so bounds live directly
+      // in score space: empirical = the worst queue top (§4.2's "smallest
+      // top-of-queue end time / duration") and the midpoint commutes.
+      empirical = worst_top;
+      average = (accurate + empirical) / 2.0;
+    }
     double bound = accurate;
     switch (options_.bound) {
       case UpperBoundKind::kAccurate:
@@ -331,7 +402,7 @@ class Runner {
         bound = empirical;
         break;
       case UpperBoundKind::kAverage:
-        bound = (accurate + empirical) / 2.0;
+        bound = average;
         break;
     }
     const double kth = primaries_[static_cast<size_t>(options_.k) - 1];
@@ -386,6 +457,9 @@ class Runner {
   const Query& query_;
   const SearchOptions& options_;
   const size_t m_;
+
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
 
   std::vector<std::vector<NodeId>> match_lists_;
   std::vector<std::unordered_set<NodeId>> match_set_storage_;

@@ -11,6 +11,7 @@
 #ifndef TGKS_SEARCH_SEARCH_ENGINE_H_
 #define TGKS_SEARCH_SEARCH_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -54,6 +55,15 @@ struct SearchOptions {
   int64_t max_pops = -1;
   /// Safety valve: cap on NTD-set cross products explored per pop.
   int64_t max_combos_per_pop = 1 << 16;
+  /// Wall-clock budget for one Search() call in milliseconds (<= 0 = none).
+  /// When it expires the search stops at the next pop boundary and returns
+  /// whatever was found, sorted and truncated to k, with
+  /// `deadline_exceeded` set on the response.
+  int64_t deadline_ms = -1;
+  /// Cooperative cancellation token (not owned; may be shared by many
+  /// queries). When non-null and set, the search stops at the next pop
+  /// boundary with `cancelled` set on the response.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Work counters for the evaluation harness (§6's reported quantities).
@@ -84,15 +94,32 @@ struct SearchCounters {
   double seconds_generate = 0.0;
 };
 
+/// Why the main loop stopped.
+enum class StopReason {
+  kExhausted,   ///< Every iterator frontier drained.
+  kBound,       ///< The §4.2 kth-beats-bound test fired.
+  kMaxPops,     ///< The max_pops safety valve fired.
+  kDeadline,    ///< The wall-clock deadline expired.
+  kCancelled,   ///< The cancellation token was set.
+};
+
+std::string_view StopReasonName(StopReason reason);
+
 /// Outcome of one search.
 struct SearchResponse {
-  /// Up to k results, best score first.
+  /// Up to k results, best score first. Sorted and truncated to k on every
+  /// stop path, including early exits (max_pops / deadline / cancellation).
   std::vector<ResultTree> results;
   SearchCounters counters;
+  StopReason stop_reason = StopReason::kExhausted;
   /// True when every iterator drained (vs. stopping on the bound).
   bool exhausted = false;
-  /// True when a safety valve (max_pops) fired.
+  /// True when a safety valve fired (max_pops, deadline, or cancellation).
   bool truncated = false;
+  /// True when the wall-clock deadline expired before completion.
+  bool deadline_exceeded = false;
+  /// True when the cancellation token stopped the search.
+  bool cancelled = false;
 };
 
 /// Top-k keyword search over one temporal graph.

@@ -50,10 +50,16 @@ struct Interval {
     return start <= other.end && other.start <= end;
   }
 
-  /// The (possibly empty) intersection.
+  /// The (possibly empty) intersection. An empty result is always the
+  /// canonical empty interval [0,-1], never an arbitrary start > end pair,
+  /// so downstream representation-sensitive consumers (raw start/end
+  /// comparisons, hashing, IntervalSet's canonical-form invariant, tree
+  /// Signature() dedup) see a single empty encoding.
   constexpr Interval Intersect(const Interval& other) const {
-    return Interval(start > other.start ? start : other.start,
-                    end < other.end ? end : other.end);
+    const TimePoint s = start > other.start ? start : other.start;
+    const TimePoint e = end < other.end ? end : other.end;
+    if (s > e) return Interval();
+    return Interval(s, e);
   }
 
   friend constexpr bool operator==(const Interval& a, const Interval& b) {

@@ -61,6 +61,42 @@ TEST(IntervalTest, IntersectClipsToCommonRange) {
   EXPECT_TRUE(Interval(0, 2).Intersect(Interval(4, 9)).IsEmpty());
 }
 
+TEST(IntervalTest, EmptyIntersectionIsCanonical) {
+  // Disjoint inputs must yield the canonical empty encoding [0,-1], not an
+  // arbitrary start > end pair; representation-sensitive consumers (raw
+  // field comparisons, hashing) rely on the single encoding.
+  const Interval empty = Interval(4, 9).Intersect(Interval(0, 2));
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_EQ(empty.start, 0);
+  EXPECT_EQ(empty.end, -1);
+}
+
+TEST(IntervalTest, IntersectPropertySweep) {
+  // Exhaustive small-range sweep: Intersect is symmetric, subsumed by both
+  // operands, exact on membership, and canonical whenever empty.
+  for (TimePoint as = -2; as <= 4; ++as) {
+    for (TimePoint ae = -2; ae <= 4; ++ae) {
+      for (TimePoint bs = -2; bs <= 4; ++bs) {
+        for (TimePoint be = -2; be <= 4; ++be) {
+          const Interval a(as, ae), b(bs, be);
+          const Interval ab = a.Intersect(b);
+          EXPECT_EQ(ab, b.Intersect(a));
+          EXPECT_TRUE(a.Subsumes(ab));
+          EXPECT_TRUE(b.Subsumes(ab));
+          for (TimePoint t = -3; t <= 5; ++t) {
+            EXPECT_EQ(ab.Contains(t), a.Contains(t) && b.Contains(t))
+                << a.ToString() << " ∩ " << b.ToString() << " at " << t;
+          }
+          if (ab.IsEmpty()) {
+            EXPECT_EQ(ab.start, 0);
+            EXPECT_EQ(ab.end, -1);
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(IntervalTest, EqualityTreatsAllEmptyAsEqual) {
   EXPECT_EQ(Interval(5, 2), Interval(9, 0));
   EXPECT_EQ(Interval(5, 2), Interval());
