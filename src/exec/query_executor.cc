@@ -79,11 +79,16 @@ QueryExecutor::QueryExecutor(const graph::TemporalGraph& graph,
 QueryExecutor::~QueryExecutor() = default;
 
 BatchResponse QueryExecutor::Run(const std::vector<BatchQuery>& batch) {
+  // Enforce the one-batch-at-a-time contract: concurrent Run() calls would
+  // otherwise interleave in the shared pool and race on cancel_'s reset.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
   cancel_.store(false, std::memory_order_relaxed);
 
   search::SearchOptions per_query = options_.search;
   if (options_.deadline_ms > 0) per_query.deadline_ms = options_.deadline_ms;
-  per_query.cancel = &cancel_;
+  // The batch token rides in the secondary slot so a caller-supplied
+  // search.cancel keeps working; either token stops a query.
+  per_query.extra_cancel = &cancel_;
 
   BatchResponse out;
   out.responses.reserve(batch.size());
@@ -113,11 +118,16 @@ BatchResponse QueryExecutor::Run(const std::vector<BatchQuery>& batch) {
       latency.Stop();
       out.latencies_seconds[i] = latency.seconds();
       out.responses[i] = std::move(response);
+      // Notify while still holding done_mu: the waiter can only destroy the
+      // cv after reacquiring the mutex with remaining == 0, which orders the
+      // destruction after every worker's notify. Notifying after unlock
+      // would let the last two workers race Run()'s return and touch a
+      // destroyed cv.
       {
         std::lock_guard<std::mutex> lock(done_mu);
         --remaining;
+        done_cv.notify_one();
       }
-      done_cv.notify_one();
     });
   }
   {

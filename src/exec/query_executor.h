@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -38,7 +39,9 @@ struct ExecutorOptions {
   /// Per-query wall-clock deadline in milliseconds (<= 0 = none). Applied
   /// on top of `search` (overrides search.deadline_ms when positive).
   int64_t deadline_ms = -1;
-  /// Base engine options for every query in a batch.
+  /// Base engine options for every query in a batch. A caller-supplied
+  /// `search.cancel` token is honored: the executor's batch token rides in
+  /// `search.extra_cancel`, and either token stops a query.
   search::SearchOptions search;
 };
 
@@ -87,7 +90,9 @@ struct BatchResponse {
 /// Runs batches of independent queries concurrently over one shared graph.
 ///
 /// The graph (and index, if given) must outlive the executor. Run() is
-/// synchronous and may be called repeatedly; one batch runs at a time.
+/// synchronous and may be called repeatedly; one batch runs at a time,
+/// enforced by an internal mutex — concurrent Run() calls from different
+/// threads serialize rather than interleave.
 class QueryExecutor {
  public:
   /// `index` may be null if every BatchQuery carries explicit matches.
@@ -118,6 +123,8 @@ class QueryExecutor {
   ExecutorOptions options_;
   search::SearchEngine engine_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Serializes Run(): one batch at a time in the shared pool.
+  std::mutex run_mu_;
   std::atomic<bool> cancel_{false};
 };
 

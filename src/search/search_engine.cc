@@ -170,8 +170,10 @@ class Runner {
 
   void MainLoop() {
     while (true) {
-      if (options_.cancel != nullptr &&
-          options_.cancel->load(std::memory_order_relaxed)) {
+      if ((options_.cancel != nullptr &&
+           options_.cancel->load(std::memory_order_relaxed)) ||
+          (options_.extra_cancel != nullptr &&
+           options_.extra_cancel->load(std::memory_order_relaxed))) {
         response_.truncated = true;
         response_.cancelled = true;
         response_.stop_reason = StopReason::kCancelled;

@@ -64,6 +64,10 @@ struct SearchOptions {
   /// queries). When non-null and set, the search stops at the next pop
   /// boundary with `cancelled` set on the response.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional second cancellation token, checked alongside `cancel`. Lets a
+  /// batch-wide token (e.g. QueryExecutor::Cancel) compose with a
+  /// caller-supplied per-query token; either one stops the search.
+  const std::atomic<bool>* extra_cancel = nullptr;
 };
 
 /// Work counters for the evaluation harness (§6's reported quantities).

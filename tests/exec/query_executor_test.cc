@@ -199,6 +199,74 @@ TEST(QueryExecutorTest, CancelStopsInFlightBatch) {
   EXPECT_EQ(again.completed, 1);
 }
 
+TEST(QueryExecutorTest, CallerSuppliedCancelTokenIsHonored) {
+  const TemporalGraph g = MakeChainGraph(100000);
+  const InvertedIndex index(g);
+  ExecutorOptions options;
+  options.threads = 2;
+  options.search.k = 0;  // Exhaustive: only the token can stop it quickly.
+  // The caller wires their own token; the executor's batch token must ride
+  // alongside it, not replace it.
+  std::atomic<bool> caller_token{true};  // Already set: stop at first pop.
+  options.search.cancel = &caller_token;
+  QueryExecutor executor(g, &index, options);
+  std::vector<BatchQuery> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(BatchQuery{MustParse("left, right"), {}});
+  }
+  const BatchResponse out = executor.Run(batch);
+  EXPECT_EQ(out.completed, 4);
+  EXPECT_EQ(out.cancelled, 4);
+  for (const auto& r : out.responses) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->cancelled);
+    EXPECT_EQ(r->stop_reason, search::StopReason::kCancelled);
+  }
+  // The executor-side token still works with a caller token present.
+  caller_token.store(false);
+  std::thread canceller([&executor] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    executor.Cancel();
+  });
+  const BatchResponse again = executor.Run(batch);
+  canceller.join();
+  EXPECT_EQ(again.completed, 4);
+  EXPECT_GT(again.cancelled, 0);
+}
+
+TEST(QueryExecutorTest, ConcurrentRunCallsSerializeAndStayCorrect) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const std::vector<BatchQuery> batch = SocialBatch();
+
+  ExecutorOptions sequential;
+  sequential.threads = 1;
+  sequential.search.k = 0;
+  QueryExecutor seq(g, &index, sequential);
+  const BatchResponse reference = seq.Run(batch);
+
+  ExecutorOptions options = sequential;
+  options.threads = 4;
+  QueryExecutor executor(g, &index, options);
+  // Run() is documented as one-batch-at-a-time; concurrent calls must
+  // serialize (not interleave in the pool) and each produce the same
+  // responses as a sequential run.
+  std::vector<BatchResponse> outs(4);
+  {
+    std::vector<std::thread> callers;
+    for (auto& out : outs) {
+      callers.emplace_back(
+          [&executor, &batch, &out] { out = executor.Run(batch); });
+    }
+    for (auto& t : callers) t.join();
+  }
+  for (const BatchResponse& out : outs) {
+    EXPECT_EQ(out.completed, static_cast<int64_t>(batch.size()));
+    EXPECT_EQ(out.failed, 0);
+    ExpectResponsesIdentical(reference, out);
+  }
+}
+
 TEST(QueryExecutorTest, ExplicitMatchesAndInvalidQueriesInOneBatch) {
   testutil::SocialNetworkIds ids;
   const TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
