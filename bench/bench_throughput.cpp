@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "exec/query_executor.h"
+#include "obs/search_stats.h"
 
 namespace tgks::bench {
 namespace {
@@ -75,13 +76,17 @@ std::vector<std::string> Fingerprints(const exec::BatchResponse& response) {
 
 void PrintRow(const std::string& dataset, int threads, int64_t deadline_ms,
               const exec::BatchResponse& response, bool identical) {
+  // "stats" tags each row with the build flavour so the TGKS_NO_STATS
+  // overhead comparison can pair rows from two binaries.
   std::printf(
-      "{\"dataset\": \"%s\", \"threads\": %d, \"deadline_ms\": %lld, "
+      "{\"dataset\": \"%s\", \"stats\": \"%s\", \"threads\": %d, "
+      "\"deadline_ms\": %lld, "
       "\"queries\": %zu, \"wall_seconds\": %.6f, \"qps\": %.2f, "
       "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
       "\"mean_ms\": %.3f, \"deadline_exceeded\": %lld, \"truncated\": %lld, "
       "\"failed\": %lld, \"identical_to_sequential\": %s}\n",
-      dataset.c_str(), threads, static_cast<long long>(deadline_ms),
+      dataset.c_str(), tgks::obs::StatsCompiledOut() ? "off" : "on", threads,
+      static_cast<long long>(deadline_ms),
       response.responses.size(), response.wall_seconds,
       response.QueriesPerSecond(), response.latency.p50_ms,
       response.latency.p90_ms, response.latency.p99_ms,

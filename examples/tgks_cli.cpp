@@ -7,7 +7,10 @@
 // Options:
 //   --k N            top-k (default 10; 0 = all results)
 //   --bound KIND     accurate | empirical | average (default empirical)
-//   --stats          print work counters after the results
+//   --stats          print work counters and the per-query stats profile
+//   --trace          record and print the iterator event trace (single
+//                    query only; no-op in TGKS_NO_STATS builds)
+//   --metrics        print the process metrics registry (Prometheus text)
 //   --deadline-ms N  per-query wall-clock budget (default: none)
 //   --batch FILE     run every query in FILE concurrently ('#' = comment)
 //   --threads N      worker threads for --batch (default: hardware)
@@ -28,6 +31,8 @@
 
 #include "examples/example_util.h"
 #include "exec/query_executor.h"
+#include "obs/metrics.h"
+#include "obs/query_trace.h"
 #include "graph/graph_builder.h"
 #include "graph/inverted_index.h"
 #include "graph/serialization.h"
@@ -68,8 +73,8 @@ TemporalGraph DemoGraph() {
 int Usage() {
   std::cerr
       << "usage: tgks_cli (GRAPH.tgf | --demo) [--k N] [--bound KIND] "
-         "[--stats] [--deadline-ms N] (\"QUERY\" | --batch FILE [--threads "
-         "N])\n";
+         "[--stats] [--trace] [--metrics] [--deadline-ms N] (\"QUERY\" | "
+         "--batch FILE [--threads N])\n";
   return 2;
 }
 
@@ -91,7 +96,7 @@ int RunBatch(const tgks::graph::TemporalGraph& graph,
              const tgks::graph::InvertedIndex& index,
              const std::vector<std::string>& lines,
              const tgks::search::SearchOptions& options, int threads,
-             int64_t deadline_ms, bool stats) {
+             int64_t deadline_ms, bool stats, bool metrics) {
   std::vector<tgks::exec::BatchQuery> batch;
   batch.reserve(lines.size());
   for (const std::string& text : lines) {
@@ -132,7 +137,11 @@ int RunBatch(const tgks::graph::TemporalGraph& graph,
             << response.latency.p50_ms << "  p90 " << response.latency.p90_ms
             << "  p99 " << response.latency.p99_ms << "  max "
             << response.latency.max_ms << "\n";
-  if (stats) tgks::examples::PrintCounters(response.totals);
+  if (stats) {
+    tgks::examples::PrintCounters(response.totals);
+    std::cout << "  batch stats: " << response.stats.ToString() << "\n";
+  }
+  if (metrics) std::cout << tgks::obs::GlobalMetrics().RenderText();
   return response.failed == 0 ? 0 : 1;
 }
 
@@ -140,7 +149,7 @@ int RunBatch(const tgks::graph::TemporalGraph& graph,
 
 int main(int argc, char** argv) {
   std::string graph_path;
-  bool demo = false, stats = false;
+  bool demo = false, stats = false, trace = false, metrics = false;
   tgks::search::SearchOptions options;
   options.k = 10;
   std::string query_text;
@@ -154,6 +163,10 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--k" && i + 1 < argc) {
       options.k = std::atoi(argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
@@ -191,6 +204,10 @@ int main(int argc, char** argv) {
   const bool batch_mode = !batch_path.empty();
   if (batch_mode) {
     if (!query_text.empty() || (graph_path.empty() && !demo)) return Usage();
+    if (trace) {
+      std::cerr << "--trace needs a single query (one trace per query)\n";
+      return Usage();
+    }
   } else if (query_text.empty() || (graph_path.empty() && !demo)) {
     return Usage();
   }
@@ -224,7 +241,8 @@ int main(int argc, char** argv) {
       std::cerr << "batch file '" << batch_path << "' has no queries\n";
       return 1;
     }
-    return RunBatch(graph, index, lines, options, threads, deadline_ms, stats);
+    return RunBatch(graph, index, lines, options, threads, deadline_ms, stats,
+                    metrics);
   }
 
   auto query = tgks::search::ParseQuery(query_text);
@@ -233,6 +251,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   options.deadline_ms = deadline_ms;
+  tgks::obs::QueryTrace flight_recorder(/*capacity=*/512);
+  if (trace) options.trace = &flight_recorder;
   const tgks::search::SearchEngine engine(graph, &index);
   auto response = engine.Search(*query, options);
   if (!response.ok()) {
@@ -244,6 +264,11 @@ int main(int argc, char** argv) {
     std::cout << "(stopped early: deadline of " << deadline_ms
               << " ms exceeded)\n";
   }
-  if (stats) tgks::examples::PrintCounters(response->counters);
+  if (stats) {
+    tgks::examples::PrintCounters(response->counters);
+    std::cout << "  stats: " << response->stats.ToString() << "\n";
+  }
+  if (trace) std::cout << flight_recorder.ToString();
+  if (metrics) std::cout << tgks::obs::GlobalMetrics().RenderText();
   return 0;
 }

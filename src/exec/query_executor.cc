@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace tgks::exec {
 
@@ -144,11 +145,30 @@ BatchResponse QueryExecutor::Run(const std::vector<BatchQuery>& batch) {
     }
     ++out.completed;
     AccumulateCounters(response->counters, &out.totals);
+    TGKS_STATS(out.stats.Merge(response->stats));
     if (response->truncated) ++out.truncated;
     if (response->deadline_exceeded) ++out.deadline_exceeded;
     if (response->cancelled) ++out.cancelled;
   }
   out.latency = SummarizeLatencies(out.latencies_seconds);
+#ifndef TGKS_NO_STATS
+  {
+    // Batch-level instruments: per-query wall latency and batch size.
+    static obs::Histogram* latency_micros =
+        obs::GlobalMetrics().GetHistogram(
+            "tgks_batch_query_latency_micros",
+            "Per-query wall-clock latency inside batches (microseconds).");
+    static obs::Counter* batches = obs::GlobalMetrics().GetCounter(
+        "tgks_batches_total", "Executor batches completed.");
+    static obs::Counter* batch_queries = obs::GlobalMetrics().GetCounter(
+        "tgks_batch_queries_total", "Queries submitted through batches.");
+    for (const double seconds : out.latencies_seconds) {
+      latency_micros->Observe(std::llround(seconds * 1e6));
+    }
+    batches->Increment();
+    batch_queries->Increment(static_cast<int64_t>(out.responses.size()));
+  }
+#endif  // TGKS_NO_STATS
   return out;
 }
 

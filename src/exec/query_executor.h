@@ -71,6 +71,10 @@ struct BatchResponse {
   std::vector<double> latencies_seconds;
   /// Counters summed over the ok() responses.
   search::SearchCounters totals;
+  /// Observability profiles merged over the ok() responses (sums, except
+  /// heap_high_water which takes the batch max). All-zero in TGKS_NO_STATS
+  /// builds.
+  obs::SearchStats stats;
   LatencySummary latency;
   /// Wall-clock time for the whole batch (submission to last completion).
   double wall_seconds = 0.0;

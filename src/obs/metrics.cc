@@ -1,0 +1,172 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace tgks::obs {
+
+std::vector<int64_t> DefaultHistogramBounds() {
+  std::vector<int64_t> bounds;
+  for (int64_t decade = 1; decade <= 1000000000LL; decade *= 10) {
+    bounds.push_back(decade);
+    bounds.push_back(2 * decade);
+    bounds.push_back(5 * decade);
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<int64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(int64_t sample) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  const size_t idx = static_cast<size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  const int64_t total = count();
+  if (total <= 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  int64_t rank = static_cast<int64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+  }
+  return bounds_.empty() ? 0 : bounds_.back();
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
+  for (const auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = Find(name)) {
+    assert(existing->kind == Kind::kCounter);
+    return existing->counter.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kCounter;
+  entry->name = name;
+  entry->help = help;
+  entry->counter = std::unique_ptr<Counter>(new Counter());
+  Counter* out = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = Find(name)) {
+    assert(existing->kind == Kind::kGauge);
+    return existing->gauge.get();
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kGauge;
+  entry->name = name;
+  entry->help = help;
+  entry->gauge = std::unique_ptr<Gauge>(new Gauge());
+  Gauge* out = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = Find(name)) {
+    assert(existing->kind == Kind::kHistogram);
+    return existing->histogram.get();
+  }
+  if (bounds.empty()) bounds = DefaultHistogramBounds();
+  auto entry = std::make_unique<Entry>();
+  entry->kind = Kind::kHistogram;
+  entry->name = name;
+  entry->help = help;
+  entry->histogram =
+      std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+  Histogram* out = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& entry : entries_) {
+    if (!entry->help.empty()) {
+      os << "# HELP " << entry->name << ' ' << entry->help << '\n';
+    }
+    switch (entry->kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << entry->name << " counter\n"
+           << entry->name << ' ' << entry->counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << entry->name << " gauge\n"
+           << entry->name << ' ' << entry->gauge->value() << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        os << "# TYPE " << entry->name << " histogram\n";
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds_.size(); ++i) {
+          cumulative += h.buckets_[i].load(std::memory_order_relaxed);
+          os << entry->name << "_bucket{le=\"" << h.bounds_[i] << "\"} "
+             << cumulative << '\n';
+        }
+        os << entry->name << "_bucket{le=\"+Inf\"} " << h.count() << '\n'
+           << entry->name << "_sum " << h.sum() << '\n'
+           << entry->name << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        entry->counter->value_.store(0, std::memory_order_relaxed);
+        break;
+      case Kind::kGauge:
+        entry->gauge->value_.store(0, std::memory_order_relaxed);
+        break;
+      case Kind::kHistogram:
+        for (auto& bucket : entry->histogram->buckets_) {
+          bucket.store(0, std::memory_order_relaxed);
+        }
+        entry->histogram->count_.store(0, std::memory_order_relaxed);
+        entry->histogram->sum_.store(0, std::memory_order_relaxed);
+        break;
+    }
+  }
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace tgks::obs

@@ -1,0 +1,147 @@
+// MetricsRegistry: process-wide counters, gauges, and histograms with a
+// Prometheus-style text exposition.
+//
+// Design point: registration (name -> instrument) is rare and takes a mutex;
+// the hot path — incrementing a counter, setting a gauge, observing a sample
+// — touches only relaxed atomics through a stable pointer obtained once.
+// Search code therefore registers its instruments up front (or per query,
+// outside the pop loop) and updates them lock-free while iterating.
+//
+// Histograms use fixed bucket upper bounds (exponential by default) with one
+// atomic count per bucket plus sum/count, so percentile queries are
+// nearest-rank over the bucket table: the reported quantile is the upper
+// bound of the bucket containing the target rank — exact for samples that
+// hit a bound, otherwise conservative (never under-reports).
+
+#ifndef TGKS_OBS_METRICS_H_
+#define TGKS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tgks::obs {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written value (e.g. a high-water mark or pool size).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `value` if it is higher (high-water semantics).
+  void Max(int64_t value) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < value && !value_.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over non-negative samples.
+class Histogram {
+ public:
+  void Observe(int64_t sample);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Nearest-rank percentile (p in [0,100]): the upper bound of the bucket
+  /// holding the ceil(p/100 * count)-th smallest sample; the overflow
+  /// bucket reports the largest finite bound. 0 when empty.
+  int64_t Percentile(double p) const;
+
+  /// Ascending finite bucket upper bounds (the last bucket is +inf).
+  const std::vector<int64_t>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<int64_t> bounds);
+  std::vector<int64_t> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1 (overflow).
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Default histogram bounds: 1,2,5 decades from 1 to 10^9 — suits counts
+/// and microsecond latencies alike.
+std::vector<int64_t> DefaultHistogramBounds();
+
+/// Named instrument registry with Prometheus text exposition.
+///
+/// GetX() registers on first use and returns the existing instrument on
+/// subsequent calls with the same name; returned pointers stay valid for the
+/// registry's lifetime. Names should follow Prometheus conventions
+/// (snake_case, unit-suffixed, e.g. "tgks_search_pops_total").
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// `bounds` is used only on first registration; pass {} for the default.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& help = "",
+                          std::vector<int64_t> bounds = {});
+
+  /// Prometheus-style text exposition of every registered instrument, in
+  /// registration order:
+  ///
+  ///   # HELP tgks_queries_total Completed searches.
+  ///   # TYPE tgks_queries_total counter
+  ///   tgks_queries_total 42
+  ///   ...
+  ///   tgks_query_micros_bucket{le="10"} 3     (cumulative)
+  ///   tgks_query_micros_bucket{le="+Inf"} 7
+  ///   tgks_query_micros_sum 915
+  ///   tgks_query_micros_count 7
+  std::string RenderText() const;
+
+  /// Resets every instrument to zero (tests and benchmark reruns).
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* Find(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/// The process-wide registry the engine and executor report into.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace tgks::obs
+
+#endif  // TGKS_OBS_METRICS_H_

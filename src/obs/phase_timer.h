@@ -1,0 +1,69 @@
+// PhaseTimer: scoped and accumulating timers that report microseconds into a
+// SearchStats field and, optionally, a registry histogram.
+//
+// Unlike common/timer.h's Stopwatch (seconds, read at the end), PhaseTimer
+// is built for instrumentation: the target is an int64 micros slot that
+// lives in a response struct, and the whole thing compiles out under
+// TGKS_NO_STATS (spans become no-ops; the clock is never read).
+
+#ifndef TGKS_OBS_PHASE_TIMER_H_
+#define TGKS_OBS_PHASE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/search_stats.h"
+
+namespace tgks::obs {
+
+/// Accumulates elapsed microseconds into `*target_micros` across
+/// Start()/Stop() spans. `target_micros` must outlive the timer; a null
+/// target (or a TGKS_NO_STATS build) makes every call a no-op.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(int64_t* target_micros,
+                      Histogram* histogram = nullptr)
+      : target_(target_micros), histogram_(histogram) {}
+
+  void Start() {
+#ifndef TGKS_NO_STATS
+    if (target_ != nullptr) begin_ = std::chrono::steady_clock::now();
+#endif
+  }
+
+  void Stop() {
+#ifndef TGKS_NO_STATS
+    if (target_ == nullptr) return;
+    const int64_t micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - begin_)
+            .count();
+    *target_ += micros;
+    if (histogram_ != nullptr) histogram_->Observe(micros);
+#endif
+  }
+
+ private:
+  int64_t* target_;
+  Histogram* histogram_;
+#ifndef TGKS_NO_STATS
+  std::chrono::steady_clock::time_point begin_{};
+#endif
+};
+
+/// RAII span over a PhaseTimer.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer* timer) : timer_(timer) { timer_->Start(); }
+  ~ScopedPhase() { timer_->Stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;
+};
+
+}  // namespace tgks::obs
+
+#endif  // TGKS_OBS_PHASE_TIMER_H_

@@ -1,0 +1,74 @@
+#include "obs/query_trace.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace tgks::obs {
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kPop:
+      return "pop";
+    case TraceEventKind::kExpand:
+      return "expand";
+    case TraceEventKind::kDedupHit:
+      return "dedup-hit";
+    case TraceEventKind::kPrune:
+      return "prune";
+    case TraceEventKind::kKeywordHit:
+      return "keyword-hit";
+  }
+  return "unknown";
+}
+
+std::string TraceEvent::ToString() const {
+  std::ostringstream os;
+  os << "seq=" << seq << ' ' << TraceEventKindName(kind) << " node=" << node
+     << " iter=" << iter << " value=" << value;
+  return os.str();
+}
+
+QueryTrace::QueryTrace(size_t capacity) : ring_(capacity) {
+  assert(capacity > 0);
+}
+
+void QueryTrace::Record(TraceEventKind kind, int32_t node, int32_t iter,
+                        double value) {
+  TraceEvent& slot = ring_[head_];
+  slot.seq = next_seq_++;
+  slot.kind = kind;
+  slot.node = node;
+  slot.iter = iter;
+  slot.value = value;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+std::vector<TraceEvent> QueryTrace::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  const size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void QueryTrace::Reset() {
+  head_ = 0;
+  size_ = 0;
+  next_seq_ = 0;
+}
+
+std::string QueryTrace::ToString() const {
+  std::ostringstream os;
+  os << "trace: " << size_ << " events";
+  if (dropped() > 0) os << " (" << dropped() << " older events dropped)";
+  os << '\n';
+  for (const TraceEvent& event : Events()) {
+    os << "  " << event.ToString() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tgks::obs

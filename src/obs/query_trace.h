@@ -1,0 +1,93 @@
+// QueryTrace: an opt-in, bounded ring buffer of iterator events for one
+// query — the flight recorder behind tgks_cli --trace.
+//
+// A trace is owned by the caller and handed to the engine through
+// SearchOptions::trace; a null pointer (the default) costs one predictable
+// branch per event site. The buffer is a fixed-capacity ring: recording
+// never allocates after construction, and when full the oldest events are
+// overwritten (dropped() reports how many) — tracing a pathological query
+// cannot blow memory, you just lose the oldest history.
+//
+// NOT thread-safe: one trace belongs to one query on one thread. Batch
+// callers must give each query its own trace (or none).
+
+#ifndef TGKS_OBS_QUERY_TRACE_H_
+#define TGKS_OBS_QUERY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tgks::obs {
+
+/// What happened at one step of the search.
+enum class TraceEventKind : uint8_t {
+  kPop,         ///< An NTD was popped and expanded (best-first step).
+  kExpand,      ///< A new NTD was created and queued for a neighbor.
+  kDedupHit,    ///< A stale/duplicate unit was skipped (useless pop,
+                ///< subsumption skip, or duplicate result tree).
+  kPrune,       ///< Predicate pruning rejected an element (§5).
+  kKeywordHit,  ///< A node has now been reached from every keyword; result
+                ///< generation ran at it.
+};
+
+std::string_view TraceEventKindName(TraceEventKind kind);
+
+/// One recorded event. Field meaning by kind:
+///   kPop:        node popped, iter = iterator, value = accumulated dist.
+///   kExpand:     node the new NTD lives at, iter = iterator, value = dist.
+///   kDedupHit:   node involved, iter = iterator (-1 = engine-level dedup).
+///   kPrune:      node (or edge head) rejected, iter = iterator.
+///   kKeywordHit: node where all keywords met, iter = -1, value = #results
+///                found so far.
+struct TraceEvent {
+  int64_t seq = 0;  ///< Global order of the event within the query.
+  TraceEventKind kind = TraceEventKind::kPop;
+  int32_t node = -1;
+  int32_t iter = -1;
+  double value = 0.0;
+
+  /// "seq=12 pop node=4 iter=0 value=2.5" rendering.
+  std::string ToString() const;
+};
+
+/// Fixed-capacity event ring buffer.
+class QueryTrace {
+ public:
+  /// `capacity` must be > 0; 256 is plenty for interactive debugging.
+  explicit QueryTrace(size_t capacity = 256);
+
+  void Record(TraceEventKind kind, int32_t node, int32_t iter,
+              double value = 0.0);
+
+  /// Events still in the buffer, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Total events ever recorded (>= Events().size()).
+  int64_t total_recorded() const { return next_seq_; }
+
+  /// Events overwritten because the ring was full.
+  int64_t dropped() const {
+    return next_seq_ - static_cast<int64_t>(size_);
+  }
+
+  size_t capacity() const { return ring_.size(); }
+
+  /// Clears the buffer for reuse by another query.
+  void Reset();
+
+  /// Multi-line rendering of Events(), one event per line, with a header
+  /// noting drops.
+  std::string ToString() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t head_ = 0;  ///< Next write position.
+  size_t size_ = 0;  ///< Live events (<= ring_.size()).
+  int64_t next_seq_ = 0;
+};
+
+}  // namespace tgks::obs
+
+#endif  // TGKS_OBS_QUERY_TRACE_H_

@@ -1,5 +1,6 @@
 #include "search/best_path_iterator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -31,9 +32,16 @@ void BestPathIterator::Push(Ntd ntd) {
   ScoreVec score = MakeScore(options_.ranking, ntd.dist, ntd.time);
   const NtdId id = static_cast<NtdId>(arena_.size());
   if (pushed_nodes_.insert(ntd.node).second) ++stats_.nodes_pushed;
+  TGKS_STATS(if (options_.trace != nullptr) {
+    options_.trace->Record(obs::TraceEventKind::kExpand, ntd.node,
+                           options_.trace_iter, ntd.dist);
+  });
   arena_.push_back(std::move(ntd));
   queue_.push(QueueEntry{std::move(score), id});
   ++stats_.ntds_pushed;
+  TGKS_STATS(stats_.heap_high_water =
+                 std::max(stats_.heap_high_water,
+                          static_cast<int64_t>(queue_.size())));
 }
 
 IntervalSet BestPathIterator::UnvisitedPart(NodeId node,
@@ -50,6 +58,10 @@ bool BestPathIterator::SettleTop() {
     if (ntd.state == NtdState::kDead) {
       queue_.pop();  // Evicted by Algorithm-2 subsumption while queued.
       ++stats_.useless_pops;
+      TGKS_STATS(if (options_.trace != nullptr) {
+        options_.trace->Record(obs::TraceEventKind::kDedupHit, ntd.node,
+                               options_.trace_iter, ntd.dist);
+      });
       continue;
     }
     if (!UsesSubsumptionSemantics() &&
@@ -58,6 +70,11 @@ bool BestPathIterator::SettleTop() {
       // "visited(n, t) = true for all t in T -> continue" (Alg. 1 line 5).
       queue_.pop();
       ++stats_.useless_pops;
+      TGKS_STATS(++stats_.interval_ops);
+      TGKS_STATS(if (options_.trace != nullptr) {
+        options_.trace->Record(obs::TraceEventKind::kDedupHit, ntd.node,
+                               options_.trace_iter, ntd.dist);
+      });
       continue;
     }
     return true;
@@ -76,11 +93,16 @@ NtdId BestPathIterator::Next() {
   queue_.pop();
   Ntd& ntd = arena_[static_cast<size_t>(id)];
   ntd.state = NtdState::kPopped;
+  TGKS_STATS(if (options_.trace != nullptr) {
+    options_.trace->Record(obs::TraceEventKind::kPop, ntd.node,
+                           options_.trace_iter, ntd.dist);
+  });
   if (!UsesSubsumptionSemantics()) {
     // Claim the instants of T (Alg. 1 lines 7-9). We mark the full T; pops
     // whose T is entirely claimed are skipped in SettleTop.
     IntervalSet& visited = visited_[ntd.node];
     visited = visited.Union(ntd.time);
+    TGKS_STATS(++stats_.interval_ops);
   }
   std::vector<NtdId>& popped_here = popped_at_[ntd.node];
   if (popped_here.empty()) ++stats_.nodes_reached;
@@ -111,10 +133,20 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
     if (options_.prune != nullptr) {
       if (!options_.prune->ElementMayQualify(edge.validity,
                                              options_.containedby_prune)) {
+        TGKS_STATS(++stats_.prunes);
+        TGKS_STATS(if (options_.trace != nullptr) {
+          options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
+                                 options_.trace_iter, parent_dist);
+        });
         continue;
       }
       if (!options_.prune->ElementMayQualify(graph_->node(neighbor).validity,
                                              options_.containedby_prune)) {
+        TGKS_STATS(++stats_.prunes);
+        TGKS_STATS(if (options_.trace != nullptr) {
+          options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
+                                 options_.trace_iter, parent_dist);
+        });
         continue;
       }
     }
@@ -125,10 +157,16 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
     // claimed entries are skipped lazily at pop (the paper's in-place
     // update).
     IntervalSet surviving = parent_time.Intersect(edge.validity);
+    TGKS_STATS(++stats_.interval_ops);
     if (surviving.IsEmpty()) continue;
+    TGKS_STATS(++stats_.interval_ops);
     if (UnvisitedPart(neighbor, surviving).IsEmpty()) {
       // Every instant is already claimed at the neighbor by strictly
       // earlier (hence no-worse) pops — safe to drop eagerly.
+      TGKS_STATS(if (options_.trace != nullptr) {
+        options_.trace->Record(obs::TraceEventKind::kDedupHit, neighbor,
+                               options_.trace_iter, parent_dist);
+      });
       continue;
     }
     Ntd next;
@@ -168,14 +206,25 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
     if (options_.prune != nullptr) {
       if (!options_.prune->ElementMayQualify(edge.validity,
                                              options_.containedby_prune)) {
+        TGKS_STATS(++stats_.prunes);
+        TGKS_STATS(if (options_.trace != nullptr) {
+          options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
+                                 options_.trace_iter, parent_dist);
+        });
         continue;
       }
       if (!options_.prune->ElementMayQualify(graph_->node(neighbor).validity,
                                              options_.containedby_prune)) {
+        TGKS_STATS(++stats_.prunes);
+        TGKS_STATS(if (options_.trace != nullptr) {
+          options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
+                                 options_.trace_iter, parent_dist);
+        });
         continue;
       }
     }
     IntervalSet surviving = parent_time.Intersect(edge.validity);
+    TGKS_STATS(++stats_.interval_ops);
     if (surviving.IsEmpty()) continue;
 
     NodeIndex& entry = subsumption_[neighbor];
@@ -188,6 +237,10 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
     // and has no shorter duration; skip.
     if (entry.index->SubsumedByExisting(surviving)) {
       ++stats_.subsumption_skips;
+      TGKS_STATS(if (options_.trace != nullptr) {
+        options_.trace->Record(obs::TraceEventKind::kDedupHit, neighbor,
+                               options_.trace_iter, parent_dist);
+      });
       continue;
     }
     // Case 3 (lines 13-15): evict NTDs strictly subsumed by T∩. Only queued

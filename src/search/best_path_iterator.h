@@ -37,6 +37,8 @@
 #include <vector>
 
 #include "graph/temporal_graph.h"
+#include "obs/query_trace.h"
+#include "obs/search_stats.h"
 #include "search/ntd.h"
 #include "search/predicate.h"
 #include "search/ranking.h"
@@ -55,6 +57,10 @@ struct IteratorStats {
   int64_t nodes_pushed = 0;      ///< Distinct nodes with >= 1 created NTD.
   int64_t subsumption_skips = 0; ///< Algorithm-2 case-1 prunes.
   int64_t subsumption_evictions = 0;  ///< Algorithm-2 case-3 removals.
+  // Observability additions (zero in TGKS_NO_STATS builds).
+  int64_t prunes = 0;            ///< Elements rejected by predicate pruning.
+  int64_t interval_ops = 0;      ///< IntervalSet ops on the expansion path.
+  int64_t heap_high_water = 0;   ///< Max priority-queue size ever reached.
 };
 
 /// Single-source best path iterator over a temporal graph.
@@ -78,6 +84,10 @@ class BestPathIterator {
     /// kColumnMajor is the paper's Fig.-5 structure.
     temporal::NtdIndexKind duration_index =
         temporal::NtdIndexKind::kRowMajor;
+    /// Optional event recorder (not owned; null = no tracing). Events carry
+    /// `trace_iter` as their iterator id. Ignored in TGKS_NO_STATS builds.
+    obs::QueryTrace* trace = nullptr;
+    int32_t trace_iter = -1;
   };
 
   /// Starts a backward expansion from `source`. If the source itself fails

@@ -68,11 +68,23 @@ NtdId LabelCorrectingIterator::TryKeep(Fragment fragment) {
        state.index->CollectSubsumed(fragment.time)) {
     uncovered = uncovered.Subtract(
         arena_[static_cast<size_t>(state.row_to_fragment.at(row))].time);
-    if (uncovered.IsEmpty()) return kInvalidNtd;
+    TGKS_STATS(++stats_.interval_ops);
+    if (uncovered.IsEmpty()) {
+      TGKS_STATS(++stats_.fragments_dropped);
+      TGKS_STATS(if (options_.trace != nullptr) {
+        options_.trace->Record(obs::TraceEventKind::kDedupHit, fragment.node,
+                               options_.trace_iter, 0.0);
+      });
+      return kInvalidNtd;
+    }
   }
   const NtdId id = static_cast<NtdId>(arena_.size());
   const temporal::NtdRowHandle row = state.index->AddRow(fragment.time);
   state.row_to_fragment[row] = id;
+  TGKS_STATS(if (options_.trace != nullptr) {
+    options_.trace->Record(obs::TraceEventKind::kExpand, fragment.node,
+                           options_.trace_iter, 0.0);
+  });
   arena_.push_back(std::move(fragment));
   return id;
 }
@@ -93,9 +105,15 @@ bool LabelCorrectingIterator::Run() {
     // Copy: TryKeep below may reallocate the arena.
     const NodeId node = arena_[static_cast<size_t>(id)].node;
     const IntervalSet time = arena_[static_cast<size_t>(id)].time;
+    TGKS_STATS(if (options_.trace != nullptr) {
+      options_.trace->Record(obs::TraceEventKind::kPop, node,
+                             options_.trace_iter,
+                             static_cast<double>(time.Duration()));
+    });
     for (const EdgeId e : graph_->InEdges(node)) {
       const graph::Edge& edge = graph_->edge(e);
       IntervalSet surviving = time.Intersect(edge.validity);
+      TGKS_STATS(++stats_.interval_ops);
       if (surviving.IsEmpty()) continue;
       Fragment next;
       next.node = edge.src;
@@ -105,6 +123,9 @@ bool LabelCorrectingIterator::Run() {
       const NtdId kept = TryKeep(std::move(next));
       if (kept != kInvalidNtd) worklist_.push_back(kept);
     }
+    TGKS_STATS(stats_.worklist_high_water =
+                   std::max(stats_.worklist_high_water,
+                            static_cast<int64_t>(worklist_.size())));
   }
   return complete_;
 }

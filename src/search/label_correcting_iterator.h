@@ -45,11 +45,22 @@
 #include <vector>
 
 #include "graph/temporal_graph.h"
+#include "obs/query_trace.h"
+#include "obs/search_stats.h"
 #include "search/ntd.h"
 #include "temporal/interval_set.h"
 #include "temporal/ntd_bitmap_index.h"
 
 namespace tgks::search {
+
+/// Work counters for the label-correcting relaxation (observability; all
+/// stay zero in TGKS_NO_STATS builds except relaxations/fragments, which
+/// are control-flow state and always maintained).
+struct LabelCorrectingStats {
+  int64_t fragments_dropped = 0;      ///< Arrivals covered by kept subsets.
+  int64_t interval_ops = 0;           ///< IntervalSet ops on the hot path.
+  int64_t worklist_high_water = 0;    ///< Max worklist size ever reached.
+};
 
 /// The ranking directions Algorithm 1 cannot serve (§8).
 enum class InverseRankFactor {
@@ -72,6 +83,10 @@ class LabelCorrectingIterator {
     InverseRankFactor factor = InverseRankFactor::kEndTimeAsc;
     /// Safety valve on fragment relaxations (<= 0 = unlimited).
     int64_t max_relaxations = -1;
+    /// Optional event recorder (not owned; null = no tracing). Events carry
+    /// `trace_iter` as their iterator id. Ignored in TGKS_NO_STATS builds.
+    obs::QueryTrace* trace = nullptr;
+    int32_t trace_iter = -1;
   };
 
   /// Prepares a run from `source`; the graph must outlive the iterator.
@@ -101,6 +116,7 @@ class LabelCorrectingIterator {
 
   int64_t relaxations() const { return relaxations_; }
   int64_t fragments_kept() const { return static_cast<int64_t>(arena_.size()); }
+  const LabelCorrectingStats& stats() const { return stats_; }
   graph::NodeId source() const { return source_; }
 
  private:
@@ -127,6 +143,7 @@ class LabelCorrectingIterator {
   std::deque<NtdId> worklist_;
   std::unordered_map<graph::NodeId, NodeState> states_;
   int64_t relaxations_ = 0;
+  LabelCorrectingStats stats_;
   bool ran_ = false;
   bool complete_ = true;
 };

@@ -1,10 +1,12 @@
 #include "search/search_engine.h"
 
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
@@ -44,6 +46,64 @@ std::string_view StopReasonName(StopReason reason) {
 }
 
 namespace {
+
+#ifndef TGKS_NO_STATS
+/// Process-wide instruments, registered once and updated lock-free per
+/// query (see metrics.h: hot path is relaxed atomics via stable pointers).
+struct EngineMetrics {
+  obs::Counter* queries;
+  obs::Counter* pops;
+  obs::Counter* ntds_created;
+  obs::Counter* results;
+  obs::Counter* stop_exhausted;
+  obs::Counter* stop_bound;
+  obs::Counter* stop_max_pops;
+  obs::Counter* stop_deadline;
+  obs::Counter* stop_cancelled;
+  obs::Gauge* heap_high_water;
+  obs::Histogram* query_micros;
+  obs::Histogram* pops_per_query;
+
+  static EngineMetrics& Get() {
+    static EngineMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::GlobalMetrics();
+      auto* out = new EngineMetrics;
+      out->queries = reg.GetCounter("tgks_queries_total",
+                                    "Search() calls completed.");
+      out->pops = reg.GetCounter("tgks_search_pops_total",
+                                 "NTDs popped across all queries.");
+      out->ntds_created = reg.GetCounter("tgks_search_ntds_created_total",
+                                         "NTD triplets created.");
+      out->results = reg.GetCounter("tgks_search_results_total",
+                                    "Valid result trees emitted.");
+      out->stop_exhausted = reg.GetCounter(
+          "tgks_search_stop_exhausted_total",
+          "Queries that drained every iterator frontier.");
+      out->stop_bound = reg.GetCounter(
+          "tgks_search_stop_bound_total",
+          "Queries stopped by the kth-beats-bound test (sec. 4.2).");
+      out->stop_max_pops = reg.GetCounter(
+          "tgks_search_stop_max_pops_total",
+          "Queries stopped by the max_pops safety valve.");
+      out->stop_deadline = reg.GetCounter(
+          "tgks_search_stop_deadline_total",
+          "Queries stopped by the wall-clock deadline.");
+      out->stop_cancelled = reg.GetCounter(
+          "tgks_search_stop_cancelled_total",
+          "Queries stopped by a cancellation token.");
+      out->heap_high_water = reg.GetGauge(
+          "tgks_search_heap_high_water",
+          "Largest priority queue any query ever built.");
+      out->query_micros = reg.GetHistogram(
+          "tgks_query_micros", "Instrumented per-query time (microseconds).");
+      out->pops_per_query = reg.GetHistogram(
+          "tgks_search_pops_per_query", "NTD pops per query.");
+      return out;
+    }();
+    return *m;
+  }
+};
+#endif  // TGKS_NO_STATS
 
 /// One Search() invocation; owns iterators and bookkeeping.
 class Runner {
@@ -123,8 +183,10 @@ class Runner {
     iter_options.prune = query_.predicate.get();
     iter_options.containedby_prune = options_.containedby_prune;
     iter_options.duration_index = options_.duration_index;
+    iter_options.trace = options_.trace;
     for (size_t kw = 0; kw < m_; ++kw) {
       for (const NodeId source : match_lists_[kw]) {
+        iter_options.trace_iter = static_cast<int32_t>(iterators_.size());
         iterators_.push_back(std::make_unique<BestPathIterator>(
             graph_, source, iter_options));
         const int32_t idx = static_cast<int32_t>(iterators_.size()) - 1;
@@ -222,6 +284,11 @@ class Runner {
           std::all_of(lists.begin(), lists.end(),
                       [](const auto& l) { return !l.empty(); });
       if (met_all) {
+        TGKS_STATS(if (options_.trace != nullptr) {
+          options_.trace->Record(
+              obs::TraceEventKind::kKeywordHit, node, -1,
+              static_cast<double>(response_.counters.results));
+        });
         generate_timer_.Start();
         GenerateCandidates(node, static_cast<size_t>(kw), iter_idx, popped,
                            lists);
@@ -270,6 +337,7 @@ class Runner {
     for (const auto& [iter_idx, ntd_id] : lists[kw]) {
       const IntervalSet narrowed = common.Intersect(
           iterators_[static_cast<size_t>(iter_idx)]->ntd(ntd_id).time);
+      TGKS_STATS(++engine_interval_ops_);
       if (narrowed.IsEmpty()) {
         // Validity pre-check (Algorithm 3 line 17): the chosen paths never
         // coexist; every completion would be invalid too.
@@ -323,6 +391,9 @@ class Runner {
     }
     if (!seen_.insert(tree->Signature()).second) {
       ++response_.counters.duplicates;
+      TGKS_STATS(if (options_.trace != nullptr) {
+        options_.trace->Record(obs::TraceEventKind::kDedupHit, root, -1);
+      });
       return;
     }
     tree->score = MakeScore(query_.ranking, tree->total_weight, tree->time);
@@ -449,6 +520,55 @@ class Runner {
     c.seconds_filter = filter_timer_.seconds();
     c.seconds_expand = expand_timer_.seconds();
     c.seconds_generate = generate_timer_.seconds();
+
+#ifndef TGKS_NO_STATS
+    // Populate the observability profile. Finalize() runs on EVERY stop
+    // path (exhausted / bound / max_pops / deadline / cancelled), so a
+    // killed query still reports where its budget went.
+    obs::SearchStats& s = response_.stats;
+    s.pops = c.pops;
+    s.ntds_created = c.ntds_created;
+    s.dedup_hits = c.useless_pops + c.duplicates;
+    s.interval_ops = engine_interval_ops_;
+    for (const auto& iter : iterators_) {
+      const IteratorStats& is = iter->stats();
+      s.ntds_merged += is.subsumption_skips + is.subsumption_evictions;
+      s.prunes += is.prunes;
+      s.edges_scanned += is.edges_scanned;
+      s.interval_ops += is.interval_ops;
+      s.heap_high_water = std::max(s.heap_high_water, is.heap_high_water);
+    }
+    s.micros_match = std::llround(c.seconds_match * 1e6);
+    s.micros_filter = std::llround(c.seconds_filter * 1e6);
+    s.micros_expand = std::llround(c.seconds_expand * 1e6);
+    s.micros_generate = std::llround(c.seconds_generate * 1e6);
+
+    EngineMetrics& gm = EngineMetrics::Get();
+    gm.queries->Increment();
+    gm.pops->Increment(s.pops);
+    gm.ntds_created->Increment(s.ntds_created);
+    gm.results->Increment(c.results);
+    switch (response_.stop_reason) {
+      case StopReason::kExhausted:
+        gm.stop_exhausted->Increment();
+        break;
+      case StopReason::kBound:
+        gm.stop_bound->Increment();
+        break;
+      case StopReason::kMaxPops:
+        gm.stop_max_pops->Increment();
+        break;
+      case StopReason::kDeadline:
+        gm.stop_deadline->Increment();
+        break;
+      case StopReason::kCancelled:
+        gm.stop_cancelled->Increment();
+        break;
+    }
+    gm.heap_high_water->Max(s.heap_high_water);
+    gm.query_micros->Observe(s.MicrosTotal());
+    gm.pops_per_query->Observe(s.pops);
+#endif  // TGKS_NO_STATS
   }
 
  public:
@@ -478,6 +598,7 @@ class Runner {
   std::unordered_set<std::string> seen_;
 
   Stopwatch filter_timer_, expand_timer_, generate_timer_;
+  int64_t engine_interval_ops_ = 0;  ///< Intersections in combo enumeration.
   SearchResponse response_;
 };
 

@@ -19,6 +19,8 @@
 #include "common/result.h"
 #include "graph/inverted_index.h"
 #include "graph/temporal_graph.h"
+#include "obs/query_trace.h"
+#include "obs/search_stats.h"
 #include "search/best_path_iterator.h"
 #include "search/query.h"
 #include "search/result_tree.h"
@@ -68,6 +70,10 @@ struct SearchOptions {
   /// batch-wide token (e.g. QueryExecutor::Cancel) compose with a
   /// caller-supplied per-query token; either one stops the search.
   const std::atomic<bool>* extra_cancel = nullptr;
+  /// Optional flight recorder (not owned). One trace serves ONE query on one
+  /// thread; batch callers must hand each query its own trace or none. A
+  /// TGKS_NO_STATS build records nothing.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// Work counters for the evaluation harness (§6's reported quantities).
@@ -115,6 +121,9 @@ struct SearchResponse {
   /// stop path, including early exits (max_pops / deadline / cancellation).
   std::vector<ResultTree> results;
   SearchCounters counters;
+  /// Observability profile; populated on every stop path. All-zero in
+  /// TGKS_NO_STATS builds.
+  obs::SearchStats stats;
   StopReason stop_reason = StopReason::kExhausted;
   /// True when every iterator drained (vs. stopping on the bound).
   bool exhausted = false;

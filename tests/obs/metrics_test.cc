@@ -1,0 +1,175 @@
+// Unit tests for the MetricsRegistry: instrument semantics, register-or-
+// return identity, percentile math, and the Prometheus text exposition.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tgks::obs {
+namespace {
+
+TEST(CounterTest, IncrementsAccumulate) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test_total");
+  EXPECT_EQ(c->value(), 0);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42);
+}
+
+TEST(GaugeTest, SetAddAndHighWater) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test_gauge");
+  g->Set(10);
+  EXPECT_EQ(g->value(), 10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+  g->Max(5);  // Lower: no effect.
+  EXPECT_EQ(g->value(), 7);
+  g->Max(20);  // Higher: raises.
+  EXPECT_EQ(g->value(), 20);
+}
+
+TEST(RegistryTest, GetReturnsSameInstrumentForSameName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("dup_total", "first help wins");
+  Counter* b = registry.GetCounter("dup_total", "ignored");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(b->value(), 3);
+  // Different names are distinct instruments.
+  EXPECT_NE(a, registry.GetCounter("other_total"));
+}
+
+TEST(HistogramTest, ObserveFillsBucketsAndSum) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat_micros", "", {10, 100, 1000});
+  h->Observe(5);
+  h->Observe(10);   // Boundary lands in the le=10 bucket.
+  h->Observe(70);
+  h->Observe(5000);  // Overflow bucket.
+  EXPECT_EQ(h->count(), 4);
+  EXPECT_EQ(h->sum(), 5085);
+}
+
+TEST(HistogramTest, NearestRankPercentiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("p_micros", "", {1, 2, 5, 10, 100});
+  // 10 samples: 1..10. Bucket occupancy: le=1 -> 1, le=2 -> 1, le=5 -> 3,
+  // le=10 -> 5.
+  for (int64_t v = 1; v <= 10; ++v) h->Observe(v);
+  EXPECT_EQ(h->Percentile(0), 1);
+  EXPECT_EQ(h->Percentile(10), 1);
+  EXPECT_EQ(h->Percentile(50), 5);    // 5th sample lives in the le=5 bucket.
+  EXPECT_EQ(h->Percentile(90), 10);
+  EXPECT_EQ(h->Percentile(100), 10);
+  // Overflow samples report the largest finite bound.
+  h->Observe(10'000);
+  EXPECT_EQ(h->Percentile(100), 100);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("empty_micros");
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_EQ(h->Percentile(50), 0);
+}
+
+TEST(HistogramTest, DefaultBoundsAre125Decades) {
+  const std::vector<int64_t> bounds = DefaultHistogramBounds();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.front(), 1);
+  EXPECT_EQ(bounds.back(), 5'000'000'000);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "bounds must be ascending";
+  }
+  // 1,2,5 pattern: every decade contributes exactly three bounds.
+  EXPECT_EQ(bounds.size() % 3, 0u);
+  EXPECT_EQ(bounds.size(), 30u);  // Decades 1 through 1e9.
+}
+
+TEST(RenderTextTest, PrometheusExpositionShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("tgks_queries_total", "Completed searches.")
+      ->Increment(7);
+  registry.GetGauge("tgks_pool_threads", "Worker threads.")->Set(4);
+  Histogram* h =
+      registry.GetHistogram("tgks_query_micros", "Query time.", {10, 100});
+  h->Observe(5);
+  h->Observe(50);
+  h->Observe(500);
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# HELP tgks_queries_total Completed searches.\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tgks_queries_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tgks_queries_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tgks_pool_threads gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("tgks_pool_threads 4\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE tgks_query_micros histogram\n"),
+            std::string::npos);
+  // Cumulative buckets: le="100" counts the le="10" samples too.
+  EXPECT_NE(text.find("tgks_query_micros_bucket{le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tgks_query_micros_bucket{le=\"100\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tgks_query_micros_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tgks_query_micros_sum 555\n"), std::string::npos);
+  EXPECT_NE(text.find("tgks_query_micros_count 3\n"), std::string::npos);
+}
+
+TEST(RegistryTest, ResetZeroesEverything) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c_total");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h_micros", "", {10});
+  c->Increment(5);
+  g->Set(9);
+  h->Observe(3);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0);
+  EXPECT_EQ(h->sum(), 0);
+  EXPECT_EQ(h->Percentile(99), 0);
+}
+
+TEST(RegistryTest, ConcurrentUpdatesAndRegistrationAreSafe) {
+  // Hot-path updates race with registration of new names; TSan covers the
+  // memory model, the final counts cover atomicity.
+  MetricsRegistry registry;
+  Counter* shared = registry.GetCounter("shared_total");
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, shared, t] {
+      for (int i = 0; i < kIters; ++i) {
+        shared->Increment();
+        registry.GetCounter("per_thread_" + std::to_string(t))->Increment();
+        registry.GetHistogram("h_shared")->Observe(i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(shared->value(), kThreads * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.GetCounter("per_thread_" + std::to_string(t))->value(),
+              kIters);
+  }
+  EXPECT_EQ(registry.GetHistogram("h_shared")->count(), kThreads * kIters);
+}
+
+TEST(GlobalMetricsTest, IsASingleton) {
+  EXPECT_EQ(&GlobalMetrics(), &GlobalMetrics());
+}
+
+}  // namespace
+}  // namespace tgks::obs

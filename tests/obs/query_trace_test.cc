@@ -1,0 +1,160 @@
+// Unit tests for the QueryTrace ring buffer and the SearchStats payload
+// helpers.
+
+#include <chrono>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/phase_timer.h"
+#include "obs/query_trace.h"
+#include "obs/search_stats.h"
+
+namespace tgks::obs {
+namespace {
+
+TEST(QueryTraceTest, RecordsInOrderBelowCapacity) {
+  QueryTrace trace(8);
+  trace.Record(TraceEventKind::kPop, 3, 0, 1.5);
+  trace.Record(TraceEventKind::kExpand, 4, 0, 2.5);
+  trace.Record(TraceEventKind::kDedupHit, 4, -1);
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kPop);
+  EXPECT_EQ(events[0].node, 3);
+  EXPECT_EQ(events[0].iter, 0);
+  EXPECT_EQ(events[0].value, 1.5);
+  EXPECT_EQ(events[1].kind, TraceEventKind::kExpand);
+  EXPECT_EQ(events[2].iter, -1);
+  EXPECT_EQ(trace.total_recorded(), 3);
+  EXPECT_EQ(trace.dropped(), 0);
+}
+
+TEST(QueryTraceTest, OverwritesOldestWhenFull) {
+  QueryTrace trace(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.Record(TraceEventKind::kPop, i, 0, static_cast<double>(i));
+  }
+  EXPECT_EQ(trace.total_recorded(), 10);
+  EXPECT_EQ(trace.dropped(), 6);
+  const auto events = trace.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the newest four survive.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].seq, 6 + i);
+    EXPECT_EQ(events[static_cast<size_t>(i)].node, 6 + i);
+  }
+}
+
+TEST(QueryTraceTest, ResetClearsForReuse) {
+  QueryTrace trace(4);
+  trace.Record(TraceEventKind::kPrune, 1, 2);
+  trace.Reset();
+  EXPECT_EQ(trace.total_recorded(), 0);
+  EXPECT_EQ(trace.dropped(), 0);
+  EXPECT_TRUE(trace.Events().empty());
+  trace.Record(TraceEventKind::kKeywordHit, 5, -1, 3.0);
+  ASSERT_EQ(trace.Events().size(), 1u);
+  EXPECT_EQ(trace.Events()[0].seq, 0);  // Sequence restarts.
+}
+
+TEST(QueryTraceTest, EventRenderingIsStable) {
+  TraceEvent ev;
+  ev.seq = 12;
+  ev.kind = TraceEventKind::kPop;
+  ev.node = 4;
+  ev.iter = 0;
+  ev.value = 2.5;
+  EXPECT_EQ(ev.ToString(), "seq=12 pop node=4 iter=0 value=2.5");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kDedupHit), "dedup-hit");
+  EXPECT_EQ(TraceEventKindName(TraceEventKind::kKeywordHit), "keyword-hit");
+}
+
+TEST(QueryTraceTest, ToStringReportsDrops) {
+  QueryTrace trace(2);
+  trace.Record(TraceEventKind::kPop, 0, 0);
+  trace.Record(TraceEventKind::kPop, 1, 0);
+  trace.Record(TraceEventKind::kPop, 2, 0);
+  const std::string text = trace.ToString();
+  EXPECT_NE(text.find("2 events"), std::string::npos);
+  EXPECT_NE(text.find("1 older events dropped"), std::string::npos);
+}
+
+TEST(SearchStatsTest, MergeSumsAndTakesHighWaterMax) {
+  SearchStats a;
+  a.pops = 10;
+  a.ntds_created = 20;
+  a.heap_high_water = 7;
+  a.micros_expand = 100;
+  SearchStats b;
+  b.pops = 5;
+  b.ntds_created = 2;
+  b.heap_high_water = 3;
+  b.micros_expand = 50;
+  b.micros_match = 9;
+  a.Merge(b);
+  EXPECT_EQ(a.pops, 15);
+  EXPECT_EQ(a.ntds_created, 22);
+  EXPECT_EQ(a.heap_high_water, 7);  // Max, not sum.
+  EXPECT_EQ(a.micros_expand, 150);
+  EXPECT_EQ(a.micros_match, 9);
+  EXPECT_EQ(a.MicrosTotal(), 159);
+  // Max flows the other way too.
+  SearchStats c;
+  c.heap_high_water = 11;
+  a.Merge(c);
+  EXPECT_EQ(a.heap_high_water, 11);
+}
+
+TEST(SearchStatsTest, ToStringMentionsEveryField) {
+  SearchStats s;
+  s.pops = 1;
+  s.interval_ops = 2;
+  const std::string text = s.ToString();
+  EXPECT_NE(text.find("pops=1"), std::string::npos);
+  EXPECT_NE(text.find("interval_ops=2"), std::string::npos);
+  EXPECT_NE(text.find("heap_high_water=0"), std::string::npos);
+}
+
+TEST(PhaseTimerTest, AccumulatesSpansIntoTarget) {
+  int64_t micros = 0;
+  PhaseTimer timer(&micros);
+  for (int span = 0; span < 3; ++span) {
+    ScopedPhase scope(&timer);
+    // Busy-wait a hair so the span is measurable but the test stays fast.
+    const auto begin = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - begin <
+           std::chrono::microseconds(200)) {
+    }
+  }
+  if (StatsCompiledOut()) {
+    EXPECT_EQ(micros, 0);  // The clock is never read.
+  } else {
+    EXPECT_GE(micros, 3 * 200);
+  }
+}
+
+TEST(PhaseTimerTest, NullTargetIsANoOp) {
+  PhaseTimer timer(nullptr);
+  timer.Start();
+  timer.Stop();  // Must not crash or write anywhere.
+}
+
+TEST(PhaseTimerTest, FeedsOptionalHistogram) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("span_micros");
+  int64_t micros = 0;
+  PhaseTimer timer(&micros, h);
+  { ScopedPhase scope(&timer); }
+  { ScopedPhase scope(&timer); }
+  if (StatsCompiledOut()) {
+    EXPECT_EQ(h->count(), 0);
+  } else {
+    EXPECT_EQ(h->count(), 2);  // One observation per span.
+  }
+}
+
+}  // namespace
+}  // namespace tgks::obs

@@ -1,0 +1,280 @@
+// Regression tests: SearchResponse::stats is populated on EVERY stop path
+// (exhausted, bound, max_pops, deadline, cancelled) and stays consistent
+// with the paper counters; the batch executor aggregates per-query stats.
+//
+// Positivity assertions are guarded by obs::StatsCompiledOut() so the suite
+// also passes under -DTGKS_NO_STATS=ON, where it instead pins the contract
+// that every stats field stays zero.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/query_executor.h"
+#include "graph/graph_builder.h"
+#include "graph/inverted_index.h"
+#include "obs/query_trace.h"
+#include "obs/search_stats.h"
+#include "search/query_parser.h"
+#include "search/search_engine.h"
+#include "testutil/paper_graphs.h"
+
+namespace tgks::search {
+namespace {
+
+using graph::GraphBuilder;
+using graph::InvertedIndex;
+using graph::NodeId;
+using graph::TemporalGraph;
+using temporal::IntervalSet;
+
+Query MustParse(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status();
+  return std::move(q).value();
+}
+
+/// Invariants every populated stats payload must satisfy, regardless of the
+/// stop path: mirrors of the paper counters agree, phase micros reproduce
+/// the stopwatch seconds, and nothing is negative.
+void ExpectStatsConsistent(const SearchResponse& r) {
+  const obs::SearchStats& s = r.stats;
+  if (obs::StatsCompiledOut()) {
+    EXPECT_EQ(s.pops, 0);
+    EXPECT_EQ(s.ntds_created, 0);
+    EXPECT_EQ(s.dedup_hits, 0);
+    EXPECT_EQ(s.prunes, 0);
+    EXPECT_EQ(s.edges_scanned, 0);
+    EXPECT_EQ(s.interval_ops, 0);
+    EXPECT_EQ(s.heap_high_water, 0);
+    EXPECT_EQ(s.MicrosTotal(), 0);
+    return;
+  }
+  EXPECT_EQ(s.pops, r.counters.pops);
+  EXPECT_EQ(s.ntds_created, r.counters.ntds_created);
+  EXPECT_EQ(s.dedup_hits, r.counters.useless_pops + r.counters.duplicates);
+  EXPECT_GE(s.prunes, 0);
+  EXPECT_GE(s.edges_scanned, 0);
+  EXPECT_GE(s.interval_ops, 0);
+  EXPECT_GE(s.heap_high_water, 0);
+  EXPECT_EQ(s.micros_match, std::llround(r.counters.seconds_match * 1e6));
+  EXPECT_EQ(s.micros_filter, std::llround(r.counters.seconds_filter * 1e6));
+  EXPECT_EQ(s.micros_expand, std::llround(r.counters.seconds_expand * 1e6));
+  EXPECT_EQ(s.micros_generate,
+            std::llround(r.counters.seconds_generate * 1e6));
+  EXPECT_EQ(s.MicrosTotal(), s.micros_match + s.micros_filter +
+                                 s.micros_expand + s.micros_generate);
+}
+
+/// Dense fixture: a clique over `n` nodes, half labeled alpha and half
+/// beta, everything valid everywhere. Exhaustive search over it is big
+/// enough that a 1 ms deadline reliably fires mid-flight.
+TemporalGraph MakeCliqueGraph(int n) {
+  GraphBuilder b(4);
+  const IntervalSet always{{0, 3}};
+  for (int i = 0; i < n; ++i) {
+    b.AddNode(i % 2 == 0 ? "alpha" : "beta", always);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(j), always,
+                1.0 + 0.001 * (i * n + j));
+    }
+  }
+  return std::move(b.Build()).value();
+}
+
+TEST(SearchStatsTest, PopulatedOnExhaustedExit) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  SearchOptions options;
+  options.k = 0;  // Run to exhaustion.
+  auto r = engine.Search(MustParse("mary, john"), options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->stop_reason, StopReason::kExhausted);
+  ExpectStatsConsistent(*r);
+  if (!obs::StatsCompiledOut()) {
+    EXPECT_GT(r->stats.pops, 0);
+    EXPECT_GT(r->stats.ntds_created, 0);
+    EXPECT_GT(r->stats.edges_scanned, 0);
+    EXPECT_GT(r->stats.interval_ops, 0);
+    EXPECT_GE(r->stats.heap_high_water, 1);
+  }
+}
+
+TEST(SearchStatsTest, PopulatedOnBoundExit) {
+  const TemporalGraph g = MakeCliqueGraph(16);
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  SearchOptions options;
+  options.k = 1;
+  options.bound = UpperBoundKind::kEmpirical;  // Fastest stop.
+  auto r = engine.Search(MustParse("alpha, beta"), options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->stop_reason, StopReason::kBound);
+  EXPECT_FALSE(r->truncated);
+  ExpectStatsConsistent(*r);
+  if (!obs::StatsCompiledOut()) {
+    EXPECT_GT(r->stats.pops, 0);
+    EXPECT_GE(r->stats.heap_high_water, 1);
+  }
+}
+
+TEST(SearchStatsTest, PopulatedOnMaxPopsExit) {
+  const TemporalGraph g = MakeCliqueGraph(16);
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  SearchOptions options;
+  options.k = 0;
+  options.max_pops = 5;
+  auto r = engine.Search(MustParse("alpha, beta"), options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->stop_reason, StopReason::kMaxPops);
+  EXPECT_TRUE(r->truncated);
+  EXPECT_EQ(r->counters.pops, 5);
+  ExpectStatsConsistent(*r);
+  if (!obs::StatsCompiledOut()) {
+    EXPECT_EQ(r->stats.pops, 5);
+  }
+}
+
+TEST(SearchStatsTest, PopulatedOnDeadlineExit) {
+  // 48-node clique, k = 0: exhaustive generation takes far longer than
+  // 1 ms, so the deadline fires at a pop boundary mid-search.
+  const TemporalGraph g = MakeCliqueGraph(48);
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  SearchOptions options;
+  options.k = 0;
+  options.deadline_ms = 1;
+  auto r = engine.Search(MustParse("alpha, beta"), options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->stop_reason, StopReason::kDeadline);
+  EXPECT_TRUE(r->deadline_exceeded);
+  EXPECT_TRUE(r->truncated);
+  ExpectStatsConsistent(*r);
+}
+
+TEST(SearchStatsTest, PopulatedOnCancelledExit) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  std::atomic<bool> cancel{true};  // Stops at the first pop check.
+  SearchOptions options;
+  options.k = 0;
+  options.cancel = &cancel;
+  auto r = engine.Search(MustParse("mary, john"), options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(r->counters.pops, 0);
+  ExpectStatsConsistent(*r);
+  if (!obs::StatsCompiledOut()) {
+    // Iterators were created before the cancel check, so their source NTDs
+    // are queued: finalization saw real state, not an untouched struct.
+    EXPECT_GT(r->stats.ntds_created, 0);
+    EXPECT_GE(r->stats.heap_high_water, 1);
+  }
+}
+
+TEST(SearchStatsTest, TraceRecordsIteratorEvents) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  obs::QueryTrace trace(/*capacity=*/4096);
+  SearchOptions options;
+  options.k = 0;
+  options.trace = &trace;
+  auto r = engine.Search(MustParse("mary, john"), options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  if (obs::StatsCompiledOut()) {
+    EXPECT_EQ(trace.total_recorded(), 0);
+    return;
+  }
+  EXPECT_GT(trace.total_recorded(), 0);
+  bool saw_pop = false, saw_expand = false, saw_keyword_hit = false;
+  for (const obs::TraceEvent& ev : trace.Events()) {
+    switch (ev.kind) {
+      case obs::TraceEventKind::kPop:
+        saw_pop = true;
+        EXPECT_GE(ev.iter, 0);
+        break;
+      case obs::TraceEventKind::kExpand:
+        saw_expand = true;
+        break;
+      case obs::TraceEventKind::kKeywordHit:
+        saw_keyword_hit = true;
+        EXPECT_EQ(ev.iter, -1);
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_pop);
+  EXPECT_TRUE(saw_expand);
+  EXPECT_TRUE(saw_keyword_hit);  // The query has results, so keywords met.
+  // One pop event per engine pop (the ring was big enough to keep all).
+  ASSERT_EQ(trace.dropped(), 0);
+}
+
+TEST(SearchStatsTest, PredicatePruneCountsPrunedElements) {
+  // Nodes/edges valid only late fail a PRECEDES prune; the prune counter
+  // must see them.
+  GraphBuilder b(10);
+  const NodeId root = b.AddNode("root", IntervalSet{{0, 9}});
+  const NodeId early = b.AddNode("alpha", IntervalSet{{0, 4}});
+  const NodeId late = b.AddNode("alpha", IntervalSet{{8, 9}});
+  b.AddEdge(early, root, IntervalSet{{0, 4}}, 1.0);
+  b.AddEdge(late, root, IntervalSet{{8, 9}}, 1.0);
+  b.AddEdge(root, early, IntervalSet{{0, 4}}, 1.0);
+  b.AddEdge(root, late, IntervalSet{{8, 9}}, 1.0);
+  const TemporalGraph g = std::move(b.Build()).value();
+  const InvertedIndex index(g);
+  const SearchEngine engine(g, &index);
+  SearchOptions options;
+  options.k = 0;
+  auto r = engine.Search(MustParse("alpha, root result time precedes 3"),
+                         options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ExpectStatsConsistent(*r);
+  if (!obs::StatsCompiledOut()) {
+    EXPECT_GT(r->stats.prunes, 0)
+        << "expansion toward the late-only node must hit the prune";
+  }
+}
+
+TEST(SearchStatsTest, ExecutorAggregatesBatchStats) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  exec::ExecutorOptions options;
+  options.threads = 2;
+  options.search.k = 0;
+  exec::QueryExecutor executor(g, &index, options);
+  const std::vector<Query> queries = {
+      MustParse("mary, john"), MustParse("mary, bob"),
+      MustParse("mary, john rank by descending order of duration")};
+  const exec::BatchResponse batch = executor.RunQueries(queries);
+  ASSERT_EQ(batch.completed, 3);
+  int64_t pops = 0, micros = 0, high_water = 0;
+  for (const auto& r : batch.responses) {
+    ASSERT_TRUE(r.ok());
+    pops += r->stats.pops;
+    micros += r->stats.MicrosTotal();
+    high_water = std::max(high_water, r->stats.heap_high_water);
+  }
+  EXPECT_EQ(batch.stats.pops, pops);
+  EXPECT_EQ(batch.stats.MicrosTotal(), micros);
+  EXPECT_EQ(batch.stats.heap_high_water, high_water);
+  if (!obs::StatsCompiledOut()) {
+    EXPECT_GT(batch.stats.pops, 0);
+    EXPECT_EQ(batch.stats.pops, batch.totals.pops);
+  }
+}
+
+}  // namespace
+}  // namespace tgks::search

@@ -1,0 +1,221 @@
+// Property tests for the IntervalSet algebra, driven by a seeded random
+// set generator and cross-checked against a brute-force bitset model.
+//
+// The algebra underpins everything: NTD time-sets, validity, predicate
+// evaluation, result times. These tests pin down
+//
+//   * the canonical-form invariant (sorted, disjoint, non-adjacent,
+//     non-empty intervals) after EVERY operation,
+//   * round-trips: (A \ B) ∪ (A ∩ B) == A, complement of complement == A,
+//     De Morgan over a bounded universe,
+//   * agreement with the instant-by-instant model for union, intersection,
+//     subtraction, complement, Subsumes, Overlaps, Contains, Duration,
+//   * the canonical empty-interval normalization: [0,-1] is the only empty
+//     representation an operation may produce.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "temporal/interval.h"
+#include "temporal/interval_set.h"
+
+namespace tgks {
+namespace {
+
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+constexpr TimePoint kUniverse = 24;  // Property tests run within [0, 24).
+
+/// Random set: a handful of random (possibly overlapping, possibly empty)
+/// intervals thrown at the normalizing constructor.
+IntervalSet RandomSet(Rng* rng) {
+  std::vector<Interval> intervals;
+  const int n = static_cast<int>(rng->Uniform(5));  // 0..4 intervals.
+  for (int i = 0; i < n; ++i) {
+    const TimePoint a = static_cast<TimePoint>(rng->Uniform(kUniverse));
+    const TimePoint b = static_cast<TimePoint>(rng->Uniform(kUniverse));
+    // ~1 in 5 raw intervals is empty (a > b) to exercise normalization.
+    if (rng->Bernoulli(0.2)) {
+      intervals.push_back(Interval(std::max(a, b), std::min(a, b) - 1));
+    } else {
+      intervals.push_back(Interval(std::min(a, b), std::max(a, b)));
+    }
+  }
+  return IntervalSet(std::move(intervals));
+}
+
+/// Instant-by-instant membership model.
+std::vector<bool> Model(const IntervalSet& set) {
+  std::vector<bool> bits(static_cast<size_t>(kUniverse), false);
+  for (TimePoint t = 0; t < kUniverse; ++t) {
+    bits[static_cast<size_t>(t)] = set.Contains(t);
+  }
+  return bits;
+}
+
+IntervalSet FromModel(const std::vector<bool>& bits) {
+  std::vector<Interval> intervals;
+  for (size_t t = 0; t < bits.size(); ++t) {
+    if (bits[t]) intervals.push_back(Interval::Point(static_cast<TimePoint>(t)));
+  }
+  return IntervalSet(std::move(intervals));
+}
+
+/// The representation invariant every IntervalSet must uphold.
+void AssertCanonical(const IntervalSet& set, const std::string& context) {
+  const std::vector<Interval>& iv = set.intervals();
+  for (size_t i = 0; i < iv.size(); ++i) {
+    ASSERT_FALSE(iv[i].IsEmpty())
+        << context << ": stored interval " << i << " is empty";
+    if (i > 0) {
+      // Sorted, disjoint, AND non-adjacent: a gap of >= 1 instant.
+      ASSERT_GT(iv[i].start, iv[i - 1].end + 1)
+          << context << ": intervals " << i - 1 << " and " << i
+          << " are adjacent or overlap in " << set.ToString();
+    }
+  }
+}
+
+class IntervalAlgebraPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(IntervalAlgebraPropertyTest, OperationsAgreeWithInstantModel) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const IntervalSet a = RandomSet(&rng);
+    const IntervalSet b = RandomSet(&rng);
+    const std::string ctx = "seed " + std::to_string(GetParam()) + " round " +
+                            std::to_string(round) + ": A=" + a.ToString() +
+                            " B=" + b.ToString();
+    AssertCanonical(a, ctx + " (A)");
+    AssertCanonical(b, ctx + " (B)");
+
+    const std::vector<bool> ma = Model(a);
+    const std::vector<bool> mb = Model(b);
+
+    const IntervalSet u = a.Union(b);
+    const IntervalSet x = a.Intersect(b);
+    const IntervalSet d = a.Subtract(b);
+    const IntervalSet c = a.ComplementWithin(kUniverse);
+    AssertCanonical(u, ctx + " (union)");
+    AssertCanonical(x, ctx + " (intersect)");
+    AssertCanonical(d, ctx + " (subtract)");
+    AssertCanonical(c, ctx + " (complement)");
+
+    std::vector<bool> mu(ma.size()), mx(ma.size()), md(ma.size()),
+        mc(ma.size());
+    for (size_t t = 0; t < ma.size(); ++t) {
+      mu[t] = ma[t] || mb[t];
+      mx[t] = ma[t] && mb[t];
+      md[t] = ma[t] && !mb[t];
+      mc[t] = !ma[t];
+    }
+    EXPECT_EQ(u, FromModel(mu)) << ctx;
+    EXPECT_EQ(x, FromModel(mx)) << ctx;
+    EXPECT_EQ(d, FromModel(md)) << ctx;
+    EXPECT_EQ(c, FromModel(mc)) << ctx;
+
+    // Scalar queries against the model.
+    EXPECT_EQ(a.Duration(),
+              static_cast<int64_t>(std::count(ma.begin(), ma.end(), true)))
+        << ctx;
+    const bool model_subsumes = [&] {
+      for (size_t t = 0; t < ma.size(); ++t) {
+        if (mb[t] && !ma[t]) return false;
+      }
+      return true;
+    }();
+    const bool model_overlaps = [&] {
+      for (size_t t = 0; t < ma.size(); ++t) {
+        if (ma[t] && mb[t]) return true;
+      }
+      return false;
+    }();
+    EXPECT_EQ(a.Subsumes(b), model_subsumes) << ctx;
+    EXPECT_EQ(a.Overlaps(b), model_overlaps) << ctx;
+  }
+}
+
+TEST_P(IntervalAlgebraPropertyTest, RoundTripsAndDeMorgan) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  for (int round = 0; round < 200; ++round) {
+    const IntervalSet a = RandomSet(&rng);
+    const IntervalSet b = RandomSet(&rng);
+    const std::string ctx = "round " + std::to_string(round) +
+                            ": A=" + a.ToString() + " B=" + b.ToString();
+
+    // Partition round-trip: (A \ B) ∪ (A ∩ B) == A, with the two parts
+    // disjoint.
+    const IntervalSet diff = a.Subtract(b);
+    const IntervalSet common = a.Intersect(b);
+    EXPECT_EQ(diff.Union(common), a) << ctx;
+    EXPECT_FALSE(diff.Overlaps(common)) << ctx;
+
+    // Double complement.
+    EXPECT_EQ(a.ComplementWithin(kUniverse).ComplementWithin(kUniverse), a)
+        << ctx;
+
+    // De Morgan within the universe.
+    EXPECT_EQ(a.Union(b).ComplementWithin(kUniverse),
+              a.ComplementWithin(kUniverse)
+                  .Intersect(b.ComplementWithin(kUniverse)))
+        << ctx;
+    EXPECT_EQ(a.Intersect(b).ComplementWithin(kUniverse),
+              a.ComplementWithin(kUniverse)
+                  .Union(b.ComplementWithin(kUniverse)))
+        << ctx;
+
+    // Subtract-as-complement: A \ B == A ∩ ¬B.
+    EXPECT_EQ(diff, a.Intersect(b.ComplementWithin(kUniverse))) << ctx;
+
+    // Identities and absorptions.
+    EXPECT_EQ(a.Union(a), a) << ctx;
+    EXPECT_EQ(a.Intersect(a), a) << ctx;
+    EXPECT_EQ(a.Subtract(a), IntervalSet()) << ctx;
+    EXPECT_EQ(a.Union(IntervalSet()), a) << ctx;
+    EXPECT_EQ(a.Intersect(IntervalSet()), IntervalSet()) << ctx;
+    EXPECT_EQ(a.Intersect(IntervalSet::All(kUniverse)), a) << ctx;
+    EXPECT_TRUE(a.Subsumes(common)) << ctx;
+    EXPECT_TRUE(a.Union(b).Subsumes(a)) << ctx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalAlgebraPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(IntervalNormalizationTest, EmptyIntervalHasOneCanonicalForm) {
+  // The canonical empty interval is [0,-1]; every empty-producing operation
+  // must return exactly that representation.
+  const Interval canonical;
+  EXPECT_EQ(canonical.start, 0);
+  EXPECT_EQ(canonical.end, -1);
+  const Interval empty = Interval(7, 9).Intersect(Interval(1, 3));
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_EQ(empty.start, 0);
+  EXPECT_EQ(empty.end, -1);
+  // Interval equality treats every empty pair as equal regardless of raw
+  // fields, and the set constructor normalizes them away entirely.
+  EXPECT_EQ(Interval(5, 2), canonical);
+  EXPECT_TRUE(IntervalSet{Interval(5, 2)}.IsEmpty());
+  EXPECT_TRUE(IntervalSet({Interval(5, 2), Interval(9, 3)}).IsEmpty());
+}
+
+TEST(IntervalNormalizationTest, ConstructorCanonicalizesAdjacency) {
+  // Adjacent and overlapping inputs fuse; ordering is irrelevant.
+  const IntervalSet s({Interval(4, 6), Interval(0, 2), Interval(3, 3),
+                       Interval(5, 9)});
+  ASSERT_EQ(s.intervals().size(), 1u);
+  EXPECT_EQ(s.intervals()[0], Interval(0, 9));
+  const IntervalSet gap({Interval(0, 2), Interval(4, 5)});
+  ASSERT_EQ(gap.intervals().size(), 2u);  // Gap at 3 stays a gap.
+  EXPECT_EQ(gap.Duration(), 5);
+}
+
+}  // namespace
+}  // namespace tgks
