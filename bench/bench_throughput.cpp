@@ -6,6 +6,10 @@
 // Environment knobs (see bench_util.h): TGKS_BENCH_SCALE, TGKS_BENCH_QUERIES.
 // TGKS_BENCH_THREADS ("1,2,4,8" by default) picks the sweep points and
 // TGKS_BENCH_DEADLINE_MS (<=0 = off) adds a per-query deadline row.
+//
+// Flags: --json-out <path> mirrors every JSON row to <path> (truncating it)
+// so scripts/bench_baseline.sh can collect machine-readable results without
+// scraping stdout.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +22,9 @@
 
 namespace tgks::bench {
 namespace {
+
+/// Optional sink for --json-out; rows go to stdout AND here when set.
+std::FILE* g_json_out = nullptr;
 
 std::vector<int> SweepThreads() {
   const char* raw = std::getenv("TGKS_BENCH_THREADS");
@@ -78,7 +85,9 @@ void PrintRow(const std::string& dataset, int threads, int64_t deadline_ms,
               const exec::BatchResponse& response, bool identical) {
   // "stats" tags each row with the build flavour so the TGKS_NO_STATS
   // overhead comparison can pair rows from two binaries.
-  std::printf(
+  char row[512];
+  std::snprintf(
+      row, sizeof(row),
       "{\"dataset\": \"%s\", \"stats\": \"%s\", \"threads\": %d, "
       "\"deadline_ms\": %lld, "
       "\"queries\": %zu, \"wall_seconds\": %.6f, \"qps\": %.2f, "
@@ -94,7 +103,12 @@ void PrintRow(const std::string& dataset, int threads, int64_t deadline_ms,
       static_cast<long long>(response.deadline_exceeded),
       static_cast<long long>(response.truncated),
       static_cast<long long>(response.failed), identical ? "true" : "false");
+  std::fputs(row, stdout);
   std::fflush(stdout);
+  if (g_json_out != nullptr) {
+    std::fputs(row, g_json_out);
+    std::fflush(g_json_out);
+  }
 }
 
 int SweepDataset(const std::string& name, const graph::TemporalGraph& graph,
@@ -138,7 +152,22 @@ int SweepDataset(const std::string& name, const graph::TemporalGraph& graph,
   return mismatches;
 }
 
-int Main() {
+int Main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json-out" && i + 1 < argc) {
+      g_json_out = std::fopen(argv[++i], "w");
+      if (g_json_out == nullptr) {
+        std::fprintf(stderr, "cannot open --json-out file %s\n", argv[i]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s (supported: --json-out <path>)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
   datagen::QueryWorkloadParams params;
   params.num_queries = NumQueries();
 
@@ -155,6 +184,7 @@ int Main() {
   mismatches += SweepDataset("dblp", dblp.graph, dblp_index, dblp_workload);
   mismatches +=
       SweepDataset("social", social.graph, social_index, social_workload);
+  if (g_json_out != nullptr) std::fclose(g_json_out);
   if (mismatches > 0) {
     std::fprintf(stderr,
                  "FAIL: %d thread-count cells diverged from sequential\n",
@@ -167,4 +197,4 @@ int Main() {
 }  // namespace
 }  // namespace tgks::bench
 
-int main() { return tgks::bench::Main(); }
+int main(int argc, char** argv) { return tgks::bench::Main(argc, argv); }

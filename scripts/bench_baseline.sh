@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Records bench_throughput results into BENCH_throughput.json at the repo
+# root, tagging each JSON row with a label, the git revision, and the date.
+#
+# Usage:
+#   scripts/bench_baseline.sh <build-dir> <label> [extra-rows.jsonl]
+#
+# Runs <build-dir>/bench/bench_throughput with a single-thread sweep (the
+# container benchmarks on 1 CPU; see docs/performance.md) and appends one
+# labeled row per (dataset, threads) cell. If <extra-rows.jsonl> is given,
+# its raw JSON rows are appended under the same label WITHOUT re-running —
+# that is how pre-change results captured from an older binary get recorded
+# next to the post-change run.
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: bench_baseline.sh <build-dir> <label> [rows.jsonl]}"
+LABEL="${2:?usage: bench_baseline.sh <build-dir> <label> [rows.jsonl]}"
+RAW_ROWS="${3:-}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${REPO_ROOT}/BENCH_throughput.json"
+REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+tag_rows() {  # stdin: raw bench rows; stdout: labeled rows.
+  while IFS= read -r line; do
+    [[ "${line}" == \{* ]] || continue
+    printf '{"label": "%s", "rev": "%s", "date": "%s", %s\n' \
+      "${LABEL}" "${REV}" "${DATE}" "${line#\{}"
+  done
+}
+
+if [[ -n "${RAW_ROWS}" ]]; then
+  tag_rows < "${RAW_ROWS}" >> "${OUT}"
+  echo "bench_baseline: recorded $(wc -l < "${RAW_ROWS}") '${LABEL}' rows from ${RAW_ROWS}"
+  exit 0
+fi
+
+BENCH="${BUILD_DIR}/bench/bench_throughput"
+if [[ ! -x "${BENCH}" ]]; then
+  echo "bench_baseline: ${BENCH} not built (need target bench_throughput)" >&2
+  exit 2
+fi
+
+TMP="$(mktemp)"
+trap 'rm -f "${TMP}"' EXIT
+TGKS_BENCH_THREADS="${TGKS_BENCH_THREADS:-1}" "${BENCH}" --json-out "${TMP}"
+tag_rows < "${TMP}" >> "${OUT}"
+echo "bench_baseline: recorded $(wc -l < "${TMP}") '${LABEL}' rows into ${OUT}"

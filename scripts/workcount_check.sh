@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Deterministic work-count regression gate.
+#
+# Runs the checked-in golden queries through `workcount_dump` and diffs the
+# six search work counters (ntds_pushed, ntds_popped, edges_scanned,
+# useless_pops, subsumption_skips, subsumption_evictions) against
+# tests/golden/workcounts.expected. The counters measure *algorithmic* work
+# (pops, scans, prunes) rather than wall time, so they are bit-stable across
+# machines, build flavours, and stats modes — any diff means the search
+# explored a different state space and must be reviewed as a semantic change,
+# not noise.
+#
+# Usage:
+#   scripts/workcount_check.sh <build-dir>
+#   TGKS_UPDATE_WORKCOUNTS=1 scripts/workcount_check.sh <build-dir>   # regen
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: workcount_check.sh <build-dir>}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+DUMP="${BUILD_DIR}/tools/workcount_dump"
+GOLDEN_DIR="${REPO_ROOT}/tests/golden"
+EXPECTED="${GOLDEN_DIR}/workcounts.expected"
+
+if [[ ! -x "${DUMP}" ]]; then
+  echo "workcount_check: ${DUMP} not built (need target workcount_dump)" >&2
+  exit 2
+fi
+
+ACTUAL="$(mktemp)"
+trap 'rm -f "${ACTUAL}"' EXIT
+"${DUMP}" "${GOLDEN_DIR}" > "${ACTUAL}"
+
+if [[ "${TGKS_UPDATE_WORKCOUNTS:-0}" == "1" ]]; then
+  cp "${ACTUAL}" "${EXPECTED}"
+  echo "workcount_check: updated $(basename "${EXPECTED}")"
+  exit 0
+fi
+
+if ! diff -u "${EXPECTED}" "${ACTUAL}"; then
+  echo "" >&2
+  echo "workcount_check: FAIL — search work counters diverged from" >&2
+  echo "tests/golden/workcounts.expected. If the change is intentional," >&2
+  echo "re-run with TGKS_UPDATE_WORKCOUNTS=1 and commit the new file." >&2
+  exit 1
+fi
+echo "workcount_check: OK ($(wc -l < "${EXPECTED}") queries bit-identical)"

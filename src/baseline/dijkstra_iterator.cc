@@ -10,12 +10,19 @@ using graph::NodeId;
 DijkstraIterator::DijkstraIterator(const graph::TemporalGraph& graph,
                                    NodeId source,
                                    std::optional<temporal::TimePoint> snapshot)
-    : graph_(&graph), source_(source), snapshot_(snapshot) {
+    : graph_(&graph),
+      source_(source),
+      snapshot_(snapshot),
+      scratch_(DijkstraScratchPool::Acquire()) {
   assert(source >= 0 && source < graph.num_nodes());
+  scratch_->Reset();
   if (!NodeVisible(source)) return;
   const double d0 = graph.node(source).weight;
-  best_seen_[source] = d0;
-  queue_.push(Entry{d0, source});
+  DijkstraLabel& label = scratch_->labels.Activate(
+      static_cast<uint32_t>(source),
+      [](DijkstraLabel& stale) { stale = DijkstraLabel{}; });
+  label.dist = d0;
+  scratch_->queue.push(DijkstraQueueEntry{d0, source});
 }
 
 bool DijkstraIterator::NodeVisible(NodeId n) const {
@@ -27,53 +34,64 @@ bool DijkstraIterator::EdgeVisible(EdgeId e) const {
 }
 
 void DijkstraIterator::SettleTop() {
-  while (!queue_.empty() &&
-         settled_.find(queue_.top().node) != settled_.end()) {
-    queue_.pop();  // Stale entry (lazy decrease-key).
+  while (!scratch_->queue.empty()) {
+    const DijkstraLabel* label = scratch_->labels.Find(
+        static_cast<uint32_t>(scratch_->queue.top().node));
+    assert(label != nullptr);
+    if (label == nullptr || !label->settled) return;
+    scratch_->queue.pop();  // Stale entry (lazy decrease-key).
   }
 }
 
 std::optional<double> DijkstraIterator::PeekDistance() {
   SettleTop();
-  if (queue_.empty()) return std::nullopt;
-  return queue_.top().dist;
+  if (scratch_->queue.empty()) return std::nullopt;
+  return scratch_->queue.top().dist;
 }
 
 NodeId DijkstraIterator::Next() {
   SettleTop();
-  if (queue_.empty()) return graph::kInvalidNode;
-  const Entry top = queue_.top();
-  queue_.pop();
-  settled_.emplace(top.node, top.dist);
+  if (scratch_->queue.empty()) return graph::kInvalidNode;
+  const DijkstraQueueEntry top = scratch_->queue.top();
+  scratch_->queue.pop();
+  scratch_->labels.Find(static_cast<uint32_t>(top.node))->settled = true;
+  ++nodes_settled_;
   for (const EdgeId e : graph_->InEdges(top.node)) {
     if (!EdgeVisible(e)) continue;
     const NodeId neighbor = graph_->edge(e).src;
     if (!NodeVisible(neighbor)) continue;
-    if (settled_.find(neighbor) != settled_.end()) continue;
     const double nd =
         top.dist + graph_->edge(e).weight + graph_->node(neighbor).weight;
-    const auto it = best_seen_.find(neighbor);
-    if (it == best_seen_.end() || nd < it->second) {
-      best_seen_[neighbor] = nd;
-      parent_edge_[neighbor] = e;
-      queue_.push(Entry{nd, neighbor});
+    bool fresh = false;
+    DijkstraLabel& label = scratch_->labels.Activate(
+        static_cast<uint32_t>(neighbor), [&fresh](DijkstraLabel& stale) {
+          stale = DijkstraLabel{};
+          fresh = true;
+        });
+    if (label.settled) continue;
+    if (fresh || nd < label.dist) {
+      label.dist = nd;
+      label.parent_edge = e;
+      scratch_->queue.push(DijkstraQueueEntry{nd, neighbor});
     }
   }
   return top.node;
 }
 
 std::optional<double> DijkstraIterator::DistanceTo(NodeId node) const {
-  const auto it = settled_.find(node);
-  if (it == settled_.end()) return std::nullopt;
-  return it->second;
+  const DijkstraLabel* label =
+      scratch_->labels.Find(static_cast<uint32_t>(node));
+  if (label == nullptr || !label->settled) return std::nullopt;
+  return label->dist;
 }
 
 std::vector<EdgeId> DijkstraIterator::PathEdges(NodeId node) const {
-  assert(settled_.find(node) != settled_.end());
+  assert(DistanceTo(node).has_value());
   std::vector<EdgeId> edges;
   NodeId cur = node;
   while (cur != source_) {
-    const EdgeId e = parent_edge_.at(cur);
+    const EdgeId e = scratch_->labels.Find(static_cast<uint32_t>(cur))
+                         ->parent_edge;
     edges.push_back(e);
     cur = graph_->edge(e).dst;
   }

@@ -4,20 +4,59 @@
 // Deliberately an independent implementation from search::BestPathIterator:
 // it is both the building block of the BANKS(W)/BANKS(I) comparison systems
 // (§6.1) and an independent cross-check for the temporal iterator's
-// single-snapshot behaviour.
+// single-snapshot behaviour. Like the temporal iterators, its working state
+// (per-node labels, the frontier heap) lives in a pooled scratch so the
+// snapshot sweeps of BANKS(I) — thousands of iterators per query — reuse
+// memory instead of churning hash maps.
 
 #ifndef TGKS_BASELINE_DIJKSTRA_ITERATOR_H_
 #define TGKS_BASELINE_DIJKSTRA_ITERATOR_H_
 
 #include <optional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/epoch_table.h"
+#include "common/scratch_pool.h"
 #include "graph/temporal_graph.h"
+#include "search/quad_heap.h"
 #include "temporal/time_point.h"
 
 namespace tgks::baseline {
+
+/// Per-node Dijkstra label: the best distance seen, the edge it came in
+/// through, and whether the node is settled.
+struct DijkstraLabel {
+  double dist = 0.0;
+  graph::EdgeId parent_edge = graph::kInvalidEdge;
+  bool settled = false;
+};
+
+struct DijkstraQueueEntry {
+  double dist;
+  graph::NodeId node;
+};
+struct DijkstraQueueBetter {
+  // Smallest (dist, node) pops first — a strict total order, so the pop
+  // sequence matches any conforming priority queue exactly.
+  bool operator()(const DijkstraQueueEntry& a,
+                  const DijkstraQueueEntry& b) const {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.node < b.node;
+  }
+};
+
+/// Pooled working state of one Dijkstra run.
+struct DijkstraScratch {
+  common::FlatEpochMap<DijkstraLabel> labels;
+  search::QuadHeap<DijkstraQueueEntry, DijkstraQueueBetter> queue;
+
+  void Reset() {
+    labels.Clear();
+    queue.clear();
+  }
+};
+
+using DijkstraScratchPool = common::ScratchPool<DijkstraScratch, 8192>;
 
 /// Backward Dijkstra from one source over a temporal graph viewed either
 /// whole (timestamps ignored — BANKS(W)) or restricted to one snapshot
@@ -49,18 +88,9 @@ class DijkstraIterator {
   std::vector<graph::EdgeId> PathEdges(graph::NodeId node) const;
 
   graph::NodeId source() const { return source_; }
-  int64_t nodes_settled() const { return static_cast<int64_t>(settled_.size()); }
+  int64_t nodes_settled() const { return nodes_settled_; }
 
  private:
-  struct Entry {
-    double dist;
-    graph::NodeId node;
-    bool operator>(const Entry& other) const {
-      if (dist != other.dist) return dist > other.dist;
-      return node > other.node;
-    }
-  };
-
   bool EdgeVisible(graph::EdgeId e) const;
   bool NodeVisible(graph::NodeId n) const;
   void SettleTop();
@@ -68,10 +98,8 @@ class DijkstraIterator {
   const graph::TemporalGraph* graph_;
   graph::NodeId source_;
   std::optional<temporal::TimePoint> snapshot_;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
-  std::unordered_map<graph::NodeId, double> settled_;
-  std::unordered_map<graph::NodeId, double> best_seen_;
-  std::unordered_map<graph::NodeId, graph::EdgeId> parent_edge_;
+  DijkstraScratchPool::Handle scratch_;
+  int64_t nodes_settled_ = 0;
 };
 
 }  // namespace tgks::baseline

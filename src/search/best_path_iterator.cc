@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <utility>
+#include <vector>
 
 namespace tgks::search {
 
@@ -12,8 +13,12 @@ using temporal::IntervalSet;
 
 BestPathIterator::BestPathIterator(const graph::TemporalGraph& graph,
                                    NodeId source, Options options)
-    : graph_(&graph), source_(source), options_(std::move(options)) {
+    : graph_(&graph),
+      source_(source),
+      options_(std::move(options)),
+      scratch_(BestPathScratchPool::Acquire()) {
   assert(source >= 0 && source < graph.num_nodes());
+  scratch_->Reset();
   const graph::Node& src = graph.node(source);
   if (options_.prune != nullptr &&
       !options_.prune->ElementMayQualify(src.validity,
@@ -21,42 +26,49 @@ BestPathIterator::BestPathIterator(const graph::TemporalGraph& graph,
     return;  // QUALIFY(s, P) failed; iterator starts exhausted.
   }
   if (src.validity.IsEmpty()) return;
-  Ntd initial;
-  initial.node = source;
-  initial.time = src.validity;
-  initial.dist = src.weight;
-  Push(std::move(initial));
+  PushNtd(source, src.validity, src.weight, kInvalidNtd, graph::kInvalidEdge);
 }
 
-void BestPathIterator::Push(Ntd ntd) {
-  ScoreVec score = MakeScore(options_.ranking, ntd.dist, ntd.time);
-  const NtdId id = static_cast<NtdId>(arena_.size());
-  if (pushed_nodes_.insert(ntd.node).second) ++stats_.nodes_pushed;
-  TGKS_STATS(if (options_.trace != nullptr) {
-    options_.trace->Record(obs::TraceEventKind::kExpand, ntd.node,
-                           options_.trace_iter, ntd.dist);
+NtdId BestPathIterator::PushNtd(NodeId node, const IntervalSet& time,
+                                double dist, NtdId parent, EdgeId via_edge) {
+  const ScoreKey score = MakeScoreKey(options_.ranking, dist, time);
+  const NtdId id = static_cast<NtdId>(scratch_->arena.size());
+  if (scratch_->pushed.TestAndSet(static_cast<uint32_t>(node))) {
+    ++stats_.nodes_pushed;
+  }
+  TGKS_STATS(if (options_.trace != nullptr && parent != kInvalidNtd) {
+    options_.trace->Record(obs::TraceEventKind::kExpand, node,
+                           options_.trace_iter, dist);
   });
-  arena_.push_back(std::move(ntd));
-  queue_.push(QueueEntry{std::move(score), id});
+  Ntd& slot = scratch_->arena.EmplaceBack();
+  slot.node = node;
+  slot.time = time;  // Copy-assign reuses the recycled slot's capacity.
+  slot.dist = dist;
+  slot.parent = parent;
+  slot.via_edge = via_edge;
+  slot.state = NtdState::kQueued;
+  slot.index_row = -1;
+  scratch_->queue.push(BestPathQueueEntry{score, id});
   ++stats_.ntds_pushed;
   TGKS_STATS(stats_.heap_high_water =
                  std::max(stats_.heap_high_water,
-                          static_cast<int64_t>(queue_.size())));
+                          static_cast<int64_t>(scratch_->queue.size())));
+  return id;
 }
 
-IntervalSet BestPathIterator::UnvisitedPart(NodeId node,
-                                            const IntervalSet& time) const {
-  const auto it = visited_.find(node);
-  if (it == visited_.end()) return time;
-  return time.Subtract(it->second);
+bool BestPathIterator::FullyClaimed(NodeId node,
+                                    const IntervalSet& time) const {
+  const IntervalSet* claimed =
+      scratch_->visited.Find(static_cast<uint32_t>(node));
+  return claimed != nullptr && time.IsCoveredBy(*claimed);
 }
 
 bool BestPathIterator::SettleTop() {
-  while (!queue_.empty()) {
-    const NtdId id = queue_.top().id;
-    const Ntd& ntd = arena_[static_cast<size_t>(id)];
+  while (!scratch_->queue.empty()) {
+    const NtdId id = scratch_->queue.top().id;
+    const Ntd& ntd = scratch_->arena[static_cast<size_t>(id)];
     if (ntd.state == NtdState::kDead) {
-      queue_.pop();  // Evicted by Algorithm-2 subsumption while queued.
+      scratch_->queue.pop();  // Evicted by Alg.-2 subsumption while queued.
       ++stats_.useless_pops;
       TGKS_STATS(if (options_.trace != nullptr) {
         options_.trace->Record(obs::TraceEventKind::kDedupHit, ntd.node,
@@ -64,11 +76,10 @@ bool BestPathIterator::SettleTop() {
       });
       continue;
     }
-    if (!UsesSubsumptionSemantics() &&
-        UnvisitedPart(ntd.node, ntd.time).IsEmpty()) {
+    if (!UsesSubsumptionSemantics() && FullyClaimed(ntd.node, ntd.time)) {
       // Every instant of T is already claimed by a better NTD: the paper's
       // "visited(n, t) = true for all t in T -> continue" (Alg. 1 line 5).
-      queue_.pop();
+      scratch_->queue.pop();
       ++stats_.useless_pops;
       TGKS_STATS(++stats_.interval_ops);
       TGKS_STATS(if (options_.trace != nullptr) {
@@ -82,16 +93,16 @@ bool BestPathIterator::SettleTop() {
   return false;
 }
 
-const ScoreVec* BestPathIterator::PeekScore() {
+const ScoreKey* BestPathIterator::PeekScore() {
   if (!SettleTop()) return nullptr;
-  return &queue_.top().score;
+  return &scratch_->queue.top().score;
 }
 
 NtdId BestPathIterator::Next() {
   if (!SettleTop()) return kInvalidNtd;
-  const NtdId id = queue_.top().id;
-  queue_.pop();
-  Ntd& ntd = arena_[static_cast<size_t>(id)];
+  const NtdId id = scratch_->queue.top().id;
+  scratch_->queue.pop();
+  Ntd& ntd = scratch_->arena[static_cast<size_t>(id)];
   ntd.state = NtdState::kPopped;
   TGKS_STATS(if (options_.trace != nullptr) {
     options_.trace->Record(obs::TraceEventKind::kPop, ntd.node,
@@ -99,12 +110,21 @@ NtdId BestPathIterator::Next() {
   });
   if (!UsesSubsumptionSemantics()) {
     // Claim the instants of T (Alg. 1 lines 7-9). We mark the full T; pops
-    // whose T is entirely claimed are skipped in SettleTop.
-    IntervalSet& visited = visited_[ntd.node];
-    visited = visited.Union(ntd.time);
+    // whose T is entirely claimed are skipped in SettleTop. The union lands
+    // in the tmp2 double-buffer, then copy-assigns into the slot: unlike a
+    // swap, this keeps every spill buffer pinned to its owner, so slot and
+    // scratch capacities each grow monotonically to their own high-water
+    // mark and the steady state allocates nothing.
+    IntervalSet& visited = scratch_->visited.Activate(
+        static_cast<uint32_t>(ntd.node),
+        [](IntervalSet& stale) { stale.Clear(); });
+    scratch_->tmp2.AssignUnionOf(visited, ntd.time);
+    visited = scratch_->tmp2;
     TGKS_STATS(++stats_.interval_ops);
   }
-  std::vector<NtdId>& popped_here = popped_at_[ntd.node];
+  std::vector<NtdId>& popped_here = scratch_->popped.Activate(
+      static_cast<uint32_t>(ntd.node),
+      [](std::vector<NtdId>& stale) { stale.clear(); });
   if (popped_here.empty()) ++stats_.nodes_reached;
   popped_here.push_back(id);
   ++stats_.ntds_popped;
@@ -121,10 +141,11 @@ void BestPathIterator::ExpandNeighbors(NtdId id) {
 }
 
 void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
-  // Copy the parent fields: Push() may reallocate the arena.
-  const IntervalSet parent_time = arena_[static_cast<size_t>(id)].time;
-  const double parent_dist = arena_[static_cast<size_t>(id)].dist;
-  const NodeId node = arena_[static_cast<size_t>(id)].node;
+  // Arena blocks never move, so the parent NTD can be read by reference
+  // across pushes.
+  const Ntd& parent = scratch_->arena[static_cast<size_t>(id)];
+  const NodeId node = parent.node;
+  const double parent_dist = parent.dist;
 
   for (const EdgeId e : graph_->InEdges(node)) {
     ++stats_.edges_scanned;
@@ -156,11 +177,11 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
     // temporal keys and let a worse path claim an instant first. Fully
     // claimed entries are skipped lazily at pop (the paper's in-place
     // update).
-    IntervalSet surviving = parent_time.Intersect(edge.validity);
+    scratch_->tmp.AssignIntersectionOf(parent.time, edge.validity);
     TGKS_STATS(++stats_.interval_ops);
-    if (surviving.IsEmpty()) continue;
+    if (scratch_->tmp.IsEmpty()) continue;
     TGKS_STATS(++stats_.interval_ops);
-    if (UnvisitedPart(neighbor, surviving).IsEmpty()) {
+    if (FullyClaimed(neighbor, scratch_->tmp)) {
       // Every instant is already claimed at the neighbor by strictly
       // earlier (hence no-worse) pops — safe to drop eagerly.
       TGKS_STATS(if (options_.trace != nullptr) {
@@ -169,33 +190,29 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
       });
       continue;
     }
-    Ntd next;
-    next.node = neighbor;
-    next.time = std::move(surviving);
-    next.dist = parent_dist + edge.weight + graph_->node(neighbor).weight;
-    next.parent = id;
-    next.via_edge = e;
-    Push(std::move(next));
+    PushNtd(neighbor, scratch_->tmp,
+            parent_dist + edge.weight + graph_->node(neighbor).weight, id, e);
   }
 }
 
 void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
-  const IntervalSet parent_time = arena_[static_cast<size_t>(id)].time;
-  const double parent_dist = arena_[static_cast<size_t>(id)].dist;
-  const NodeId node = arena_[static_cast<size_t>(id)].node;
+  const Ntd& parent = scratch_->arena[static_cast<size_t>(id)];
+  const NodeId node = parent.node;
+  const double parent_dist = parent.dist;
+  const auto fresh_index = [this](NodeSubsumption& stale) {
+    stale.Fresh(options_.duration_index, graph_->timeline_length());
+  };
 
   // Register the popped NTD itself in its node's index (it prunes future
   // inferior arrivals). The source NTD registers on first expansion.
   {
-    NodeIndex& here = subsumption_[node];
-    if (here.index == nullptr) {
-      here.index = temporal::CreateNtdIndex(options_.duration_index,
-                                            graph_->timeline_length());
-    }
-    Ntd& self = arena_[static_cast<size_t>(id)];
+    NodeSubsumption& here =
+        scratch_->subsumption.Activate(static_cast<uint32_t>(node),
+                                       fresh_index);
+    Ntd& self = scratch_->arena[static_cast<size_t>(id)];
     if (self.index_row < 0) {
       self.index_row = here.index->AddRow(self.time);
-      here.row_to_ntd[self.index_row] = id;
+      here.BindRow(self.index_row, id);
     }
   }
 
@@ -223,19 +240,17 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
         continue;
       }
     }
-    IntervalSet surviving = parent_time.Intersect(edge.validity);
+    scratch_->tmp.AssignIntersectionOf(parent.time, edge.validity);
     TGKS_STATS(++stats_.interval_ops);
-    if (surviving.IsEmpty()) continue;
+    if (scratch_->tmp.IsEmpty()) continue;
 
-    NodeIndex& entry = subsumption_[neighbor];
-    if (entry.index == nullptr) {
-      entry.index = temporal::CreateNtdIndex(options_.duration_index,
-                                             graph_->timeline_length());
-    }
+    NodeSubsumption& entry =
+        scratch_->subsumption.Activate(static_cast<uint32_t>(neighbor),
+                                       fresh_index);
     // Case 1 (Alg. 2 lines 11-12): T∩ subsumed by an existing NTD of the
     // neighbor -> the existing path already beats this one at every instant
     // and has no shorter duration; skip.
-    if (entry.index->SubsumedByExisting(surviving)) {
+    if (entry.index->SubsumedByExisting(scratch_->tmp)) {
       ++stats_.subsumption_skips;
       TGKS_STATS(if (options_.trace != nullptr) {
         options_.trace->Record(obs::TraceEventKind::kDedupHit, neighbor,
@@ -248,39 +263,40 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
     // popped NTD's duration >= |T∩|, and a strict superset would have to be
     // longer — impossible; an equal set would have hit case 1.
     for (const temporal::NtdRowHandle row :
-         entry.index->CollectSubsumed(surviving)) {
-      const NtdId victim = entry.row_to_ntd.at(row);
-      assert(arena_[static_cast<size_t>(victim)].state == NtdState::kQueued);
-      arena_[static_cast<size_t>(victim)].state = NtdState::kDead;
+         entry.index->CollectSubsumed(scratch_->tmp)) {
+      const NtdId victim = entry.row_to_ntd[static_cast<size_t>(row)];
+      assert(victim != kInvalidNtd);
+      assert(scratch_->arena[static_cast<size_t>(victim)].state ==
+             NtdState::kQueued);
+      scratch_->arena[static_cast<size_t>(victim)].state = NtdState::kDead;
       entry.index->RemoveRow(row);
-      entry.row_to_ntd.erase(row);
+      entry.row_to_ntd[static_cast<size_t>(row)] = kInvalidNtd;
       ++stats_.subsumption_evictions;
     }
     // Case 2 (line 16): record the new NTD.
-    Ntd next;
-    next.node = neighbor;
-    next.time = surviving;
-    next.dist = parent_dist + edge.weight + graph_->node(neighbor).weight;
-    next.parent = id;
-    next.via_edge = e;
-    next.index_row = entry.index->AddRow(surviving);
-    const NtdId next_id = static_cast<NtdId>(arena_.size());
-    entry.row_to_ntd[next.index_row] = next_id;
-    Push(std::move(next));
+    const temporal::NtdRowHandle row = entry.index->AddRow(scratch_->tmp);
+    const NtdId next_id = PushNtd(
+        neighbor, scratch_->tmp,
+        parent_dist + edge.weight + graph_->node(neighbor).weight, id, e);
+    scratch_->arena[static_cast<size_t>(next_id)].index_row = row;
+    entry.BindRow(row, next_id);
   }
 }
 
 std::span<const NtdId> BestPathIterator::PoppedAt(NodeId node) const {
-  const auto it = popped_at_.find(node);
-  if (it == popped_at_.end()) return {};
-  return it->second;
+  // The returned span aims into the list's own heap buffer, which stays put
+  // even if the popped table rehashes.
+  const std::vector<NtdId>* popped_here =
+      scratch_->popped.Find(static_cast<uint32_t>(node));
+  if (popped_here == nullptr) return {};
+  return *popped_here;
 }
 
 std::vector<EdgeId> BestPathIterator::PathEdges(NtdId id) const {
   std::vector<EdgeId> edges;
   for (NtdId cur = id; cur != kInvalidNtd;
-       cur = arena_[static_cast<size_t>(cur)].parent) {
-    const Ntd& n = arena_[static_cast<size_t>(cur)];
+       cur = scratch_->arena[static_cast<size_t>(cur)].parent) {
+    const Ntd& n = scratch_->arena[static_cast<size_t>(cur)];
     if (n.via_edge != graph::kInvalidEdge) edges.push_back(n.via_edge);
   }
   return edges;

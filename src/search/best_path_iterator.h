@@ -24,16 +24,18 @@
 // Element-level predicate pruning (§5) hooks in through Options::prune:
 // nodes/edges whose validity fails the predicate's necessary condition are
 // never expanded.
+//
+// All working state (NTD arena, 4-ary queue, flat per-node epoch tables)
+// lives in a pooled BestPathScratch (search_scratch.h): constructing an
+// iterator on a thread that ran one before reuses the previous state's
+// memory, and the steady-state pop/expand loop performs no heap allocation
+// (see docs/performance.md and bench_micro_alloc).
 
 #ifndef TGKS_SEARCH_BEST_PATH_ITERATOR_H_
 #define TGKS_SEARCH_BEST_PATH_ITERATOR_H_
 
 #include <cstdint>
-#include <memory>
-#include <queue>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "graph/temporal_graph.h"
@@ -42,6 +44,7 @@
 #include "search/ntd.h"
 #include "search/predicate.h"
 #include "search/ranking.h"
+#include "search/search_scratch.h"
 #include "temporal/interval_set.h"
 #include "temporal/ntd_bitmap_index.h"
 
@@ -105,10 +108,12 @@ class BestPathIterator {
 
   /// Score of the NTD Next() would pop, or nullptr when exhausted. Performs
   /// lazy cleanup of stale queue entries; does not expand anything.
-  const ScoreVec* PeekScore();
+  const ScoreKey* PeekScore();
 
   /// The NTD arena entry (valid for any id returned by Next()).
-  const Ntd& ntd(NtdId id) const { return arena_[static_cast<size_t>(id)]; }
+  const Ntd& ntd(NtdId id) const {
+    return scratch_->arena[static_cast<size_t>(id)];
+  }
 
   /// Popped NTD ids at `node` (candidates for result generation), in pop
   /// order. Empty if the iterator never reached the node.
@@ -122,25 +127,14 @@ class BestPathIterator {
   const IteratorStats& stats() const { return stats_; }
 
   /// Number of NTDs ever created (arena size).
-  int64_t num_ntds() const { return static_cast<int64_t>(arena_.size()); }
+  int64_t num_ntds() const {
+    return static_cast<int64_t>(scratch_->arena.size());
+  }
 
   /// Distinct nodes that have at least one popped NTD.
   int64_t nodes_reached() const { return stats_.nodes_reached; }
 
  private:
-  struct QueueEntry {
-    ScoreVec score;
-    NtdId id;
-  };
-  struct QueueCompare {
-    // std::priority_queue pops the *largest*; "largest" = best score, with
-    // older NTDs (smaller id) winning ties for determinism.
-    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
-      if (a.score != b.score) return ScoreBetter(b.score, a.score);
-      return a.id > b.id;
-    }
-  };
-
   bool UsesSubsumptionSemantics() const {
     return options_.ranking.primary() == RankFactor::kDurationDesc;
   }
@@ -149,33 +143,27 @@ class BestPathIterator {
   /// Returns false when exhausted.
   bool SettleTop();
 
-  void Push(Ntd ntd);
+  /// Appends an NTD to the arena and queue. `time` is copy-assigned into
+  /// the arena slot (both the slot and the caller's scratch buffer keep
+  /// their capacity). Records a kExpand trace event only for expansion
+  /// products (`parent` set) — the source NTD was never expanded from
+  /// anything.
+  NtdId PushNtd(graph::NodeId node, const temporal::IntervalSet& time,
+                double dist, NtdId parent, graph::EdgeId via_edge);
   void ExpandNeighbors(NtdId id);
   void ExpandNeighborsPartition(NtdId id);
   void ExpandNeighborsSubsumption(NtdId id);
 
-  /// `time` minus the instants already claimed at `node`.
-  temporal::IntervalSet UnvisitedPart(graph::NodeId node,
-                                      const temporal::IntervalSet& time) const;
+  /// True iff every instant of `time` is already claimed at `node`
+  /// (allocation-free; replaces the old Subtract-then-IsEmpty).
+  bool FullyClaimed(graph::NodeId node,
+                    const temporal::IntervalSet& time) const;
 
   const graph::TemporalGraph* graph_;
   graph::NodeId source_;
   Options options_;
 
-  std::vector<Ntd> arena_;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueCompare>
-      queue_;
-  // Partition semantics: instants already claimed per node.
-  std::unordered_map<graph::NodeId, temporal::IntervalSet> visited_;
-  // Subsumption semantics: per-node index with NTD id per live row.
-  struct NodeIndex {
-    std::unique_ptr<temporal::NtdSubsumptionIndex> index;
-    std::unordered_map<temporal::NtdRowHandle, NtdId> row_to_ntd;
-  };
-  std::unordered_map<graph::NodeId, NodeIndex> subsumption_;
-
-  std::unordered_map<graph::NodeId, std::vector<NtdId>> popped_at_;
-  std::unordered_set<graph::NodeId> pushed_nodes_;
+  BestPathScratchPool::Handle scratch_;
   IteratorStats stats_;
 };
 

@@ -41,50 +41,61 @@ int32_t InverseValue(InverseRankFactor factor, const IntervalSet& time) {
 
 LabelCorrectingIterator::LabelCorrectingIterator(
     const graph::TemporalGraph& graph, NodeId source, Options options)
-    : graph_(&graph), source_(source), options_(options) {
+    : graph_(&graph),
+      source_(source),
+      options_(options),
+      scratch_(LabelCorrectingScratchPool::Acquire()) {
   assert(source >= 0 && source < graph.num_nodes());
+  scratch_->Reset();
   const IntervalSet& validity = graph.node(source).validity;
   if (validity.IsEmpty()) return;
-  Fragment initial;
-  initial.node = source;
-  initial.time = validity;
-  initial.parent = kInvalidNtd;
-  initial.via_edge = graph::kInvalidEdge;
-  const NtdId id = TryKeep(std::move(initial));
+  const NtdId id =
+      TryKeep(source, validity, kInvalidNtd, graph::kInvalidEdge);
   if (id != kInvalidNtd) worklist_.push_back(id);
 }
 
-NtdId LabelCorrectingIterator::TryKeep(Fragment fragment) {
-  NodeState& state = states_[fragment.node];
-  if (state.index == nullptr) {
-    state.index = temporal::CreateNtdIndex(temporal::NtdIndexKind::kRowMajor,
-                                           graph_->timeline_length());
-  }
-  // Drop iff the kept subsets of fragment.time jointly cover it: each such
-  // subset dominates the arrival at its own instants under every future
-  // intersection (see header).
-  IntervalSet uncovered = fragment.time;
+NtdId LabelCorrectingIterator::TryKeep(NodeId node, const IntervalSet& time,
+                                       NtdId parent, EdgeId via_edge) {
+  NodeSubsumption& state = scratch_->states.Activate(
+      static_cast<uint32_t>(node), [this](NodeSubsumption& stale) {
+        stale.Fresh(temporal::NtdIndexKind::kRowMajor,
+                    graph_->timeline_length());
+      });
+  // Drop iff the kept subsets of `time` jointly cover it: each such subset
+  // dominates the arrival at its own instants under every future
+  // intersection (see header). The running remainder ping-pongs between the
+  // tmp2/tmp3 scratch buffers.
+  IntervalSet& uncovered = scratch_->tmp2;
+  uncovered = time;
   for (const temporal::NtdRowHandle row :
-       state.index->CollectSubsumed(fragment.time)) {
-    uncovered = uncovered.Subtract(
-        arena_[static_cast<size_t>(state.row_to_fragment.at(row))].time);
+       state.index->CollectSubsumed(time)) {
+    scratch_->tmp3.AssignDifferenceOf(
+        uncovered,
+        arena_[static_cast<size_t>(state.row_to_ntd[static_cast<size_t>(row)])]
+            .time);
+    uncovered.Swap(scratch_->tmp3);
     TGKS_STATS(++stats_.interval_ops);
     if (uncovered.IsEmpty()) {
       TGKS_STATS(++stats_.fragments_dropped);
       TGKS_STATS(if (options_.trace != nullptr) {
-        options_.trace->Record(obs::TraceEventKind::kDedupHit, fragment.node,
+        options_.trace->Record(obs::TraceEventKind::kDedupHit, node,
                                options_.trace_iter, 0.0);
       });
       return kInvalidNtd;
     }
   }
   const NtdId id = static_cast<NtdId>(arena_.size());
-  const temporal::NtdRowHandle row = state.index->AddRow(fragment.time);
-  state.row_to_fragment[row] = id;
+  const temporal::NtdRowHandle row = state.index->AddRow(time);
+  state.BindRow(row, id);
   TGKS_STATS(if (options_.trace != nullptr) {
-    options_.trace->Record(obs::TraceEventKind::kExpand, fragment.node,
+    options_.trace->Record(obs::TraceEventKind::kExpand, node,
                            options_.trace_iter, 0.0);
   });
+  Fragment fragment;
+  fragment.node = node;
+  fragment.time = time;
+  fragment.parent = parent;
+  fragment.via_edge = via_edge;
   arena_.push_back(std::move(fragment));
   return id;
 }
@@ -112,15 +123,10 @@ bool LabelCorrectingIterator::Run() {
     });
     for (const EdgeId e : graph_->InEdges(node)) {
       const graph::Edge& edge = graph_->edge(e);
-      IntervalSet surviving = time.Intersect(edge.validity);
+      scratch_->tmp.AssignIntersectionOf(time, edge.validity);
       TGKS_STATS(++stats_.interval_ops);
-      if (surviving.IsEmpty()) continue;
-      Fragment next;
-      next.node = edge.src;
-      next.time = std::move(surviving);
-      next.parent = id;
-      next.via_edge = e;
-      const NtdId kept = TryKeep(std::move(next));
+      if (scratch_->tmp.IsEmpty()) continue;
+      const NtdId kept = TryKeep(edge.src, scratch_->tmp, id, e);
       if (kept != kInvalidNtd) worklist_.push_back(kept);
     }
     TGKS_STATS(stats_.worklist_high_water =
@@ -132,10 +138,12 @@ bool LabelCorrectingIterator::Run() {
 
 std::optional<int32_t> LabelCorrectingIterator::BestAt(NodeId node,
                                                        TimePoint t) const {
-  const auto it = states_.find(node);
-  if (it == states_.end()) return std::nullopt;
+  const NodeSubsumption* state =
+      scratch_->states.Find(static_cast<uint32_t>(node));
+  if (state == nullptr) return std::nullopt;
   std::optional<int32_t> best;
-  for (const auto& [row, fragment_id] : it->second.row_to_fragment) {
+  for (const NtdId fragment_id : state->row_to_ntd) {
+    if (fragment_id == kInvalidNtd) continue;
     const Fragment& fragment = arena_[static_cast<size_t>(fragment_id)];
     if (!fragment.time.Contains(t)) continue;
     const int32_t value = InverseValue(options_.factor, fragment.time);
@@ -146,10 +154,11 @@ std::optional<int32_t> LabelCorrectingIterator::BestAt(NodeId node,
 
 std::vector<NtdId> LabelCorrectingIterator::FragmentsAt(NodeId node) const {
   std::vector<NtdId> out;
-  const auto it = states_.find(node);
-  if (it == states_.end()) return out;
-  for (const auto& [row, fragment_id] : it->second.row_to_fragment) {
-    out.push_back(fragment_id);
+  const NodeSubsumption* state =
+      scratch_->states.Find(static_cast<uint32_t>(node));
+  if (state == nullptr) return out;
+  for (const NtdId fragment_id : state->row_to_ntd) {
+    if (fragment_id != kInvalidNtd) out.push_back(fragment_id);
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -38,16 +38,15 @@
 
 #include <cstdint>
 #include <deque>
-#include <memory>
 #include <optional>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/temporal_graph.h"
 #include "obs/query_trace.h"
 #include "obs/search_stats.h"
 #include "search/ntd.h"
+#include "search/search_scratch.h"
 #include "temporal/interval_set.h"
 #include "temporal/ntd_bitmap_index.h"
 
@@ -126,14 +125,12 @@ class LabelCorrectingIterator {
     NtdId parent;
     graph::EdgeId via_edge;
   };
-  struct NodeState {
-    std::unique_ptr<temporal::NtdSubsumptionIndex> index;
-    std::unordered_map<temporal::NtdRowHandle, NtdId> row_to_fragment;
-  };
 
-  /// Adds the fragment unless covered by kept subsets; returns its id or
-  /// kInvalidNtd when dropped.
-  NtdId TryKeep(Fragment fragment);
+  /// Keeps a fragment (node, time, parent, via_edge) unless covered by kept
+  /// subsets; returns its id or kInvalidNtd when dropped. `time` is
+  /// copy-assigned into the arena.
+  NtdId TryKeep(graph::NodeId node, const temporal::IntervalSet& time,
+                NtdId parent, graph::EdgeId via_edge);
 
   const graph::TemporalGraph* graph_;
   graph::NodeId source_;
@@ -141,7 +138,7 @@ class LabelCorrectingIterator {
 
   std::vector<Fragment> arena_;
   std::deque<NtdId> worklist_;
-  std::unordered_map<graph::NodeId, NodeState> states_;
+  LabelCorrectingScratchPool::Handle scratch_;
   int64_t relaxations_ = 0;
   LabelCorrectingStats stats_;
   bool ran_ = false;

@@ -14,6 +14,9 @@
 #ifndef TGKS_SEARCH_RANKING_H_
 #define TGKS_SEARCH_RANKING_H_
 
+#include <array>
+#include <cassert>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -33,10 +36,62 @@ enum class RankFactor {
 /// Stable name ("relevance", "end-time", "start-time", "duration").
 std::string_view RankFactorName(RankFactor factor);
 
+/// Fixed-capacity, allocation-free list of distinct ranking factors.
+///
+/// Duplicate pushes are dropped, keeping the first occurrence. That is
+/// comparison-invariant: MakeScoreKey applies the identical dedup, because
+/// in a lexicographic comparison a repeated component can only differ where
+/// its first occurrence already differed. With only distinct factors stored,
+/// the four-slot capacity can never overflow, and copying a RankingSpec —
+/// which happens once per spawned iterator, thousands of times per query —
+/// touches no heap.
+class FactorList {
+ public:
+  static constexpr size_t kCapacity = 4;  // Distinct RankFactor values.
+
+  constexpr FactorList() = default;
+  constexpr FactorList(std::initializer_list<RankFactor> factors) {
+    for (const RankFactor f : factors) push_back(f);
+  }
+
+  constexpr void push_back(RankFactor f) {
+    for (size_t i = 0; i < size_; ++i) {
+      if (factors_[i] == f) return;  // Duplicate: ranking-equivalent drop.
+    }
+    factors_[size_++] = f;
+  }
+  constexpr void clear() { size_ = 0; }
+
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr size_t size() const { return size_; }
+  constexpr RankFactor operator[](size_t i) const {
+    assert(i < size_);
+    return factors_[i];
+  }
+  constexpr RankFactor front() const {
+    assert(size_ > 0);
+    return factors_[0];
+  }
+  constexpr const RankFactor* begin() const { return factors_.data(); }
+  constexpr const RankFactor* end() const { return factors_.data() + size_; }
+
+  friend constexpr bool operator==(const FactorList& a, const FactorList& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (a.factors_[i] != b.factors_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<RankFactor, kCapacity> factors_{};
+  size_t size_ = 0;
+};
+
 /// An ordered list of factors; earlier factors dominate. Defaults to pure
 /// relevance, the classic keyword-search ranking.
 struct RankingSpec {
-  std::vector<RankFactor> factors = {RankFactor::kRelevance};
+  FactorList factors = {RankFactor::kRelevance};
 
   /// The dominating factor.
   RankFactor primary() const { return factors.front(); }
@@ -54,14 +109,59 @@ struct RankingSpec {
 /// A larger-is-better score vector under some RankingSpec.
 using ScoreVec = std::vector<double>;
 
+/// A ScoreVec with inline storage — the priority-queue key of the search
+/// hot path (no heap allocation per NTD push).
+///
+/// Capacity is the number of DISTINCT RankFactors; MakeScoreKey dedups the
+/// spec's factor list (keeping first occurrences), which never fits fewer
+/// specs: repeated factors produce repeated components, and in a
+/// lexicographic comparison a repeated component can only differ where its
+/// first occurrence already differed, so dedup preserves both the order and
+/// equality that MakeScore's full vectors define.
+class ScoreKey {
+ public:
+  static constexpr uint32_t kMaxFactors = 4;
+
+  ScoreKey() = default;
+
+  uint32_t size() const { return size_; }
+  double operator[](size_t i) const {
+    assert(i < size_);
+    return values_[i];
+  }
+
+  void Append(double value) {
+    assert(size_ < kMaxFactors);
+    values_[size_++] = value;
+  }
+
+  friend bool operator==(const ScoreKey& a, const ScoreKey& b) {
+    if (a.size_ != b.size_) return false;
+    for (uint32_t i = 0; i < a.size_; ++i) {
+      if (a.values_[i] != b.values_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<double, kMaxFactors> values_{};
+  uint32_t size_ = 0;
+};
+
 /// Score of a path/result with total weight `weight` and valid time `time`.
 /// `time` may be empty only for pure-relevance specs (temporal components
 /// then score -inf).
 ScoreVec MakeScore(const RankingSpec& spec, double weight,
                    const temporal::IntervalSet& time);
 
+/// ScoreKey variant of MakeScore: same comparison semantics (see ScoreKey),
+/// no allocation.
+ScoreKey MakeScoreKey(const RankingSpec& spec, double weight,
+                      const temporal::IntervalSet& time);
+
 /// Lexicographic comparison; true iff `a` is strictly better than `b`.
 bool ScoreBetter(const ScoreVec& a, const ScoreVec& b);
+bool ScoreBetter(const ScoreKey& a, const ScoreKey& b);
 
 /// The best conceivable score (+inf everywhere), useful as an initial bound.
 ScoreVec BestPossibleScore(const RankingSpec& spec);

@@ -141,13 +141,13 @@ class Runner {
 
  private:
   struct IterEntry {
-    ScoreVec score;
+    ScoreKey score;
     int32_t iter;
   };
   struct IterEntryWorse {
     // make_heap keeps the *largest* on top; largest = best score.
     bool operator()(const IterEntry& a, const IterEntry& b) const {
-      if (a.score != b.score) return ScoreBetter(b.score, a.score);
+      if (!(a.score == b.score)) return ScoreBetter(b.score, a.score);
       return a.iter > b.iter;
     }
   };
@@ -190,7 +190,7 @@ class Runner {
         iterators_.push_back(std::make_unique<BestPathIterator>(
             graph_, source, iter_options));
         const int32_t idx = static_cast<int32_t>(iterators_.size()) - 1;
-        const ScoreVec* peek = iterators_.back()->PeekScore();
+        const ScoreKey* peek = iterators_.back()->PeekScore();
         if (peek != nullptr) {
           keyword_heaps_[kw].push_back(IterEntry{*peek, idx});
         }
@@ -269,7 +269,7 @@ class Runner {
       const NtdId popped = iter.Next();
       assert(popped != kInvalidNtd);
       ++response_.counters.pops;
-      const ScoreVec* peek = iter.PeekScore();
+      const ScoreKey* peek = iter.PeekScore();
       if (peek != nullptr) {
         heap.push_back(IterEntry{*peek, iter_idx});
         std::push_heap(heap.begin(), heap.end(), IterEntryWorse());
@@ -500,6 +500,9 @@ class Runner {
     for (const auto& iter : iterators_) {
       c.useless_pops += iter->stats().useless_pops;
       c.ntds_created += iter->num_ntds();
+      c.edges_scanned += iter->stats().edges_scanned;
+      c.subsumption_skips += iter->stats().subsumption_skips;
+      c.subsumption_evictions += iter->stats().subsumption_evictions;
       if (iter->num_ntds() > 1) {
         // The paper's "average number of NTDs associated with each node in
         // the priority queue": created (queued) NTDs over the nodes the

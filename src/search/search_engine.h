@@ -82,6 +82,9 @@ struct SearchCounters {
   int64_t pops = 0;                ///< NTDs popped (all iterators).
   int64_t useless_pops = 0;        ///< Stale queue entries skipped.
   int64_t ntds_created = 0;        ///< Arena NTDs across iterators.
+  int64_t edges_scanned = 0;       ///< In-edges examined across iterators.
+  int64_t subsumption_skips = 0;   ///< Algorithm-2 case-1 prunes.
+  int64_t subsumption_evictions = 0;  ///< Algorithm-2 case-3 removals.
   int64_t nodes_visited = 0;       ///< Distinct nodes popped by >=1 iterator.
   int64_t candidates = 0;          ///< NTD-set combinations examined.
   int64_t invalid_time = 0;        ///< Candidates with empty common time.

@@ -1,0 +1,164 @@
+// Pooled per-iterator scratch state: flat epoch tables, block NTD arenas,
+// and reusable heap storage.
+//
+// A BestPathIterator (and its label-correcting sibling) used to allocate
+// its entire working state per query: hash maps per node, a vector arena
+// that reallocated as it grew, a priority queue rebuilt from nothing. The
+// scratch objects here own all of that as flat epoch-versioned hash tables
+// (common/epoch_table.h) plus a block-reserving NTD arena, and are recycled
+// through a thread-local ScratchPool — an iterator acquires a warm scratch
+// in its constructor, bumps the epochs, and runs allocation-free in steady
+// state. The QueryExecutor's persistent workers (src/exec) make this
+// recycling automatic across the queries of a batch. See
+// docs/performance.md for layout and measurements.
+
+#ifndef TGKS_SEARCH_SEARCH_SCRATCH_H_
+#define TGKS_SEARCH_SEARCH_SCRATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/epoch_table.h"
+#include "common/scratch_pool.h"
+#include "search/ntd.h"
+#include "search/quad_heap.h"
+#include "search/ranking.h"
+#include "temporal/interval_set.h"
+#include "temporal/ntd_bitmap_index.h"
+
+namespace tgks::search {
+
+/// Block-reserving arena of NTD triplets.
+///
+/// Blocks give two properties a plain vector lacks: element addresses are
+/// stable (expansion can hold a reference to the parent NTD across pushes),
+/// and rewinding keeps every slot object alive, so a reused slot's
+/// IntervalSet retains its spill capacity from earlier queries.
+class NtdArena {
+ public:
+  // Power of two so operator[] compiles to shift + mask; small enough that
+  // the thousands of few-NTD iterators of a fat query stay cheap.
+  static constexpr size_t kBlockSize = 64;
+
+  size_t size() const { return size_; }
+
+  Ntd& operator[](size_t i) {
+    return blocks_[i / kBlockSize][i % kBlockSize];
+  }
+  const Ntd& operator[](size_t i) const {
+    return blocks_[i / kBlockSize][i % kBlockSize];
+  }
+
+  /// Returns the next slot. Its contents are STALE (possibly from a prior
+  /// query); the caller must assign every field.
+  Ntd& EmplaceBack() {
+    if (size_ == blocks_.size() * kBlockSize) {
+      blocks_.push_back(std::make_unique<Ntd[]>(kBlockSize));
+    }
+    Ntd& slot = (*this)[size_];
+    ++size_;
+    return slot;
+  }
+
+  /// Forgets the contents but keeps every block (and each slot's interval
+  /// capacity) for the next query.
+  void Rewind() { size_ = 0; }
+
+ private:
+  std::vector<std::unique_ptr<Ntd[]>> blocks_;
+  size_t size_ = 0;
+};
+
+/// Per-node state of the duration-subsumption semantics: the pluggable
+/// index plus the row-handle -> NTD id mapping (dense: handles are small
+/// integers that indexes recycle).
+struct NodeSubsumption {
+  std::unique_ptr<temporal::NtdSubsumptionIndex> index;
+  temporal::NtdIndexKind kind = temporal::NtdIndexKind::kRowMajor;
+  temporal::TimePoint timeline = -1;
+  std::vector<NtdId> row_to_ntd;  // kInvalidNtd marks a dead slot.
+
+  /// Returns the index, reset for a fresh use — recycled when the cached
+  /// one matches `kind`/`timeline`, rebuilt otherwise.
+  temporal::NtdSubsumptionIndex& Fresh(temporal::NtdIndexKind want_kind,
+                                       temporal::TimePoint want_timeline) {
+    if (index == nullptr || kind != want_kind || timeline != want_timeline) {
+      index = temporal::CreateNtdIndex(want_kind, want_timeline);
+      kind = want_kind;
+      timeline = want_timeline;
+    } else {
+      index->Reset();
+    }
+    row_to_ntd.clear();
+    return *index;
+  }
+
+  /// Records `ntd` under `row`, growing the dense map as handles appear.
+  void BindRow(temporal::NtdRowHandle row, NtdId ntd) {
+    const size_t slot = static_cast<size_t>(row);
+    if (row_to_ntd.size() <= slot) row_to_ntd.resize(slot + 1, kInvalidNtd);
+    row_to_ntd[slot] = ntd;
+  }
+};
+
+/// Queue entry of the best path iterator: inline score key + arena id.
+struct BestPathQueueEntry {
+  ScoreKey score;
+  NtdId id;
+};
+struct BestPathQueueBetter {
+  // True iff `a` pops first: best score, with older NTDs (smaller id)
+  // winning ties. A strict total order — the pop sequence is unique, so any
+  // heap (binary, 4-ary) pops identically.
+  bool operator()(const BestPathQueueEntry& a,
+                  const BestPathQueueEntry& b) const {
+    if (!(a.score == b.score)) return ScoreBetter(a.score, b.score);
+    return a.id < b.id;
+  }
+};
+
+/// Everything a BestPathIterator allocates, pooled per thread.
+struct BestPathScratch {
+  NtdArena arena;
+  QuadHeap<BestPathQueueEntry, BestPathQueueBetter> queue;
+  common::FlatEpochMap<temporal::IntervalSet> visited;  // Partition claims.
+  common::FlatEpochMap<std::vector<NtdId>> popped;      // Pop order per node.
+  common::FlatEpochSet pushed;                          // Ever-pushed nodes.
+  common::FlatEpochMap<NodeSubsumption> subsumption;    // Duration ranking.
+  temporal::IntervalSet tmp;   // Per-edge intersection buffer.
+  temporal::IntervalSet tmp2;  // Union double-buffer for visited claims.
+
+  /// Readies the scratch for a query: O(1) epoch bumps; table capacity and
+  /// arena blocks from previous uses are retained.
+  void Reset() {
+    visited.Clear();
+    popped.Clear();
+    pushed.Clear();
+    subsumption.Clear();
+    arena.Rewind();
+    queue.clear();
+  }
+};
+
+/// Everything a LabelCorrectingIterator allocates, pooled per thread.
+struct LabelCorrectingScratch {
+  common::FlatEpochMap<NodeSubsumption> states;
+  temporal::IntervalSet tmp;   // Per-edge intersection buffer.
+  temporal::IntervalSet tmp2;  // Coverage accumulator in TryKeep.
+  temporal::IntervalSet tmp3;  // Subtraction double-buffer for tmp2.
+
+  void Reset() { states.Clear(); }
+};
+
+// Pool park limits sized to the engine's peak concurrency: one live
+// iterator per match node, which reaches several thousand on the DBLP
+// workload. Scratches are sized by their iterator's touched-node set, so a
+// full park list stays in the tens of megabytes.
+using BestPathScratchPool = common::ScratchPool<BestPathScratch, 8192>;
+using LabelCorrectingScratchPool =
+    common::ScratchPool<LabelCorrectingScratch, 8192>;
+
+}  // namespace tgks::search
+
+#endif  // TGKS_SEARCH_SEARCH_SCRATCH_H_

@@ -70,13 +70,16 @@ std::optional<TimeRangePath> ThroughoutPath(const graph::TemporalGraph& graph,
   TimeRangePath out;
   out.weight = found->second;
   IntervalSet time = graph.node(target).validity;
+  IntervalSet narrow;  // Intersection double-buffer.
   for (NodeId cur = target; cur != source;) {
     const EdgeId e = parent.at(cur);
     out.edges.push_back(e);
-    time = time.Intersect(graph.edge(e).validity);
+    narrow.AssignIntersectionOf(time, graph.edge(e).validity);
+    time.Swap(narrow);
     cur = graph.edge(e).src;
   }
-  time = time.Intersect(graph.node(source).validity);
+  narrow.AssignIntersectionOf(time, graph.node(source).validity);
+  time.Swap(narrow);
   std::reverse(out.edges.begin(), out.edges.end());
   out.time = std::move(time);
   assert(out.time.Subsumes(window));

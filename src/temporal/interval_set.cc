@@ -2,24 +2,118 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <sstream>
+#include <utility>
 
 #include "temporal/bitmap.h"
 
 namespace tgks::temporal {
 
-IntervalSet::IntervalSet(Interval interval) {
-  if (!interval.IsEmpty()) intervals_.push_back(interval);
+IntervalSet::IntervalSet(Interval interval) : IntervalSet() {
+  if (!interval.IsEmpty()) Append(interval);
 }
 
 IntervalSet::IntervalSet(std::initializer_list<Interval> intervals)
-    : intervals_(intervals) {
+    : IntervalSet() {
+  Reserve(static_cast<uint32_t>(intervals.size()));
+  for (const Interval& iv : intervals) Append(iv);
   Normalize();
 }
 
-IntervalSet::IntervalSet(std::vector<Interval> intervals)
-    : intervals_(std::move(intervals)) {
+IntervalSet::IntervalSet(const std::vector<Interval>& intervals)
+    : IntervalSet() {
+  Reserve(static_cast<uint32_t>(intervals.size()));
+  for (const Interval& iv : intervals) Append(iv);
   Normalize();
+}
+
+IntervalSet::IntervalSet(const IntervalSet& other)
+    : size_(other.size_), capacity_(kInlineIntervals) {
+  if (other.size_ > kInlineIntervals) {
+    heap_ = new Interval[other.size_];
+    capacity_ = other.size_;
+  }
+  std::copy(other.data(), other.data() + other.size_, data());
+}
+
+IntervalSet& IntervalSet::operator=(const IntervalSet& other) {
+  if (this == &other) return *this;
+  AssignSpan(other.data(), other.size_);
+  return *this;
+}
+
+IntervalSet::IntervalSet(IntervalSet&& other) noexcept
+    : size_(other.size_), capacity_(other.capacity_) {
+  if (other.IsHeap()) {
+    heap_ = other.heap_;
+    other.capacity_ = kInlineIntervals;
+  } else {
+    std::copy(other.inline_, other.inline_ + other.size_, inline_);
+  }
+  other.size_ = 0;
+}
+
+IntervalSet& IntervalSet::operator=(IntervalSet&& other) noexcept {
+  if (this == &other) return *this;
+  if (other.IsHeap()) {
+    DeallocateIfHeap();
+    heap_ = other.heap_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.capacity_ = kInlineIntervals;
+  } else {
+    // Inline source: copy into our existing storage so a pre-grown
+    // destination (e.g. a pooled arena slot) keeps its capacity.
+    AssignSpan(other.inline_, other.size_);
+  }
+  other.size_ = 0;
+  return *this;
+}
+
+void IntervalSet::Swap(IntervalSet& other) noexcept {
+  // The union holds only trivially copyable members, so swapping its raw
+  // bytes is a representation-level exchange of whichever member is live.
+  alignas(Interval) unsigned char tmp[sizeof(inline_)];
+  std::memcpy(tmp, &inline_, sizeof(inline_));
+  std::memcpy(&inline_, &other.inline_, sizeof(inline_));
+  std::memcpy(&other.inline_, tmp, sizeof(inline_));
+  std::swap(size_, other.size_);
+  std::swap(capacity_, other.capacity_);
+}
+
+void IntervalSet::Reserve(uint32_t cap) {
+  if (cap <= capacity_) return;
+  const uint32_t grown = std::max(cap, capacity_ * 2);
+  Interval* buffer = new Interval[grown];
+  std::copy(data(), data() + size_, buffer);
+  DeallocateIfHeap();
+  heap_ = buffer;
+  capacity_ = grown;
+}
+
+void IntervalSet::AppendMerge(Interval iv) {
+  Interval* d = data();
+  if (size_ > 0 && iv.start <= d[size_ - 1].end + 1) {
+    // Merge overlapping *and adjacent* intervals ([0,2] + [3,5] == [0,5]
+    // over discrete instants).
+    d[size_ - 1].end = std::max(d[size_ - 1].end, iv.end);
+  } else {
+    Append(iv);
+  }
+}
+
+void IntervalSet::AssignSpan(const Interval* src, uint32_t n) {
+  assert(src == nullptr || src < data() || src >= data() + capacity_);
+  if (n > capacity_) {
+    // Content is being replaced wholesale; skip the copying Reserve.
+    DeallocateIfHeap();
+    capacity_ = kInlineIntervals;  // Restore a valid state before new[].
+    heap_ = new Interval[n];
+    capacity_ = n;
+  }
+  std::copy(src, src + n, data());
+  size_ = n;
 }
 
 IntervalSet IntervalSet::All(TimePoint timeline_length) {
@@ -32,80 +126,76 @@ IntervalSet IntervalSet::Point(TimePoint t) {
 }
 
 IntervalSet IntervalSet::FromBitmap(const Bitmap& bitmap) {
-  std::vector<Interval> runs;
+  IntervalSet out;
   int64_t i = bitmap.FindFirstSet(0);
   while (i >= 0) {
     const int64_t end = bitmap.FindFirstClear(i);
     const int64_t run_end = end < 0 ? bitmap.size() : end;
-    runs.emplace_back(static_cast<TimePoint>(i),
-                      static_cast<TimePoint>(run_end - 1));
+    // Runs are already canonical: sorted and separated by 0-bits.
+    out.Append(Interval(static_cast<TimePoint>(i),
+                        static_cast<TimePoint>(run_end - 1)));
     if (end < 0) break;
     i = bitmap.FindFirstSet(end);
   }
-  IntervalSet out;
-  out.intervals_ = std::move(runs);  // Runs are already canonical.
   return out;
 }
 
 void IntervalSet::Normalize() {
-  std::erase_if(intervals_, [](const Interval& iv) { return iv.IsEmpty(); });
-  std::sort(intervals_.begin(), intervals_.end(),
-            [](const Interval& a, const Interval& b) {
-              return a.start < b.start;
-            });
-  std::vector<Interval> merged;
-  merged.reserve(intervals_.size());
-  for (const Interval& iv : intervals_) {
-    // Merge overlapping *and adjacent* intervals ([0,2] + [3,5] == [0,5] over
-    // discrete instants).
-    if (!merged.empty() && iv.start <= merged.back().end + 1) {
-      merged.back().end = std::max(merged.back().end, iv.end);
-    } else {
-      merged.push_back(iv);
-    }
+  Interval* d = data();
+  uint32_t n = 0;
+  for (uint32_t i = 0; i < size_; ++i) {
+    if (!d[i].IsEmpty()) d[n++] = d[i];
   }
-  intervals_ = std::move(merged);
+  std::sort(d, d + n, [](const Interval& a, const Interval& b) {
+    return a.start < b.start;
+  });
+  size_ = 0;
+  for (uint32_t i = 0; i < n; ++i) AppendMerge(d[i]);
 }
 
 int64_t IntervalSet::Duration() const {
   int64_t total = 0;
-  for (const Interval& iv : intervals_) total += iv.Length();
+  for (const Interval& iv : intervals()) total += iv.Length();
   return total;
 }
 
 TimePoint IntervalSet::Start() const {
-  return intervals_.empty() ? kNoTimePoint : intervals_.front().start;
+  return size_ == 0 ? kNoTimePoint : data()[0].start;
 }
 
 TimePoint IntervalSet::End() const {
-  return intervals_.empty() ? kNoTimePoint : intervals_.back().end;
+  return size_ == 0 ? kNoTimePoint : data()[size_ - 1].end;
 }
 
 bool IntervalSet::Contains(TimePoint t) const {
   // First interval with start > t; the candidate container precedes it.
+  const std::span<const Interval> ivs = intervals();
   auto it = std::upper_bound(
-      intervals_.begin(), intervals_.end(), t,
+      ivs.begin(), ivs.end(), t,
       [](TimePoint v, const Interval& iv) { return v < iv.start; });
-  if (it == intervals_.begin()) return false;
+  if (it == ivs.begin()) return false;
   return std::prev(it)->Contains(t);
 }
 
 bool IntervalSet::Subsumes(const IntervalSet& other) const {
   // Each interval of `other` must lie inside a single interval of `this`
   // (canonical form guarantees no split is needed).
-  size_t i = 0;
-  for (const Interval& o : other.intervals_) {
-    while (i < intervals_.size() && intervals_[i].end < o.start) ++i;
-    if (i == intervals_.size() || !intervals_[i].Subsumes(o)) return false;
+  const Interval* d = data();
+  uint32_t i = 0;
+  for (const Interval& o : other.intervals()) {
+    while (i < size_ && d[i].end < o.start) ++i;
+    if (i == size_ || !d[i].Subsumes(o)) return false;
   }
   return true;
 }
 
 bool IntervalSet::Overlaps(const IntervalSet& other) const {
-  size_t i = 0, j = 0;
-  while (i < intervals_.size() && j < other.intervals_.size()) {
-    if (intervals_[i].Overlaps(other.intervals_[j])) return true;
-    if (intervals_[i].end < other.intervals_[j].end) {
+  const Interval* a = data();
+  const Interval* b = other.data();
+  uint32_t i = 0, j = 0;
+  while (i < size_ && j < other.size_) {
+    if (a[i].Overlaps(b[j])) return true;
+    if (a[i].end < b[j].end) {
       ++i;
     } else {
       ++j;
@@ -114,13 +204,17 @@ bool IntervalSet::Overlaps(const IntervalSet& other) const {
   return false;
 }
 
-IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
-  IntervalSet out;
-  size_t i = 0, j = 0;
-  while (i < intervals_.size() && j < other.intervals_.size()) {
-    const Interval common = intervals_[i].Intersect(other.intervals_[j]);
-    if (!common.IsEmpty()) out.intervals_.push_back(common);
-    if (intervals_[i].end < other.intervals_[j].end) {
+void IntervalSet::AssignIntersectionOf(const IntervalSet& a,
+                                       const IntervalSet& b) {
+  assert(this != &a && this != &b);
+  Clear();
+  const Interval* da = a.data();
+  const Interval* db = b.data();
+  uint32_t i = 0, j = 0;
+  while (i < a.size_ && j < b.size_) {
+    const Interval common = da[i].Intersect(db[j]);
+    if (!common.IsEmpty()) Append(common);
+    if (da[i].end < db[j].end) {
       ++i;
     } else {
       ++j;
@@ -128,6 +222,51 @@ IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
   }
   // Intersection of canonical sets is canonical: pieces inherit sortedness
   // and remain separated by the gaps of the inputs.
+}
+
+void IntervalSet::AssignUnionOf(const IntervalSet& a, const IntervalSet& b) {
+  assert(this != &a && this != &b);
+  Clear();
+  const Interval* da = a.data();
+  const Interval* db = b.data();
+  uint32_t i = 0, j = 0;
+  // Two-pointer merge by start; AppendMerge fuses overlap and adjacency,
+  // which is exactly the Normalize() merge step, so the result is canonical.
+  while (i < a.size_ || j < b.size_) {
+    if (j == b.size_ || (i < a.size_ && da[i].start <= db[j].start)) {
+      AppendMerge(da[i++]);
+    } else {
+      AppendMerge(db[j++]);
+    }
+  }
+}
+
+void IntervalSet::AssignDifferenceOf(const IntervalSet& a,
+                                     const IntervalSet& b) {
+  assert(this != &a && this != &b);
+  Clear();
+  const Interval* db = b.data();
+  uint32_t j = 0;
+  for (const Interval& iv : a.intervals()) {
+    // Walk the subtrahend intervals that can affect iv.
+    while (j < b.size_ && db[j].end < iv.start) ++j;
+    uint32_t k = j;
+    TimePoint cursor = iv.start;
+    while (k < b.size_ && db[k].start <= iv.end) {
+      const Interval& cut = db[k];
+      if (cut.start > cursor) Append(Interval(cursor, cut.start - 1));
+      cursor = std::max(cursor, static_cast<TimePoint>(cut.end + 1));
+      if (cursor > iv.end) break;
+      ++k;
+    }
+    if (cursor <= iv.end) Append(Interval(cursor, iv.end));
+  }
+  // Pieces of a canonical set minus something remain canonical.
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  out.AssignIntersectionOf(*this, other);
   return out;
 }
 
@@ -136,34 +275,14 @@ IntervalSet IntervalSet::Intersect(const Interval& other) const {
 }
 
 IntervalSet IntervalSet::Union(const IntervalSet& other) const {
-  std::vector<Interval> all = intervals_;
-  all.insert(all.end(), other.intervals_.begin(), other.intervals_.end());
-  return IntervalSet(std::move(all));
+  IntervalSet out;
+  out.AssignUnionOf(*this, other);
+  return out;
 }
 
 IntervalSet IntervalSet::Subtract(const IntervalSet& other) const {
   IntervalSet out;
-  size_t j = 0;
-  for (Interval iv : intervals_) {
-    // Walk the subtrahend intervals that can affect iv.
-    while (j < other.intervals_.size() && other.intervals_[j].end < iv.start) {
-      ++j;
-    }
-    size_t k = j;
-    TimePoint cursor = iv.start;
-    while (k < other.intervals_.size() &&
-           other.intervals_[k].start <= iv.end) {
-      const Interval& cut = other.intervals_[k];
-      if (cut.start > cursor) {
-        out.intervals_.emplace_back(cursor, cut.start - 1);
-      }
-      cursor = std::max(cursor, static_cast<TimePoint>(cut.end + 1));
-      if (cursor > iv.end) break;
-      ++k;
-    }
-    if (cursor <= iv.end) out.intervals_.emplace_back(cursor, iv.end);
-  }
-  // Pieces of a canonical set minus something remain canonical.
+  out.AssignDifferenceOf(*this, other);
   return out;
 }
 
@@ -174,7 +293,7 @@ IntervalSet IntervalSet::ComplementWithin(TimePoint timeline_length) const {
 std::vector<TimePoint> IntervalSet::Instants() const {
   std::vector<TimePoint> out;
   out.reserve(static_cast<size_t>(Duration()));
-  for (const Interval& iv : intervals_) {
+  for (const Interval& iv : intervals()) {
     for (TimePoint t = iv.start; t <= iv.end; ++t) out.push_back(t);
   }
   return out;
@@ -182,7 +301,7 @@ std::vector<TimePoint> IntervalSet::Instants() const {
 
 Bitmap IntervalSet::ToBitmap(TimePoint timeline_length) const {
   Bitmap bm(timeline_length);
-  for (const Interval& iv : intervals_) {
+  for (const Interval& iv : intervals()) {
     const TimePoint lo = std::max<TimePoint>(iv.start, 0);
     const TimePoint hi = std::min<TimePoint>(iv.end, timeline_length - 1);
     if (lo <= hi) bm.SetRange(lo, hi);
@@ -190,12 +309,18 @@ Bitmap IntervalSet::ToBitmap(TimePoint timeline_length) const {
   return bm;
 }
 
+bool operator==(const IntervalSet& a, const IntervalSet& b) {
+  if (a.size_ != b.size_) return false;
+  return std::equal(a.data(), a.data() + a.size_, b.data());
+}
+
 std::string IntervalSet::ToString() const {
   std::ostringstream os;
   os << '{';
-  for (size_t i = 0; i < intervals_.size(); ++i) {
+  const std::span<const Interval> ivs = intervals();
+  for (size_t i = 0; i < ivs.size(); ++i) {
     if (i > 0) os << ' ';
-    os << intervals_[i].ToString();
+    os << ivs[i].ToString();
   }
   os << '}';
   return os.str();

@@ -6,6 +6,14 @@
 // arguments are all IntervalSets. Operations are linear in the number of
 // stored intervals, which the paper's datasets keep tiny (append-only DBLP
 // has exactly one interval per element).
+//
+// Storage is a small-buffer optimization: up to kInlineIntervals intervals
+// live inline in the object (no heap touch at all — the overwhelmingly
+// common case), spilling to a heap buffer beyond that. The destination-
+// passing operations (IntersectInto / UnionInPlace / SubtractInto and their
+// Assign* spellings) reuse the destination's existing capacity, which is
+// what makes the search iterators' steady-state loop allocation-free (see
+// docs/performance.md).
 
 #ifndef TGKS_TEMPORAL_INTERVAL_SET_H_
 #define TGKS_TEMPORAL_INTERVAL_SET_H_
@@ -13,6 +21,7 @@
 #include <cstdint>
 #include <initializer_list>
 #include <ostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -30,8 +39,13 @@ class Bitmap;  // bitmap.h
 /// (i.e., the representation is canonical). Equal sets compare equal.
 class IntervalSet {
  public:
+  /// Intervals stored inline before spilling to the heap. Two covers both
+  /// the append-only-dataset case (exactly one interval per element) and
+  /// the first split a subtraction introduces.
+  static constexpr uint32_t kInlineIntervals = 2;
+
   /// The empty set.
-  IntervalSet() = default;
+  IntervalSet() : size_(0), capacity_(kInlineIntervals) {}
 
   /// The set containing exactly `interval` (empty set if it is empty).
   explicit IntervalSet(Interval interval);
@@ -39,12 +53,18 @@ class IntervalSet {
   /// Normalizes an arbitrary collection of intervals (any order, overlaps
   /// and adjacency allowed) into canonical form.
   IntervalSet(std::initializer_list<Interval> intervals);
-  explicit IntervalSet(std::vector<Interval> intervals);
+  explicit IntervalSet(const std::vector<Interval>& intervals);
 
-  IntervalSet(const IntervalSet&) = default;
-  IntervalSet& operator=(const IntervalSet&) = default;
-  IntervalSet(IntervalSet&&) noexcept = default;
-  IntervalSet& operator=(IntervalSet&&) noexcept = default;
+  IntervalSet(const IntervalSet& other);
+  /// Copy assignment reuses this set's existing storage when it fits.
+  IntervalSet& operator=(const IntervalSet& other);
+  /// Moves steal heap buffers; inline contents are copied (trivial).
+  IntervalSet(IntervalSet&& other) noexcept;
+  /// Move assignment from an inline source copies into this set's existing
+  /// storage (keeping its capacity for reuse); a spilled source's buffer is
+  /// stolen.
+  IntervalSet& operator=(IntervalSet&& other) noexcept;
+  ~IntervalSet() { DeallocateIfHeap(); }
 
   /// The set of every instant in [0, timeline_length).
   static IntervalSet All(TimePoint timeline_length);
@@ -56,7 +76,13 @@ class IntervalSet {
   static IntervalSet FromBitmap(const Bitmap& bitmap);
 
   /// True iff the set has no instants.
-  bool IsEmpty() const { return intervals_.empty(); }
+  bool IsEmpty() const { return size_ == 0; }
+
+  /// Empties the set, keeping allocated capacity for reuse.
+  void Clear() { size_ = 0; }
+
+  /// Swaps representations (buffers and all) without allocating.
+  void Swap(IntervalSet& other) noexcept;
 
   /// Number of instants in the set (the paper's "duration").
   int64_t Duration() const;
@@ -73,6 +99,13 @@ class IntervalSet {
   /// True iff every instant of `other` is in this set.
   bool Subsumes(const IntervalSet& other) const;
 
+  /// True iff every instant of this set is in `other` — i.e. the difference
+  /// this \ other is empty. The allocation-free replacement for
+  /// `Subtract(other).IsEmpty()` on the iterator hot paths.
+  bool IsCoveredBy(const IntervalSet& other) const {
+    return other.Subsumes(*this);
+  }
+
   /// True iff the two sets share at least one instant.
   bool Overlaps(const IntervalSet& other) const;
 
@@ -86,11 +119,30 @@ class IntervalSet {
   /// Set difference (this \ other).
   IntervalSet Subtract(const IntervalSet& other) const;
 
+  /// Destination-passing variants: *out is overwritten with the result,
+  /// reusing its capacity. `out` must not alias this or `other`.
+  void IntersectInto(const IntervalSet& other, IntervalSet* out) const {
+    out->AssignIntersectionOf(*this, other);
+  }
+  void SubtractInto(const IntervalSet& other, IntervalSet* out) const {
+    out->AssignDifferenceOf(*this, other);
+  }
+  /// this = this ∪ other, via `scratch` (overwritten; must alias neither).
+  void UnionInPlace(const IntervalSet& other, IntervalSet* scratch) {
+    scratch->AssignUnionOf(*this, other);
+    Swap(*scratch);
+  }
+
+  /// Assign-from-operation forms; `this` must not alias `a` or `b`.
+  void AssignIntersectionOf(const IntervalSet& a, const IntervalSet& b);
+  void AssignUnionOf(const IntervalSet& a, const IntervalSet& b);
+  void AssignDifferenceOf(const IntervalSet& a, const IntervalSet& b);
+
   /// Complement within [0, timeline_length).
   IntervalSet ComplementWithin(TimePoint timeline_length) const;
 
   /// The canonical interval list.
-  const std::vector<Interval>& intervals() const { return intervals_; }
+  std::span<const Interval> intervals() const { return {data(), size_}; }
 
   /// Materializes every instant, ascending. Intended for tests and small
   /// sets; cost is Duration().
@@ -99,17 +151,49 @@ class IntervalSet {
   /// Writes 1-bits for each instant into a bitmap of `timeline_length` bits.
   Bitmap ToBitmap(TimePoint timeline_length) const;
 
-  friend bool operator==(const IntervalSet& a, const IntervalSet& b) {
-    return a.intervals_ == b.intervals_;
-  }
+  friend bool operator==(const IntervalSet& a, const IntervalSet& b);
 
   /// "{[0,3] [7,7]}" style rendering.
   std::string ToString() const;
 
  private:
+  bool IsHeap() const { return capacity_ > kInlineIntervals; }
+  Interval* data() { return IsHeap() ? heap_ : inline_; }
+  const Interval* data() const { return IsHeap() ? heap_ : inline_; }
+
+  /// Grows capacity to at least `cap` (never shrinks), preserving contents.
+  void Reserve(uint32_t cap);
+  void DeallocateIfHeap() {
+    if (IsHeap()) delete[] heap_;
+  }
+
+  /// Appends without maintaining canonical form (callers restore it).
+  void Append(Interval iv) {
+    if (size_ == capacity_) Reserve(size_ + 1);
+    data()[size_++] = iv;
+  }
+  /// Appends `iv` (whose start is >= every stored start), fusing it into
+  /// the last interval when overlapping or adjacent — the canonical-form
+  /// merge step.
+  void AppendMerge(Interval iv);
+
+  /// Overwrites with a copy of [src, src + n); `src` must not point into
+  /// this set's storage.
+  void AssignSpan(const Interval* src, uint32_t n);
+
+  /// Restores canonical form from arbitrary contents.
   void Normalize();
 
-  std::vector<Interval> intervals_;
+  // Small-buffer storage: inline_ is live while capacity_ ==
+  // kInlineIntervals, heap_ (an array of capacity_) while beyond. Interval
+  // is trivially copyable, so switching the active union member is a plain
+  // store.
+  union {
+    Interval inline_[kInlineIntervals];
+    Interval* heap_;
+  };
+  uint32_t size_;
+  uint32_t capacity_;
 };
 
 std::ostream& operator<<(std::ostream& os, const IntervalSet& set);

@@ -66,6 +66,11 @@ int64_t NaiveNtdIndex::LiveRows() const {
          static_cast<int64_t>(free_list_.size());
 }
 
+void NaiveNtdIndex::Reset() {
+  rows_.clear();  // clear() keeps vector capacity.
+  free_list_.clear();
+}
+
 // ---------------------------------------------------------------------------
 // RowMajorNtdIndex
 
@@ -115,6 +120,11 @@ void RowMajorNtdIndex::RemoveRow(NtdRowHandle handle) {
 int64_t RowMajorNtdIndex::LiveRows() const {
   return static_cast<int64_t>(rows_.size()) -
          static_cast<int64_t>(free_list_.size());
+}
+
+void RowMajorNtdIndex::Reset() {
+  rows_.clear();
+  free_list_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -229,5 +239,16 @@ void ColumnMajorNtdIndex::RemoveRow(NtdRowHandle handle) {
 }
 
 int64_t ColumnMajorNtdIndex::LiveRows() const { return live_rows_.Count(); }
+
+void ColumnMajorNtdIndex::Reset() {
+  // Back to the constructed state: zero row capacity, empty columns. A
+  // fresh index regrows capacity on the first AddRow, so a reset one must
+  // too for handle assignment to match a fresh index exactly.
+  row_capacity_ = 0;
+  columns_.assign(static_cast<size_t>(timeline_length_), Bitmap(0));
+  live_rows_ = Bitmap(0);
+  row_intervals_.clear();
+  free_list_.clear();
+}
 
 }  // namespace tgks::temporal

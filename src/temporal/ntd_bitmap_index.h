@@ -55,6 +55,12 @@ class NtdSubsumptionIndex {
 
   /// Number of live rows.
   virtual int64_t LiveRows() const = 0;
+
+  /// Drops every row, restoring the freshly-constructed state (the same
+  /// timeline; handle assignment restarts at 0 in construction order) while
+  /// keeping container capacity where possible. Lets pooled per-node scratch
+  /// reuse an index across queries with behavior identical to a new one.
+  virtual void Reset() = 0;
 };
 
 /// Strategy selector for CreateNtdIndex.
@@ -79,6 +85,7 @@ class NaiveNtdIndex final : public NtdSubsumptionIndex {
   NtdRowHandle AddRow(const IntervalSet& t) override;
   void RemoveRow(NtdRowHandle handle) override;
   int64_t LiveRows() const override;
+  void Reset() override;
 
  private:
   std::vector<std::optional<IntervalSet>> rows_;
@@ -96,6 +103,7 @@ class RowMajorNtdIndex final : public NtdSubsumptionIndex {
   NtdRowHandle AddRow(const IntervalSet& t) override;
   void RemoveRow(NtdRowHandle handle) override;
   int64_t LiveRows() const override;
+  void Reset() override;
 
  private:
   TimePoint timeline_length_;
@@ -120,6 +128,7 @@ class ColumnMajorNtdIndex final : public NtdSubsumptionIndex {
   NtdRowHandle AddRow(const IntervalSet& t) override;
   void RemoveRow(NtdRowHandle handle) override;
   int64_t LiveRows() const override;
+  void Reset() override;
 
  private:
   void GrowRowCapacity(int64_t min_capacity);

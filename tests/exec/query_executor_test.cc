@@ -81,6 +81,14 @@ void ExpectResponsesIdentical(const BatchResponse& a, const BatchResponse& b) {
     }
     // Work counters are deterministic too (wall-clock timings are not).
     EXPECT_EQ(ra->counters.pops, rb->counters.pops) << i;
+    EXPECT_EQ(ra->counters.useless_pops, rb->counters.useless_pops) << i;
+    EXPECT_EQ(ra->counters.ntds_created, rb->counters.ntds_created) << i;
+    EXPECT_EQ(ra->counters.edges_scanned, rb->counters.edges_scanned) << i;
+    EXPECT_EQ(ra->counters.subsumption_skips, rb->counters.subsumption_skips)
+        << i;
+    EXPECT_EQ(ra->counters.subsumption_evictions,
+              rb->counters.subsumption_evictions)
+        << i;
     EXPECT_EQ(ra->counters.candidates, rb->counters.candidates) << i;
     EXPECT_EQ(ra->counters.results, rb->counters.results) << i;
     EXPECT_EQ(ra->stop_reason, rb->stop_reason) << i;
@@ -126,6 +134,25 @@ TEST(QueryExecutorTest, RepeatedRunsOnOneExecutorAreIdentical) {
   const BatchResponse first = executor.Run(batch);
   const BatchResponse second = executor.Run(batch);
   ExpectResponsesIdentical(first, second);
+}
+
+TEST(QueryExecutorTest, ScratchRecyclingKeepsWorkCountersBitIdentical) {
+  // The worker threads recycle pooled iterator scratch (epoch tables, NTD
+  // arenas, heaps) between runs. The first run starts cold, later runs reuse
+  // warm state whose tables/arenas carry stale previous-query contents —
+  // every observable result AND every work counter must be unaffected.
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  ExecutorOptions options;
+  options.threads = 2;
+  options.search.k = 0;
+  QueryExecutor executor(g, &index, options);
+  const std::vector<BatchQuery> batch = SocialBatch();
+  const BatchResponse cold = executor.Run(batch);
+  for (int rerun = 0; rerun < 3; ++rerun) {
+    const BatchResponse warm = executor.Run(batch);
+    ExpectResponsesIdentical(cold, warm);
+  }
 }
 
 TEST(QueryExecutorTest, DeadlineFiresWithoutCorruptingCounters) {

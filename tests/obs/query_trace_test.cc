@@ -1,5 +1,5 @@
 // Unit tests for the QueryTrace ring buffer and the SearchStats payload
-// helpers.
+// helpers, plus trace-shape regression checks against a real iterator.
 
 #include <chrono>
 #include <string>
@@ -10,6 +10,8 @@
 #include "obs/phase_timer.h"
 #include "obs/query_trace.h"
 #include "obs/search_stats.h"
+#include "search/best_path_iterator.h"
+#include "testutil/paper_graphs.h"
 
 namespace tgks::obs {
 namespace {
@@ -80,6 +82,38 @@ TEST(QueryTraceTest, ToStringReportsDrops) {
   const std::string text = trace.ToString();
   EXPECT_NE(text.find("2 events"), std::string::npos);
   EXPECT_NE(text.find("1 older events dropped"), std::string::npos);
+}
+
+TEST(QueryTraceTest, SourceNtdRecordsNoExpandEvent) {
+  // Regression: the iterator used to log a kExpand event for the source NTD
+  // it seeds itself with, making traces claim an expansion that never
+  // happened. Constructing an iterator must record nothing, and over a full
+  // drain every kExpand must correspond to an NTD created by expansion —
+  // ntds_pushed minus the seed.
+  if (StatsCompiledOut()) GTEST_SKIP() << "tracing compiled out";
+  testutil::SocialNetworkIds ids;
+  const graph::TemporalGraph g = testutil::MakeSocialNetworkGraph(&ids);
+  QueryTrace trace(4096);
+  search::BestPathIterator::Options options;
+  options.trace = &trace;
+  options.trace_iter = 0;
+  search::BestPathIterator iter(g, ids.mary, options);
+  EXPECT_TRUE(trace.Events().empty())
+      << "construction must not record events; got "
+      << trace.Events()[0].ToString();
+
+  while (iter.Next() != search::kInvalidNtd) {
+  }
+  const auto events = trace.Events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].kind, TraceEventKind::kPop)
+      << "the first event must be the source pop, got "
+      << events[0].ToString();
+  int64_t expands = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == TraceEventKind::kExpand) ++expands;
+  }
+  EXPECT_EQ(expands, iter.stats().ntds_pushed - 1);
 }
 
 TEST(SearchStatsTest, MergeSumsAndTakesHighWaterMax) {

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -69,7 +70,7 @@ IntervalSet FromModel(const std::vector<bool>& bits) {
 
 /// The representation invariant every IntervalSet must uphold.
 void AssertCanonical(const IntervalSet& set, const std::string& context) {
-  const std::vector<Interval>& iv = set.intervals();
+  const std::span<const Interval> iv = set.intervals();
   for (size_t i = 0; i < iv.size(); ++i) {
     ASSERT_FALSE(iv[i].IsEmpty())
         << context << ": stored interval " << i << " is empty";
@@ -204,6 +205,112 @@ TEST(IntervalNormalizationTest, EmptyIntervalHasOneCanonicalForm) {
   EXPECT_EQ(Interval(5, 2), canonical);
   EXPECT_TRUE(IntervalSet{Interval(5, 2)}.IsEmpty());
   EXPECT_TRUE(IntervalSet({Interval(5, 2), Interval(9, 3)}).IsEmpty());
+}
+
+// Small-buffer-optimization coverage: IntervalSet stores up to two
+// intervals inline and spills to the heap beyond that. Every special member
+// must be correct across the inline <-> heap boundary, and the
+// destination-passing ops must agree with their allocating counterparts
+// whatever mix of representations the operands and destination are in.
+
+/// One set per representation class: empty, inline (1-2 intervals), and
+/// heap-spilled (3+ intervals).
+std::vector<IntervalSet> RepresentationZoo() {
+  return {
+      IntervalSet(),                                          // Empty inline.
+      IntervalSet{Interval(2, 5)},                            // 1 (inline).
+      IntervalSet({Interval(0, 1), Interval(8, 9)}),          // 2 (inline max).
+      IntervalSet({Interval(0, 0), Interval(3, 4), Interval(7, 9)}),  // Spill.
+      IntervalSet({Interval(0, 0), Interval(2, 2), Interval(4, 5),
+                   Interval(8, 10), Interval(14, 20)}),       // Deep spill.
+  };
+}
+
+TEST(IntervalSetSboTest, CopyAcrossRepresentationBoundary) {
+  for (const IntervalSet& src : RepresentationZoo()) {
+    for (const IntervalSet& dst_init : RepresentationZoo()) {
+      IntervalSet dst = dst_init;  // Copy-construct.
+      EXPECT_EQ(dst, dst_init);
+      dst = src;  // Copy-assign across every representation pair.
+      EXPECT_EQ(dst, src) << "src=" << src.ToString()
+                          << " dst was " << dst_init.ToString();
+      // The source must be untouched by copying from it.
+      EXPECT_EQ(src.Duration(), IntervalSet(src).Duration());
+    }
+  }
+}
+
+TEST(IntervalSetSboTest, MoveAcrossRepresentationBoundary) {
+  for (const IntervalSet& src_init : RepresentationZoo()) {
+    for (const IntervalSet& dst_init : RepresentationZoo()) {
+      IntervalSet src = src_init;
+      IntervalSet moved(std::move(src));  // Move-construct.
+      EXPECT_EQ(moved, src_init);
+
+      IntervalSet src2 = src_init;
+      IntervalSet dst = dst_init;
+      dst = std::move(src2);  // Move-assign across every pair.
+      EXPECT_EQ(dst, src_init) << "src=" << src_init.ToString()
+                               << " dst was " << dst_init.ToString();
+      // Moved-from sets must still be valid for reuse (assign, ops).
+      src2 = dst_init;
+      EXPECT_EQ(src2, dst_init);
+    }
+  }
+}
+
+TEST(IntervalSetSboTest, SelfAssignmentIsANoOp) {
+  for (const IntervalSet& init : RepresentationZoo()) {
+    IntervalSet set = init;
+    IntervalSet& self = set;
+    set = self;  // Copy self-assign (aliased through a reference).
+    EXPECT_EQ(set, init);
+  }
+}
+
+TEST(IntervalSetSboTest, SwapAcrossRepresentationBoundary) {
+  for (const IntervalSet& a_init : RepresentationZoo()) {
+    for (const IntervalSet& b_init : RepresentationZoo()) {
+      IntervalSet a = a_init;
+      IntervalSet b = b_init;
+      a.Swap(b);
+      EXPECT_EQ(a, b_init);
+      EXPECT_EQ(b, a_init);
+      a.Swap(a);  // Self-swap must hold too.
+      EXPECT_EQ(a, b_init);
+    }
+  }
+}
+
+TEST_P(IntervalAlgebraPropertyTest, DestinationPassingOpsMatchAllocating) {
+  Rng rng(GetParam() ^ 0x5B05B0);
+  // The destination cycles through representations (including spilled ones
+  // with leftover garbage capacity) to catch stale-state reuse bugs.
+  std::vector<IntervalSet> dests = RepresentationZoo();
+  size_t next_dest = 0;
+  for (int round = 0; round < 300; ++round) {
+    const IntervalSet a = RandomSet(&rng);
+    const IntervalSet b = RandomSet(&rng);
+    IntervalSet& dst = dests[next_dest++ % dests.size()];
+    const std::string ctx = "round " + std::to_string(round) +
+                            ": A=" + a.ToString() + " B=" + b.ToString();
+
+    dst.AssignIntersectionOf(a, b);
+    EXPECT_EQ(dst, a.Intersect(b)) << ctx;
+    AssertCanonical(dst, ctx + " (assign-intersect)");
+
+    dst.AssignUnionOf(a, b);
+    EXPECT_EQ(dst, a.Union(b)) << ctx;
+    AssertCanonical(dst, ctx + " (assign-union)");
+
+    dst.AssignDifferenceOf(a, b);
+    EXPECT_EQ(dst, a.Subtract(b)) << ctx;
+    AssertCanonical(dst, ctx + " (assign-difference)");
+
+    // IsCoveredBy is the allocation-free replacement for
+    // "Subtract(other).IsEmpty()" on the iterator hot path.
+    EXPECT_EQ(a.IsCoveredBy(b), a.Subtract(b).IsEmpty()) << ctx;
+  }
 }
 
 TEST(IntervalNormalizationTest, ConstructorCanonicalizesAdjacency) {

@@ -1,0 +1,90 @@
+// Deterministic work-count dump over the golden query suites.
+//
+// Prints one line per (graph, query) with the engine's search-work
+// counters. The counters are pure functions of the algorithm (no clocks, no
+// addresses, no thread interleaving), so the output is bit-stable across
+// runs, build flavours (TGKS_NO_STATS included — every printed counter is
+// ungated), and machines. scripts/workcount_check.sh diffs it against
+// tests/golden/workcounts.expected in CI to catch silent changes to the
+// amount of work the search performs: an optimization must move time, not
+// pops.
+//
+// Usage: workcount_dump <golden-dir> [graph stems...]
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "graph/inverted_index.h"
+#include "graph/serialization.h"
+#include "search/query_parser.h"
+#include "search/search_engine.h"
+
+namespace {
+
+std::vector<std::string> LoadQueryLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const size_t last = line.find_last_not_of(" \t\r");
+    lines.push_back(line.substr(first, last - first + 1));
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <golden-dir> [graph stems...]\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+  std::vector<std::string> stems = {"social", "archive", "sparse"};
+  if (argc > 2) {
+    stems.assign(argv + 2, argv + argc);
+  }
+  for (const std::string& stem : stems) {
+    auto loaded = tgks::graph::LoadGraphFromFile(dir + "/" + stem + ".tgf");
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load %s: %s\n", stem.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    const tgks::graph::TemporalGraph g = std::move(loaded).value();
+    const tgks::graph::InvertedIndex index(g);
+    const tgks::search::SearchEngine engine(g, &index);
+    int qi = 0;
+    for (const std::string& text :
+         LoadQueryLines(dir + "/" + stem + ".queries")) {
+      auto query = tgks::search::ParseQuery(text);
+      if (!query.ok()) {
+        std::fprintf(stderr, "parse: %s\n", query.status().ToString().c_str());
+        return 1;
+      }
+      tgks::search::SearchOptions options;
+      options.k = 10;
+      auto r = engine.Search(*query, options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "search: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      const tgks::search::SearchCounters& c = r->counters;
+      std::printf(
+          "%s#%d ntds_pushed=%lld ntds_popped=%lld edges_scanned=%lld "
+          "useless_pops=%lld subsumption_skips=%lld "
+          "subsumption_evictions=%lld\n",
+          stem.c_str(), qi++, static_cast<long long>(c.ntds_created),
+          static_cast<long long>(c.pops),
+          static_cast<long long>(c.edges_scanned),
+          static_cast<long long>(c.useless_pops),
+          static_cast<long long>(c.subsumption_skips),
+          static_cast<long long>(c.subsumption_evictions));
+    }
+  }
+  return 0;
+}
