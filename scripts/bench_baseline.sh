@@ -3,7 +3,8 @@
 # root, tagging each JSON row with a label, the git revision, and the date.
 #
 # Usage:
-#   scripts/bench_baseline.sh <build-dir> <label> [extra-rows.jsonl]
+#   scripts/bench_baseline.sh <build-dir> --label <label> [extra-rows.jsonl]
+#   scripts/bench_baseline.sh <build-dir> <label> [extra-rows.jsonl]   # legacy
 #
 # Runs <build-dir>/bench/bench_throughput with a single-thread sweep (the
 # container benchmarks on 1 CPU; see docs/performance.md) and appends one
@@ -13,9 +14,37 @@
 # next to the post-change run.
 set -euo pipefail
 
-BUILD_DIR="${1:?usage: bench_baseline.sh <build-dir> <label> [rows.jsonl]}"
-LABEL="${2:?usage: bench_baseline.sh <build-dir> <label> [rows.jsonl]}"
-RAW_ROWS="${3:-}"
+USAGE="usage: bench_baseline.sh <build-dir> --label <label> [rows.jsonl]"
+BUILD_DIR="${1:?${USAGE}}"
+shift
+LABEL=""
+RAW_ROWS=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --label)
+      LABEL="${2:?${USAGE}}"
+      shift 2
+      ;;
+    *)
+      # Legacy positional form: first bare arg is the label, second the
+      # raw-rows file.
+      if [[ -z "${LABEL}" ]]; then
+        LABEL="$1"
+      elif [[ -z "${RAW_ROWS}" ]]; then
+        RAW_ROWS="$1"
+      else
+        echo "${USAGE}" >&2
+        exit 2
+      fi
+      shift
+      ;;
+  esac
+done
+if [[ -z "${LABEL}" ]]; then
+  echo "${USAGE}" >&2
+  exit 2
+fi
+
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 OUT="${REPO_ROOT}/BENCH_throughput.json"
 REV="$(git -C "${REPO_ROOT}" rev-parse --short HEAD 2>/dev/null || echo unknown)"

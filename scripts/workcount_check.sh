@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
 # Deterministic work-count regression gate.
 #
-# Runs the checked-in golden queries through `workcount_dump` and diffs the
-# six search work counters (ntds_pushed, ntds_popped, edges_scanned,
-# useless_pops, subsumption_skips, subsumption_evictions) against
-# tests/golden/workcounts.expected. The counters measure *algorithmic* work
-# (pops, scans, prunes) rather than wall time, so they are bit-stable across
-# machines, build flavours, and stats modes — any diff means the search
-# explored a different state space and must be reviewed as a semantic change,
-# not noise.
+# Runs two suites through `workcount_dump` and diffs the six search work
+# counters (ntds_pushed, ntds_popped, edges_scanned, useless_pops,
+# subsumption_skips, subsumption_evictions) against their expected files:
+#
+#   * the checked-in golden queries (tests/golden/*.tgf) against
+#     tests/golden/workcounts.expected;
+#   * the seeded datagen dblp + social benchmark workloads against
+#     tests/golden/workcounts_datasets.expected, so layout changes are
+#     pinned on benchmark-shaped graphs under both partition and
+#     subsumption semantics, not just on the toy graphs.
+#
+# The counters measure *algorithmic* work (pops, scans, prunes) rather than
+# wall time, so they are bit-stable across machines, build flavours, and
+# stats modes — any diff means the search explored a different state space
+# and must be reviewed as a semantic change, not noise.
 #
 # Usage:
 #   scripts/workcount_check.sh <build-dir>
@@ -19,28 +26,35 @@ BUILD_DIR="${1:?usage: workcount_check.sh <build-dir>}"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 DUMP="${BUILD_DIR}/tools/workcount_dump"
 GOLDEN_DIR="${REPO_ROOT}/tests/golden"
-EXPECTED="${GOLDEN_DIR}/workcounts.expected"
 
 if [[ ! -x "${DUMP}" ]]; then
   echo "workcount_check: ${DUMP} not built (need target workcount_dump)" >&2
   exit 2
 fi
 
-ACTUAL="$(mktemp)"
-trap 'rm -f "${ACTUAL}"' EXIT
-"${DUMP}" "${GOLDEN_DIR}" > "${ACTUAL}"
+check_suite() {  # <expected-file> <dump args...>
+  local expected="$1"; shift
+  local actual
+  actual="$(mktemp)"
+  "${DUMP}" "$@" > "${actual}"
+  if [[ "${TGKS_UPDATE_WORKCOUNTS:-0}" == "1" ]]; then
+    cp "${actual}" "${expected}"
+    echo "workcount_check: updated $(basename "${expected}")"
+    rm -f "${actual}"
+    return 0
+  fi
+  if ! diff -u "${expected}" "${actual}"; then
+    rm -f "${actual}"
+    echo "" >&2
+    echo "workcount_check: FAIL — search work counters diverged from" >&2
+    echo "$(basename "${expected}"). If the change is intentional," >&2
+    echo "re-run with TGKS_UPDATE_WORKCOUNTS=1 and commit the new file." >&2
+    exit 1
+  fi
+  echo "workcount_check: OK ($(wc -l < "${expected}") queries bit-identical vs $(basename "${expected}"))"
+  rm -f "${actual}"
+}
 
-if [[ "${TGKS_UPDATE_WORKCOUNTS:-0}" == "1" ]]; then
-  cp "${ACTUAL}" "${EXPECTED}"
-  echo "workcount_check: updated $(basename "${EXPECTED}")"
-  exit 0
-fi
-
-if ! diff -u "${EXPECTED}" "${ACTUAL}"; then
-  echo "" >&2
-  echo "workcount_check: FAIL — search work counters diverged from" >&2
-  echo "tests/golden/workcounts.expected. If the change is intentional," >&2
-  echo "re-run with TGKS_UPDATE_WORKCOUNTS=1 and commit the new file." >&2
-  exit 1
-fi
-echo "workcount_check: OK ($(wc -l < "${EXPECTED}") queries bit-identical)"
+check_suite "${GOLDEN_DIR}/workcounts.expected" "${GOLDEN_DIR}"
+check_suite "${GOLDEN_DIR}/workcounts_datasets.expected" \
+  --dataset dblp --dataset social

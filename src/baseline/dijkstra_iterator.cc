@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "graph/expansion_view.h"
+
 namespace tgks::baseline {
 
 using graph::EdgeId;
@@ -56,12 +58,16 @@ NodeId DijkstraIterator::Next() {
   scratch_->queue.pop();
   scratch_->labels.Find(static_cast<uint32_t>(top.node))->settled = true;
   ++nodes_settled_;
-  for (const EdgeId e : graph_->InEdges(top.node)) {
-    if (!EdgeVisible(e)) continue;
-    const NodeId neighbor = graph_->edge(e).src;
-    if (!NodeVisible(neighbor)) continue;
+  const graph::ExpansionView& view = graph_->expansion_view();
+  const graph::ExpansionView::SlotRange slots = view.InSlots(top.node);
+  for (int64_t s = slots.begin; s < slots.end; ++s) {
+    if (snapshot_.has_value() && !view.EdgeAliveAt(s, *snapshot_)) continue;
+    const NodeId neighbor = view.src(s);
+    if (snapshot_.has_value() && !view.NodeAliveAt(neighbor, *snapshot_)) {
+      continue;
+    }
     const double nd =
-        top.dist + graph_->edge(e).weight + graph_->node(neighbor).weight;
+        top.dist + view.edge_weight(s) + view.node_weight(neighbor);
     bool fresh = false;
     DijkstraLabel& label = scratch_->labels.Activate(
         static_cast<uint32_t>(neighbor), [&fresh](DijkstraLabel& stale) {
@@ -71,7 +77,7 @@ NodeId DijkstraIterator::Next() {
     if (label.settled) continue;
     if (fresh || nd < label.dist) {
       label.dist = nd;
-      label.parent_edge = e;
+      label.parent_edge = view.edge_id(s);
       scratch_->queue.push(DijkstraQueueEntry{nd, neighbor});
     }
   }

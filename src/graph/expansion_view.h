@@ -1,0 +1,200 @@
+// ExpansionView: a cache-resident, traversal-ordered mirror of the
+// in-adjacency.
+//
+// The search iterators spend their time in one loop: walk InEdges(n), read
+// each edge's src / weight / validity, intersect the carried interval set,
+// and read the neighbor node's weight / validity. On the array-of-structs
+// TemporalGraph that loop chases pointers through Edge objects (which drag a
+// cold std::string-bearing Node along) and through each IntervalSet's
+// small-buffer header. This view re-materializes exactly the fields that
+// loop touches, laid out in traversal order:
+//
+//   in_slots_[s]   = {weight, edge id, src, vstart, vend, vpool} — one
+//                    32-byte packed record per in-edge slot, CSR-sliced per
+//                    node, so a typical low-degree node's whole adjacency
+//                    spans two or three cache lines instead of one line per
+//                    field array;
+//   node_slots_[n] = {weight, vstart, vend, vpool} — the hot per-node
+//                    fields in one 24-byte record (neighbor lookups are
+//                    random-access: one cache line instead of up to four).
+//                    Labels stay cold on the TemporalGraph.
+//
+// Validity is packed two ways. The overwhelmingly common case (every
+// append-only dataset) is a single interval, stored inline as [vstart,
+// vend] with vpool == kInlineValidity — reading it touches no other cache
+// line and intersecting it uses IntervalSet's single-interval fast path.
+// Multi-interval sets spill to a shared pool of IntervalSets, and byte-equal
+// sets are interned to one pool entry, so the pool stays tiny and hot even
+// when many elements share a validity pattern.
+//
+// Weights are verbatim double copies of the graph's weights: distance
+// arithmetic through the view is bit-identical to going through the graph,
+// which is what keeps the work-count golden suites byte-stable.
+//
+// The view is immutable, built once by GraphBuilder::Build() (so every load
+// path — text, binary, archive — carries one), and shared by all copies of
+// its graph. Enumeration order per node is exactly TemporalGraph::InEdges.
+
+#ifndef TGKS_GRAPH_EXPANSION_VIEW_H_
+#define TGKS_GRAPH_EXPANSION_VIEW_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "temporal/interval.h"
+#include "temporal/interval_set.h"
+#include "temporal/time_point.h"
+
+namespace tgks::graph {
+
+/// Struct-of-arrays expansion mirror of a TemporalGraph's in-adjacency.
+/// Construct via Build(); accessed through TemporalGraph::expansion_view().
+class ExpansionView {
+ public:
+  /// vpool value meaning "the validity is the single inline interval
+  /// [vstart, vend]" (empty when vstart > vend). Non-negative values index
+  /// the interned pool().
+  static constexpr int32_t kInlineValidity = -1;
+
+  /// Half-open range of in-edge slots for one node.
+  struct SlotRange {
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+
+  /// Build-time layout counters, reported in docs/performance.md.
+  struct LayoutStats {
+    int64_t edge_slots = 0;        // total in-edge slots (== num_edges)
+    int64_t inline_edge_slots = 0; // edges with single-interval validity
+    int64_t pooled_edge_slots = 0; // edges referencing the interned pool
+    int64_t inline_node_slots = 0; // nodes with <=1-interval validity
+    int64_t pooled_node_slots = 0;
+    int64_t pool_entries = 0;      // distinct interned validity sets
+    int64_t intern_hits = 0;       // pool references resolved to an
+                                   // already-interned set
+  };
+
+  ExpansionView() = default;
+
+  /// Materializes the view for `g`. The result is self-contained (owns all
+  /// its arrays) and valid independently of `g`'s lifetime.
+  static ExpansionView Build(const TemporalGraph& g);
+
+  /// In-edge slots of node `n`, in exactly the order of
+  /// TemporalGraph::InEdges(n).
+  SlotRange InSlots(NodeId n) const {
+    return {in_offsets_[static_cast<size_t>(n)],
+            in_offsets_[static_cast<size_t>(n) + 1]};
+  }
+
+  EdgeId edge_id(int64_t slot) const {
+    return in_slots_[static_cast<size_t>(slot)].edge;
+  }
+  NodeId src(int64_t slot) const {
+    return in_slots_[static_cast<size_t>(slot)].src;
+  }
+  double edge_weight(int64_t slot) const {
+    return in_slots_[static_cast<size_t>(slot)].weight;
+  }
+
+  double node_weight(NodeId n) const {
+    return node_slots_[static_cast<size_t>(n)].weight;
+  }
+
+  /// out = `t` ∩ val(edge at `slot`). Uses the inline single-interval fast
+  /// path when the validity did not spill; result is identical to
+  /// intersecting with the graph edge's IntervalSet.
+  void IntersectEdgeValidity(int64_t slot, const temporal::IntervalSet& t,
+                             temporal::IntervalSet* out) const {
+    const EdgeSlot& s = in_slots_[static_cast<size_t>(slot)];
+    if (s.vpool == kInlineValidity) {
+      out->AssignIntersectionOf(t, temporal::Interval(s.vstart, s.vend));
+    } else {
+      out->AssignIntersectionOf(t, pool_[static_cast<size_t>(s.vpool)]);
+    }
+  }
+
+  bool EdgeAliveAt(int64_t slot, temporal::TimePoint t) const {
+    const EdgeSlot& s = in_slots_[static_cast<size_t>(slot)];
+    if (s.vpool == kInlineValidity) return t >= s.vstart && t <= s.vend;
+    return pool_[static_cast<size_t>(s.vpool)].Contains(t);
+  }
+
+  bool NodeAliveAt(NodeId n, temporal::TimePoint t) const {
+    const NodeSlot& s = node_slots_[static_cast<size_t>(n)];
+    if (s.vpool == kInlineValidity) return t >= s.vstart && t <= s.vend;
+    return pool_[static_cast<size_t>(s.vpool)].Contains(t);
+  }
+
+  /// Invokes `fn(const IntervalSet&)` with the edge's validity set and
+  /// returns its result. Inline validities materialize as a stack-local
+  /// IntervalSet (small-buffer storage — no heap); pooled ones pass the
+  /// interned set by reference. Lets predicate pruning run unchanged.
+  template <typename Fn>
+  decltype(auto) WithEdgeValidity(int64_t slot, Fn&& fn) const {
+    const EdgeSlot& s = in_slots_[static_cast<size_t>(slot)];
+    if (s.vpool == kInlineValidity) {
+      return fn(temporal::IntervalSet(temporal::Interval(s.vstart, s.vend)));
+    }
+    return fn(pool_[static_cast<size_t>(s.vpool)]);
+  }
+
+  /// Node-validity counterpart of WithEdgeValidity.
+  template <typename Fn>
+  decltype(auto) WithNodeValidity(NodeId n, Fn&& fn) const {
+    const NodeSlot& s = node_slots_[static_cast<size_t>(n)];
+    if (s.vpool == kInlineValidity) {
+      return fn(temporal::IntervalSet(temporal::Interval(s.vstart, s.vend)));
+    }
+    return fn(pool_[static_cast<size_t>(s.vpool)]);
+  }
+
+  /// The interned multi-interval validity pool (for tests / stats).
+  const std::vector<temporal::IntervalSet>& pool() const { return pool_; }
+
+  /// Raw pool reference of a slot (kInlineValidity when inline); exposed so
+  /// tests can assert interning without poking at internals.
+  int32_t edge_vpool(int64_t slot) const {
+    return in_slots_[static_cast<size_t>(slot)].vpool;
+  }
+  int32_t node_vpool(NodeId n) const {
+    return node_slots_[static_cast<size_t>(n)].vpool;
+  }
+
+  const LayoutStats& layout_stats() const { return stats_; }
+
+ private:
+  /// Hot fields of one in-edge, packed so sequential slot scans stay within
+  /// a couple of cache lines per node.
+  struct EdgeSlot {
+    double weight = 0.0;
+    EdgeId edge = kInvalidEdge;
+    NodeId src = kInvalidNode;
+    temporal::TimePoint vstart = 0;
+    temporal::TimePoint vend = -1;
+    int32_t vpool = kInlineValidity;
+  };
+  static_assert(sizeof(EdgeSlot) <= 32, "EdgeSlot should stay cache-compact");
+
+  /// Hot fields of one node (random-access by neighbor id: one cache line).
+  struct NodeSlot {
+    double weight = 0.0;
+    temporal::TimePoint vstart = 0;
+    temporal::TimePoint vend = -1;
+    int32_t vpool = kInlineValidity;
+  };
+  static_assert(sizeof(NodeSlot) <= 24, "NodeSlot should stay cache-compact");
+
+  std::vector<int64_t> in_offsets_;  // num_nodes + 1 entries.
+  std::vector<EdgeSlot> in_slots_;
+  std::vector<NodeSlot> node_slots_;
+
+  std::vector<temporal::IntervalSet> pool_;
+  LayoutStats stats_;
+};
+
+}  // namespace tgks::graph
+
+#endif  // TGKS_GRAPH_EXPANSION_VIEW_H_

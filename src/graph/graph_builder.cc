@@ -1,8 +1,11 @@
 #include "graph/graph_builder.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <utility>
+
+#include "graph/expansion_view.h"
 
 namespace tgks::graph {
 
@@ -123,6 +126,10 @@ Result<TemporalGraph> GraphBuilder::Build() {
   };
   build_csr(/*outgoing=*/true, &g.out_offsets_, &g.out_edges_);
   build_csr(/*outgoing=*/false, &g.in_offsets_, &g.in_edges_);
+
+  // Materialize the SoA expansion mirror here so every construction path
+  // (programmatic, text/binary load, archive) carries one.
+  g.view_ = std::make_shared<const ExpansionView>(ExpansionView::Build(g));
 
   nodes_.clear();
   edges_.clear();

@@ -14,6 +14,7 @@
 #define TGKS_GRAPH_TEMPORAL_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -22,6 +23,8 @@
 #include "temporal/time_point.h"
 
 namespace tgks::graph {
+
+class ExpansionView;  // expansion_view.h
 
 using NodeId = int32_t;
 using EdgeId = int32_t;
@@ -85,6 +88,11 @@ class TemporalGraph {
     return edge(e).validity.Contains(t);
   }
 
+  /// The cache-resident SoA expansion mirror (see expansion_view.h).
+  /// Present on every graph produced by GraphBuilder::Build(); copies of a
+  /// graph share one immutable view.
+  const ExpansionView& expansion_view() const { return *view_; }
+
  private:
   friend class GraphBuilder;
 
@@ -103,6 +111,7 @@ class TemporalGraph {
   std::vector<EdgeId> out_edges_;
   std::vector<int64_t> in_offsets_;
   std::vector<EdgeId> in_edges_;
+  std::shared_ptr<const ExpansionView> view_;
 };
 
 }  // namespace tgks::graph

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "graph/expansion_view.h"
+
 namespace tgks::search {
 
 using graph::EdgeId;
@@ -33,9 +35,6 @@ NtdId BestPathIterator::PushNtd(NodeId node, const IntervalSet& time,
                                 double dist, NtdId parent, EdgeId via_edge) {
   const ScoreKey score = MakeScoreKey(options_.ranking, dist, time);
   const NtdId id = static_cast<NtdId>(scratch_->arena.size());
-  if (scratch_->pushed.TestAndSet(static_cast<uint32_t>(node))) {
-    ++stats_.nodes_pushed;
-  }
   TGKS_STATS(if (options_.trace != nullptr && parent != kInvalidNtd) {
     options_.trace->Record(obs::TraceEventKind::kExpand, node,
                            options_.trace_iter, dist);
@@ -147,13 +146,20 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
   const NodeId node = parent.node;
   const double parent_dist = parent.dist;
 
-  for (const EdgeId e : graph_->InEdges(node)) {
+  // Expansion runs over the SoA view: slot order mirrors InEdges(node), and
+  // weights are verbatim copies, so the explored state space — and with it
+  // every work counter — is identical to expanding through the graph.
+  const graph::ExpansionView& view = graph_->expansion_view();
+  const graph::ExpansionView::SlotRange slots = view.InSlots(node);
+  for (int64_t s = slots.begin; s < slots.end; ++s) {
     ++stats_.edges_scanned;
-    const graph::Edge& edge = graph_->edge(e);
-    const NodeId neighbor = edge.src;
+    const NodeId neighbor = view.src(s);
     if (options_.prune != nullptr) {
-      if (!options_.prune->ElementMayQualify(edge.validity,
-                                             options_.containedby_prune)) {
+      const auto may_qualify = [this](const IntervalSet& validity) {
+        return options_.prune->ElementMayQualify(validity,
+                                                 options_.containedby_prune);
+      };
+      if (!view.WithEdgeValidity(s, may_qualify)) {
         TGKS_STATS(++stats_.prunes);
         TGKS_STATS(if (options_.trace != nullptr) {
           options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
@@ -161,8 +167,7 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
         });
         continue;
       }
-      if (!options_.prune->ElementMayQualify(graph_->node(neighbor).validity,
-                                             options_.containedby_prune)) {
+      if (!view.WithNodeValidity(neighbor, may_qualify)) {
         TGKS_STATS(++stats_.prunes);
         TGKS_STATS(if (options_.trace != nullptr) {
           options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
@@ -177,7 +182,7 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
     // temporal keys and let a worse path claim an instant first. Fully
     // claimed entries are skipped lazily at pop (the paper's in-place
     // update).
-    scratch_->tmp.AssignIntersectionOf(parent.time, edge.validity);
+    view.IntersectEdgeValidity(s, parent.time, &scratch_->tmp);
     TGKS_STATS(++stats_.interval_ops);
     if (scratch_->tmp.IsEmpty()) continue;
     TGKS_STATS(++stats_.interval_ops);
@@ -191,7 +196,8 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
       continue;
     }
     PushNtd(neighbor, scratch_->tmp,
-            parent_dist + edge.weight + graph_->node(neighbor).weight, id, e);
+            parent_dist + view.edge_weight(s) + view.node_weight(neighbor),
+            id, view.edge_id(s));
   }
 }
 
@@ -216,13 +222,17 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
     }
   }
 
-  for (const EdgeId e : graph_->InEdges(node)) {
+  const graph::ExpansionView& view = graph_->expansion_view();
+  const graph::ExpansionView::SlotRange slots = view.InSlots(node);
+  for (int64_t s = slots.begin; s < slots.end; ++s) {
     ++stats_.edges_scanned;
-    const graph::Edge& edge = graph_->edge(e);
-    const NodeId neighbor = edge.src;
+    const NodeId neighbor = view.src(s);
     if (options_.prune != nullptr) {
-      if (!options_.prune->ElementMayQualify(edge.validity,
-                                             options_.containedby_prune)) {
+      const auto may_qualify = [this](const IntervalSet& validity) {
+        return options_.prune->ElementMayQualify(validity,
+                                                 options_.containedby_prune);
+      };
+      if (!view.WithEdgeValidity(s, may_qualify)) {
         TGKS_STATS(++stats_.prunes);
         TGKS_STATS(if (options_.trace != nullptr) {
           options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
@@ -230,8 +240,7 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
         });
         continue;
       }
-      if (!options_.prune->ElementMayQualify(graph_->node(neighbor).validity,
-                                             options_.containedby_prune)) {
+      if (!view.WithNodeValidity(neighbor, may_qualify)) {
         TGKS_STATS(++stats_.prunes);
         TGKS_STATS(if (options_.trace != nullptr) {
           options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
@@ -240,7 +249,7 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
         continue;
       }
     }
-    scratch_->tmp.AssignIntersectionOf(parent.time, edge.validity);
+    view.IntersectEdgeValidity(s, parent.time, &scratch_->tmp);
     TGKS_STATS(++stats_.interval_ops);
     if (scratch_->tmp.IsEmpty()) continue;
 
@@ -277,7 +286,8 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
     const temporal::NtdRowHandle row = entry.index->AddRow(scratch_->tmp);
     const NtdId next_id = PushNtd(
         neighbor, scratch_->tmp,
-        parent_dist + edge.weight + graph_->node(neighbor).weight, id, e);
+        parent_dist + view.edge_weight(s) + view.node_weight(neighbor), id,
+        view.edge_id(s));
     scratch_->arena[static_cast<size_t>(next_id)].index_row = row;
     entry.BindRow(row, next_id);
   }

@@ -57,7 +57,6 @@ struct IteratorStats {
   int64_t useless_pops = 0;      ///< Stale/dead queue entries skipped.
   int64_t edges_scanned = 0;
   int64_t nodes_reached = 0;     ///< Distinct nodes with >= 1 popped NTD.
-  int64_t nodes_pushed = 0;      ///< Distinct nodes with >= 1 created NTD.
   int64_t subsumption_skips = 0; ///< Algorithm-2 case-1 prunes.
   int64_t subsumption_evictions = 0;  ///< Algorithm-2 case-3 removals.
   // Observability additions (zero in TGKS_NO_STATS builds).

@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "graph/expansion_view.h"
 #include "search/result_tree.h"
 
 namespace tgks::search {
@@ -121,12 +122,14 @@ bool LabelCorrectingIterator::Run() {
                              options_.trace_iter,
                              static_cast<double>(time.Duration()));
     });
-    for (const EdgeId e : graph_->InEdges(node)) {
-      const graph::Edge& edge = graph_->edge(e);
-      scratch_->tmp.AssignIntersectionOf(time, edge.validity);
+    const graph::ExpansionView& view = graph_->expansion_view();
+    const graph::ExpansionView::SlotRange slots = view.InSlots(node);
+    for (int64_t s = slots.begin; s < slots.end; ++s) {
+      view.IntersectEdgeValidity(s, time, &scratch_->tmp);
       TGKS_STATS(++stats_.interval_ops);
       if (scratch_->tmp.IsEmpty()) continue;
-      const NtdId kept = TryKeep(edge.src, scratch_->tmp, id, e);
+      const NtdId kept =
+          TryKeep(view.src(s), scratch_->tmp, id, view.edge_id(s));
       if (kept != kInvalidNtd) worklist_.push_back(kept);
     }
     TGKS_STATS(stats_.worklist_high_water =

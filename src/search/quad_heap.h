@@ -46,7 +46,7 @@ class QuadHeap {
 
   void pop() {
     assert(!entries_.empty());
-    entries_.front() = std::move(entries_.back());
+    if (entries_.size() > 1) entries_.front() = std::move(entries_.back());
     entries_.pop_back();
     if (!entries_.empty()) SiftDown(0);
   }
@@ -57,29 +57,50 @@ class QuadHeap {
  private:
   static constexpr size_t kArity = 4;
 
+  // Both sifts move a hole instead of swapping: once the first comparison
+  // proves movement is needed, the displaced entry is held in a local,
+  // parents/children shift one move each, and the entry lands with a single
+  // final write — one third of the swap version's traffic on multi-level
+  // sifts, and zero moves in the common push-stays-put case. The comparison
+  // sequence and the resulting array are identical to the swap formulation,
+  // so pop order is unchanged.
   void SiftUp(size_t i) {
-    while (i > 0) {
-      const size_t parent = (i - 1) / kArity;
-      if (!better_(entries_[i], entries_[parent])) break;
-      std::swap(entries_[i], entries_[parent]);
+    if (i == 0) return;
+    size_t parent = (i - 1) / kArity;
+    if (!better_(entries_[i], entries_[parent])) return;
+    Entry e = std::move(entries_[i]);
+    do {
+      entries_[i] = std::move(entries_[parent]);
       i = parent;
-    }
+      parent = (i - 1) / kArity;
+    } while (i > 0 && better_(e, entries_[parent]));
+    entries_[i] = std::move(e);
   }
 
   void SiftDown(size_t i) {
     const size_t n = entries_.size();
-    while (true) {
-      const size_t first_child = kArity * i + 1;
-      if (first_child >= n) break;
-      const size_t last_child = std::min(first_child + kArity, n);
-      size_t best = first_child;
-      for (size_t c = first_child + 1; c < last_child; ++c) {
-        if (better_(entries_[c], entries_[best])) best = c;
-      }
-      if (!better_(entries_[best], entries_[i])) break;
-      std::swap(entries_[i], entries_[best]);
+    size_t best = BestChild(i, n);
+    if (best == 0 || !better_(entries_[best], entries_[i])) return;
+    Entry e = std::move(entries_[i]);
+    do {
+      entries_[i] = std::move(entries_[best]);
       i = best;
+      best = BestChild(i, n);
+    } while (best != 0 && better_(entries_[best], e));
+    entries_[i] = std::move(e);
+  }
+
+  /// Index of the better_-best child of `i`, or 0 when `i` is a leaf (index
+  /// 0 is the root and never anyone's child).
+  size_t BestChild(size_t i, size_t n) const {
+    const size_t first_child = kArity * i + 1;
+    if (first_child >= n) return 0;
+    const size_t last_child = std::min(first_child + kArity, n);
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < last_child; ++c) {
+      if (better_(entries_[c], entries_[best])) best = c;
     }
+    return best;
   }
 
   std::vector<Entry> entries_;

@@ -44,50 +44,14 @@ std::string RankingSpec::ToString() const {
   return os.str();
 }
 
-namespace {
-
-/// Larger-is-better component value of one factor.
-double FactorValue(RankFactor factor, double weight, const IntervalSet& time) {
-  constexpr double kWorst = -std::numeric_limits<double>::infinity();
-  switch (factor) {
-    case RankFactor::kRelevance:
-      return -weight;
-    case RankFactor::kEndTimeDesc:
-      return time.IsEmpty() ? kWorst : static_cast<double>(time.End());
-    case RankFactor::kStartTimeAsc:
-      return time.IsEmpty() ? kWorst : -static_cast<double>(time.Start());
-    case RankFactor::kDurationDesc:
-      return time.IsEmpty() ? kWorst : static_cast<double>(time.Duration());
-  }
-  return kWorst;
-}
-
-}  // namespace
-
 ScoreVec MakeScore(const RankingSpec& spec, double weight,
                    const IntervalSet& time) {
   ScoreVec score;
   score.reserve(spec.factors.size());
   for (const RankFactor factor : spec.factors) {
-    score.push_back(FactorValue(factor, weight, time));
+    score.push_back(RankFactorValue(factor, weight, time));
   }
   return score;
-}
-
-ScoreKey MakeScoreKey(const RankingSpec& spec, double weight,
-                      const IntervalSet& time) {
-  // Dedup repeated factors (the grammar allows "duration, duration") so
-  // every spec fits the inline capacity of one-per-distinct-factor; see
-  // ScoreKey for why this preserves comparison semantics.
-  ScoreKey key;
-  uint32_t seen = 0;
-  for (const RankFactor factor : spec.factors) {
-    const uint32_t bit = 1u << static_cast<uint32_t>(factor);
-    if (seen & bit) continue;
-    seen |= bit;
-    key.Append(FactorValue(factor, weight, time));
-  }
-  return key;
 }
 
 bool ScoreBetter(const ScoreVec& a, const ScoreVec& b) {

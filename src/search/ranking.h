@@ -154,10 +154,42 @@ class ScoreKey {
 ScoreVec MakeScore(const RankingSpec& spec, double weight,
                    const temporal::IntervalSet& time);
 
+/// Larger-is-better component value of one factor.
+inline double RankFactorValue(RankFactor factor, double weight,
+                              const temporal::IntervalSet& time) {
+  constexpr double kWorst = -std::numeric_limits<double>::infinity();
+  switch (factor) {
+    case RankFactor::kRelevance:
+      return -weight;
+    case RankFactor::kEndTimeDesc:
+      return time.IsEmpty() ? kWorst : static_cast<double>(time.End());
+    case RankFactor::kStartTimeAsc:
+      return time.IsEmpty() ? kWorst : -static_cast<double>(time.Start());
+    case RankFactor::kDurationDesc:
+      return time.IsEmpty() ? kWorst : static_cast<double>(time.Duration());
+  }
+  return kWorst;
+}
+
 /// ScoreKey variant of MakeScore: same comparison semantics (see ScoreKey),
-/// no allocation.
-ScoreKey MakeScoreKey(const RankingSpec& spec, double weight,
-                      const temporal::IntervalSet& time);
+/// no allocation. Inline — this runs once per NTD push, the hottest call
+/// site in the engine, and inlining lets the compiler collapse the factor
+/// switch against the iterator's fixed spec.
+inline ScoreKey MakeScoreKey(const RankingSpec& spec, double weight,
+                             const temporal::IntervalSet& time) {
+  // Dedup repeated factors (the grammar allows "duration, duration") so
+  // every spec fits the inline capacity of one-per-distinct-factor; see
+  // ScoreKey for why this preserves comparison semantics.
+  ScoreKey key;
+  uint32_t seen = 0;
+  for (const RankFactor factor : spec.factors) {
+    const uint32_t bit = 1u << static_cast<uint32_t>(factor);
+    if (seen & bit) continue;
+    seen |= bit;
+    key.Append(RankFactorValue(factor, weight, time));
+  }
+  return key;
+}
 
 /// Lexicographic comparison; true iff `a` is strictly better than `b`.
 bool ScoreBetter(const ScoreVec& a, const ScoreVec& b);

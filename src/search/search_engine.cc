@@ -115,7 +115,8 @@ class Runner {
         query_(query),
         options_(options),
         m_(query.keywords.size()),
-        match_lists_(std::move(matches)) {}
+        match_lists_(std::move(matches)),
+        reached_(static_cast<size_t>(graph.num_nodes())) {}
 
   SearchResponse Run() {
     if (options_.deadline_ms > 0) {
@@ -275,8 +276,11 @@ class Runner {
         std::push_heap(heap.begin(), heap.end(), IterEntryWorse());
       }
       const NodeId node = iter.ntd(popped).node;
-      auto& lists = reached_[node];
-      if (lists.empty()) lists.resize(m_);
+      auto& lists = reached_[static_cast<size_t>(node)];
+      if (lists.empty()) {
+        lists.resize(m_);
+        ++reached_count_;
+      }
       lists[static_cast<size_t>(kw)].push_back({iter_idx, popped});
       expand_timer_.Stop();
 
@@ -513,7 +517,7 @@ class Runner {
         pushed_nodes_sum += iter->stats().nodes_reached;
       }
     }
-    c.nodes_visited = static_cast<int64_t>(reached_.size());
+    c.nodes_visited = reached_count_;
     c.avg_ntds_per_node =
         pushed_nodes_sum > 0
             ? static_cast<double>(active_ntds_sum) /
@@ -594,8 +598,12 @@ class Runner {
   std::vector<std::vector<IterEntry>> keyword_heaps_;
   int rr_cursor_ = 0;
 
-  std::unordered_map<NodeId, std::vector<std::vector<std::pair<int32_t, NtdId>>>>
-      reached_;
+  // Dense per-node keyword lists (indexed by NodeId; empty outer vector ==
+  // node not reached yet). A hash map here costs a probe on EVERY pop;
+  // the dense table is one indexed load, and reached_count_ preserves the
+  // distinct-node count the map's size() used to provide.
+  std::vector<std::vector<std::vector<std::pair<int32_t, NtdId>>>> reached_;
+  int64_t reached_count_ = 0;
   std::vector<ResultTree> results_;
   std::vector<double> primaries_;  // Primary scores, descending.
   std::unordered_set<std::string> seen_;

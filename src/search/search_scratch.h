@@ -124,7 +124,6 @@ struct BestPathScratch {
   QuadHeap<BestPathQueueEntry, BestPathQueueBetter> queue;
   common::FlatEpochMap<temporal::IntervalSet> visited;  // Partition claims.
   common::FlatEpochMap<std::vector<NtdId>> popped;      // Pop order per node.
-  common::FlatEpochSet pushed;                          // Ever-pushed nodes.
   common::FlatEpochMap<NodeSubsumption> subsumption;    // Duration ranking.
   temporal::IntervalSet tmp;   // Per-edge intersection buffer.
   temporal::IntervalSet tmp2;  // Union double-buffer for visited claims.
@@ -134,7 +133,6 @@ struct BestPathScratch {
   void Reset() {
     visited.Clear();
     popped.Clear();
-    pushed.Clear();
     subsumption.Clear();
     arena.Rewind();
     queue.clear();

@@ -46,6 +46,14 @@ bool Bitmap::Test(int64_t i) const {
 
 void Bitmap::Reset() { words_.assign(words_.size(), 0); }
 
+void Bitmap::ResizeAndClear(int64_t size) {
+  assert(size >= 0);
+  size_ = size;
+  // vector::assign reuses capacity, so repeated calls at or below the
+  // high-water size never allocate.
+  words_.assign(static_cast<size_t>((size + kWordBits - 1) / kWordBits), 0);
+}
+
 void Bitmap::Fill() {
   words_.assign(words_.size(), ~uint64_t{0});
   ClearPadding();

@@ -44,6 +44,12 @@ class Bitmap {
   /// Sets all bits to 0.
   void Reset();
 
+  /// Resizes to `size` bits, all zero, reusing the existing word storage
+  /// when it is large enough (the destination-passing partner of the sized
+  /// constructor — no allocation once the bitmap has reached its high-water
+  /// capacity).
+  void ResizeAndClear(int64_t size);
+
   /// Sets all bits to 1.
   void Fill();
 

@@ -224,6 +224,18 @@ void IntervalSet::AssignIntersectionOf(const IntervalSet& a,
   // and remain separated by the gaps of the inputs.
 }
 
+void IntervalSet::AssignIntersectionOf(const IntervalSet& a, Interval b) {
+  assert(this != &a);
+  Clear();
+  if (b.IsEmpty()) return;
+  for (const Interval& iv : a.intervals()) {
+    if (iv.start > b.end) break;
+    const Interval common = iv.Intersect(b);
+    if (!common.IsEmpty()) Append(common);
+  }
+  // Clipping a canonical set to one window keeps it canonical.
+}
+
 void IntervalSet::AssignUnionOf(const IntervalSet& a, const IntervalSet& b) {
   assert(this != &a && this != &b);
   Clear();
@@ -307,6 +319,15 @@ Bitmap IntervalSet::ToBitmap(TimePoint timeline_length) const {
     if (lo <= hi) bm.SetRange(lo, hi);
   }
   return bm;
+}
+
+void IntervalSet::ToBitmapInto(TimePoint timeline_length, Bitmap* out) const {
+  out->ResizeAndClear(timeline_length);
+  for (const Interval& iv : intervals()) {
+    const TimePoint lo = std::max<TimePoint>(iv.start, 0);
+    const TimePoint hi = std::min<TimePoint>(iv.end, timeline_length - 1);
+    if (lo <= hi) out->SetRange(lo, hi);
+  }
 }
 
 bool operator==(const IntervalSet& a, const IntervalSet& b) {

@@ -138,6 +138,11 @@ class IntervalSet {
   void AssignUnionOf(const IntervalSet& a, const IntervalSet& b);
   void AssignDifferenceOf(const IntervalSet& a, const IntervalSet& b);
 
+  /// Single-interval intersection fast path: equivalent to
+  /// AssignIntersectionOf(a, IntervalSet(b)) without materializing the
+  /// one-element set. The expansion view's inline-validity edges hit this.
+  void AssignIntersectionOf(const IntervalSet& a, Interval b);
+
   /// Complement within [0, timeline_length).
   IntervalSet ComplementWithin(TimePoint timeline_length) const;
 
@@ -150,6 +155,10 @@ class IntervalSet {
 
   /// Writes 1-bits for each instant into a bitmap of `timeline_length` bits.
   Bitmap ToBitmap(TimePoint timeline_length) const;
+
+  /// Destination-passing ToBitmap: resizes `*out` to `timeline_length` bits
+  /// (reusing its word storage), zeroes it, and sets this set's instants.
+  void ToBitmapInto(TimePoint timeline_length, Bitmap* out) const;
 
   friend bool operator==(const IntervalSet& a, const IntervalSet& b);
 

@@ -1,5 +1,6 @@
 #include "temporal/ntd_bitmap_index.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace tgks::temporal {
@@ -25,49 +26,59 @@ NaiveNtdIndex::NaiveNtdIndex(TimePoint timeline_length) {
 }
 
 bool NaiveNtdIndex::SubsumedByExisting(const IntervalSet& t) const {
-  for (const auto& row : rows_) {
-    if (row.has_value() && row->Subsumes(t)) return true;
+  for (size_t i = 0; i < num_slots_; ++i) {
+    if (live_[i] && rows_[i].Subsumes(t)) return true;
   }
   return false;
 }
 
-std::vector<NtdRowHandle> NaiveNtdIndex::CollectSubsumed(
+std::span<const NtdRowHandle> NaiveNtdIndex::CollectSubsumed(
     const IntervalSet& t) const {
-  std::vector<NtdRowHandle> out;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (rows_[i].has_value() && t.Subsumes(*rows_[i])) {
-      out.push_back(static_cast<NtdRowHandle>(i));
+  collect_scratch_.clear();
+  for (size_t i = 0; i < num_slots_; ++i) {
+    if (live_[i] && t.Subsumes(rows_[i])) {
+      collect_scratch_.push_back(static_cast<NtdRowHandle>(i));
     }
   }
-  return out;
+  return collect_scratch_;
 }
 
 NtdRowHandle NaiveNtdIndex::AddRow(const IntervalSet& t) {
   assert(!t.IsEmpty());
+  NtdRowHandle h;
   if (!free_list_.empty()) {
-    const NtdRowHandle h = free_list_.back();
+    h = free_list_.back();
     free_list_.pop_back();
-    rows_[static_cast<size_t>(h)] = t;
-    return h;
+  } else {
+    h = static_cast<NtdRowHandle>(num_slots_++);
+    if (static_cast<size_t>(h) == rows_.size()) {
+      rows_.emplace_back();
+      live_.push_back(0);
+    }
   }
-  rows_.push_back(t);
-  return static_cast<NtdRowHandle>(rows_.size() - 1);
+  // Copy-assign into the retained slot reuses its interval capacity.
+  rows_[static_cast<size_t>(h)] = t;
+  live_[static_cast<size_t>(h)] = 1;
+  return h;
 }
 
 void NaiveNtdIndex::RemoveRow(NtdRowHandle handle) {
-  assert(handle >= 0 && static_cast<size_t>(handle) < rows_.size());
-  assert(rows_[static_cast<size_t>(handle)].has_value());
-  rows_[static_cast<size_t>(handle)].reset();
+  assert(handle >= 0 && static_cast<size_t>(handle) < num_slots_);
+  assert(live_[static_cast<size_t>(handle)]);
+  live_[static_cast<size_t>(handle)] = 0;
   free_list_.push_back(handle);
 }
 
 int64_t NaiveNtdIndex::LiveRows() const {
-  return static_cast<int64_t>(rows_.size()) -
+  return static_cast<int64_t>(num_slots_) -
          static_cast<int64_t>(free_list_.size());
 }
 
 void NaiveNtdIndex::Reset() {
-  rows_.clear();  // clear() keeps vector capacity.
+  // Keep rows_ (and each row's interval buffer) as retained storage; only
+  // the live window restarts, so handle assignment replays a fresh index.
+  std::fill(live_.begin(), live_.end(), 0);
+  num_slots_ = 0;
   free_list_.clear();
 }
 
@@ -78,52 +89,59 @@ RowMajorNtdIndex::RowMajorNtdIndex(TimePoint timeline_length)
     : timeline_length_(timeline_length) {}
 
 bool RowMajorNtdIndex::SubsumedByExisting(const IntervalSet& t) const {
-  const Bitmap probe = t.ToBitmap(timeline_length_);
-  for (const auto& row : rows_) {
-    if (row.has_value() && probe.IsSubsetOf(*row)) return true;
+  t.ToBitmapInto(timeline_length_, &probe_);
+  for (size_t i = 0; i < num_slots_; ++i) {
+    if (live_[i] && probe_.IsSubsetOf(rows_[i])) return true;
   }
   return false;
 }
 
-std::vector<NtdRowHandle> RowMajorNtdIndex::CollectSubsumed(
+std::span<const NtdRowHandle> RowMajorNtdIndex::CollectSubsumed(
     const IntervalSet& t) const {
-  const Bitmap probe = t.ToBitmap(timeline_length_);
-  std::vector<NtdRowHandle> out;
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (rows_[i].has_value() && rows_[i]->IsSubsetOf(probe)) {
-      out.push_back(static_cast<NtdRowHandle>(i));
+  t.ToBitmapInto(timeline_length_, &probe_);
+  collect_scratch_.clear();
+  for (size_t i = 0; i < num_slots_; ++i) {
+    if (live_[i] && rows_[i].IsSubsetOf(probe_)) {
+      collect_scratch_.push_back(static_cast<NtdRowHandle>(i));
     }
   }
-  return out;
+  return collect_scratch_;
 }
 
 NtdRowHandle RowMajorNtdIndex::AddRow(const IntervalSet& t) {
   assert(!t.IsEmpty());
-  Bitmap row = t.ToBitmap(timeline_length_);
+  NtdRowHandle h;
   if (!free_list_.empty()) {
-    const NtdRowHandle h = free_list_.back();
+    h = free_list_.back();
     free_list_.pop_back();
-    rows_[static_cast<size_t>(h)] = std::move(row);
-    return h;
+  } else {
+    h = static_cast<NtdRowHandle>(num_slots_++);
+    if (static_cast<size_t>(h) == rows_.size()) {
+      rows_.emplace_back();
+      live_.push_back(0);
+    }
   }
-  rows_.push_back(std::move(row));
-  return static_cast<NtdRowHandle>(rows_.size() - 1);
+  // Refill the retained bitmap in place — its word storage is reused.
+  t.ToBitmapInto(timeline_length_, &rows_[static_cast<size_t>(h)]);
+  live_[static_cast<size_t>(h)] = 1;
+  return h;
 }
 
 void RowMajorNtdIndex::RemoveRow(NtdRowHandle handle) {
-  assert(handle >= 0 && static_cast<size_t>(handle) < rows_.size());
-  assert(rows_[static_cast<size_t>(handle)].has_value());
-  rows_[static_cast<size_t>(handle)].reset();
+  assert(handle >= 0 && static_cast<size_t>(handle) < num_slots_);
+  assert(live_[static_cast<size_t>(handle)]);
+  live_[static_cast<size_t>(handle)] = 0;
   free_list_.push_back(handle);
 }
 
 int64_t RowMajorNtdIndex::LiveRows() const {
-  return static_cast<int64_t>(rows_.size()) -
+  return static_cast<int64_t>(num_slots_) -
          static_cast<int64_t>(free_list_.size());
 }
 
 void RowMajorNtdIndex::Reset() {
-  rows_.clear();
+  std::fill(live_.begin(), live_.end(), 0);
+  num_slots_ = 0;
   free_list_.clear();
 }
 
@@ -165,38 +183,39 @@ bool ColumnMajorNtdIndex::SubsumedByExisting(const IntervalSet& t) const {
   if (LiveRows() == 0) return false;
   // AND of the columns selected by the instants of t, over live rows only
   // (Fig. 5: "extract the columns that correspond to the time instants in
-  // T∩ and perform an AND").
-  Bitmap acc = live_rows_;
+  // T∩ and perform an AND"). The accumulator is pooled scratch: copy-assign
+  // reuses its word storage.
+  acc_scratch_ = live_rows_;
   for (const Interval& iv : t.intervals()) {
     for (TimePoint instant = iv.start; instant <= iv.end; ++instant) {
       if (instant < 0 || instant >= timeline_length_) return false;
-      acc.And(columns_[static_cast<size_t>(instant)]);
-      if (acc.None()) return false;
+      acc_scratch_.And(columns_[static_cast<size_t>(instant)]);
+      if (acc_scratch_.None()) return false;
     }
   }
-  return acc.Any();
+  return acc_scratch_.Any();
 }
 
-std::vector<NtdRowHandle> ColumnMajorNtdIndex::CollectSubsumed(
+std::span<const NtdRowHandle> ColumnMajorNtdIndex::CollectSubsumed(
     const IntervalSet& t) const {
-  std::vector<NtdRowHandle> out;
-  if (LiveRows() == 0) return out;
+  collect_scratch_.clear();
+  if (LiveRows() == 0) return collect_scratch_;
   // OR of the columns *outside* t; live rows left at 0 have every instant
   // inside t and are therefore subsumed by it.
-  Bitmap acc(row_capacity_);
-  const IntervalSet outside = t.ComplementWithin(timeline_length_);
-  for (const Interval& iv : outside.intervals()) {
+  acc_scratch_.ResizeAndClear(row_capacity_);
+  outside_scratch_.AssignDifferenceOf(IntervalSet::All(timeline_length_), t);
+  for (const Interval& iv : outside_scratch_.intervals()) {
     for (TimePoint instant = iv.start; instant <= iv.end; ++instant) {
-      acc.Or(columns_[static_cast<size_t>(instant)]);
+      acc_scratch_.Or(columns_[static_cast<size_t>(instant)]);
     }
   }
-  Bitmap zero_rows = live_rows_;
-  zero_rows.AndNot(acc);
-  for (int64_t slot = zero_rows.FindFirstSet(0); slot >= 0;
-       slot = zero_rows.FindFirstSet(slot + 1)) {
-    out.push_back(static_cast<NtdRowHandle>(slot));
+  zero_rows_scratch_ = live_rows_;
+  zero_rows_scratch_.AndNot(acc_scratch_);
+  for (int64_t slot = zero_rows_scratch_.FindFirstSet(0); slot >= 0;
+       slot = zero_rows_scratch_.FindFirstSet(slot + 1)) {
+    collect_scratch_.push_back(static_cast<NtdRowHandle>(slot));
   }
-  return out;
+  return collect_scratch_;
 }
 
 NtdRowHandle ColumnMajorNtdIndex::AddRow(const IntervalSet& t) {

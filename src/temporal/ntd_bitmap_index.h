@@ -19,7 +19,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <optional>
+#include <span>
 #include <vector>
 
 #include "temporal/bitmap.h"
@@ -43,8 +43,13 @@ class NtdSubsumptionIndex {
   /// `t` must be non-empty.
   virtual bool SubsumedByExisting(const IntervalSet& t) const = 0;
 
-  /// Handles of all live rows whose interval sets are subsets of `t`.
-  virtual std::vector<NtdRowHandle> CollectSubsumed(
+  /// Handles of all live rows whose interval sets are subsets of `t`, in
+  /// ascending slot order. The span points into scratch owned by the index:
+  /// it is invalidated by the next CollectSubsumed or Reset, but AddRow and
+  /// RemoveRow leave it intact — Algorithm 2 evicts rows while iterating the
+  /// collected victims. Returning a view instead of a fresh vector keeps the
+  /// duration-ranking hot path allocation-free (see bench_micro_alloc).
+  virtual std::span<const NtdRowHandle> CollectSubsumed(
       const IntervalSet& t) const = 0;
 
   /// Registers a row for `t`; returns its handle. `t` must be non-empty.
@@ -80,7 +85,7 @@ class NaiveNtdIndex final : public NtdSubsumptionIndex {
   explicit NaiveNtdIndex(TimePoint timeline_length);
 
   bool SubsumedByExisting(const IntervalSet& t) const override;
-  std::vector<NtdRowHandle> CollectSubsumed(
+  std::span<const NtdRowHandle> CollectSubsumed(
       const IntervalSet& t) const override;
   NtdRowHandle AddRow(const IntervalSet& t) override;
   void RemoveRow(NtdRowHandle handle) override;
@@ -88,8 +93,15 @@ class NaiveNtdIndex final : public NtdSubsumptionIndex {
   void Reset() override;
 
  private:
-  std::vector<std::optional<IntervalSet>> rows_;
+  // Slot storage outlives row lifetimes: rows_[i] keeps its IntervalSet
+  // buffer (and live_[i] goes to 0) when row i is removed, so re-adding into
+  // the slot reuses capacity. num_slots_ is the high-water slot count since
+  // Reset; slots beyond it are retained storage from earlier queries.
+  std::vector<IntervalSet> rows_;
+  std::vector<uint8_t> live_;
+  size_t num_slots_ = 0;
   std::vector<NtdRowHandle> free_list_;
+  mutable std::vector<NtdRowHandle> collect_scratch_;
 };
 
 /// Row-major bitmaps: subset tests are word-parallel over the timeline.
@@ -98,7 +110,7 @@ class RowMajorNtdIndex final : public NtdSubsumptionIndex {
   explicit RowMajorNtdIndex(TimePoint timeline_length);
 
   bool SubsumedByExisting(const IntervalSet& t) const override;
-  std::vector<NtdRowHandle> CollectSubsumed(
+  std::span<const NtdRowHandle> CollectSubsumed(
       const IntervalSet& t) const override;
   NtdRowHandle AddRow(const IntervalSet& t) override;
   void RemoveRow(NtdRowHandle handle) override;
@@ -107,8 +119,15 @@ class RowMajorNtdIndex final : public NtdSubsumptionIndex {
 
  private:
   TimePoint timeline_length_;
-  std::vector<std::optional<Bitmap>> rows_;
+  // Same slot-recycling layout as NaiveNtdIndex: row bitmaps keep their word
+  // storage across RemoveRow/Reset and are refilled in place by
+  // ToBitmapInto, so the steady state never allocates.
+  std::vector<Bitmap> rows_;
+  std::vector<uint8_t> live_;
+  size_t num_slots_ = 0;
   std::vector<NtdRowHandle> free_list_;
+  mutable Bitmap probe_;
+  mutable std::vector<NtdRowHandle> collect_scratch_;
 };
 
 /// The paper's column-major bitmap (Fig. 5): column j is a bitset over row
@@ -123,7 +142,7 @@ class ColumnMajorNtdIndex final : public NtdSubsumptionIndex {
   explicit ColumnMajorNtdIndex(TimePoint timeline_length);
 
   bool SubsumedByExisting(const IntervalSet& t) const override;
-  std::vector<NtdRowHandle> CollectSubsumed(
+  std::span<const NtdRowHandle> CollectSubsumed(
       const IntervalSet& t) const override;
   NtdRowHandle AddRow(const IntervalSet& t) override;
   void RemoveRow(NtdRowHandle handle) override;
@@ -139,6 +158,12 @@ class ColumnMajorNtdIndex final : public NtdSubsumptionIndex {
   Bitmap live_rows_;                        // Live row slots.
   std::vector<IntervalSet> row_intervals_;  // For capacity regrowth.
   std::vector<NtdRowHandle> free_list_;
+  // Per-query scratch (copy-assignment reuses capacity); mutable because the
+  // const queries own their intermediate accumulators.
+  mutable Bitmap acc_scratch_;
+  mutable Bitmap zero_rows_scratch_;
+  mutable IntervalSet outside_scratch_;
+  mutable std::vector<NtdRowHandle> collect_scratch_;
 };
 
 }  // namespace tgks::temporal

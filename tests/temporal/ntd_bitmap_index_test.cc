@@ -64,7 +64,8 @@ TEST_P(NtdIndexTest, CollectSubsumedFindsStrictSubsets) {
   const auto a = index->AddRow(IntervalSet{{4, 6}});
   const auto b = index->AddRow(IntervalSet{{0, 19}});
   const auto c = index->AddRow(IntervalSet{{5, 5}, {8, 9}});
-  auto subsumed = index->CollectSubsumed(IntervalSet{{3, 10}});
+  const auto collected = index->CollectSubsumed(IntervalSet{{3, 10}});
+  std::vector<NtdRowHandle> subsumed(collected.begin(), collected.end());
   std::sort(subsumed.begin(), subsumed.end());
   ASSERT_EQ(subsumed.size(), 2u);
   EXPECT_EQ(subsumed[0], std::min(a, c));

@@ -9,13 +9,35 @@
 // amount of work the search performs: an optimization must move time, not
 // pops.
 //
+// Two suites:
+//
+//  * Golden files: tiny checked-in .tgf graphs with hand-written queries
+//    (social / archive / sparse stems in tests/golden/).
+//  * Generated datasets (--dataset dblp|social): the seeded datagen
+//    workloads the throughput benchmarks run, at a fixed scale and query
+//    count independent of the TGKS_BENCH_* environment, so layout and
+//    data-structure changes are pinned on benchmark-shaped graphs — not
+//    just the toy ones. Each workload runs under both relevance and
+//    duration ranking to cover the partition AND subsumption semantics.
+//
 // Usage: workcount_dump <golden-dir> [graph stems...]
+//        workcount_dump --dataset <dblp|social> [--dataset ...]
+//        workcount_dump --layout <dblp|social> [--layout ...]
+//
+// --layout prints the ExpansionView packing statistics (slot counts,
+// inline/pooled split, validity-pool interning hit rate) for a generated
+// dataset; docs/performance.md quotes these numbers.
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "datagen/dblp_generator.h"
+#include "datagen/query_generator.h"
+#include "datagen/social_generator.h"
+#include "graph/expansion_view.h"
 #include "graph/inverted_index.h"
 #include "graph/serialization.h"
 #include "search/query_parser.h"
@@ -36,18 +58,22 @@ std::vector<std::string> LoadQueryLines(const std::string& path) {
   return lines;
 }
 
-}  // namespace
+void PrintCounters(const std::string& tag, int index,
+                   const tgks::search::SearchCounters& c) {
+  std::printf(
+      "%s#%d ntds_pushed=%lld ntds_popped=%lld edges_scanned=%lld "
+      "useless_pops=%lld subsumption_skips=%lld "
+      "subsumption_evictions=%lld\n",
+      tag.c_str(), index, static_cast<long long>(c.ntds_created),
+      static_cast<long long>(c.pops),
+      static_cast<long long>(c.edges_scanned),
+      static_cast<long long>(c.useless_pops),
+      static_cast<long long>(c.subsumption_skips),
+      static_cast<long long>(c.subsumption_evictions));
+}
 
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <golden-dir> [graph stems...]\n", argv[0]);
-    return 2;
-  }
-  const std::string dir = argv[1];
-  std::vector<std::string> stems = {"social", "archive", "sparse"};
-  if (argc > 2) {
-    stems.assign(argv + 2, argv + argc);
-  }
+int RunGoldenStems(const std::string& dir,
+                   const std::vector<std::string>& stems) {
   for (const std::string& stem : stems) {
     auto loaded = tgks::graph::LoadGraphFromFile(dir + "/" + stem + ".tgf");
     if (!loaded.ok()) {
@@ -73,18 +99,142 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "search: %s\n", r.status().ToString().c_str());
         return 1;
       }
-      const tgks::search::SearchCounters& c = r->counters;
-      std::printf(
-          "%s#%d ntds_pushed=%lld ntds_popped=%lld edges_scanned=%lld "
-          "useless_pops=%lld subsumption_skips=%lld "
-          "subsumption_evictions=%lld\n",
-          stem.c_str(), qi++, static_cast<long long>(c.ntds_created),
-          static_cast<long long>(c.pops),
-          static_cast<long long>(c.edges_scanned),
-          static_cast<long long>(c.useless_pops),
-          static_cast<long long>(c.subsumption_skips),
-          static_cast<long long>(c.subsumption_evictions));
+      PrintCounters(stem, qi++, r->counters);
     }
   }
   return 0;
+}
+
+// Fixed-size dataset suite parameters. Deliberately NOT tied to
+// TGKS_BENCH_SCALE / TGKS_BENCH_QUERIES: the expected file pins one exact
+// workload.
+constexpr int32_t kDatasetQueries = 12;
+
+int BuildDataset(const std::string& name, tgks::graph::TemporalGraph* graph,
+                 std::vector<tgks::datagen::WorkloadQuery>* workload) {
+  tgks::datagen::QueryWorkloadParams params;
+  params.num_queries = kDatasetQueries;
+  if (name == "dblp") {
+    tgks::datagen::DblpParams dp;
+    dp.num_papers = 8000;
+    dp.num_authors = 3000;
+    dp.num_venues = 60;
+    dp.vocab_size = 2500;
+    dp.seed = 42;
+    auto d = tgks::datagen::GenerateDblp(dp);
+    if (!d.ok()) {
+      std::fprintf(stderr, "dblp generation failed: %s\n",
+                   d.status().ToString().c_str());
+      return 1;
+    }
+    *workload = tgks::datagen::MakeDblpWorkload(d.value(), params);
+    *graph = std::move(d).value().graph;
+  } else if (name == "social") {
+    tgks::datagen::SocialParams sp;
+    sp.num_nodes = 15000;
+    sp.edges_per_node = 2;
+    sp.edge_connectivity = 0.7;
+    sp.seed = 7;
+    auto d = tgks::datagen::GenerateSocial(sp);
+    if (!d.ok()) {
+      std::fprintf(stderr, "social generation failed: %s\n",
+                   d.status().ToString().c_str());
+      return 1;
+    }
+    *graph = std::move(d).value().graph;
+    tgks::datagen::MatchSetParams mp;
+    mp.matches_min = 50;
+    mp.matches_max = 400;
+    *workload = tgks::datagen::MakeMatchSetWorkload(*graph, params, mp);
+  } else {
+    std::fprintf(stderr, "unknown dataset '%s' (dblp|social)\n", name.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int RunDataset(const std::string& name) {
+  tgks::graph::TemporalGraph graph;
+  std::vector<tgks::datagen::WorkloadQuery> workload;
+  if (const int rc = BuildDataset(name, &graph, &workload); rc != 0) return rc;
+
+  const tgks::graph::InvertedIndex index(graph);
+  const tgks::search::SearchEngine engine(graph, &index);
+  tgks::search::SearchOptions options;
+  options.k = 10;
+  // Pass 1: the workload's own ranking (relevance -> partition semantics).
+  // Pass 2: duration ranking -> subsumption semantics, so Algorithm 2's
+  // counters are pinned on benchmark-shaped graphs too.
+  const char* pass_tags[2] = {"", "-duration"};
+  for (int pass = 0; pass < 2; ++pass) {
+    int qi = 0;
+    for (const auto& wq : workload) {
+      tgks::search::Query query = wq.query;
+      if (pass == 1) {
+        query.ranking.factors = {tgks::search::RankFactor::kDurationDesc};
+      }
+      auto r = wq.matches.empty()
+                   ? engine.Search(query, options)
+                   : engine.SearchWithMatches(query, wq.matches, options);
+      if (!r.ok()) {
+        std::fprintf(stderr, "search: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      PrintCounters(name + pass_tags[pass], qi++, r->counters);
+    }
+  }
+  return 0;
+}
+
+int RunLayout(const std::string& name) {
+  tgks::graph::TemporalGraph graph;
+  std::vector<tgks::datagen::WorkloadQuery> workload;
+  if (const int rc = BuildDataset(name, &graph, &workload); rc != 0) return rc;
+  const auto& s = graph.expansion_view().layout_stats();
+  std::printf(
+      "%s edge_slots=%lld inline_edge_slots=%lld pooled_edge_slots=%lld "
+      "inline_node_slots=%lld pooled_node_slots=%lld pool_entries=%lld "
+      "intern_hits=%lld\n",
+      name.c_str(), static_cast<long long>(s.edge_slots),
+      static_cast<long long>(s.inline_edge_slots),
+      static_cast<long long>(s.pooled_edge_slots),
+      static_cast<long long>(s.inline_node_slots),
+      static_cast<long long>(s.pooled_node_slots),
+      static_cast<long long>(s.pool_entries),
+      static_cast<long long>(s.intern_hits));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <golden-dir> [graph stems...]\n"
+                 "       %s --dataset <dblp|social> [--dataset ...]\n"
+                 "       %s --layout <dblp|social> [--layout ...]\n",
+                 argv[0], argv[0], argv[0]);
+    return 2;
+  }
+  if (std::strcmp(argv[1], "--dataset") == 0 ||
+      std::strcmp(argv[1], "--layout") == 0) {
+    const bool layout = std::strcmp(argv[1], "--layout") == 0;
+    const char* flag = layout ? "--layout" : "--dataset";
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s %s <dblp|social> ...\n", argv[0],
+                     flag);
+        return 2;
+      }
+      const int rc = layout ? RunLayout(argv[++i]) : RunDataset(argv[++i]);
+      if (rc != 0) return rc;
+    }
+    return 0;
+  }
+  const std::string dir = argv[1];
+  std::vector<std::string> stems = {"social", "archive", "sparse"};
+  if (argc > 2) {
+    stems.assign(argv + 2, argv + argc);
+  }
+  return RunGoldenStems(dir, stems);
 }
