@@ -3,6 +3,7 @@
 //   tgks_cli GRAPH.tgf [options] "QUERY"
 //   tgks_cli --demo [options] "QUERY"       (built-in Fig.-1 social graph)
 //   tgks_cli --demo [options] --batch FILE  (one query per line)
+//   tgks_cli (GRAPH.tgf | --dataset NAME) --serve [--port N]
 //
 // Options:
 //   --k N            top-k (default 10; 0 = all results)
@@ -13,7 +14,18 @@
 //   --metrics        print the process metrics registry (Prometheus text)
 //   --deadline-ms N  per-query wall-clock budget (default: none)
 //   --batch FILE     run every query in FILE concurrently ('#' = comment)
-//   --threads N      worker threads for --batch (default: hardware)
+//   --threads N      worker threads for --batch / --serve (default: hardware)
+//
+// Serving options (see docs/serving.md):
+//   --serve                 run the HTTP server instead of a query
+//   --dataset NAME          serve the benchmark dataset dblp or social
+//                           (generated in-process with the bench seeds, so
+//                           tgks_loadgen workloads line up)
+//   --host ADDR             bind address (default 127.0.0.1)
+//   --port N                TCP port (default 8080; 0 = ephemeral)
+//   --max-queue N           admitted search requests in flight (default 64)
+//   --max-inflight-bytes N  admitted request-body bytes (default 8 MiB)
+//   --drain-timeout-ms N    graceful-shutdown grace period (default 5000)
 //
 // Examples:
 //   tgks_cli --demo "Mary, John"
@@ -22,13 +34,20 @@
 //   tgks_cli archive.tgf --bound accurate "GenBank, Blast result time
 //                          meets 7"
 //   tgks_cli archive.tgf --threads 8 --deadline-ms 50 --batch queries.txt
+//   tgks_cli --dataset dblp --serve --port 8080 --max-queue 32
 
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "examples/example_util.h"
 #include "exec/query_executor.h"
 #include "obs/metrics.h"
@@ -38,6 +57,8 @@
 #include "graph/serialization.h"
 #include "search/query_parser.h"
 #include "search/search_engine.h"
+#include "server/http_server.h"
+#include "server/request_router.h"
 
 namespace {
 
@@ -74,8 +95,87 @@ int Usage() {
   std::cerr
       << "usage: tgks_cli (GRAPH.tgf | --demo) [--k N] [--bound KIND] "
          "[--stats] [--trace] [--metrics] [--deadline-ms N] (\"QUERY\" | "
-         "--batch FILE [--threads N])\n";
+         "--batch FILE [--threads N])\n"
+         "       tgks_cli (GRAPH.tgf | --dataset dblp|social) --serve "
+         "[--host ADDR] [--port N] [--threads N] [--max-queue N] "
+         "[--max-inflight-bytes N] [--deadline-ms N] [--drain-timeout-ms N]\n";
   return 2;
+}
+
+/// SIGTERM/SIGINT request graceful shutdown of --serve.
+volatile sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int RunServe(const tgks::graph::TemporalGraph& graph,
+             const tgks::graph::InvertedIndex& index,
+             const std::string& dataset_name,
+             const tgks::search::SearchOptions& search_options, int threads,
+             int64_t deadline_ms, const std::string& host, int port,
+             int64_t max_queue, int64_t max_inflight_bytes,
+             int64_t drain_timeout_ms) {
+  std::atomic<bool> draining{false};
+  std::atomic<bool> shutdown_cancel{false};
+
+  tgks::exec::ExecutorOptions exec_options;
+  exec_options.threads = threads;
+  exec_options.search = search_options;
+  // The server-wide shutdown token rides in extra_cancel so each request's
+  // own token (per-connection cancel) stays in the primary slot.
+  exec_options.search.extra_cancel = &shutdown_cancel;
+  tgks::exec::QueryExecutor executor(graph, &index, exec_options);
+
+  tgks::server::AdmissionOptions admission_options;
+  admission_options.max_queue = max_queue;
+  admission_options.max_inflight_bytes = max_inflight_bytes;
+  tgks::server::AdmissionController admission(admission_options);
+
+  tgks::server::RouterContext context;
+  context.graph = &graph;
+  context.executor = &executor;
+  context.admission = &admission;
+  context.draining = &draining;
+  context.default_k = search_options.k;
+  context.default_deadline_ms = deadline_ms;
+  context.dataset_name = dataset_name;
+  tgks::server::RequestRouter router(context);
+
+  tgks::server::HttpServerOptions server_options;
+  server_options.bind_address = host;
+  server_options.port = port;
+  server_options.drain_timeout_ms = static_cast<int>(drain_timeout_ms);
+  server_options.draining_flag = &draining;
+  server_options.shutdown_cancel = &shutdown_cancel;
+  tgks::server::HttpServer server(&router, &admission, server_options);
+
+  const tgks::Status status = server.Start();
+  if (!status.ok()) {
+    std::cerr << "cannot serve: " << status << "\n";
+    return 1;
+  }
+
+  struct sigaction action {};
+  action.sa_handler = HandleStopSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  std::cout << "serving " << dataset_name << " ("
+            << graph.num_nodes() << " nodes, " << graph.num_edges()
+            << " edges) on http://" << host << ":" << server.port() << "\n"
+            << "endpoints: POST /v1/search  GET /metrics /healthz /varz\n"
+            << "threads " << executor.threads() << "  max-queue " << max_queue
+            << "  max-inflight-bytes " << max_inflight_bytes << "\n"
+            << std::flush;
+
+  while (g_stop_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "shutdown requested; draining up to " << drain_timeout_ms
+            << " ms\n";
+  server.Shutdown();
+  std::cout << "served " << router.requests_total() << " requests, shed "
+            << admission.shed_total() << "\n";
+  return 0;
 }
 
 // Reads one query per line; blank lines and '#' comments are skipped.
@@ -150,17 +250,26 @@ int RunBatch(const tgks::graph::TemporalGraph& graph,
 int main(int argc, char** argv) {
   std::string graph_path;
   bool demo = false, stats = false, trace = false, metrics = false;
+  bool serve = false;
   tgks::search::SearchOptions options;
   options.k = 10;
   std::string query_text;
   std::string batch_path;
+  std::string dataset_name;
+  std::string host = "127.0.0.1";
   int threads = 0;
+  int port = 8080;
   int64_t deadline_ms = -1;
+  int64_t max_queue = 64;
+  int64_t max_inflight_bytes = 8 * 1024 * 1024;
+  int64_t drain_timeout_ms = 5000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--serve") {
+      serve = true;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--trace") {
@@ -175,6 +284,18 @@ int main(int argc, char** argv) {
       deadline_ms = std::atoll(argv[++i]);
     } else if (arg == "--batch" && i + 1 < argc) {
       batch_path = argv[++i];
+    } else if (arg == "--dataset" && i + 1 < argc) {
+      dataset_name = argv[++i];
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--max-queue" && i + 1 < argc) {
+      max_queue = std::atoll(argv[++i]);
+    } else if (arg == "--max-inflight-bytes" && i + 1 < argc) {
+      max_inflight_bytes = std::atoll(argv[++i]);
+    } else if (arg == "--drain-timeout-ms" && i + 1 < argc) {
+      drain_timeout_ms = std::atoll(argv[++i]);
     } else if (arg == "--bound" && i + 1 < argc) {
       const std::string kind = argv[++i];
       if (kind == "accurate") {
@@ -201,19 +322,35 @@ int main(int argc, char** argv) {
     query_text = graph_path;  // --demo consumed the positional slot.
     graph_path.clear();
   }
+  if (!dataset_name.empty() && dataset_name != "dblp" &&
+      dataset_name != "social") {
+    std::cerr << "unknown dataset '" << dataset_name
+              << "' (expected dblp or social)\n";
+    return Usage();
+  }
+  const bool has_graph_source =
+      !graph_path.empty() || demo || !dataset_name.empty();
   const bool batch_mode = !batch_path.empty();
-  if (batch_mode) {
-    if (!query_text.empty() || (graph_path.empty() && !demo)) return Usage();
+  if (serve) {
+    if (!query_text.empty() || batch_mode || trace || !has_graph_source) {
+      return Usage();
+    }
+  } else if (batch_mode) {
+    if (!query_text.empty() || !has_graph_source) return Usage();
     if (trace) {
       std::cerr << "--trace needs a single query (one trace per query)\n";
       return Usage();
     }
-  } else if (query_text.empty() || (graph_path.empty() && !demo)) {
+  } else if (query_text.empty() || !has_graph_source) {
     return Usage();
   }
 
   TemporalGraph graph;
-  if (demo) {
+  if (dataset_name == "dblp") {
+    graph = tgks::bench::MakeDblp().graph;
+  } else if (dataset_name == "social") {
+    graph = tgks::bench::MakeSocial().graph;
+  } else if (demo) {
     graph = DemoGraph();
   } else {
     const bool binary = graph_path.size() > 4 &&
@@ -230,6 +367,14 @@ int main(int argc, char** argv) {
   }
 
   const tgks::graph::InvertedIndex index(graph);
+
+  if (serve) {
+    std::string served_name = dataset_name;
+    if (served_name.empty()) served_name = demo ? "demo" : graph_path;
+    return RunServe(graph, index, served_name, options, threads, deadline_ms,
+                    host, port, max_queue, max_inflight_bytes,
+                    drain_timeout_ms);
+  }
 
   if (batch_mode) {
     std::vector<std::string> lines;

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Serving smoke test (CI): boots `tgks_cli --serve` on the bench social
+# dataset, curls every endpoint, replays a short tgks_loadgen run, and
+# asserts zero unexpected non-2xx responses. A second, deliberately
+# saturated pass (--max-queue 1) asserts the server sheds with 429 instead
+# of hanging, and that SIGTERM drains cleanly both times.
+#
+# usage: scripts/serve_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: serve_smoke.sh <build-dir>}"
+CLI="${BUILD_DIR}/examples/tgks_cli"
+LOADGEN="${BUILD_DIR}/tools/tgks_loadgen"
+[[ -x "${CLI}" ]] || { echo "serve_smoke: ${CLI} not built" >&2; exit 1; }
+[[ -x "${LOADGEN}" ]] || { echo "serve_smoke: ${LOADGEN} not built" >&2; exit 1; }
+
+# Small dataset so server and loadgen generation stay fast; both sides read
+# the same env, so node ids line up.
+export TGKS_BENCH_SCALE="${TGKS_BENCH_SCALE:-0.3}"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "${SERVER_PID}" ]] && kill "${SERVER_PID}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+start_server() {  # args: extra tgks_cli flags; sets SERVER_PID and PORT.
+  : > "${WORK}/server.log"
+  "${CLI}" --dataset social --serve --port 0 "$@" \
+      > "${WORK}/server.log" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 200); do
+    PORT="$(grep -oE 'http://127\.0\.0\.1:[0-9]+' "${WORK}/server.log" \
+            | head -1 | sed 's/.*://' || true)"
+    [[ -n "${PORT}" ]] && return 0
+    kill -0 "${SERVER_PID}" 2>/dev/null \
+        || { echo "serve_smoke: server died:"; cat "${WORK}/server.log"; exit 1; }
+    sleep 0.3
+  done
+  echo "serve_smoke: server never printed its port" >&2
+  cat "${WORK}/server.log" >&2
+  exit 1
+}
+
+stop_server() {  # SIGTERM must drain and exit 0.
+  kill -TERM "${SERVER_PID}"
+  local status=0
+  wait "${SERVER_PID}" || status=$?
+  SERVER_PID=""
+  if [[ "${status}" -ne 0 ]]; then
+    echo "serve_smoke: server exited ${status} after SIGTERM" >&2
+    cat "${WORK}/server.log" >&2
+    exit 1
+  fi
+  grep -q "shutdown requested" "${WORK}/server.log" \
+      || { echo "serve_smoke: no drain banner" >&2; exit 1; }
+}
+
+expect_code() {  # args: expected-code curl-args...
+  local expected="$1"; shift
+  local code
+  code="$(curl -s -o "${WORK}/body.out" -w '%{http_code}' "$@")"
+  if [[ "${code}" != "${expected}" ]]; then
+    echo "serve_smoke: expected ${expected}, got ${code} for: $*" >&2
+    cat "${WORK}/body.out" >&2
+    exit 1
+  fi
+}
+
+echo "== pass 1: healthy server, zero non-2xx expected =="
+start_server
+expect_code 200 "http://127.0.0.1:${PORT}/healthz"
+grep -q '^ok$' "${WORK}/body.out"
+expect_code 200 "http://127.0.0.1:${PORT}/metrics"
+grep -q '^tgks_http_requests_total' "${WORK}/body.out"
+expect_code 200 "http://127.0.0.1:${PORT}/varz"
+grep -q '"dataset":"social"' "${WORK}/body.out"
+expect_code 200 -X POST --data '{"query":"n1, n2","matches":[[1],[2]],"k":3}' \
+    "http://127.0.0.1:${PORT}/v1/search"
+grep -q '"status":"ok"' "${WORK}/body.out"
+expect_code 400 -X POST --data '{"query":' "http://127.0.0.1:${PORT}/v1/search"
+grep -q '"type":"json"' "${WORK}/body.out"
+expect_code 404 "http://127.0.0.1:${PORT}/nope"
+
+"${LOADGEN}" --workload social --port "${PORT}" --connections 2 --qps 50 \
+    --duration-s 5 --num-queries 20 --deadline-ms 2000 \
+    --json-out "${WORK}/rows.jsonl"
+python3 - "${WORK}/rows.jsonl" <<'EOF'
+import json, sys
+row = json.loads(open(sys.argv[1]).read().splitlines()[-1])
+assert row["status_2xx"] > 0, row
+assert row["status_429"] == 0, f"unexpected shed on healthy server: {row}"
+assert row["status_other"] == 0 and row["errors"] == 0, row
+print(f"pass 1 ok: {row['completed']} requests, all 2xx")
+EOF
+stop_server
+
+echo "== pass 2: deliberate saturation, 429s expected, no errors =="
+start_server --max-queue 1 --threads 1
+"${LOADGEN}" --workload social --port "${PORT}" --connections 4 \
+    --duration-s 3 --num-queries 20 --json-out "${WORK}/rows2.jsonl"
+python3 - "${WORK}/rows2.jsonl" <<'EOF'
+import json, sys
+row = json.loads(open(sys.argv[1]).read().splitlines()[-1])
+assert row["status_429"] > 0, f"saturation never shed: {row}"
+assert row["status_other"] == 0 and row["errors"] == 0, row
+print(f"pass 2 ok: {row['status_2xx']} served, {row['status_429']} shed, 0 errors")
+EOF
+stop_server
+
+echo "serve_smoke: OK"

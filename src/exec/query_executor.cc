@@ -172,6 +172,48 @@ BatchResponse QueryExecutor::Run(const std::vector<BatchQuery>& batch) {
   return out;
 }
 
+void QueryExecutor::Submit(SingleQuery single, SingleQueryCallback done) {
+  inflight_singles_.fetch_add(1, std::memory_order_relaxed);
+  // The per-query options derive from the executor's base search options:
+  // a preset extra_cancel (e.g. the server's shutdown token) is preserved,
+  // the request's own token rides in the primary slot, and the request
+  // deadline wins over the executor default when set.
+  search::SearchOptions options = options_.search;
+  if (single.k > 0) options.k = single.k;
+  if (single.bound.has_value()) options.bound = *single.bound;
+  if (single.deadline_ms > 0) {
+    options.deadline_ms = single.deadline_ms;
+  } else if (options_.deadline_ms > 0) {
+    options.deadline_ms = options_.deadline_ms;
+  }
+  options.cancel = single.cancel;
+  pool_->Submit([this, single = std::move(single), options,
+                 done = std::move(done)]() mutable {
+    Stopwatch latency;
+    latency.Start();
+    Result<search::SearchResponse> response =
+        single.query.matches.empty()
+            ? engine_.Search(single.query.query, options)
+            : engine_.SearchWithMatches(single.query.query,
+                                        single.query.matches, options);
+    latency.Stop();
+#ifndef TGKS_NO_STATS
+    {
+      static obs::Counter* singles = obs::GlobalMetrics().GetCounter(
+          "tgks_single_queries_total",
+          "Queries submitted through the single-query path.");
+      static obs::Histogram* latency_micros = obs::GlobalMetrics().GetHistogram(
+          "tgks_single_query_latency_micros",
+          "Single-query wall-clock latency (microseconds).");
+      singles->Increment();
+      latency_micros->Observe(std::llround(latency.seconds() * 1e6));
+    }
+#endif  // TGKS_NO_STATS
+    done(std::move(response), latency.seconds());
+    inflight_singles_.fetch_sub(1, std::memory_order_relaxed);
+  });
+}
+
 BatchResponse QueryExecutor::RunQueries(
     const std::vector<search::Query>& queries) {
   std::vector<BatchQuery> batch;

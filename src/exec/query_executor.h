@@ -20,8 +20,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
@@ -91,12 +93,38 @@ struct BatchResponse {
   }
 };
 
+/// One independently submitted query (the serving path): its own deadline
+/// and cancellation token instead of the batch-wide ones.
+struct SingleQuery {
+  BatchQuery query;
+  /// Result-count override; <= 0 inherits ExecutorOptions::search.k.
+  int32_t k = 0;
+  /// Bound override; unset inherits ExecutorOptions::search.bound.
+  std::optional<search::UpperBoundKind> bound;
+  /// Per-request wall-clock deadline in milliseconds; <= 0 inherits
+  /// ExecutorOptions::deadline_ms.
+  int64_t deadline_ms = -1;
+  /// Per-request cancellation token (not owned; must outlive the callback).
+  /// Rides in SearchOptions::cancel, so it composes with a server-wide
+  /// token preset in ExecutorOptions::search.extra_cancel — either one
+  /// stops the query.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Completion callback for Submit(): invoked exactly once on a worker
+/// thread with the response and the query's wall-clock latency.
+using SingleQueryCallback =
+    std::function<void(Result<search::SearchResponse>, double seconds)>;
+
 /// Runs batches of independent queries concurrently over one shared graph.
 ///
 /// The graph (and index, if given) must outlive the executor. Run() is
 /// synchronous and may be called repeatedly; one batch runs at a time,
 /// enforced by an internal mutex — concurrent Run() calls from different
-/// threads serialize rather than interleave.
+/// threads serialize rather than interleave. Submit() is the asynchronous
+/// single-query path used by the serving layer: submitted queries share the
+/// worker pool with batches (they interleave freely) but are unaffected by
+/// batch-wide Cancel().
 class QueryExecutor {
  public:
   /// `index` may be null if every BatchQuery carries explicit matches.
@@ -114,6 +142,21 @@ class QueryExecutor {
   /// Convenience wrapper: index-resolved queries only.
   BatchResponse RunQueries(const std::vector<search::Query>& queries);
 
+  /// Schedules one query on the shared pool and returns immediately; `done`
+  /// runs on a worker thread when the query completes (on any stop path).
+  /// The per-request deadline overrides the executor default, and the
+  /// per-request cancel token is honored alongside any server-wide
+  /// `search.extra_cancel` preset in ExecutorOptions. Callable from any
+  /// thread, concurrently with Run() and other Submit() calls.
+  void Submit(SingleQuery single, SingleQueryCallback done);
+
+  /// Queries submitted through Submit() that have not yet run their
+  /// callback. The serving layer's admission control reads this as the
+  /// executor-side queue depth.
+  int64_t inflight_singles() const {
+    return inflight_singles_.load(std::memory_order_relaxed);
+  }
+
   /// Cooperatively cancels the in-flight batch (callable from any thread);
   /// in-flight queries stop at their next pop boundary with `cancelled`
   /// set. Cleared automatically when the next batch starts.
@@ -130,6 +173,7 @@ class QueryExecutor {
   /// Serializes Run(): one batch at a time in the shared pool.
   std::mutex run_mu_;
   std::atomic<bool> cancel_{false};
+  std::atomic<int64_t> inflight_singles_{0};
 };
 
 /// Computes the latency distribution of `latencies_seconds` (unsorted ok).

@@ -4,8 +4,56 @@
 #include <cassert>
 #include <cmath>
 #include <sstream>
+#include <string_view>
 
 namespace tgks::obs {
+
+namespace {
+
+/// Fallback instruments returned when a registration is refused (release
+/// builds with asserts compiled out). Never rendered; updates go nowhere
+/// visible but stay memory-safe.
+Counter* DummyCounter() {
+  static Counter* c = []() {
+    static MetricsRegistry dummy;
+    return dummy.GetCounter("tgks_invalid_registration_total");
+  }();
+  return c;
+}
+Gauge* DummyGauge() {
+  static Gauge* g = []() {
+    static MetricsRegistry dummy;
+    return dummy.GetGauge("tgks_invalid_registration");
+  }();
+  return g;
+}
+Histogram* DummyHistogram() {
+  static Histogram* h = []() {
+    static MetricsRegistry dummy;
+    return dummy.GetHistogram("tgks_invalid_registration_histogram");
+  }();
+  return h;
+}
+
+bool IsAlpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+/// The series names a family emits: the family name itself for counters and
+/// gauges; name_bucket/_sum/_count for histograms.
+void AppendSeriesNames(const std::string& family, bool histogram,
+                       std::vector<std::string>* out) {
+  if (!histogram) {
+    out->push_back(family);
+    return;
+  }
+  out->push_back(family + "_bucket");
+  out->push_back(family + "_sum");
+  out->push_back(family + "_count");
+}
+
+}  // namespace
 
 std::vector<int64_t> DefaultHistogramBounds() {
   std::vector<int64_t> bounds;
@@ -15,6 +63,57 @@ std::vector<int64_t> DefaultHistogramBounds() {
     bounds.push_back(5 * decade);
   }
   return bounds;
+}
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  if (!IsAlpha(name[0]) && name[0] != '_' && name[0] != ':') return false;
+  for (const char c : name.substr(1)) {
+    if (!IsAlpha(c) && !IsDigit(c) && c != '_' && c != ':') return false;
+  }
+  return true;
+}
+
+bool IsValidLabelName(std::string_view name) {
+  if (name.empty()) return false;
+  if (name.substr(0, 2) == "__") return false;  // Reserved for Prometheus.
+  if (!IsAlpha(name[0]) && name[0] != '_') return false;
+  for (const char c : name.substr(1)) {
+    if (!IsAlpha(c) && !IsDigit(c) && c != '_') return false;
+  }
+  return true;
+}
+
+std::string EscapeHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
 }
 
 Histogram::Histogram(std::vector<int64_t> bounds)
@@ -47,23 +146,59 @@ int64_t Histogram::Percentile(double p) const {
   return bounds_.empty() ? 0 : bounds_.back();
 }
 
-MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
+                                              const LabelSet& labels) {
   for (const auto& entry : entries_) {
-    if (entry->name == name) return entry.get();
+    if (entry->name == name && entry->labels == labels) return entry.get();
   }
   return nullptr;
 }
 
+bool MetricsRegistry::CheckRegistration(const std::string& name, Kind kind,
+                                        const LabelSet& labels) const {
+  if (!IsValidMetricName(name)) return false;
+  for (const auto& [label_name, value] : labels) {
+    (void)value;
+    if (!IsValidLabelName(label_name)) return false;
+    if (label_name == "le" && kind == Kind::kHistogram) return false;
+  }
+  // Series names this registration would emit.
+  std::vector<std::string> mine;
+  AppendSeriesNames(name, kind == Kind::kHistogram, &mine);
+  for (const auto& entry : entries_) {
+    if (entry->name == name) {
+      // Same family: kind must agree (one TYPE line per family).
+      if (entry->kind != kind) return false;
+      continue;
+    }
+    // Distinct families must emit disjoint series names.
+    std::vector<std::string> theirs;
+    AppendSeriesNames(entry->name, entry->kind == Kind::kHistogram, &theirs);
+    for (const std::string& a : mine) {
+      for (const std::string& b : theirs) {
+        if (a == b) return false;
+      }
+    }
+  }
+  return true;
+}
+
 Counter* MetricsRegistry::GetCounter(const std::string& name,
-                                     const std::string& help) {
+                                     const std::string& help,
+                                     const LabelSet& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* existing = Find(name)) {
+  if (Entry* existing = Find(name, labels)) {
     assert(existing->kind == Kind::kCounter);
+    if (existing->kind != Kind::kCounter) return DummyCounter();
     return existing->counter.get();
   }
+  const bool valid = CheckRegistration(name, Kind::kCounter, labels);
+  assert(valid && "invalid counter registration");
+  if (!valid) return DummyCounter();
   auto entry = std::make_unique<Entry>();
   entry->kind = Kind::kCounter;
   entry->name = name;
+  entry->labels = labels;
   entry->help = help;
   entry->counter = std::unique_ptr<Counter>(new Counter());
   Counter* out = entry->counter.get();
@@ -72,15 +207,21 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
-                                 const std::string& help) {
+                                 const std::string& help,
+                                 const LabelSet& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* existing = Find(name)) {
+  if (Entry* existing = Find(name, labels)) {
     assert(existing->kind == Kind::kGauge);
+    if (existing->kind != Kind::kGauge) return DummyGauge();
     return existing->gauge.get();
   }
+  const bool valid = CheckRegistration(name, Kind::kGauge, labels);
+  assert(valid && "invalid gauge registration");
+  if (!valid) return DummyGauge();
   auto entry = std::make_unique<Entry>();
   entry->kind = Kind::kGauge;
   entry->name = name;
+  entry->labels = labels;
   entry->help = help;
   entry->gauge = std::unique_ptr<Gauge>(new Gauge());
   Gauge* out = entry->gauge.get();
@@ -90,16 +231,22 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& help,
-                                         std::vector<int64_t> bounds) {
+                                         std::vector<int64_t> bounds,
+                                         const LabelSet& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* existing = Find(name)) {
+  if (Entry* existing = Find(name, labels)) {
     assert(existing->kind == Kind::kHistogram);
+    if (existing->kind != Kind::kHistogram) return DummyHistogram();
     return existing->histogram.get();
   }
+  const bool valid = CheckRegistration(name, Kind::kHistogram, labels);
+  assert(valid && "invalid histogram registration");
+  if (!valid) return DummyHistogram();
   if (bounds.empty()) bounds = DefaultHistogramBounds();
   auto entry = std::make_unique<Entry>();
   entry->kind = Kind::kHistogram;
   entry->name = name;
+  entry->labels = labels;
   entry->help = help;
   entry->histogram =
       std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
@@ -108,35 +255,95 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return out;
 }
 
+namespace {
+
+/// Renders `{k="v",...}` (or "" when empty). `extra` appends one more pair
+/// (the histogram `le` label) after the user labels.
+std::string RenderLabels(const LabelSet& labels, std::string_view extra_name,
+                         std::string_view extra_value) {
+  if (labels.empty() && extra_name.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += name;
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out += '"';
+  }
+  if (!extra_name.empty()) {
+    if (!first) out += ',';
+    out += extra_name;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
 std::string MetricsRegistry::RenderText() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
-  for (const auto& entry : entries_) {
-    if (!entry->help.empty()) {
-      os << "# HELP " << entry->name << ' ' << entry->help << '\n';
+  // One block per family, in first-registration order; every series of the
+  // family renders inside its block so HELP/TYPE appear exactly once.
+  std::vector<const Entry*> done;
+  for (const auto& head : entries_) {
+    const bool seen =
+        std::any_of(done.begin(), done.end(), [&](const Entry* e) {
+          return e->name == head->name;
+        });
+    if (seen) continue;
+    done.push_back(head.get());
+    // First non-empty help wins for the family.
+    std::string help;
+    for (const auto& entry : entries_) {
+      if (entry->name == head->name && !entry->help.empty()) {
+        help = entry->help;
+        break;
+      }
     }
-    switch (entry->kind) {
-      case Kind::kCounter:
-        os << "# TYPE " << entry->name << " counter\n"
-           << entry->name << ' ' << entry->counter->value() << '\n';
-        break;
-      case Kind::kGauge:
-        os << "# TYPE " << entry->name << " gauge\n"
-           << entry->name << ' ' << entry->gauge->value() << '\n';
-        break;
-      case Kind::kHistogram: {
-        const Histogram& h = *entry->histogram;
-        os << "# TYPE " << entry->name << " histogram\n";
-        int64_t cumulative = 0;
-        for (size_t i = 0; i < h.bounds_.size(); ++i) {
-          cumulative += h.buckets_[i].load(std::memory_order_relaxed);
-          os << entry->name << "_bucket{le=\"" << h.bounds_[i] << "\"} "
-             << cumulative << '\n';
+    if (!help.empty()) {
+      os << "# HELP " << head->name << ' ' << EscapeHelp(help) << '\n';
+    }
+    const std::string_view type_name =
+        head->kind == Kind::kCounter
+            ? "counter"
+            : head->kind == Kind::kGauge ? "gauge" : "histogram";
+    os << "# TYPE " << head->name << ' ' << type_name << '\n';
+    for (const auto& entry : entries_) {
+      if (entry->name != head->name) continue;
+      switch (entry->kind) {
+        case Kind::kCounter:
+          os << entry->name << RenderLabels(entry->labels, "", "") << ' '
+             << entry->counter->value() << '\n';
+          break;
+        case Kind::kGauge:
+          os << entry->name << RenderLabels(entry->labels, "", "") << ' '
+             << entry->gauge->value() << '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *entry->histogram;
+          int64_t cumulative = 0;
+          for (size_t i = 0; i < h.bounds_.size(); ++i) {
+            cumulative += h.buckets_[i].load(std::memory_order_relaxed);
+            os << entry->name << "_bucket"
+               << RenderLabels(entry->labels, "le",
+                               std::to_string(h.bounds_[i]))
+               << ' ' << cumulative << '\n';
+          }
+          os << entry->name << "_bucket"
+             << RenderLabels(entry->labels, "le", "+Inf") << ' ' << h.count()
+             << '\n'
+             << entry->name << "_sum" << RenderLabels(entry->labels, "", "")
+             << ' ' << h.sum() << '\n'
+             << entry->name << "_count" << RenderLabels(entry->labels, "", "")
+             << ' ' << h.count() << '\n';
+          break;
         }
-        os << entry->name << "_bucket{le=\"+Inf\"} " << h.count() << '\n'
-           << entry->name << "_sum " << h.sum() << '\n'
-           << entry->name << "_count " << h.count() << '\n';
-        break;
       }
     }
   }

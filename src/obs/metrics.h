@@ -7,6 +7,12 @@
 // Search code therefore registers its instruments up front (or per query,
 // outside the pop loop) and updates them lock-free while iterating.
 //
+// Instruments may carry label sets (e.g. {route="/v1/search",status="200"}).
+// Series sharing a family name render under one HELP/TYPE block, as the
+// exposition format requires; a family has exactly one instrument kind, and
+// histogram families reserve their _bucket/_sum/_count suffixes so no other
+// family can collide with the series they emit.
+//
 // Histograms use fixed bucket upper bounds (exponential by default) with one
 // atomic count per bucket plus sum/count, so percentile queries are
 // nearest-rank over the bucket table: the reported quantile is the upper
@@ -21,9 +27,13 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tgks::obs {
+
+/// Ordered label name/value pairs identifying one series within a family.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonically increasing counter.
 class Counter {
@@ -88,36 +98,60 @@ class Histogram {
 /// and microsecond latencies alike.
 std::vector<int64_t> DefaultHistogramBounds();
 
+/// True iff `name` is a valid Prometheus metric name
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*).
+bool IsValidMetricName(std::string_view name);
+
+/// True iff `name` is a valid Prometheus label name
+/// ([a-zA-Z_][a-zA-Z0-9_]*) and not reserved (no "__" prefix).
+bool IsValidLabelName(std::string_view name);
+
+/// Escapes a HELP text for the exposition format (backslash and newline).
+std::string EscapeHelp(std::string_view help);
+
+/// Escapes a label value for the exposition format (backslash, quote,
+/// newline).
+std::string EscapeLabelValue(std::string_view value);
+
 /// Named instrument registry with Prometheus text exposition.
 ///
 /// GetX() registers on first use and returns the existing instrument on
-/// subsequent calls with the same name; returned pointers stay valid for the
-/// registry's lifetime. Names should follow Prometheus conventions
-/// (snake_case, unit-suffixed, e.g. "tgks_search_pops_total").
+/// subsequent calls with the same (name, labels); returned pointers stay
+/// valid for the registry's lifetime. Names should follow Prometheus
+/// conventions (snake_case, unit-suffixed, e.g. "tgks_search_pops_total").
+/// Invalid names/labels and family kind conflicts are programming errors
+/// (debug-asserted; the offending registration is refused in release and a
+/// process-lifetime dummy instrument returned so callers never dereference
+/// null).
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name, const std::string& help = "");
-  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Counter* GetCounter(const std::string& name, const std::string& help = "",
+                      const LabelSet& labels = {});
+  Gauge* GetGauge(const std::string& name, const std::string& help = "",
+                  const LabelSet& labels = {});
   /// `bounds` is used only on first registration; pass {} for the default.
   Histogram* GetHistogram(const std::string& name,
                           const std::string& help = "",
-                          std::vector<int64_t> bounds = {});
+                          std::vector<int64_t> bounds = {},
+                          const LabelSet& labels = {});
 
-  /// Prometheus-style text exposition of every registered instrument, in
-  /// registration order:
+  /// Prometheus-style text exposition, families in first-registration order
+  /// and series within a family in registration order:
   ///
-  ///   # HELP tgks_queries_total Completed searches.
-  ///   # TYPE tgks_queries_total counter
-  ///   tgks_queries_total 42
+  ///   # HELP tgks_http_requests_total Requests served.
+  ///   # TYPE tgks_http_requests_total counter
+  ///   tgks_http_requests_total{route="/healthz",status="200"} 42
   ///   ...
   ///   tgks_query_micros_bucket{le="10"} 3     (cumulative)
   ///   tgks_query_micros_bucket{le="+Inf"} 7
   ///   tgks_query_micros_sum 915
   ///   tgks_query_micros_count 7
+  ///
+  /// Ends with a newline whenever any instrument is registered.
   std::string RenderText() const;
 
   /// Resets every instrument to zero (tests and benchmark reruns).
@@ -127,19 +161,25 @@ class MetricsRegistry {
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {
     Kind kind;
-    std::string name;
+    std::string name;  ///< Family name (no labels).
+    LabelSet labels;
     std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
-  Entry* Find(const std::string& name);
+  Entry* Find(const std::string& name, const LabelSet& labels);
+  /// Refuses registrations that would corrupt the exposition: a family with
+  /// two kinds, or a name colliding with another family's series (histogram
+  /// _bucket/_sum/_count). Returns false on conflict.
+  bool CheckRegistration(const std::string& name, Kind kind,
+                         const LabelSet& labels) const;
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;
 };
 
-/// The process-wide registry the engine and executor report into.
+/// The process-wide registry the engine, executor, and server report into.
 MetricsRegistry& GlobalMetrics();
 
 }  // namespace tgks::obs

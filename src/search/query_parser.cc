@@ -8,6 +8,34 @@
 
 namespace tgks::search {
 
+std::string_view ParseErrorCodeName(ParseErrorCode code) {
+  switch (code) {
+    case ParseErrorCode::kNone:
+      return "none";
+    case ParseErrorCode::kUnterminatedQuote:
+      return "unterminated-quote";
+    case ParseErrorCode::kBadNumber:
+      return "bad-number";
+    case ParseErrorCode::kUnexpectedToken:
+      return "unexpected-token";
+    case ParseErrorCode::kEmptyKeyword:
+      return "empty-keyword";
+    case ParseErrorCode::kMissingKeywords:
+      return "missing-keywords";
+    case ParseErrorCode::kBadPredicate:
+      return "bad-predicate";
+    case ParseErrorCode::kBadRange:
+      return "bad-range";
+    case ParseErrorCode::kBadRanking:
+      return "bad-ranking";
+    case ParseErrorCode::kTrailingInput:
+      return "trailing-input";
+    case ParseErrorCode::kInvalidStructure:
+      return "invalid-structure";
+  }
+  return "none";
+}
+
 namespace {
 
 using temporal::TimePoint;
@@ -17,13 +45,26 @@ struct Token {
   Kind kind = Kind::kEnd;
   std::string text;   // Lowercased for words; raw for quoted.
   int64_t number = 0;
+  size_t offset = 0;  // Byte offset of the token in the query text.
 };
+
+/// Records the structured detail and returns the matching error Status; the
+/// Status message and the detail message are the same string, so callers
+/// that only print the Status see exactly the pre-structured output.
+Status Fail(ParseErrorDetail* detail, ParseErrorCode code, size_t offset,
+            std::string msg) {
+  detail->code = code;
+  detail->offset = offset;
+  detail->message = msg;
+  return Status::InvalidArgument(std::move(msg));
+}
 
 /// Splits the query string into words, quoted phrases, integers, and the
 /// symbols , [ ] ( ).
 class Lexer {
  public:
-  static Result<std::vector<Token>> Lex(std::string_view text) {
+  static Result<std::vector<Token>> Lex(std::string_view text,
+                                        ParseErrorDetail* detail) {
     std::vector<Token> tokens;
     size_t i = 0;
     while (i < text.size()) {
@@ -35,15 +76,17 @@ class Lexer {
       if (c == '"' || c == '\'') {
         const size_t close = text.find(c, i + 1);
         if (close == std::string_view::npos) {
-          return Status::InvalidArgument("unterminated quote");
+          return Fail(detail, ParseErrorCode::kUnterminatedQuote, i,
+                      "unterminated quote");
         }
         tokens.push_back({Token::Kind::kQuoted,
-                          std::string(text.substr(i + 1, close - i - 1)), 0});
+                          std::string(text.substr(i + 1, close - i - 1)), 0,
+                          i});
         i = close + 1;
         continue;
       }
       if (c == ',' || c == '[' || c == ']' || c == '(' || c == ')') {
-        tokens.push_back({Token::Kind::kSymbol, std::string(1, c), 0});
+        tokens.push_back({Token::Kind::kSymbol, std::string(1, c), 0, i});
         ++i;
         continue;
       }
@@ -57,10 +100,11 @@ class Lexer {
         }
         int64_t value = 0;
         if (!ParseInt64(text.substr(i, j - i), &value)) {
-          return Status::InvalidArgument("bad number in query");
+          return Fail(detail, ParseErrorCode::kBadNumber, i,
+                      "bad number in query");
         }
         tokens.push_back({Token::Kind::kInt, std::string(text.substr(i, j - i)),
-                          value});
+                          value, i});
         i = j;
         continue;
       }
@@ -74,17 +118,18 @@ class Lexer {
         ++j;
       }
       tokens.push_back(
-          {Token::Kind::kWord, AsciiToLower(text.substr(i, j - i)), 0});
+          {Token::Kind::kWord, AsciiToLower(text.substr(i, j - i)), 0, i});
       i = j;
     }
-    tokens.push_back({Token::Kind::kEnd, "", 0});
+    tokens.push_back({Token::Kind::kEnd, "", 0, text.size()});
     return tokens;
   }
 };
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, ParseErrorDetail* detail)
+      : tokens_(std::move(tokens)), detail_(detail) {}
 
   Result<Query> Parse() {
     Query query;
@@ -97,10 +142,14 @@ class Parser {
       TGKS_RETURN_IF_ERROR(ParseRanking(&query.ranking));
     }
     if (!AtEnd()) {
-      return Status::InvalidArgument("unexpected token '" + Peek().text +
-                                     "' after query");
+      return Fail(detail_, ParseErrorCode::kTrailingInput, Peek().offset,
+                  "unexpected token '" + Peek().text + "' after query");
     }
-    TGKS_RETURN_IF_ERROR(query.Validate());
+    const Status valid = query.Validate();
+    if (!valid.ok()) {
+      return Fail(detail_, ParseErrorCode::kInvalidStructure, 0,
+                  valid.message());
+    }
     return query;
   }
 
@@ -134,23 +183,25 @@ class Parser {
   }
   Status ExpectWord(std::string_view word) {
     if (!ConsumeWord(word)) {
-      return Status::InvalidArgument("expected '" + std::string(word) +
-                                     "', found '" + Peek().text + "'");
+      return Fail(detail_, ParseErrorCode::kUnexpectedToken, Peek().offset,
+                  "expected '" + std::string(word) + "', found '" +
+                      Peek().text + "'");
     }
     return Status::OK();
   }
   Status ExpectSymbol(std::string_view symbol) {
     if (!PeekSymbol(symbol)) {
-      return Status::InvalidArgument("expected '" + std::string(symbol) +
-                                     "', found '" + Peek().text + "'");
+      return Fail(detail_, ParseErrorCode::kUnexpectedToken, Peek().offset,
+                  "expected '" + std::string(symbol) + "', found '" +
+                      Peek().text + "'");
     }
     ++pos_;
     return Status::OK();
   }
   Result<TimePoint> ExpectInt() {
     if (Peek().kind != Token::Kind::kInt) {
-      return Status::InvalidArgument("expected a time instant, found '" +
-                                     Peek().text + "'");
+      return Fail(detail_, ParseErrorCode::kUnexpectedToken, Peek().offset,
+                  "expected a time instant, found '" + Peek().text + "'");
     }
     return static_cast<TimePoint>(Advance().number);
   }
@@ -177,8 +228,8 @@ class Parser {
         // and would not round-trip; reject it.
         std::vector<std::string> words = TokenizeWords(t.text);
         if (words.empty()) {
-          return Status::InvalidArgument("keyword '" + t.text +
-                                         "' has no searchable word");
+          return Fail(detail_, ParseErrorCode::kEmptyKeyword, t.offset,
+                      "keyword '" + t.text + "' has no searchable word");
         }
         for (std::string& word : words) {
           query->keywords.push_back(std::move(word));
@@ -186,11 +237,12 @@ class Parser {
         ++pos_;
         continue;
       }
-      return Status::InvalidArgument("unexpected token '" + t.text +
-                                     "' in keyword list");
+      return Fail(detail_, ParseErrorCode::kUnexpectedToken, t.offset,
+                  "unexpected token '" + t.text + "' in keyword list");
     }
     if (query->keywords.empty()) {
-      return Status::InvalidArgument("query needs at least one keyword");
+      return Fail(detail_, ParseErrorCode::kMissingKeywords, Peek().offset,
+                  "query needs at least one keyword");
     }
     return Status::OK();
   }
@@ -198,13 +250,15 @@ class Parser {
   /// range := "[" INT "," INT "]" | INT.
   Result<std::pair<TimePoint, TimePoint>> ParseRange() {
     if (PeekSymbol("[")) {
+      const size_t open_offset = Peek().offset;
       ++pos_;
       TGKS_ASSIGN_OR_RETURN(const TimePoint lo, ExpectInt());
       TGKS_RETURN_IF_ERROR(ExpectSymbol(","));
       TGKS_ASSIGN_OR_RETURN(const TimePoint hi, ExpectInt());
       TGKS_RETURN_IF_ERROR(ExpectSymbol("]"));
       if (lo > hi) {
-        return Status::InvalidArgument("empty interval in predicate");
+        return Fail(detail_, ParseErrorCode::kBadRange, open_offset,
+                    "empty interval in predicate");
       }
       return std::make_pair(lo, hi);
     }
@@ -251,8 +305,8 @@ class Parser {
       return PredicateExpr::Atom(PredicateOp::kContainedBy, range.first,
                                  range.second);
     }
-    return Status::InvalidArgument("unknown predicate operator '" +
-                                   Peek().text + "'");
+    return Fail(detail_, ParseErrorCode::kBadPredicate, Peek().offset,
+                "unknown predicate operator '" + Peek().text + "'");
   }
 
   Result<std::shared_ptr<const PredicateExpr>> ParseUnary() {
@@ -305,8 +359,8 @@ class Parser {
         TGKS_RETURN_IF_ERROR(ExpectWord("time"));
         return RankFactor::kEndTimeDesc;
       }
-      return Status::InvalidArgument("unknown descending ranking factor '" +
-                                     Peek().text + "'");
+      return Fail(detail_, ParseErrorCode::kBadRanking, Peek().offset,
+                  "unknown descending ranking factor '" + Peek().text + "'");
     }
     if (ConsumeWord("ascending")) {
       TGKS_RETURN_IF_ERROR(ExpectWord("order"));
@@ -316,7 +370,8 @@ class Parser {
       TGKS_RETURN_IF_ERROR(ExpectWord("time"));
       return RankFactor::kStartTimeAsc;
     }
-    return Status::InvalidArgument("expected 'ascending' or 'descending'");
+    return Fail(detail_, ParseErrorCode::kBadRanking, Peek().offset,
+                "expected 'ascending' or 'descending'");
   }
 
   Status ParseRanking(RankingSpec* spec) {
@@ -335,14 +390,26 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  ParseErrorDetail* detail_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
 Result<Query> ParseQuery(std::string_view text) {
-  TGKS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer::Lex(text));
-  return Parser(std::move(tokens)).Parse();
+  return ParseQuery(text, nullptr);
+}
+
+Result<Query> ParseQuery(std::string_view text, ParseErrorDetail* error) {
+  ParseErrorDetail local;
+  auto tokens = Lexer::Lex(text, &local);
+  if (!tokens.ok()) {
+    if (error != nullptr) *error = local;
+    return tokens.status();
+  }
+  auto query = Parser(std::move(tokens).value(), &local).Parse();
+  if (!query.ok() && error != nullptr) *error = local;
+  return query;
 }
 
 }  // namespace tgks::search

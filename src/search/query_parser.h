@@ -29,6 +29,8 @@
 #ifndef TGKS_SEARCH_QUERY_PARSER_H_
 #define TGKS_SEARCH_QUERY_PARSER_H_
 
+#include <cstddef>
+#include <string>
 #include <string_view>
 
 #include "common/result.h"
@@ -36,8 +38,41 @@
 
 namespace tgks::search {
 
+/// Machine-readable parse-failure categories. API callers (e.g. the HTTP
+/// server's 400 bodies) branch on these; the CLI keeps using the Status
+/// message, which is unchanged by this structured layer.
+enum class ParseErrorCode {
+  kNone = 0,
+  kUnterminatedQuote,  ///< A quote opened but never closed.
+  kBadNumber,          ///< An integer literal failed to parse.
+  kUnexpectedToken,    ///< A token the grammar does not allow here.
+  kEmptyKeyword,       ///< A keyword term with no searchable word.
+  kMissingKeywords,    ///< The query has no keywords at all.
+  kBadPredicate,       ///< An unknown predicate operator.
+  kBadRange,           ///< A malformed or empty [lo, hi] range.
+  kBadRanking,         ///< An unknown ranking factor or direction.
+  kTrailingInput,      ///< Well-formed query followed by extra tokens.
+  kInvalidStructure,   ///< Query::Validate() rejected the parsed query.
+};
+
+/// Stable kebab-case name for `code` ("unterminated-quote", ...).
+std::string_view ParseErrorCodeName(ParseErrorCode code);
+
+/// Where and why a parse failed: the category, the byte offset of the
+/// offending token in the query text, and the human-readable message (the
+/// same string the returned Status carries).
+struct ParseErrorDetail {
+  ParseErrorCode code = ParseErrorCode::kNone;
+  size_t offset = 0;
+  std::string message;
+};
+
 /// Parses `text` into a Query; errors report the offending token.
 Result<Query> ParseQuery(std::string_view text);
+
+/// As above, but on failure also fills `*error` with the structured detail
+/// (category + byte offset). `error` may be null; untouched on success.
+Result<Query> ParseQuery(std::string_view text, ParseErrorDetail* error);
 
 }  // namespace tgks::search
 

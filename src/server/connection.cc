@@ -1,0 +1,262 @@
+#include "server/connection.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace tgks::server {
+
+namespace {
+
+std::string AsciiLower(std::string_view s) { return AsciiToLower(s); }
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Header values are comma-separated token lists; true if `token` appears.
+bool HeaderHasToken(std::string_view value, std::string_view token) {
+  size_t pos = 0;
+  while (pos <= value.size()) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string_view::npos) comma = value.size();
+    std::string_view piece = StripWhitespace(value.substr(pos, comma - pos));
+    if (EqualsIgnoreCase(piece, token)) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string* connection = FindHeader("connection");
+  if (version_minor >= 1) {
+    return connection == nullptr || !HeaderHasToken(*connection, "close");
+  }
+  return connection != nullptr && HeaderHasToken(*connection, "keep-alive");
+}
+
+std::string_view StatusReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+  }
+  return "Unknown";
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  const bool close = response.close_connection || !keep_alive;
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += StatusReasonPhrase(response.status);
+  out += "\r\n";
+  if (!response.content_type.empty()) {
+    out += "Content-Type: ";
+    out += response.content_type;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\n";
+  for (const auto& [name, value] : response.extra_headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpRequestParser::State HttpRequestParser::Fail(int status,
+                                                 std::string_view reason) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_reason_.assign(reason);
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Feed(std::string_view data,
+                                                 size_t* consumed) {
+  size_t used = 0;
+  if (state_ == State::kHead) {
+    // Append until the head terminator; tolerate bare-LF line endings by
+    // searching for both CRLFCRLF and LFLF.
+    const size_t old_size = head_.size();
+    head_.append(data);
+    size_t end = std::string::npos;
+    size_t body_start = 0;
+    // Search from just before the appended bytes so a terminator split
+    // across Feed() calls is still found.
+    const size_t search_from = old_size >= 3 ? old_size - 3 : 0;
+    const size_t crlf = head_.find("\r\n\r\n", search_from);
+    const size_t lflf = head_.find("\n\n", search_from);
+    // Whichever terminator ends first wins (they cannot overlap).
+    if (crlf != std::string::npos &&
+        (lflf == std::string::npos || crlf + 4 <= lflf + 2)) {
+      end = crlf;
+      body_start = crlf + 4;
+    } else if (lflf != std::string::npos) {
+      end = lflf;
+      body_start = lflf + 2;
+    }
+    if (end == std::string::npos) {
+      if (head_.size() > limits_.max_head_bytes) {
+        if (consumed != nullptr) *consumed = data.size();
+        return Fail(431, "request head exceeds limit");
+      }
+      if (consumed != nullptr) *consumed = data.size();
+      return state_;
+    }
+    if (body_start > limits_.max_head_bytes) {
+      if (consumed != nullptr) *consumed = data.size();
+      return Fail(431, "request head exceeds limit");
+    }
+    // Bytes past the head belong to the body (or the next request); trim
+    // them off head_ and account for what this call actually consumed.
+    used = body_start > old_size ? body_start - old_size : 0;
+    head_.resize(body_start);
+    if (ParseHead() == State::kError) {
+      if (consumed != nullptr) *consumed = used;
+      return state_;
+    }
+    if (body_wanted_ == 0) {
+      state_ = State::kDone;
+      if (consumed != nullptr) *consumed = used;
+      return state_;
+    }
+    state_ = State::kBody;
+    data.remove_prefix(used);
+  }
+  if (state_ == State::kBody) {
+    const size_t missing = body_wanted_ - request_.body.size();
+    const size_t take = std::min(missing, data.size());
+    request_.body.append(data.substr(0, take));
+    used += take;
+    if (request_.body.size() == body_wanted_) state_ = State::kDone;
+  }
+  if (consumed != nullptr) *consumed = used;
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::ParseHead() {
+  // Split head_ into lines (tolerating both CRLF and LF).
+  std::vector<std::string_view> lines;
+  std::string_view rest = head_;
+  while (!rest.empty()) {
+    size_t nl = rest.find('\n');
+    if (nl == std::string_view::npos) break;
+    std::string_view line = rest.substr(0, nl);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    rest.remove_prefix(nl + 1);
+  }
+  // Skip leading empty lines (robustness: stray CRLF between requests).
+  size_t first = 0;
+  while (first < lines.size() && lines[first].empty()) ++first;
+  if (first >= lines.size()) return Fail(400, "empty request");
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  std::string_view request_line = lines[first];
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  request_.method.assign(request_line.substr(0, sp1));
+  request_.target.assign(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (version.substr(0, 5) != "HTTP/") {
+    return Fail(400, "malformed HTTP version");
+  }
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else {
+    return Fail(505, "unsupported HTTP version");
+  }
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    return Fail(400, "malformed request line");
+  }
+
+  // Headers.
+  for (size_t i = first + 1; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    if (line.empty()) break;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Fail(400, "malformed header");
+    }
+    std::string name = AsciiLower(StripWhitespace(line.substr(0, colon)));
+    if (name.find(' ') != std::string::npos) {
+      return Fail(400, "malformed header name");
+    }
+    std::string value{StripWhitespace(line.substr(colon + 1))};
+    request_.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  // Body framing: Content-Length only; chunked is out of scope.
+  if (const std::string* te = request_.FindHeader("transfer-encoding");
+      te != nullptr) {
+    return Fail(501, "chunked transfer coding not supported");
+  }
+  body_wanted_ = 0;
+  if (const std::string* cl = request_.FindHeader("content-length");
+      cl != nullptr) {
+    int64_t length = 0;
+    if (!ParseInt64(*cl, &length) || length < 0) {
+      return Fail(400, "invalid content-length");
+    }
+    if (static_cast<size_t>(length) > limits_.max_body_bytes) {
+      return Fail(413, "request body exceeds limit");
+    }
+    body_wanted_ = static_cast<size_t>(length);
+  }
+  request_.body.reserve(body_wanted_);
+  return state_;
+}
+
+void HttpRequestParser::Reset() {
+  state_ = State::kHead;
+  head_.clear();
+  body_wanted_ = 0;
+  request_ = HttpRequest{};
+  error_status_ = 0;
+  error_reason_.clear();
+}
+
+}  // namespace tgks::server

@@ -1,0 +1,110 @@
+// HTTP/1.1 message types and the incremental request parser.
+//
+// The server speaks a deliberately small slice of HTTP/1.1: request line +
+// headers + optional Content-Length body (no chunked transfer coding, no
+// multi-line headers, no trailers), fixed-length responses, and keep-alive.
+// The parser is incremental — Feed() consumes bytes as they arrive off the
+// socket and the state machine reports when a full request is buffered —
+// and enforces head/body size limits so a hostile peer cannot balloon
+// memory (oversized heads answer 431, oversized bodies 413).
+
+#ifndef TGKS_SERVER_CONNECTION_H_
+#define TGKS_SERVER_CONNECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tgks::server {
+
+/// A parsed HTTP request. Header names are lowercased; values are trimmed.
+struct HttpRequest {
+  std::string method;   ///< Uppercase, e.g. "GET", "POST".
+  std::string target;   ///< Request target, e.g. "/v1/search".
+  int version_minor = 1;  ///< HTTP/1.<minor>; 0 or 1 accepted.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header named `name` (lowercase), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+
+  /// Keep-alive per HTTP/1.1 defaults: 1.1 keeps alive unless
+  /// "connection: close"; 1.0 closes unless "connection: keep-alive".
+  bool keep_alive() const;
+};
+
+/// A response to serialize. Content-Length is always emitted (fixed-length
+/// bodies only), so the connection state machine never needs chunking.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  /// Extra headers, e.g. {"retry-after", "1"}. Content-Length, Connection
+  /// and Content-Type are emitted by SerializeResponse.
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;
+  /// Forces "Connection: close" regardless of the request's keep-alive.
+  bool close_connection = false;
+};
+
+/// The canonical reason phrase for `status` ("Unknown" for unmapped codes).
+std::string_view StatusReasonPhrase(int status);
+
+/// Renders the full response bytes. `keep_alive` reflects the request side;
+/// the response closes when either side wants to.
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
+
+/// Incremental HTTP/1.1 request parser (one request at a time; Reset() and
+/// re-Feed leftover bytes for keep-alive pipelining).
+class HttpRequestParser {
+ public:
+  struct Limits {
+    size_t max_head_bytes = 16 * 1024;       ///< Request line + headers.
+    size_t max_body_bytes = 4 * 1024 * 1024;  ///< Content-Length cap.
+  };
+
+  enum class State {
+    kHead,   ///< Collecting request line + headers.
+    kBody,   ///< Head parsed; collecting Content-Length bytes.
+    kDone,   ///< A complete request is available via request().
+    kError,  ///< Malformed or over-limit; see error_status().
+  };
+
+  HttpRequestParser() = default;
+  explicit HttpRequestParser(Limits limits) : limits_(limits) {}
+
+  /// Consumes as much of `data` as the current request needs and returns
+  /// the new state. Returns the number of bytes consumed via *consumed;
+  /// leftover bytes belong to the next request (pipelining) and should be
+  /// fed again after Reset().
+  State Feed(std::string_view data, size_t* consumed);
+
+  State state() const { return state_; }
+  const HttpRequest& request() const { return request_; }
+
+  /// For kError: the HTTP status to answer with (400, 413, 431, 501 or 505)
+  /// and a short human-readable reason.
+  int error_status() const { return error_status_; }
+  const std::string& error_reason() const { return error_reason_; }
+
+  /// Clears all state for the next request on the same connection.
+  void Reset();
+
+ private:
+  State Fail(int status, std::string_view reason);
+  /// Parses head_ (request line + headers) once the blank line arrived.
+  State ParseHead();
+
+  Limits limits_;
+  State state_ = State::kHead;
+  std::string head_;  ///< Raw bytes up to and including the blank line.
+  size_t body_wanted_ = 0;
+  HttpRequest request_;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+}  // namespace tgks::server
+
+#endif  // TGKS_SERVER_CONNECTION_H_

@@ -1,0 +1,108 @@
+// HttpServer: a dependency-free HTTP/1.1 server for the search service.
+//
+// One I/O thread runs a readiness loop (epoll on Linux by default, with a
+// portable poll() backend selectable for tests) over nonblocking sockets:
+// it accepts connections, feeds bytes to the incremental request parser,
+// hands complete requests to the RequestRouter, and flushes fixed-length
+// responses, honoring keep-alive. Search requests complete asynchronously
+// on executor worker threads; completions are queued under a mutex and the
+// loop is woken through a self-pipe, so sockets are only ever touched by
+// the I/O thread.
+//
+// Graceful shutdown (Shutdown(), typically from a SIGTERM handler):
+//   1. stop accepting; /healthz turns 503; new searches are shed (503)
+//   2. in-flight queries keep running up to drain_timeout_ms
+//   3. stragglers are cancelled through the shutdown token; their JSON
+//      responses (stop_reason "cancelled") are still flushed
+//   4. connections close and the I/O thread exits
+//
+// docs/serving.md documents the wire format and these semantics.
+
+#ifndef TGKS_SERVER_HTTP_SERVER_H_
+#define TGKS_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "server/admission.h"
+#include "server/connection.h"
+#include "server/request_router.h"
+
+namespace tgks::server {
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  int backlog = 128;
+  /// Forces the portable poll() backend instead of epoll.
+  bool use_poll = false;
+  /// Accepted connections beyond this are closed immediately.
+  int max_connections = 1024;
+  HttpRequestParser::Limits limits;
+  /// Grace period for in-flight queries during Shutdown() before the
+  /// shutdown cancel token is set.
+  int drain_timeout_ms = 5000;
+  /// Optional flag flipped to true when draining starts (wire the same
+  /// atomic into RouterContext::draining so /healthz flips to 503).
+  std::atomic<bool>* draining_flag = nullptr;
+  /// Optional server-wide cancel token set when the drain timeout expires
+  /// (wire the same atomic into ExecutorOptions::search.extra_cancel so
+  /// straggler queries stop at their next pop boundary).
+  std::atomic<bool>* shutdown_cancel = nullptr;
+};
+
+/// The serving loop. Construction does not open sockets; Start() binds,
+/// listens, and launches the I/O thread. The router (and everything it
+/// borrows) must outlive the server.
+class HttpServer {
+ public:
+  /// `admission` may be null; when set, Shutdown() puts it in draining mode
+  /// so racing requests shed instead of admitting.
+  HttpServer(RequestRouter* router, AdmissionController* admission,
+             HttpServerOptions options);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds and starts serving. Fails if the address is unavailable.
+  Status Start();
+
+  /// The bound port (after Start(); the ephemeral port when port was 0).
+  int port() const { return port_; }
+
+  /// True between a successful Start() and the end of Shutdown().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Graceful shutdown (see the header comment). Idempotent; blocks until
+  /// the I/O thread has exited. Called by the destructor if still running.
+  void Shutdown();
+
+  /// Connections currently open (tests and /varz).
+  int64_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class Impl;
+  friend class Impl;
+
+  RequestRouter* router_;
+  AdmissionController* admission_;
+  HttpServerOptions options_;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<int64_t> open_connections_{0};
+  std::unique_ptr<Impl> impl_;
+  std::thread io_thread_;
+};
+
+}  // namespace tgks::server
+
+#endif  // TGKS_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,453 @@
+#include "server/json_io.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tgks::server {
+
+namespace {
+
+/// Nesting depth cap: the wire format needs 3 levels; 64 tolerates growth
+/// while keeping hostile deeply-nested bodies from recursing unboundedly.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+int64_t JsonValue::AsInt() const {
+  if (kind_ == Kind::kInt) return int_;
+  if (kind_ == Kind::kDouble) return static_cast<int64_t>(double_);
+  return 0;
+}
+
+double JsonValue::AsDouble() const {
+  if (kind_ == Kind::kDouble) return double_;
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  return 0.0;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+/// Recursive-descent parser over a string_view; offsets index the original
+/// text so error messages pinpoint the byte.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    TGKS_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error(pos_, "trailing data after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(size_t offset, std::string_view message) const {
+    std::string text = "json error at byte ";
+    text += std::to_string(offset);
+    text += ": ";
+    text += message;
+    return Status::InvalidArgument(text);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Error(pos_, "nesting too deep");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error(pos_, "unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+        if (!ConsumeLiteral("true")) return Error(pos_, "invalid literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->int_ = 1;
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error(pos_, "invalid literal");
+        out->kind_ = JsonValue::Kind::kBool;
+        out->int_ = 0;
+        return Status::OK();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error(pos_, "invalid literal");
+        out->kind_ = JsonValue::Kind::kNull;
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error(pos_, "expected object key");
+      }
+      std::string key;
+      TGKS_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Error(pos_, "expected ':' after object key");
+      }
+      ++pos_;
+      JsonValue value;
+      TGKS_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error(pos_, "unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Error(pos_, "expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue value;
+      TGKS_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->items_.push_back(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error(pos_, "unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Status::OK();
+      }
+      return Error(pos_, "expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    const size_t start = pos_;
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error(pos_, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      // Escape sequence.
+      if (pos_ + 1 >= text_.size()) break;
+      const char e = text_[pos_ + 1];
+      pos_ += 2;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          TGKS_ASSIGN_OR_RETURN(uint32_t code, ParseHex4());
+          // Surrogate pair handling: a high surrogate must be followed by
+          // \uDCxx; unpaired surrogates are an error.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error(pos_, "unpaired UTF-16 surrogate");
+            }
+            pos_ += 2;
+            TGKS_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error(pos_, "invalid UTF-16 low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error(pos_, "unpaired UTF-16 surrogate");
+          }
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return Error(pos_ - 1, "invalid escape sequence");
+      }
+    }
+    return Error(start, "unterminated string");
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return Error(pos_, "truncated \\u escape");
+    }
+    uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error(pos_, "invalid \\u escape digit");
+      }
+    }
+    pos_ += 4;
+    return code;
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const size_t int_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == int_start) return Error(start, "invalid value");
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      return Error(start, "leading zero in number");
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      const size_t frac_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac_start) {
+        return Error(start, "digit expected after decimal point");
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const size_t exp_start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp_start) return Error(start, "digit expected in exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == ERANGE || end != token.c_str() + token.size()) {
+        // Out-of-range integers fall back to double (lossy but accepted).
+        out->kind_ = JsonValue::Kind::kDouble;
+        out->double_ = std::strtod(token.c_str(), nullptr);
+        return Status::OK();
+      }
+      out->kind_ = JsonValue::Kind::kInt;
+      out->int_ = v;
+      return Status::OK();
+    }
+    out->kind_ = JsonValue::Kind::kDouble;
+    out->double_ = std::strtod(token.c_str(), nullptr);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+void AppendJsonEscaped(std::string_view text, std::string* out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    // The comma was already written by Key().
+    pending_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_.push_back(',');
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_.push_back('}');
+  if (!has_element_.empty()) has_element_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  has_element_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_.push_back(']');
+  if (!has_element_.empty()) has_element_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view name) {
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_.push_back(',');
+    has_element_.back() = true;
+  }
+  out_.push_back('"');
+  AppendJsonEscaped(name, &out_);
+  out_.append("\":");
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  AppendJsonEscaped(value, &out_);
+  out_.push_back('"');
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_.append(std::to_string(value));
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_.append("null");
+    return;
+  }
+  char buf[32];
+  // Integral values render as plain integers ("50", not "5e+01").
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      value > -1e15 && value < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    out_.append(buf);
+    return;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Prefer the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[32];
+    std::snprintf(probe, sizeof(probe), "%.*g", precision, value);
+    if (std::strtod(probe, nullptr) == value) {
+      out_.append(probe);
+      return;
+    }
+  }
+  out_.append(buf);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_.append(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_.append("null");
+}
+
+}  // namespace tgks::server

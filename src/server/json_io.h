@@ -1,0 +1,110 @@
+// Minimal JSON reader/writer for the serving layer's wire format.
+//
+// The server speaks a small, fixed JSON dialect (the /v1/search request and
+// response bodies), so this is a dependency-free recursive-descent parser
+// with a depth limit plus a streaming writer with correct string escaping —
+// not a general-purpose JSON library. Numbers parse as int64 when they have
+// no fraction/exponent, double otherwise; object member order is preserved.
+
+#ifndef TGKS_SERVER_JSON_IO_H_
+#define TGKS_SERVER_JSON_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tgks::server {
+
+/// A parsed JSON value. Objects keep member order; duplicate keys keep the
+/// first occurrence on lookup (later ones are preserved but shadowed).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  /// Parses one JSON document; trailing non-whitespace is an error. Error
+  /// statuses carry the byte offset ("json error at byte N: ...").
+  static Result<JsonValue> Parse(std::string_view text);
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  /// True for any numeric value (int or double).
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Accessors; callers must check the kind first (wrong-kind access on a
+  /// number-ish getter returns 0/false/"" rather than crashing).
+  bool AsBool() const { return kind_ == Kind::kBool && int_ != 0; }
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// First member with `key`, or nullptr.
+  const JsonValue* Find(std::string_view key) const;
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  int64_t int_ = 0;       // kBool (0/1) and kInt payload.
+  double double_ = 0.0;   // kDouble payload.
+  std::string string_;    // kString payload.
+  std::vector<JsonValue> items_;                            // kArray.
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject.
+};
+
+/// Appends `text` to `out` with JSON string escaping (quotes not included).
+void AppendJsonEscaped(std::string_view text, std::string* out);
+
+/// Streaming JSON writer: emits to an internal buffer, managing commas per
+/// nesting level. Usage errors (value where a key is due, mismatched
+/// Begin/End) produce malformed output rather than crashing — the writer is
+/// for trusted server-side code, and tests pin the rendered bytes.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes `"name":` inside an object (call before the member's value).
+  void Key(std::string_view name);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  /// Doubles render with up to 17 significant digits (round-trippable);
+  /// non-finite values render as null per JSON.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+  std::string out_;
+  /// One flag per open container: true once it has at least one element.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace tgks::server
+
+#endif  // TGKS_SERVER_JSON_IO_H_

@@ -1,0 +1,498 @@
+#include "server/request_router.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/search_stats.h"
+#include "server/json_io.h"
+
+namespace tgks::server {
+
+namespace {
+
+/// Path component of the request target (strips any query string).
+std::string_view PathOf(const std::string& target) {
+  const size_t q = target.find('?');
+  return q == std::string::npos ? std::string_view(target)
+                                : std::string_view(target).substr(0, q);
+}
+
+HttpResponse TextResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse JsonResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+void WriteCounters(const search::SearchCounters& counters, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("iterators"); w->Int(counters.iterators);
+  w->Key("pops"); w->Int(counters.pops);
+  w->Key("useless_pops"); w->Int(counters.useless_pops);
+  w->Key("ntds_created"); w->Int(counters.ntds_created);
+  w->Key("edges_scanned"); w->Int(counters.edges_scanned);
+  w->Key("subsumption_skips"); w->Int(counters.subsumption_skips);
+  w->Key("subsumption_evictions"); w->Int(counters.subsumption_evictions);
+  w->Key("nodes_visited"); w->Int(counters.nodes_visited);
+  w->Key("candidates"); w->Int(counters.candidates);
+  w->Key("invalid_time"); w->Int(counters.invalid_time);
+  w->Key("invalid_structure"); w->Int(counters.invalid_structure);
+  w->Key("root_reducible"); w->Int(counters.root_reducible);
+  w->Key("predicate_rejected"); w->Int(counters.predicate_rejected);
+  w->Key("duplicates"); w->Int(counters.duplicates);
+  w->Key("combo_overflows"); w->Int(counters.combo_overflows);
+  w->Key("results"); w->Int(counters.results);
+  w->EndObject();
+}
+
+void WriteStats(const obs::SearchStats& stats, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("pops"); w->Int(stats.pops);
+  w->Key("ntds_created"); w->Int(stats.ntds_created);
+  w->Key("ntds_merged"); w->Int(stats.ntds_merged);
+  w->Key("dedup_hits"); w->Int(stats.dedup_hits);
+  w->Key("prunes"); w->Int(stats.prunes);
+  w->Key("edges_scanned"); w->Int(stats.edges_scanned);
+  w->Key("interval_ops"); w->Int(stats.interval_ops);
+  w->Key("heap_high_water"); w->Int(stats.heap_high_water);
+  w->Key("micros_match"); w->Int(stats.micros_match);
+  w->Key("micros_filter"); w->Int(stats.micros_filter);
+  w->Key("micros_expand"); w->Int(stats.micros_expand);
+  w->Key("micros_generate"); w->Int(stats.micros_generate);
+  w->EndObject();
+}
+
+bool ParseBoundName(std::string_view name, search::UpperBoundKind* out) {
+  if (name == "accurate") {
+    *out = search::UpperBoundKind::kAccurate;
+  } else if (name == "empirical") {
+    *out = search::UpperBoundKind::kEmpirical;
+  } else if (name == "average") {
+    *out = search::UpperBoundKind::kAverage;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string JsonErrorBody(std::string_view type, std::string_view message) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.BeginObject();
+  w.Key("type");
+  w.String(type);
+  w.Key("message");
+  w.String(message);
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+std::string JsonParseErrorBody(const search::ParseErrorDetail& detail) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.BeginObject();
+  w.Key("type");
+  w.String("query-parse");
+  w.Key("code");
+  w.String(search::ParseErrorCodeName(detail.code));
+  w.Key("offset");
+  w.Int(static_cast<int64_t>(detail.offset));
+  w.Key("message");
+  w.String(detail.message);
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+std::string JsonSearchBody(const search::SearchResponse& response,
+                           double latency_seconds, bool include_stats) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String("ok");
+  w.Key("stop_reason");
+  w.String(search::StopReasonName(response.stop_reason));
+  w.Key("exhausted");
+  w.Bool(response.exhausted);
+  w.Key("truncated");
+  w.Bool(response.truncated);
+  w.Key("deadline_exceeded");
+  w.Bool(response.deadline_exceeded);
+  w.Key("cancelled");
+  w.Bool(response.cancelled);
+  w.Key("result_count");
+  w.Int(static_cast<int64_t>(response.results.size()));
+  w.Key("results");
+  w.BeginArray();
+  for (const search::ResultTree& tree : response.results) {
+    w.BeginObject();
+    w.Key("root");
+    w.Int(static_cast<int64_t>(tree.root));
+    w.Key("nodes");
+    w.BeginArray();
+    for (const graph::NodeId node : tree.nodes) {
+      w.Int(static_cast<int64_t>(node));
+    }
+    w.EndArray();
+    w.Key("edges");
+    w.BeginArray();
+    for (const graph::EdgeId edge : tree.edges) {
+      w.Int(static_cast<int64_t>(edge));
+    }
+    w.EndArray();
+    w.Key("keyword_nodes");
+    w.BeginArray();
+    for (const graph::NodeId node : tree.keyword_nodes) {
+      w.Int(static_cast<int64_t>(node));
+    }
+    w.EndArray();
+    w.Key("time");
+    w.BeginArray();
+    for (const temporal::Interval& interval : tree.time.intervals()) {
+      w.BeginArray();
+      w.Int(static_cast<int64_t>(interval.start));
+      w.Int(static_cast<int64_t>(interval.end));
+      w.EndArray();
+    }
+    w.EndArray();
+    w.Key("total_weight");
+    w.Double(tree.total_weight);
+    w.EndObject();
+  }
+  w.EndArray();
+  if (include_stats) {
+    w.Key("counters");
+    WriteCounters(response.counters, &w);
+    w.Key("stats");
+    WriteStats(response.stats, &w);
+    w.Key("latency_ms");
+    w.Double(latency_seconds * 1000.0);
+  }
+  w.EndObject();
+  return w.Take();
+}
+
+RequestRouter::RequestRouter(RouterContext context)
+    : context_(std::move(context)) {}
+
+void RequestRouter::CountRequest(const std::string& route, int status) const {
+#ifndef TGKS_NO_STATS
+  obs::GlobalMetrics()
+      .GetCounter("tgks_http_requests_total",
+                  "HTTP requests served, by route and status.",
+                  {{"route", route}, {"status", std::to_string(status)}})
+      ->Increment();
+#else
+  (void)route;
+  (void)status;
+#endif  // TGKS_NO_STATS
+}
+
+HttpResponse RequestRouter::HandleMetrics() const {
+  HttpResponse response;
+  response.status = 200;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = obs::GlobalMetrics().RenderText();
+  return response;
+}
+
+HttpResponse RequestRouter::HandleHealthz() const {
+  if (draining()) return TextResponse(503, "draining\n");
+  return TextResponse(200, "ok\n");
+}
+
+HttpResponse RequestRouter::HandleVarz() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("dataset");
+  w.String(context_.dataset_name);
+  if (context_.graph != nullptr) {
+    w.Key("nodes");
+    w.Int(static_cast<int64_t>(context_.graph->num_nodes()));
+    w.Key("edges");
+    w.Int(static_cast<int64_t>(context_.graph->num_edges()));
+    w.Key("timeline_length");
+    w.Int(static_cast<int64_t>(context_.graph->timeline_length()));
+  }
+  if (context_.executor != nullptr) {
+    w.Key("threads");
+    w.Int(context_.executor->threads());
+    w.Key("inflight_queries");
+    w.Int(context_.executor->inflight_singles());
+  }
+  if (context_.admission != nullptr) {
+    w.Key("admitted");
+    w.Int(context_.admission->depth());
+    w.Key("inflight_bytes");
+    w.Int(context_.admission->inflight_bytes());
+    w.Key("shed_total");
+    w.Int(context_.admission->shed_total());
+    w.Key("max_queue");
+    w.Int(context_.admission->options().max_queue);
+    w.Key("max_inflight_bytes");
+    w.Int(context_.admission->options().max_inflight_bytes);
+  }
+  w.Key("default_k");
+  w.Int(context_.default_k);
+  w.Key("default_deadline_ms");
+  w.Int(context_.default_deadline_ms);
+  w.Key("requests_total");
+  w.Int(requests_total());
+  w.Key("draining");
+  w.Bool(draining());
+  w.Key("stats_compiled_out");
+  w.Bool(obs::StatsCompiledOut());
+  w.EndObject();
+  return JsonResponse(200, w.Take());
+}
+
+bool RequestRouter::Handle(const HttpRequest& request, HttpResponse* immediate,
+                           Completion done,
+                           std::shared_ptr<PendingSearch>* pending) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  if (pending != nullptr) pending->reset();
+  const std::string_view path = PathOf(request.target);
+
+  if (path == "/v1/search") {
+    if (request.method != "POST") {
+      *immediate = JsonResponse(
+          405, JsonErrorBody("method", "use POST for /v1/search"));
+      immediate->extra_headers.emplace_back("allow", "POST");
+      CountRequest("/v1/search", immediate->status);
+      return true;
+    }
+    if (HandleSearch(request, immediate, std::move(done), pending)) {
+      CountRequest("/v1/search", immediate->status);
+      return true;
+    }
+    return false;  // Deferred; the completion counts itself.
+  }
+
+  std::string route{path};
+  if (path == "/metrics") {
+    *immediate = request.method == "GET"
+                     ? HandleMetrics()
+                     : JsonResponse(405, JsonErrorBody("method", "use GET"));
+  } else if (path == "/healthz") {
+    *immediate = request.method == "GET"
+                     ? HandleHealthz()
+                     : JsonResponse(405, JsonErrorBody("method", "use GET"));
+  } else if (path == "/varz") {
+    *immediate = request.method == "GET"
+                     ? HandleVarz()
+                     : JsonResponse(405, JsonErrorBody("method", "use GET"));
+  } else {
+    route = "other";
+    *immediate = JsonResponse(404, JsonErrorBody("not-found", "no such route"));
+  }
+  CountRequest(route, immediate->status);
+  return true;
+}
+
+bool RequestRouter::HandleSearch(const HttpRequest& request,
+                                 HttpResponse* immediate, Completion done,
+                                 std::shared_ptr<PendingSearch>* pending) {
+  // Parse the JSON envelope.
+  Result<JsonValue> doc = JsonValue::Parse(request.body);
+  if (!doc.ok()) {
+    *immediate = JsonResponse(400, JsonErrorBody("json", doc.status().message()));
+    return true;
+  }
+  if (!doc->is_object()) {
+    *immediate = JsonResponse(
+        400, JsonErrorBody("request", "request body must be a JSON object"));
+    return true;
+  }
+
+  const JsonValue* query_field = doc->Find("query");
+  if (query_field == nullptr || !query_field->is_string()) {
+    *immediate = JsonResponse(
+        400, JsonErrorBody("request", "missing required string field: query"));
+    return true;
+  }
+
+  // Parse the query text; structured errors map to a 400 body with the
+  // error category and byte offset.
+  search::ParseErrorDetail detail;
+  Result<search::Query> query =
+      search::ParseQuery(query_field->AsString(), &detail);
+  if (!query.ok()) {
+    *immediate = JsonResponse(400, JsonParseErrorBody(detail));
+    return true;
+  }
+
+  exec::SingleQuery single;
+  single.query.query = *std::move(query);
+
+  // Optional k override.
+  if (const JsonValue* k = doc->Find("k"); k != nullptr) {
+    if (!k->is_int() || k->AsInt() <= 0) {
+      *immediate = JsonResponse(
+          400, JsonErrorBody("request", "k must be a positive integer"));
+      return true;
+    }
+    single.k = static_cast<int32_t>(
+        std::min<int64_t>(k->AsInt(), context_.max_k));
+  } else {
+    single.k = context_.default_k;
+  }
+
+  // Optional bound override.
+  if (const JsonValue* bound = doc->Find("bound"); bound != nullptr) {
+    search::UpperBoundKind kind;
+    if (!bound->is_string() || !ParseBoundName(bound->AsString(), &kind)) {
+      *immediate = JsonResponse(
+          400, JsonErrorBody(
+                   "request",
+                   "bound must be one of: accurate, empirical, average"));
+      return true;
+    }
+    single.bound = kind;
+  }
+
+  // Optional explicit match sets (the paper's protocol for unlabeled
+  // graphs): one array of node ids per keyword.
+  if (const JsonValue* matches = doc->Find("matches"); matches != nullptr) {
+    if (!matches->is_array()) {
+      *immediate = JsonResponse(
+          400, JsonErrorBody("request", "matches must be an array of arrays"));
+      return true;
+    }
+    const int64_t num_nodes =
+        context_.graph != nullptr
+            ? static_cast<int64_t>(context_.graph->num_nodes())
+            : 0;
+    for (const JsonValue& list : matches->items()) {
+      if (!list.is_array()) {
+        *immediate = JsonResponse(
+            400,
+            JsonErrorBody("request", "matches must be an array of arrays"));
+        return true;
+      }
+      std::vector<graph::NodeId> ids;
+      ids.reserve(list.items().size());
+      for (const JsonValue& id : list.items()) {
+        if (!id.is_int() || id.AsInt() < 0 || id.AsInt() >= num_nodes) {
+          *immediate = JsonResponse(
+              400, JsonErrorBody("request", "matches: node id out of range"));
+          return true;
+        }
+        ids.push_back(static_cast<graph::NodeId>(id.AsInt()));
+      }
+      single.query.matches.push_back(std::move(ids));
+    }
+    if (single.query.matches.size() != single.query.query.keywords.size()) {
+      *immediate = JsonResponse(
+          400, JsonErrorBody("request",
+                             "matches must have one list per keyword"));
+      return true;
+    }
+  }
+
+  const bool include_stats = [&] {
+    const JsonValue* stats = doc->Find("stats");
+    return stats != nullptr && stats->AsBool();
+  }();
+
+  // Per-request deadline from the deadline-ms header.
+  single.deadline_ms = context_.default_deadline_ms;
+  if (const std::string* header = request.FindHeader("deadline-ms");
+      header != nullptr) {
+    int64_t deadline = 0;
+    if (!ParseInt64(*header, &deadline) || deadline <= 0) {
+      *immediate = JsonResponse(
+          400, JsonErrorBody("request",
+                             "deadline-ms must be a positive integer"));
+      return true;
+    }
+    if (context_.max_deadline_ms > 0 && deadline > context_.max_deadline_ms) {
+      deadline = context_.max_deadline_ms;
+    }
+    single.deadline_ms = deadline;
+  }
+
+  // Admission: bounded work in flight; excess load is shed, not queued.
+  const int64_t bytes = static_cast<int64_t>(request.body.size());
+  ShedReason shed = ShedReason::kNone;
+  if (context_.admission != nullptr &&
+      !context_.admission->TryAdmit(bytes, &shed)) {
+    if (shed == ShedReason::kShuttingDown) {
+      *immediate = JsonResponse(
+          503, JsonErrorBody("draining", "server is shutting down"));
+      immediate->close_connection = true;
+      return true;
+    }
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("error");
+    w.BeginObject();
+    w.Key("type");
+    w.String("overload");
+    w.Key("reason");
+    w.String(ShedReasonName(shed));
+    w.Key("retry_after_seconds");
+    w.Int(context_.admission->options().retry_after_seconds);
+    w.EndObject();
+    w.EndObject();
+    *immediate = JsonResponse(429, w.Take());
+    immediate->extra_headers.emplace_back(
+        "retry-after",
+        std::to_string(context_.admission->options().retry_after_seconds));
+    return true;
+  }
+
+  // Admitted: hand to the executor. The cancel handle outlives this frame
+  // via the shared_ptr captured in the completion.
+  auto handle = std::make_shared<PendingSearch>();
+  if (pending != nullptr) *pending = handle;
+  single.cancel = &handle->cancel;
+
+  AdmissionController* admission = context_.admission;
+  RequestRouter* self = this;
+  context_.executor->Submit(
+      std::move(single),
+      [self, admission, bytes, include_stats, handle,
+       done = std::move(done)](Result<search::SearchResponse> response,
+                               double seconds) {
+        HttpResponse http;
+        if (response.ok()) {
+          http = JsonResponse(
+              200, JsonSearchBody(*response, seconds, include_stats));
+        } else if (response.status().code() ==
+                   StatusCode::kInvalidArgument) {
+          http = JsonResponse(
+              400, JsonErrorBody("request", response.status().message()));
+        } else {
+          http = JsonResponse(
+              500, JsonErrorBody("internal", response.status().message()));
+        }
+        if (admission != nullptr) admission->Release(bytes);
+        self->CountRequest("/v1/search", http.status);
+#ifndef TGKS_NO_STATS
+        obs::GlobalMetrics()
+            .GetHistogram("tgks_http_request_micros",
+                          "Search request service time (microseconds).", {},
+                          {{"route", "/v1/search"}})
+            ->Observe(std::llround(seconds * 1e6));
+#endif  // TGKS_NO_STATS
+        done(std::move(http));
+      });
+  return false;
+}
+
+}  // namespace tgks::server

@@ -1,0 +1,118 @@
+// RequestRouter: maps parsed HTTP requests onto the search stack.
+//
+//   POST /v1/search  JSON query in, JSON results out (through admission
+//                    control and the executor's asynchronous Submit path)
+//   GET  /metrics    Prometheus text exposition of the global registry
+//   GET  /healthz    liveness/readiness probe (503 while draining)
+//   GET  /varz       JSON snapshot of server state for humans and tests
+//
+// The router owns no sockets: the connection layer hands it a complete
+// HttpRequest and either gets the response synchronously (metrics, health,
+// errors, shed requests) or a deferred completion via callback when the
+// query was admitted and submitted to the executor. A per-request cancel
+// token handle is returned for admitted searches so the server can cancel
+// the query when the client disconnects mid-flight.
+
+#ifndef TGKS_SERVER_REQUEST_ROUTER_H_
+#define TGKS_SERVER_REQUEST_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "exec/query_executor.h"
+#include "search/query_parser.h"
+#include "search/search_engine.h"
+#include "server/admission.h"
+#include "server/connection.h"
+
+namespace tgks::server {
+
+/// Everything the router needs; all pointers are borrowed and must outlive
+/// the router.
+struct RouterContext {
+  const graph::TemporalGraph* graph = nullptr;
+  exec::QueryExecutor* executor = nullptr;
+  AdmissionController* admission = nullptr;
+  /// Set by the server during graceful shutdown; /healthz turns 503 and new
+  /// searches are shed once it is true.
+  const std::atomic<bool>* draining = nullptr;
+  /// Defaults for fields the request body omits.
+  int32_t default_k = 20;
+  /// Ceiling for the request's `k` (guards against "k": 1e9 bodies).
+  int32_t max_k = 1000;
+  /// Deadline applied when the request carries no deadline-ms header
+  /// (<= 0 = none).
+  int64_t default_deadline_ms = -1;
+  /// Ceiling for the deadline-ms header (<= 0 = uncapped).
+  int64_t max_deadline_ms = 60 * 1000;
+  /// Human-readable dataset name reported by /varz.
+  std::string dataset_name;
+};
+
+/// A deferred search in flight: the server keeps the handle to cancel the
+/// query if the client goes away. The handle owns the token the executor
+/// reads, so it must live until the completion callback has run.
+struct PendingSearch {
+  std::atomic<bool> cancel{false};
+};
+
+class RequestRouter {
+ public:
+  explicit RequestRouter(RouterContext context);
+
+  /// Completion for deferred requests; invoked once on an executor worker
+  /// thread.
+  using Completion = std::function<void(HttpResponse)>;
+
+  /// Routes `request`. Returns true when *immediate holds the full response
+  /// (no deferred work). Returns false when the request was admitted and
+  /// submitted: `done` will be called exactly once later, and *pending
+  /// holds the cancel handle (set pending->cancel to abort on disconnect).
+  bool Handle(const HttpRequest& request, HttpResponse* immediate,
+              Completion done, std::shared_ptr<PendingSearch>* pending);
+
+  /// Requests handled so far, by final status class (for /varz and tests).
+  int64_t requests_total() const {
+    return requests_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  HttpResponse HandleMetrics() const;
+  HttpResponse HandleHealthz() const;
+  HttpResponse HandleVarz() const;
+  /// Parses + admits + submits; fills *immediate on any synchronous outcome.
+  bool HandleSearch(const HttpRequest& request, HttpResponse* immediate,
+                    Completion done, std::shared_ptr<PendingSearch>* pending);
+
+  /// Counts the request in tgks_http_requests_total{route,status} and the
+  /// per-route latency histogram.
+  void CountRequest(const std::string& route, int status) const;
+
+  bool draining() const {
+    return context_.draining != nullptr &&
+           context_.draining->load(std::memory_order_relaxed);
+  }
+
+  RouterContext context_;
+  std::atomic<int64_t> requests_total_{0};
+};
+
+/// Renders a JSON error body: {"error":{"type":...,"message":...,...}}.
+std::string JsonErrorBody(std::string_view type, std::string_view message);
+
+/// Renders the JSON body for a structured query parse error (the HTTP 400
+/// mapping of search::ParseErrorDetail).
+std::string JsonParseErrorBody(const search::ParseErrorDetail& detail);
+
+/// Renders a SearchResponse as the /v1/search response body.
+/// `include_stats` gates the counters/stats/latency sections so default
+/// responses stay byte-stable for golden tests.
+std::string JsonSearchBody(const search::SearchResponse& response,
+                           double latency_seconds, bool include_stats);
+
+}  // namespace tgks::server
+
+#endif  // TGKS_SERVER_REQUEST_ROUTER_H_

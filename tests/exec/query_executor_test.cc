@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -334,6 +336,123 @@ TEST(QueryExecutorTest, RunQueriesConvenienceWrapper) {
   EXPECT_EQ(out.latencies_seconds.size(), 2u);
   EXPECT_GT(out.wall_seconds, 0.0);
   EXPECT_GT(out.QueriesPerSecond(), 0.0);
+}
+
+// --- Single-query Submit() (the serving path) -------------------------------
+
+// Helper: submits one query and blocks for its completion.
+Result<search::SearchResponse> SubmitAndWait(QueryExecutor* executor,
+                                             SingleQuery single,
+                                             double* seconds_out = nullptr) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Result<search::SearchResponse> out = Status::Internal("not run");
+  executor->Submit(std::move(single),
+                   [&](Result<search::SearchResponse> r, double seconds) {
+                     std::lock_guard<std::mutex> lock(mu);
+                     out = std::move(r);
+                     if (seconds_out != nullptr) *seconds_out = seconds;
+                     done = true;
+                     cv.notify_one();
+                   });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&done] { return done; });
+  return out;
+}
+
+TEST(QueryExecutorTest, SubmitRunsOneQueryAsynchronously) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  ExecutorOptions options;
+  options.threads = 2;
+  options.search.k = 5;
+  QueryExecutor executor(g, &index, options);
+  double seconds = -1.0;
+  auto r = SubmitAndWait(&executor, SingleQuery{{MustParse("mary, john"), {}}},
+                         &seconds);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->results.empty());
+  EXPECT_GE(seconds, 0.0);
+  EXPECT_EQ(executor.inflight_singles(), 0);
+}
+
+TEST(QueryExecutorTest, SubmitHonorsPerRequestDeadline) {
+  const TemporalGraph g = MakeChainGraph(120000);
+  const InvertedIndex index(g);
+  ExecutorOptions options;
+  options.threads = 2;
+  options.search.k = 5;
+  QueryExecutor executor(g, &index, options);
+  SingleQuery single{{MustParse("left, right"), {}}};
+  single.deadline_ms = 1;
+  auto r = SubmitAndWait(&executor, std::move(single));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->deadline_exceeded);
+  EXPECT_EQ(r->stop_reason, search::StopReason::kDeadline);
+}
+
+TEST(QueryExecutorTest, SubmitHonorsPerRequestCancelToken) {
+  const TemporalGraph g = MakeChainGraph(100000);
+  const InvertedIndex index(g);
+  ExecutorOptions options;
+  options.threads = 2;
+  options.search.k = 0;  // Exhaustive: only the token can stop it quickly.
+  QueryExecutor executor(g, &index, options);
+  std::atomic<bool> token{true};  // Pre-set: stop at the first pop boundary.
+  SingleQuery single{{MustParse("left, right"), {}}};
+  single.cancel = &token;
+  auto r = SubmitAndWait(&executor, std::move(single));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->cancelled);
+  EXPECT_EQ(r->stop_reason, search::StopReason::kCancelled);
+}
+
+TEST(QueryExecutorTest, SubmitComposesWithPresetExtraCancel) {
+  // A server-wide shutdown token preset in the base options stops submitted
+  // queries even when they carry no per-request token.
+  const TemporalGraph g = MakeChainGraph(100000);
+  const InvertedIndex index(g);
+  std::atomic<bool> shutdown{true};
+  ExecutorOptions options;
+  options.threads = 2;
+  options.search.k = 0;
+  options.search.extra_cancel = &shutdown;
+  QueryExecutor executor(g, &index, options);
+  auto r = SubmitAndWait(&executor, SingleQuery{{MustParse("left, right"), {}}});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->cancelled);
+  EXPECT_EQ(r->stop_reason, search::StopReason::kCancelled);
+}
+
+TEST(QueryExecutorTest, SubmitsInterleaveWithBatchesSafely) {
+  const TemporalGraph g = testutil::MakeSocialNetworkGraph();
+  const InvertedIndex index(g);
+  ExecutorOptions options;
+  options.threads = 2;
+  options.search.k = 5;
+  QueryExecutor executor(g, &index, options);
+  std::atomic<int> completions{0};
+  constexpr int kSingles = 16;
+  for (int i = 0; i < kSingles; ++i) {
+    executor.Submit(SingleQuery{{MustParse("mary, john"), {}}},
+                    [&completions](Result<search::SearchResponse> r, double) {
+                      EXPECT_TRUE(r.ok());
+                      completions.fetch_add(1);
+                    });
+  }
+  const BatchResponse batch = executor.Run(SocialBatch());
+  EXPECT_EQ(batch.failed, 0);
+  // Destruction drains the pool, so by then every callback has run; spin
+  // briefly for the counter to settle before asserting.
+  for (int spin = 0;
+       spin < 1000 &&
+       (completions.load() < kSingles || executor.inflight_singles() > 0);
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(completions.load(), kSingles);
+  EXPECT_EQ(executor.inflight_singles(), 0);
 }
 
 TEST(LatencySummaryTest, NearestRankPercentiles) {

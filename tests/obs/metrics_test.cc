@@ -171,5 +171,264 @@ TEST(GlobalMetricsTest, IsASingleton) {
   EXPECT_EQ(&GlobalMetrics(), &GlobalMetrics());
 }
 
+// --- Labeled series ---------------------------------------------------------
+
+TEST(LabelTest, SeriesWithDistinctLabelsAreDistinctInstruments) {
+  MetricsRegistry registry;
+  Counter* ok = registry.GetCounter("http_requests_total", "Requests.",
+                                    {{"route", "/healthz"}, {"status", "200"}});
+  Counter* shed = registry.GetCounter(
+      "http_requests_total", "", {{"route", "/v1/search"}, {"status", "429"}});
+  EXPECT_NE(ok, shed);
+  // Same (name, labels) returns the same instrument.
+  EXPECT_EQ(ok, registry.GetCounter("http_requests_total", "",
+                                    {{"route", "/healthz"},
+                                     {"status", "200"}}));
+  ok->Increment(2);
+  shed->Increment(1);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(
+      text.find(
+          "http_requests_total{route=\"/healthz\",status=\"200\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "http_requests_total{route=\"/v1/search\",status=\"429\"} 1\n"),
+      std::string::npos);
+  // One HELP/TYPE block for the whole family.
+  size_t first = text.find("# TYPE http_requests_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE http_requests_total counter", first + 1),
+            std::string::npos);
+}
+
+TEST(LabelTest, LabeledHistogramCarriesLabelsOnEverySeries) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("req_micros", "Latency.", {10, 100},
+                                       {{"route", "/v1/search"}});
+  h->Observe(5);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("req_micros_bucket{route=\"/v1/search\",le=\"10\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("req_micros_bucket{route=\"/v1/search\",le=\"+Inf\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("req_micros_sum{route=\"/v1/search\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("req_micros_count{route=\"/v1/search\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(LabelTest, LabelValuesAndHelpAreEscaped) {
+  EXPECT_EQ(EscapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(EscapeHelp("line1\nline2\\x"), "line1\\nline2\\\\x");
+  MetricsRegistry registry;
+  registry
+      .GetCounter("esc_total", "help with \\ and\nnewline",
+                  {{"path", "a\"b\\c\nd"}})
+      ->Increment();
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# HELP esc_total help with \\\\ and\\nnewline\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(NameValidationTest, MetricAndLabelNameGrammar) {
+  EXPECT_TRUE(IsValidMetricName("tgks_http_requests_total"));
+  EXPECT_TRUE(IsValidMetricName("_private:series"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("9leading_digit"));
+  EXPECT_FALSE(IsValidMetricName("has-dash"));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+  EXPECT_TRUE(IsValidLabelName("route"));
+  EXPECT_FALSE(IsValidLabelName("__reserved"));
+  EXPECT_FALSE(IsValidLabelName("le-gacy"));
+  EXPECT_FALSE(IsValidLabelName(""));
+}
+
+#ifdef NDEBUG
+// Registration refusal paths; in debug builds these assert instead.
+TEST(NameValidationTest, InvalidRegistrationsAreRefusedSafely) {
+  MetricsRegistry registry;
+  Counter* good = registry.GetCounter("good_total");
+  // Bad metric name, bad label name, and kind conflict on the same family.
+  Counter* bad_name = registry.GetCounter("bad-name");
+  Counter* bad_label = registry.GetCounter("labeled_total", "",
+                                           {{"__internal", "x"}});
+  Gauge* kind_conflict = registry.GetGauge("good_total");
+  // Refused registrations return a usable dummy, never null, and do not
+  // pollute the exposition.
+  ASSERT_NE(bad_name, nullptr);
+  ASSERT_NE(bad_label, nullptr);
+  ASSERT_NE(kind_conflict, nullptr);
+  bad_name->Increment();
+  bad_label->Increment();
+  kind_conflict->Set(5);
+  const std::string text = registry.RenderText();
+  EXPECT_EQ(text.find("bad-name"), std::string::npos);
+  EXPECT_EQ(text.find("labeled_total"), std::string::npos);
+  EXPECT_EQ(text.find("# TYPE good_total gauge"), std::string::npos);
+  (void)good;
+}
+
+TEST(NameValidationTest, HistogramSuffixCollisionsAreRefused) {
+  MetricsRegistry registry;
+  registry.GetHistogram("lat_micros");
+  // A counter named like one of the histogram's emitted series would render
+  // duplicate series names; refused.
+  Counter* collide = registry.GetCounter("lat_micros_count");
+  collide->Increment(3);
+  const std::string text = registry.RenderText();
+  // Exactly one lat_micros_count line (the histogram's).
+  const size_t first = text.find("lat_micros_count ");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("lat_micros_count ", first + 1), std::string::npos);
+  EXPECT_NE(text.find("lat_micros_count 0\n"), std::string::npos);
+}
+#endif  // NDEBUG
+
+// --- Exposition format lint -------------------------------------------------
+
+// Minimal exposition-format linter: validates the structural rules the
+// Prometheus text format requires. Returns an empty string when clean, else
+// the first violation.
+std::string LintExposition(const std::string& text) {
+  if (text.empty()) return "";  // An empty exposition is valid.
+  if (text.back() != '\n') return "missing trailing newline";
+  auto valid_sample_name = [](const std::string& name) {
+    return IsValidMetricName(name);
+  };
+  std::vector<std::string> typed_families;
+  std::vector<std::string> seen_series;  // name{labels} duplicates check.
+  std::string current_family;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) return "unterminated line";
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) return "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_type = line.rfind("# TYPE ", 0) == 0;
+      const size_t name_start = 7;
+      const size_t name_end = line.find(' ', name_start);
+      if (name_end == std::string::npos) return "malformed comment: " + line;
+      const std::string family = line.substr(name_start, name_end - name_start);
+      if (!valid_sample_name(family)) return "bad family name: " + family;
+      if (is_type) {
+        for (const std::string& f : typed_families) {
+          if (f == family) return "duplicate TYPE for family " + family;
+        }
+        typed_families.push_back(family);
+        current_family = family;
+        const std::string kind = line.substr(name_end + 1);
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped") {
+          return "unknown TYPE kind: " + kind;
+        }
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;  // Free-form comment.
+    // Sample line: name[{labels}] value
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return "malformed sample: " + line;
+    const std::string name = line.substr(0, name_end);
+    if (!valid_sample_name(name)) return "bad sample name: " + name;
+    // Samples must belong to the family whose TYPE block is open: the name
+    // equals the family or family + histogram suffix.
+    if (current_family.empty()) return "sample before any TYPE: " + line;
+    const bool member =
+        name == current_family || name == current_family + "_bucket" ||
+        name == current_family + "_sum" || name == current_family + "_count";
+    if (!member) return "sample " + name + " outside its TYPE block";
+    std::string series = name;
+    size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      const size_t close = line.find('}', name_end);
+      if (close == std::string::npos) return "unterminated labels: " + line;
+      const std::string labels = line.substr(name_end + 1, close - name_end - 1);
+      series += "{" + labels + "}";
+      // Label grammar: k="v" pairs, comma-separated; values escaped.
+      size_t lp = 0;
+      while (lp < labels.size()) {
+        const size_t eq = labels.find('=', lp);
+        if (eq == std::string::npos) return "label missing '=': " + labels;
+        if (!IsValidLabelName(labels.substr(lp, eq - lp)) &&
+            labels.substr(lp, eq - lp) != "le") {
+          return "bad label name in: " + labels;
+        }
+        if (eq + 1 >= labels.size() || labels[eq + 1] != '"') {
+          return "unquoted label value: " + labels;
+        }
+        size_t vp = eq + 2;
+        while (vp < labels.size() &&
+               !(labels[vp] == '"' && labels[vp - 1] != '\\')) {
+          ++vp;
+        }
+        if (vp >= labels.size()) return "unterminated label value: " + labels;
+        lp = vp + 1;
+        if (lp < labels.size()) {
+          if (labels[lp] != ',') return "missing ',' between labels";
+          ++lp;
+        }
+      }
+      value_start = close + 1;
+    }
+    for (const std::string& s : seen_series) {
+      if (s == series) return "duplicate series: " + series;
+    }
+    seen_series.push_back(series);
+    if (value_start >= line.size() || line[value_start] != ' ') {
+      return "missing value separator: " + line;
+    }
+    const std::string value = line.substr(value_start + 1);
+    if (value.empty() || value.find(' ') != std::string::npos) {
+      return "malformed value: " + line;
+    }
+  }
+  return "";
+}
+
+TEST(FormatLintTest, RenderTextPassesTheLinter) {
+  MetricsRegistry registry;
+  registry.GetCounter("tgks_queries_total", "Completed searches.")
+      ->Increment(7);
+  registry.GetCounter("tgks_http_requests_total", "Requests.",
+                      {{"route", "/v1/search"}, {"status", "200"}})
+      ->Increment(3);
+  registry.GetCounter("tgks_http_requests_total", "",
+                      {{"route", "/v1/search"}, {"status", "429"}})
+      ->Increment(1);
+  registry.GetGauge("tgks_queue_depth", "Admission queue depth.")->Set(2);
+  registry
+      .GetHistogram("tgks_request_micros", "Request latency.", {10, 100},
+                    {{"route", "/v1/search"}})
+      ->Observe(55);
+  registry.GetHistogram("tgks_query_micros", "Query \"latency\" in \\us.")
+      ->Observe(17);
+  const std::string text = registry.RenderText();
+  EXPECT_EQ(LintExposition(text), "") << text;
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(FormatLintTest, GlobalRegistryExpositionIsClean) {
+  // Whatever earlier tests registered into the process-wide registry must
+  // also render a lint-clean exposition.
+  GlobalMetrics().GetCounter("tgks_lint_probe_total", "Probe.")->Increment();
+  EXPECT_EQ(LintExposition(GlobalMetrics().RenderText()), "");
+}
+
+TEST(FormatLintTest, LinterCatchesSeededViolations) {
+  EXPECT_NE(LintExposition("no_trailing_newline 1"), "");
+  EXPECT_NE(LintExposition("x 1\nx 1\n"), "");  // Needs TYPE + duplicates.
+  EXPECT_NE(LintExposition("# TYPE x counter\nx 1\nx 1\n"), "");
+  EXPECT_NE(LintExposition("# TYPE x counter\ny 2\n"), "");
+  EXPECT_NE(LintExposition("# TYPE x counter\n# TYPE x counter\nx 1\n"), "");
+  EXPECT_NE(LintExposition("# TYPE x counter\nx{l=\"v} 1\n"), "");
+  EXPECT_EQ(LintExposition("# TYPE x counter\nx{l=\"v\"} 1\n"), "");
+}
+
 }  // namespace
 }  // namespace tgks::obs

@@ -164,6 +164,66 @@ TEST(QueryParserTest, Errors) {
   }
 }
 
+// Structured errors: category + byte offset + the same message the Status
+// carries (so CLI output is unchanged by the structured layer).
+TEST(QueryParserTest, StructuredErrorsCarryCodeOffsetAndMessage) {
+  struct Case {
+    const char* text;
+    ParseErrorCode code;
+    size_t offset;
+  };
+  const Case cases[] = {
+      {"a \"unterminated", ParseErrorCode::kUnterminatedQuote, 2},
+      {"a result time precedes x", ParseErrorCode::kUnexpectedToken, 23},
+      {"a result time resembles 3", ParseErrorCode::kBadPredicate, 14},
+      {"a result time overlaps [5,2]", ParseErrorCode::kBadRange, 23},
+      {"a result time overlaps [2,4", ParseErrorCode::kUnexpectedToken, 27},
+      {"a rank by sideways order of relevance", ParseErrorCode::kBadRanking,
+       10},
+      {"a rank by descending order of funkiness", ParseErrorCode::kBadRanking,
+       30},
+      {"a result time precedes 3 trailing", ParseErrorCode::kTrailingInput,
+       25},
+      {"!!!", ParseErrorCode::kEmptyKeyword, 0},
+      {"result time precedes 3", ParseErrorCode::kMissingKeywords, 0},
+  };
+  for (const Case& c : cases) {
+    ParseErrorDetail detail;
+    auto q = ParseQuery(c.text, &detail);
+    ASSERT_FALSE(q.ok()) << c.text;
+    EXPECT_EQ(detail.code, c.code)
+        << c.text << " -> " << ParseErrorCodeName(detail.code);
+    EXPECT_EQ(detail.offset, c.offset) << c.text;
+    // The detail message matches the Status message byte for byte.
+    EXPECT_EQ(detail.message, q.status().message()) << c.text;
+    EXPECT_FALSE(detail.message.empty()) << c.text;
+  }
+}
+
+TEST(QueryParserTest, StructuredErrorDetailUntouchedOnSuccess) {
+  ParseErrorDetail detail;
+  detail.code = ParseErrorCode::kBadNumber;
+  detail.offset = 99;
+  detail.message = "sentinel";
+  auto q = ParseQuery("mary, john", &detail);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(detail.code, ParseErrorCode::kBadNumber);
+  EXPECT_EQ(detail.offset, 99u);
+  EXPECT_EQ(detail.message, "sentinel");
+}
+
+TEST(QueryParserTest, ErrorCodeNamesAreStable) {
+  EXPECT_EQ(ParseErrorCodeName(ParseErrorCode::kNone), "none");
+  EXPECT_EQ(ParseErrorCodeName(ParseErrorCode::kUnterminatedQuote),
+            "unterminated-quote");
+  EXPECT_EQ(ParseErrorCodeName(ParseErrorCode::kUnexpectedToken),
+            "unexpected-token");
+  EXPECT_EQ(ParseErrorCodeName(ParseErrorCode::kMissingKeywords),
+            "missing-keywords");
+  EXPECT_EQ(ParseErrorCodeName(ParseErrorCode::kTrailingInput),
+            "trailing-input");
+}
+
 TEST(QueryParserTest, RoundTripThroughToString) {
   auto q = ParseQuery(
       "mary, john result time overlaps [2,4] "

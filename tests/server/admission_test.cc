@@ -1,0 +1,90 @@
+// AdmissionController: the load-shedding contract — bounded queue depth,
+// bounded inflight bytes with the single-large-request exception, and
+// refuse-everything during shutdown.
+
+#include "server/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tgks::server {
+namespace {
+
+// Every test uses its own registry so instrument registration never
+// collides across tests (the global registry keys by name+labels).
+class AdmissionTest : public ::testing::Test {
+ protected:
+  obs::MetricsRegistry registry_;
+};
+
+TEST_F(AdmissionTest, AdmitsUpToMaxQueueThenSheds) {
+  AdmissionOptions options;
+  options.max_queue = 2;
+  AdmissionController admission(options, &registry_);
+  ShedReason why = ShedReason::kNone;
+  EXPECT_TRUE(admission.TryAdmit(10, &why));
+  EXPECT_TRUE(admission.TryAdmit(10, &why));
+  EXPECT_FALSE(admission.TryAdmit(10, &why));
+  EXPECT_EQ(why, ShedReason::kQueueFull);
+  EXPECT_EQ(admission.depth(), 2);
+  EXPECT_EQ(admission.shed_total(), 1);
+
+  admission.Release(10);
+  EXPECT_TRUE(admission.TryAdmit(10, &why));
+}
+
+TEST_F(AdmissionTest, ShedsWhenBytesWouldOverflow) {
+  AdmissionOptions options;
+  options.max_queue = 10;
+  options.max_inflight_bytes = 100;
+  AdmissionController admission(options, &registry_);
+  ShedReason why = ShedReason::kNone;
+  EXPECT_TRUE(admission.TryAdmit(80, &why));
+  EXPECT_FALSE(admission.TryAdmit(30, &why));  // 80 + 30 > 100.
+  EXPECT_EQ(why, ShedReason::kBytesFull);
+  EXPECT_TRUE(admission.TryAdmit(20, &why));  // Exactly at the cap is fine.
+  EXPECT_EQ(admission.inflight_bytes(), 100);
+
+  admission.Release(80);
+  admission.Release(20);
+  EXPECT_EQ(admission.inflight_bytes(), 0);
+  EXPECT_EQ(admission.depth(), 0);
+}
+
+TEST_F(AdmissionTest, OversizedRequestAdmittedWhenIdle) {
+  // A single request bigger than the aggregate cap must still be servable
+  // when nothing else is in flight — the cap bounds aggregate memory, not
+  // the largest legal request (the HTTP parser's body limit does that).
+  AdmissionOptions options;
+  options.max_inflight_bytes = 100;
+  AdmissionController admission(options, &registry_);
+  ShedReason why = ShedReason::kNone;
+  EXPECT_TRUE(admission.TryAdmit(5000, &why));
+  // But not when anything else is already admitted.
+  EXPECT_FALSE(admission.TryAdmit(5000, &why));
+  EXPECT_EQ(why, ShedReason::kBytesFull);
+  admission.Release(5000);
+  EXPECT_TRUE(admission.TryAdmit(5000, &why));
+}
+
+TEST_F(AdmissionTest, ShutdownRefusesEverything) {
+  AdmissionController admission(AdmissionOptions{}, &registry_);
+  ShedReason why = ShedReason::kNone;
+  EXPECT_TRUE(admission.TryAdmit(1, &why));
+  admission.BeginShutdown();
+  EXPECT_FALSE(admission.TryAdmit(1, &why));
+  EXPECT_EQ(why, ShedReason::kShuttingDown);
+  // Releases still work while draining.
+  admission.Release(1);
+  EXPECT_EQ(admission.depth(), 0);
+}
+
+TEST_F(AdmissionTest, ShedReasonNames) {
+  EXPECT_EQ(ShedReasonName(ShedReason::kQueueFull), "queue-full");
+  EXPECT_EQ(ShedReasonName(ShedReason::kBytesFull), "bytes-full");
+  EXPECT_EQ(ShedReasonName(ShedReason::kShuttingDown), "shutting-down");
+}
+
+}  // namespace
+}  // namespace tgks::server

@@ -1,0 +1,222 @@
+// HttpRequestParser and response serialization: incremental feeding,
+// pipelining, keep-alive semantics, and the error-status mapping for
+// malformed or over-limit requests.
+
+#include "server/connection.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tgks::server {
+namespace {
+
+using State = HttpRequestParser::State;
+
+// Feeds the whole string, asserting everything the request needs was
+// consumed, and returns the final state.
+State FeedAll(HttpRequestParser* parser, const std::string& bytes,
+              size_t* leftover = nullptr) {
+  size_t consumed = 0;
+  const State state = parser->Feed(bytes, &consumed);
+  if (leftover != nullptr) *leftover = bytes.size() - consumed;
+  return state;
+}
+
+TEST(HttpParserTest, SimpleGet) {
+  HttpRequestParser parser;
+  const State state =
+      FeedAll(&parser, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_EQ(state, State::kDone);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_EQ(parser.request().version_minor, 1);
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParserTest, HeadersLowercasedAndTrimmed) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "GET / HTTP/1.1\r\nX-Custom-Header:   spaced value  "
+                    "\r\nHost: h\r\n\r\n"),
+            State::kDone);
+  const std::string* value = parser.request().FindHeader("x-custom-header");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, "spaced value");
+  EXPECT_NE(parser.request().FindHeader("host"), nullptr);
+  EXPECT_EQ(parser.request().FindHeader("absent"), nullptr);
+}
+
+TEST(HttpParserTest, PostWithBody) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST /v1/search HTTP/1.1\r\ncontent-length: 5\r\n\r\n"
+                    "hello"),
+            State::kDone);
+  EXPECT_EQ(parser.request().body, "hello");
+}
+
+TEST(HttpParserTest, ByteAtATimeFeeding) {
+  const std::string raw =
+      "POST /v1/search HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody";
+  HttpRequestParser parser;
+  State state = State::kHead;
+  for (const char c : raw) {
+    size_t consumed = 0;
+    state = parser.Feed(std::string_view(&c, 1), &consumed);
+    ASSERT_NE(state, State::kError);
+    ASSERT_EQ(consumed, 1u);
+  }
+  ASSERT_EQ(state, State::kDone);
+  EXPECT_EQ(parser.request().body, "body");
+}
+
+TEST(HttpParserTest, PipelinedRequestsLeaveLeftover) {
+  const std::string first = "GET /a HTTP/1.1\r\n\r\n";
+  const std::string second = "GET /b HTTP/1.1\r\n\r\n";
+  HttpRequestParser parser;
+  size_t consumed = 0;
+  ASSERT_EQ(parser.Feed(first + second, &consumed), State::kDone);
+  EXPECT_EQ(consumed, first.size());
+  EXPECT_EQ(parser.request().target, "/a");
+
+  parser.Reset();
+  ASSERT_EQ(parser.Feed(second, &consumed), State::kDone);
+  EXPECT_EQ(parser.request().target, "/b");
+}
+
+TEST(HttpParserTest, BareLfTerminatorAccepted) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET /x HTTP/1.1\nhost: h\n\n"), State::kDone);
+  EXPECT_EQ(parser.request().target, "/x");
+}
+
+TEST(HttpParserTest, KeepAliveDefaults) {
+  {
+    HttpRequestParser p;  // 1.1 defaults to keep-alive.
+    ASSERT_EQ(FeedAll(&p, "GET / HTTP/1.1\r\n\r\n"), State::kDone);
+    EXPECT_TRUE(p.request().keep_alive());
+  }
+  {
+    HttpRequestParser p;  // 1.1 + close.
+    ASSERT_EQ(FeedAll(&p, "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"),
+              State::kDone);
+    EXPECT_FALSE(p.request().keep_alive());
+  }
+  {
+    HttpRequestParser p;  // 1.0 defaults to close.
+    ASSERT_EQ(FeedAll(&p, "GET / HTTP/1.0\r\n\r\n"), State::kDone);
+    EXPECT_FALSE(p.request().keep_alive());
+  }
+  {
+    HttpRequestParser p;  // 1.0 + explicit keep-alive.
+    ASSERT_EQ(
+        FeedAll(&p, "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"),
+        State::kDone);
+    EXPECT_TRUE(p.request().keep_alive());
+  }
+  {
+    HttpRequestParser p;  // Token matching inside a comma list.
+    ASSERT_EQ(FeedAll(&p,
+                      "GET / HTTP/1.1\r\nConnection: foo, Close\r\n\r\n"),
+              State::kDone);
+    EXPECT_FALSE(p.request().keep_alive());
+  }
+}
+
+TEST(HttpParserTest, MalformedRequestLineIs400) {
+  for (const char* raw :
+       {"GARBAGE\r\n\r\n", "GET\r\n\r\n", "GET /x\r\n\r\n",
+        "GET /x NOTHTTP/1.1\r\n\r\n"}) {
+    HttpRequestParser parser;
+    EXPECT_EQ(FeedAll(&parser, raw), State::kError) << raw;
+    EXPECT_EQ(parser.error_status(), 400) << raw;
+  }
+}
+
+TEST(HttpParserTest, BadContentLengthIs400) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST / HTTP/1.1\r\ncontent-length: banana\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, UnsupportedVersionIs505) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET / HTTP/2.0\r\n\r\n"), State::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpParserTest, TransferEncodingIs501) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, OversizedHeadIs431) {
+  HttpRequestParser::Limits limits;
+  limits.max_head_bytes = 64;
+  HttpRequestParser parser(limits);
+  const std::string raw =
+      "GET / HTTP/1.1\r\nx-pad: " + std::string(100, 'a') + "\r\n\r\n";
+  ASSERT_EQ(FeedAll(&parser, raw), State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, OversizedBodyIs413) {
+  HttpRequestParser::Limits limits;
+  limits.max_body_bytes = 8;
+  HttpRequestParser parser(limits);
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST / HTTP/1.1\r\ncontent-length: 9\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, ResetClearsErrorState) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GARBAGE\r\n\r\n"), State::kError);
+  parser.Reset();
+  ASSERT_EQ(FeedAll(&parser, "GET /ok HTTP/1.1\r\n\r\n"), State::kDone);
+  EXPECT_EQ(parser.request().target, "/ok");
+}
+
+TEST(SerializeResponseTest, FramingAndConnectionHeader) {
+  HttpResponse response;
+  response.status = 200;
+  response.body = "{\"x\":1}";
+  const std::string keep = SerializeResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(keep.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(keep.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_EQ(keep.substr(keep.size() - 7), "{\"x\":1}");
+
+  const std::string close = SerializeResponse(response, /*keep_alive=*/false);
+  EXPECT_NE(close.find("Connection: close\r\n"), std::string::npos);
+
+  response.close_connection = true;
+  const std::string forced = SerializeResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(forced.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(SerializeResponseTest, ExtraHeadersAndReasonPhrases) {
+  HttpResponse response;
+  response.status = 429;
+  response.extra_headers.push_back({"retry-after", "1"});
+  const std::string raw = SerializeResponse(response, true);
+  EXPECT_NE(raw.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(raw.find("retry-after: 1\r\n"), std::string::npos);
+
+  EXPECT_EQ(StatusReasonPhrase(503), "Service Unavailable");
+  EXPECT_EQ(StatusReasonPhrase(404), "Not Found");
+  EXPECT_EQ(StatusReasonPhrase(999), "Unknown");
+}
+
+}  // namespace
+}  // namespace tgks::server

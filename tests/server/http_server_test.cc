@@ -1,0 +1,437 @@
+// Loopback end-to-end tests for the HTTP serving layer: real sockets, the
+// real executor, and the full admission/deadline/shutdown story. Slow-query
+// cases use the executor tests' chain-graph idiom (a long "left ... right"
+// chain) so deadlines, shedding, and shutdown-cancel fire deterministically.
+
+#include "server/http_server.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/query_executor.h"
+#include "graph/graph_builder.h"
+#include "graph/inverted_index.h"
+#include "graph/temporal_graph.h"
+#include "server/http_test_client.h"
+#include "server/json_io.h"
+#include "server/request_router.h"
+#include "testutil/paper_graphs.h"
+
+namespace tgks::server {
+namespace {
+
+using testing::ClientResponse;
+using testing::FetchOnce;
+using testing::GetRequest;
+using testing::PostRequest;
+using testing::TestClient;
+
+// A long "left ... right" chain: expensive to search, so deadline /
+// cancellation / saturation paths fire reliably (see query_executor_test).
+graph::TemporalGraph MakeChainGraph(int n) {
+  graph::GraphBuilder b(4);
+  const temporal::IntervalSet always{{0, 3}};
+  graph::NodeId prev = b.AddNode("left", always);
+  for (int i = 0; i < n - 2; ++i) {
+    const graph::NodeId mid = b.AddNode("mid", always);
+    b.AddEdge(prev, mid, always);
+    b.AddEdge(mid, prev, always);
+    prev = mid;
+  }
+  const graph::NodeId tail = b.AddNode("right", always);
+  b.AddEdge(prev, tail, always);
+  b.AddEdge(tail, prev, always);
+  return std::move(b.Build()).value();
+}
+
+struct TestServerOptions {
+  int threads = 2;
+  AdmissionOptions admission;
+  int drain_timeout_ms = 2000;
+  bool use_poll = false;
+  int32_t default_k = 10;
+};
+
+// Owns the whole serving stack over a given graph, bound to an ephemeral
+// loopback port.
+class TestServer {
+ public:
+  explicit TestServer(graph::TemporalGraph graph,
+                      TestServerOptions opts = TestServerOptions())
+      : graph_(std::move(graph)), index_(graph_) {
+    exec::ExecutorOptions exec_options;
+    exec_options.threads = opts.threads;
+    exec_options.search.k = opts.default_k;
+    exec_options.search.extra_cancel = &shutdown_cancel_;
+    executor_ = std::make_unique<exec::QueryExecutor>(graph_, &index_,
+                                                      exec_options);
+    admission_ = std::make_unique<AdmissionController>(opts.admission);
+    RouterContext context;
+    context.graph = &graph_;
+    context.executor = executor_.get();
+    context.admission = admission_.get();
+    context.draining = &draining_;
+    context.default_k = opts.default_k;
+    context.dataset_name = "test";
+    router_ = std::make_unique<RequestRouter>(context);
+    HttpServerOptions server_options;
+    server_options.port = 0;
+    server_options.use_poll = opts.use_poll;
+    server_options.drain_timeout_ms = opts.drain_timeout_ms;
+    server_options.draining_flag = &draining_;
+    server_options.shutdown_cancel = &shutdown_cancel_;
+    server_ = std::make_unique<HttpServer>(router_.get(), admission_.get(),
+                                           server_options);
+    const Status status = server_->Start();
+    EXPECT_TRUE(status.ok()) << status;
+  }
+
+  ~TestServer() { server_->Shutdown(); }
+
+  int port() const { return server_->port(); }
+  HttpServer* server() { return server_.get(); }
+  AdmissionController* admission() { return admission_.get(); }
+
+ private:
+  graph::TemporalGraph graph_;
+  graph::InvertedIndex index_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_cancel_{false};
+  std::unique_ptr<exec::QueryExecutor> executor_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<RequestRouter> router_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+Result<JsonValue> ParseBody(const ClientResponse& response) {
+  return JsonValue::Parse(response.body);
+}
+
+TEST(HttpServerTest, HealthzAndVarz) {
+  TestServer ts(testutil::MakeSocialNetworkGraph());
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(ts.port(), GetRequest("/healthz"), &r), 200);
+  EXPECT_EQ(r.body, "ok\n");
+
+  ASSERT_EQ(FetchOnce(ts.port(), GetRequest("/varz"), &r), 200);
+  auto varz = ParseBody(r);
+  ASSERT_TRUE(varz.ok()) << r.body;
+  EXPECT_EQ(varz->Find("dataset")->AsString(), "test");
+  EXPECT_EQ(varz->Find("nodes")->AsInt(), 7);
+  EXPECT_FALSE(varz->Find("draining")->AsBool());
+  EXPECT_EQ(varz->Find("max_queue")->AsInt(), 64);
+}
+
+TEST(HttpServerTest, MetricsExposition) {
+  TestServer ts(testutil::MakeSocialNetworkGraph());
+  ClientResponse warmup;  // Ensure at least one request is counted.
+  ASSERT_EQ(FetchOnce(ts.port(), GetRequest("/healthz"), &warmup), 200);
+
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(ts.port(), GetRequest("/metrics"), &r), 200);
+  const std::string* content_type = r.FindHeader("content-type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_EQ(*content_type, "text/plain; version=0.0.4; charset=utf-8");
+#ifndef TGKS_NO_STATS
+  EXPECT_NE(r.body.find("tgks_http_requests_total"), std::string::npos)
+      << r.body.substr(0, 400);
+#endif
+}
+
+TEST(HttpServerTest, SearchEndToEnd) {
+  TestServer ts(testutil::MakeSocialNetworkGraph());
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest("/v1/search",
+                                  R"({"query":"Mary, John","k":3})"),
+                      &r),
+            200);
+  auto body = ParseBody(r);
+  ASSERT_TRUE(body.ok()) << r.body;
+  EXPECT_EQ(body->Find("status")->AsString(), "ok");
+  // k=3 may stop at the termination bound before exhausting the space.
+  const std::string stop = body->Find("stop_reason")->AsString();
+  EXPECT_TRUE(stop == "exhausted" || stop == "bound") << stop;
+  EXPECT_GT(body->Find("result_count")->AsInt(), 0);
+  ASSERT_TRUE(body->Find("results")->is_array());
+  const JsonValue& first = body->Find("results")->items()[0];
+  EXPECT_TRUE(first.Find("root")->is_int());
+  EXPECT_TRUE(first.Find("time")->is_array());
+  // Stats are opt-in so default responses stay deterministic.
+  EXPECT_EQ(body->Find("counters"), nullptr);
+  EXPECT_EQ(body->Find("stats"), nullptr);
+  EXPECT_EQ(body->Find("latency_ms"), nullptr);
+}
+
+TEST(HttpServerTest, SearchWithStatsIncludesCounters) {
+  TestServer ts(testutil::MakeSocialNetworkGraph());
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest("/v1/search",
+                                  R"({"query":"Mary, John","stats":true})"),
+                      &r),
+            200);
+  auto body = ParseBody(r);
+  ASSERT_TRUE(body.ok()) << r.body;
+  ASSERT_NE(body->Find("counters"), nullptr) << r.body;
+  EXPECT_GT(body->Find("counters")->Find("pops")->AsInt(), 0);
+  EXPECT_NE(body->Find("latency_ms"), nullptr);
+}
+
+TEST(HttpServerTest, ExplicitMatchSetsBypassTheIndex) {
+  testutil::SocialNetworkIds ids;
+  TestServer ts(testutil::MakeSocialNetworkGraph(&ids));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query");
+  w.String("Mary, John");
+  w.Key("matches");
+  w.BeginArray();
+  w.BeginArray();
+  w.Int(ids.mary);
+  w.EndArray();
+  w.BeginArray();
+  w.Int(ids.john);
+  w.EndArray();
+  w.EndArray();
+  w.EndObject();
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(ts.port(), PostRequest("/v1/search", w.Take()), &r),
+            200);
+  auto body = ParseBody(r);
+  ASSERT_TRUE(body.ok());
+  EXPECT_GT(body->Find("result_count")->AsInt(), 0);
+}
+
+TEST(HttpServerTest, BadRequestsProduceTypedErrors) {
+  TestServer ts(testutil::MakeSocialNetworkGraph());
+  struct Case {
+    std::string body;
+    std::string expected_type;
+  };
+  const std::vector<Case> cases = {
+      {R"({"query":)", "json"},
+      {R"([1,2,3])", "request"},
+      {R"({"k":3})", "request"},
+      {R"({"query":"Mary","k":-1})", "request"},
+      {R"({"query":"Mary","matches":"nope"})", "request"},
+  };
+  for (const Case& c : cases) {
+    ClientResponse r;
+    ASSERT_EQ(FetchOnce(ts.port(), PostRequest("/v1/search", c.body), &r),
+              400)
+        << c.body;
+    auto body = ParseBody(r);
+    ASSERT_TRUE(body.ok()) << r.body;
+    EXPECT_EQ(body->Find("error")->Find("type")->AsString(), c.expected_type)
+        << c.body;
+  }
+}
+
+TEST(HttpServerTest, QueryParseErrorCarriesCodeAndOffset) {
+  TestServer ts(testutil::MakeSocialNetworkGraph());
+  // Unterminated quote: structured error with a byte offset into the query.
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest("/v1/search", R"({"query":"\"Mary"})"),
+                      &r),
+            400);
+  auto body = ParseBody(r);
+  ASSERT_TRUE(body.ok()) << r.body;
+  const JsonValue* error = body->Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("type")->AsString(), "query-parse");
+  ASSERT_NE(error->Find("code"), nullptr) << r.body;
+  ASSERT_NE(error->Find("offset"), nullptr) << r.body;
+  EXPECT_TRUE(error->Find("offset")->is_int());
+  EXPECT_FALSE(error->Find("message")->AsString().empty());
+}
+
+TEST(HttpServerTest, RoutingErrors) {
+  TestServer ts(testutil::MakeSocialNetworkGraph());
+  ClientResponse r;
+  EXPECT_EQ(FetchOnce(ts.port(), GetRequest("/nope"), &r), 404);
+  EXPECT_EQ(FetchOnce(ts.port(), GetRequest("/v1/search"), &r), 405);
+  const std::string* allow = r.FindHeader("allow");
+  ASSERT_NE(allow, nullptr);
+  EXPECT_EQ(*allow, "POST");
+  EXPECT_EQ(FetchOnce(ts.port(), PostRequest("/healthz", ""), &r), 405);
+  // A malformed request line is rejected by the parser layer.
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.port()));
+  ASSERT_TRUE(client.Send("GARBAGE\r\n\r\n"));
+  ClientResponse bad;
+  ASSERT_TRUE(client.ReadResponse(&bad));
+  EXPECT_EQ(bad.status, 400);
+}
+
+TEST(HttpServerTest, KeepAliveServesSequentialRequests) {
+  TestServer ts(testutil::MakeSocialNetworkGraph());
+  TestClient client;
+  ASSERT_TRUE(client.Connect(ts.port()));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.Send(
+        PostRequest("/v1/search", R"({"query":"Mary, John","k":2})")));
+    ClientResponse r;
+    ASSERT_TRUE(client.ReadResponse(&r)) << "request " << i;
+    EXPECT_EQ(r.status, 200);
+    const std::string* connection = r.FindHeader("connection");
+    ASSERT_NE(connection, nullptr);
+    EXPECT_EQ(*connection, "keep-alive");
+  }
+  // Connection: close is honored.
+  ASSERT_TRUE(client.Send(
+      "GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n"));
+  ClientResponse last;
+  ASSERT_TRUE(client.ReadResponse(&last));
+  EXPECT_EQ(last.status, 200);
+  EXPECT_EQ(*last.FindHeader("connection"), "close");
+}
+
+TEST(HttpServerTest, DeadlineHeaderStopsLongQuery) {
+  TestServerOptions opts;
+  opts.threads = 2;
+  TestServer ts(MakeChainGraph(120000), opts);
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest("/v1/search", R"({"query":"left, right"})",
+                                  {{"deadline-ms", "1"}}),
+                      &r),
+            200);
+  auto body = ParseBody(r);
+  ASSERT_TRUE(body.ok()) << r.body;
+  EXPECT_EQ(body->Find("stop_reason")->AsString(), "deadline");
+  EXPECT_TRUE(body->Find("deadline_exceeded")->AsBool());
+  EXPECT_TRUE(body->Find("truncated")->AsBool());
+
+  // A malformed deadline is a 400 before admission.
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest("/v1/search", R"({"query":"left, right"})",
+                                  {{"deadline-ms", "soon"}}),
+                      &r),
+            400);
+}
+
+// Saturation + graceful shutdown, end to end: with a single executor thread
+// and max_queue 1, a second search sheds with 429; Shutdown() then cancels
+// the straggler through the shutdown token and its JSON response (stop
+// reason "cancelled") is still flushed before the connection closes.
+TEST(HttpServerTest, ShedsAtSaturationAndCancelsOnShutdown) {
+  TestServerOptions opts;
+  opts.threads = 1;
+  opts.admission.max_queue = 1;
+  opts.drain_timeout_ms = 50;
+  TestServer ts(MakeChainGraph(150000), opts);
+
+  TestClient slow;
+  ASSERT_TRUE(slow.Connect(ts.port()));
+  ASSERT_TRUE(
+      slow.Send(PostRequest("/v1/search", R"({"query":"left, right"})")));
+  // Wait until the slow query is admitted.
+  for (int i = 0; i < 500 && ts.admission()->depth() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(ts.admission()->depth(), 1);
+
+  ClientResponse shed;
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest("/v1/search", R"({"query":"left, right"})"),
+                      &shed),
+            429);
+  const std::string* retry_after = shed.FindHeader("retry-after");
+  ASSERT_NE(retry_after, nullptr);
+  EXPECT_EQ(*retry_after, "1");
+  auto shed_body = ParseBody(shed);
+  ASSERT_TRUE(shed_body.ok()) << shed.body;
+  EXPECT_EQ(shed_body->Find("error")->Find("type")->AsString(), "overload");
+  EXPECT_EQ(shed_body->Find("error")->Find("reason")->AsString(),
+            "queue-full");
+
+  // Graceful shutdown: the straggler's response is flushed, cancelled.
+  ts.server()->Shutdown();
+  ClientResponse r;
+  ASSERT_TRUE(slow.ReadResponse(&r));
+  EXPECT_EQ(r.status, 200);
+  auto body = ParseBody(r);
+  ASSERT_TRUE(body.ok()) << r.body;
+  EXPECT_EQ(body->Find("stop_reason")->AsString(), "cancelled");
+  EXPECT_TRUE(body->Find("cancelled")->AsBool());
+  EXPECT_FALSE(ts.server()->running());
+}
+
+TEST(HttpServerTest, ShutdownClosesListener) {
+  TestServer ts(testutil::MakeSocialNetworkGraph());
+  const int port = ts.port();
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(port, GetRequest("/healthz"), &r), 200);
+  ts.server()->Shutdown();
+  TestClient client;
+  EXPECT_FALSE(client.Connect(port));
+}
+
+TEST(HttpServerTest, PollBackendServes) {
+  TestServerOptions opts;
+  opts.use_poll = true;
+  TestServer ts(testutil::MakeSocialNetworkGraph(), opts);
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(ts.port(), GetRequest("/healthz"), &r), 200);
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest("/v1/search", R"({"query":"Mary, John"})"),
+                      &r),
+            200);
+  EXPECT_EQ(ParseBody(r)->Find("status")->AsString(), "ok");
+}
+
+// Concurrency smoke: several client threads hammer the server with mixed
+// traffic over keep-alive connections. Run under TSan in CI.
+TEST(HttpServerTest, ConcurrentClientsMixedTraffic) {
+  TestServerOptions opts;
+  opts.threads = 2;
+  TestServer ts(testutil::MakeSocialNetworkGraph(), opts);
+  constexpr int kClients = 4;
+  constexpr int kRequests = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&ts, &failures, c] {
+      TestClient client;
+      if (!client.Connect(ts.port())) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        std::string request;
+        switch ((c + i) % 3) {
+          case 0:
+            request =
+                PostRequest("/v1/search", R"({"query":"Mary, John","k":2})");
+            break;
+          case 1:
+            request = GetRequest("/healthz");
+            break;
+          default:
+            request = GetRequest("/varz");
+            break;
+        }
+        ClientResponse r;
+        if (!client.Send(request) || !client.ReadResponse(&r) ||
+            r.status != 200) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace tgks::server

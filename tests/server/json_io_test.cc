@@ -1,0 +1,175 @@
+// JsonValue/JsonWriter: the serving wire format depends on exact parse and
+// render behavior, so these tests pin escaping, number handling, error
+// offsets, and the depth limit.
+
+#include "server/json_io.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tgks::server {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool());
+  EXPECT_EQ(JsonValue::Parse("42")->AsInt(), 42);
+  EXPECT_EQ(JsonValue::Parse("-7")->AsInt(), -7);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, IntVersusDouble) {
+  auto integer = JsonValue::Parse("123");
+  ASSERT_TRUE(integer.ok());
+  EXPECT_TRUE(integer->is_int());
+  EXPECT_TRUE(integer->is_number());
+
+  for (const char* text : {"1.5", "1e3", "-2.25E-1", "0.0"}) {
+    auto value = JsonValue::Parse(text);
+    ASSERT_TRUE(value.ok()) << text;
+    EXPECT_FALSE(value->is_int()) << text;
+    EXPECT_TRUE(value->is_number()) << text;
+  }
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1.5")->AsDouble(), 1.5);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3")->AsDouble(), 1000.0);
+  // AsDouble on an int converts.
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("7")->AsDouble(), 7.0);
+}
+
+TEST(JsonParseTest, NestedContainers) {
+  auto v = JsonValue::Parse(
+      R"({"query":"a, b","k":5,"matches":[[1,2],[3]],"stats":true})");
+  ASSERT_TRUE(v.ok()) << v.status();
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->Find("query")->AsString(), "a, b");
+  EXPECT_EQ(v->Find("k")->AsInt(), 5);
+  EXPECT_TRUE(v->Find("stats")->AsBool());
+  const JsonValue* matches = v->Find("matches");
+  ASSERT_TRUE(matches != nullptr && matches->is_array());
+  ASSERT_EQ(matches->items().size(), 2u);
+  EXPECT_EQ(matches->items()[0].items().size(), 2u);
+  EXPECT_EQ(matches->items()[0].items()[1].AsInt(), 2);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, MemberOrderPreservedAndDuplicateKeysShadow) {
+  auto v = JsonValue::Parse(R"({"b":1,"a":2,"b":3})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->members().size(), 3u);
+  EXPECT_EQ(v->members()[0].first, "b");
+  EXPECT_EQ(v->members()[1].first, "a");
+  // Find returns the first occurrence.
+  EXPECT_EQ(v->Find("b")->AsInt(), 1);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = JsonValue::Parse(R"("a\"b\\c\/d\n\t\r\b\f")");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->AsString(), "a\"b\\c/d\n\t\r\b\f");
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  EXPECT_EQ(JsonValue::Parse(R"("A")")->AsString(), "A");
+  // 2-byte and 3-byte UTF-8.
+  EXPECT_EQ(JsonValue::Parse(R"("é")")->AsString(), "\xc3\xa9");
+  EXPECT_EQ(JsonValue::Parse(R"("€")")->AsString(), "\xe2\x82\xac");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(JsonValue::Parse(R"("😀")")->AsString(),
+            "\xf0\x9f\x98\x80");
+  // A lone high surrogate is an error.
+  EXPECT_FALSE(JsonValue::Parse(R"("\ud83d")").ok());
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffsets) {
+  auto bad = JsonValue::Parse("{\"a\":}");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("byte 5"), std::string::npos)
+      << bad.status();
+
+  auto trailing = JsonValue::Parse("42 junk");
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("byte 3"), std::string::npos)
+      << trailing.status();
+}
+
+TEST(JsonParseTest, MalformedDocuments) {
+  for (const char* text :
+       {"", "{", "[1,", "{\"a\" 1}", "\"unterminated", "tru", "01", "+1",
+        "1.", "1e", "2e+", "-", "nulll", "[1 2]", "{\"a\":1,}", "[,]"}) {
+    EXPECT_FALSE(JsonValue::Parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParseTest, DepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+  // 32 levels is comfortably inside the limit.
+  std::string ok = std::string(32, '[') + std::string(32, ']');
+  EXPECT_TRUE(JsonValue::Parse(ok).ok());
+}
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.Int(1);
+  w.Key("b");
+  w.BeginArray();
+  w.Int(2);
+  w.String("x");
+  w.Bool(false);
+  w.Null();
+  w.EndArray();
+  w.Key("c");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[2,"x",false,null],"c":{}})");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  JsonWriter w;
+  w.String("quote\" slash\\ ctrl\x01 nl\n");
+  EXPECT_EQ(w.str(), R"("quote\" slash\\ ctrl\u0001 nl\n")");
+}
+
+TEST(JsonWriterTest, DoublesRoundTrip) {
+  for (const double value : {0.5, 1.0 / 3.0, 1e-9, 12345.6789, -0.0, 2e300}) {
+    JsonWriter w;
+    w.Double(value);
+    auto parsed = JsonValue::Parse(w.str());
+    ASSERT_TRUE(parsed.ok()) << w.str();
+    EXPECT_EQ(parsed->AsDouble(), value) << w.str();
+  }
+  JsonWriter w;
+  w.Double(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(w.str(), "null");  // Non-finite renders as null per JSON.
+}
+
+TEST(JsonWriterTest, WriterOutputReparses) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("weird key \"\n");
+  w.String("\xe2\x82\xac value");
+  w.Key("nested");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("x");
+  w.Double(2.5);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  auto v = JsonValue::Parse(w.str());
+  ASSERT_TRUE(v.ok()) << w.str();
+  EXPECT_EQ(v->Find("weird key \"\n")->AsString(), "\xe2\x82\xac value");
+  EXPECT_DOUBLE_EQ(
+      v->Find("nested")->items()[0].Find("x")->AsDouble(), 2.5);
+}
+
+}  // namespace
+}  // namespace tgks::server

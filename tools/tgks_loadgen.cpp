@@ -1,0 +1,442 @@
+// tgks_loadgen: HTTP load generator for the tgks_cli --serve endpoint.
+//
+// Regenerates the same bench-seeded workloads the server's --dataset mode
+// uses (bench/bench_util.h, so node ids line up for match-set queries),
+// serializes them into POST /v1/search bodies, and replays them over a set
+// of keep-alive connections at a target aggregate QPS. Reports achieved
+// qps and latency percentiles, in a human table and as one JSON row
+// suitable for appending to BENCH_throughput.json.
+//
+// Usage:
+//   tgks_loadgen --workload dblp|social [--host H] [--port P]
+//                [--qps Q] [--duration-s S] [--connections C]
+//                [--num-queries N] [--k K] [--deadline-ms MS]
+//                [--label NAME] [--json-out FILE]
+//
+// --qps 0 (the default) runs closed-loop: each connection issues its next
+// request as soon as the previous response lands. With --qps Q, request i
+// is released at start + i/Q across all connections (open loop, bounded by
+// the connection count), so overload shows up as 429s, not client queueing.
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "datagen/query_generator.h"
+#include "server/json_io.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  std::string workload;  // "dblp" or "social" (required).
+  double qps = 0;        // 0 = closed loop.
+  double duration_s = 10;
+  int connections = 4;
+  int num_queries = 100;
+  int k = 0;             // 0 = server default.
+  int deadline_ms = 0;   // 0 = no deadline-ms header.
+  std::string label = "loadgen";
+  std::string json_out;  // Append the JSON row here if non-empty.
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --workload dblp|social [--host H] [--port P]\n"
+               "          [--qps Q] [--duration-s S] [--connections C]\n"
+               "          [--num-queries N] [--k K] [--deadline-ms MS]\n"
+               "          [--label NAME] [--json-out FILE]\n",
+               argv0);
+}
+
+/// One fully serialized HTTP request, ready to write to a socket.
+std::string BuildRequest(const Options& opts,
+                         const tgks::datagen::WorkloadQuery& wq) {
+  tgks::server::JsonWriter body;
+  body.BeginObject();
+  body.Key("query");
+  body.String(wq.query.ToString());
+  if (opts.k > 0) {
+    body.Key("k");
+    body.Int(opts.k);
+  }
+  if (!wq.matches.empty()) {
+    body.Key("matches");
+    body.BeginArray();
+    for (const auto& match_set : wq.matches) {
+      body.BeginArray();
+      for (const auto node : match_set) body.Int(node);
+      body.EndArray();
+    }
+    body.EndArray();
+  }
+  body.EndObject();
+  const std::string payload = body.Take();
+
+  std::string request;
+  request.reserve(payload.size() + 160);
+  request += "POST /v1/search HTTP/1.1\r\n";
+  request += "host: " + opts.host + ":" + std::to_string(opts.port) + "\r\n";
+  request += "content-type: application/json\r\n";
+  if (opts.deadline_ms > 0) {
+    request += "deadline-ms: " + std::to_string(opts.deadline_ms) + "\r\n";
+  }
+  request += "content-length: " + std::to_string(payload.size()) + "\r\n";
+  request += "\r\n";
+  request += payload;
+  return request;
+}
+
+int ConnectTo(const std::string& host, int port) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* result = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (getaddrinfo(host.c_str(), port_str.c_str(), &hints, &result) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(result);
+  if (fd >= 0) {
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return fd;
+}
+
+bool WriteAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = write(fd, bytes.data() + sent, bytes.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly one HTTP response off `fd`, using and refilling `buffer`
+/// (leftover pipelined bytes persist between calls). Returns the status
+/// code, or -1 on a connection error.
+int ReadResponse(int fd, std::string* buffer) {
+  char chunk[16 * 1024];
+  // 1. Accumulate until the blank line ends the head.
+  size_t head_end = std::string::npos;
+  for (;;) {
+    head_end = buffer->find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    const ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return -1;
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+  const std::string head = buffer->substr(0, head_end + 4);
+
+  // 2. Status code from "HTTP/1.x NNN ...".
+  int status = -1;
+  const size_t sp = head.find(' ');
+  if (sp != std::string::npos) status = std::atoi(head.c_str() + sp + 1);
+
+  // 3. Content-Length (the server always sends fixed-length bodies).
+  size_t body_len = 0;
+  {
+    std::string lower = head;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    const size_t pos = lower.find("content-length:");
+    if (pos != std::string::npos) {
+      body_len = static_cast<size_t>(
+          std::atoll(lower.c_str() + pos + std::strlen("content-length:")));
+    }
+  }
+
+  // 4. Drain the body (plus any leftover already buffered).
+  size_t have = buffer->size() - (head_end + 4);
+  while (have < body_len) {
+    const ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return -1;
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+    have += static_cast<size_t>(n);
+  }
+  buffer->erase(0, head_end + 4 + body_len);
+  return status;
+}
+
+struct WorkerStats {
+  std::vector<double> latencies_ms;
+  int64_t completed = 0;
+  int64_t status_2xx = 0;
+  int64_t status_429 = 0;
+  int64_t status_other = 0;
+  int64_t errors = 0;  // Connection-level failures.
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void RunWorker(const Options& opts, const std::vector<std::string>& requests,
+               Clock::time_point start, Clock::time_point end,
+               std::atomic<int64_t>* next_index, WorkerStats* stats) {
+  int fd = ConnectTo(opts.host, opts.port);
+  if (fd < 0) {
+    ++stats->errors;
+    return;
+  }
+  std::string buffer;
+  for (;;) {
+    const int64_t i = next_index->fetch_add(1, std::memory_order_relaxed);
+    if (opts.qps > 0) {
+      const auto scheduled =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(
+                          static_cast<double>(i) / opts.qps));
+      if (scheduled >= end) break;
+      std::this_thread::sleep_until(scheduled);
+    }
+    if (Clock::now() >= end) break;
+
+    const std::string& request =
+        requests[static_cast<size_t>(i) % requests.size()];
+    const auto sent_at = Clock::now();
+    if (!WriteAll(fd, request)) {
+      ++stats->errors;
+      close(fd);
+      fd = ConnectTo(opts.host, opts.port);
+      if (fd < 0) return;
+      buffer.clear();
+      continue;
+    }
+    const int status = ReadResponse(fd, &buffer);
+    if (status < 0) {
+      ++stats->errors;
+      close(fd);
+      fd = ConnectTo(opts.host, opts.port);
+      if (fd < 0) return;
+      buffer.clear();
+      continue;
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - sent_at)
+            .count();
+    stats->latencies_ms.push_back(ms);
+    ++stats->completed;
+    if (status >= 200 && status < 300) {
+      ++stats->status_2xx;
+    } else if (status == 429) {
+      ++stats->status_429;
+    } else {
+      ++stats->status_other;
+    }
+  }
+  close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      opts.host = next("--host");
+    } else if (arg == "--port") {
+      opts.port = std::atoi(next("--port"));
+    } else if (arg == "--workload") {
+      opts.workload = next("--workload");
+    } else if (arg == "--qps") {
+      opts.qps = std::atof(next("--qps"));
+    } else if (arg == "--duration-s") {
+      opts.duration_s = std::atof(next("--duration-s"));
+    } else if (arg == "--connections") {
+      opts.connections = std::atoi(next("--connections"));
+    } else if (arg == "--num-queries") {
+      opts.num_queries = std::atoi(next("--num-queries"));
+    } else if (arg == "--k") {
+      opts.k = std::atoi(next("--k"));
+    } else if (arg == "--deadline-ms") {
+      opts.deadline_ms = std::atoi(next("--deadline-ms"));
+    } else if (arg == "--label") {
+      opts.label = next("--label");
+    } else if (arg == "--json-out") {
+      opts.json_out = next("--json-out");
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (opts.workload != "dblp" && opts.workload != "social") {
+    std::fprintf(stderr, "--workload must be dblp or social\n");
+    Usage(argv[0]);
+    return 2;
+  }
+  if (opts.connections < 1 || opts.duration_s <= 0 || opts.num_queries < 1) {
+    std::fprintf(stderr, "invalid --connections/--duration-s/--num-queries\n");
+    return 2;
+  }
+  signal(SIGPIPE, SIG_IGN);
+
+  // Regenerate the server's dataset so node ids in match sets line up.
+  std::fprintf(stderr, "generating %s workload (%d queries)...\n",
+               opts.workload.c_str(), opts.num_queries);
+  tgks::datagen::QueryWorkloadParams params;
+  params.num_queries = opts.num_queries;
+  std::vector<tgks::datagen::WorkloadQuery> workload;
+  if (opts.workload == "dblp") {
+    const auto dataset = tgks::bench::MakeDblp();
+    workload = tgks::datagen::MakeDblpWorkload(dataset, params);
+  } else {
+    const auto dataset = tgks::bench::MakeSocial();
+    workload = tgks::datagen::MakeMatchSetWorkload(
+        dataset.graph, params, tgks::bench::ScaledMatches());
+  }
+  std::vector<std::string> requests;
+  requests.reserve(workload.size());
+  for (const auto& wq : workload) requests.push_back(BuildRequest(opts, wq));
+
+  const auto start = Clock::now();
+  const auto end =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(opts.duration_s));
+  std::atomic<int64_t> next_index{0};
+  std::vector<WorkerStats> worker_stats(
+      static_cast<size_t>(opts.connections));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(opts.connections));
+  for (int c = 0; c < opts.connections; ++c) {
+    workers.emplace_back(RunWorker, std::cref(opts), std::cref(requests),
+                         start, end, &next_index, &worker_stats[c]);
+  }
+  for (auto& w : workers) w.join();
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  WorkerStats total;
+  for (const auto& ws : worker_stats) {
+    total.completed += ws.completed;
+    total.status_2xx += ws.status_2xx;
+    total.status_429 += ws.status_429;
+    total.status_other += ws.status_other;
+    total.errors += ws.errors;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              ws.latencies_ms.begin(),
+                              ws.latencies_ms.end());
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  const double achieved =
+      wall > 0 ? static_cast<double>(total.completed) / wall : 0;
+  const double p50 = Percentile(total.latencies_ms, 0.50);
+  const double p90 = Percentile(total.latencies_ms, 0.90);
+  const double p99 = Percentile(total.latencies_ms, 0.99);
+
+  std::printf("%-10s %-8s %5s %10s %12s %9s %9s %9s %6s %6s %6s\n", "label",
+              "dataset", "conns", "target_qps", "achieved_qps", "p50_ms",
+              "p90_ms", "p99_ms", "2xx", "429", "err");
+  std::printf("%-10s %-8s %5d %10.1f %12.2f %9.3f %9.3f %9.3f %6lld %6lld"
+              " %6lld\n",
+              opts.label.c_str(), opts.workload.c_str(), opts.connections,
+              opts.qps, achieved, p50, p90, p99,
+              static_cast<long long>(total.status_2xx),
+              static_cast<long long>(total.status_429),
+              static_cast<long long>(total.errors + total.status_other));
+
+  tgks::server::JsonWriter row;
+  row.BeginObject();
+  row.Key("bench");
+  row.String("http_throughput");
+  row.Key("label");
+  row.String(opts.label);
+  row.Key("dataset");
+  row.String(opts.workload);
+  row.Key("connections");
+  row.Int(opts.connections);
+  row.Key("target_qps");
+  row.Double(opts.qps);
+  row.Key("achieved_qps");
+  row.Double(achieved);
+  row.Key("wall_seconds");
+  row.Double(wall);
+  row.Key("completed");
+  row.Int(total.completed);
+  row.Key("p50_ms");
+  row.Double(p50);
+  row.Key("p90_ms");
+  row.Double(p90);
+  row.Key("p99_ms");
+  row.Double(p99);
+  row.Key("status_2xx");
+  row.Int(total.status_2xx);
+  row.Key("status_429");
+  row.Int(total.status_429);
+  row.Key("status_other");
+  row.Int(total.status_other);
+  row.Key("errors");
+  row.Int(total.errors);
+  row.Key("deadline_ms");
+  row.Int(opts.deadline_ms == 0 ? -1 : opts.deadline_ms);
+  row.EndObject();
+  const std::string json_row = row.Take();
+  std::printf("%s\n", json_row.c_str());
+  if (!opts.json_out.empty()) {
+    FILE* f = std::fopen(opts.json_out.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opts.json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", json_row.c_str());
+    std::fclose(f);
+  }
+  // Nonzero exit when nothing completed, so CI smoke jobs fail loudly.
+  return total.completed > 0 ? 0 : 1;
+}
