@@ -3,6 +3,12 @@
 // queries/sec and latency percentiles, and cross-checks that every thread
 // count reproduces the sequential results bit-identically.
 //
+// A second sweep re-runs every multi-thread cell with
+// SearchOptions::parallel_keywords (per-keyword prefetch + deterministic
+// replay inside each query, docs/executor.md); those rows carry
+// "mode": "parallel-keywords" and are held to the same bit-identical
+// cross-check — the mode must change latency, never answers.
+//
 // Environment knobs (see bench_util.h): TGKS_BENCH_SCALE, TGKS_BENCH_QUERIES.
 // TGKS_BENCH_THREADS ("1,2,4,8" by default) picks the sweep points and
 // TGKS_BENCH_DEADLINE_MS (<=0 = off) adds a per-query deadline row.
@@ -81,21 +87,22 @@ std::vector<std::string> Fingerprints(const exec::BatchResponse& response) {
   return prints;
 }
 
-void PrintRow(const std::string& dataset, int threads, int64_t deadline_ms,
-              const exec::BatchResponse& response, bool identical) {
+void PrintRow(const std::string& dataset, const char* mode, int threads,
+              int64_t deadline_ms, const exec::BatchResponse& response,
+              bool identical) {
   // "stats" tags each row with the build flavour so the TGKS_NO_STATS
   // overhead comparison can pair rows from two binaries.
   char row[512];
   std::snprintf(
       row, sizeof(row),
-      "{\"dataset\": \"%s\", \"stats\": \"%s\", \"threads\": %d, "
-      "\"deadline_ms\": %lld, "
+      "{\"dataset\": \"%s\", \"mode\": \"%s\", \"stats\": \"%s\", "
+      "\"threads\": %d, \"deadline_ms\": %lld, "
       "\"queries\": %zu, \"wall_seconds\": %.6f, \"qps\": %.2f, "
       "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
       "\"mean_ms\": %.3f, \"deadline_exceeded\": %lld, \"truncated\": %lld, "
       "\"failed\": %lld, \"identical_to_sequential\": %s}\n",
-      dataset.c_str(), tgks::obs::StatsCompiledOut() ? "off" : "on", threads,
-      static_cast<long long>(deadline_ms),
+      dataset.c_str(), mode, tgks::obs::StatsCompiledOut() ? "off" : "on",
+      threads, static_cast<long long>(deadline_ms),
       response.responses.size(), response.wall_seconds,
       response.QueriesPerSecond(), response.latency.p50_ms,
       response.latency.p90_ms, response.latency.p99_ms,
@@ -125,7 +132,7 @@ int SweepDataset(const std::string& name, const graph::TemporalGraph& graph,
   exec::QueryExecutor reference(graph, &index, ref_options);
   const exec::BatchResponse ref = reference.Run(batch);
   const std::vector<std::string> ref_prints = Fingerprints(ref);
-  PrintRow(name, 1, -1, ref, true);
+  PrintRow(name, "sequential", 1, -1, ref, true);
 
   int mismatches = 0;
   for (const int threads : SweepThreads()) {
@@ -136,7 +143,22 @@ int SweepDataset(const std::string& name, const graph::TemporalGraph& graph,
     const exec::BatchResponse response = executor.Run(batch);
     const bool identical = Fingerprints(response) == ref_prints;
     if (!identical) ++mismatches;
-    PrintRow(name, threads, -1, response, identical);
+    PrintRow(name, "sequential", threads, -1, response, identical);
+  }
+
+  // Parallel-keyword sweep: same cells, each query additionally fanned out
+  // across its keywords on the shared pool. The fingerprint cross-check is
+  // the mode's whole contract — any divergence fails the binary.
+  for (const int threads : SweepThreads()) {
+    if (threads == 1) continue;  // One worker cannot overlap prefetch tasks.
+    exec::ExecutorOptions options = ref_options;
+    options.threads = threads;
+    options.search.parallel_keywords = true;
+    exec::QueryExecutor executor(graph, &index, options);
+    const exec::BatchResponse response = executor.Run(batch);
+    const bool identical = Fingerprints(response) == ref_prints;
+    if (!identical) ++mismatches;
+    PrintRow(name, "parallel-keywords", threads, -1, response, identical);
   }
 
   const int64_t deadline_ms = EnvInt("TGKS_BENCH_DEADLINE_MS", -1);
@@ -147,7 +169,8 @@ int SweepDataset(const std::string& name, const graph::TemporalGraph& graph,
     exec::QueryExecutor executor(graph, &index, options);
     // Deadlined runs legitimately diverge from the reference; don't count
     // them as mismatches.
-    PrintRow(name, options.threads, deadline_ms, executor.Run(batch), true);
+    PrintRow(name, "sequential", options.threads, deadline_ms,
+             executor.Run(batch), true);
   }
   return mismatches;
 }

@@ -17,12 +17,27 @@
 # stats modes — any diff means the search explored a different state space
 # and must be reviewed as a semantic change, not noise.
 #
+# With --results-only the counter diff is skipped; instead both suites run
+# twice — sequentially and in the engine's parallel-keyword mode — and the
+# per-query result fingerprints (workcount_dump --results) are diffed
+# against each other. The parallel mode's counters legitimately include
+# prefetch overshoot, so its gate is result equivalence, not counter
+# equivalence.
+#
 # Usage:
 #   scripts/workcount_check.sh <build-dir>
+#   scripts/workcount_check.sh <build-dir> --results-only
 #   TGKS_UPDATE_WORKCOUNTS=1 scripts/workcount_check.sh <build-dir>   # regen
 set -euo pipefail
 
-BUILD_DIR="${1:?usage: workcount_check.sh <build-dir>}"
+BUILD_DIR="${1:?usage: workcount_check.sh <build-dir> [--results-only]}"
+RESULTS_ONLY=0
+if [[ "${2:-}" == "--results-only" ]]; then
+  RESULTS_ONLY=1
+elif [[ -n "${2:-}" ]]; then
+  echo "workcount_check: unknown argument '$2'" >&2
+  exit 2
+fi
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 DUMP="${BUILD_DIR}/tools/workcount_dump"
 GOLDEN_DIR="${REPO_ROOT}/tests/golden"
@@ -54,6 +69,32 @@ check_suite() {  # <expected-file> <dump args...>
   echo "workcount_check: OK ($(wc -l < "${expected}") queries bit-identical vs $(basename "${expected}"))"
   rm -f "${actual}"
 }
+
+results_suite() {  # <label> <dump args...>
+  local label="$1"; shift
+  local seq par
+  seq="$(mktemp)"
+  par="$(mktemp)"
+  "${DUMP}" --results "$@" > "${seq}"
+  "${DUMP}" --results --parallel "$@" > "${par}"
+  if ! diff -u "${seq}" "${par}"; then
+    rm -f "${seq}" "${par}"
+    echo "" >&2
+    echo "workcount_check: FAIL — parallel-keyword mode returned different" >&2
+    echo "results than sequential mode on the ${label} suite. The parallel" >&2
+    echo "mode's contract is exact result equivalence; this is a bug, not" >&2
+    echo "a counter drift." >&2
+    exit 1
+  fi
+  echo "workcount_check: OK (${label}: $(wc -l < "${seq}") queries, parallel == sequential results)"
+  rm -f "${seq}" "${par}"
+}
+
+if [[ "${RESULTS_ONLY}" == "1" ]]; then
+  results_suite "golden" "${GOLDEN_DIR}"
+  results_suite "datasets" --dataset dblp --dataset social
+  exit 0
+fi
 
 check_suite "${GOLDEN_DIR}/workcounts.expected" "${GOLDEN_DIR}"
 check_suite "${GOLDEN_DIR}/workcounts_datasets.expected" \

@@ -6,9 +6,16 @@
 // freed, and the next query on the same thread picks it up warm. Pools are
 // thread-local so acquisition is lock-free; the QueryExecutor's persistent
 // worker threads (src/exec) therefore amortize scratch setup across every
-// query of a batch for free. Handles must be released on the thread that
-// acquired them (iterators are not moved across threads; the executor pins
-// a query to one worker).
+// query of a batch for free.
+//
+// Cross-thread release is supported: destroying a handle parks the object
+// on the RELEASING thread's free list, with no synchronization needed
+// beyond whatever ordered the handle's transfer (the parallel-keyword
+// search acquires scratches inside pool-worker prefetch tasks and releases
+// them wherever the query's Runner is destroyed; the task group's join
+// provides the ordering). Scratch capacity migrates with the handle, so
+// pools self-balance across the executor's workers; MaxFree bounds each
+// thread's list independently.
 
 #ifndef TGKS_COMMON_SCRATCH_POOL_H_
 #define TGKS_COMMON_SCRATCH_POOL_H_

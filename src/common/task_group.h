@@ -1,0 +1,98 @@
+// TaskGroup: run a batch of tasks on an optional external executor and
+// block until every task has finished, with the waiting thread claiming
+// unstarted tasks inline.
+//
+// The claim protocol makes nested submission deadlock-free: callers that
+// themselves run on a pool worker (e.g. a query fanning its keywords out on
+// the same exec::ThreadPool that runs the query) can never wedge the pool,
+// because the waiter does not depend on any worker picking its tasks up —
+// it races the pool for each task with an atomic claim flag and runs the
+// losers' complement itself. Under a saturated pool the group degrades to
+// fully inline (sequential) execution; with idle workers the tasks spread.
+//
+// Guarantees:
+//   * Each task runs exactly once, on the submitting thread or a worker.
+//   * RunTaskGroup returns only after every task has finished (the group's
+//     mutex orders each task's writes before the waiter's return, so task
+//     results may be read without further synchronization).
+//   * Pool-side wrappers that lose the claim race touch only the shared
+//     claim state (kept alive by shared_ptr), never the tasks — the group
+//     may be destroyed, and its captured state dangle, before a late
+//     wrapper drains from the queue.
+
+#ifndef TGKS_COMMON_TASK_GROUP_H_
+#define TGKS_COMMON_TASK_GROUP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tgks::common {
+
+/// Hands a ready-to-run task to some executor (e.g. exec::ThreadPool).
+/// The callee must eventually invoke the task or drop it; dropping is safe
+/// for TaskGroup wrappers (the waiter completes the work regardless).
+using TaskSubmitFn = std::function<void(std::function<void()>)>;
+
+/// Runs `tasks` to completion. With a null (or empty) `submit`, or a single
+/// task, everything runs inline on the calling thread in order.
+inline void RunTaskGroup(const TaskSubmitFn* submit,
+                         std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (submit == nullptr || !*submit || tasks.size() == 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+
+  struct State {
+    std::vector<std::function<void()>> tasks;
+    std::unique_ptr<std::atomic<bool>[]> claimed;
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;
+
+    /// Runs task `i` (claim already won) and publishes its completion.
+    /// Notifying under the mutex orders the notify before the waiter can
+    /// observe done == n and destroy the cv via the last shared_ptr.
+    void RunClaimed(size_t i) {
+      tasks[i]();
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      cv.notify_all();
+    }
+  };
+
+  auto state = std::make_shared<State>();
+  state->tasks = std::move(tasks);
+  const size_t n = state->tasks.size();
+  state->claimed.reset(new std::atomic<bool>[n]);
+  for (size_t i = 0; i < n; ++i) {
+    state->claimed[i].store(false, std::memory_order_relaxed);
+  }
+  // Offload all but the last task; the caller starts on that one directly
+  // instead of paying a queue round-trip for work it would do anyway.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    (*submit)([state, i] {
+      if (!state->claimed[i].exchange(true, std::memory_order_acq_rel)) {
+        state->RunClaimed(i);
+      }
+    });
+  }
+  // Claim whatever has not started, back to front so the caller and the
+  // pool drain the group from opposite ends, then wait for stragglers.
+  for (size_t i = n; i-- > 0;) {
+    if (!state->claimed[i].exchange(true, std::memory_order_acq_rel)) {
+      state->RunClaimed(i);
+    }
+  }
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done == n; });
+}
+
+}  // namespace tgks::common
+
+#endif  // TGKS_COMMON_TASK_GROUP_H_

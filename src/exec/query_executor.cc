@@ -75,7 +75,10 @@ QueryExecutor::QueryExecutor(const graph::TemporalGraph& graph,
       index_(index),
       options_(options),
       engine_(graph, index),
-      pool_(std::make_unique<ThreadPool>(ResolveThreads(options.threads))) {}
+      pool_(std::make_unique<ThreadPool>(ResolveThreads(options.threads))),
+      submit_fn_([this](std::function<void()> task) {
+        pool_->Submit(std::move(task));
+      }) {}
 
 QueryExecutor::~QueryExecutor() = default;
 
@@ -90,6 +93,7 @@ BatchResponse QueryExecutor::Run(const std::vector<BatchQuery>& batch) {
   // The batch token rides in the secondary slot so a caller-supplied
   // search.cancel keeps working; either token stops a query.
   per_query.extra_cancel = &cancel_;
+  if (per_query.parallel_keywords) per_query.task_submitter = &submit_fn_;
 
   BatchResponse out;
   out.responses.reserve(batch.size());
@@ -187,6 +191,10 @@ void QueryExecutor::Submit(SingleQuery single, SingleQueryCallback done) {
     options.deadline_ms = options_.deadline_ms;
   }
   options.cancel = single.cancel;
+  if (single.parallel_keywords.has_value()) {
+    options.parallel_keywords = *single.parallel_keywords;
+  }
+  if (options.parallel_keywords) options.task_submitter = &submit_fn_;
   pool_->Submit([this, single = std::move(single), options,
                  done = std::move(done)]() mutable {
     Stopwatch latency;

@@ -109,6 +109,10 @@ struct SingleQuery {
   /// token preset in ExecutorOptions::search.extra_cancel — either one
   /// stops the query.
   const std::atomic<bool>* cancel = nullptr;
+  /// Per-request override of SearchOptions::parallel_keywords; unset
+  /// inherits the executor default. The executor wires its own pool in as
+  /// the task submitter either way.
+  std::optional<bool> parallel_keywords;
 };
 
 /// Completion callback for Submit(): invoked exactly once on a worker
@@ -170,6 +174,12 @@ class QueryExecutor {
   ExecutorOptions options_;
   search::SearchEngine engine_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Bridges SearchOptions::task_submitter onto the shared pool for
+  /// parallel-keyword queries. Nested submission cannot deadlock: the
+  /// engine's task groups claim unpicked tasks inline (common/task_group.h),
+  /// so a query running on a saturated pool degrades to sequential
+  /// execution instead of waiting on itself.
+  search::TaskSubmitFn submit_fn_;
   /// Serializes Run(): one batch at a time in the shared pool.
   std::mutex run_mu_;
   std::atomic<bool> cancel_{false};

@@ -127,6 +127,14 @@ void Histogram::Observe(int64_t sample) {
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(sample, std::memory_order_relaxed);
+  if (idx == bounds_.size()) {
+    // Overflow-bucket sample: track the max so Percentile can report a real
+    // value instead of capping at the last bound.
+    int64_t cur = overflow_max_.load(std::memory_order_relaxed);
+    while (cur < sample && !overflow_max_.compare_exchange_weak(
+                               cur, sample, std::memory_order_relaxed)) {
+    }
+  }
 }
 
 int64_t Histogram::Percentile(double p) const {
@@ -137,13 +145,15 @@ int64_t Histogram::Percentile(double p) const {
       std::ceil(p / 100.0 * static_cast<double>(total)));
   if (rank < 1) rank = 1;
   int64_t seen = 0;
-  for (size_t i = 0; i < buckets_.size(); ++i) {
+  for (size_t i = 0; i < bounds_.size(); ++i) {
     seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) {
-      return i < bounds_.size() ? bounds_[i] : bounds_.back();
-    }
+    if (seen >= rank) return bounds_[i];
   }
-  return bounds_.empty() ? 0 : bounds_.back();
+  // The rank lands in the overflow bucket: report the largest observed
+  // sample. (Pre-fix this returned bounds_.back(), silently capping tail
+  // quantiles at the top bound — and was UB for empty bounds_, which now
+  // falls through here uniformly.)
+  return overflow_max_.load(std::memory_order_relaxed);
 }
 
 MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
@@ -366,6 +376,7 @@ void MetricsRegistry::Reset() {
         }
         entry->histogram->count_.store(0, std::memory_order_relaxed);
         entry->histogram->sum_.store(0, std::memory_order_relaxed);
+        entry->histogram->overflow_max_.store(0, std::memory_order_relaxed);
         break;
     }
   }

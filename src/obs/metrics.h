@@ -17,7 +17,10 @@
 // atomic count per bucket plus sum/count, so percentile queries are
 // nearest-rank over the bucket table: the reported quantile is the upper
 // bound of the bucket containing the target rank — exact for samples that
-// hit a bound, otherwise conservative (never under-reports).
+// hit a bound, otherwise conservative (never under-reports). Ranks landing
+// in the overflow bucket (beyond the last bound) report the largest sample
+// ever observed, the only finite value that keeps the never-under-reports
+// contract for tail quantiles.
 
 #ifndef TGKS_OBS_METRICS_H_
 #define TGKS_OBS_METRICS_H_
@@ -78,8 +81,10 @@ class Histogram {
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
 
   /// Nearest-rank percentile (p in [0,100]): the upper bound of the bucket
-  /// holding the ceil(p/100 * count)-th smallest sample; the overflow
-  /// bucket reports the largest finite bound. 0 when empty.
+  /// holding the ceil(p/100 * count)-th smallest sample; a rank landing in
+  /// the overflow bucket reports the maximum observed sample (returning the
+  /// last finite bound would silently cap tail quantiles — the pre-fix
+  /// behavior). 0 when empty.
   int64_t Percentile(double p) const;
 
   /// Ascending finite bucket upper bounds (the last bucket is +inf).
@@ -92,6 +97,9 @@ class Histogram {
   std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1 (overflow).
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_{0};
+  /// Largest overflow-bucket sample; what Percentile reports for ranks past
+  /// the last bound (and for every rank when bounds_ is empty).
+  std::atomic<int64_t> overflow_max_{0};
 };
 
 /// Default histogram bounds: 1,2,5 decades from 1 to 10^9 — suits counts

@@ -63,6 +63,12 @@ struct EngineMetrics {
   obs::Gauge* heap_high_water;
   obs::Histogram* query_micros;
   obs::Histogram* pops_per_query;
+  // Parallel-keyword merge family (docs/performance.md).
+  obs::Counter* parallel_queries;
+  obs::Counter* parallel_merge_rounds;
+  obs::Counter* parallel_merge_overshoot;
+  obs::Counter* parallel_merge_stall_refills;
+  obs::Histogram* parallel_keyword_expand_micros;
 
   static EngineMetrics& Get() {
     static EngineMetrics* m = [] {
@@ -98,6 +104,21 @@ struct EngineMetrics {
           "tgks_query_micros", "Instrumented per-query time (microseconds).");
       out->pops_per_query = reg.GetHistogram(
           "tgks_search_pops_per_query", "NTD pops per query.");
+      out->parallel_queries = reg.GetCounter(
+          "tgks_search_parallel_queries_total",
+          "Queries that ran the parallel-keyword merge path.");
+      out->parallel_merge_rounds = reg.GetCounter(
+          "tgks_search_parallel_merge_rounds_total",
+          "Per-keyword prefetch rounds across parallel queries.");
+      out->parallel_merge_overshoot = reg.GetCounter(
+          "tgks_search_parallel_merge_overshoot_pops_total",
+          "Pops prefetched past the stop point (wasted parallel work).");
+      out->parallel_merge_stall_refills = reg.GetCounter(
+          "tgks_search_parallel_merge_stall_refills_total",
+          "Replay stalls that forced an extra prefetch round.");
+      out->parallel_keyword_expand_micros = reg.GetHistogram(
+          "tgks_search_parallel_keyword_expand_micros",
+          "Per-keyword prefetch-task expansion time (microseconds).");
       return out;
     }();
     return *m;
@@ -120,27 +141,47 @@ class Runner {
 
   SearchResponse Run() {
     if (options_.deadline_ms > 0) {
-      deadline_ = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(options_.deadline_ms);
+      deadline_ = Now() + std::chrono::milliseconds(options_.deadline_ms);
       has_deadline_ = true;
     }
     FilterMatches();
-    CreateIterators();
-    const bool any_keyword_dead =
-        std::any_of(keyword_heaps_.begin(), keyword_heaps_.end(),
-                    [](const auto& h) { return h.empty(); });
-    if (any_keyword_dead) {
-      // Some keyword has no qualifying match: no result can exist.
-      response_.exhausted = true;
-      response_.stop_reason = StopReason::kExhausted;
+    // Parallel mode needs >= 2 keywords to fan out and falls back when a
+    // trace is attached (QueryTrace is single-threaded by contract).
+    use_parallel_ = options_.parallel_keywords && m_ >= 2 &&
+                    options_.trace == nullptr;
+    if (use_parallel_) {
+      RunParallel();
     } else {
-      MainLoop();
+      CreateIterators();
+      const bool any_keyword_dead =
+          std::any_of(keyword_heaps_.begin(), keyword_heaps_.end(),
+                      [](const auto& h) { return h.empty(); });
+      if (any_keyword_dead) {
+        // Some keyword has no qualifying match: no result can exist.
+        response_.exhausted = true;
+        response_.stop_reason = StopReason::kExhausted;
+      } else {
+        MainLoop();
+      }
     }
     Finalize();
     return std::move(response_);
   }
 
  private:
+  std::chrono::steady_clock::time_point Now() const {
+    return options_.clock_fn != nullptr
+               ? options_.clock_fn(options_.clock_ctx)
+               : std::chrono::steady_clock::now();
+  }
+
+  bool Cancelled() const {
+    return (options_.cancel != nullptr &&
+            options_.cancel->load(std::memory_order_relaxed)) ||
+           (options_.extra_cancel != nullptr &&
+            options_.extra_cancel->load(std::memory_order_relaxed));
+  }
+
   struct IterEntry {
     ScoreKey score;
     int32_t iter;
@@ -232,21 +273,26 @@ class Runner {
   }
 
   void MainLoop() {
+    // Amortized deadline poll: steady_clock::now() per pop dominated cheap
+    // pops, so the clock is sampled every kDeadlineCheckStridePops pops
+    // (first iteration included). Worst-case overshoot: stride - 1 pops
+    // past the poll that would have fired.
+    int64_t deadline_countdown = 1;
     while (true) {
-      if ((options_.cancel != nullptr &&
-           options_.cancel->load(std::memory_order_relaxed)) ||
-          (options_.extra_cancel != nullptr &&
-           options_.extra_cancel->load(std::memory_order_relaxed))) {
+      if (Cancelled()) {
         response_.truncated = true;
         response_.cancelled = true;
         response_.stop_reason = StopReason::kCancelled;
         return;
       }
-      if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
-        response_.truncated = true;
-        response_.deadline_exceeded = true;
-        response_.stop_reason = StopReason::kDeadline;
-        return;
+      if (has_deadline_ && --deadline_countdown <= 0) {
+        deadline_countdown = kDeadlineCheckStridePops;
+        if (Now() >= deadline_) {
+          response_.truncated = true;
+          response_.deadline_exceeded = true;
+          response_.stop_reason = StopReason::kDeadline;
+          return;
+        }
       }
       if (options_.max_pops > 0 &&
           response_.counters.pops >= options_.max_pops) {
@@ -426,6 +472,12 @@ class Runner {
       best_top = std::max(best_top, heap.front().score[0]);
       worst_top = std::min(worst_top, heap.front().score[0]);
     }
+    return KthBeatsBoundOver(any, best_top, worst_top);
+  }
+
+  /// The bound computation shared by sequential mode (keyword heap fronts)
+  /// and parallel replay (recorded stream fronts — the exact same scores).
+  bool KthBeatsBoundOver(bool any, double best_top, double worst_top) {
     if (!any) return true;  // Exhausted: everything has been seen.
 
     // Accurate bound (Propositions 4.1-4.3): an unseen result is emitted at
@@ -486,6 +538,368 @@ class Runner {
     return kth >= bound;
   }
 
+  // ---- Parallel keyword mode ---------------------------------------------
+  //
+  // Each keyword's pop sequence is independent of the others: a keyword's
+  // scheduling heap orders only that keyword's iterators, and an iterator
+  // advances only through its own Next() calls. The global interleaving
+  // (SelectKeyword) merely decides how MANY pops of each per-keyword
+  // sequence get consumed. Parallel mode exploits this in two stages:
+  //
+  //   1. Prefetch rounds: one task per keyword pops up to a budget from
+  //      that keyword's heap, recording (score, iterator, ntd, node) per
+  //      pop. Tasks touch disjoint per-keyword state (heap, iterators,
+  //      stream) and a barrier joins the round, so there is no shared
+  //      mutable state between concurrent tasks.
+  //   2. Replay merge: the coordinator replays the EXACT sequential
+  //      interleaving over the recorded streams — keyword selection,
+  //      meeting-candidate assembly, top-k admission, and the §4.2 stop
+  //      test all run single-threaded against stream fronts that carry the
+  //      same scores the sequential heaps would have shown. A stream that
+  //      runs dry while its frontier is live triggers the next round.
+  //
+  // Result sets, scores, and the consumed-pop count are identical to
+  // sequential mode by construction, for every bound kind. What changes is
+  // iterator-level work: pops prefetched past the stop point
+  // (parallel_overshoot_pops) still scanned edges and created NTDs, so
+  // those counters can exceed a sequential run's. With a fixed round
+  // budget (parallel_deterministic) they are reproducible run-to-run; the
+  // default budget adapts to measured round wall time.
+
+  static constexpr int64_t kDefaultRoundBudget = 512;
+  static constexpr int64_t kMinRoundBudget = 128;
+  static constexpr int64_t kMaxRoundBudget = 16384;
+
+  enum class AbortReason { kNone, kCancel, kDeadline };
+
+  struct RecordedPop {
+    ScoreKey score;  ///< Heap key at pop time == the iterator's peek.
+    int32_t iter;    ///< Global iterator index.
+    NtdId ntd;
+    NodeId node;
+  };
+
+  /// Per-keyword prefetch state. Written only by that keyword's task
+  /// (rounds are joined before the coordinator reads), except `cursor`,
+  /// which only the coordinator touches.
+  struct KeywordStream {
+    std::vector<IterEntry> heap;     ///< The keyword's scheduling heap.
+    std::vector<RecordedPop> pops;   ///< Produced pops, keyword order.
+    size_t cursor = 0;               ///< Consumed prefix (replay).
+    bool created = false;            ///< Iterators built (first round).
+    bool exhausted = false;          ///< Heap drained: no more pops ever.
+    ScoreKey tail{};                 ///< Next pop's score when !exhausted.
+    AbortReason abort = AbortReason::kNone;
+    double expand_seconds = 0.0;     ///< Task CPU time, summed over rounds.
+  };
+
+  void RunParallel() {
+    // Pre-size the iterator table so tasks fill disjoint slot ranges with
+    // no reallocation; slot numbering matches sequential creation order.
+    size_t total = 0;
+    stream_offset_.resize(m_);
+    for (size_t kw = 0; kw < m_; ++kw) {
+      stream_offset_[kw] = total;
+      total += match_lists_[kw].size();
+    }
+    iterators_.resize(total);
+    streams_.resize(m_);
+    round_budget_ = options_.parallel_round_budget > 0
+                        ? options_.parallel_round_budget
+                        : kDefaultRoundBudget;
+
+    // Round 1: create every keyword's iterators and prefetch the first
+    // budget of pops.
+    std::vector<size_t> all(m_);
+    for (size_t kw = 0; kw < m_; ++kw) all[kw] = kw;
+    RunPrefetchRound(all);
+    int64_t created = 0;
+    for (const auto& iter : iterators_) created += (iter != nullptr);
+    response_.counters.iterators = created;
+    if (StopOnAbort()) return;
+    for (const KeywordStream& ks : streams_) {
+      if (ks.exhausted && ks.pops.empty()) {
+        // Some keyword has no qualifying match: no result can exist.
+        // (Sequential mode's any_keyword_dead check; the other keywords'
+        // round-1 prefetch is counted as overshoot.)
+        response_.exhausted = true;
+        response_.stop_reason = StopReason::kExhausted;
+        return;
+      }
+    }
+    merge_timer_.Start();
+    ReplayLoop();
+    merge_timer_.Stop();
+  }
+
+  /// Score of keyword kw's next pop — recorded but unconsumed, or the heap
+  /// top left after the last round — or nullptr when fully exhausted.
+  /// Mirrors what keyword_heaps_[kw].front() shows sequential mode.
+  const ScoreKey* StreamFront(size_t kw) const {
+    const KeywordStream& ks = streams_[kw];
+    if (ks.cursor < ks.pops.size()) return &ks.pops[ks.cursor].score;
+    if (!ks.exhausted) return &ks.tail;
+    return nullptr;
+  }
+
+  /// SelectKeyword() replayed over stream fronts; same tie-breaks.
+  int ReplaySelectKeyword() {
+    const bool round_robin =
+        options_.round_robin_keywords && query_.ranking.PrimaryIsTemporal();
+    if (round_robin) {
+      for (size_t step = 0; step < m_; ++step) {
+        const int kw = static_cast<int>((rr_cursor_ + step) % m_);
+        if (StreamFront(static_cast<size_t>(kw)) != nullptr) {
+          rr_cursor_ = (kw + 1) % static_cast<int>(m_);
+          return kw;
+        }
+      }
+      return -1;
+    }
+    int best = -1;
+    const ScoreKey* best_score = nullptr;
+    for (size_t kw = 0; kw < m_; ++kw) {
+      const ScoreKey* front = StreamFront(kw);
+      if (front == nullptr) continue;
+      if (best < 0 || ScoreBetter(*front, *best_score)) {
+        best = static_cast<int>(kw);
+        best_score = front;
+      }
+    }
+    return best;
+  }
+
+  bool ReplayKthBeatsBound() {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    double best_top = -kInf;
+    double worst_top = kInf;
+    bool any = false;
+    for (size_t kw = 0; kw < m_; ++kw) {
+      const ScoreKey* front = StreamFront(kw);
+      if (front == nullptr) continue;
+      any = true;
+      best_top = std::max(best_top, (*front)[0]);
+      worst_top = std::min(worst_top, (*front)[0]);
+    }
+    return KthBeatsBoundOver(any, best_top, worst_top);
+  }
+
+  /// Maps a stop observed during a prefetch round (by the coordinator or a
+  /// task) onto the sequential stop protocol. Returns true when the search
+  /// must stop. Checked after every round: a task that aborted must stop
+  /// the query, or the replay would spin refilling it forever.
+  bool StopOnAbort() {
+    bool task_cancel = false;
+    bool task_deadline = false;
+    for (const KeywordStream& ks : streams_) {
+      task_cancel |= ks.abort == AbortReason::kCancel;
+      task_deadline |= ks.abort == AbortReason::kDeadline;
+    }
+    if (Cancelled() || task_cancel) {
+      response_.truncated = true;
+      response_.cancelled = true;
+      response_.stop_reason = StopReason::kCancelled;
+      return true;
+    }
+    if (task_deadline || (has_deadline_ && Now() >= deadline_)) {
+      response_.truncated = true;
+      response_.deadline_exceeded = true;
+      response_.stop_reason = StopReason::kDeadline;
+      return true;
+    }
+    return false;
+  }
+
+  /// The sequential MainLoop, replayed over recorded streams.
+  void ReplayLoop() {
+    int64_t deadline_countdown = 1;
+    while (true) {
+      if (Cancelled()) {
+        response_.truncated = true;
+        response_.cancelled = true;
+        response_.stop_reason = StopReason::kCancelled;
+        return;
+      }
+      if (has_deadline_ && --deadline_countdown <= 0) {
+        deadline_countdown = kDeadlineCheckStridePops;
+        if (Now() >= deadline_) {
+          response_.truncated = true;
+          response_.deadline_exceeded = true;
+          response_.stop_reason = StopReason::kDeadline;
+          return;
+        }
+      }
+      if (options_.max_pops > 0 &&
+          response_.counters.pops >= options_.max_pops) {
+        response_.truncated = true;
+        response_.stop_reason = StopReason::kMaxPops;
+        return;
+      }
+      const int selected = ReplaySelectKeyword();
+      if (selected < 0) {
+        response_.exhausted = true;  // Every frontier drained.
+        response_.stop_reason = StopReason::kExhausted;
+        return;
+      }
+      const size_t kw = static_cast<size_t>(selected);
+      KeywordStream& ks = streams_[kw];
+      if (ks.cursor == ks.pops.size()) {
+        // Live frontier but no recorded pop: prefetch another round for it
+        // (batching in other streams running low).
+        merge_timer_.Stop();
+        RefillRound(kw);
+        merge_timer_.Start();
+        if (StopOnAbort()) return;
+        continue;
+      }
+
+      const RecordedPop& pop = ks.pops[ks.cursor++];
+      ++response_.counters.pops;
+      auto& lists = reached_[static_cast<size_t>(pop.node)];
+      if (lists.empty()) {
+        lists.resize(m_);
+        ++reached_count_;
+      }
+      lists[kw].push_back({pop.iter, pop.ntd});
+      const bool met_all =
+          std::all_of(lists.begin(), lists.end(),
+                      [](const auto& l) { return !l.empty(); });
+      if (met_all) {
+        generate_timer_.Start();
+        GenerateCandidates(pop.node, kw, pop.iter, pop.ntd, lists);
+        generate_timer_.Stop();
+      }
+      if (options_.k > 0 &&
+          static_cast<int64_t>(results_.size()) >= options_.k &&
+          ReplayKthBeatsBound()) {
+        response_.stop_reason = StopReason::kBound;
+        return;
+      }
+    }
+  }
+
+  /// Prefetches another round for `hot_kw` (which the replay needs next)
+  /// plus any other live stream running low, so stalls batch.
+  void RefillRound(size_t hot_kw) {
+    ++stall_refills_;
+    std::vector<size_t> refill;
+    const int64_t low_water = std::max<int64_t>(1, round_budget_ / 4);
+    for (size_t kw = 0; kw < m_; ++kw) {
+      const KeywordStream& ks = streams_[kw];
+      if (ks.exhausted) continue;
+      const int64_t available =
+          static_cast<int64_t>(ks.pops.size() - ks.cursor);
+      if (kw == hot_kw || available < low_water) refill.push_back(kw);
+    }
+    RunPrefetchRound(refill);
+  }
+
+  void RunPrefetchRound(const std::vector<size_t>& kws) {
+    if (kws.empty()) return;
+    ++response_.counters.parallel_rounds;
+    int64_t budget = round_budget_;
+    if (options_.max_pops > 0) {
+      // Prefetching past max_pops is pure waste: the replay stops there.
+      const int64_t remaining =
+          options_.max_pops - response_.counters.pops;
+      budget = std::clamp<int64_t>(remaining, 1, budget);
+    }
+    Stopwatch round_wall;
+    round_wall.Start();
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(kws.size());
+    for (const size_t kw : kws) {
+      tasks.push_back([this, kw, budget] { PrefetchKeyword(kw, budget); });
+    }
+    common::RunTaskGroup(options_.task_submitter, std::move(tasks));
+    round_wall.Stop();
+    if (!options_.parallel_deterministic) {
+      // Aim for ~0.5-4 ms rounds: long enough to amortize the barrier,
+      // short enough to keep overshoot small. Uses the real clock, so the
+      // budget sequence — and with it the iterator-level counters — is
+      // timing-dependent in this (default) mode.
+      const double s = round_wall.seconds();
+      if (s < 0.0005) {
+        round_budget_ = std::min<int64_t>(round_budget_ * 2, kMaxRoundBudget);
+      } else if (s > 0.004) {
+        round_budget_ = std::max<int64_t>(round_budget_ / 2, kMinRoundBudget);
+      }
+    }
+  }
+
+  /// One keyword's prefetch task: build its iterators on first call, then
+  /// pop up to `budget` NTDs off its scheduling heap, recording each pop.
+  /// Touches only this keyword's stream/heap/iterator slots.
+  void PrefetchKeyword(size_t kw, int64_t budget) {
+    KeywordStream& ks = streams_[kw];
+    Stopwatch expand;
+    expand.Start();
+    if (!ks.created) {
+      CreateKeywordIterators(kw);
+      ks.created = true;
+    }
+    int64_t deadline_countdown = 1;
+    int64_t produced = 0;
+    while (produced < budget && !ks.heap.empty()) {
+      if (Cancelled()) {
+        ks.abort = AbortReason::kCancel;
+        break;
+      }
+      if (has_deadline_ && --deadline_countdown <= 0) {
+        deadline_countdown = kDeadlineCheckStridePops;
+        if (Now() >= deadline_) {
+          ks.abort = AbortReason::kDeadline;
+          break;
+        }
+      }
+      std::pop_heap(ks.heap.begin(), ks.heap.end(), IterEntryWorse());
+      const IterEntry top = ks.heap.back();
+      ks.heap.pop_back();
+      BestPathIterator& iter = *iterators_[static_cast<size_t>(top.iter)];
+      const NtdId popped = iter.Next();
+      assert(popped != kInvalidNtd);
+      const ScoreKey* peek = iter.PeekScore();
+      if (peek != nullptr) {
+        ks.heap.push_back(IterEntry{*peek, top.iter});
+        std::push_heap(ks.heap.begin(), ks.heap.end(), IterEntryWorse());
+      }
+      ks.pops.push_back(
+          RecordedPop{top.score, top.iter, popped, iter.ntd(popped).node});
+      ++produced;
+    }
+    if (ks.heap.empty()) {
+      ks.exhausted = true;
+    } else {
+      // Heap entries are kept fresh (pushed with the post-Next() peek), so
+      // the front IS the next pop's score — the replay's frontier bound.
+      ks.tail = ks.heap.front().score;
+    }
+    expand.Stop();
+    ks.expand_seconds += expand.seconds();
+  }
+
+  /// CreateIterators() for one keyword, into its preassigned slot range.
+  void CreateKeywordIterators(size_t kw) {
+    KeywordStream& ks = streams_[kw];
+    BestPathIterator::Options iter_options;
+    iter_options.ranking = query_.ranking;
+    iter_options.prune = query_.predicate.get();
+    iter_options.containedby_prune = options_.containedby_prune;
+    iter_options.duration_index = options_.duration_index;
+    size_t slot = stream_offset_[kw];
+    for (const NodeId source : match_lists_[kw]) {
+      iter_options.trace_iter = static_cast<int32_t>(slot);
+      iterators_[slot] =
+          std::make_unique<BestPathIterator>(graph_, source, iter_options);
+      const ScoreKey* peek = iterators_[slot]->PeekScore();
+      if (peek != nullptr) {
+        ks.heap.push_back(IterEntry{*peek, static_cast<int32_t>(slot)});
+      }
+      ++slot;
+    }
+    std::make_heap(ks.heap.begin(), ks.heap.end(), IterEntryWorse());
+  }
+
   void Finalize() {
     std::sort(results_.begin(), results_.end(),
               [](const ResultTree& a, const ResultTree& b) {
@@ -499,9 +913,21 @@ class Runner {
     response_.results = std::move(results_);
 
     SearchCounters& c = response_.counters;
+    if (use_parallel_) {
+      for (const KeywordStream& ks : streams_) {
+        c.parallel_overshoot_pops +=
+            static_cast<int64_t>(ks.pops.size() - ks.cursor);
+        // Expansion ran inside the prefetch tasks: CPU time summed over
+        // tasks, so it can exceed the query's wall time.
+        c.seconds_expand += ks.expand_seconds;
+      }
+      c.seconds_merge = merge_timer_.seconds();
+    }
     int64_t pushed_nodes_sum = 0;
     int64_t active_ntds_sum = 0;
     for (const auto& iter : iterators_) {
+      // Parallel slots can stay empty when a round aborts mid-creation.
+      if (iter == nullptr) continue;
       c.useless_pops += iter->stats().useless_pops;
       c.ntds_created += iter->num_ntds();
       c.edges_scanned += iter->stats().edges_scanned;
@@ -538,6 +964,7 @@ class Runner {
     s.dedup_hits = c.useless_pops + c.duplicates;
     s.interval_ops = engine_interval_ops_;
     for (const auto& iter : iterators_) {
+      if (iter == nullptr) continue;
       const IteratorStats& is = iter->stats();
       s.ntds_merged += is.subsumption_skips + is.subsumption_evictions;
       s.prunes += is.prunes;
@@ -575,6 +1002,16 @@ class Runner {
     gm.heap_high_water->Max(s.heap_high_water);
     gm.query_micros->Observe(s.MicrosTotal());
     gm.pops_per_query->Observe(s.pops);
+    if (use_parallel_) {
+      gm.parallel_queries->Increment();
+      gm.parallel_merge_rounds->Increment(c.parallel_rounds);
+      gm.parallel_merge_overshoot->Increment(c.parallel_overshoot_pops);
+      gm.parallel_merge_stall_refills->Increment(stall_refills_);
+      for (const KeywordStream& ks : streams_) {
+        gm.parallel_keyword_expand_micros->Observe(
+            std::llround(ks.expand_seconds * 1e6));
+      }
+    }
 #endif  // TGKS_NO_STATS
   }
 
@@ -597,6 +1034,14 @@ class Runner {
   std::vector<std::unique_ptr<BestPathIterator>> iterators_;
   std::vector<std::vector<IterEntry>> keyword_heaps_;
   int rr_cursor_ = 0;
+
+  // Parallel-keyword state (unused on the sequential path).
+  bool use_parallel_ = false;
+  std::vector<KeywordStream> streams_;
+  std::vector<size_t> stream_offset_;  ///< First iterator slot per keyword.
+  int64_t round_budget_ = kDefaultRoundBudget;
+  int64_t stall_refills_ = 0;
+  Stopwatch merge_timer_;
 
   // Dense per-node keyword lists (indexed by NodeId; empty outer vector ==
   // node not reached yet). A hash map here costs a probe on EVERY pop;

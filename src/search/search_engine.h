@@ -12,11 +12,13 @@
 #define TGKS_SEARCH_SEARCH_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "common/result.h"
+#include "common/task_group.h"
 #include "graph/inverted_index.h"
 #include "graph/temporal_graph.h"
 #include "obs/query_trace.h"
@@ -37,6 +39,16 @@ enum class UpperBoundKind {
 };
 
 std::string_view UpperBoundKindName(UpperBoundKind kind);
+
+/// Submits a ready-to-run task to some executor (see common/task_group.h).
+using TaskSubmitFn = common::TaskSubmitFn;
+
+/// How many pops the main loop runs between wall-clock deadline polls.
+/// steady_clock::now() is a vDSO call that dominates a cheap pop, so the
+/// poll is amortized; the worst-case deadline overshoot is
+/// (kDeadlineCheckStridePops - 1) pops beyond the poll that would have
+/// fired, i.e. bounded by the stride times the slowest single pop.
+inline constexpr int64_t kDeadlineCheckStridePops = 32;
 
 /// Engine knobs; the defaults reproduce the paper's primary configuration.
 struct SearchOptions {
@@ -74,6 +86,36 @@ struct SearchOptions {
   /// thread; batch callers must hand each query its own trace or none. A
   /// TGKS_NO_STATS build records nothing.
   obs::QueryTrace* trace = nullptr;
+
+  /// Opt-in intra-query parallelism: each keyword's best-path iterator
+  /// group prefetches pops as a task on `task_submitter`, and the
+  /// coordinator replays the exact sequential interleaving over the
+  /// recorded per-keyword streams. Result sets, scores, and the
+  /// consumed-pop count are identical to sequential mode by construction
+  /// (any bound kind); iterator-level counters may include prefetch
+  /// overshoot (see SearchCounters::parallel_overshoot_pops and
+  /// docs/performance.md). Ignored when the query has fewer than two
+  /// keywords or carries a trace (QueryTrace is single-threaded).
+  bool parallel_keywords = false;
+  /// With parallel_keywords: pin the per-round prefetch budget so every
+  /// work counter — including the overshoot-bearing iterator counters —
+  /// is reproducible run-to-run. Off by default: the budget adapts to
+  /// measured round wall time for better latency, making iterator-level
+  /// counters (not results) timing-dependent.
+  bool parallel_deterministic = false;
+  /// Per-keyword pops prefetched per round in parallel mode; <= 0 picks
+  /// the default (512).
+  int64_t parallel_round_budget = 0;
+  /// Executor hook for parallel_keywords (not owned; must outlive the
+  /// call). Null runs the prefetch tasks inline on the calling thread —
+  /// same merge code path, no concurrency.
+  const TaskSubmitFn* task_submitter = nullptr;
+
+  /// Test seam: when non-null the deadline machinery reads this clock
+  /// instead of std::chrono::steady_clock::now(). Must be monotone and, in
+  /// parallel mode, callable from concurrent worker threads.
+  std::chrono::steady_clock::time_point (*clock_fn)(void* ctx) = nullptr;
+  void* clock_ctx = nullptr;
 };
 
 /// Work counters for the evaluation harness (§6's reported quantities).
@@ -94,6 +136,11 @@ struct SearchCounters {
   int64_t duplicates = 0;          ///< Re-derived known trees.
   int64_t combo_overflows = 0;     ///< Pops hitting max_combos_per_pop.
   int64_t results = 0;             ///< Distinct valid results found.
+  /// Parallel mode only: prefetch rounds run, and pops prefetched past the
+  /// stop point (work a sequential run would not have done; their edge
+  /// scans / NTDs are included in the iterator-level counters above).
+  int64_t parallel_rounds = 0;
+  int64_t parallel_overshoot_pops = 0;
   /// Mean NTDs per reached node per iterator (the paper's "average number
   /// of NTDs associated with each node").
   double avg_ntds_per_node = 0.0;
@@ -105,6 +152,10 @@ struct SearchCounters {
   double seconds_filter = 0.0;
   double seconds_expand = 0.0;
   double seconds_generate = 0.0;
+  /// Parallel mode only: wall time of the replay/merge loop. seconds_expand
+  /// is then CPU time summed over prefetch tasks and can exceed the query's
+  /// wall time; seconds_merge overlaps both it and seconds_generate.
+  double seconds_merge = 0.0;
 };
 
 /// Why the main loop stopped.

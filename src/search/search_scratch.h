@@ -9,7 +9,12 @@
 // through a thread-local ScratchPool — an iterator acquires a warm scratch
 // in its constructor, bumps the epochs, and runs allocation-free in steady
 // state. The QueryExecutor's persistent workers (src/exec) make this
-// recycling automatic across the queries of a batch. See
+// recycling automatic across the queries of a batch. In parallel-keyword
+// mode (SearchOptions::parallel_keywords) iterators are constructed inside
+// per-keyword prefetch tasks, so each pool worker acquires from its own
+// thread-local pool; the scratches are later released on whichever thread
+// destroys the query's Runner — cross-thread release is part of the
+// ScratchPool contract (see common/scratch_pool.h). See
 // docs/performance.md for layout and measurements.
 
 #ifndef TGKS_SEARCH_SEARCH_SCRATCH_H_

@@ -409,6 +409,18 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
     return stats != nullptr && stats->AsBool();
   }();
 
+  // Optional per-request parallel-keyword override (docs/serving.md);
+  // absent inherits the executor's default mode.
+  if (const JsonValue* parallel = doc->Find("parallel_keywords");
+      parallel != nullptr) {
+    if (!parallel->is_bool()) {
+      *immediate = JsonResponse(
+          400, JsonErrorBody("request", "parallel_keywords must be a bool"));
+      return true;
+    }
+    single.parallel_keywords = parallel->AsBool();
+  }
+
   // Per-request deadline from the deadline-ms header.
   single.deadline_ms = context_.default_deadline_ms;
   if (const std::string* header = request.FindHeader("deadline-ms");

@@ -67,9 +67,50 @@ TEST(HistogramTest, NearestRankPercentiles) {
   EXPECT_EQ(h->Percentile(50), 5);    // 5th sample lives in the le=5 bucket.
   EXPECT_EQ(h->Percentile(90), 10);
   EXPECT_EQ(h->Percentile(100), 10);
-  // Overflow samples report the largest finite bound.
+  // Overflow samples report the largest observed sample, not the last bound.
   h->Observe(10'000);
-  EXPECT_EQ(h->Percentile(100), 100);
+  EXPECT_EQ(h->Percentile(100), 10'000);
+}
+
+// Regression: tail percentiles that land in the overflow bucket used to be
+// capped at bounds_.back(), silently under-reporting every latency above
+// the top bound (pre-fix this test fails with Percentile(99) == 100).
+TEST(HistogramTest, OverflowPercentileReportsMaxObservedSample) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("overflow_micros", "", {10, 100});
+  h->Observe(5'000);
+  h->Observe(7'000);
+  EXPECT_EQ(h->Percentile(50), 7'000);
+  EXPECT_EQ(h->Percentile(99), 7'000);
+  EXPECT_EQ(h->Percentile(100), 7'000);
+  // A never-under-reports floor: the reported quantile is >= the last bound
+  // whenever any overflow sample exists.
+  h->Observe(50);  // In-range sample: p0 now resolves inside the buckets.
+  EXPECT_EQ(h->Percentile(0), 100);
+  EXPECT_EQ(h->Percentile(100), 7'000);
+}
+
+TEST(HistogramTest, ResetClearsOverflowMax) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("overflow_reset_micros", "", {10});
+  h->Observe(9'999);
+  ASSERT_EQ(h->Percentile(100), 9'999);
+  registry.Reset();
+  EXPECT_EQ(h->Percentile(100), 0);
+  // Post-reset observations start a fresh max.
+  h->Observe(42);
+  EXPECT_EQ(h->Percentile(100), 42);
+}
+
+TEST(HistogramTest, DefaultBoundsOverflowReportsMaxObserved) {
+  // The default 1-2-5 ladder tops out at 5e9; a sample beyond it must still
+  // surface through Percentile (the registry substitutes the default ladder
+  // when no bounds are given, so this also covers the no-bounds path that
+  // pre-fix read bounds_.back() — UB on a truly empty vector).
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("default_bounds_micros");
+  h->Observe(6'000'000'000);
+  EXPECT_EQ(h->Percentile(99), 6'000'000'000);
 }
 
 TEST(HistogramTest, EmptyHistogramReportsZero) {

@@ -1,0 +1,428 @@
+// Differential suite for the opt-in parallel keyword mode
+// (SearchOptions::parallel_keywords) plus the amortized deadline poll.
+//
+// The parallel mode's contract is exact result equivalence: per-keyword
+// prefetch tasks record pop streams and the coordinator replays the
+// sequential interleaving over them, so result sets, scores, stop reasons,
+// and the consumed-pop count must be IDENTICAL to sequential mode — for
+// every ranking, bound kind, and safety valve. The suite checks that on the
+// same 60 seeded random graphs the snapshot-reducibility oracle uses
+// (10 seeds x 6 rounds), sweeping ranking x bound across rounds, with the
+// prefetch tasks running on a real ThreadPool.
+//
+// Also pinned here:
+//   - parallel_deterministic: ALL work counters (including the
+//     overshoot-bearing iterator-level ones) reproduce run-to-run;
+//   - a null task_submitter degrades to inline prefetch, same results;
+//   - the deadline poll runs every kDeadlineCheckStridePops pops, not every
+//     pop (regression: the main loop used to call steady_clock::now() per
+//     pop), with the documented worst-case overshoot bound.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "exec/thread_pool.h"
+#include "graph/graph_builder.h"
+#include "search/search_engine.h"
+
+namespace tgks::search {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TemporalGraph;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+TemporalGraph RandomGraph(Rng* rng, int num_nodes, int num_edges,
+                          TimePoint horizon) {
+  while (true) {
+    GraphBuilder b(horizon, graph::ValidityPolicy::kClamp);
+    std::vector<std::pair<TimePoint, TimePoint>> node_span;
+    for (int i = 0; i < num_nodes; ++i) {
+      const TimePoint a = static_cast<TimePoint>(rng->Uniform(horizon));
+      const TimePoint c = static_cast<TimePoint>(rng->Uniform(horizon));
+      node_span.emplace_back(std::min(a, c), std::max(a, c));
+      b.AddNode("n" + std::to_string(i),
+                IntervalSet{{node_span.back().first, node_span.back().second}},
+                static_cast<double>(rng->Uniform(3)));
+    }
+    for (int i = 0; i < num_edges; ++i) {
+      const NodeId u = static_cast<NodeId>(rng->Uniform(num_nodes));
+      const NodeId v = static_cast<NodeId>(rng->Uniform(num_nodes));
+      if (u == v) continue;
+      const TimePoint a = static_cast<TimePoint>(rng->Uniform(horizon));
+      const TimePoint c = static_cast<TimePoint>(rng->Uniform(horizon));
+      // kClamp rejects the whole build when an edge's validity clamped to
+      // its endpoints' comes out empty; skip such edges so dense graphs
+      // (many edge draws) stay constructible.
+      const TimePoint lo = std::max({std::min(a, c), node_span[u].first,
+                                     node_span[v].first});
+      const TimePoint hi = std::min({std::max(a, c), node_span[u].second,
+                                     node_span[v].second});
+      if (lo > hi) continue;
+      b.AddEdge(u, v, IntervalSet{{std::min(a, c), std::max(a, c)}},
+                static_cast<double>(1 + rng->Uniform(3)));
+    }
+    auto g = b.Build();
+    if (g.ok()) return std::move(g).value();
+  }
+}
+
+std::vector<NodeId> RandomMatches(Rng* rng, const TemporalGraph& g, int k) {
+  std::vector<NodeId> out;
+  for (const uint64_t v : rng->SampleWithoutReplacement(
+           static_cast<uint64_t>(g.num_nodes()), static_cast<uint64_t>(k))) {
+    out.push_back(static_cast<NodeId>(v));
+  }
+  return out;
+}
+
+/// The parts of a response the parallel mode must reproduce exactly.
+void ExpectSameOutcome(const SearchResponse& seq, const SearchResponse& par,
+                       const std::string& context) {
+  EXPECT_EQ(seq.stop_reason, par.stop_reason) << context;
+  EXPECT_EQ(seq.exhausted, par.exhausted) << context;
+  EXPECT_EQ(seq.truncated, par.truncated) << context;
+  EXPECT_EQ(seq.deadline_exceeded, par.deadline_exceeded) << context;
+  EXPECT_EQ(seq.cancelled, par.cancelled) << context;
+  // The replay consumes the exact sequential pop sequence, so the
+  // consumed-side counters match too (iterator-level counters may not:
+  // they include prefetch overshoot).
+  EXPECT_EQ(seq.counters.pops, par.counters.pops) << context;
+  EXPECT_EQ(seq.counters.candidates, par.counters.candidates) << context;
+  EXPECT_EQ(seq.counters.results, par.counters.results) << context;
+  ASSERT_EQ(seq.results.size(), par.results.size()) << context;
+  for (size_t i = 0; i < seq.results.size(); ++i) {
+    EXPECT_EQ(seq.results[i].score, par.results[i].score)
+        << context << " result " << i;
+    EXPECT_EQ(seq.results[i].Signature(), par.results[i].Signature())
+        << context << " result " << i;
+  }
+}
+
+struct ModeRunner {
+  exec::ThreadPool pool{4};
+  TaskSubmitFn submit = [this](std::function<void()> task) {
+    pool.Submit(std::move(task));
+  };
+
+  SearchOptions Parallel(const SearchOptions& base) {
+    SearchOptions options = base;
+    options.parallel_keywords = true;
+    options.task_submitter = &submit;
+    return options;
+  }
+};
+
+class ParallelDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The tentpole soundness gate: on 60 random graphs (same seed protocol as
+// snapshot_reducibility_test: 10 seeds x 6 rounds), sequential and parallel
+// runs must agree exactly. Rounds cycle through ranking factors and bound
+// kinds so every (factor, bound) pair is exercised across the suite.
+TEST_P(ParallelDifferentialTest, ParallelMatchesSequentialExactly) {
+  static constexpr RankFactor kFactors[] = {
+      RankFactor::kRelevance, RankFactor::kEndTimeDesc,
+      RankFactor::kStartTimeAsc, RankFactor::kDurationDesc};
+  static constexpr UpperBoundKind kBounds[] = {UpperBoundKind::kEmpirical,
+                                               UpperBoundKind::kAccurate,
+                                               UpperBoundKind::kAverage};
+  ModeRunner runner;
+  Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    const TemporalGraph g = RandomGraph(&rng, 12, 26, 8);
+    const int num_keywords = 2 + static_cast<int>(rng.Uniform(2));
+    std::vector<std::vector<NodeId>> matches;
+    Query q;
+    for (int kw = 0; kw < num_keywords; ++kw) {
+      q.keywords.push_back(std::string(1, static_cast<char>('a' + kw)));
+      matches.push_back(RandomMatches(&rng, g, 3));
+    }
+    q.ranking.factors = {kFactors[round % 4]};
+    const SearchEngine engine(g);
+
+    SearchOptions base;
+    base.k = 5;
+    base.bound = kBounds[round % 3];
+    const std::string context = "seed " + std::to_string(GetParam()) +
+                                " round " + std::to_string(round);
+
+    auto seq = engine.SearchWithMatches(q, matches, base);
+    auto par = engine.SearchWithMatches(q, matches, runner.Parallel(base));
+    ASSERT_TRUE(seq.ok()) << context;
+    ASSERT_TRUE(par.ok()) << context;
+    ExpectSameOutcome(*seq, *par, context);
+
+    // Exhaustive runs (k = 0) must agree too — the bound never fires, so
+    // this pins the exhaustion stop path.
+    SearchOptions all = base;
+    all.k = 0;
+    auto seq_all = engine.SearchWithMatches(q, matches, all);
+    auto par_all = engine.SearchWithMatches(q, matches, runner.Parallel(all));
+    ASSERT_TRUE(seq_all.ok()) << context;
+    ASSERT_TRUE(par_all.ok()) << context;
+    ExpectSameOutcome(*seq_all, *par_all, context + " exhaustive");
+  }
+}
+
+// 10 seeds x 6 rounds = 60 random graphs, mirroring the
+// snapshot-reducibility suite's protocol.
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDifferentialTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                           110));
+
+// max_pops must truncate at the same consumed pop in both modes: prefetch
+// overshoot is never allowed to leak into the response.
+TEST(ParallelSafetyValveTest, MaxPopsTruncatesIdentically) {
+  ModeRunner runner;
+  Rng rng(321);
+  const TemporalGraph g = RandomGraph(&rng, 14, 30, 8);
+  const std::vector<std::vector<NodeId>> matches = {RandomMatches(&rng, g, 3),
+                                                    RandomMatches(&rng, g, 3)};
+  Query q;
+  q.keywords = {"a", "b"};
+  const SearchEngine engine(g);
+  for (const int64_t max_pops : {1, 7, 50}) {
+    SearchOptions base;
+    base.k = 0;
+    base.max_pops = max_pops;
+    auto seq = engine.SearchWithMatches(q, matches, base);
+    auto par = engine.SearchWithMatches(q, matches, runner.Parallel(base));
+    ASSERT_TRUE(seq.ok());
+    ASSERT_TRUE(par.ok());
+    ExpectSameOutcome(*seq, *par, "max_pops " + std::to_string(max_pops));
+    EXPECT_LE(par->counters.pops, max_pops);
+  }
+}
+
+// A pre-set cancellation token stops both modes before any pop.
+TEST(ParallelSafetyValveTest, PreCancelledTokenStopsBothModes) {
+  ModeRunner runner;
+  Rng rng(77);
+  const TemporalGraph g = RandomGraph(&rng, 12, 26, 8);
+  const std::vector<std::vector<NodeId>> matches = {RandomMatches(&rng, g, 3),
+                                                    RandomMatches(&rng, g, 3)};
+  Query q;
+  q.keywords = {"a", "b"};
+  const SearchEngine engine(g);
+  std::atomic<bool> cancel{true};
+  SearchOptions base;
+  base.cancel = &cancel;
+  auto seq = engine.SearchWithMatches(q, matches, base);
+  auto par = engine.SearchWithMatches(q, matches, runner.Parallel(base));
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(par.ok());
+  EXPECT_TRUE(seq->cancelled);
+  EXPECT_TRUE(par->cancelled);
+  EXPECT_EQ(seq->stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(par->stop_reason, StopReason::kCancelled);
+}
+
+// Null task_submitter: prefetch runs inline on the calling thread, through
+// the same record-and-replay merge path, and must still match sequential.
+TEST(ParallelInlineTest, NullSubmitterMatchesSequential)  {
+  Rng rng(909);
+  for (int round = 0; round < 4; ++round) {
+    const TemporalGraph g = RandomGraph(&rng, 12, 26, 8);
+    const std::vector<std::vector<NodeId>> matches = {
+        RandomMatches(&rng, g, 3), RandomMatches(&rng, g, 3)};
+    Query q;
+    q.keywords = {"a", "b"};
+    const SearchEngine engine(g);
+    SearchOptions base;
+    base.k = 4;
+    SearchOptions par_opts = base;
+    par_opts.parallel_keywords = true;  // task_submitter stays null.
+    auto seq = engine.SearchWithMatches(q, matches, base);
+    auto par = engine.SearchWithMatches(q, matches, par_opts);
+    ASSERT_TRUE(seq.ok());
+    ASSERT_TRUE(par.ok());
+    ExpectSameOutcome(*seq, *par, "inline round " + std::to_string(round));
+  }
+}
+
+// Single-keyword queries fall back to the sequential path entirely (no
+// rounds, no overshoot).
+TEST(ParallelInlineTest, SingleKeywordFallsBackToSequential) {
+  ModeRunner runner;
+  Rng rng(55);
+  const TemporalGraph g = RandomGraph(&rng, 12, 26, 8);
+  const std::vector<std::vector<NodeId>> matches = {RandomMatches(&rng, g, 3)};
+  Query q;
+  q.keywords = {"a"};
+  const SearchEngine engine(g);
+  SearchOptions base;
+  base.k = 0;
+  auto par = engine.SearchWithMatches(q, matches, runner.Parallel(base));
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(par->counters.parallel_rounds, 0);
+  EXPECT_EQ(par->counters.parallel_overshoot_pops, 0);
+}
+
+// parallel_deterministic pins the round budget, so EVERY counter — the
+// consumed-side ones and the overshoot-bearing iterator-level ones — must
+// reproduce across runs on the same pool.
+TEST(ParallelDeterministicTest, AllCountersReproduceRunToRun) {
+  ModeRunner runner;
+  Rng rng(1234);
+  const TemporalGraph g = RandomGraph(&rng, 16, 40, 8);
+  const std::vector<std::vector<NodeId>> matches = {RandomMatches(&rng, g, 4),
+                                                    RandomMatches(&rng, g, 4),
+                                                    RandomMatches(&rng, g, 3)};
+  Query q;
+  q.keywords = {"a", "b", "c"};
+  const SearchEngine engine(g);
+  SearchOptions base;
+  base.k = 5;
+  SearchOptions det = runner.Parallel(base);
+  det.parallel_deterministic = true;
+  det.parallel_round_budget = 16;  // Small budget forces several rounds.
+
+  auto first = engine.SearchWithMatches(q, matches, det);
+  ASSERT_TRUE(first.ok());
+  for (int run = 0; run < 3; ++run) {
+    auto again = engine.SearchWithMatches(q, matches, det);
+    ASSERT_TRUE(again.ok());
+    const SearchCounters& a = first->counters;
+    const SearchCounters& b = again->counters;
+    EXPECT_EQ(a.iterators, b.iterators);
+    EXPECT_EQ(a.pops, b.pops);
+    EXPECT_EQ(a.useless_pops, b.useless_pops);
+    EXPECT_EQ(a.ntds_created, b.ntds_created);
+    EXPECT_EQ(a.edges_scanned, b.edges_scanned);
+    EXPECT_EQ(a.subsumption_skips, b.subsumption_skips);
+    EXPECT_EQ(a.subsumption_evictions, b.subsumption_evictions);
+    EXPECT_EQ(a.nodes_visited, b.nodes_visited);
+    EXPECT_EQ(a.candidates, b.candidates);
+    EXPECT_EQ(a.results, b.results);
+    EXPECT_EQ(a.parallel_rounds, b.parallel_rounds);
+    EXPECT_EQ(a.parallel_overshoot_pops, b.parallel_overshoot_pops);
+    ExpectSameOutcome(*first, *again, "run " + std::to_string(run));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline poll amortization (bugfix: per-pop steady_clock::now()).
+
+/// Injectable clock: counts calls; returns base until `expire_after_calls`
+/// calls have happened, then a far-future instant. Thread-safe (the
+/// parallel prefetch tasks poll it concurrently).
+struct FakeClock {
+  std::chrono::steady_clock::time_point base =
+      std::chrono::steady_clock::time_point(std::chrono::seconds(1000));
+  std::atomic<int64_t> calls{0};
+  int64_t expire_after_calls = -1;  // -1 = never expire.
+
+  static std::chrono::steady_clock::time_point Read(void* ctx) {
+    auto* clock = static_cast<FakeClock*>(ctx);
+    const int64_t n = clock->calls.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (clock->expire_after_calls >= 0 && n > clock->expire_after_calls) {
+      return clock->base + std::chrono::hours(24);
+    }
+    return clock->base;
+  }
+};
+
+// Regression for the per-pop clock poll: the main loop must read the clock
+// once per kDeadlineCheckStridePops pops, not once per pop. Pre-fix this
+// fails with calls ~= pops.
+TEST(DeadlineStrideTest, ClockPolledOncePerStride) {
+  Rng rng(2468);
+  const TemporalGraph g = RandomGraph(&rng, 16, 40, 8);
+  const std::vector<std::vector<NodeId>> matches = {RandomMatches(&rng, g, 4),
+                                                    RandomMatches(&rng, g, 4)};
+  Query q;
+  q.keywords = {"a", "b"};
+  const SearchEngine engine(g);
+  FakeClock clock;  // Never expires: the search runs to its natural stop.
+  SearchOptions options;
+  options.k = 0;
+  options.deadline_ms = 60'000;
+  options.clock_fn = &FakeClock::Read;
+  options.clock_ctx = &clock;
+  auto r = engine.SearchWithMatches(q, matches, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->deadline_exceeded);
+  ASSERT_GT(r->counters.pops, 0);
+  // One read arms the deadline; the loop then reads every stride pops
+  // (+1 slack for the first-iteration poll).
+  const int64_t max_reads =
+      r->counters.pops / kDeadlineCheckStridePops + 3;
+  EXPECT_LE(clock.calls.load(), max_reads)
+      << "deadline clock polled per pop (" << clock.calls.load()
+      << " reads for " << r->counters.pops << " pops)";
+}
+
+// The documented worst case: once the deadline passes, the loop overshoots
+// by at most kDeadlineCheckStridePops - 1 pops before the next poll fires.
+TEST(DeadlineStrideTest, OvershootBoundedByStride) {
+  Rng rng(1357);
+  const TemporalGraph g = RandomGraph(&rng, 20, 60, 8);
+  const std::vector<std::vector<NodeId>> matches = {RandomMatches(&rng, g, 5),
+                                                    RandomMatches(&rng, g, 5)};
+  Query q;
+  q.keywords = {"a", "b"};
+  const SearchEngine engine(g);
+  FakeClock clock;
+  // Read 1 arms the deadline; read 2 (first in-loop poll) still passes; the
+  // clock is expired from read 3 on, so the loop may consume at most one
+  // full stride of pops after the first poll before stopping.
+  clock.expire_after_calls = 2;
+  SearchOptions options;
+  options.k = 0;
+  options.deadline_ms = 1000;
+  options.clock_fn = &FakeClock::Read;
+  options.clock_ctx = &clock;
+  auto r = engine.SearchWithMatches(q, matches, options);
+  ASSERT_TRUE(r.ok());
+  if (r->stop_reason == StopReason::kExhausted) {
+    GTEST_SKIP() << "graph exhausted before the deadline could fire";
+  }
+  EXPECT_EQ(r->stop_reason, StopReason::kDeadline);
+  EXPECT_TRUE(r->deadline_exceeded);
+  EXPECT_TRUE(r->truncated);
+  // First poll fires at pop 1; the expired poll at pop 1 + stride.
+  EXPECT_LE(r->counters.pops, 1 + kDeadlineCheckStridePops);
+}
+
+// Deadline expiry inside parallel prefetch tasks surfaces as a clean
+// kDeadline stop (the abort is mapped through the same stop protocol).
+TEST(DeadlineStrideTest, ParallelModeHonorsExpiredClock) {
+  ModeRunner runner;
+  Rng rng(8642);
+  const TemporalGraph g = RandomGraph(&rng, 20, 60, 8);
+  const std::vector<std::vector<NodeId>> matches = {RandomMatches(&rng, g, 5),
+                                                    RandomMatches(&rng, g, 5)};
+  Query q;
+  q.keywords = {"a", "b"};
+  const SearchEngine engine(g);
+  FakeClock clock;
+  clock.expire_after_calls = 3;
+  SearchOptions options = runner.Parallel({});
+  options.k = 0;
+  options.deadline_ms = 1000;
+  options.clock_fn = &FakeClock::Read;
+  options.clock_ctx = &clock;
+  auto r = engine.SearchWithMatches(q, matches, options);
+  ASSERT_TRUE(r.ok());
+  if (r->stop_reason == StopReason::kExhausted) {
+    GTEST_SKIP() << "graph exhausted before the deadline could fire";
+  }
+  EXPECT_EQ(r->stop_reason, StopReason::kDeadline);
+  EXPECT_TRUE(r->deadline_exceeded);
+  // Results are still sorted and well-formed on the truncation path.
+  for (size_t i = 1; i < r->results.size(); ++i) {
+    EXPECT_FALSE(ScoreBetter(r->results[i].score, r->results[i - 1].score));
+  }
+}
+
+}  // namespace
+}  // namespace tgks::search

@@ -388,6 +388,90 @@ TEST(HttpServerTest, PollBackendServes) {
   EXPECT_EQ(ParseBody(r)->Find("status")->AsString(), "ok");
 }
 
+// The per-request parallel_keywords knob: identical results to the
+// sequential default (the engine's replay contract, verified end to end
+// through the JSON layer — with stats, even the consumed-pop counter
+// matches), and a non-bool value is a typed 400.
+TEST(HttpServerTest, ParallelKeywordsKnobMatchesSequential) {
+  TestServer ts(testutil::MakeSocialNetworkGraph());
+  ClientResponse seq;
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest("/v1/search",
+                                  R"({"query":"Mary, John","stats":true})"),
+                      &seq),
+            200);
+  ClientResponse par;
+  ASSERT_EQ(
+      FetchOnce(ts.port(),
+                PostRequest(
+                    "/v1/search",
+                    R"({"query":"Mary, John","stats":true,)"
+                    R"("parallel_keywords":true})"),
+                &par),
+      200);
+  auto seq_body = ParseBody(seq);
+  auto par_body = ParseBody(par);
+  ASSERT_TRUE(seq_body.ok()) << seq.body;
+  ASSERT_TRUE(par_body.ok()) << par.body;
+  EXPECT_EQ(par_body->Find("status")->AsString(), "ok");
+  EXPECT_EQ(par_body->Find("stop_reason")->AsString(),
+            seq_body->Find("stop_reason")->AsString());
+  ASSERT_EQ(par_body->Find("result_count")->AsInt(),
+            seq_body->Find("result_count")->AsInt());
+  const auto& seq_results = seq_body->Find("results")->items();
+  const auto& par_results = par_body->Find("results")->items();
+  ASSERT_EQ(seq_results.size(), par_results.size());
+  for (size_t i = 0; i < seq_results.size(); ++i) {
+    EXPECT_EQ(par_results[i].Find("root")->AsInt(),
+              seq_results[i].Find("root")->AsInt())
+        << "result " << i;
+  }
+#ifndef TGKS_NO_STATS
+  EXPECT_EQ(par_body->Find("counters")->Find("pops")->AsInt(),
+            seq_body->Find("counters")->Find("pops")->AsInt());
+#endif
+
+  ClientResponse bad;
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest(
+                          "/v1/search",
+                          R"({"query":"Mary","parallel_keywords":"yes"})"),
+                      &bad),
+            400);
+  auto bad_body = ParseBody(bad);
+  ASSERT_TRUE(bad_body.ok()) << bad.body;
+  EXPECT_EQ(bad_body->Find("error")->Find("type")->AsString(), "request");
+}
+
+// A client that disconnects mid-parallel-query must not strand the query's
+// prefetch tasks or scratch arenas: shutdown still drains cleanly (the
+// shutdown token aborts the tasks through the engine's per-stride cancel
+// checks, and the task-group join releases every scratch). Run under TSan
+// in CI — a leaked task racing teardown is a data race there.
+TEST(HttpServerTest, ParallelQueryClientDisconnectDrainsCleanly) {
+  TestServerOptions opts;
+  opts.threads = 2;
+  opts.drain_timeout_ms = 50;
+  TestServer ts(MakeChainGraph(150000), opts);
+
+  TestClient doomed;
+  ASSERT_TRUE(doomed.Connect(ts.port()));
+  ASSERT_TRUE(doomed.Send(PostRequest(
+      "/v1/search",
+      R"({"query":"left, right","parallel_keywords":true})")));
+  // Wait until the query is admitted, then vanish mid-flight.
+  for (int i = 0; i < 500 && ts.admission()->depth() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(ts.admission()->depth(), 1);
+  doomed.Close();
+
+  // Shutdown cancels the straggler and joins the executor; a stranded
+  // prefetch task or unreleased scratch would hang or race here.
+  ts.server()->Shutdown();
+  EXPECT_FALSE(ts.server()->running());
+}
+
 // Concurrency smoke: several client threads hammer the server with mixed
 // traffic over keep-alive connections. Run under TSan in CI.
 TEST(HttpServerTest, ConcurrentClientsMixedTraffic) {
@@ -408,12 +492,17 @@ TEST(HttpServerTest, ConcurrentClientsMixedTraffic) {
       }
       for (int i = 0; i < kRequests; ++i) {
         std::string request;
-        switch ((c + i) % 3) {
+        switch ((c + i) % 4) {
           case 0:
             request =
                 PostRequest("/v1/search", R"({"query":"Mary, John","k":2})");
             break;
           case 1:
+            request = PostRequest(
+                "/v1/search",
+                R"({"query":"Mary, John","k":2,"parallel_keywords":true})");
+            break;
+          case 2:
             request = GetRequest("/healthz");
             break;
           default:

@@ -1,0 +1,118 @@
+// Unit tests for the loadgen's pure helpers: Retry-After parsing, backoff
+// policy, open-loop scheduler-lag accounting, and planned-request counts.
+// These pin the two loadgen bugfixes (ignored Retry-After on 429; silently
+// skipped open-loop ticks) without needing sockets.
+
+#include "tools/loadgen_util.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tgks::loadgen {
+namespace {
+
+TEST(ParseRetryAfterSeconds, ExtractsPlainSeconds) {
+  const std::string head =
+      "HTTP/1.1 429 Too Many Requests\r\n"
+      "content-type: application/json\r\n"
+      "retry-after: 2\r\n"
+      "content-length: 0\r\n"
+      "\r\n";
+  EXPECT_EQ(ParseRetryAfterSeconds(head), 2);
+}
+
+TEST(ParseRetryAfterSeconds, HeaderNameIsCaseInsensitive) {
+  EXPECT_EQ(ParseRetryAfterSeconds("HTTP/1.1 429 x\r\nRetry-After: 7\r\n\r\n"),
+            7);
+  EXPECT_EQ(ParseRetryAfterSeconds("HTTP/1.1 429 x\r\nRETRY-AFTER:0\r\n\r\n"),
+            0);
+}
+
+TEST(ParseRetryAfterSeconds, AbsentHeaderReturnsMinusOne) {
+  EXPECT_EQ(ParseRetryAfterSeconds("HTTP/1.1 200 OK\r\n"
+                                   "content-length: 2\r\n\r\n"),
+            -1);
+  EXPECT_EQ(ParseRetryAfterSeconds(""), -1);
+}
+
+TEST(ParseRetryAfterSeconds, RejectsNonIntegerForms) {
+  // HTTP-date form is valid HTTP but not produced by the tgks server; the
+  // parser must not misread it as a number.
+  EXPECT_EQ(ParseRetryAfterSeconds(
+                "HTTP/1.1 429 x\r\n"
+                "retry-after: Fri, 08 Aug 2026 12:00:00 GMT\r\n\r\n"),
+            -1);
+  EXPECT_EQ(
+      ParseRetryAfterSeconds("HTTP/1.1 429 x\r\nretry-after: 2s\r\n\r\n"), -1);
+  EXPECT_EQ(ParseRetryAfterSeconds("HTTP/1.1 429 x\r\nretry-after:\r\n\r\n"),
+            -1);
+}
+
+TEST(ParseRetryAfterSeconds, DoesNotMatchMidHeaderSubstring) {
+  // "x-retry-after" is a different header; only a line-initial match counts.
+  EXPECT_EQ(ParseRetryAfterSeconds(
+                "HTTP/1.1 429 x\r\nx-retry-after: 9\r\n\r\n"),
+            -1);
+}
+
+TEST(ParseRetryAfterSeconds, ClampsAbsurdValuesToOneDay) {
+  EXPECT_EQ(ParseRetryAfterSeconds(
+                "HTTP/1.1 429 x\r\nretry-after: 99999999999\r\n\r\n"),
+            86400);
+}
+
+TEST(RetryBackoffSeconds, NoHeaderMeansNoBackoff) {
+  EXPECT_EQ(RetryBackoffSeconds(-1, 10.0), 0.0);
+}
+
+TEST(RetryBackoffSeconds, CappedByRemainingRunTime) {
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(2, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(30, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(RetryBackoffSeconds(5, -0.5), 0.0);  // Run already over.
+}
+
+TEST(SchedulerLag, CountsOnlyLateSendsAboveThreshold) {
+  SchedulerLag lag;
+  lag.RecordSend(0.2);   // On time.
+  lag.RecordSend(-3.0);  // Woke early: clamps to zero lag.
+  lag.RecordSend(5.0);   // Late.
+  EXPECT_EQ(lag.sends, 3);
+  EXPECT_EQ(lag.late_sends, 1);
+  EXPECT_DOUBLE_EQ(lag.max_lag_ms, 5.0);
+  EXPECT_NEAR(lag.MeanLagMs(), (0.2 + 0.0 + 5.0) / 3.0, 1e-9);
+}
+
+TEST(SchedulerLag, MergeAccumulatesAcrossWorkers) {
+  SchedulerLag a;
+  a.RecordSend(2.0);
+  SchedulerLag b;
+  b.RecordSend(0.5);
+  b.RecordSend(8.0);
+  a.Merge(b);
+  EXPECT_EQ(a.sends, 3);
+  EXPECT_EQ(a.late_sends, 2);
+  EXPECT_DOUBLE_EQ(a.max_lag_ms, 8.0);
+}
+
+TEST(SchedulerLag, EmptyMeanIsZero) {
+  EXPECT_DOUBLE_EQ(SchedulerLag{}.MeanLagMs(), 0.0);
+}
+
+TEST(PlannedRequests, CountsTicksStrictlyBeforeEnd) {
+  // Ticks at 0, 0.1, ..., 0.9 — the tick at exactly 1.0s is outside.
+  EXPECT_EQ(PlannedRequests(10.0, 1.0), 10);
+  // 2.5 qps over 2s: ticks at 0, 0.4, 0.8, 1.2, 1.6 (2.0 excluded).
+  EXPECT_EQ(PlannedRequests(2.5, 2.0), 5);
+  // Sub-1 products still plan the t=0 tick.
+  EXPECT_EQ(PlannedRequests(0.25, 2.0), 1);
+}
+
+TEST(PlannedRequests, ClosedLoopPlansNothing) {
+  EXPECT_EQ(PlannedRequests(0.0, 10.0), 0);
+  EXPECT_EQ(PlannedRequests(-1.0, 10.0), 0);
+  EXPECT_EQ(PlannedRequests(5.0, 0.0), 0);
+}
+
+}  // namespace
+}  // namespace tgks::loadgen

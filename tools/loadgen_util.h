@@ -1,0 +1,115 @@
+// Pure helpers for tgks_loadgen, split out so the 429/Retry-After and
+// open-loop scheduling logic is unit-testable without sockets
+// (tests/tools/loadgen_util_test.cc).
+
+#ifndef TGKS_TOOLS_LOADGEN_UTIL_H_
+#define TGKS_TOOLS_LOADGEN_UTIL_H_
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace tgks::loadgen {
+
+/// Extracts the Retry-After header (delay-seconds form) from an HTTP
+/// response head. Returns the non-negative delay in seconds, or -1 when the
+/// header is absent or not a plain integer (the HTTP-date form is not used
+/// by the tgks server). Header name matching is case-insensitive.
+inline int ParseRetryAfterSeconds(const std::string& head) {
+  std::string lower(head.size(), '\0');
+  std::transform(head.begin(), head.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  size_t pos = 0;
+  while ((pos = lower.find("retry-after:", pos)) != std::string::npos) {
+    // Only accept the match at the start of a header line.
+    if (pos != 0 && lower[pos - 1] != '\n') {
+      pos += 1;
+      continue;
+    }
+    size_t v = pos + std::strlen("retry-after:");
+    while (v < lower.size() && (lower[v] == ' ' || lower[v] == '\t')) ++v;
+    if (v >= lower.size() || !std::isdigit(static_cast<unsigned char>(lower[v]))) {
+      return -1;
+    }
+    long long seconds = 0;
+    while (v < lower.size() && std::isdigit(static_cast<unsigned char>(lower[v]))) {
+      seconds = seconds * 10 + (lower[v] - '0');
+      if (seconds > 86400) return 86400;  // Clamp absurd values to a day.
+      ++v;
+    }
+    // The value must terminate the header line (modulo whitespace).
+    while (v < lower.size() && (lower[v] == ' ' || lower[v] == '\t' ||
+                                lower[v] == '\r')) {
+      ++v;
+    }
+    if (v < lower.size() && lower[v] != '\n') return -1;
+    return static_cast<int>(seconds);
+  }
+  return -1;
+}
+
+/// How long a closed-loop worker should back off after a 429:
+/// the server's Retry-After (when present and sane), capped by the time
+/// remaining in the run, never negative. With no header, no backoff — the
+/// caller keeps its pre-fix immediate-resend behavior visible in the 429
+/// count rather than inventing a client-side policy the server didn't ask
+/// for.
+inline double RetryBackoffSeconds(int retry_after_s, double remaining_s) {
+  if (retry_after_s < 0) return 0.0;
+  return std::clamp(static_cast<double>(retry_after_s), 0.0,
+                    std::max(0.0, remaining_s));
+}
+
+/// Open-loop scheduler-lag accounting. Every send records how far behind
+/// its scheduled tick it actually left the client; without this,
+/// coordinated omission hides overload (latency is measured from the late
+/// send, so a saturated client under-reports server latency while silently
+/// missing its offered-load target).
+struct SchedulerLag {
+  int64_t sends = 0;
+  int64_t late_sends = 0;    ///< Sends more than kLateThresholdMs behind.
+  double sum_lag_ms = 0.0;   ///< Sum over ALL sends (on-time sends add ~0).
+  double max_lag_ms = 0.0;
+
+  static constexpr double kLateThresholdMs = 1.0;
+
+  void RecordSend(double lag_ms) {
+    if (lag_ms < 0) lag_ms = 0;  // Woke early: not lag.
+    ++sends;
+    sum_lag_ms += lag_ms;
+    max_lag_ms = std::max(max_lag_ms, lag_ms);
+    if (lag_ms > kLateThresholdMs) ++late_sends;
+  }
+
+  void Merge(const SchedulerLag& other) {
+    sends += other.sends;
+    late_sends += other.late_sends;
+    sum_lag_ms += other.sum_lag_ms;
+    max_lag_ms = std::max(max_lag_ms, other.max_lag_ms);
+  }
+
+  double MeanLagMs() const {
+    return sends > 0 ? sum_lag_ms / static_cast<double>(sends) : 0.0;
+  }
+};
+
+/// Requests an open-loop run plans to issue: every tick scheduled strictly
+/// before `end`. Reported next to `completed` so dropped ticks are visible
+/// instead of silently shrinking the offered load.
+inline int64_t PlannedRequests(double qps, double duration_s) {
+  if (qps <= 0 || duration_s <= 0) return 0;
+  // Ticks fire at i/qps for i = 0,1,...; the last one strictly before the
+  // end is floor(duration * qps - epsilon); +1 converts index to count.
+  const double ticks = duration_s * qps;
+  int64_t count = static_cast<int64_t>(ticks);
+  if (static_cast<double>(count) == ticks && count > 0) --count;  // i/qps == end excluded.
+  return count + 1;
+}
+
+}  // namespace tgks::loadgen
+
+#endif  // TGKS_TOOLS_LOADGEN_UTIL_H_

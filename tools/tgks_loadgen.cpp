@@ -14,9 +14,16 @@
 //                [--label NAME] [--json-out FILE]
 //
 // --qps 0 (the default) runs closed-loop: each connection issues its next
-// request as soon as the previous response lands. With --qps Q, request i
-// is released at start + i/Q across all connections (open loop, bounded by
-// the connection count), so overload shows up as 429s, not client queueing.
+// request as soon as the previous response lands — except after a 429,
+// where the server's Retry-After header is honored before the next send
+// (ignoring it turned load shedding into a busy-loop that re-offered the
+// shed work immediately). With --qps Q, request i is released at
+// start + i/Q across all connections (open loop, bounded by the connection
+// count), so overload shows up as 429s, not client queueing; every send
+// records its scheduler lag (actual send time minus scheduled tick) and
+// the JSON row reports planned vs completed requests plus lag stats, so
+// coordinated omission is visible instead of silently shrinking the
+// offered load.
 
 #include <arpa/inet.h>
 #include <netdb.h>
@@ -40,6 +47,7 @@
 #include "bench/bench_util.h"
 #include "datagen/query_generator.h"
 #include "server/json_io.h"
+#include "tools/loadgen_util.h"
 
 namespace {
 
@@ -55,6 +63,7 @@ struct Options {
   int num_queries = 100;
   int k = 0;             // 0 = server default.
   int deadline_ms = 0;   // 0 = no deadline-ms header.
+  bool parallel_keywords = false;  // Request the server's parallel mode.
   std::string label = "loadgen";
   std::string json_out;  // Append the JSON row here if non-empty.
 };
@@ -64,7 +73,8 @@ void Usage(const char* argv0) {
                "usage: %s --workload dblp|social [--host H] [--port P]\n"
                "          [--qps Q] [--duration-s S] [--connections C]\n"
                "          [--num-queries N] [--k K] [--deadline-ms MS]\n"
-               "          [--label NAME] [--json-out FILE]\n",
+               "          [--parallel-keywords] [--label NAME]\n"
+               "          [--json-out FILE]\n",
                argv0);
 }
 
@@ -78,6 +88,10 @@ std::string BuildRequest(const Options& opts,
   if (opts.k > 0) {
     body.Key("k");
     body.Int(opts.k);
+  }
+  if (opts.parallel_keywords) {
+    body.Key("parallel_keywords");
+    body.Bool(true);
   }
   if (!wq.matches.empty()) {
     body.Key("matches");
@@ -147,8 +161,10 @@ bool WriteAll(int fd, const std::string& bytes) {
 
 /// Reads exactly one HTTP response off `fd`, using and refilling `buffer`
 /// (leftover pipelined bytes persist between calls). Returns the status
-/// code, or -1 on a connection error.
-int ReadResponse(int fd, std::string* buffer) {
+/// code, or -1 on a connection error. When `head_out` is non-null it
+/// receives the response head (status line + headers) so callers can
+/// inspect headers like Retry-After.
+int ReadResponse(int fd, std::string* buffer, std::string* head_out) {
   char chunk[16 * 1024];
   // 1. Accumulate until the blank line ends the head.
   size_t head_end = std::string::npos;
@@ -163,6 +179,7 @@ int ReadResponse(int fd, std::string* buffer) {
     buffer->append(chunk, static_cast<size_t>(n));
   }
   const std::string head = buffer->substr(0, head_end + 4);
+  if (head_out != nullptr) *head_out = head;
 
   // 2. Status code from "HTTP/1.x NNN ...".
   int status = -1;
@@ -204,6 +221,8 @@ struct WorkerStats {
   int64_t status_429 = 0;
   int64_t status_other = 0;
   int64_t errors = 0;  // Connection-level failures.
+  int64_t retry_after_waits = 0;  // Closed-loop backoffs honored after 429s.
+  tgks::loadgen::SchedulerLag lag;  // Open-loop send-time accounting.
 };
 
 double Percentile(const std::vector<double>& sorted, double p) {
@@ -224,6 +243,7 @@ void RunWorker(const Options& opts, const std::vector<std::string>& requests,
     return;
   }
   std::string buffer;
+  std::string head;
   for (;;) {
     const int64_t i = next_index->fetch_add(1, std::memory_order_relaxed);
     if (opts.qps > 0) {
@@ -233,6 +253,12 @@ void RunWorker(const Options& opts, const std::vector<std::string>& requests,
                           static_cast<double>(i) / opts.qps));
       if (scheduled >= end) break;
       std::this_thread::sleep_until(scheduled);
+      // Even when the run window closes before this tick gets out, the lag
+      // is recorded: a late break is a missed tick, and hiding it is the
+      // coordinated-omission bug this accounting exists to expose.
+      stats->lag.RecordSend(
+          std::chrono::duration<double, std::milli>(Clock::now() - scheduled)
+              .count());
     }
     if (Clock::now() >= end) break;
 
@@ -247,7 +273,7 @@ void RunWorker(const Options& opts, const std::vector<std::string>& requests,
       buffer.clear();
       continue;
     }
-    const int status = ReadResponse(fd, &buffer);
+    const int status = ReadResponse(fd, &buffer, &head);
     if (status < 0) {
       ++stats->errors;
       close(fd);
@@ -265,6 +291,19 @@ void RunWorker(const Options& opts, const std::vector<std::string>& requests,
       ++stats->status_2xx;
     } else if (status == 429) {
       ++stats->status_429;
+      // Closed loop: honor the server's Retry-After before the next send.
+      // (Open loop keeps its schedule — the point is a fixed offered load.)
+      if (opts.qps <= 0) {
+        const double remaining_s =
+            std::chrono::duration<double>(end - Clock::now()).count();
+        const double backoff_s = tgks::loadgen::RetryBackoffSeconds(
+            tgks::loadgen::ParseRetryAfterSeconds(head), remaining_s);
+        if (backoff_s > 0) {
+          ++stats->retry_after_waits;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(backoff_s));
+        }
+      }
     } else {
       ++stats->status_other;
     }
@@ -303,6 +342,8 @@ int main(int argc, char** argv) {
       opts.k = std::atoi(next("--k"));
     } else if (arg == "--deadline-ms") {
       opts.deadline_ms = std::atoi(next("--deadline-ms"));
+    } else if (arg == "--parallel-keywords") {
+      opts.parallel_keywords = true;
     } else if (arg == "--label") {
       opts.label = next("--label");
     } else if (arg == "--json-out") {
@@ -369,10 +410,14 @@ int main(int argc, char** argv) {
     total.status_429 += ws.status_429;
     total.status_other += ws.status_other;
     total.errors += ws.errors;
+    total.retry_after_waits += ws.retry_after_waits;
+    total.lag.Merge(ws.lag);
     total.latencies_ms.insert(total.latencies_ms.end(),
                               ws.latencies_ms.begin(),
                               ws.latencies_ms.end());
   }
+  const int64_t planned =
+      tgks::loadgen::PlannedRequests(opts.qps, opts.duration_s);
   std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
   const double achieved =
       wall > 0 ? static_cast<double>(total.completed) / wall : 0;
@@ -390,6 +435,17 @@ int main(int argc, char** argv) {
               static_cast<long long>(total.status_2xx),
               static_cast<long long>(total.status_429),
               static_cast<long long>(total.errors + total.status_other));
+  if (opts.qps > 0) {
+    std::printf("open-loop: planned %lld, sent %lld, late %lld,"
+                " lag mean %.3f ms, lag max %.3f ms\n",
+                static_cast<long long>(planned),
+                static_cast<long long>(total.lag.sends),
+                static_cast<long long>(total.lag.late_sends),
+                total.lag.MeanLagMs(), total.lag.max_lag_ms);
+  } else if (total.retry_after_waits > 0) {
+    std::printf("closed-loop: honored Retry-After %lld times\n",
+                static_cast<long long>(total.retry_after_waits));
+  }
 
   tgks::server::JsonWriter row;
   row.BeginObject();
@@ -425,6 +481,24 @@ int main(int argc, char** argv) {
   row.Int(total.errors);
   row.Key("deadline_ms");
   row.Int(opts.deadline_ms == 0 ? -1 : opts.deadline_ms);
+  row.Key("parallel_keywords");
+  row.Bool(opts.parallel_keywords);
+  row.Key("retry_after_waits");
+  row.Int(total.retry_after_waits);
+  // Open-loop schedule accounting (all zero in closed-loop runs): how many
+  // ticks the run planned, how many actually left the client, and how late
+  // they were. planned >> sends or a large lag means the client could not
+  // keep up and the measured latencies under-report true overload.
+  row.Key("planned_requests");
+  row.Int(planned);
+  row.Key("sends");
+  row.Int(total.lag.sends);
+  row.Key("late_sends");
+  row.Int(total.lag.late_sends);
+  row.Key("sched_lag_mean_ms");
+  row.Double(total.lag.MeanLagMs());
+  row.Key("sched_lag_max_ms");
+  row.Double(total.lag.max_lag_ms);
   row.EndObject();
   const std::string json_row = row.Take();
   std::printf("%s\n", json_row.c_str());

@@ -20,14 +20,24 @@
 //    just the toy ones. Each workload runs under both relevance and
 //    duration ranking to cover the partition AND subsumption semantics.
 //
-// Usage: workcount_dump <golden-dir> [graph stems...]
-//        workcount_dump --dataset <dblp|social> [--dataset ...]
+// Usage: workcount_dump [--parallel] [--results] <golden-dir> [stems...]
+//        workcount_dump [--parallel] [--results] --dataset <dblp|social> ...
 //        workcount_dump --layout <dblp|social> [--layout ...]
 //
 // --layout prints the ExpansionView packing statistics (slot counts,
 // inline/pooled split, validity-pool interning hit rate) for a generated
 // dataset; docs/performance.md quotes these numbers.
+//
+// --results replaces the counter lines with per-query result fingerprints
+// (result count, stop reason, an order-sensitive hash over every result
+// tree's signature/time/weight). --parallel runs the same queries in the
+// engine's parallel-keyword mode (deterministic sub-mode, inline prefetch).
+// The parallel mode's iterator-level counters legitimately include prefetch
+// overshoot, so the CI gate (scripts/workcount_check.sh --results-only)
+// compares the two modes through --results, where the engine's contract is
+// bit-identical output.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,6 +55,22 @@
 
 namespace {
 
+// Set from the command line; apply to both query suites.
+bool g_parallel = false;  // Run queries in parallel-keyword mode.
+bool g_results = false;   // Print result fingerprints, not work counters.
+
+tgks::search::SearchOptions SuiteOptions() {
+  tgks::search::SearchOptions options;
+  options.k = 10;
+  if (g_parallel) {
+    options.parallel_keywords = true;
+    // Deterministic budget + inline prefetch (null task_submitter): the
+    // dump stays bit-stable without depending on a thread pool.
+    options.parallel_deterministic = true;
+  }
+  return options;
+}
+
 std::vector<std::string> LoadQueryLines(const std::string& path) {
   std::ifstream in(path);
   std::vector<std::string> lines;
@@ -56,6 +82,35 @@ std::vector<std::string> LoadQueryLines(const std::string& path) {
     lines.push_back(line.substr(first, last - first + 1));
   }
   return lines;
+}
+
+/// Order-sensitive FNV-1a fingerprint over the full result list. Two runs
+/// print the same line iff they returned the same trees, times, weights,
+/// and stop reason in the same order.
+void PrintResults(const std::string& tag, int index,
+                  const tgks::search::SearchResponse& r) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](const std::string& s) {
+    for (const unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;  // Separator so field boundaries matter.
+    h *= 1099511628211ull;
+  };
+  char num[64];
+  for (const auto& tree : r.results) {
+    mix(tree.Signature());
+    mix(tree.time.ToString());
+    std::snprintf(num, sizeof(num), "%.17g", tree.total_weight);
+    mix(num);
+  }
+  std::printf("%s#%d results=%zu stop=%.*s fp=%016llx\n", tag.c_str(), index,
+              r.results.size(),
+              static_cast<int>(
+                  tgks::search::StopReasonName(r.stop_reason).size()),
+              tgks::search::StopReasonName(r.stop_reason).data(),
+              static_cast<unsigned long long>(h));
 }
 
 void PrintCounters(const std::string& tag, int index,
@@ -92,14 +147,16 @@ int RunGoldenStems(const std::string& dir,
         std::fprintf(stderr, "parse: %s\n", query.status().ToString().c_str());
         return 1;
       }
-      tgks::search::SearchOptions options;
-      options.k = 10;
-      auto r = engine.Search(*query, options);
+      auto r = engine.Search(*query, SuiteOptions());
       if (!r.ok()) {
         std::fprintf(stderr, "search: %s\n", r.status().ToString().c_str());
         return 1;
       }
-      PrintCounters(stem, qi++, r->counters);
+      if (g_results) {
+        PrintResults(stem, qi++, *r);
+      } else {
+        PrintCounters(stem, qi++, r->counters);
+      }
     }
   }
   return 0;
@@ -160,8 +217,7 @@ int RunDataset(const std::string& name) {
 
   const tgks::graph::InvertedIndex index(graph);
   const tgks::search::SearchEngine engine(graph, &index);
-  tgks::search::SearchOptions options;
-  options.k = 10;
+  const tgks::search::SearchOptions options = SuiteOptions();
   // Pass 1: the workload's own ranking (relevance -> partition semantics).
   // Pass 2: duration ranking -> subsumption semantics, so Algorithm 2's
   // counters are pinned on benchmark-shaped graphs too.
@@ -180,7 +236,11 @@ int RunDataset(const std::string& name) {
         std::fprintf(stderr, "search: %s\n", r.status().ToString().c_str());
         return 1;
       }
-      PrintCounters(name + pass_tags[pass], qi++, r->counters);
+      if (g_results) {
+        PrintResults(name + pass_tags[pass], qi++, *r);
+      } else {
+        PrintCounters(name + pass_tags[pass], qi++, r->counters);
+      }
     }
   }
   return 0;
@@ -208,33 +268,45 @@ int RunLayout(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <golden-dir> [graph stems...]\n"
-                 "       %s --dataset <dblp|social> [--dataset ...]\n"
-                 "       %s --layout <dblp|social> [--layout ...]\n",
-                 argv[0], argv[0], argv[0]);
+  // Strip the mode flags (position-independent) before the suite args.
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--parallel") == 0) {
+      g_parallel = true;
+    } else if (std::strcmp(argv[i], "--results") == 0) {
+      g_results = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: %s [--parallel] [--results] <golden-dir> [graph stems...]\n"
+        "       %s [--parallel] [--results] --dataset <dblp|social> ...\n"
+        "       %s --layout <dblp|social> [--layout ...]\n",
+        argv[0], argv[0], argv[0]);
     return 2;
   }
-  if (std::strcmp(argv[1], "--dataset") == 0 ||
-      std::strcmp(argv[1], "--layout") == 0) {
-    const bool layout = std::strcmp(argv[1], "--layout") == 0;
+  if (std::strcmp(args[0], "--dataset") == 0 ||
+      std::strcmp(args[0], "--layout") == 0) {
+    const bool layout = std::strcmp(args[0], "--layout") == 0;
     const char* flag = layout ? "--layout" : "--dataset";
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) {
+    for (size_t i = 0; i < args.size(); i += 2) {
+      if (std::strcmp(args[i], flag) != 0 || i + 1 >= args.size()) {
         std::fprintf(stderr, "usage: %s %s <dblp|social> ...\n", argv[0],
                      flag);
         return 2;
       }
-      const int rc = layout ? RunLayout(argv[++i]) : RunDataset(argv[++i]);
+      const int rc = layout ? RunLayout(args[i + 1]) : RunDataset(args[i + 1]);
       if (rc != 0) return rc;
     }
     return 0;
   }
-  const std::string dir = argv[1];
+  const std::string dir = args[0];
   std::vector<std::string> stems = {"social", "archive", "sparse"};
-  if (argc > 2) {
-    stems.assign(argv + 2, argv + argc);
+  if (args.size() > 1) {
+    stems.assign(args.begin() + 1, args.end());
   }
   return RunGoldenStems(dir, stems);
 }
