@@ -9,6 +9,14 @@
 // "mode": "parallel-keywords" and are held to the same bit-identical
 // cross-check — the mode must change latency, never answers.
 //
+// A third, single-threaded sweep re-runs each dataset with
+// SearchOptions::reachability_prune (docs/reachability.md); those rows
+// carry "mode": "reach-prune" plus the index construction cost
+// (index_build_ms, label_bytes). The fingerprint cross-check is reported
+// per row but not enforced here: bounded runs may legitimately stop at a
+// different frontier under the heuristic bounds ("Bounded stops"), and the
+// suites where equality does hold are gated by workcount_check.sh --pruned.
+//
 // Environment knobs (see bench_util.h): TGKS_BENCH_SCALE, TGKS_BENCH_QUERIES.
 // TGKS_BENCH_THREADS ("1,2,4,8" by default) picks the sweep points and
 // TGKS_BENCH_DEADLINE_MS (<=0 = off) adds a per-query deadline row.
@@ -24,6 +32,7 @@
 
 #include "bench/bench_util.h"
 #include "exec/query_executor.h"
+#include "graph/reachability_index.h"
 #include "obs/search_stats.h"
 
 namespace tgks::bench {
@@ -89,10 +98,19 @@ std::vector<std::string> Fingerprints(const exec::BatchResponse& response) {
 
 void PrintRow(const std::string& dataset, const char* mode, int threads,
               int64_t deadline_ms, const exec::BatchResponse& response,
-              bool identical) {
+              bool identical, double index_build_ms = -1.0,
+              int64_t label_bytes = -1) {
   // "stats" tags each row with the build flavour so the TGKS_NO_STATS
   // overhead comparison can pair rows from two binaries.
-  char row[512];
+  char reach[128] = "";
+  if (label_bytes >= 0) {
+    // reach-prune rows only: one-time labeling cost alongside the
+    // per-query savings, so the sweep shows both sides of the trade.
+    std::snprintf(reach, sizeof(reach),
+                  ", \"index_build_ms\": %.3f, \"label_bytes\": %lld",
+                  index_build_ms, static_cast<long long>(label_bytes));
+  }
+  char row[640];
   std::snprintf(
       row, sizeof(row),
       "{\"dataset\": \"%s\", \"mode\": \"%s\", \"stats\": \"%s\", "
@@ -100,7 +118,7 @@ void PrintRow(const std::string& dataset, const char* mode, int threads,
       "\"queries\": %zu, \"wall_seconds\": %.6f, \"qps\": %.2f, "
       "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
       "\"mean_ms\": %.3f, \"deadline_exceeded\": %lld, \"truncated\": %lld, "
-      "\"failed\": %lld, \"identical_to_sequential\": %s}\n",
+      "\"failed\": %lld, \"identical_to_sequential\": %s%s}\n",
       dataset.c_str(), mode, tgks::obs::StatsCompiledOut() ? "off" : "on",
       threads, static_cast<long long>(deadline_ms),
       response.responses.size(), response.wall_seconds,
@@ -109,7 +127,8 @@ void PrintRow(const std::string& dataset, const char* mode, int threads,
       response.latency.mean_ms,
       static_cast<long long>(response.deadline_exceeded),
       static_cast<long long>(response.truncated),
-      static_cast<long long>(response.failed), identical ? "true" : "false");
+      static_cast<long long>(response.failed), identical ? "true" : "false",
+      reach);
   std::fputs(row, stdout);
   std::fflush(stdout);
   if (g_json_out != nullptr) {
@@ -159,6 +178,23 @@ int SweepDataset(const std::string& name, const graph::TemporalGraph& graph,
     const bool identical = Fingerprints(response) == ref_prints;
     if (!identical) ++mismatches;
     PrintRow(name, "parallel-keywords", threads, -1, response, identical);
+  }
+
+  // Reachability-prune sweep (docs/reachability.md): threads=1 against the
+  // sequential reference, reporting the one-time labeling cost. Divergence
+  // from the reference is reported in the row but not counted as a failure:
+  // bounded runs under the heuristic bounds may stop at a different
+  // frontier ("Bounded stops"); exact equality where it holds is gated by
+  // workcount_check.sh --pruned, not here.
+  {
+    exec::ExecutorOptions options = ref_options;
+    options.search.reachability_prune = true;
+    exec::QueryExecutor executor(graph, &index, options);
+    const exec::BatchResponse response = executor.Run(batch);
+    const bool identical = Fingerprints(response) == ref_prints;
+    const auto& rstats = graph.reachability().stats();
+    PrintRow(name, "reach-prune", 1, -1, response, identical,
+             rstats.build_seconds * 1000.0, rstats.label_bytes);
   }
 
   const int64_t deadline_ms = EnvInt("TGKS_BENCH_DEADLINE_MS", -1);

@@ -20,6 +20,11 @@
 //                    latency when idle workers exist. With --serve this is
 //                    the default mode clients can override per request via
 //                    the "parallel_keywords" JSON field.
+//   --reachability-prune  discard expansion work the reachability index
+//                    proves can never reach an answer (docs/reachability.md;
+//                    savings appear as reachability_prunes under --stats).
+//                    With --serve, clients can override per request via the
+//                    "reachability_prune" JSON field.
 //
 // Serving options (see docs/serving.md):
 //   --serve                 run the HTTP server instead of a query
@@ -102,12 +107,12 @@ int Usage() {
   std::cerr
       << "usage: tgks_cli (GRAPH.tgf | --demo) [--k N] [--bound KIND] "
          "[--stats] [--trace] [--metrics] [--deadline-ms N] "
-         "[--parallel-keywords] (\"QUERY\" | "
+         "[--parallel-keywords] [--reachability-prune] (\"QUERY\" | "
          "--batch FILE [--threads N])\n"
          "       tgks_cli (GRAPH.tgf | --dataset dblp|social) --serve "
          "[--host ADDR] [--port N] [--threads N] [--max-queue N] "
          "[--max-inflight-bytes N] [--deadline-ms N] [--drain-timeout-ms N] "
-         "[--parallel-keywords]\n";
+         "[--parallel-keywords] [--reachability-prune]\n";
   return 2;
 }
 
@@ -291,6 +296,8 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--parallel-keywords") {
       options.parallel_keywords = true;
+    } else if (arg == "--reachability-prune") {
+      options.reachability_prune = true;
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       deadline_ms = std::atoll(argv[++i]);
     } else if (arg == "--batch" && i + 1 < argc) {

@@ -24,16 +24,31 @@
 # prefetch overshoot, so its gate is result equivalence, not counter
 # equivalence.
 #
+# With --pruned both suites run with the reachability prune enabled
+# (docs/reachability.md) and are gated two ways: the pruned-mode work
+# counters (which append reachability_prunes) are diffed against
+# workcounts_pruned.expected / workcounts_pruned_datasets.expected, and the
+# pruned result fingerprints are diffed against an unpruned run on the
+# golden and dblp suites, where equality holds. On the social dataset one
+# duration-ranked query stops the empirical bound at a different frontier
+# point (the pruned run finds two MORE duration-10 trees — see
+# docs/reachability.md, "Bounded stops"), so the social fingerprints are
+# pinned bit-for-bit in workcounts_pruned_results_social.expected instead.
+#
 # Usage:
 #   scripts/workcount_check.sh <build-dir>
 #   scripts/workcount_check.sh <build-dir> --results-only
+#   scripts/workcount_check.sh <build-dir> --pruned
 #   TGKS_UPDATE_WORKCOUNTS=1 scripts/workcount_check.sh <build-dir>   # regen
 set -euo pipefail
 
-BUILD_DIR="${1:?usage: workcount_check.sh <build-dir> [--results-only]}"
+BUILD_DIR="${1:?usage: workcount_check.sh <build-dir> [--results-only|--pruned]}"
 RESULTS_ONLY=0
+PRUNED=0
 if [[ "${2:-}" == "--results-only" ]]; then
   RESULTS_ONLY=1
+elif [[ "${2:-}" == "--pruned" ]]; then
+  PRUNED=1
 elif [[ -n "${2:-}" ]]; then
   echo "workcount_check: unknown argument '$2'" >&2
   exit 2
@@ -90,9 +105,41 @@ results_suite() {  # <label> <dump args...>
   rm -f "${seq}" "${par}"
 }
 
+pruned_results_suite() {  # <label> <dump args...>
+  local label="$1"; shift
+  local off on
+  off="$(mktemp)"
+  on="$(mktemp)"
+  "${DUMP}" --results "$@" > "${off}"
+  "${DUMP}" --results --pruned "$@" > "${on}"
+  if ! diff -u "${off}" "${on}"; then
+    rm -f "${off}" "${on}"
+    echo "" >&2
+    echo "workcount_check: FAIL — the reachability prune changed the" >&2
+    echo "results on the ${label} suite. The prune's contract is exact" >&2
+    echo "result equivalence (docs/reachability.md); this is a soundness" >&2
+    echo "bug, not a counter drift." >&2
+    exit 1
+  fi
+  echo "workcount_check: OK (${label}: $(wc -l < "${off}") queries, pruned == unpruned results)"
+  rm -f "${off}" "${on}"
+}
+
 if [[ "${RESULTS_ONLY}" == "1" ]]; then
   results_suite "golden" "${GOLDEN_DIR}"
   results_suite "datasets" --dataset dblp --dataset social
+  exit 0
+fi
+
+if [[ "${PRUNED}" == "1" ]]; then
+  check_suite "${GOLDEN_DIR}/workcounts_pruned.expected" --pruned \
+    "${GOLDEN_DIR}"
+  check_suite "${GOLDEN_DIR}/workcounts_pruned_datasets.expected" --pruned \
+    --dataset dblp --dataset social
+  pruned_results_suite "golden" "${GOLDEN_DIR}"
+  pruned_results_suite "dblp" --dataset dblp
+  check_suite "${GOLDEN_DIR}/workcounts_pruned_results_social.expected" \
+    --results --pruned --dataset social
   exit 0
 fi
 

@@ -9,12 +9,14 @@ namespace tgks::baseline {
 using graph::EdgeId;
 using graph::NodeId;
 
-DijkstraIterator::DijkstraIterator(const graph::TemporalGraph& graph,
-                                   NodeId source,
-                                   std::optional<temporal::TimePoint> snapshot)
+DijkstraIterator::DijkstraIterator(
+    const graph::TemporalGraph& graph, NodeId source,
+    std::optional<temporal::TimePoint> snapshot,
+    const std::vector<temporal::IntervalSet>* viability)
     : graph_(&graph),
       source_(source),
       snapshot_(snapshot),
+      viability_(viability),
       scratch_(DijkstraScratchPool::Acquire()) {
   assert(source >= 0 && source < graph.num_nodes());
   scratch_->Reset();
@@ -27,8 +29,15 @@ DijkstraIterator::DijkstraIterator(const graph::TemporalGraph& graph,
   scratch_->queue.push(DijkstraQueueEntry{d0, source});
 }
 
-bool DijkstraIterator::NodeVisible(NodeId n) const {
-  return !snapshot_.has_value() || graph_->NodeAliveAt(n, *snapshot_);
+bool DijkstraIterator::NodeVisible(NodeId n) {
+  if (!snapshot_.has_value()) return true;
+  if (!graph_->NodeAliveAt(n, *snapshot_)) return false;
+  if (viability_ != nullptr &&
+      !(*viability_)[static_cast<size_t>(n)].Contains(*snapshot_)) {
+    ++reachability_prunes_;
+    return false;
+  }
+  return true;
 }
 
 bool DijkstraIterator::EdgeVisible(EdgeId e) const {
@@ -64,6 +73,11 @@ NodeId DijkstraIterator::Next() {
     if (snapshot_.has_value() && !view.EdgeAliveAt(s, *snapshot_)) continue;
     const NodeId neighbor = view.src(s);
     if (snapshot_.has_value() && !view.NodeAliveAt(neighbor, *snapshot_)) {
+      continue;
+    }
+    if (snapshot_.has_value() && viability_ != nullptr &&
+        !(*viability_)[static_cast<size_t>(neighbor)].Contains(*snapshot_)) {
+      ++reachability_prunes_;
       continue;
     }
     const double nd =

@@ -194,6 +194,9 @@ void QueryExecutor::Submit(SingleQuery single, SingleQueryCallback done) {
   if (single.parallel_keywords.has_value()) {
     options.parallel_keywords = *single.parallel_keywords;
   }
+  if (single.reachability_prune.has_value()) {
+    options.reachability_prune = *single.reachability_prune;
+  }
   if (options.parallel_keywords) options.task_submitter = &submit_fn_;
   pool_->Submit([this, single = std::move(single), options,
                  done = std::move(done)]() mutable {

@@ -113,6 +113,9 @@ struct SingleQuery {
   /// inherits the executor default. The executor wires its own pool in as
   /// the task submitter either way.
   std::optional<bool> parallel_keywords;
+  /// Per-request override of SearchOptions::reachability_prune; unset
+  /// inherits the executor default.
+  std::optional<bool> reachability_prune;
 };
 
 /// Completion callback for Submit(): invoked exactly once on a worker

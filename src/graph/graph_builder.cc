@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "graph/expansion_view.h"
+#include "graph/reachability_index.h"
 
 namespace tgks::graph {
 
@@ -130,6 +131,11 @@ Result<TemporalGraph> GraphBuilder::Build() {
   // Materialize the SoA expansion mirror here so every construction path
   // (programmatic, text/binary load, archive) carries one.
   g.view_ = std::make_shared<const ExpansionView>(ExpansionView::Build(g));
+
+  // The temporal reachability labeling rides along the same way; its
+  // BuildStats carry the phase timer surfaced by graph_stats / --layout.
+  g.reach_ = std::make_shared<const ReachabilityIndex>(
+      ReachabilityIndex::Build(g));
 
   nodes_.clear();
   edges_.clear();

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "graph/reachability_index.h"
+
 namespace tgks::graph {
 
 double MeasureEdgeConnectivity(const TemporalGraph& graph, Rng* rng,
@@ -59,6 +61,13 @@ GraphStats ComputeGraphStats(const TemporalGraph& graph, Rng* rng,
   }
   stats.edge_connectivity =
       MeasureEdgeConnectivity(graph, rng, connectivity_samples);
+  const ReachabilityIndex::BuildStats& reach = graph.reachability().stats();
+  stats.reach_epochs = reach.epochs;
+  stats.reach_sccs = reach.sccs;
+  stats.reach_chains = reach.chains;
+  stats.reach_label_entries = reach.label_entries;
+  stats.reach_label_bytes = reach.label_bytes;
+  stats.reach_build_seconds = reach.build_seconds;
   return stats;
 }
 

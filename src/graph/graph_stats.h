@@ -21,6 +21,13 @@ struct GraphStats {
   /// Measured adjacent-edge connectivity: probability that two edges sharing
   /// a node also share a time instant (§6.1's "edge connectivity").
   double edge_connectivity = 0.0;
+  /// Reachability labeling shape (reachability_index.h BuildStats).
+  int64_t reach_epochs = 0;
+  int64_t reach_sccs = 0;
+  int64_t reach_chains = 0;
+  int64_t reach_label_entries = 0;
+  int64_t reach_label_bytes = 0;
+  double reach_build_seconds = 0.0;
 };
 
 /// Computes summary statistics. Edge connectivity is estimated from up to

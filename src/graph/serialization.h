@@ -48,9 +48,15 @@ Result<TemporalGraph> LoadGraphFromFile(const std::string& path);
 ///   per node: f64 weight, u32 label length + bytes,
 ///             u32 interval count + (i32 start, i32 end)*
 ///   per edge: u32 src, u32 dst, f64 weight, intervals as above
+///   version >= 2: the reachability labeling blob (per epoch: bounds, SCC
+///             map, condensed DAG CSR, chain cover, truncated in/out chain
+///             labels + completeness bits — see reachability_index.h)
 ///
 /// Loading validates through GraphBuilder (strict policy), so a corrupt or
-/// adversarial file cannot produce an invariant-violating graph.
+/// adversarial file cannot produce an invariant-violating graph. Version 1
+/// files (no labeling blob) are still accepted; their index is rebuilt from
+/// scratch. Version 2 files install the persisted labels verbatim, so a
+/// save -> load round trip reproduces them byte-identically.
 Status SaveGraphBinary(const TemporalGraph& graph, std::ostream& out);
 Status SaveGraphBinaryToFile(const TemporalGraph& graph,
                              const std::string& path);

@@ -24,7 +24,8 @@
 
 namespace tgks::graph {
 
-class ExpansionView;  // expansion_view.h
+class ExpansionView;      // expansion_view.h
+class ReachabilityIndex;  // reachability_index.h
 
 using NodeId = int32_t;
 using EdgeId = int32_t;
@@ -93,8 +94,14 @@ class TemporalGraph {
   /// graph share one immutable view.
   const ExpansionView& expansion_view() const { return *view_; }
 
+  /// The temporal reachability labeling (see reachability_index.h).
+  /// Present on every graph produced by GraphBuilder::Build(); copies of a
+  /// graph share one immutable index.
+  const ReachabilityIndex& reachability() const { return *reach_; }
+
  private:
   friend class GraphBuilder;
+  friend class ReachabilityIndexSerializer;  // installs persisted labels
 
   static std::span<const EdgeId> Slice(const std::vector<int64_t>& offsets,
                                        const std::vector<EdgeId>& edges,
@@ -112,6 +119,7 @@ class TemporalGraph {
   std::vector<int64_t> in_offsets_;
   std::vector<EdgeId> in_edges_;
   std::shared_ptr<const ExpansionView> view_;
+  std::shared_ptr<const ReachabilityIndex> reach_;
 };
 
 }  // namespace tgks::graph

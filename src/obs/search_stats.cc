@@ -8,7 +8,9 @@ std::string SearchStats::ToString() const {
   std::ostringstream os;
   os << "pops=" << pops << " ntds_created=" << ntds_created
      << " ntds_merged=" << ntds_merged << " dedup_hits=" << dedup_hits
-     << " prunes=" << prunes << " edges_scanned=" << edges_scanned
+     << " prunes=" << prunes
+     << " reachability_prunes=" << reachability_prunes
+     << " edges_scanned=" << edges_scanned
      << " interval_ops=" << interval_ops
      << " heap_high_water=" << heap_high_water << " micros_match="
      << micros_match << " micros_filter=" << micros_filter

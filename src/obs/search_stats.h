@@ -44,6 +44,9 @@ struct SearchStats {
   int64_t dedup_hits = 0;     ///< Stale queue entries skipped + duplicate
                               ///< result trees re-derived.
   int64_t prunes = 0;         ///< Elements skipped by predicate pruning (§5).
+  int64_t reachability_prunes = 0;  ///< Sources + NTDs discarded by the
+                                    ///< reachability prune
+                                    ///< (docs/reachability.md).
   int64_t edges_scanned = 0;  ///< In-edges examined during expansion.
 
   // Hot-structure pressure.
@@ -73,6 +76,7 @@ struct SearchStats {
     ntds_merged += other.ntds_merged;
     dedup_hits += other.dedup_hits;
     prunes += other.prunes;
+    reachability_prunes += other.reachability_prunes;
     edges_scanned += other.edges_scanned;
     interval_ops += other.interval_ops;
     if (other.heap_high_water > heap_high_water) {

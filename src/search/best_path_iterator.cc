@@ -28,6 +28,14 @@ BestPathIterator::BestPathIterator(const graph::TemporalGraph& graph,
     return;  // QUALIFY(s, P) failed; iterator starts exhausted.
   }
   if (src.validity.IsEmpty()) return;
+  if (options_.viability != nullptr &&
+      !src.validity.Overlaps(
+          (*options_.viability)[static_cast<size_t>(source)])) {
+    // The source can never sit on an answer tree at any of its instants;
+    // the whole backward expansion would be fruitless (docs/reachability.md).
+    ++stats_.reachability_prunes;
+    return;
+  }
   PushNtd(source, src.validity, src.weight, kInvalidNtd, graph::kInvalidEdge);
 }
 
@@ -185,6 +193,15 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
     view.IntersectEdgeValidity(s, parent.time, &scratch_->tmp);
     TGKS_STATS(++stats_.interval_ops);
     if (scratch_->tmp.IsEmpty()) continue;
+    if (options_.viability != nullptr &&
+        !scratch_->tmp.Overlaps(
+            (*options_.viability)[static_cast<size_t>(neighbor)])) {
+      // No instant of this NTD can sit on an answer tree; dropping it here
+      // leaves claims over non-viable instants unrecorded, which never
+      // changes accepted results (see docs/reachability.md).
+      ++stats_.reachability_prunes;
+      continue;
+    }
     TGKS_STATS(++stats_.interval_ops);
     if (FullyClaimed(neighbor, scratch_->tmp)) {
       // Every instant is already claimed at the neighbor by strictly
@@ -252,6 +269,15 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
     view.IntersectEdgeValidity(s, parent.time, &scratch_->tmp);
     TGKS_STATS(++stats_.interval_ops);
     if (scratch_->tmp.IsEmpty()) continue;
+    if (options_.viability != nullptr &&
+        !scratch_->tmp.Overlaps(
+            (*options_.viability)[static_cast<size_t>(neighbor)])) {
+      // A wholly non-viable NTD can neither appear in a result nor evict /
+      // subsume anything a viable path needs: any NTD it would subsume is
+      // itself wholly non-viable and gets pruned here too.
+      ++stats_.reachability_prunes;
+      continue;
+    }
 
     NodeSubsumption& entry =
         scratch_->subsumption.Activate(static_cast<uint32_t>(neighbor),

@@ -59,6 +59,10 @@ struct IteratorStats {
   int64_t nodes_reached = 0;     ///< Distinct nodes with >= 1 popped NTD.
   int64_t subsumption_skips = 0; ///< Algorithm-2 case-1 prunes.
   int64_t subsumption_evictions = 0;  ///< Algorithm-2 case-3 removals.
+  /// NTDs discarded because their time set missed the viability set
+  /// (Options::viability). Affects the explored state space, so it is a
+  /// real work counter, never compiled out.
+  int64_t reachability_prunes = 0;
   // Observability additions (zero in TGKS_NO_STATS builds).
   int64_t prunes = 0;            ///< Elements rejected by predicate pruning.
   int64_t interval_ops = 0;      ///< IntervalSet ops on the expansion path.
@@ -90,6 +94,14 @@ class BestPathIterator {
     /// `trace_iter` as their iterator id. Ignored in TGKS_NO_STATS builds.
     obs::QueryTrace* trace = nullptr;
     int32_t trace_iter = -1;
+    /// Optional per-node viability sets (not owned; one entry per graph
+    /// node). When set, an expansion product whose time set misses the
+    /// neighbor's viability entirely is discarded instead of pushed, and a
+    /// source with empty viability overlap starts exhausted — the
+    /// reachability prune of docs/reachability.md. Soundness rests on
+    /// viability being *hereditary*: backward expansion from a viable NTD
+    /// only visits nodes viable at the same instants.
+    const std::vector<temporal::IntervalSet>* viability = nullptr;
   };
 
   /// Starts a backward expansion from `source`. If the source itself fails

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "graph/expansion_view.h"
+#include "graph/reachability_index.h"
 #include "search/result_tree.h"
 
 namespace tgks::search {
@@ -57,6 +58,11 @@ LabelCorrectingIterator::LabelCorrectingIterator(
 
 NtdId LabelCorrectingIterator::TryKeep(NodeId node, const IntervalSet& time,
                                        NtdId parent, EdgeId via_edge) {
+  if (options_.viability != nullptr &&
+      !time.Overlaps((*options_.viability)[static_cast<size_t>(node)])) {
+    ++stats_.reachability_prunes;
+    return kInvalidNtd;
+  }
   NodeSubsumption& state = scratch_->states.Activate(
       static_cast<uint32_t>(node), [this](NodeSubsumption& stale) {
         stale.Fresh(temporal::NtdIndexKind::kRowMajor,
@@ -187,11 +193,16 @@ std::vector<InverseSearchResult> SearchInverse(
     const graph::TemporalGraph& graph,
     const std::vector<std::vector<NodeId>>& matches,
     InverseRankFactor factor, int32_t k,
-    int64_t max_relaxations_per_iterator) {
+    int64_t max_relaxations_per_iterator, bool reachability_prune) {
   const size_t m = matches.size();
   LabelCorrectingIterator::Options options;
   options.factor = factor;
   options.max_relaxations = max_relaxations_per_iterator;
+  std::vector<IntervalSet> viability;
+  if (reachability_prune) {
+    graph.reachability().ComputeViability(matches, &viability);
+    options.viability = &viability;
+  }
 
   // One iterator per match node, grouped by keyword.
   std::vector<std::vector<std::unique_ptr<LabelCorrectingIterator>>> per_kw(m);

@@ -1,6 +1,7 @@
 #include "search/search_engine.h"
 
 #include "common/timer.h"
+#include "graph/reachability_index.h"
 #include "obs/metrics.h"
 
 #include <algorithm>
@@ -60,6 +61,7 @@ struct EngineMetrics {
   obs::Counter* stop_max_pops;
   obs::Counter* stop_deadline;
   obs::Counter* stop_cancelled;
+  obs::Counter* reachability_prunes;
   obs::Gauge* heap_high_water;
   obs::Histogram* query_micros;
   obs::Histogram* pops_per_query;
@@ -97,6 +99,9 @@ struct EngineMetrics {
       out->stop_cancelled = reg.GetCounter(
           "tgks_search_stop_cancelled_total",
           "Queries stopped by a cancellation token.");
+      out->reachability_prunes = reg.GetCounter(
+          "tgks_search_reachability_prunes_total",
+          "Sources and NTDs discarded by the reachability prune.");
       out->heap_high_water = reg.GetGauge(
           "tgks_search_heap_high_water",
           "Largest priority queue any query ever built.");
@@ -145,6 +150,15 @@ class Runner {
       has_deadline_ = true;
     }
     FilterMatches();
+    if (options_.reachability_prune) {
+      // Per-query viability sets from the graph's reachability labeling
+      // (docs/reachability.md). Computed once from the filtered match
+      // lists, before any parallel fan-out; read-only afterwards, so the
+      // prefetch tasks can share the vector without synchronization.
+      filter_timer_.Start();
+      graph_.reachability().ComputeViability(match_lists_, &viability_);
+      filter_timer_.Stop();
+    }
     // Parallel mode needs >= 2 keywords to fan out and falls back when a
     // trace is attached (QueryTrace is single-threaded by contract).
     use_parallel_ = options_.parallel_keywords && m_ >= 2 &&
@@ -226,6 +240,7 @@ class Runner {
     iter_options.containedby_prune = options_.containedby_prune;
     iter_options.duration_index = options_.duration_index;
     iter_options.trace = options_.trace;
+    if (options_.reachability_prune) iter_options.viability = &viability_;
     for (size_t kw = 0; kw < m_; ++kw) {
       for (const NodeId source : match_lists_[kw]) {
         iter_options.trace_iter = static_cast<int32_t>(iterators_.size());
@@ -886,6 +901,7 @@ class Runner {
     iter_options.prune = query_.predicate.get();
     iter_options.containedby_prune = options_.containedby_prune;
     iter_options.duration_index = options_.duration_index;
+    if (options_.reachability_prune) iter_options.viability = &viability_;
     size_t slot = stream_offset_[kw];
     for (const NodeId source : match_lists_[kw]) {
       iter_options.trace_iter = static_cast<int32_t>(slot);
@@ -933,6 +949,7 @@ class Runner {
       c.edges_scanned += iter->stats().edges_scanned;
       c.subsumption_skips += iter->stats().subsumption_skips;
       c.subsumption_evictions += iter->stats().subsumption_evictions;
+      c.reachability_prunes += iter->stats().reachability_prunes;
       if (iter->num_ntds() > 1) {
         // The paper's "average number of NTDs associated with each node in
         // the priority queue": created (queued) NTDs over the nodes the
@@ -962,6 +979,7 @@ class Runner {
     s.pops = c.pops;
     s.ntds_created = c.ntds_created;
     s.dedup_hits = c.useless_pops + c.duplicates;
+    s.reachability_prunes = c.reachability_prunes;
     s.interval_ops = engine_interval_ops_;
     for (const auto& iter : iterators_) {
       if (iter == nullptr) continue;
@@ -982,6 +1000,7 @@ class Runner {
     gm.pops->Increment(s.pops);
     gm.ntds_created->Increment(s.ntds_created);
     gm.results->Increment(c.results);
+    gm.reachability_prunes->Increment(c.reachability_prunes);
     switch (response_.stop_reason) {
       case StopReason::kExhausted:
         gm.stop_exhausted->Increment();
@@ -1028,6 +1047,9 @@ class Runner {
   bool has_deadline_ = false;
 
   std::vector<std::vector<NodeId>> match_lists_;
+  /// reachability_prune only: per-node viable instants, shared read-only by
+  /// every iterator (and every parallel prefetch task).
+  std::vector<IntervalSet> viability_;
   std::vector<std::unordered_set<NodeId>> match_set_storage_;
   std::vector<const std::unordered_set<NodeId>*> match_set_views_;
 

@@ -65,6 +65,22 @@ struct SearchOptions {
   /// Documented extension (§5 deviation): also prune elements disjoint from
   /// a CONTAINED BY window. Off by default for paper fidelity.
   bool containedby_prune = false;
+  /// Opt-in reachability pruning (docs/reachability.md): before expansion,
+  /// the engine computes per-node viability sets from the graph's
+  /// ReachabilityIndex — the instants at which a node can still lie on
+  /// some answer tree (forward closure of the nodes that temporally reach
+  /// an alive match of EVERY keyword). Match sources with empty viability
+  /// start exhausted, and expansion discards NTDs whose time set misses
+  /// the neighbor's viability entirely. Exhaustive runs (k <= 0) provably
+  /// return identical results; bounded runs stop on a smaller frontier, so
+  /// the §4.2 test can fire at a slightly different pop and swap results
+  /// at the stopping boundary — under the heuristic bounds the pruned run
+  /// has been observed to return strictly MORE of the true top-k (see
+  /// docs/reachability.md, "Bounded stops"). The pruning-soundness
+  /// differential suite pins exact equality across its 60-graph ranking x
+  /// bound sweep, sequential and parallel; the work saved is visible in
+  /// SearchCounters::reachability_prunes. Off by default.
+  bool reachability_prune = false;
   /// Safety valve: stop after this many NTD pops (<= 0 = unlimited).
   int64_t max_pops = -1;
   /// Safety valve: cap on NTD-set cross products explored per pop.
@@ -135,6 +151,9 @@ struct SearchCounters {
   int64_t predicate_rejected = 0;  ///< Results failing the final check.
   int64_t duplicates = 0;          ///< Re-derived known trees.
   int64_t combo_overflows = 0;     ///< Pops hitting max_combos_per_pop.
+  /// reachability_prune only: match sources dropped plus expansion NTDs
+  /// discarded because their time set missed the viability set.
+  int64_t reachability_prunes = 0;
   int64_t results = 0;             ///< Distinct valid results found.
   /// Parallel mode only: prefetch rounds run, and pops prefetched past the
   /// stop point (work a sequential run would not have done; their edge

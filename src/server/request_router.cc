@@ -51,6 +51,7 @@ void WriteCounters(const search::SearchCounters& counters, JsonWriter* w) {
   w->Key("predicate_rejected"); w->Int(counters.predicate_rejected);
   w->Key("duplicates"); w->Int(counters.duplicates);
   w->Key("combo_overflows"); w->Int(counters.combo_overflows);
+  w->Key("reachability_prunes"); w->Int(counters.reachability_prunes);
   w->Key("results"); w->Int(counters.results);
   w->EndObject();
 }
@@ -62,6 +63,7 @@ void WriteStats(const obs::SearchStats& stats, JsonWriter* w) {
   w->Key("ntds_merged"); w->Int(stats.ntds_merged);
   w->Key("dedup_hits"); w->Int(stats.dedup_hits);
   w->Key("prunes"); w->Int(stats.prunes);
+  w->Key("reachability_prunes"); w->Int(stats.reachability_prunes);
   w->Key("edges_scanned"); w->Int(stats.edges_scanned);
   w->Key("interval_ops"); w->Int(stats.interval_ops);
   w->Key("heap_high_water"); w->Int(stats.heap_high_water);
@@ -419,6 +421,18 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
       return true;
     }
     single.parallel_keywords = parallel->AsBool();
+  }
+
+  // Optional per-request reachability prune (docs/reachability.md); results
+  // are identical either way, only the explored state space shrinks.
+  if (const JsonValue* reach = doc->Find("reachability_prune");
+      reach != nullptr) {
+    if (!reach->is_bool()) {
+      *immediate = JsonResponse(
+          400, JsonErrorBody("request", "reachability_prune must be a bool"));
+      return true;
+    }
+    single.reachability_prune = reach->AsBool();
   }
 
   // Per-request deadline from the deadline-ms header.

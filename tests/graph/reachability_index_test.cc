@@ -1,0 +1,322 @@
+// Differential oracle for the temporal reachability labeling.
+//
+// The index factors the timeline into constant-snapshot epochs and answers
+// CanReach / EarliestArrival through chain-cover labels with a DFS
+// fallback. This suite pins every answer to a brute-force per-snapshot BFS
+// across ALL (u, t, v) triples on 60 seeded random graphs (the same
+// 10-seed x 6-round shape as the snapshot-reducibility harness), failing
+// loudly with the witness triple on any mismatch. Property tests cover the
+// EarliestArrival contract (lower bound, monotone in the start instant,
+// "a later start never reaches more"), transitivity of the boolean oracle,
+// per-query viability against its set-theoretic definition, build
+// determinism, and byte-identical serialization round trips.
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+#include "graph/reachability_index.h"
+#include "graph/serialization.h"
+#include "temporal/interval_set.h"
+
+namespace tgks {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::ReachabilityIndex;
+using graph::TemporalGraph;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+/// Same generator shape as the snapshot-reducibility harness: single-
+/// interval validities drawn inside the horizon, clamp policy, resampled
+/// until structurally valid.
+TemporalGraph RandomGraph(Rng* rng, int num_nodes, int num_edges,
+                          TimePoint horizon) {
+  while (true) {
+    GraphBuilder b(horizon, graph::ValidityPolicy::kClamp);
+    for (int i = 0; i < num_nodes; ++i) {
+      const TimePoint a = static_cast<TimePoint>(rng->Uniform(horizon));
+      const TimePoint c = static_cast<TimePoint>(rng->Uniform(horizon));
+      b.AddNode("n" + std::to_string(i),
+                IntervalSet{{std::min(a, c), std::max(a, c)}},
+                static_cast<double>(rng->Uniform(4)));
+    }
+    int added = 0;
+    for (int i = 0; i < num_edges * 3 && added < num_edges; ++i) {
+      const NodeId u = static_cast<NodeId>(rng->Uniform(num_nodes));
+      const NodeId v = static_cast<NodeId>(rng->Uniform(num_nodes));
+      if (u == v) continue;
+      const TimePoint a = static_cast<TimePoint>(rng->Uniform(horizon));
+      const TimePoint c = static_cast<TimePoint>(rng->Uniform(horizon));
+      b.AddEdge(u, v, IntervalSet{{std::min(a, c), std::max(a, c)}},
+                static_cast<double>(1 + rng->Uniform(4)));
+      ++added;
+    }
+    auto g = b.Build();
+    if (g.ok()) return std::move(g).value();
+  }
+}
+
+/// Brute-force snapshot reachability: reach[t][u] has bit v set iff the
+/// snapshot G_t contains a directed path u -> v (u alive reaches itself).
+std::vector<std::vector<uint64_t>> BfsOracle(const TemporalGraph& g) {
+  EXPECT_LE(g.num_nodes(), 64) << "oracle uses 64-bit row masks";
+  std::vector<std::vector<uint64_t>> reach(
+      static_cast<size_t>(g.timeline_length()),
+      std::vector<uint64_t>(static_cast<size_t>(g.num_nodes()), 0));
+  for (TimePoint t = 0; t < g.timeline_length(); ++t) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (!g.NodeAliveAt(u, t)) continue;
+      std::vector<NodeId> queue{u};
+      uint64_t seen = uint64_t{1} << u;
+      while (!queue.empty()) {
+        const NodeId cur = queue.back();
+        queue.pop_back();
+        for (const graph::EdgeId e : g.OutEdges(cur)) {
+          if (!g.EdgeAliveAt(e, t)) continue;
+          const NodeId next = g.edge(e).dst;
+          if ((seen >> next) & 1) continue;
+          seen |= uint64_t{1} << next;
+          queue.push_back(next);
+        }
+      }
+      reach[static_cast<size_t>(t)][static_cast<size_t>(u)] = seen;
+    }
+  }
+  return reach;
+}
+
+bool OracleReaches(const std::vector<std::vector<uint64_t>>& reach,
+                   NodeId u, TimePoint t, NodeId v) {
+  return ((reach[static_cast<size_t>(t)][static_cast<size_t>(u)] >> v) & 1) !=
+         0;
+}
+
+void CheckAllTriples(const TemporalGraph& g, const std::string& context) {
+  const ReachabilityIndex& index = g.reachability();
+  const auto oracle = BfsOracle(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      TimePoint expected_earliest = temporal::kNoTimePoint;
+      for (TimePoint t = g.timeline_length() - 1; t >= 0; --t) {
+        const bool expected = OracleReaches(oracle, u, t, v);
+        ASSERT_EQ(index.CanReach(u, t, v), expected)
+            << context << ": CanReach witness (u=" << u << ", t=" << t
+            << ", v=" << v << ") disagrees with snapshot BFS (expected "
+            << (expected ? "reachable" : "unreachable") << ")";
+        if (expected) expected_earliest = t;
+        ASSERT_EQ(index.EarliestArrival(u, t, v), expected_earliest)
+            << context << ": EarliestArrival witness (u=" << u << ", t=" << t
+            << ", v=" << v << ")";
+      }
+    }
+  }
+}
+
+void CheckProperties(const TemporalGraph& g, Rng* rng,
+                     const std::string& context) {
+  const ReachabilityIndex& index = g.reachability();
+  const auto n = static_cast<uint64_t>(g.num_nodes());
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId u = static_cast<NodeId>(rng->Uniform(n));
+    const NodeId v = static_cast<NodeId>(rng->Uniform(n));
+    const NodeId w = static_cast<NodeId>(rng->Uniform(n));
+    const TimePoint t =
+        static_cast<TimePoint>(rng->Uniform(g.timeline_length()));
+
+    // Transitivity of the snapshot relation.
+    if (index.CanReach(u, t, v) && index.CanReach(v, t, w)) {
+      EXPECT_TRUE(index.CanReach(u, t, w))
+          << context << ": transitivity broken at (u=" << u << ", t=" << t
+          << ", v=" << v << ", w=" << w << ")";
+    }
+
+    // EarliestArrival is a lower bound consistent with CanReach...
+    const TimePoint arrival = index.EarliestArrival(u, t, v);
+    if (arrival != temporal::kNoTimePoint) {
+      EXPECT_GE(arrival, t) << context;
+      EXPECT_TRUE(index.CanReach(u, arrival, v))
+          << context << ": EarliestArrival names a non-reaching instant (u="
+          << u << ", t=" << t << ", v=" << v << ", arrival=" << arrival
+          << ")";
+    }
+    EXPECT_EQ(arrival == t, index.CanReach(u, t, v)) << context;
+
+    // ...and monotone in the start: a later start never reaches more, and
+    // never arrives earlier.
+    const TimePoint later =
+        t + static_cast<TimePoint>(
+                rng->Uniform(g.timeline_length() - t));
+    const TimePoint later_arrival = index.EarliestArrival(u, later, v);
+    if (later_arrival != temporal::kNoTimePoint) {
+      ASSERT_NE(arrival, temporal::kNoTimePoint)
+          << context << ": start " << later << " reaches (u=" << u
+          << " -> v=" << v << ") but earlier start " << t << " does not";
+      EXPECT_LE(arrival, later_arrival) << context;
+    }
+  }
+}
+
+void CheckViability(const TemporalGraph& g, Rng* rng,
+                    const std::string& context) {
+  const ReachabilityIndex& index = g.reachability();
+  const auto oracle = BfsOracle(g);
+  const size_t num_keywords = 1 + rng->Uniform(3);
+  std::vector<std::vector<NodeId>> matches(num_keywords);
+  for (auto& list : matches) {
+    const size_t count = 1 + rng->Uniform(3);
+    for (size_t i = 0; i < count; ++i) {
+      list.push_back(
+          static_cast<NodeId>(rng->Uniform(static_cast<uint64_t>(
+              g.num_nodes()))));
+    }
+  }
+
+  std::vector<IntervalSet> viability;
+  index.ComputeViability(matches, &viability);
+  ASSERT_EQ(viability.size(), static_cast<size_t>(g.num_nodes()));
+
+  for (TimePoint t = 0; t < g.timeline_length(); ++t) {
+    // Definition: roots reach an alive match of every keyword; a node is
+    // viable iff some root reaches it.
+    uint64_t root_mask = 0;
+    for (NodeId r = 0; r < g.num_nodes(); ++r) {
+      if (!g.NodeAliveAt(r, t)) continue;
+      bool all = true;
+      for (const auto& list : matches) {
+        bool any = false;
+        for (const NodeId s : list) {
+          if (g.NodeAliveAt(s, t) && OracleReaches(oracle, r, t, s)) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      if (all) root_mask |= uint64_t{1} << r;
+    }
+    uint64_t viable_mask = 0;
+    for (NodeId r = 0; r < g.num_nodes(); ++r) {
+      if ((root_mask >> r) & 1) {
+        viable_mask |= oracle[static_cast<size_t>(t)][static_cast<size_t>(r)];
+      }
+    }
+    for (NodeId node = 0; node < g.num_nodes(); ++node) {
+      ASSERT_EQ(viability[static_cast<size_t>(node)].Contains(t),
+                ((viable_mask >> node) & 1) != 0)
+          << context << ": viability witness (node=" << node << ", t=" << t
+          << ", keywords=" << num_keywords << ")";
+    }
+  }
+}
+
+class ReachabilityOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReachabilityOracleTest, EveryTripleMatchesSnapshotBfs) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    const TimePoint horizon = 4 + static_cast<TimePoint>(rng.Uniform(5));
+    const int num_nodes = 8 + static_cast<int>(rng.Uniform(8));
+    const int num_edges = 2 * num_nodes + static_cast<int>(rng.Uniform(10));
+    const TemporalGraph g = RandomGraph(&rng, num_nodes, num_edges, horizon);
+    const std::string context = "seed " + std::to_string(GetParam()) +
+                                " round " + std::to_string(round);
+    CheckAllTriples(g, context);
+    CheckProperties(g, &rng, context);
+    CheckViability(g, &rng, context);
+  }
+}
+
+// 10 seeds x 6 rounds = 60 random graphs, mirroring the reducibility suite.
+INSTANTIATE_TEST_SUITE_P(Seeds, ReachabilityOracleTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                           110));
+
+TEST(ReachabilityIndexTest, BuildIsDeterministic) {
+  Rng rng(321);
+  const TemporalGraph g = RandomGraph(&rng, 14, 30, 7);
+  const ReachabilityIndex rebuilt = ReachabilityIndex::Build(g);
+  EXPECT_TRUE(g.reachability().IdenticalTo(rebuilt));
+  EXPECT_GT(g.reachability().stats().epochs, 0);
+  EXPECT_GE(g.reachability().stats().build_seconds, 0.0);
+}
+
+TEST(ReachabilityIndexTest, SerializationRoundTripIsByteIdentical) {
+  Rng rng(654);
+  for (int round = 0; round < 4; ++round) {
+    const TemporalGraph g = RandomGraph(&rng, 12, 24, 6);
+    std::ostringstream first;
+    ASSERT_TRUE(graph::SaveGraphBinary(g, first).ok());
+
+    std::istringstream in(first.str());
+    auto loaded = graph::LoadGraphBinary(in);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    // The loaded graph carries the persisted labels verbatim...
+    EXPECT_TRUE(loaded->reachability().IdenticalTo(g.reachability()))
+        << "round " << round;
+    // ...and re-saving reproduces the archive byte for byte.
+    std::ostringstream second;
+    ASSERT_TRUE(graph::SaveGraphBinary(loaded.value(), second).ok());
+    EXPECT_EQ(first.str(), second.str()) << "round " << round;
+  }
+}
+
+TEST(ReachabilityIndexTest, SingleChainGraphHasPerfectLabels) {
+  GraphBuilder b(3, graph::ValidityPolicy::kStrict);
+  const int n = 12;
+  for (int i = 0; i < n; ++i) b.AddNode("n" + std::to_string(i));
+  for (int i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  const ReachabilityIndex& index = g->reachability();
+  EXPECT_EQ(index.num_epochs(), 1);
+  EXPECT_EQ(index.stats().chains, 1);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(index.CanReach(u, 1, v), u <= v) << u << "->" << v;
+    }
+  }
+}
+
+TEST(ReachabilityIndexTest, CycleCollapsesToOneScc) {
+  GraphBuilder b(2, graph::ValidityPolicy::kStrict);
+  for (int i = 0; i < 5; ++i) b.AddNode("n" + std::to_string(i));
+  for (int i = 0; i < 5; ++i) b.AddEdge(i, (i + 1) % 5);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      EXPECT_TRUE(g->reachability().CanReach(u, 0, v));
+    }
+  }
+  EXPECT_EQ(g->reachability().stats().sccs, 1);
+}
+
+TEST(ReachabilityIndexTest, ProbesOutsideTimelineAreFalse) {
+  GraphBuilder b(4, graph::ValidityPolicy::kStrict);
+  b.AddNode("a");
+  b.AddNode("b");
+  b.AddEdge(0, 1);
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->reachability().CanReach(0, -1, 1));
+  EXPECT_FALSE(g->reachability().CanReach(0, 4, 1));
+  EXPECT_EQ(g->reachability().EarliestArrival(0, 4, 1),
+            temporal::kNoTimePoint);
+  EXPECT_EQ(g->reachability().EarliestArrival(0, -3, 1), 0);
+}
+
+}  // namespace
+}  // namespace tgks

@@ -20,9 +20,18 @@
 //    just the toy ones. Each workload runs under both relevance and
 //    duration ranking to cover the partition AND subsumption semantics.
 //
-// Usage: workcount_dump [--parallel] [--results] <golden-dir> [stems...]
-//        workcount_dump [--parallel] [--results] --dataset <dblp|social> ...
+// Usage: workcount_dump [--parallel] [--results] [--pruned] <golden-dir>
+//            [stems...]
+//        workcount_dump [--parallel] [--results] [--pruned]
+//            --dataset <dblp|social> ...
 //        workcount_dump --layout <dblp|social> [--layout ...]
+//
+// --pruned enables SearchOptions::reachability_prune and appends the
+// reachability_prunes counter to each line (only then, so the unpruned
+// expected files stay byte-identical). scripts/workcount_check.sh --pruned
+// diffs the result fingerprints against the unpruned run where equality
+// holds (golden suite, dblp) and pins the rest bit-for-bit (see
+// docs/reachability.md, "Bounded stops").
 //
 // --layout prints the ExpansionView packing statistics (slot counts,
 // inline/pooled split, validity-pool interning hit rate) for a generated
@@ -49,6 +58,7 @@
 #include "datagen/social_generator.h"
 #include "graph/expansion_view.h"
 #include "graph/inverted_index.h"
+#include "graph/reachability_index.h"
 #include "graph/serialization.h"
 #include "search/query_parser.h"
 #include "search/search_engine.h"
@@ -58,10 +68,12 @@ namespace {
 // Set from the command line; apply to both query suites.
 bool g_parallel = false;  // Run queries in parallel-keyword mode.
 bool g_results = false;   // Print result fingerprints, not work counters.
+bool g_pruned = false;    // Run with the reachability prune enabled.
 
 tgks::search::SearchOptions SuiteOptions() {
   tgks::search::SearchOptions options;
   options.k = 10;
+  options.reachability_prune = g_pruned;
   if (g_parallel) {
     options.parallel_keywords = true;
     // Deterministic budget + inline prefetch (null task_submitter): the
@@ -118,13 +130,20 @@ void PrintCounters(const std::string& tag, int index,
   std::printf(
       "%s#%d ntds_pushed=%lld ntds_popped=%lld edges_scanned=%lld "
       "useless_pops=%lld subsumption_skips=%lld "
-      "subsumption_evictions=%lld\n",
+      "subsumption_evictions=%lld",
       tag.c_str(), index, static_cast<long long>(c.ntds_created),
       static_cast<long long>(c.pops),
       static_cast<long long>(c.edges_scanned),
       static_cast<long long>(c.useless_pops),
       static_cast<long long>(c.subsumption_skips),
       static_cast<long long>(c.subsumption_evictions));
+  // Only in --pruned mode, so the long-standing expected files stay
+  // byte-identical while the pruned-mode golden files pin the new counter.
+  if (g_pruned) {
+    std::printf(" reachability_prunes=%lld",
+                static_cast<long long>(c.reachability_prunes));
+  }
+  std::printf("\n");
 }
 
 int RunGoldenStems(const std::string& dir,
@@ -262,6 +281,18 @@ int RunLayout(const std::string& name) {
       static_cast<long long>(s.pooled_node_slots),
       static_cast<long long>(s.pool_entries),
       static_cast<long long>(s.intern_hits));
+  // Reachability-index build phase and label-size profile. build_seconds is
+  // wall time and intentionally NOT part of any golden file.
+  const auto& rs = graph.reachability().stats();
+  std::printf(
+      "%s-reach epochs=%lld sccs=%lld dag_edges=%lld chains=%lld "
+      "label_entries=%lld label_bytes=%lld build_seconds=%.3f\n",
+      name.c_str(), static_cast<long long>(rs.epochs),
+      static_cast<long long>(rs.sccs),
+      static_cast<long long>(rs.dag_edges),
+      static_cast<long long>(rs.chains),
+      static_cast<long long>(rs.label_entries),
+      static_cast<long long>(rs.label_bytes), rs.build_seconds);
   return 0;
 }
 
@@ -275,6 +306,8 @@ int main(int argc, char** argv) {
       g_parallel = true;
     } else if (std::strcmp(argv[i], "--results") == 0) {
       g_results = true;
+    } else if (std::strcmp(argv[i], "--pruned") == 0) {
+      g_pruned = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -282,8 +315,10 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(
         stderr,
-        "usage: %s [--parallel] [--results] <golden-dir> [graph stems...]\n"
-        "       %s [--parallel] [--results] --dataset <dblp|social> ...\n"
+        "usage: %s [--parallel] [--results] [--pruned] <golden-dir> "
+        "[graph stems...]\n"
+        "       %s [--parallel] [--results] [--pruned] --dataset "
+        "<dblp|social> ...\n"
         "       %s --layout <dblp|social> [--layout ...]\n",
         argv[0], argv[0], argv[0]);
     return 2;
