@@ -17,6 +17,13 @@
 // different frontier under the heuristic bounds ("Bounded stops"), and the
 // suites where equality does hold are gated by workcount_check.sh --pruned.
 //
+// A fourth sweep pairs the prune with the in-engine query caches
+// (docs/caching.md): "reach-prune-viability-cold" runs the batch on empty
+// caches, "reach-prune-viability-warm" re-runs the same batch through the
+// same executor so every viability lookup hits. Both rows ARE enforced
+// bit-identical to an uncached pruned run — the caches must never change
+// answers, only wall time.
+//
 // Environment knobs (see bench_util.h): TGKS_BENCH_SCALE, TGKS_BENCH_QUERIES.
 // TGKS_BENCH_THREADS ("1,2,4,8" by default) picks the sweep points and
 // TGKS_BENCH_DEADLINE_MS (<=0 = off) adds a per-query deadline row.
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cache/query_caches.h"
 #include "exec/query_executor.h"
 #include "graph/reachability_index.h"
 #include "obs/search_stats.h"
@@ -195,6 +203,35 @@ int SweepDataset(const std::string& name, const graph::TemporalGraph& graph,
     const auto& rstats = graph.reachability().stats();
     PrintRow(name, "reach-prune", 1, -1, response, identical,
              rstats.build_seconds * 1000.0, rstats.label_bytes);
+  }
+
+  // Viability-memoization sweep (docs/caching.md): the reach-prune cell
+  // again, with the in-engine query caches wired. Cold = first pass over
+  // the workload (every viability vector computed + inserted); warm =
+  // second pass over the same batch through the same executor (every
+  // lookup hits — the Zipfian repeated-query case the cache targets). Both
+  // passes must stay fingerprint-identical to the uncached pruned run.
+  {
+    cache::QueryCaches caches;
+    exec::ExecutorOptions options = ref_options;
+    options.search.reachability_prune = true;
+    options.search.query_caches = &caches;
+    exec::QueryExecutor executor(graph, &index, options);
+
+    exec::ExecutorOptions pruned_options = ref_options;
+    pruned_options.search.reachability_prune = true;
+    exec::QueryExecutor pruned_reference(graph, &index, pruned_options);
+    const std::vector<std::string> pruned_prints =
+        Fingerprints(pruned_reference.Run(batch));
+
+    const exec::BatchResponse cold = executor.Run(batch);
+    const bool cold_identical = Fingerprints(cold) == pruned_prints;
+    if (!cold_identical) ++mismatches;
+    PrintRow(name, "reach-prune-viability-cold", 1, -1, cold, cold_identical);
+    const exec::BatchResponse warm = executor.Run(batch);
+    const bool warm_identical = Fingerprints(warm) == pruned_prints;
+    if (!warm_identical) ++mismatches;
+    PrintRow(name, "reach-prune-viability-warm", 1, -1, warm, warm_identical);
   }
 
   const int64_t deadline_ms = EnvInt("TGKS_BENCH_DEADLINE_MS", -1);

@@ -25,6 +25,14 @@
 //                    savings appear as reachability_prunes under --stats).
 //                    With --serve, clients can override per request via the
 //                    "reachability_prune" JSON field.
+//   --cache          enable the query caches (docs/caching.md): keyword
+//                    match sets + viability memoization everywhere, plus
+//                    the serving-layer result cache under --serve. Results
+//                    are bit-identical with or without it; HTTP clients can
+//                    bypass per request via the "cache" JSON field.
+//   --cache-match-bytes N      level-1 byte budget (default 8 MiB)
+//   --cache-viability-bytes N  level-2 byte budget (default 64 MiB)
+//   --cache-result-bytes N     level-3 byte budget (default 64 MiB)
 //
 // Serving options (see docs/serving.md):
 //   --serve                 run the HTTP server instead of a query
@@ -60,6 +68,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cache/query_caches.h"
+#include "cache/result_cache.h"
 #include "examples/example_util.h"
 #include "exec/query_executor.h"
 #include "obs/metrics.h"
@@ -112,7 +122,7 @@ int Usage() {
          "       tgks_cli (GRAPH.tgf | --dataset dblp|social) --serve "
          "[--host ADDR] [--port N] [--threads N] [--max-queue N] "
          "[--max-inflight-bytes N] [--deadline-ms N] [--drain-timeout-ms N] "
-         "[--parallel-keywords] [--reachability-prune]\n";
+         "[--parallel-keywords] [--reachability-prune] [--cache]\n";
   return 2;
 }
 
@@ -127,7 +137,9 @@ int RunServe(const tgks::graph::TemporalGraph& graph,
              const tgks::search::SearchOptions& search_options, int threads,
              int64_t deadline_ms, const std::string& host, int port,
              int64_t max_queue, int64_t max_inflight_bytes,
-             int64_t drain_timeout_ms) {
+             int64_t drain_timeout_ms,
+             tgks::cache::QueryCaches* query_caches,
+             int64_t cache_result_bytes) {
   std::atomic<bool> draining{false};
   std::atomic<bool> shutdown_cancel{false};
 
@@ -144,6 +156,15 @@ int RunServe(const tgks::graph::TemporalGraph& graph,
   admission_options.max_inflight_bytes = max_inflight_bytes;
   tgks::server::AdmissionController admission(admission_options);
 
+  // --cache: the in-engine levels arrive preset on search_options; the
+  // serving-layer result cache is created here so its lifetime brackets the
+  // router's.
+  std::unique_ptr<tgks::cache::ResultCache> result_cache;
+  if (query_caches != nullptr) {
+    result_cache =
+        std::make_unique<tgks::cache::ResultCache>(cache_result_bytes);
+  }
+
   tgks::server::RouterContext context;
   context.graph = &graph;
   context.executor = &executor;
@@ -152,6 +173,8 @@ int RunServe(const tgks::graph::TemporalGraph& graph,
   context.default_k = search_options.k;
   context.default_deadline_ms = deadline_ms;
   context.dataset_name = dataset_name;
+  context.result_cache = result_cache.get();
+  context.query_caches = query_caches;
   tgks::server::RequestRouter router(context);
 
   tgks::server::HttpServerOptions server_options;
@@ -178,7 +201,8 @@ int RunServe(const tgks::graph::TemporalGraph& graph,
             << " edges) on http://" << host << ":" << server.port() << "\n"
             << "endpoints: POST /v1/search  GET /metrics /healthz /varz\n"
             << "threads " << executor.threads() << "  max-queue " << max_queue
-            << "  max-inflight-bytes " << max_inflight_bytes << "\n"
+            << "  max-inflight-bytes " << max_inflight_bytes << "  cache "
+            << (query_caches != nullptr ? "on" : "off") << "\n"
             << std::flush;
 
   while (g_stop_requested == 0) {
@@ -277,6 +301,9 @@ int main(int argc, char** argv) {
   int64_t max_queue = 64;
   int64_t max_inflight_bytes = 8 * 1024 * 1024;
   int64_t drain_timeout_ms = 5000;
+  bool cache_enabled = false;
+  tgks::cache::QueryCachesOptions cache_options;
+  int64_t cache_result_bytes = int64_t{64} << 20;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -298,6 +325,14 @@ int main(int argc, char** argv) {
       options.parallel_keywords = true;
     } else if (arg == "--reachability-prune") {
       options.reachability_prune = true;
+    } else if (arg == "--cache") {
+      cache_enabled = true;
+    } else if (arg == "--cache-match-bytes" && i + 1 < argc) {
+      cache_options.match_set_bytes = std::atoll(argv[++i]);
+    } else if (arg == "--cache-viability-bytes" && i + 1 < argc) {
+      cache_options.viability_bytes = std::atoll(argv[++i]);
+    } else if (arg == "--cache-result-bytes" && i + 1 < argc) {
+      cache_result_bytes = std::atoll(argv[++i]);
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       deadline_ms = std::atoll(argv[++i]);
     } else if (arg == "--batch" && i + 1 < argc) {
@@ -386,12 +421,20 @@ int main(int argc, char** argv) {
 
   const tgks::graph::InvertedIndex index(graph);
 
+  // --cache: one bundle shared by every query this process runs (single,
+  // batch, or served); search results are bit-identical either way.
+  std::unique_ptr<tgks::cache::QueryCaches> query_caches;
+  if (cache_enabled) {
+    query_caches = std::make_unique<tgks::cache::QueryCaches>(cache_options);
+    options.query_caches = query_caches.get();
+  }
+
   if (serve) {
     std::string served_name = dataset_name;
     if (served_name.empty()) served_name = demo ? "demo" : graph_path;
     return RunServe(graph, index, served_name, options, threads, deadline_ms,
                     host, port, max_queue, max_inflight_bytes,
-                    drain_timeout_ms);
+                    drain_timeout_ms, query_caches.get(), cache_result_bytes);
   }
 
   if (batch_mode) {

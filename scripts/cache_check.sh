@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# Cache correctness + effectiveness gate (docs/caching.md).
+#
+# Three checks:
+#
+#   1. Differential: every workcount_dump suite (counters and result
+#      fingerprints, pruned mode so the viability path is exercised) must be
+#      bit-identical with and without --cache. Cached answers that differ
+#      from recomputed answers are a soundness bug, not a perf regression.
+#   2. Hit-rate floor: the cache-summary lines from the cached dataset run
+#      must clear a warm hit-rate floor. The dataset suites run each
+#      workload twice (relevance + duration ranking), so the second pass's
+#      viability lookups are all hits: the expected rate is exactly 0.50 and
+#      the floor is 0.49 — a drop means the cache key or eviction broke.
+#   3. HTTP end-to-end: boot `tgks_cli --dataset social --serve --cache`,
+#      POST the same query twice (identical bodies, second is `x-cache:
+#      hit`), verify "cache": false bypasses the cache, and verify
+#      POST /v1/cache/invalidate bumps the generation and turns the next
+#      request back into a miss.
+#
+# usage: scripts/cache_check.sh <build-dir>
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: cache_check.sh <build-dir>}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+DUMP="${BUILD_DIR}/tools/workcount_dump"
+CLI="${BUILD_DIR}/examples/tgks_cli"
+GOLDEN_DIR="${REPO_ROOT}/tests/golden"
+[[ -x "${DUMP}" ]] || { echo "cache_check: ${DUMP} not built" >&2; exit 2; }
+[[ -x "${CLI}" ]] || { echo "cache_check: ${CLI} not built" >&2; exit 2; }
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "${SERVER_PID}" ]] && kill "${SERVER_PID}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+differential() {  # <label> <dump args...>
+  local label="$1"; shift
+  "${DUMP}" "$@" > "${WORK}/off.txt"
+  "${DUMP}" --cache "$@" > "${WORK}/on.raw"
+  grep -v '^cache-summary' "${WORK}/on.raw" > "${WORK}/on.txt"
+  if ! diff -u "${WORK}/off.txt" "${WORK}/on.txt"; then
+    echo "" >&2
+    echo "cache_check: FAIL — the query caches changed the ${label} suite." >&2
+    echo "Cached answers must be bit-identical to recomputed answers" >&2
+    echo "(docs/caching.md); this is a soundness bug." >&2
+    exit 1
+  fi
+  echo "cache_check: OK (${label}: $(wc -l < "${WORK}/off.txt") lines bit-identical, cached vs uncached)"
+}
+
+echo "== 1. cached-vs-uncached differential =="
+differential "golden counters"  --pruned "${GOLDEN_DIR}"
+differential "golden results"   --results --pruned "${GOLDEN_DIR}"
+differential "dataset counters" --pruned --dataset dblp --dataset social
+differential "dataset results"  --results --pruned --dataset dblp --dataset social
+
+echo "== 2. warm hit-rate floor =="
+# The last differential left the cached dataset dump in on.raw.
+grep '^cache-summary' "${WORK}/on.raw" > "${WORK}/summary.txt"
+cat "${WORK}/summary.txt"
+python3 - "${WORK}/summary.txt" <<'EOF'
+import sys
+floors = {"dblp": 0.49, "social": 0.49}
+for line in open(sys.argv[1]):
+    fields = dict(kv.split("=") for kv in line.split()[2:])
+    tag = line.split()[1]
+    vh, vm = int(fields["viability_hits"]), int(fields["viability_misses"])
+    rate = vh / (vh + vm) if vh + vm else 0.0
+    floor = floors.pop(tag)
+    assert rate >= floor, f"{tag}: viability hit rate {rate:.3f} < {floor}"
+    print(f"{tag}: viability hit rate {rate:.3f} >= {floor}")
+assert not floors, f"missing cache-summary lines for: {sorted(floors)}"
+EOF
+
+echo "== 3. HTTP result cache end-to-end =="
+export TGKS_BENCH_SCALE="${TGKS_BENCH_SCALE:-0.3}"
+"${CLI}" --dataset social --serve --cache --port 0 \
+    > "${WORK}/server.log" 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 200); do
+  PORT="$(grep -oE 'http://127\.0\.0\.1:[0-9]+' "${WORK}/server.log" \
+          | head -1 | sed 's/.*://' || true)"
+  [[ -n "${PORT}" ]] && break
+  kill -0 "${SERVER_PID}" 2>/dev/null \
+      || { echo "cache_check: server died:"; cat "${WORK}/server.log"; exit 1; }
+  sleep 0.3
+done
+[[ -n "${PORT}" ]] || { echo "cache_check: no port" >&2; exit 1; }
+URL="http://127.0.0.1:${PORT}"
+BODY='{"query":"n1, n2","matches":[[1],[2]],"k":3}'
+
+post() {  # <body-out> <headers-out> [extra curl args...]
+  local body="$1" headers="$2"; shift 2
+  local code
+  code="$(curl -s -o "${body}" -D "${headers}" -w '%{http_code}' "$@")"
+  [[ "${code}" == "200" ]] \
+      || { echo "cache_check: HTTP ${code}" >&2; cat "${body}" >&2; exit 1; }
+}
+xcache() {  # <headers-file> -> prints the x-cache value ("" if absent)
+  grep -i '^x-cache:' "$1" | tr -d '\r' | awk '{print $2}' || true
+}
+
+post "${WORK}/b1" "${WORK}/h1" -X POST --data "${BODY}" "${URL}/v1/search"
+post "${WORK}/b2" "${WORK}/h2" -X POST --data "${BODY}" "${URL}/v1/search"
+[[ "$(xcache "${WORK}/h1")" == "miss" ]] \
+    || { echo "cache_check: first request not a miss" >&2; exit 1; }
+[[ "$(xcache "${WORK}/h2")" == "hit" ]] \
+    || { echo "cache_check: repeat request not a hit" >&2; exit 1; }
+cmp "${WORK}/b1" "${WORK}/b2" \
+    || { echo "cache_check: hit body differs from miss body" >&2; exit 1; }
+echo "cache_check: OK (miss then hit, bodies byte-identical)"
+
+# Per-request opt-out: "cache": false must bypass the cache entirely.
+post "${WORK}/b3" "${WORK}/h3" -X POST \
+    --data '{"query":"n1, n2","matches":[[1],[2]],"k":3,"cache":false}' \
+    "${URL}/v1/search"
+[[ -z "$(xcache "${WORK}/h3")" ]] \
+    || { echo "cache_check: cache:false still touched the cache" >&2; exit 1; }
+cmp "${WORK}/b1" "${WORK}/b3" \
+    || { echo "cache_check: uncached body differs" >&2; exit 1; }
+echo "cache_check: OK (cache:false bypasses, body still identical)"
+
+# Invalidation: generation bumps, the next identical request is a miss again.
+post "${WORK}/b4" "${WORK}/h4" -X POST "${URL}/v1/cache/invalidate"
+grep -q '"result_cache_generation":1' "${WORK}/b4" \
+    || { echo "cache_check: invalidate did not bump generation:" >&2;
+         cat "${WORK}/b4" >&2; exit 1; }
+post "${WORK}/b5" "${WORK}/h5" -X POST --data "${BODY}" "${URL}/v1/search"
+[[ "$(xcache "${WORK}/h5")" == "miss" ]] \
+    || { echo "cache_check: post-invalidate request not a miss" >&2; exit 1; }
+cmp "${WORK}/b1" "${WORK}/b5" \
+    || { echo "cache_check: post-invalidate body differs" >&2; exit 1; }
+echo "cache_check: OK (invalidate -> generation 1 -> miss, body identical)"
+
+curl -s "${URL}/varz" > "${WORK}/varz.json"
+grep -q '"result_cache"' "${WORK}/varz.json" \
+    || { echo "cache_check: /varz missing result_cache section" >&2; exit 1; }
+grep -q '"viability_cache"' "${WORK}/varz.json" \
+    || { echo "cache_check: /varz missing viability_cache section" >&2; exit 1; }
+
+kill -TERM "${SERVER_PID}"
+wait "${SERVER_PID}" || { echo "cache_check: bad server exit" >&2; exit 1; }
+SERVER_PID=""
+echo "cache_check: OK"

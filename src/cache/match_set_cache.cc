@@ -1,0 +1,45 @@
+#include "cache/match_set_cache.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "temporal/interval.h"
+
+namespace tgks::cache {
+namespace {
+
+int64_t EstimateBytes(const std::string& key, const MatchSet& value) {
+  // Map/list node overhead is approximated by a flat constant; exactness
+  // does not matter, only that the budget tracks real growth.
+  return static_cast<int64_t>(sizeof(MatchSet) + 96 + key.size() +
+                              value.nodes.size() * sizeof(graph::NodeId) +
+                              value.alive.intervals().size() *
+                                  sizeof(temporal::Interval));
+}
+
+}  // namespace
+
+MatchSetCache::MatchSetCache(int64_t byte_budget)
+    : metrics_(MetricsForLevel("match")), lru_(byte_budget, &metrics_) {}
+
+std::shared_ptr<const MatchSet> MatchSetCache::GetOrCompute(
+    const graph::TemporalGraph& graph, const graph::InvertedIndex& index,
+    std::string_view keyword, bool* hit) {
+  std::string folded = AsciiToLower(keyword);
+  if (auto cached = lru_.Lookup(folded)) {
+    *hit = true;
+    return cached;
+  }
+  *hit = false;
+  auto value = std::make_shared<MatchSet>();
+  const auto posting = index.Lookup(folded);
+  value->nodes.assign(posting.begin(), posting.end());
+  temporal::IntervalSet scratch;
+  for (const graph::NodeId n : value->nodes) {
+    value->alive.UnionInPlace(graph.node(n).validity, &scratch);
+  }
+  const int64_t bytes = EstimateBytes(folded, *value);
+  return lru_.Insert(std::move(folded), std::move(value), bytes);
+}
+
+}  // namespace tgks::cache

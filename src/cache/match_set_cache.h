@@ -1,0 +1,64 @@
+// Level-1 cache (docs/caching.md): canonicalized keyword -> materialized
+// match set.
+//
+// The inverted index already answers Lookup() in one hash probe, but every
+// query then re-copies the posting into a mutable match list and re-derives
+// the same downstream state. The cache keys on the case-folded keyword (the
+// index's own canonical form) and stores the posting as a sorted, unique
+// NodeId vector — exactly the form SearchEngine's FilterMatches() would
+// produce for an unpredicated query — plus the union of the matches'
+// alive-time validity sets. The alive union is metadata for the temporal
+// invalidation story (a future streaming-ingest epoch can cheaply test
+// whether an update instant touches a cached keyword at all); the search
+// path never reads it, so caching cannot perturb results or work counters.
+
+#ifndef TGKS_CACHE_MATCH_SET_CACHE_H_
+#define TGKS_CACHE_MATCH_SET_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/cache_stats.h"
+#include "cache/lru.h"
+#include "graph/inverted_index.h"
+#include "graph/temporal_graph.h"
+#include "temporal/interval_set.h"
+
+namespace tgks::cache {
+
+/// One keyword's materialized matches.
+struct MatchSet {
+  /// Sorted, unique matching node ids (the index posting order).
+  std::vector<graph::NodeId> nodes;
+  /// Union of the matches' validity sets: the instants at which at least one
+  /// match is alive. Empty keyword -> empty set.
+  temporal::IntervalSet alive;
+};
+
+/// Thread-safe keyword -> MatchSet LRU, one per served graph.
+class MatchSetCache {
+ public:
+  explicit MatchSetCache(int64_t byte_budget);
+
+  /// Returns the (possibly cached) match set for `keyword`, materializing
+  /// from `index` + `graph` on miss. `*hit` reports whether the cache served
+  /// it. The keyword is case-folded before keying, matching
+  /// InvertedIndex::Lookup.
+  std::shared_ptr<const MatchSet> GetOrCompute(
+      const graph::TemporalGraph& graph, const graph::InvertedIndex& index,
+      std::string_view keyword, bool* hit);
+
+  void Clear() { lru_.Clear(); }
+  CacheStats stats() const { return lru_.stats(); }
+
+ private:
+  CacheMetrics metrics_;
+  LruCache<std::string, MatchSet> lru_;
+};
+
+}  // namespace tgks::cache
+
+#endif  // TGKS_CACHE_MATCH_SET_CACHE_H_

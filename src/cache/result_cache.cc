@@ -1,0 +1,31 @@
+#include "cache/result_cache.h"
+
+#include <utility>
+
+namespace tgks::cache {
+
+ResultCache::ResultCache(int64_t byte_budget)
+    : metrics_(MetricsForLevel("result")), lru_(byte_budget, &metrics_) {}
+
+void ResultCache::Insert(const std::string& key,
+                         std::shared_ptr<const CachedResult> value,
+                         uint64_t generation_at_start) {
+  const int64_t bytes = static_cast<int64_t>(sizeof(CachedResult) + 96 +
+                                             key.size() + value->body.size());
+  // The mutex serializes the generation check with InvalidateAll so a slow
+  // producer can never insert an answer computed before an invalidation.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (generation_.load(std::memory_order_acquire) != generation_at_start) {
+    return;
+  }
+  lru_.Insert(key, std::move(value), bytes);
+}
+
+uint64_t ResultCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.Clear();
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  return generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+}  // namespace tgks::cache

@@ -1,0 +1,70 @@
+// SingleFlight: coalesces concurrent identical work under a string key.
+//
+// The first caller to LeadOrJoin(key) becomes the LEADER and runs the work;
+// later callers with the same key while the flight is open are FOLLOWERS —
+// their callbacks are parked on the flight. Finish(key) closes the flight
+// and hands the parked callbacks back to the leader, which invokes each one
+// with (a copy of) the result. The result-cache layer uses this so a
+// thundering herd of identical requests costs one search (docs/caching.md).
+//
+// The class stores callbacks, not results: sequencing (insert the result
+// into the cache BEFORE Finish) is the caller's contract and is what makes
+// the "no flight found" path safe — a late joiner either finds the cached
+// result or becomes the next leader.
+
+#ifndef TGKS_CACHE_SINGLE_FLIGHT_H_
+#define TGKS_CACHE_SINGLE_FLIGHT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tgks::cache {
+
+template <typename Callback>
+class SingleFlight {
+ public:
+  /// Atomically: if no flight is open for `key`, opens one and returns true
+  /// (the caller is the leader; *callback is left untouched — the leader
+  /// keeps it and delivers its own result). Otherwise moves *callback onto
+  /// the open flight and returns false.
+  bool LeadOrJoin(const std::string& key, Callback* callback) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = flights_.try_emplace(key);
+    if (inserted) return true;
+    it->second.push_back(std::move(*callback));
+    ++coalesced_;
+    return false;
+  }
+
+  /// Closes the flight and returns the parked follower callbacks (empty if
+  /// none, or if the flight was never opened). Only the leader calls this.
+  std::vector<Callback> Finish(const std::string& key) {
+    std::vector<Callback> followers;
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      followers = std::move(it->second);
+      flights_.erase(it);
+    }
+    return followers;
+  }
+
+  /// Total callbacks ever parked (the requests that did not run a search).
+  int64_t coalesced() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return coalesced_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<Callback>> flights_;
+  int64_t coalesced_ = 0;
+};
+
+}  // namespace tgks::cache
+
+#endif  // TGKS_CACHE_SINGLE_FLIGHT_H_

@@ -1,0 +1,58 @@
+#include "cache/viability_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "temporal/interval.h"
+
+namespace tgks::cache {
+
+ViabilityKey MakeViabilityKey(
+    const std::vector<std::vector<graph::NodeId>>& match_lists) {
+  std::vector<const std::vector<graph::NodeId>*> order;
+  order.reserve(match_lists.size());
+  for (const auto& list : match_lists) order.push_back(&list);
+  std::sort(order.begin(), order.end(),
+            [](const auto* a, const auto* b) { return *a < *b; });
+
+  ViabilityKey key;
+  size_t total = match_lists.size();
+  for (const auto& list : match_lists) total += list.size();
+  key.words.reserve(total);
+  for (const auto* list : order) {
+    key.words.push_back(static_cast<uint64_t>(list->size()));
+    for (const graph::NodeId n : *list) {
+      key.words.push_back(static_cast<uint64_t>(n));
+    }
+  }
+  return key;
+}
+
+namespace {
+
+int64_t EstimateBytes(const ViabilityKey& key, const ViabilityVector& value) {
+  int64_t spilled = 0;
+  for (const auto& set : value) {
+    const int64_t n = static_cast<int64_t>(set.intervals().size());
+    if (n > temporal::IntervalSet::kInlineIntervals) {
+      spilled += n * static_cast<int64_t>(sizeof(temporal::Interval));
+    }
+  }
+  return static_cast<int64_t>(sizeof(ViabilityVector) + 96 +
+                              key.words.size() * sizeof(uint64_t) +
+                              value.size() * sizeof(temporal::IntervalSet)) +
+         spilled;
+}
+
+}  // namespace
+
+ViabilityCache::ViabilityCache(int64_t byte_budget)
+    : metrics_(MetricsForLevel("viability")), lru_(byte_budget, &metrics_) {}
+
+std::shared_ptr<const ViabilityVector> ViabilityCache::Insert(
+    ViabilityKey key, std::shared_ptr<const ViabilityVector> value) {
+  const int64_t bytes = EstimateBytes(key, *value);
+  return lru_.Insert(std::move(key), std::move(value), bytes);
+}
+
+}  // namespace tgks::cache

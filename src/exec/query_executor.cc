@@ -197,6 +197,9 @@ void QueryExecutor::Submit(SingleQuery single, SingleQueryCallback done) {
   if (single.reachability_prune.has_value()) {
     options.reachability_prune = *single.reachability_prune;
   }
+  if (single.use_query_caches.has_value() && !*single.use_query_caches) {
+    options.query_caches = nullptr;
+  }
   if (options.parallel_keywords) options.task_submitter = &submit_fn_;
   pool_->Submit([this, single = std::move(single), options,
                  done = std::move(done)]() mutable {

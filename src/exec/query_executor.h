@@ -116,6 +116,10 @@ struct SingleQuery {
   /// Per-request override of SearchOptions::reachability_prune; unset
   /// inherits the executor default.
   std::optional<bool> reachability_prune;
+  /// When false, runs this query with SearchOptions::query_caches nulled
+  /// out — the per-request "cache": false bypass (docs/caching.md). Unset
+  /// or true inherits the executor default.
+  std::optional<bool> use_query_caches;
 };
 
 /// Completion callback for Submit(): invoked exactly once on a worker

@@ -1,5 +1,6 @@
 #include "search/query.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace tgks::search {
@@ -26,6 +27,18 @@ std::string Query::ToString() const {
   if (predicate != nullptr) os << ' ' << predicate->ToString();
   os << ' ' << ranking.ToString();
   return os.str();
+}
+
+std::string Query::KeywordFingerprint() const {
+  std::vector<std::string> sorted = keywords;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string out;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += '\x1f';
+    out += sorted[i];
+  }
+  return out;
 }
 
 }  // namespace tgks::search

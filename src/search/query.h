@@ -31,6 +31,13 @@ struct Query {
   /// `"mary", "john" result time precedes 5 rank by ascending order of
   /// result start time`.
   std::string ToString() const;
+
+  /// Stable keyword-SET fingerprint: the keywords sorted and deduplicated,
+  /// joined with '\x1f'. Identical for queries whose keyword sets are equal
+  /// regardless of keyword order or repetition — the canonical form cache
+  /// keys build on (docs/caching.md). ParseQuery already dedups, so for
+  /// parsed queries this only re-orders.
+  std::string KeywordFingerprint() const;
 };
 
 }  // namespace tgks::search

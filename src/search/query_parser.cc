@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/strings.h"
@@ -244,6 +245,18 @@ class Parser {
       return Fail(detail_, ParseErrorCode::kMissingKeywords, Peek().offset,
                   "query needs at least one keyword");
     }
+    // Canonicalize: duplicate keywords add no matches but would each get
+    // their own iterator group and double the per-keyword work, so only the
+    // first occurrence survives. First-occurrence ORDER is preserved —
+    // iterator creation order is part of the engine's reproducible-work
+    // contract (workcount_check.sh); only Query::KeywordFingerprint sorts.
+    std::unordered_set<std::string> seen;
+    std::vector<std::string> unique_words;
+    unique_words.reserve(query->keywords.size());
+    for (std::string& word : query->keywords) {
+      if (seen.insert(word).second) unique_words.push_back(std::move(word));
+    }
+    query->keywords = std::move(unique_words);
     return Status::OK();
   }
 

@@ -1,5 +1,8 @@
 #include "search/search_engine.h"
 
+#include "cache/match_set_cache.h"
+#include "cache/query_caches.h"
+#include "cache/viability_cache.h"
 #include "common/timer.h"
 #include "graph/reachability_index.h"
 #include "obs/metrics.h"
@@ -155,8 +158,32 @@ class Runner {
       // (docs/reachability.md). Computed once from the filtered match
       // lists, before any parallel fan-out; read-only afterwards, so the
       // prefetch tasks can share the vector without synchronization.
+      // With a viability cache (docs/caching.md) the computation is
+      // memoized on the exact filtered lists: a hit shares an immutable
+      // vector computed by an earlier query with the same keyword set.
       filter_timer_.Start();
-      graph_.reachability().ComputeViability(match_lists_, &viability_);
+      cache::ViabilityCache* vcache =
+          options_.query_caches != nullptr
+              ? &options_.query_caches->viability()
+              : nullptr;
+      if (vcache != nullptr) {
+        cache::ViabilityKey key = cache::MakeViabilityKey(match_lists_);
+        viability_shared_ = vcache->Lookup(key);
+        if (viability_shared_ == nullptr) {
+          auto computed = std::make_shared<std::vector<IntervalSet>>();
+          graph_.reachability().ComputeViability(match_lists_,
+                                                 computed.get());
+          viability_shared_ =
+              vcache->Insert(std::move(key), std::move(computed));
+          ++response_.counters.cache_viability_misses;
+        } else {
+          ++response_.counters.cache_viability_hits;
+        }
+        viability_view_ = viability_shared_.get();
+      } else {
+        graph_.reachability().ComputeViability(match_lists_, &viability_);
+        viability_view_ = &viability_;
+      }
       filter_timer_.Stop();
     }
     // Parallel mode needs >= 2 keywords to fan out and falls back when a
@@ -240,7 +267,7 @@ class Runner {
     iter_options.containedby_prune = options_.containedby_prune;
     iter_options.duration_index = options_.duration_index;
     iter_options.trace = options_.trace;
-    if (options_.reachability_prune) iter_options.viability = &viability_;
+    if (options_.reachability_prune) iter_options.viability = viability_view_;
     for (size_t kw = 0; kw < m_; ++kw) {
       for (const NodeId source : match_lists_[kw]) {
         iter_options.trace_iter = static_cast<int32_t>(iterators_.size());
@@ -901,7 +928,7 @@ class Runner {
     iter_options.prune = query_.predicate.get();
     iter_options.containedby_prune = options_.containedby_prune;
     iter_options.duration_index = options_.duration_index;
-    if (options_.reachability_prune) iter_options.viability = &viability_;
+    if (options_.reachability_prune) iter_options.viability = viability_view_;
     size_t slot = stream_offset_[kw];
     for (const NodeId source : match_lists_[kw]) {
       iter_options.trace_iter = static_cast<int32_t>(slot);
@@ -966,6 +993,8 @@ class Runner {
             ? static_cast<double>(active_ntds_sum) /
                   static_cast<double>(pushed_nodes_sum)
             : 0.0;
+    c.cache_match_hits = cache_match_hits_;
+    c.cache_match_misses = cache_match_misses_;
     c.seconds_match = match_timer_.seconds();
     c.seconds_filter = filter_timer_.seconds();
     c.seconds_expand = expand_timer_.seconds();
@@ -1036,6 +1065,10 @@ class Runner {
 
  public:
   Stopwatch match_timer_;  // Started by SearchEngine during match lookup.
+  // Level-1 cache activity during SearchEngine's match materialization,
+  // surfaced through SearchCounters by Finalize().
+  int64_t cache_match_hits_ = 0;
+  int64_t cache_match_misses_ = 0;
 
  private:
   const graph::TemporalGraph& graph_;
@@ -1048,8 +1081,12 @@ class Runner {
 
   std::vector<std::vector<NodeId>> match_lists_;
   /// reachability_prune only: per-node viable instants, shared read-only by
-  /// every iterator (and every parallel prefetch task).
+  /// every iterator (and every parallel prefetch task). `viability_view_`
+  /// points at whichever storage is live: the locally computed vector, or
+  /// an immutable vector shared through the viability cache.
   std::vector<IntervalSet> viability_;
+  std::shared_ptr<const std::vector<IntervalSet>> viability_shared_;
+  const std::vector<IntervalSet>* viability_view_ = nullptr;
   std::vector<std::unordered_set<NodeId>> match_set_storage_;
   std::vector<const std::unordered_set<NodeId>*> match_set_views_;
 
@@ -1097,14 +1134,31 @@ Result<SearchResponse> SearchEngine::Search(const Query& query,
   match_timer.Start();
   std::vector<std::vector<NodeId>> matches;
   matches.reserve(query.keywords.size());
+  int64_t match_hits = 0;
+  int64_t match_misses = 0;
+  cache::MatchSetCache* mcache = options.query_caches != nullptr
+                                     ? &options.query_caches->match_sets()
+                                     : nullptr;
   for (const std::string& keyword : query.keywords) {
-    const auto posting = index_->Lookup(keyword);
-    matches.emplace_back(posting.begin(), posting.end());
+    if (mcache != nullptr) {
+      // Level-1 cache (docs/caching.md): the cached MatchSet stores the
+      // posting in the index's own sorted-unique form, so copying it into
+      // the mutable match list is indistinguishable from an index lookup.
+      bool hit = false;
+      const auto set = mcache->GetOrCompute(*graph_, *index_, keyword, &hit);
+      matches.push_back(set->nodes);
+      ++(hit ? match_hits : match_misses);
+    } else {
+      const auto posting = index_->Lookup(keyword);
+      matches.emplace_back(posting.begin(), posting.end());
+    }
   }
   match_timer.Stop();
 
   Runner runner(*graph_, query, std::move(matches), options);
   runner.match_timer_ = match_timer;
+  runner.cache_match_hits_ = match_hits;
+  runner.cache_match_misses_ = match_misses;
   return runner.Run();
 }
 

@@ -28,6 +28,10 @@
 #include "search/result_tree.h"
 #include "temporal/ntd_bitmap_index.h"
 
+namespace tgks::cache {
+class QueryCaches;  // cache/query_caches.h
+}  // namespace tgks::cache
+
 namespace tgks::search {
 
 /// Score upper bounds for unseen results (§4.2).
@@ -81,6 +85,13 @@ struct SearchOptions {
   /// bound sweep, sequential and parallel; the work saved is visible in
   /// SearchCounters::reachability_prunes. Off by default.
   bool reachability_prune = false;
+  /// Opt-in per-graph query caches (docs/caching.md; not owned, thread-safe,
+  /// must outlive the call). Level 1 serves keyword match sets in Search();
+  /// level 2 memoizes ComputeViability under reachability_prune, keyed by
+  /// the exact filtered match lists so a hit is bit-identical to
+  /// recomputation. Results and work counters are unchanged by caching —
+  /// only wall time and the SearchCounters::cache_* fields differ.
+  cache::QueryCaches* query_caches = nullptr;
   /// Safety valve: stop after this many NTD pops (<= 0 = unlimited).
   int64_t max_pops = -1;
   /// Safety valve: cap on NTD-set cross products explored per pop.
@@ -160,6 +171,13 @@ struct SearchCounters {
   /// scans / NTDs are included in the iterator-level counters above).
   int64_t parallel_rounds = 0;
   int64_t parallel_overshoot_pops = 0;
+  /// query_caches only (docs/caching.md): keyword match-set lookups served
+  /// from / missed by the level-1 cache, and viability computations served
+  /// from / missed by the level-2 cache. All zero when caching is off.
+  int64_t cache_match_hits = 0;
+  int64_t cache_match_misses = 0;
+  int64_t cache_viability_hits = 0;
+  int64_t cache_viability_misses = 0;
   /// Mean NTDs per reached node per iterator (the paper's "average number
   /// of NTDs associated with each node").
   double avg_ntds_per_node = 0.0;

@@ -34,6 +34,42 @@ HttpResponse JsonResponse(int status, std::string body) {
   return response;
 }
 
+/// Canonical result-cache key (docs/caching.md): everything that can change
+/// the response bytes. The query contributes its canonical text (parsed,
+/// deduplicated, ToString-normalized), then effective k, the bound /
+/// parallel / prune overrides, and any explicit match lists. Deadlines are
+/// deliberately excluded — only complete responses are cached, and a
+/// complete answer is valid under any deadline. Overrides encode tri-state
+/// ('-' = inherit the executor default) so a request that spells an option
+/// and one that inherits it never alias.
+std::string CacheFingerprint(const exec::SingleQuery& single) {
+  std::string fp = single.query.query.ToString();
+  fp += "\x1f k=";
+  fp += std::to_string(single.k);
+  fp += "\x1f bound=";
+  if (single.bound.has_value()) {
+    fp += search::UpperBoundKindName(*single.bound);
+  } else {
+    fp += '-';
+  }
+  const auto tri = [](const std::optional<bool>& v) {
+    return !v.has_value() ? '-' : (*v ? '1' : '0');
+  };
+  fp += "\x1f par=";
+  fp += tri(single.parallel_keywords);
+  fp += "\x1f reach=";
+  fp += tri(single.reachability_prune);
+  fp += "\x1f matches=";
+  for (const auto& list : single.query.matches) {
+    for (const graph::NodeId id : list) {
+      fp += std::to_string(id);
+      fp += ',';
+    }
+    fp += ';';
+  }
+  return fp;
+}
+
 void WriteCounters(const search::SearchCounters& counters, JsonWriter* w) {
   w->BeginObject();
   w->Key("iterators"); w->Int(counters.iterators);
@@ -52,6 +88,16 @@ void WriteCounters(const search::SearchCounters& counters, JsonWriter* w) {
   w->Key("duplicates"); w->Int(counters.duplicates);
   w->Key("combo_overflows"); w->Int(counters.combo_overflows);
   w->Key("reachability_prunes"); w->Int(counters.reachability_prunes);
+  if (counters.cache_match_hits != 0 || counters.cache_match_misses != 0 ||
+      counters.cache_viability_hits != 0 ||
+      counters.cache_viability_misses != 0) {
+    // Present only when query caches were active, so cache-off stats bodies
+    // (and their golden transcripts) keep their exact byte layout.
+    w->Key("cache_match_hits"); w->Int(counters.cache_match_hits);
+    w->Key("cache_match_misses"); w->Int(counters.cache_match_misses);
+    w->Key("cache_viability_hits"); w->Int(counters.cache_viability_hits);
+    w->Key("cache_viability_misses"); w->Int(counters.cache_viability_misses);
+  }
   w->Key("results"); w->Int(counters.results);
   w->EndObject();
 }
@@ -205,6 +251,15 @@ void RequestRouter::CountRequest(const std::string& route, int status) const {
 #endif  // TGKS_NO_STATS
 }
 
+void RequestRouter::CountCoalesced() const {
+#ifndef TGKS_NO_STATS
+  obs::GlobalMetrics()
+      .GetCounter("tgks_cache_coalesced_total",
+                  "Requests coalesced onto an identical in-flight search.")
+      ->Increment();
+#endif  // TGKS_NO_STATS
+}
+
 HttpResponse RequestRouter::HandleMetrics() const {
   HttpResponse response;
   response.status = 200;
@@ -216,6 +271,28 @@ HttpResponse RequestRouter::HandleMetrics() const {
 HttpResponse RequestRouter::HandleHealthz() const {
   if (draining()) return TextResponse(503, "draining\n");
   return TextResponse(200, "ok\n");
+}
+
+HttpResponse RequestRouter::HandleCacheInvalidate() const {
+  if (context_.result_cache == nullptr && context_.query_caches == nullptr) {
+    return JsonResponse(404,
+                        JsonErrorBody("not-found", "caching is not enabled"));
+  }
+  // The epoch hook (docs/caching.md): a streaming-ingest publisher calls
+  // this after installing a new graph epoch. Every level flips together so
+  // no cached derivative of the old epoch can be served afterwards.
+  JsonWriter w;
+  w.BeginObject();
+  if (context_.query_caches != nullptr) {
+    w.Key("query_cache_generation");
+    w.Int(static_cast<int64_t>(context_.query_caches->InvalidateAll()));
+  }
+  if (context_.result_cache != nullptr) {
+    w.Key("result_cache_generation");
+    w.Int(static_cast<int64_t>(context_.result_cache->InvalidateAll()));
+  }
+  w.EndObject();
+  return JsonResponse(200, w.Take());
 }
 
 HttpResponse RequestRouter::HandleVarz() const {
@@ -248,6 +325,42 @@ HttpResponse RequestRouter::HandleVarz() const {
     w.Int(context_.admission->options().max_queue);
     w.Key("max_inflight_bytes");
     w.Int(context_.admission->options().max_inflight_bytes);
+  }
+  const auto write_cache_stats = [&w](const cache::CacheStats& s) {
+    w.BeginObject();
+    w.Key("hits");
+    w.Int(s.hits);
+    w.Key("misses");
+    w.Int(s.misses);
+    w.Key("hit_rate");
+    w.Double(s.HitRate());
+    w.Key("insertions");
+    w.Int(s.insertions);
+    w.Key("evictions");
+    w.Int(s.evictions);
+    w.Key("entries");
+    w.Int(s.entries);
+    w.Key("bytes");
+    w.Int(s.bytes);
+    w.EndObject();
+  };
+  if (context_.query_caches != nullptr) {
+    w.Key("match_cache");
+    write_cache_stats(context_.query_caches->match_sets().stats());
+    w.Key("viability_cache");
+    write_cache_stats(context_.query_caches->viability().stats());
+    w.Key("query_cache_generation");
+    w.Int(static_cast<int64_t>(context_.query_caches->generation()));
+  }
+  if (context_.result_cache != nullptr) {
+    w.Key("result_cache");
+    write_cache_stats(context_.result_cache->stats());
+    w.Key("result_cache_generation");
+    w.Int(static_cast<int64_t>(context_.result_cache->generation()));
+    w.Key("result_cache_coalesced");
+    w.Int(flights_.coalesced());
+    w.Key("result_cache_invalidations");
+    w.Int(context_.result_cache->invalidations());
   }
   w.Key("default_k");
   w.Int(context_.default_k);
@@ -286,7 +399,12 @@ bool RequestRouter::Handle(const HttpRequest& request, HttpResponse* immediate,
   }
 
   std::string route{path};
-  if (path == "/metrics") {
+  if (path == "/v1/cache/invalidate") {
+    *immediate =
+        request.method == "POST"
+            ? HandleCacheInvalidate()
+            : JsonResponse(405, JsonErrorBody("method", "use POST"));
+  } else if (path == "/metrics") {
     *immediate = request.method == "GET"
                      ? HandleMetrics()
                      : JsonResponse(405, JsonErrorBody("method", "use GET"));
@@ -435,6 +553,22 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
     single.reachability_prune = reach->AsBool();
   }
 
+  // Optional per-request cache bypass (docs/caching.md): "cache": false
+  // skips the result cache for this request AND nulls the engine-level
+  // query caches, giving an uncached reference answer for differential
+  // checks. Default (absent or true) uses whatever the server configured.
+  bool use_cache = true;
+  if (const JsonValue* cache_knob = doc->Find("cache");
+      cache_knob != nullptr) {
+    if (!cache_knob->is_bool()) {
+      *immediate =
+          JsonResponse(400, JsonErrorBody("request", "cache must be a bool"));
+      return true;
+    }
+    use_cache = cache_knob->AsBool();
+    if (!use_cache) single.use_query_caches = false;
+  }
+
   // Per-request deadline from the deadline-ms header.
   single.deadline_ms = context_.default_deadline_ms;
   if (const std::string* header = request.FindHeader("deadline-ms");
@@ -452,6 +586,31 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
     single.deadline_ms = deadline;
   }
 
+  // Result-cache tiers (docs/caching.md), for cacheable requests only:
+  // stats bodies carry per-run wall times and are never byte-stable.
+  const bool cache_eligible =
+      context_.result_cache != nullptr && use_cache && !include_stats;
+  std::string fingerprint;
+  uint64_t cache_generation = 0;
+  if (cache_eligible) {
+    fingerprint = CacheFingerprint(single);
+    // Tier 1: fingerprint hit. Serves the stored bytes immediately,
+    // bypassing admission — that is the cache's whole point under load.
+    if (const auto hit = context_.result_cache->Lookup(fingerprint)) {
+      *immediate = JsonResponse(200, hit->body);
+      immediate->extra_headers.emplace_back("x-cache", "hit");
+      return true;
+    }
+    cache_generation = context_.result_cache->generation();
+    // Tier 2: coalesce onto an open identical flight. The leader's
+    // completion delivers a copy to every parked follower, so a thundering
+    // herd of identical requests costs one search and one admission slot.
+    if (!flights_.LeadOrJoin(fingerprint, &done)) {
+      CountCoalesced();
+      return false;  // The leader's completion calls `done`.
+    }
+  }
+
   // Admission: bounded work in flight; excess load is shed, not queued.
   const int64_t bytes = static_cast<int64_t>(request.body.size());
   ShedReason shed = ShedReason::kNone;
@@ -461,38 +620,52 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
       *immediate = JsonResponse(
           503, JsonErrorBody("draining", "server is shutting down"));
       immediate->close_connection = true;
-      return true;
+    } else {
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("error");
+      w.BeginObject();
+      w.Key("type");
+      w.String("overload");
+      w.Key("reason");
+      w.String(ShedReasonName(shed));
+      w.Key("retry_after_seconds");
+      w.Int(context_.admission->options().retry_after_seconds);
+      w.EndObject();
+      w.EndObject();
+      *immediate = JsonResponse(429, w.Take());
+      immediate->extra_headers.emplace_back(
+          "retry-after",
+          std::to_string(context_.admission->options().retry_after_seconds));
     }
-    JsonWriter w;
-    w.BeginObject();
-    w.Key("error");
-    w.BeginObject();
-    w.Key("type");
-    w.String("overload");
-    w.Key("reason");
-    w.String(ShedReasonName(shed));
-    w.Key("retry_after_seconds");
-    w.Int(context_.admission->options().retry_after_seconds);
-    w.EndObject();
-    w.EndObject();
-    *immediate = JsonResponse(429, w.Take());
-    immediate->extra_headers.emplace_back(
-        "retry-after",
-        std::to_string(context_.admission->options().retry_after_seconds));
+    if (cache_eligible) {
+      // The flight dies with its shed leader; parked followers get a copy
+      // of the shed response rather than hanging forever.
+      for (Completion& follower : flights_.Finish(fingerprint)) {
+        HttpResponse copy = *immediate;
+        CountRequest("/v1/search", copy.status);
+        follower(std::move(copy));
+      }
+    }
     return true;
   }
 
   // Admitted: hand to the executor. The cancel handle outlives this frame
-  // via the shared_ptr captured in the completion.
+  // via the shared_ptr captured in the completion. A cache-filling leader
+  // does NOT export the handle: the search's result is shared (cache entry
+  // + any coalesced followers), so one client's disconnect must not cancel
+  // it — the flight runs to completion regardless (docs/caching.md).
   auto handle = std::make_shared<PendingSearch>();
-  if (pending != nullptr) *pending = handle;
+  if (pending != nullptr && !cache_eligible) *pending = handle;
   single.cancel = &handle->cancel;
 
   AdmissionController* admission = context_.admission;
+  cache::ResultCache* result_cache = context_.result_cache;
   RequestRouter* self = this;
   context_.executor->Submit(
       std::move(single),
-      [self, admission, bytes, include_stats, handle,
+      [self, admission, bytes, include_stats, handle, cache_eligible,
+       result_cache, fingerprint = std::move(fingerprint), cache_generation,
        done = std::move(done)](Result<search::SearchResponse> response,
                                double seconds) {
         HttpResponse http;
@@ -507,6 +680,17 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
           http = JsonResponse(
               500, JsonErrorBody("internal", response.status().message()));
         }
+        if (cache_eligible && response.ok() && http.status == 200 &&
+            !response->truncated) {
+          // Only COMPLETE answers are cached (bound/exhausted stops;
+          // truncated covers deadline, cancellation, and max_pops). Insert
+          // precedes Finish so a late arrival either hits the cache or
+          // opens the next flight — never falls between the two.
+          auto cached = std::make_shared<cache::CachedResult>();
+          cached->body = http.body;
+          result_cache->Insert(fingerprint, std::move(cached),
+                               cache_generation);
+        }
         if (admission != nullptr) admission->Release(bytes);
         self->CountRequest("/v1/search", http.status);
 #ifndef TGKS_NO_STATS
@@ -516,6 +700,15 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
                           {{"route", "/v1/search"}})
             ->Observe(std::llround(seconds * 1e6));
 #endif  // TGKS_NO_STATS
+        if (cache_eligible) {
+          for (Completion& follower : self->flights_.Finish(fingerprint)) {
+            HttpResponse copy = http;
+            copy.extra_headers.emplace_back("x-cache", "coalesced");
+            self->CountRequest("/v1/search", copy.status);
+            follower(std::move(copy));
+          }
+          http.extra_headers.emplace_back("x-cache", "miss");
+        }
         done(std::move(http));
       });
   return false;

@@ -1,10 +1,23 @@
 // RequestRouter: maps parsed HTTP requests onto the search stack.
 //
-//   POST /v1/search  JSON query in, JSON results out (through admission
-//                    control and the executor's asynchronous Submit path)
+//   POST /v1/search  JSON query in, JSON results out (through the result
+//                    cache when configured, then admission control and the
+//                    executor's asynchronous Submit path)
+//   POST /v1/cache/invalidate  epoch invalidation hook: clears every
+//                    configured cache level and bumps the generation
 //   GET  /metrics    Prometheus text exposition of the global registry
 //   GET  /healthz    liveness/readiness probe (503 while draining)
 //   GET  /varz       JSON snapshot of server state for humans and tests
+//
+// With RouterContext::result_cache set, cacheable searches (stats off, no
+// per-request "cache": false) are served in three tiers (docs/caching.md):
+// a fingerprint hit returns the stored body immediately (x-cache: hit,
+// bypassing admission); concurrent identical requests coalesce onto one
+// in-flight search (x-cache: coalesced); otherwise the request runs and a
+// complete 200 response is inserted before followers are released
+// (x-cache: miss). Cache-filling searches are decoupled from the client:
+// the disconnect-cancel handle is not wired, so shared work runs to
+// completion even if the initiating client goes away.
 //
 // The router owns no sockets: the connection layer hands it a complete
 // HttpRequest and either gets the response synchronously (metrics, health,
@@ -22,6 +35,9 @@
 #include <memory>
 #include <string>
 
+#include "cache/query_caches.h"
+#include "cache/result_cache.h"
+#include "cache/single_flight.h"
 #include "exec/query_executor.h"
 #include "search/query_parser.h"
 #include "search/search_engine.h"
@@ -50,6 +66,13 @@ struct RouterContext {
   int64_t max_deadline_ms = 60 * 1000;
   /// Human-readable dataset name reported by /varz.
   std::string dataset_name;
+  /// Optional serving-layer result cache (level 3, docs/caching.md; not
+  /// owned). Null = caching off: every search runs, no x-cache header.
+  cache::ResultCache* result_cache = nullptr;
+  /// Optional in-engine cache bundle (levels 1-2; not owned). The executor
+  /// reaches it through its SearchOptions; the router only needs it for
+  /// /varz and the /v1/cache/invalidate hook.
+  cache::QueryCaches* query_caches = nullptr;
 };
 
 /// A deferred search in flight: the server keeps the handle to cancel the
@@ -83,6 +106,8 @@ class RequestRouter {
   HttpResponse HandleMetrics() const;
   HttpResponse HandleHealthz() const;
   HttpResponse HandleVarz() const;
+  /// POST /v1/cache/invalidate: InvalidateAll on every configured level.
+  HttpResponse HandleCacheInvalidate() const;
   /// Parses + admits + submits; fills *immediate on any synchronous outcome.
   bool HandleSearch(const HttpRequest& request, HttpResponse* immediate,
                     Completion done, std::shared_ptr<PendingSearch>* pending);
@@ -90,6 +115,8 @@ class RequestRouter {
   /// Counts the request in tgks_http_requests_total{route,status} and the
   /// per-route latency histogram.
   void CountRequest(const std::string& route, int status) const;
+  /// Counts one coalesced request in tgks_cache_coalesced_total.
+  void CountCoalesced() const;
 
   bool draining() const {
     return context_.draining != nullptr &&
@@ -98,6 +125,9 @@ class RequestRouter {
 
   RouterContext context_;
   std::atomic<int64_t> requests_total_{0};
+  /// Coalesces concurrent identical cacheable searches (keyed by the result
+  /// cache fingerprint); unused when result_cache is null.
+  cache::SingleFlight<Completion> flights_;
 };
 
 /// Renders a JSON error body: {"error":{"type":...,"message":...,...}}.

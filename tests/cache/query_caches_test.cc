@@ -1,0 +1,134 @@
+// In-engine cache bundle tests: match-set materialization and case folding
+// (level 1), viability key canonicalization (level 2), and the bundle's
+// InvalidateAll generation hook.
+
+#include "cache/query_caches.h"
+
+#include <gtest/gtest.h>
+
+#include "cache/viability_cache.h"
+#include "graph/graph_builder.h"
+#include "graph/inverted_index.h"
+#include "temporal/interval_set.h"
+
+namespace tgks::cache {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TemporalGraph;
+using temporal::IntervalSet;
+
+TemporalGraph SmallGraph() {
+  GraphBuilder b(100, graph::ValidityPolicy::kClamp);
+  b.AddNode("alice likes graphs", IntervalSet{{0, 10}});
+  b.AddNode("bob likes chains", IntervalSet{{5, 20}});
+  b.AddNode("carol", IntervalSet{{8, 40}});
+  b.AddEdge(0, 1, IntervalSet{{5, 10}});
+  b.AddEdge(1, 2, IntervalSet{{8, 15}});
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(MatchSetCacheTest, MaterializesPostingAndAliveUnion) {
+  const TemporalGraph g = SmallGraph();
+  const graph::InvertedIndex index(g);
+  MatchSetCache cache(1 << 20);
+
+  bool hit = true;
+  const auto likes = cache.GetOrCompute(g, index, "likes", &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(likes, nullptr);
+  EXPECT_EQ(likes->nodes, (std::vector<NodeId>{0, 1}));
+  // Alive union of nodes 0 and 1: [0,10] | [5,20] = [0,20].
+  EXPECT_EQ(likes->alive, (IntervalSet{{0, 20}}));
+
+  const auto again = cache.GetOrCompute(g, index, "likes", &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(again.get(), likes.get());  // Same shared object.
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(MatchSetCacheTest, CaseFoldsLikeTheInvertedIndex) {
+  const TemporalGraph g = SmallGraph();
+  const graph::InvertedIndex index(g);
+  MatchSetCache cache(1 << 20);
+  bool hit = true;
+  const auto lower = cache.GetOrCompute(g, index, "alice", &hit);
+  EXPECT_FALSE(hit);
+  const auto upper = cache.GetOrCompute(g, index, "ALICE", &hit);
+  EXPECT_TRUE(hit);  // Folds to the same key — one cached entry.
+  EXPECT_EQ(lower.get(), upper.get());
+}
+
+TEST(MatchSetCacheTest, UnknownKeywordCachesEmptySet) {
+  const TemporalGraph g = SmallGraph();
+  const graph::InvertedIndex index(g);
+  MatchSetCache cache(1 << 20);
+  bool hit = true;
+  const auto none = cache.GetOrCompute(g, index, "nosuchword", &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE(none->nodes.empty());
+  EXPECT_TRUE(none->alive.IsEmpty());
+  cache.GetOrCompute(g, index, "nosuchword", &hit);
+  EXPECT_TRUE(hit);  // Negative entries are cached too.
+}
+
+TEST(ViabilityKeyTest, KeywordOrderDoesNotChangeTheKey) {
+  // ComputeViability is keyword-order-invariant, so the key must be too.
+  const std::vector<std::vector<NodeId>> ab = {{1, 2, 3}, {4, 5}};
+  const std::vector<std::vector<NodeId>> ba = {{4, 5}, {1, 2, 3}};
+  EXPECT_EQ(MakeViabilityKey(ab), MakeViabilityKey(ba));
+  EXPECT_EQ(ViabilityKeyHash{}(MakeViabilityKey(ab)),
+            ViabilityKeyHash{}(MakeViabilityKey(ba)));
+}
+
+TEST(ViabilityKeyTest, DifferentListsDifferentKeys) {
+  const std::vector<std::vector<NodeId>> a = {{1, 2, 3}, {4, 5}};
+  const std::vector<std::vector<NodeId>> b = {{1, 2, 3}, {4, 6}};
+  EXPECT_FALSE(MakeViabilityKey(a) == MakeViabilityKey(b));
+}
+
+TEST(ViabilityKeyTest, ListBoundariesMatter) {
+  // {1,2},{3} vs {1},{2,3}: same flattened ids, different partitions. The
+  // length prefix in the encoding must keep them distinct.
+  const std::vector<std::vector<NodeId>> a = {{1, 2}, {3}};
+  const std::vector<std::vector<NodeId>> b = {{1}, {2, 3}};
+  EXPECT_FALSE(MakeViabilityKey(a) == MakeViabilityKey(b));
+}
+
+TEST(ViabilityCacheTest, InsertThenLookup) {
+  ViabilityCache cache(1 << 20);
+  const ViabilityKey key = MakeViabilityKey({{1, 2}});
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  auto value = std::make_shared<ViabilityVector>(3);
+  (*value)[1] = IntervalSet{{0, 5}};
+  const auto stored = cache.Insert(key, value);
+  EXPECT_EQ(stored.get(), value.get());
+  const auto got = cache.Lookup(key);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ((*got)[1], (IntervalSet{{0, 5}}));
+}
+
+TEST(QueryCachesTest, InvalidateAllClearsBothLevelsAndBumpsGeneration) {
+  const TemporalGraph g = SmallGraph();
+  const graph::InvertedIndex index(g);
+  QueryCaches caches;
+  bool hit = true;
+  caches.match_sets().GetOrCompute(g, index, "likes", &hit);
+  caches.viability().Insert(MakeViabilityKey({{0, 1}}),
+                            std::make_shared<ViabilityVector>(3));
+  EXPECT_EQ(caches.generation(), 0u);
+
+  EXPECT_EQ(caches.InvalidateAll(), 1u);
+  EXPECT_EQ(caches.generation(), 1u);
+  EXPECT_EQ(caches.match_sets().stats().entries, 0);
+  EXPECT_EQ(caches.viability().stats().entries, 0);
+  caches.match_sets().GetOrCompute(g, index, "likes", &hit);
+  EXPECT_FALSE(hit);  // Gone — recomputed after invalidation.
+}
+
+}  // namespace
+}  // namespace tgks::cache

@@ -1,0 +1,79 @@
+// ResultCache tests: lookup/insert round trip, and the generational
+// invalidation contract — a producer that started under generation G must
+// not be able to resurrect its answer once InvalidateAll has moved the
+// cache past G.
+
+#include "cache/result_cache.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tgks::cache {
+namespace {
+
+std::shared_ptr<const CachedResult> Body(const std::string& s) {
+  return std::make_shared<const CachedResult>(CachedResult{s});
+}
+
+TEST(ResultCacheTest, InsertThenLookup) {
+  ResultCache cache(1 << 20);
+  EXPECT_EQ(cache.Lookup("fp"), nullptr);
+  cache.Insert("fp", Body("{\"status\":\"ok\"}"), cache.generation());
+  const auto got = cache.Lookup("fp");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->body, "{\"status\":\"ok\"}");
+}
+
+TEST(ResultCacheTest, InvalidateAllClearsAndBumpsGeneration) {
+  ResultCache cache(1 << 20);
+  cache.Insert("fp", Body("old"), cache.generation());
+  EXPECT_EQ(cache.generation(), 0u);
+  EXPECT_EQ(cache.InvalidateAll(), 1u);
+  EXPECT_EQ(cache.generation(), 1u);
+  EXPECT_EQ(cache.invalidations(), 1);
+  EXPECT_EQ(cache.Lookup("fp"), nullptr);
+}
+
+TEST(ResultCacheTest, StaleProducerCannotResurrectOldAnswer) {
+  ResultCache cache(1 << 20);
+  // A slow search began under generation 0...
+  const uint64_t started_at = cache.generation();
+  // ...the graph advanced an epoch while it ran...
+  cache.InvalidateAll();
+  // ...so its insert must be dropped on the floor.
+  cache.Insert("fp", Body("pre-invalidation"), started_at);
+  EXPECT_EQ(cache.Lookup("fp"), nullptr);
+
+  // A search started under the NEW generation inserts fine.
+  cache.Insert("fp", Body("fresh"), cache.generation());
+  const auto got = cache.Lookup("fp");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->body, "fresh");
+}
+
+TEST(ResultCacheTest, RepeatedInvalidationKeepsCounting) {
+  ResultCache cache(1 << 20);
+  EXPECT_EQ(cache.InvalidateAll(), 1u);
+  EXPECT_EQ(cache.InvalidateAll(), 2u);
+  EXPECT_EQ(cache.InvalidateAll(), 3u);
+  EXPECT_EQ(cache.invalidations(), 3);
+}
+
+TEST(ResultCacheTest, ByteBudgetEvictsBodies) {
+  // Each entry costs ~sizeof(CachedResult) + 96 + key + body; a 256-byte
+  // budget holds one such entry but not two.
+  ResultCache cache(256);
+  cache.Insert("a", Body(std::string(64, 'a')), 0);
+  cache.Insert("b", Body(std::string(64, 'b')), 0);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 2);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_LE(stats.bytes, 256);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+}
+
+}  // namespace
+}  // namespace tgks::cache

@@ -1,0 +1,120 @@
+// SingleFlight tests: leader/follower semantics, the insert-before-Finish
+// contract, and a real-thread-pool hammer (runs under TSan in CI) proving
+// that exactly one leader emerges per open flight and no callback is lost.
+
+#include "cache/single_flight.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.h"
+
+namespace tgks::cache {
+namespace {
+
+using Callback = std::function<void(int)>;
+
+TEST(SingleFlightTest, FirstCallerLeadsAndKeepsItsCallback) {
+  SingleFlight<Callback> flights;
+  int delivered = -1;
+  Callback done = [&delivered](int v) { delivered = v; };
+  EXPECT_TRUE(flights.LeadOrJoin("k", &done));
+  ASSERT_NE(done, nullptr);  // The leader's callback is left untouched.
+  done(7);
+  EXPECT_EQ(delivered, 7);
+  EXPECT_TRUE(flights.Finish("k").empty());
+  EXPECT_EQ(flights.coalesced(), 0);
+}
+
+TEST(SingleFlightTest, FollowersParkUntilFinish) {
+  SingleFlight<Callback> flights;
+  Callback lead = [](int) {};
+  ASSERT_TRUE(flights.LeadOrJoin("k", &lead));
+
+  std::vector<int> delivered;
+  Callback f1 = [&delivered](int v) { delivered.push_back(v); };
+  Callback f2 = [&delivered](int v) { delivered.push_back(v); };
+  EXPECT_FALSE(flights.LeadOrJoin("k", &f1));
+  EXPECT_FALSE(flights.LeadOrJoin("k", &f2));
+  EXPECT_EQ(flights.coalesced(), 2);
+
+  std::vector<Callback> followers = flights.Finish("k");
+  ASSERT_EQ(followers.size(), 2u);
+  for (auto& cb : followers) cb(42);
+  EXPECT_EQ(delivered, (std::vector<int>{42, 42}));
+}
+
+TEST(SingleFlightTest, DistinctKeysAreIndependentFlights) {
+  SingleFlight<Callback> flights;
+  Callback a = [](int) {};
+  Callback b = [](int) {};
+  EXPECT_TRUE(flights.LeadOrJoin("a", &a));
+  EXPECT_TRUE(flights.LeadOrJoin("b", &b));
+  EXPECT_TRUE(flights.Finish("a").empty());
+  EXPECT_TRUE(flights.Finish("b").empty());
+}
+
+TEST(SingleFlightTest, NextCallerAfterFinishLeadsAgain) {
+  SingleFlight<Callback> flights;
+  Callback first = [](int) {};
+  ASSERT_TRUE(flights.LeadOrJoin("k", &first));
+  flights.Finish("k");
+  Callback second = [](int) {};
+  EXPECT_TRUE(flights.LeadOrJoin("k", &second));
+}
+
+TEST(SingleFlightTest, ConcurrentCallersProduceOneLeaderAndLoseNoCallback) {
+  // N threads race LeadOrJoin on one key; each leader "computes", finishes,
+  // and delivers to every parked follower. Every one of the N callbacks must
+  // run exactly once, and leaders + coalesced must account for all N.
+  constexpr int kThreads = 8;
+  constexpr int kCallers = 400;
+  SingleFlight<Callback> flights;
+  std::atomic<int> leaders{0};
+  std::atomic<int> deliveries{0};
+  std::atomic<int> submitted{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = kCallers;
+
+  {
+    exec::ThreadPool pool(kThreads);
+    for (int i = 0; i < kCallers; ++i) {
+      pool.Submit([&] {
+        Callback done = [&deliveries](int) {
+          deliveries.fetch_add(1, std::memory_order_relaxed);
+        };
+        if (flights.LeadOrJoin("hot", &done)) {
+          leaders.fetch_add(1, std::memory_order_relaxed);
+          // "Compute", then Finish and deliver to self + followers — the
+          // same sequence the request router runs.
+          std::vector<Callback> followers = flights.Finish("hot");
+          done(1);
+          for (auto& cb : followers) cb(1);
+        }
+        submitted.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        --remaining;
+        cv.notify_one();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&remaining] { return remaining == 0; });
+  }
+
+  EXPECT_EQ(submitted.load(), kCallers);
+  EXPECT_EQ(deliveries.load(), kCallers);
+  EXPECT_GE(leaders.load(), 1);
+  EXPECT_EQ(flights.coalesced(), kCallers - leaders.load());
+  // No flight may be left open.
+  EXPECT_TRUE(flights.Finish("hot").empty());
+}
+
+}  // namespace
+}  // namespace tgks::cache

@@ -30,6 +30,31 @@ TEST(QueryParserTest, QuotedPhraseSplitsIntoWords) {
   EXPECT_EQ(q->keywords[2], "gray");
 }
 
+TEST(QueryParserTest, DuplicateKeywordsDedupedPreservingFirstOccurrence) {
+  // Duplicates would create redundant identical iterators; the parser drops
+  // them but MUST keep first-occurrence order — iterator creation order is
+  // part of the engine's reproducible-work contract (docs/caching.md).
+  auto q = ParseQuery("Beta, alpha, beta, ALPHA, gamma");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->keywords,
+            (std::vector<std::string>{"beta", "alpha", "gamma"}));
+}
+
+TEST(QueryParserTest, KeywordFingerprintIsOrderAndDuplicateInvariant) {
+  auto a = ParseQuery("beta, alpha");
+  auto b = ParseQuery("alpha, beta, alpha");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Same keyword SET -> same fingerprint, even though keyword order (and
+  // thus ToString) differs; the cache layers key on the set semantics.
+  EXPECT_EQ(a->KeywordFingerprint(), b->KeywordFingerprint());
+  EXPECT_NE(a->ToString(), b->ToString());
+
+  auto c = ParseQuery("alpha, gamma");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->KeywordFingerprint(), c->KeywordFingerprint());
+}
+
 // Table 1: the paper's renderings of Q1-Q3.
 TEST(QueryParserTest, Table1Q1) {
   auto q = ParseQuery("Mary, John rank by ascending order of result start time");

@@ -56,6 +56,7 @@ struct TestServerOptions {
   int drain_timeout_ms = 2000;
   bool use_poll = false;
   int32_t default_k = 10;
+  bool cache = false;  ///< Wire the full cache stack (docs/caching.md).
 };
 
 // Owns the whole serving stack over a given graph, bound to an ephemeral
@@ -69,6 +70,11 @@ class TestServer {
     exec_options.threads = opts.threads;
     exec_options.search.k = opts.default_k;
     exec_options.search.extra_cancel = &shutdown_cancel_;
+    if (opts.cache) {
+      query_caches_ = std::make_unique<cache::QueryCaches>();
+      result_cache_ = std::make_unique<cache::ResultCache>(int64_t{8} << 20);
+      exec_options.search.query_caches = query_caches_.get();
+    }
     executor_ = std::make_unique<exec::QueryExecutor>(graph_, &index_,
                                                       exec_options);
     admission_ = std::make_unique<AdmissionController>(opts.admission);
@@ -79,6 +85,8 @@ class TestServer {
     context.draining = &draining_;
     context.default_k = opts.default_k;
     context.dataset_name = "test";
+    context.query_caches = query_caches_.get();
+    context.result_cache = result_cache_.get();
     router_ = std::make_unique<RequestRouter>(context);
     HttpServerOptions server_options;
     server_options.port = 0;
@@ -103,6 +111,8 @@ class TestServer {
   graph::InvertedIndex index_;
   std::atomic<bool> draining_{false};
   std::atomic<bool> shutdown_cancel_{false};
+  std::unique_ptr<cache::QueryCaches> query_caches_;
+  std::unique_ptr<cache::ResultCache> result_cache_;
   std::unique_ptr<exec::QueryExecutor> executor_;
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<RequestRouter> router_;
@@ -207,6 +217,131 @@ TEST(HttpServerTest, ExplicitMatchSetsBypassTheIndex) {
   auto body = ParseBody(r);
   ASSERT_TRUE(body.ok());
   EXPECT_GT(body->Find("result_count")->AsInt(), 0);
+}
+
+TEST(HttpServerTest, ResultCacheMissThenHitBitIdentical) {
+  TestServerOptions opts;
+  opts.cache = true;
+  TestServer ts(testutil::MakeSocialNetworkGraph(), opts);
+  const std::string request =
+      PostRequest("/v1/search", R"({"query":"Mary, John","k":3})");
+
+  ClientResponse miss;
+  ASSERT_EQ(FetchOnce(ts.port(), request, &miss), 200);
+  const std::string* h = miss.FindHeader("x-cache");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(*h, "miss");
+
+  ClientResponse hit;
+  ASSERT_EQ(FetchOnce(ts.port(), request, &hit), 200);
+  h = hit.FindHeader("x-cache");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(*h, "hit");
+  EXPECT_EQ(miss.body, hit.body);  // Bit-identical, not just equivalent.
+}
+
+TEST(HttpServerTest, PerRequestCacheFalseBypassesTheCache) {
+  TestServerOptions opts;
+  opts.cache = true;
+  TestServer ts(testutil::MakeSocialNetworkGraph(), opts);
+  const std::string cached =
+      PostRequest("/v1/search", R"({"query":"Mary, John","k":3})");
+  const std::string uncached = PostRequest(
+      "/v1/search", R"({"query":"Mary, John","k":3,"cache":false})");
+
+  ClientResponse warm;
+  ASSERT_EQ(FetchOnce(ts.port(), cached, &warm), 200);
+  ClientResponse bypass;
+  ASSERT_EQ(FetchOnce(ts.port(), uncached, &bypass), 200);
+  EXPECT_EQ(bypass.FindHeader("x-cache"), nullptr);
+  EXPECT_EQ(warm.body, bypass.body);  // Same answer, computed fresh.
+}
+
+TEST(HttpServerTest, StatsRequestsAreNeverCached) {
+  TestServerOptions opts;
+  opts.cache = true;
+  TestServer ts(testutil::MakeSocialNetworkGraph(), opts);
+  const std::string request =
+      PostRequest("/v1/search", R"({"query":"Mary, John","stats":true})");
+  ClientResponse first;
+  ASSERT_EQ(FetchOnce(ts.port(), request, &first), 200);
+  EXPECT_EQ(first.FindHeader("x-cache"), nullptr);
+  ClientResponse second;
+  ASSERT_EQ(FetchOnce(ts.port(), request, &second), 200);
+  EXPECT_EQ(second.FindHeader("x-cache"), nullptr);
+}
+
+TEST(HttpServerTest, CacheInvalidateBumpsGenerationAndEmptiesCache) {
+  TestServerOptions opts;
+  opts.cache = true;
+  TestServer ts(testutil::MakeSocialNetworkGraph(), opts);
+  const std::string request =
+      PostRequest("/v1/search", R"({"query":"Mary, John","k":3})");
+
+  ClientResponse warm;
+  ASSERT_EQ(FetchOnce(ts.port(), request, &warm), 200);
+  ClientResponse hit;
+  ASSERT_EQ(FetchOnce(ts.port(), request, &hit), 200);
+  ASSERT_NE(hit.FindHeader("x-cache"), nullptr);
+  ASSERT_EQ(*hit.FindHeader("x-cache"), "hit");
+
+  ClientResponse inv;
+  ASSERT_EQ(FetchOnce(ts.port(), PostRequest("/v1/cache/invalidate", ""),
+                      &inv),
+            200);
+  auto body = ParseBody(inv);
+  ASSERT_TRUE(body.ok()) << inv.body;
+  EXPECT_EQ(body->Find("result_cache_generation")->AsInt(), 1);
+  EXPECT_EQ(body->Find("query_cache_generation")->AsInt(), 1);
+
+  ClientResponse after;
+  ASSERT_EQ(FetchOnce(ts.port(), request, &after), 200);
+  ASSERT_NE(after.FindHeader("x-cache"), nullptr);
+  EXPECT_EQ(*after.FindHeader("x-cache"), "miss");  // Cache is empty again.
+  EXPECT_EQ(warm.body, after.body);
+
+  // GET on the invalidate route is a method error, not a handler.
+  ClientResponse wrong;
+  ASSERT_EQ(FetchOnce(ts.port(), GetRequest("/v1/cache/invalidate"), &wrong),
+            405);
+}
+
+TEST(HttpServerTest, CacheDisabledServerHasNoCacheSurface) {
+  TestServer ts(testutil::MakeSocialNetworkGraph());  // No cache wired.
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest("/v1/search",
+                                  R"({"query":"Mary, John","k":3})"),
+                      &r),
+            200);
+  EXPECT_EQ(r.FindHeader("x-cache"), nullptr);
+  ClientResponse inv;
+  ASSERT_EQ(FetchOnce(ts.port(), PostRequest("/v1/cache/invalidate", ""),
+                      &inv),
+            404);
+}
+
+TEST(HttpServerTest, VarzReportsCacheSections) {
+  TestServerOptions opts;
+  opts.cache = true;
+  TestServer ts(testutil::MakeSocialNetworkGraph(), opts);
+  const std::string request =
+      PostRequest("/v1/search", R"({"query":"Mary, John","k":3})");
+  ClientResponse warm;
+  ASSERT_EQ(FetchOnce(ts.port(), request, &warm), 200);
+  ClientResponse hit;
+  ASSERT_EQ(FetchOnce(ts.port(), request, &hit), 200);
+
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(ts.port(), GetRequest("/varz"), &r), 200);
+  auto varz = ParseBody(r);
+  ASSERT_TRUE(varz.ok()) << r.body;
+  ASSERT_NE(varz->Find("result_cache"), nullptr) << r.body;
+  EXPECT_EQ(varz->Find("result_cache")->Find("hits")->AsInt(), 1);
+  EXPECT_EQ(varz->Find("result_cache")->Find("misses")->AsInt(), 1);
+  ASSERT_NE(varz->Find("match_cache"), nullptr);
+  ASSERT_NE(varz->Find("viability_cache"), nullptr);
+  EXPECT_EQ(varz->Find("result_cache_generation")->AsInt(), 0);
 }
 
 TEST(HttpServerTest, BadRequestsProduceTypedErrors) {

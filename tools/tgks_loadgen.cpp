@@ -11,7 +11,16 @@
 //   tgks_loadgen --workload dblp|social [--host H] [--port P]
 //                [--qps Q] [--duration-s S] [--connections C]
 //                [--num-queries N] [--k K] [--deadline-ms MS]
-//                [--label NAME] [--json-out FILE]
+//                [--zipf S] [--no-cache] [--label NAME] [--json-out FILE]
+//
+// --zipf S replays the workload with Zipf(S)-distributed query popularity
+// instead of round-robin: a fixed-seed schedule maps request ticks onto
+// query indices, so a small set of hot queries dominates — the access
+// pattern a result cache is designed for. Each response's x-cache header
+// (hit / coalesced / miss, present only when the server runs --cache) is
+// tallied and reported as cache_hit_rate in the JSON row. --no-cache sets
+// "cache": false on every request body, forcing full searches through a
+// cache-enabled server for same-server differential runs.
 //
 // --qps 0 (the default) runs closed-loop: each connection issues its next
 // request as soon as the previous response lands — except after a 429,
@@ -45,6 +54,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/random.h"
 #include "datagen/query_generator.h"
 #include "server/json_io.h"
 #include "tools/loadgen_util.h"
@@ -64,6 +74,8 @@ struct Options {
   int k = 0;             // 0 = server default.
   int deadline_ms = 0;   // 0 = no deadline-ms header.
   bool parallel_keywords = false;  // Request the server's parallel mode.
+  double zipf = 0;       // 0 = round-robin; > 0 = Zipf popularity skew.
+  bool no_cache = false;  // Send "cache": false on every request.
   std::string label = "loadgen";
   std::string json_out;  // Append the JSON row here if non-empty.
 };
@@ -73,8 +85,8 @@ void Usage(const char* argv0) {
                "usage: %s --workload dblp|social [--host H] [--port P]\n"
                "          [--qps Q] [--duration-s S] [--connections C]\n"
                "          [--num-queries N] [--k K] [--deadline-ms MS]\n"
-               "          [--parallel-keywords] [--label NAME]\n"
-               "          [--json-out FILE]\n",
+               "          [--parallel-keywords] [--zipf S] [--no-cache]\n"
+               "          [--label NAME] [--json-out FILE]\n",
                argv0);
 }
 
@@ -92,6 +104,10 @@ std::string BuildRequest(const Options& opts,
   if (opts.parallel_keywords) {
     body.Key("parallel_keywords");
     body.Bool(true);
+  }
+  if (opts.no_cache) {
+    body.Key("cache");
+    body.Bool(false);
   }
   if (!wq.matches.empty()) {
     body.Key("matches");
@@ -214,6 +230,22 @@ int ReadResponse(int fd, std::string* buffer, std::string* head_out) {
   return status;
 }
 
+/// Returns the (lowercased) value of the x-cache response header in `head`,
+/// or "" when the header is absent (server running without --cache).
+std::string CacheHeaderValue(const std::string& head) {
+  std::string lower = head;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  const size_t pos = lower.find("\r\nx-cache:");
+  if (pos == std::string::npos) return "";
+  size_t begin = pos + std::strlen("\r\nx-cache:");
+  while (begin < lower.size() && lower[begin] == ' ') ++begin;
+  const size_t line_end = lower.find("\r\n", begin);
+  return lower.substr(begin, line_end == std::string::npos
+                                 ? std::string::npos
+                                 : line_end - begin);
+}
+
 struct WorkerStats {
   std::vector<double> latencies_ms;
   int64_t completed = 0;
@@ -222,6 +254,11 @@ struct WorkerStats {
   int64_t status_other = 0;
   int64_t errors = 0;  // Connection-level failures.
   int64_t retry_after_waits = 0;  // Closed-loop backoffs honored after 429s.
+  // x-cache tallies from 2xx responses; all zero when the server has no
+  // result cache (header absent).
+  int64_t cache_hits = 0;
+  int64_t cache_coalesced = 0;
+  int64_t cache_misses = 0;
   tgks::loadgen::SchedulerLag lag;  // Open-loop send-time accounting.
 };
 
@@ -235,8 +272,9 @@ double Percentile(const std::vector<double>& sorted, double p) {
 }
 
 void RunWorker(const Options& opts, const std::vector<std::string>& requests,
-               Clock::time_point start, Clock::time_point end,
-               std::atomic<int64_t>* next_index, WorkerStats* stats) {
+               const std::vector<uint32_t>& schedule, Clock::time_point start,
+               Clock::time_point end, std::atomic<int64_t>* next_index,
+               WorkerStats* stats) {
   int fd = ConnectTo(opts.host, opts.port);
   if (fd < 0) {
     ++stats->errors;
@@ -262,8 +300,13 @@ void RunWorker(const Options& opts, const std::vector<std::string>& requests,
     }
     if (Clock::now() >= end) break;
 
-    const std::string& request =
-        requests[static_cast<size_t>(i) % requests.size()];
+    // Round-robin by default; with --zipf, the tick indexes a fixed-seed
+    // popularity schedule so hot queries repeat across all connections.
+    const size_t slot =
+        schedule.empty()
+            ? static_cast<size_t>(i) % requests.size()
+            : schedule[static_cast<size_t>(i) % schedule.size()];
+    const std::string& request = requests[slot];
     const auto sent_at = Clock::now();
     if (!WriteAll(fd, request)) {
       ++stats->errors;
@@ -289,6 +332,14 @@ void RunWorker(const Options& opts, const std::vector<std::string>& requests,
     ++stats->completed;
     if (status >= 200 && status < 300) {
       ++stats->status_2xx;
+      const std::string cache = CacheHeaderValue(head);
+      if (cache == "hit") {
+        ++stats->cache_hits;
+      } else if (cache == "coalesced") {
+        ++stats->cache_coalesced;
+      } else if (cache == "miss") {
+        ++stats->cache_misses;
+      }
     } else if (status == 429) {
       ++stats->status_429;
       // Closed loop: honor the server's Retry-After before the next send.
@@ -344,6 +395,10 @@ int main(int argc, char** argv) {
       opts.deadline_ms = std::atoi(next("--deadline-ms"));
     } else if (arg == "--parallel-keywords") {
       opts.parallel_keywords = true;
+    } else if (arg == "--zipf") {
+      opts.zipf = std::atof(next("--zipf"));
+    } else if (arg == "--no-cache") {
+      opts.no_cache = true;
     } else if (arg == "--label") {
       opts.label = next("--label");
     } else if (arg == "--json-out") {
@@ -386,6 +441,17 @@ int main(int argc, char** argv) {
   requests.reserve(workload.size());
   for (const auto& wq : workload) requests.push_back(BuildRequest(opts, wq));
 
+  // Fixed-seed Zipf popularity schedule, shared by every connection so the
+  // run replays the same hot-set regardless of worker interleaving.
+  std::vector<uint32_t> schedule;
+  if (opts.zipf > 0) {
+    tgks::Rng rng(0x7a1f5eedULL);
+    schedule.resize(1 << 16);
+    for (uint32_t& s : schedule) {
+      s = static_cast<uint32_t>(rng.Zipf(requests.size(), opts.zipf));
+    }
+  }
+
   const auto start = Clock::now();
   const auto end =
       start + std::chrono::duration_cast<Clock::duration>(
@@ -397,7 +463,8 @@ int main(int argc, char** argv) {
   workers.reserve(static_cast<size_t>(opts.connections));
   for (int c = 0; c < opts.connections; ++c) {
     workers.emplace_back(RunWorker, std::cref(opts), std::cref(requests),
-                         start, end, &next_index, &worker_stats[c]);
+                         std::cref(schedule), start, end, &next_index,
+                         &worker_stats[c]);
   }
   for (auto& w : workers) w.join();
   const double wall =
@@ -411,6 +478,9 @@ int main(int argc, char** argv) {
     total.status_other += ws.status_other;
     total.errors += ws.errors;
     total.retry_after_waits += ws.retry_after_waits;
+    total.cache_hits += ws.cache_hits;
+    total.cache_coalesced += ws.cache_coalesced;
+    total.cache_misses += ws.cache_misses;
     total.lag.Merge(ws.lag);
     total.latencies_ms.insert(total.latencies_ms.end(),
                               ws.latencies_ms.begin(),
@@ -445,6 +515,20 @@ int main(int argc, char** argv) {
   } else if (total.retry_after_waits > 0) {
     std::printf("closed-loop: honored Retry-After %lld times\n",
                 static_cast<long long>(total.retry_after_waits));
+  }
+  const int64_t cache_tallied =
+      total.cache_hits + total.cache_coalesced + total.cache_misses;
+  const double cache_hit_rate =
+      cache_tallied > 0
+          ? static_cast<double>(total.cache_hits + total.cache_coalesced) /
+                static_cast<double>(cache_tallied)
+          : 0;
+  if (cache_tallied > 0) {
+    std::printf("cache: hits %lld, coalesced %lld, misses %lld,"
+                " hit rate %.3f\n",
+                static_cast<long long>(total.cache_hits),
+                static_cast<long long>(total.cache_coalesced),
+                static_cast<long long>(total.cache_misses), cache_hit_rate);
   }
 
   tgks::server::JsonWriter row;
@@ -485,6 +569,20 @@ int main(int argc, char** argv) {
   row.Bool(opts.parallel_keywords);
   row.Key("retry_after_waits");
   row.Int(total.retry_after_waits);
+  // Zipf/cache accounting: zipf_s 0 = round-robin replay; the x-cache
+  // tallies are all zero when the server runs without a result cache.
+  row.Key("zipf_s");
+  row.Double(opts.zipf);
+  row.Key("cache_requested");
+  row.Bool(!opts.no_cache);
+  row.Key("cache_hits");
+  row.Int(total.cache_hits);
+  row.Key("cache_coalesced");
+  row.Int(total.cache_coalesced);
+  row.Key("cache_misses");
+  row.Int(total.cache_misses);
+  row.Key("cache_hit_rate");
+  row.Double(cache_hit_rate);
   // Open-loop schedule accounting (all zero in closed-loop runs): how many
   // ticks the run planned, how many actually left the client, and how late
   // they were. planned >> sends or a large lag means the client could not

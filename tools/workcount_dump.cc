@@ -20,11 +20,17 @@
 //    just the toy ones. Each workload runs under both relevance and
 //    duration ranking to cover the partition AND subsumption semantics.
 //
-// Usage: workcount_dump [--parallel] [--results] [--pruned] <golden-dir>
-//            [stems...]
-//        workcount_dump [--parallel] [--results] [--pruned]
+// Usage: workcount_dump [--parallel] [--results] [--pruned] [--cache]
+//            <golden-dir> [stems...]
+//        workcount_dump [--parallel] [--results] [--pruned] [--cache]
 //            --dataset <dblp|social> ...
 //        workcount_dump --layout <dblp|social> [--layout ...]
+//
+// --cache runs the same suite with the in-engine query caches (levels 1-2,
+// docs/caching.md) enabled and appends one "cache-summary <tag> ..." line
+// per suite with the accumulated hit/miss tallies. The per-query counter
+// and result lines must stay bit-identical to the uncached run — that is
+// the differential scripts/cache_check.sh enforces.
 //
 // --pruned enables SearchOptions::reachability_prune and appends the
 // reachability_prunes counter to each line (only then, so the unpruned
@@ -53,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/query_caches.h"
 #include "datagen/dblp_generator.h"
 #include "datagen/query_generator.h"
 #include "datagen/social_generator.h"
@@ -69,11 +76,13 @@ namespace {
 bool g_parallel = false;  // Run queries in parallel-keyword mode.
 bool g_results = false;   // Print result fingerprints, not work counters.
 bool g_pruned = false;    // Run with the reachability prune enabled.
+bool g_cache = false;     // Run with the query caches (levels 1-2) enabled.
 
-tgks::search::SearchOptions SuiteOptions() {
+tgks::search::SearchOptions SuiteOptions(tgks::cache::QueryCaches* caches) {
   tgks::search::SearchOptions options;
   options.k = 10;
   options.reachability_prune = g_pruned;
+  options.query_caches = caches;
   if (g_parallel) {
     options.parallel_keywords = true;
     // Deterministic budget + inline prefetch (null task_submitter): the
@@ -82,6 +91,34 @@ tgks::search::SearchOptions SuiteOptions() {
   }
   return options;
 }
+
+/// Running totals of the engine's cache counters for one suite; printed as
+/// one trailing summary line per suite in --cache mode only, so the cached
+/// dump is the uncached dump plus the summary lines (scripts/cache_check.sh
+/// strips them before diffing and then asserts hit-rate floors on them).
+struct CacheTally {
+  int64_t match_hits = 0;
+  int64_t match_misses = 0;
+  int64_t viability_hits = 0;
+  int64_t viability_misses = 0;
+
+  void Add(const tgks::search::SearchCounters& c) {
+    match_hits += c.cache_match_hits;
+    match_misses += c.cache_match_misses;
+    viability_hits += c.cache_viability_hits;
+    viability_misses += c.cache_viability_misses;
+  }
+
+  void Print(const std::string& tag) const {
+    std::printf(
+        "cache-summary %s match_hits=%lld match_misses=%lld "
+        "viability_hits=%lld viability_misses=%lld\n",
+        tag.c_str(), static_cast<long long>(match_hits),
+        static_cast<long long>(match_misses),
+        static_cast<long long>(viability_hits),
+        static_cast<long long>(viability_misses));
+  }
+};
 
 std::vector<std::string> LoadQueryLines(const std::string& path) {
   std::ifstream in(path);
@@ -158,6 +195,10 @@ int RunGoldenStems(const std::string& dir,
     const tgks::graph::TemporalGraph g = std::move(loaded).value();
     const tgks::graph::InvertedIndex index(g);
     const tgks::search::SearchEngine engine(g, &index);
+    // Caches are per-graph (match lists embed node ids), so each stem gets
+    // its own bundle; hits come from repeated keywords within the stem.
+    tgks::cache::QueryCaches caches;
+    CacheTally tally;
     int qi = 0;
     for (const std::string& text :
          LoadQueryLines(dir + "/" + stem + ".queries")) {
@@ -166,17 +207,19 @@ int RunGoldenStems(const std::string& dir,
         std::fprintf(stderr, "parse: %s\n", query.status().ToString().c_str());
         return 1;
       }
-      auto r = engine.Search(*query, SuiteOptions());
+      auto r = engine.Search(*query, SuiteOptions(g_cache ? &caches : nullptr));
       if (!r.ok()) {
         std::fprintf(stderr, "search: %s\n", r.status().ToString().c_str());
         return 1;
       }
+      tally.Add(r->counters);
       if (g_results) {
         PrintResults(stem, qi++, *r);
       } else {
         PrintCounters(stem, qi++, r->counters);
       }
     }
+    if (g_cache) tally.Print(stem);
   }
   return 0;
 }
@@ -236,10 +279,16 @@ int RunDataset(const std::string& name) {
 
   const tgks::graph::InvertedIndex index(graph);
   const tgks::search::SearchEngine engine(graph, &index);
-  const tgks::search::SearchOptions options = SuiteOptions();
+  tgks::cache::QueryCaches caches;
+  CacheTally tally;
+  const tgks::search::SearchOptions options =
+      SuiteOptions(g_cache ? &caches : nullptr);
   // Pass 1: the workload's own ranking (relevance -> partition semantics).
   // Pass 2: duration ranking -> subsumption semantics, so Algorithm 2's
-  // counters are pinned on benchmark-shaped graphs too.
+  // counters are pinned on benchmark-shaped graphs too. In --cache mode the
+  // second pass reuses the first pass's match lists, so its match/viability
+  // lookups are all hits — the warm half of the hit-rate floor the
+  // cache_check.sh gate asserts.
   const char* pass_tags[2] = {"", "-duration"};
   for (int pass = 0; pass < 2; ++pass) {
     int qi = 0;
@@ -255,6 +304,7 @@ int RunDataset(const std::string& name) {
         std::fprintf(stderr, "search: %s\n", r.status().ToString().c_str());
         return 1;
       }
+      tally.Add(r->counters);
       if (g_results) {
         PrintResults(name + pass_tags[pass], qi++, *r);
       } else {
@@ -262,6 +312,7 @@ int RunDataset(const std::string& name) {
       }
     }
   }
+  if (g_cache) tally.Print(name);
   return 0;
 }
 
@@ -308,6 +359,8 @@ int main(int argc, char** argv) {
       g_results = true;
     } else if (std::strcmp(argv[i], "--pruned") == 0) {
       g_pruned = true;
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      g_cache = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -315,9 +368,9 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(
         stderr,
-        "usage: %s [--parallel] [--results] [--pruned] <golden-dir> "
-        "[graph stems...]\n"
-        "       %s [--parallel] [--results] [--pruned] --dataset "
+        "usage: %s [--parallel] [--results] [--pruned] [--cache] "
+        "<golden-dir> [graph stems...]\n"
+        "       %s [--parallel] [--results] [--pruned] [--cache] --dataset "
         "<dblp|social> ...\n"
         "       %s --layout <dblp|social> [--layout ...]\n",
         argv[0], argv[0], argv[0]);
