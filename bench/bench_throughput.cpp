@@ -17,7 +17,13 @@
 // different frontier under the heuristic bounds ("Bounded stops"), and the
 // suites where equality does hold are gated by workcount_check.sh --pruned.
 //
-// A fourth sweep pairs the prune with the in-engine query caches
+// A fourth, single-threaded sweep re-runs each dataset with
+// SearchOptions::guided_search ("mode": "guided"); every row carries batch
+// totals of ntds_popped / edges_scanned, so the guided row quantifies the
+// frontier work the cone-floor caps saved against the sequential row of
+// the same dataset.
+//
+// A fifth sweep pairs the prune with the in-engine query caches
 // (docs/caching.md): "reach-prune-viability-cold" runs the batch on empty
 // caches, "reach-prune-viability-warm" re-runs the same batch through the
 // same executor so every viability lookup hits. Both rows ARE enforced
@@ -112,13 +118,22 @@ void PrintRow(const std::string& dataset, const char* mode, int threads,
   // overhead comparison can pair rows from two binaries.
   char reach[128] = "";
   if (label_bytes >= 0) {
-    // reach-prune rows only: one-time labeling cost alongside the
+    // reach-prune / guided rows only: one-time labeling cost alongside the
     // per-query savings, so the sweep shows both sides of the trade.
     std::snprintf(reach, sizeof(reach),
                   ", \"index_build_ms\": %.3f, \"label_bytes\": %lld",
                   index_build_ms, static_cast<long long>(label_bytes));
   }
-  char row[640];
+  // Batch-total algorithmic work (bit-stable across machines and build
+  // flavours, unlike the latency fields): lets two rows be compared on
+  // state-space explored, not just wall time.
+  int64_t ntds_popped = 0, edges_scanned = 0;
+  for (const auto& r : response.responses) {
+    if (!r.ok()) continue;
+    ntds_popped += r->counters.pops;
+    edges_scanned += r->counters.edges_scanned;
+  }
+  char row[768];
   std::snprintf(
       row, sizeof(row),
       "{\"dataset\": \"%s\", \"mode\": \"%s\", \"stats\": \"%s\", "
@@ -126,7 +141,8 @@ void PrintRow(const std::string& dataset, const char* mode, int threads,
       "\"queries\": %zu, \"wall_seconds\": %.6f, \"qps\": %.2f, "
       "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
       "\"mean_ms\": %.3f, \"deadline_exceeded\": %lld, \"truncated\": %lld, "
-      "\"failed\": %lld, \"identical_to_sequential\": %s%s}\n",
+      "\"failed\": %lld, \"ntds_popped\": %lld, \"edges_scanned\": %lld, "
+      "\"identical_to_sequential\": %s%s}\n",
       dataset.c_str(), mode, tgks::obs::StatsCompiledOut() ? "off" : "on",
       threads, static_cast<long long>(deadline_ms),
       response.responses.size(), response.wall_seconds,
@@ -135,7 +151,9 @@ void PrintRow(const std::string& dataset, const char* mode, int threads,
       response.latency.mean_ms,
       static_cast<long long>(response.deadline_exceeded),
       static_cast<long long>(response.truncated),
-      static_cast<long long>(response.failed), identical ? "true" : "false",
+      static_cast<long long>(response.failed),
+      static_cast<long long>(ntds_popped),
+      static_cast<long long>(edges_scanned), identical ? "true" : "false",
       reach);
   std::fputs(row, stdout);
   std::fflush(stdout);
@@ -202,6 +220,24 @@ int SweepDataset(const std::string& name, const graph::TemporalGraph& graph,
     const bool identical = Fingerprints(response) == ref_prints;
     const auto& rstats = graph.reachability().stats();
     PrintRow(name, "reach-prune", 1, -1, response, identical,
+             rstats.build_seconds * 1000.0, rstats.label_bytes);
+  }
+
+  // Distance-guided sweep (docs/reachability.md, "Distance-guided
+  // search"): threads=1 with SearchOptions::guided_search, reporting the
+  // same one-time labeling cost (guidance rides on the reachability
+  // index's distance labels). The per-row ntds_popped/edges_scanned fields
+  // are the savings story; like reach-prune, fingerprint divergence is
+  // reported but gated elsewhere (workcount_check.sh --guided pins both
+  // the counters and guided == unguided result equality).
+  {
+    exec::ExecutorOptions options = ref_options;
+    options.search.guided_search = true;
+    exec::QueryExecutor executor(graph, &index, options);
+    const exec::BatchResponse response = executor.Run(batch);
+    const bool identical = Fingerprints(response) == ref_prints;
+    const auto& rstats = graph.reachability().stats();
+    PrintRow(name, "guided", 1, -1, response, identical,
              rstats.build_seconds * 1000.0, rstats.label_bytes);
   }
 

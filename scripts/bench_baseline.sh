@@ -8,7 +8,10 @@
 #
 # Runs <build-dir>/bench/bench_throughput with a single-thread sweep (the
 # container benchmarks on 1 CPU; see docs/performance.md) and appends one
-# labeled row per (dataset, threads) cell. If <extra-rows.jsonl> is given,
+# labeled row per (dataset, threads) cell. Rows carry the batch-total
+# ntds_popped / edges_scanned work counters alongside the latency fields,
+# so mode rows (reach-prune, guided) can be compared on state-space
+# explored, which is machine-independent. If <extra-rows.jsonl> is given,
 # its raw JSON rows are appended under the same label WITHOUT re-running —
 # that is how pre-change results captured from an older binary get recorded
 # next to the post-change run.

@@ -4,9 +4,10 @@
 # Three checks:
 #
 #   1. Differential: every workcount_dump suite (counters and result
-#      fingerprints, pruned mode so the viability path is exercised) must be
-#      bit-identical with and without --cache. Cached answers that differ
-#      from recomputed answers are a soundness bug, not a perf regression.
+#      fingerprints; pruned mode so the viability path is exercised, guided
+#      mode so the level-2b guidance path is) must be bit-identical with and
+#      without --cache. Cached answers that differ from recomputed answers
+#      are a soundness bug, not a perf regression.
 #   2. Hit-rate floor: the cache-summary lines from the cached dataset run
 #      must clear a warm hit-rate floor. The dataset suites run each
 #      workload twice (relevance + duration ranking), so the second pass's
@@ -56,8 +57,18 @@ differential() {  # <label> <dump args...>
 echo "== 1. cached-vs-uncached differential =="
 differential "golden counters"  --pruned "${GOLDEN_DIR}"
 differential "golden results"   --results --pruned "${GOLDEN_DIR}"
-differential "dataset counters" --pruned --dataset dblp --dataset social
-differential "dataset results"  --results --pruned --dataset dblp --dataset social
+# Guided mode exercises the level-2b guidance cache (docs/caching.md); a
+# guidance-cache hit must reproduce the guided run bit-for-bit too. These
+# run before the pruned dataset dumps so check 2 below still reads its
+# viability summary lines from the last (pruned) run.
+differential "guided golden counters" --guided "${GOLDEN_DIR}"
+differential "guided golden results"  --results --guided "${GOLDEN_DIR}"
+differential "guided dataset results" --results --guided --dataset dblp \
+  --dataset dblp-bounded --dataset social
+differential "dataset counters" --pruned --dataset dblp \
+  --dataset dblp-bounded --dataset social
+differential "dataset results"  --results --pruned --dataset dblp \
+  --dataset dblp-bounded --dataset social
 
 echo "== 2. warm hit-rate floor =="
 # The last differential left the cached dataset dump in on.raw.
@@ -65,7 +76,7 @@ grep '^cache-summary' "${WORK}/on.raw" > "${WORK}/summary.txt"
 cat "${WORK}/summary.txt"
 python3 - "${WORK}/summary.txt" <<'EOF'
 import sys
-floors = {"dblp": 0.49, "social": 0.49}
+floors = {"dblp": 0.49, "dblp-bounded": 0.49, "social": 0.49}
 for line in open(sys.argv[1]):
     fields = dict(kv.split("=") for kv in line.split()[2:])
     tag = line.split()[1]
@@ -143,6 +154,8 @@ grep -q '"result_cache"' "${WORK}/varz.json" \
     || { echo "cache_check: /varz missing result_cache section" >&2; exit 1; }
 grep -q '"viability_cache"' "${WORK}/varz.json" \
     || { echo "cache_check: /varz missing viability_cache section" >&2; exit 1; }
+grep -q '"guidance_cache"' "${WORK}/varz.json" \
+    || { echo "cache_check: /varz missing guidance_cache section" >&2; exit 1; }
 
 kill -TERM "${SERVER_PID}"
 wait "${SERVER_PID}" || { echo "cache_check: bad server exit" >&2; exit 1; }

@@ -7,10 +7,12 @@
 #
 #   * the checked-in golden queries (tests/golden/*.tgf) against
 #     tests/golden/workcounts.expected;
-#   * the seeded datagen dblp + social benchmark workloads against
-#     tests/golden/workcounts_datasets.expected, so layout changes are
-#     pinned on benchmark-shaped graphs under both partition and
-#     subsumption semantics, not just on the toy graphs.
+#   * the seeded datagen dblp + dblp-bounded + social benchmark workloads
+#     against tests/golden/workcounts_datasets.expected, so layout changes
+#     are pinned on benchmark-shaped graphs under both partition and
+#     subsumption semantics, not just on the toy graphs. dblp-bounded is
+#     the same bibliographic graph with bounded (non-suffix) validity
+#     intervals — the temporal shape append-only dblp can never produce.
 #
 # The counters measure *algorithmic* work (pops, scans, prunes) rather than
 # wall time, so they are bit-stable across machines, build flavours, and
@@ -29,26 +31,42 @@
 # counters (which append reachability_prunes) are diffed against
 # workcounts_pruned.expected / workcounts_pruned_datasets.expected, and the
 # pruned result fingerprints are diffed against an unpruned run on the
-# golden and dblp suites, where equality holds. On the social dataset one
-# duration-ranked query stops the empirical bound at a different frontier
-# point (the pruned run finds two MORE duration-10 trees — see
-# docs/reachability.md, "Bounded stops"), so the social fingerprints are
-# pinned bit-for-bit in workcounts_pruned_results_social.expected instead.
+# golden and dblp suites, where equality holds. On the social and
+# dblp-bounded datasets a few duration-ranked queries stop the empirical
+# bound at a different frontier point (the pruned run finds different
+# same-duration trees — see docs/reachability.md, "Bounded stops"), so
+# those fingerprints are pinned bit-for-bit in
+# workcounts_pruned_results_{social,dblp_bounded}.expected instead.
+#
+# With --guided both suites run with distance-guided search enabled
+# (docs/reachability.md, "Distance-guided search") and are gated three
+# ways: the guided-mode work counters (which append guided_reorders /
+# bound_tightenings / guided_prunes) are diffed against
+# workcounts_guided.expected / workcounts_guided_datasets.expected; the
+# guided result fingerprints must be bit-identical to the unguided run on
+# every suite (guidance is admissible — it may only reorder and prune work,
+# never change the top-k); and per query, ntds_popped(guided) must not
+# exceed ntds_popped(baseline), with an aggregate savings floor of 10% on
+# the golden suite so the guidance cannot silently rot into a no-op.
 #
 # Usage:
 #   scripts/workcount_check.sh <build-dir>
 #   scripts/workcount_check.sh <build-dir> --results-only
 #   scripts/workcount_check.sh <build-dir> --pruned
+#   scripts/workcount_check.sh <build-dir> --guided
 #   TGKS_UPDATE_WORKCOUNTS=1 scripts/workcount_check.sh <build-dir>   # regen
 set -euo pipefail
 
-BUILD_DIR="${1:?usage: workcount_check.sh <build-dir> [--results-only|--pruned]}"
+BUILD_DIR="${1:?usage: workcount_check.sh <build-dir> [--results-only|--pruned|--guided]}"
 RESULTS_ONLY=0
 PRUNED=0
+GUIDED=0
 if [[ "${2:-}" == "--results-only" ]]; then
   RESULTS_ONLY=1
 elif [[ "${2:-}" == "--pruned" ]]; then
   PRUNED=1
+elif [[ "${2:-}" == "--guided" ]]; then
+  GUIDED=1
 elif [[ -n "${2:-}" ]]; then
   echo "workcount_check: unknown argument '$2'" >&2
   exit 2
@@ -125,9 +143,69 @@ pruned_results_suite() {  # <label> <dump args...>
   rm -f "${off}" "${on}"
 }
 
+guided_results_suite() {  # <label> <dump args...>
+  local label="$1"; shift
+  local off on
+  off="$(mktemp)"
+  on="$(mktemp)"
+  "${DUMP}" --results "$@" > "${off}"
+  "${DUMP}" --results --guided "$@" > "${on}"
+  if ! diff -u "${off}" "${on}"; then
+    rm -f "${off}" "${on}"
+    echo "" >&2
+    echo "workcount_check: FAIL — distance-guided search changed the" >&2
+    echo "results on the ${label} suite. Guidance is admissible, so its" >&2
+    echo "contract is exact result equivalence (docs/reachability.md);" >&2
+    echo "this is a soundness bug, not a counter drift." >&2
+    exit 1
+  fi
+  echo "workcount_check: OK (${label}: $(wc -l < "${off}") queries, guided == unguided results)"
+  rm -f "${off}" "${on}"
+}
+
+guided_savings_suite() {  # <label> <min-drop-percent> <dump args...>
+  local label="$1" min_drop="$2"; shift 2
+  local off on
+  off="$(mktemp)"
+  on="$(mktemp)"
+  "${DUMP}" "$@" > "${off}"
+  "${DUMP}" --guided "$@" > "${on}"
+  if ! paste -d'|' "${off}" "${on}" | awk -F'|' -v min_drop="${min_drop}" \
+      -v label="${label}" '
+    {
+      split($1, a, "ntds_popped="); split(a[2], af, " "); base = af[1] + 0;
+      split($2, b, "ntds_popped="); split(b[2], bf, " "); guided = bf[1] + 0;
+      if (guided > base) {
+        printf "workcount_check: FAIL — guided popped MORE than baseline:\n" \
+            > "/dev/stderr";
+        printf "  baseline: %s\n  guided:   %s\n", $1, $2 > "/dev/stderr";
+        bad = 1;
+      }
+      total_base += base; total_guided += guided;
+    }
+    END {
+      if (total_base <= 0) { print "no pops parsed" > "/dev/stderr"; exit 1 }
+      saved = (total_base - total_guided) * 100.0 / total_base;
+      printf "workcount_check: %s suite ntds_popped %d -> %d (%.1f%% saved)\n",
+          label, total_base, total_guided, saved;
+      if (bad) exit 1;
+      if (saved < min_drop) {
+        printf "workcount_check: FAIL — guided savings %.1f%% below the " \
+            "%d%% floor on the %s suite\n", saved, min_drop, label \
+            > "/dev/stderr";
+        exit 1;
+      }
+    }'; then
+    rm -f "${off}" "${on}"
+    exit 1
+  fi
+  rm -f "${off}" "${on}"
+}
+
 if [[ "${RESULTS_ONLY}" == "1" ]]; then
   results_suite "golden" "${GOLDEN_DIR}"
-  results_suite "datasets" --dataset dblp --dataset social
+  results_suite "datasets" --dataset dblp --dataset dblp-bounded \
+    --dataset social
   exit 0
 fi
 
@@ -135,14 +213,33 @@ if [[ "${PRUNED}" == "1" ]]; then
   check_suite "${GOLDEN_DIR}/workcounts_pruned.expected" --pruned \
     "${GOLDEN_DIR}"
   check_suite "${GOLDEN_DIR}/workcounts_pruned_datasets.expected" --pruned \
-    --dataset dblp --dataset social
+    --dataset dblp --dataset dblp-bounded --dataset social
   pruned_results_suite "golden" "${GOLDEN_DIR}"
   pruned_results_suite "dblp" --dataset dblp
+  check_suite "${GOLDEN_DIR}/workcounts_pruned_results_dblp_bounded.expected" \
+    --results --pruned --dataset dblp-bounded
   check_suite "${GOLDEN_DIR}/workcounts_pruned_results_social.expected" \
     --results --pruned --dataset social
   exit 0
 fi
 
+if [[ "${GUIDED}" == "1" ]]; then
+  check_suite "${GOLDEN_DIR}/workcounts_guided.expected" --guided \
+    "${GOLDEN_DIR}"
+  check_suite "${GOLDEN_DIR}/workcounts_guided_datasets.expected" --guided \
+    --dataset dblp --dataset dblp-bounded --dataset social
+  guided_results_suite "golden" "${GOLDEN_DIR}"
+  guided_results_suite "datasets" --dataset dblp --dataset dblp-bounded \
+    --dataset social
+  # Per-query monotonicity everywhere; the 10% aggregate floor only on the
+  # golden suite (the dataset pass 2 runs duration ranking, where guidance
+  # is inactive by design, diluting the aggregate).
+  guided_savings_suite "golden" 10 "${GOLDEN_DIR}"
+  guided_savings_suite "datasets" 0 --dataset dblp --dataset dblp-bounded \
+    --dataset social
+  exit 0
+fi
+
 check_suite "${GOLDEN_DIR}/workcounts.expected" "${GOLDEN_DIR}"
 check_suite "${GOLDEN_DIR}/workcounts_datasets.expected" \
-  --dataset dblp --dataset social
+  --dataset dblp --dataset dblp-bounded --dataset social

@@ -1,0 +1,26 @@
+#include "cache/guidance_cache.h"
+
+#include <utility>
+
+namespace tgks::cache {
+
+namespace {
+
+int64_t EstimateBytes(const ViabilityKey& key, const GuidanceData& value) {
+  return static_cast<int64_t>(
+      sizeof(GuidanceData) + 96 + key.words.size() * sizeof(uint64_t) +
+      (value.root_bound.size() + value.cone_floor.size()) * sizeof(double));
+}
+
+}  // namespace
+
+GuidanceCache::GuidanceCache(int64_t byte_budget)
+    : metrics_(MetricsForLevel("guidance")), lru_(byte_budget, &metrics_) {}
+
+std::shared_ptr<const GuidanceData> GuidanceCache::Insert(
+    ViabilityKey key, std::shared_ptr<const GuidanceData> value) {
+  const int64_t bytes = EstimateBytes(key, *value);
+  return lru_.Insert(std::move(key), std::move(value), bytes);
+}
+
+}  // namespace tgks::cache

@@ -1,0 +1,61 @@
+// Level-2b cache (docs/caching.md): filtered match lists -> the per-node
+// guidance floors ReachabilityIndex::ComputeGuidance derives from them.
+//
+// Guided search (SearchOptions::guided_search) runs one reverse-topological
+// min-plus pass per keyword per epoch — the same order of work as
+// ComputeViability — and like viability the result depends only on the
+// (unordered) set of filtered match lists. The cache therefore mirrors
+// ViabilityCache exactly, reusing its canonical exact key: a hit is
+// bit-identical to recomputation by construction, and keeping guidance in
+// its own LRU (rather than widening the viability value) keeps the level-2
+// key/value contract unchanged and lets the guided flag select a disjoint
+// key namespace — a guided query can never be served a viability vector and
+// vice versa.
+//
+// Values are shared_ptr<const graph::ReachabilityIndex::GuidanceData> —
+// read-only after construction, safe to share across concurrent queries and
+// parallel prefetch tasks.
+
+#ifndef TGKS_CACHE_GUIDANCE_CACHE_H_
+#define TGKS_CACHE_GUIDANCE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/cache_stats.h"
+#include "cache/lru.h"
+#include "cache/viability_cache.h"
+#include "graph/reachability_index.h"
+
+namespace tgks::cache {
+
+using GuidanceData = graph::ReachabilityIndex::GuidanceData;
+
+/// Thread-safe match-lists -> guidance-floors LRU, one per served graph.
+/// Keys are the same canonical match-list encoding as ViabilityCache
+/// (MakeViabilityKey) — the namespaces stay disjoint because each level has
+/// its own LRU.
+class GuidanceCache {
+ public:
+  explicit GuidanceCache(int64_t byte_budget);
+
+  std::shared_ptr<const GuidanceData> Lookup(const ViabilityKey& key) {
+    return lru_.Lookup(key);
+  }
+
+  /// Stores freshly computed floors; returns the pointer to use (an earlier
+  /// concurrent insert wins, see LruCache::Insert).
+  std::shared_ptr<const GuidanceData> Insert(
+      ViabilityKey key, std::shared_ptr<const GuidanceData> value);
+
+  void Clear() { lru_.Clear(); }
+  CacheStats stats() const { return lru_.stats(); }
+
+ private:
+  CacheMetrics metrics_;
+  LruCache<ViabilityKey, GuidanceData, ViabilityKeyHash> lru_;
+};
+
+}  // namespace tgks::cache
+
+#endif  // TGKS_CACHE_GUIDANCE_CACHE_H_

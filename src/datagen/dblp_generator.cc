@@ -60,6 +60,9 @@ Result<DblpDataset> GenerateDblp(const DblpParams& params) {
       params.authors_per_paper_max < params.authors_per_paper_min) {
     return Status::InvalidArgument("malformed dblp range parameters");
   }
+  if (params.validity_horizon < 0) {
+    return Status::InvalidArgument("validity_horizon must be >= 0");
+  }
 
   Rng rng(params.seed);
   const TimePoint horizon = params.timeline_length;
@@ -157,9 +160,17 @@ Result<DblpDataset> GenerateDblp(const DblpParams& params) {
 
   // Papers, authorship edges (bidirectional: BANKS-style search wants to
   // walk from authors to papers and back), and citations to older papers.
+  // With validity_horizon > 0, a paper's life is truncated H instants past
+  // its publication year instead of running to the final instant; authors
+  // and venues keep their open-ended lives (they span all their papers), so
+  // the truncated edge validity stays inside both endpoints under kStrict.
+  const auto paper_end = [&](TimePoint year) {
+    if (params.validity_horizon <= 0) return last;
+    return std::min(last, year + params.validity_horizon);
+  };
   for (int32_t p = 0; p < params.num_papers; ++p) {
     const PaperPlan& plan = plans[static_cast<size_t>(p)];
-    const IntervalSet life(Interval(plan.year, last));
+    const IntervalSet life(Interval(plan.year, paper_end(plan.year)));
     const NodeId paper = b.AddNode(plan.title, life);
     out.papers.push_back(paper);
     b.AddEdge(out.venues[static_cast<size_t>(plan.venue)], paper, life);
@@ -168,6 +179,9 @@ Result<DblpDataset> GenerateDblp(const DblpParams& params) {
       b.AddEdge(out.authors[static_cast<size_t>(a)], paper, life);
     }
     // Citations reference already-generated (hence older-or-equal) papers.
+    // A citation edge is valid only while both papers are: under a bounded
+    // horizon the target may die before the source is published, in which
+    // case the citation is dropped.
     if (p > 0) {
       const double expected = params.citations_per_paper;
       int32_t cites = static_cast<int32_t>(expected);
@@ -175,8 +189,13 @@ Result<DblpDataset> GenerateDblp(const DblpParams& params) {
       for (int32_t c = 0; c < cites; ++c) {
         const int32_t target = static_cast<int32_t>(rng.Uniform(
             static_cast<uint64_t>(p)));
-        if (plans[static_cast<size_t>(target)].year > plan.year) continue;
-        b.AddEdge(paper, out.papers[static_cast<size_t>(target)], life);
+        const TimePoint target_year = plans[static_cast<size_t>(target)].year;
+        if (target_year > plan.year) continue;
+        const TimePoint cite_end =
+            std::min(paper_end(plan.year), paper_end(target_year));
+        if (cite_end < plan.year) continue;  // Target died before source.
+        b.AddEdge(paper, out.papers[static_cast<size_t>(target)],
+                  IntervalSet(Interval(plan.year, cite_end)));
       }
     }
   }

@@ -46,6 +46,16 @@ struct DblpParams {
   double citations_per_paper = 2.0;  ///< Mean citations to older papers.
   temporal::TimePoint timeline_length = 53;  ///< Yearly instants.
   double zipf_exponent = 1.05;    ///< Skew of word/author/venue popularity.
+  /// Paper lifetime bound, in instants past the publication year. 0 (the
+  /// default) keeps the classic append-only shape: every paper and
+  /// paper-incident edge stays valid through the final instant. A positive
+  /// value H bounds each paper (and its venue/author/citation edges) to
+  /// [year, min(last, year + H)], and each citation edge to the
+  /// intersection of both papers' lifetimes (dropped when empty). This
+  /// breaks the suffix-validity property — subtrees can be valid in the
+  /// middle of the timeline but dead at the end — which is the temporal
+  /// shape the append-only default can never produce.
+  temporal::TimePoint validity_horizon = 0;
   uint64_t seed = 42;
 };
 

@@ -35,6 +35,11 @@ void AccumulateCounters(const search::SearchCounters& c,
   total->pops += c.pops;
   total->useless_pops += c.useless_pops;
   total->ntds_created += c.ntds_created;
+  total->edges_scanned += c.edges_scanned;
+  total->reachability_prunes += c.reachability_prunes;
+  total->guided_prunes += c.guided_prunes;
+  total->guided_reorders += c.guided_reorders;
+  total->bound_tightenings += c.bound_tightenings;
   total->nodes_visited += c.nodes_visited;
   total->candidates += c.candidates;
   total->invalid_time += c.invalid_time;
@@ -196,6 +201,9 @@ void QueryExecutor::Submit(SingleQuery single, SingleQueryCallback done) {
   }
   if (single.reachability_prune.has_value()) {
     options.reachability_prune = *single.reachability_prune;
+  }
+  if (single.guided_search.has_value()) {
+    options.guided_search = *single.guided_search;
   }
   if (single.use_query_caches.has_value() && !*single.use_query_caches) {
     options.query_caches = nullptr;

@@ -184,9 +184,12 @@ Result<TemporalGraph> LoadGraphFromFile(const std::string& path) {
 namespace {
 
 constexpr char kBinaryMagic[4] = {'T', 'G', 'K', 'B'};
-// Version 2 appended the reachability labeling blob; version 1 files are
-// still read (their labeling is rebuilt instead of parsed).
-constexpr uint32_t kBinaryVersion = 2;
+// Version 2 appended the reachability labeling blob; version 3 extended it
+// with distance labels (per-entry weights, condensed-edge distances, and
+// per-SCC min node weights — docs/reachability.md). Version 1 and 2 files
+// are still read: their labeling blob is rebuilt by GraphBuilder instead
+// of parsed, exactly as version-1 archives always were.
+constexpr uint32_t kBinaryVersion = 3;
 // Caps that keep a corrupt length field from driving giant allocations.
 constexpr uint32_t kMaxBinaryCount = 1u << 28;
 constexpr uint32_t kMaxLabelLength = 1u << 20;
@@ -271,11 +274,12 @@ Result<IntervalSet> ReadValidity(std::istream& in) {
 }  // namespace
 
 /// Friend of ReachabilityIndex and TemporalGraph: persists and restores the
-/// labeling blob appended by binary format version 2. Writing is a plain
-/// field dump; reading validates every index-bearing field before
-/// installing the parsed labels verbatim on the loaded graph (replacing the
-/// equivalent ones GraphBuilder::Build just computed, which keeps the
-/// save -> load -> save byte-identity trivial).
+/// labeling blob appended by binary format version 2 and extended with
+/// distances in version 3. Writing is a plain field dump; reading validates
+/// every index-bearing field before installing the parsed labels verbatim
+/// on the loaded graph (replacing the equivalent ones GraphBuilder::Build
+/// just computed, which keeps the save -> load -> save byte-identity
+/// trivial).
 class ReachabilityIndexSerializer {
  public:
   static void Write(const ReachabilityIndex& index, std::ostream& out) {
@@ -285,8 +289,10 @@ class ReachabilityIndexSerializer {
       WriteI32(out, epoch.end);
       WriteU32(out, static_cast<uint32_t>(epoch.num_sccs));
       WriteI32Vector(out, epoch.scc_of);
+      WriteF64Vector(out, epoch.scc_minw);
       WriteI32Vector(out, epoch.dag_offsets);
       WriteI32Vector(out, epoch.dag_edges);
+      WriteF64Vector(out, epoch.dag_minw);
       WriteI32Vector(out, epoch.chain_of);
       WriteI32Vector(out, epoch.chain_pos);
       WriteU32(out, static_cast<uint32_t>(epoch.num_chains));
@@ -303,6 +309,12 @@ class ReachabilityIndexSerializer {
     auto index = std::make_shared<ReachabilityIndex>();
     index->timeline_length_ = graph->timeline_length();
     index->num_nodes_ = graph->num_nodes();
+    // Node weights are already in the node records; mirror them instead of
+    // storing a second copy in the blob.
+    index->node_weight_.reserve(static_cast<size_t>(graph->num_nodes()));
+    for (NodeId v = 0; v < graph->num_nodes(); ++v) {
+      index->node_weight_.push_back(graph->node(v).weight);
+    }
     uint32_t epoch_count;
     if (!ReadU32(in, &epoch_count) || epoch_count == 0 ||
         epoch_count > static_cast<uint32_t>(graph->timeline_length())) {
@@ -323,6 +335,7 @@ class ReachabilityIndexSerializer {
       epoch.num_sccs = static_cast<int32_t>(num_sccs);
       const auto sccs = static_cast<size_t>(num_sccs);
       if (!ReadI32Vector(in, num_nodes, &epoch.scc_of) ||
+          !ReadF64Vector(in, sccs, &epoch.scc_minw) ||
           !ReadI32Vector(in, sccs + 1, &epoch.dag_offsets)) {
         return Status::Corruption("bad reachability SCC map");
       }
@@ -330,10 +343,17 @@ class ReachabilityIndexSerializer {
           !ReadI32Vector(in,
                          static_cast<size_t>(epoch.dag_offsets.back()),
                          &epoch.dag_edges) ||
+          !ReadF64Vector(in, static_cast<size_t>(epoch.dag_offsets.back()),
+                         &epoch.dag_minw) ||
           !ReadI32Vector(in, sccs, &epoch.chain_of) ||
           !ReadI32Vector(in, sccs, &epoch.chain_pos) ||
           !ReadU32(in, &num_chains) || num_chains > num_sccs) {
         return Status::Corruption("bad reachability DAG/chain block");
+      }
+      for (const double w : epoch.dag_minw) {
+        if (!(w >= 0.0)) {
+          return Status::Corruption("negative reachability edge distance");
+        }
       }
       epoch.num_chains = static_cast<int32_t>(num_chains);
       if (!ReadI32Vector(in, sccs + 1, &epoch.out_offsets) ||
@@ -396,12 +416,18 @@ class ReachabilityIndexSerializer {
     for (const int32_t x : v) WriteI32(out, x);
   }
 
+  static void WriteF64Vector(std::ostream& out,
+                             const std::vector<double>& v) {
+    for (const double x : v) WriteF64(out, x);
+  }
+
   static void WriteLabels(
       std::ostream& out,
       const std::vector<ReachabilityIndex::LabelEntry>& labels) {
     for (const auto& entry : labels) {
       WriteI32(out, entry.chain);
       WriteI32(out, entry.pos);
+      WriteF64(out, entry.weight);
     }
   }
 
@@ -420,12 +446,23 @@ class ReachabilityIndexSerializer {
     return true;
   }
 
+  static bool ReadF64Vector(std::istream& in, size_t count,
+                            std::vector<double>* v) {
+    if (count > kMaxBinaryCount) return false;
+    v->resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (!ReadF64(in, &(*v)[i])) return false;
+    }
+    return true;
+  }
+
   static bool ReadLabels(std::istream& in, size_t count,
                          std::vector<ReachabilityIndex::LabelEntry>* v) {
     if (count > kMaxBinaryCount) return false;
     v->resize(count);
     for (size_t i = 0; i < count; ++i) {
-      if (!ReadI32(in, &(*v)[i].chain) || !ReadI32(in, &(*v)[i].pos)) {
+      if (!ReadI32(in, &(*v)[i].chain) || !ReadI32(in, &(*v)[i].pos) ||
+          !ReadF64(in, &(*v)[i].weight) || !((*v)[i].weight >= 0.0)) {
         return false;
       }
     }
@@ -532,9 +569,16 @@ Result<TemporalGraph> LoadGraphBinary(std::istream& in) {
                     std::move(validity).value(), weight);
   }
   Result<TemporalGraph> graph = builder.Build();
-  if (!graph.ok() || version < 2) return graph;
-  // Version 2 carries the labeling; install it over the freshly built one
-  // so the persisted bytes win (byte-identical round trips by design).
+  if (!graph.ok() || version < kBinaryVersion) {
+    // Version 1 has no labeling blob; version 2's blob predates the
+    // distance labels, so it is ignored and GraphBuilder's freshly built
+    // index (with distances) stands — read-compat without a parser per
+    // legacy layout.
+    return graph;
+  }
+  // The current version carries the labeling; install it over the freshly
+  // built one so the persisted bytes win (byte-identical round trips by
+  // design).
   const Status blob = ReachabilityIndexSerializer::Read(in, &graph.value());
   if (!blob.ok()) return blob;
   return graph;

@@ -51,12 +51,16 @@ Result<TemporalGraph> LoadGraphFromFile(const std::string& path);
 ///   version >= 2: the reachability labeling blob (per epoch: bounds, SCC
 ///             map, condensed DAG CSR, chain cover, truncated in/out chain
 ///             labels + completeness bits — see reachability_index.h)
+///   version 3: the labeling blob gains the distance side (per-entry label
+///             weights, condensed-edge min-plus distances, per-SCC min node
+///             weights — docs/reachability.md, "Distance-guided search")
 ///
 /// Loading validates through GraphBuilder (strict policy), so a corrupt or
 /// adversarial file cannot produce an invariant-violating graph. Version 1
-/// files (no labeling blob) are still accepted; their index is rebuilt from
-/// scratch. Version 2 files install the persisted labels verbatim, so a
-/// save -> load round trip reproduces them byte-identically.
+/// and 2 files (no blob / a blob without distances) are still accepted;
+/// their index is rebuilt from scratch. Current-version files install the
+/// persisted labels verbatim, so a save -> load round trip reproduces them
+/// byte-identically.
 Status SaveGraphBinary(const TemporalGraph& graph, std::ostream& out);
 Status SaveGraphBinaryToFile(const TemporalGraph& graph,
                              const std::string& path);

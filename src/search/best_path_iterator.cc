@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -34,6 +35,14 @@ BestPathIterator::BestPathIterator(const graph::TemporalGraph& graph,
     // The source can never sit on an answer tree at any of its instants;
     // the whole backward expansion would be fruitless (docs/reachability.md).
     ++stats_.reachability_prunes;
+    return;
+  }
+  if (options_.guidance_floor != nullptr &&
+      (*options_.guidance_floor)[static_cast<size_t>(source)] ==
+          std::numeric_limits<double>::infinity()) {
+    // No potential root reaches the source in any alive epoch, so no answer
+    // tree contains it and the backward expansion is fruitless.
+    ++stats_.guided_prunes;
     return;
   }
   PushNtd(source, src.validity, src.weight, kInvalidNtd, graph::kInvalidEdge);
@@ -202,6 +211,15 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
       ++stats_.reachability_prunes;
       continue;
     }
+    if (options_.guidance_floor != nullptr &&
+        (*options_.guidance_floor)[static_cast<size_t>(neighbor)] ==
+            std::numeric_limits<double>::infinity()) {
+      // The neighbor sits under no potential root, so no answer tree uses a
+      // path through it; its unrecorded claims only concern equally dead
+      // instants at an equally dead node.
+      ++stats_.guided_prunes;
+      continue;
+    }
     TGKS_STATS(++stats_.interval_ops);
     if (FullyClaimed(neighbor, scratch_->tmp)) {
       // Every instant is already claimed at the neighbor by strictly
@@ -276,6 +294,14 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
       // subsume anything a viable path needs: any NTD it would subsume is
       // itself wholly non-viable and gets pruned here too.
       ++stats_.reachability_prunes;
+      continue;
+    }
+    if (options_.guidance_floor != nullptr &&
+        (*options_.guidance_floor)[static_cast<size_t>(neighbor)] ==
+            std::numeric_limits<double>::infinity()) {
+      // Same argument per node instead of per instant: anything this NTD
+      // would subsume lives at the same dead node and is equally useless.
+      ++stats_.guided_prunes;
       continue;
     }
 

@@ -63,6 +63,11 @@ struct IteratorStats {
   /// (Options::viability). Affects the explored state space, so it is a
   /// real work counter, never compiled out.
   int64_t reachability_prunes = 0;
+  /// NTDs discarded because the node's guidance cone floor is +infinity
+  /// (Options::guidance_floor): no answer tree can ever contain the node,
+  /// so the path prefix is dead weight. Like reachability_prunes, a real
+  /// work counter, never compiled out.
+  int64_t guided_prunes = 0;
   // Observability additions (zero in TGKS_NO_STATS builds).
   int64_t prunes = 0;            ///< Elements rejected by predicate pruning.
   int64_t interval_ops = 0;      ///< IntervalSet ops on the expansion path.
@@ -102,6 +107,16 @@ class BestPathIterator {
     /// viability being *hereditary*: backward expansion from a viable NTD
     /// only visits nodes viable at the same instants.
     const std::vector<temporal::IntervalSet>* viability = nullptr;
+    /// Optional per-node guided-search cone floors (not owned; one entry
+    /// per graph node — GuidanceData::cone_floor). Only the +infinity
+    /// entries act here: a node with an infinite floor can never lie on any
+    /// answer tree (no potential root reaches it in any alive epoch), so a
+    /// source with an infinite floor starts exhausted and expansion toward
+    /// such a node is discarded. Finite floors do not prune — they shape
+    /// the engine-level pop priority instead (SearchOptions::guided_search).
+    /// Hereditary like viability: expansion from a finite-floor NTD only
+    /// needs nodes on root->match paths, all of which have finite floors.
+    const std::vector<double>* guidance_floor = nullptr;
   };
 
   /// Starts a backward expansion from `source`. If the source itself fails

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <set>
 #include <unordered_set>
 
@@ -61,6 +62,15 @@ NtdId LabelCorrectingIterator::TryKeep(NodeId node, const IntervalSet& time,
   if (options_.viability != nullptr &&
       !time.Overlaps((*options_.viability)[static_cast<size_t>(node)])) {
     ++stats_.reachability_prunes;
+    return kInvalidNtd;
+  }
+  if (options_.guidance_floor != nullptr &&
+      (*options_.guidance_floor)[static_cast<size_t>(node)] ==
+          std::numeric_limits<double>::infinity()) {
+    // The node sits under no potential root in any alive epoch; no answer
+    // tree can use a fragment at it (same hereditary argument as the
+    // viability prune, per node instead of per instant).
+    ++stats_.guided_prunes;
     return kInvalidNtd;
   }
   NodeSubsumption& state = scratch_->states.Activate(
@@ -193,7 +203,8 @@ std::vector<InverseSearchResult> SearchInverse(
     const graph::TemporalGraph& graph,
     const std::vector<std::vector<NodeId>>& matches,
     InverseRankFactor factor, int32_t k,
-    int64_t max_relaxations_per_iterator, bool reachability_prune) {
+    int64_t max_relaxations_per_iterator, bool reachability_prune,
+    bool guided_prune) {
   const size_t m = matches.size();
   LabelCorrectingIterator::Options options;
   options.factor = factor;
@@ -202,6 +213,11 @@ std::vector<InverseSearchResult> SearchInverse(
   if (reachability_prune) {
     graph.reachability().ComputeViability(matches, &viability);
     options.viability = &viability;
+  }
+  graph::ReachabilityIndex::GuidanceData guidance;
+  if (guided_prune) {
+    graph.reachability().ComputeGuidance(graph, matches, &guidance);
+    options.guidance_floor = &guidance.cone_floor;
   }
 
   // One iterator per match node, grouped by keyword.

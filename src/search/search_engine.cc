@@ -1,5 +1,6 @@
 #include "search/search_engine.h"
 
+#include "cache/guidance_cache.h"
 #include "cache/match_set_cache.h"
 #include "cache/query_caches.h"
 #include "cache/viability_cache.h"
@@ -65,6 +66,9 @@ struct EngineMetrics {
   obs::Counter* stop_deadline;
   obs::Counter* stop_cancelled;
   obs::Counter* reachability_prunes;
+  obs::Counter* guided_prunes;
+  obs::Counter* guided_reorders;
+  obs::Counter* bound_tightenings;
   obs::Gauge* heap_high_water;
   obs::Histogram* query_micros;
   obs::Histogram* pops_per_query;
@@ -105,6 +109,16 @@ struct EngineMetrics {
       out->reachability_prunes = reg.GetCounter(
           "tgks_search_reachability_prunes_total",
           "Sources and NTDs discarded by the reachability prune.");
+      out->guided_prunes = reg.GetCounter(
+          "tgks_search_guided_prunes_total",
+          "NTDs and meeting candidates discarded by guided search.");
+      out->guided_reorders = reg.GetCounter(
+          "tgks_search_guided_reorders_total",
+          "Engine pop priorities lowered by the guidance cone-floor cap.");
+      out->bound_tightenings = reg.GetCounter(
+          "tgks_search_bound_tightenings_total",
+          "Sec.-4.2 stop tests evaluated while >= 1 guidance-capped entry "
+          "shaped a keyword frontier.");
       out->heap_high_water = reg.GetGauge(
           "tgks_search_heap_high_water",
           "Largest priority queue any query ever built.");
@@ -186,6 +200,60 @@ class Runner {
       }
       filter_timer_.Stop();
     }
+    // Guided search is a weight-bound technique: the floors only speak the
+    // relevance primary's language, so any other primary leaves it off (a
+    // documented no-op — SearchOptions::guided_search).
+    guided_active_ = options_.guided_search &&
+                     query_.ranking.primary() == RankFactor::kRelevance;
+    if (guided_active_) {
+      // Cap divisor = the §4.2 bound kind's frontier multiplier: the stop
+      // test scales the frontier weight d by this factor before comparing
+      // against the k-th result, so dividing each cap by it keeps every
+      // deferral shallower than the unguided stop depth (see
+      // MakeIterEntry) while the multiplied-back bound still equals the
+      // full cone floor.
+      const double m = static_cast<double>(m_);
+      switch (options_.bound) {
+        case UpperBoundKind::kAccurate:
+          cap_divisor_ = 1.0;
+          break;
+        case UpperBoundKind::kEmpirical:
+          cap_divisor_ = m;
+          break;
+        case UpperBoundKind::kAverage:
+          cap_divisor_ = (2.0 * m) / (m + 1.0);
+          break;
+      }
+      // Per-query guidance floors, computed once from the filtered match
+      // lists before any parallel fan-out (read-only afterwards, shared by
+      // the prefetch tasks). Memoized like viability, in the level-2b
+      // guidance cache — same exact-key scheme, disjoint namespace.
+      filter_timer_.Start();
+      cache::GuidanceCache* gcache =
+          options_.query_caches != nullptr
+              ? &options_.query_caches->guidance()
+              : nullptr;
+      if (gcache != nullptr) {
+        cache::ViabilityKey key = cache::MakeViabilityKey(match_lists_);
+        guidance_shared_ = gcache->Lookup(key);
+        if (guidance_shared_ == nullptr) {
+          auto computed = std::make_shared<cache::GuidanceData>();
+          graph_.reachability().ComputeGuidance(graph_, match_lists_,
+                                                computed.get());
+          guidance_shared_ =
+              gcache->Insert(std::move(key), std::move(computed));
+          ++response_.counters.cache_guidance_misses;
+        } else {
+          ++response_.counters.cache_guidance_hits;
+        }
+        guidance_view_ = guidance_shared_.get();
+      } else {
+        graph_.reachability().ComputeGuidance(graph_, match_lists_,
+                                              &guidance_);
+        guidance_view_ = &guidance_;
+      }
+      filter_timer_.Stop();
+    }
     // Parallel mode needs >= 2 keywords to fan out and falls back when a
     // trace is attached (QueryTrace is single-threaded by contract).
     use_parallel_ = options_.parallel_keywords && m_ >= 2 &&
@@ -226,6 +294,11 @@ class Runner {
   struct IterEntry {
     ScoreKey score;
     int32_t iter;
+    /// guided_search: the primary component was lowered to the iterator
+    /// source's negated cone floor. Not part of the ordering — the capped
+    /// score IS the entry's score; the flag feeds the per-heap capped-entry
+    /// counts behind SearchCounters::bound_tightenings.
+    bool capped = false;
   };
   struct IterEntryWorse {
     // make_heap keeps the *largest* on top; largest = best score.
@@ -234,6 +307,46 @@ class Runner {
       return a.iter > b.iter;
     }
   };
+
+  /// Builds a scheduling-heap entry from an iterator's fresh peek. Under
+  /// guided search the primary component is capped at the negated cone
+  /// floor of the iterator's SOURCE, divided by the bound kind's frontier
+  /// multiplier (cap_divisor_): every future pop of this iterator routes
+  /// through the source, so no unseen tree reachable via it can score
+  /// above -cone_floor[source], and since -floor/divisor >= -floor the
+  /// divided cap is still an admissible per-iterator upper bound (within-
+  /// iterator pops are monotone non-increasing, so it stays valid for the
+  /// whole remaining frontier). Capped fronts feed SelectKeyword and the
+  /// §4.2 bound test unchanged.
+  ///
+  /// Why divide: the cap defers the iterator until the raw frontier
+  /// reaches weight floor/divisor. The stop test fires once the frontier
+  /// weight d satisfies kth <= multiplier * d, i.e. at depth kth/divisor —
+  /// and every iterator whose source sits in a top-k tree has
+  /// floor <= kth, so its deferral depth floor/divisor never exceeds the
+  /// unguided stop depth: guided search never pops MORE than unguided for
+  /// the top-k it must still deliver. An undivided cap defers up to
+  /// `multiplier` times deeper and can starve the very iterators the
+  /// results come from, ballooning pops. Meanwhile the stop test loses
+  /// nothing: the §4.2 empirical bound multiplies the capped front back by
+  /// `multiplier`, so a junk iterator's frontier contributes exactly its
+  /// floor. `reorders` is where cap events are counted (per-stream in
+  /// parallel mode — prefetch tasks must not share a counter).
+  IterEntry MakeIterEntry(const ScoreKey& peek, int32_t iter_idx,
+                          NodeId source, int64_t* reorders) const {
+    IterEntry entry{peek, iter_idx, false};
+    if (guided_active_) {
+      const double cap =
+          -guidance_view_->cone_floor[static_cast<size_t>(source)] /
+          cap_divisor_;
+      if (cap < entry.score[0]) {
+        entry.score.Set(0, cap);
+        entry.capped = true;
+        ++(*reorders);
+      }
+    }
+    return entry;
+  }
 
   /// QUALIFY(s, P): drop matches that cannot satisfy the predicate.
   void FilterMatches() {
@@ -261,6 +374,7 @@ class Runner {
   void CreateIterators() {
     expand_timer_.Start();
     keyword_heaps_.resize(m_);
+    heap_capped_.assign(m_, 0);
     BestPathIterator::Options iter_options;
     iter_options.ranking = query_.ranking;
     iter_options.prune = query_.predicate.get();
@@ -268,6 +382,9 @@ class Runner {
     iter_options.duration_index = options_.duration_index;
     iter_options.trace = options_.trace;
     if (options_.reachability_prune) iter_options.viability = viability_view_;
+    if (guided_active_) {
+      iter_options.guidance_floor = &guidance_view_->cone_floor;
+    }
     for (size_t kw = 0; kw < m_; ++kw) {
       for (const NodeId source : match_lists_[kw]) {
         iter_options.trace_iter = static_cast<int32_t>(iterators_.size());
@@ -276,7 +393,9 @@ class Runner {
         const int32_t idx = static_cast<int32_t>(iterators_.size()) - 1;
         const ScoreKey* peek = iterators_.back()->PeekScore();
         if (peek != nullptr) {
-          keyword_heaps_[kw].push_back(IterEntry{*peek, idx});
+          keyword_heaps_[kw].push_back(MakeIterEntry(
+              *peek, idx, source, &response_.counters.guided_reorders));
+          heap_capped_[kw] += keyword_heaps_[kw].back().capped;
         }
       }
       std::make_heap(keyword_heaps_[kw].begin(), keyword_heaps_[kw].end(),
@@ -353,6 +472,7 @@ class Runner {
       auto& heap = keyword_heaps_[static_cast<size_t>(kw)];
       std::pop_heap(heap.begin(), heap.end(), IterEntryWorse());
       const int32_t iter_idx = heap.back().iter;
+      heap_capped_[static_cast<size_t>(kw)] -= heap.back().capped;
       heap.pop_back();
       BestPathIterator& iter = *iterators_[static_cast<size_t>(iter_idx)];
       const NtdId popped = iter.Next();
@@ -360,7 +480,9 @@ class Runner {
       ++response_.counters.pops;
       const ScoreKey* peek = iter.PeekScore();
       if (peek != nullptr) {
-        heap.push_back(IterEntry{*peek, iter_idx});
+        heap.push_back(MakeIterEntry(*peek, iter_idx, iter.source(),
+                                     &response_.counters.guided_reorders));
+        heap_capped_[static_cast<size_t>(kw)] += heap.back().capped;
         std::push_heap(heap.begin(), heap.end(), IterEntryWorse());
       }
       const NodeId node = iter.ntd(popped).node;
@@ -381,10 +503,14 @@ class Runner {
               obs::TraceEventKind::kKeywordHit, node, -1,
               static_cast<double>(response_.counters.results));
         });
-        generate_timer_.Start();
-        GenerateCandidates(node, static_cast<size_t>(kw), iter_idx, popped,
-                           lists);
-        generate_timer_.Stop();
+        if (SkipMeeting(node)) {
+          ++response_.counters.guided_prunes;
+        } else {
+          generate_timer_.Start();
+          GenerateCandidates(node, static_cast<size_t>(kw), iter_idx, popped,
+                             lists);
+          generate_timer_.Stop();
+        }
       }
 
       if (options_.k > 0 &&
@@ -499,6 +625,34 @@ class Runner {
     ++response_.counters.results;
   }
 
+  /// guided_search: should candidate generation at this met-all node be
+  /// skipped? True when the node's root bound proves no tree rooted here
+  /// can be a STRICT top-k improvement: an infinite root bound means the
+  /// node can never root an answer tree (every enumeration here would die
+  /// on empty common time), and once k results exist a root bound strictly
+  /// above the kth result's weight admits only strictly-worse trees —
+  /// which Finalize would truncate away unexamined. Strictness keeps ties
+  /// exact: a tree tying the kth weight can still displace it under the
+  /// signature tie-break, so equal bounds generate normally. Runs
+  /// identically at sequential pop-consumption and parallel replay-
+  /// consumption (same pop order, same kth evolution), preserving the
+  /// bit-identical parallel contract.
+  bool SkipMeeting(NodeId node) const {
+    if (!guided_active_) return false;
+    const double root_bound =
+        guidance_view_->root_bound[static_cast<size_t>(node)];
+    if (root_bound == std::numeric_limits<double>::infinity()) return true;
+    if (options_.k > 0 &&
+        static_cast<int64_t>(results_.size()) >= options_.k) {
+      // primaries_ is the negated-weight list, descending; the kth entry is
+      // the current kth result's score, so -primaries_[k-1] is its weight.
+      const double kth_weight =
+          -primaries_[static_cast<size_t>(options_.k) - 1];
+      if (root_bound > kth_weight) return true;
+    }
+    return false;
+  }
+
   /// §4.2 stop test: does the kth best found result already beat the upper
   /// bound on everything unseen?
   bool KthBeatsBound() {
@@ -508,12 +662,20 @@ class Runner {
     double best_top = -kInf;   // max over keyword queue tops.
     double worst_top = kInf;   // min over keyword queue tops.
     bool any = false;
-    for (const auto& heap : keyword_heaps_) {
+    bool any_capped = false;
+    for (size_t kw = 0; kw < keyword_heaps_.size(); ++kw) {
+      const auto& heap = keyword_heaps_[kw];
       if (heap.empty()) continue;
       any = true;
+      // A capped entry ANYWHERE in the heap shapes this test: either it is
+      // the front (bounding d directly) or the cap displaced it below a
+      // better raw entry, raising the front — the tightening that lets the
+      // stop fire before the capped iterator's frontier is drained.
+      any_capped |= heap_capped_[kw] > 0;
       best_top = std::max(best_top, heap.front().score[0]);
       worst_top = std::min(worst_top, heap.front().score[0]);
     }
+    if (any_capped) ++response_.counters.bound_tightenings;
     return KthBeatsBoundOver(any, best_top, worst_top);
   }
 
@@ -615,10 +777,15 @@ class Runner {
   enum class AbortReason { kNone, kCancel, kDeadline };
 
   struct RecordedPop {
-    ScoreKey score;  ///< Heap key at pop time == the iterator's peek.
+    ScoreKey score;  ///< Heap key at pop time == the iterator's peek
+                     ///< (guidance-capped under guided_search).
     int32_t iter;    ///< Global iterator index.
     NtdId ntd;
     NodeId node;
+    /// Whether the keyword heap held >= 1 guidance-capped entry right after
+    /// this pop (post-reinsert) — the sequential heap_capped_ state the
+    /// replay's stop test must see at this cursor position.
+    bool capped_behind = false;
   };
 
   /// Per-keyword prefetch state. Written only by that keyword's task
@@ -631,8 +798,11 @@ class Runner {
     bool created = false;            ///< Iterators built (first round).
     bool exhausted = false;          ///< Heap drained: no more pops ever.
     ScoreKey tail{};                 ///< Next pop's score when !exhausted.
+    int32_t heap_capped = 0;         ///< Guidance-capped entries in `heap`.
+    bool initial_capped = false;     ///< heap_capped > 0 before any pop.
     AbortReason abort = AbortReason::kNone;
     double expand_seconds = 0.0;     ///< Task CPU time, summed over rounds.
+    int64_t reorders = 0;            ///< Guidance cap events in this task.
   };
 
   void RunParallel() {
@@ -684,6 +854,17 @@ class Runner {
     return nullptr;
   }
 
+  /// Whether keyword kw's scheduling heap held any guidance-capped entry at
+  /// the replay's current cursor — the recorded sequential heap_capped_
+  /// state after the last consumed pop (heap-at-creation before the first).
+  /// The unconsumed front entry was in the heap at that instant, so this
+  /// covers capped fronts and capped entries displaced below them alike.
+  bool StreamCappedState(size_t kw) const {
+    const KeywordStream& ks = streams_[kw];
+    if (ks.cursor > 0) return ks.pops[ks.cursor - 1].capped_behind;
+    return ks.initial_capped;
+  }
+
   /// SelectKeyword() replayed over stream fronts; same tie-breaks.
   int ReplaySelectKeyword() {
     const bool round_robin =
@@ -716,13 +897,16 @@ class Runner {
     double best_top = -kInf;
     double worst_top = kInf;
     bool any = false;
+    bool any_capped = false;
     for (size_t kw = 0; kw < m_; ++kw) {
       const ScoreKey* front = StreamFront(kw);
       if (front == nullptr) continue;
       any = true;
+      any_capped |= StreamCappedState(kw);
       best_top = std::max(best_top, (*front)[0]);
       worst_top = std::min(worst_top, (*front)[0]);
     }
+    if (any_capped) ++response_.counters.bound_tightenings;
     return KthBeatsBoundOver(any, best_top, worst_top);
   }
 
@@ -807,9 +991,13 @@ class Runner {
           std::all_of(lists.begin(), lists.end(),
                       [](const auto& l) { return !l.empty(); });
       if (met_all) {
-        generate_timer_.Start();
-        GenerateCandidates(pop.node, kw, pop.iter, pop.ntd, lists);
-        generate_timer_.Stop();
+        if (SkipMeeting(pop.node)) {
+          ++response_.counters.guided_prunes;
+        } else {
+          generate_timer_.Start();
+          GenerateCandidates(pop.node, kw, pop.iter, pop.ntd, lists);
+          generate_timer_.Stop();
+        }
       }
       if (options_.k > 0 &&
           static_cast<int64_t>(results_.size()) >= options_.k &&
@@ -896,17 +1084,21 @@ class Runner {
       }
       std::pop_heap(ks.heap.begin(), ks.heap.end(), IterEntryWorse());
       const IterEntry top = ks.heap.back();
+      ks.heap_capped -= top.capped;
       ks.heap.pop_back();
       BestPathIterator& iter = *iterators_[static_cast<size_t>(top.iter)];
       const NtdId popped = iter.Next();
       assert(popped != kInvalidNtd);
       const ScoreKey* peek = iter.PeekScore();
       if (peek != nullptr) {
-        ks.heap.push_back(IterEntry{*peek, top.iter});
+        ks.heap.push_back(
+            MakeIterEntry(*peek, top.iter, iter.source(), &ks.reorders));
+        ks.heap_capped += ks.heap.back().capped;
         std::push_heap(ks.heap.begin(), ks.heap.end(), IterEntryWorse());
       }
-      ks.pops.push_back(
-          RecordedPop{top.score, top.iter, popped, iter.ntd(popped).node});
+      ks.pops.push_back(RecordedPop{top.score, top.iter, popped,
+                                    iter.ntd(popped).node,
+                                    ks.heap_capped > 0});
       ++produced;
     }
     if (ks.heap.empty()) {
@@ -929,6 +1121,9 @@ class Runner {
     iter_options.containedby_prune = options_.containedby_prune;
     iter_options.duration_index = options_.duration_index;
     if (options_.reachability_prune) iter_options.viability = viability_view_;
+    if (guided_active_) {
+      iter_options.guidance_floor = &guidance_view_->cone_floor;
+    }
     size_t slot = stream_offset_[kw];
     for (const NodeId source : match_lists_[kw]) {
       iter_options.trace_iter = static_cast<int32_t>(slot);
@@ -936,11 +1131,14 @@ class Runner {
           std::make_unique<BestPathIterator>(graph_, source, iter_options);
       const ScoreKey* peek = iterators_[slot]->PeekScore();
       if (peek != nullptr) {
-        ks.heap.push_back(IterEntry{*peek, static_cast<int32_t>(slot)});
+        ks.heap.push_back(MakeIterEntry(*peek, static_cast<int32_t>(slot),
+                                        source, &ks.reorders));
+        ks.heap_capped += ks.heap.back().capped;
       }
       ++slot;
     }
     std::make_heap(ks.heap.begin(), ks.heap.end(), IterEntryWorse());
+    ks.initial_capped = ks.heap_capped > 0;
   }
 
   void Finalize() {
@@ -961,8 +1159,11 @@ class Runner {
         c.parallel_overshoot_pops +=
             static_cast<int64_t>(ks.pops.size() - ks.cursor);
         // Expansion ran inside the prefetch tasks: CPU time summed over
-        // tasks, so it can exceed the query's wall time.
+        // tasks, so it can exceed the query's wall time. Cap events were
+        // counted per stream (tasks share no counters); like the other
+        // iterator-level counters they can include prefetch overshoot.
         c.seconds_expand += ks.expand_seconds;
+        c.guided_reorders += ks.reorders;
       }
       c.seconds_merge = merge_timer_.seconds();
     }
@@ -977,6 +1178,7 @@ class Runner {
       c.subsumption_skips += iter->stats().subsumption_skips;
       c.subsumption_evictions += iter->stats().subsumption_evictions;
       c.reachability_prunes += iter->stats().reachability_prunes;
+      c.guided_prunes += iter->stats().guided_prunes;
       if (iter->num_ntds() > 1) {
         // The paper's "average number of NTDs associated with each node in
         // the priority queue": created (queued) NTDs over the nodes the
@@ -1009,6 +1211,9 @@ class Runner {
     s.ntds_created = c.ntds_created;
     s.dedup_hits = c.useless_pops + c.duplicates;
     s.reachability_prunes = c.reachability_prunes;
+    s.guided_prunes = c.guided_prunes;
+    s.guided_reorders = c.guided_reorders;
+    s.bound_tightenings = c.bound_tightenings;
     s.interval_ops = engine_interval_ops_;
     for (const auto& iter : iterators_) {
       if (iter == nullptr) continue;
@@ -1030,6 +1235,9 @@ class Runner {
     gm.ntds_created->Increment(s.ntds_created);
     gm.results->Increment(c.results);
     gm.reachability_prunes->Increment(c.reachability_prunes);
+    gm.guided_prunes->Increment(c.guided_prunes);
+    gm.guided_reorders->Increment(c.guided_reorders);
+    gm.bound_tightenings->Increment(c.bound_tightenings);
     switch (response_.stop_reason) {
       case StopReason::kExhausted:
         gm.stop_exhausted->Increment();
@@ -1087,11 +1295,27 @@ class Runner {
   std::vector<IntervalSet> viability_;
   std::shared_ptr<const std::vector<IntervalSet>> viability_shared_;
   const std::vector<IntervalSet>* viability_view_ = nullptr;
+  /// guided_search only (relevance primary): per-node answer-tree weight
+  /// floors, shared read-only like viability. `guidance_view_` points at
+  /// the live storage (local or cache-shared).
+  bool guided_active_ = false;
+  /// Frontier multiplier of options_.bound; caps are cone_floor divided by
+  /// this so deferrals never outrun the stop depth (see MakeIterEntry).
+  double cap_divisor_ = 1.0;
+  graph::ReachabilityIndex::GuidanceData guidance_;
+  std::shared_ptr<const graph::ReachabilityIndex::GuidanceData>
+      guidance_shared_;
+  const graph::ReachabilityIndex::GuidanceData* guidance_view_ = nullptr;
   std::vector<std::unordered_set<NodeId>> match_set_storage_;
   std::vector<const std::unordered_set<NodeId>*> match_set_views_;
 
   std::vector<std::unique_ptr<BestPathIterator>> iterators_;
   std::vector<std::vector<IterEntry>> keyword_heaps_;
+  /// Per keyword, how many entries of its scheduling heap are guidance-
+  /// capped right now (maintained at every push/pop). Nonzero means the
+  /// keyword's frontier — front or displaced below it — was shaped by a
+  /// cone-floor cap, which is what bound_tightenings counts at stop tests.
+  std::vector<int32_t> heap_capped_;
   int rr_cursor_ = 0;
 
   // Parallel-keyword state (unused on the sequential path).

@@ -52,6 +52,56 @@ TEST(DblpGeneratorTest, AppendOnlyValidity) {
   }
 }
 
+TEST(DblpGeneratorTest, ValidityHorizonBoundsPaperLifetimes) {
+  // validity_horizon = H truncates each paper (and its incident edges) to
+  // [year, year + H] — the bounded, non-suffix temporal shape the
+  // append-only default can never produce (the dblp-bounded bench suite).
+  DblpParams p = SmallDblp();
+  p.validity_horizon = 8;
+  auto bounded = GenerateDblp(p);
+  ASSERT_TRUE(bounded.ok()) << bounded.status();
+  auto open = GenerateDblp(SmallDblp());
+  ASSERT_TRUE(open.ok());
+
+  // Same entities; citation edges whose papers' bounded lifetimes no
+  // longer intersect are dropped, so the edge count can only shrink.
+  EXPECT_EQ(bounded->graph.num_nodes(), open->graph.num_nodes());
+  EXPECT_LT(bounded->graph.num_edges(), open->graph.num_edges());
+
+  const TimePoint last = bounded->graph.timeline_length() - 1;
+  int truncated = 0;
+  for (const NodeId paper : bounded->papers) {
+    const auto& validity = bounded->graph.node(paper).validity;
+    ASSERT_EQ(validity.intervals().size(), 1u) << paper;
+    const TimePoint begin = validity.Start(), end = validity.End();
+    EXPECT_LE(end - begin, p.validity_horizon) << paper;
+    EXPECT_EQ(end, std::min(last, begin + p.validity_horizon)) << paper;
+    if (end < last) ++truncated;
+    // Every incident edge stays inside the paper's life (kStrict holds).
+    for (const graph::EdgeId e : bounded->graph.OutEdges(paper)) {
+      EXPECT_TRUE(
+          validity.Subsumes(bounded->graph.edge(e).validity))
+          << "edge " << e << " outlives paper " << paper;
+    }
+  }
+  // The horizon must actually bite: most papers die before the last
+  // instant (timeline 53, horizon 8).
+  EXPECT_GT(truncated, static_cast<int>(bounded->papers.size()) / 2);
+
+  // Authors and venues keep their open-ended lives.
+  for (const NodeId author : bounded->authors) {
+    EXPECT_EQ(bounded->graph.node(author).validity.End(), last) << author;
+  }
+  for (const NodeId venue : bounded->venues) {
+    EXPECT_EQ(bounded->graph.node(venue).validity.End(), last) << venue;
+  }
+
+  // Negative horizon is rejected.
+  DblpParams bad = SmallDblp();
+  bad.validity_horizon = -1;
+  EXPECT_FALSE(GenerateDblp(bad).ok());
+}
+
 TEST(DblpGeneratorTest, FullEdgeConnectivity) {
   // Append-only validity => any two adjacent edges share the final instant.
   auto d = GenerateDblp(SmallDblp());

@@ -138,6 +138,7 @@ void CheckGolden(const std::string& graph_file) {
 TEST(GoldenE2ETest, SocialGraph) { CheckGolden("social.tgf"); }
 TEST(GoldenE2ETest, ArchiveGraph) { CheckGolden("archive.tgf"); }
 TEST(GoldenE2ETest, SparseGraph) { CheckGolden("sparse.tgf"); }
+TEST(GoldenE2ETest, WeightedGraph) { CheckGolden("weighted.tgf"); }
 
 }  // namespace
 }  // namespace tgks

@@ -1,0 +1,201 @@
+// Differential soundness oracle for distance-guided search.
+//
+// Guided search (SearchOptions::guided_search) reorders pop priorities with
+// admissible cone-floor caps, prunes infinity-floor nodes, and skips
+// hopeless meetings — all of which must leave the returned trees untouched.
+// This suite runs 60 seeded random graphs (the 10-seed x 6-round shape of
+// the reachability and reducibility harnesses) through every execution
+// cell the engine exposes:
+//
+//     {sequential, parallel} x {unpruned, reachability-pruned}
+//       x {top-k under the exact kAccurate bound, exhaustive (k <= 0)}
+//
+// and asserts guided == unguided in every cell, each at the strength the
+// theory supports: exhaustive runs must be bit-identical (the frontier
+// drains fully, so ordering cannot matter), and bounded kAccurate runs
+// must agree on the exact weight profile and on every tree strictly
+// better than the kth weight (the caps are admissible upper bounds, so
+// the §4.2 stop never fires while an unseen tree could still BEAT the
+// kth; trees TIED with the kth weight may legally differ with discovery
+// order — see ExpectSameBoundedTopK). The
+// heuristic kEmpirical/kAverage bounds are deliberately absent here — their
+// stop tests may legally fire at a different pop (see docs/reachability.md,
+// "Bounded stops"); the golden work-count gate pins those byte-for-byte
+// instead (scripts/workcount_check.sh --guided).
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/graph_builder.h"
+#include "graph/inverted_index.h"
+#include "search/query_parser.h"
+#include "search/search_engine.h"
+
+namespace tgks::search {
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+using graph::TemporalGraph;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+/// Same structural shape as the reachability-oracle generator, but node
+/// labels are drawn from a small pool so every keyword has a handful of
+/// matches (guided search is interesting only when match sets and floors
+/// interact).
+TemporalGraph RandomLabeledGraph(Rng* rng, int num_nodes, int num_edges,
+                                 TimePoint horizon) {
+  static const char* kPool[] = {"alpha", "beta", "gamma", "delta", "eps"};
+  while (true) {
+    GraphBuilder b(horizon, graph::ValidityPolicy::kClamp);
+    for (int i = 0; i < num_nodes; ++i) {
+      const TimePoint a = static_cast<TimePoint>(rng->Uniform(horizon));
+      const TimePoint c = static_cast<TimePoint>(rng->Uniform(horizon));
+      b.AddNode(kPool[rng->Uniform(5)],
+                IntervalSet{{std::min(a, c), std::max(a, c)}},
+                static_cast<double>(rng->Uniform(3)));
+    }
+    int added = 0;
+    for (int i = 0; i < num_edges * 3 && added < num_edges; ++i) {
+      const NodeId u = static_cast<NodeId>(rng->Uniform(num_nodes));
+      const NodeId v = static_cast<NodeId>(rng->Uniform(num_nodes));
+      if (u == v) continue;
+      const TimePoint a = static_cast<TimePoint>(rng->Uniform(horizon));
+      const TimePoint c = static_cast<TimePoint>(rng->Uniform(horizon));
+      b.AddEdge(u, v, IntervalSet{{std::min(a, c), std::max(a, c)}},
+                static_cast<double>(1 + rng->Uniform(4)));
+      ++added;
+    }
+    auto g = b.Build();
+    if (g.ok()) return std::move(g).value();
+  }
+}
+
+/// Exact textual fingerprint of one tree: every structural field.
+std::string TreeFingerprint(const ResultTree& tree) {
+  std::ostringstream out;
+  out << "root=" << tree.root << " w=" << tree.total_weight
+      << " t=" << tree.time.ToString() << " nodes=";
+  for (const NodeId n : tree.nodes) out << n << ",";
+  out << " edges=";
+  for (const graph::EdgeId e : tree.edges) out << e << ",";
+  out << " kw=";
+  for (const NodeId n : tree.keyword_nodes) out << n << ",";
+  return out.str();
+}
+
+/// Exact textual fingerprint of a full response, in rank order.
+std::string Fingerprint(const SearchResponse& r) {
+  std::ostringstream out;
+  out << "stop=" << StopReasonName(r.stop_reason)
+      << " n=" << r.results.size() << "\n";
+  for (const ResultTree& tree : r.results) {
+    out << TreeFingerprint(tree) << "\n";
+  }
+  return out.str();
+}
+
+/// Oracle for a bounded kAccurate run: the admissibility theorem pins the
+/// WEIGHT PROFILE of the top-k exactly (no unseen tree could have beaten
+/// the kth weight when the stop fired), and with it every tree strictly
+/// better than the kth weight — a strictly-better tree left out of either
+/// run would contradict correctness, and Finalize's deterministic sort
+/// makes the shared prefix order-identical. Trees TIED with the kth weight
+/// are the one legal divergence: the stop may fire before every tied tree
+/// has been discovered, so which tied trees fill the tail depends on pop
+/// order, which is exactly what guidance perturbs.
+void ExpectSameBoundedTopK(const SearchResponse& off,
+                           const SearchResponse& on,
+                           const std::string& context) {
+  ASSERT_EQ(off.results.size(), on.results.size()) << context;
+  for (size_t i = 0; i < off.results.size(); ++i) {
+    ASSERT_DOUBLE_EQ(off.results[i].total_weight, on.results[i].total_weight)
+        << context << ": weight profile diverged at rank " << i + 1;
+  }
+  if (off.results.empty()) return;
+  const double kth = off.results.back().total_weight;
+  for (size_t i = 0; i < off.results.size(); ++i) {
+    if (off.results[i].total_weight >= kth) break;
+    EXPECT_EQ(TreeFingerprint(off.results[i]), TreeFingerprint(on.results[i]))
+        << context << ": strictly-better-than-kth tree diverged at rank "
+        << i + 1;
+  }
+}
+
+class GuidedDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GuidedDifferentialTest, GuidedEqualsUnguidedInEveryCell) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    const TimePoint horizon = 4 + static_cast<TimePoint>(rng.Uniform(5));
+    const int num_nodes = 8 + static_cast<int>(rng.Uniform(8));
+    const int num_edges = 2 * num_nodes + static_cast<int>(rng.Uniform(10));
+    const TemporalGraph g =
+        RandomLabeledGraph(&rng, num_nodes, num_edges, horizon);
+    const graph::InvertedIndex index(g);
+    const SearchEngine engine(g, &index);
+
+    const char* query_text =
+        (round % 2 == 0) ? "alpha, beta" : "alpha, beta, gamma";
+    auto query = ParseQuery(query_text);
+    ASSERT_TRUE(query.ok()) << query.status();
+
+    for (const bool parallel : {false, true}) {
+      for (const bool pruned : {false, true}) {
+        // Cell A: bounded top-k under the exact kAccurate bound, where
+        // guided == unguided is a theorem. Cell B: exhaustive (k <= 0),
+        // where the frontier drains fully regardless of ordering.
+        struct Cell {
+          int32_t k;
+          UpperBoundKind bound;
+          const char* name;
+        };
+        for (const Cell& cell :
+             {Cell{5, UpperBoundKind::kAccurate, "top5-accurate"},
+              Cell{0, UpperBoundKind::kEmpirical, "exhaustive"}}) {
+          SearchOptions options;
+          options.k = cell.k;
+          options.bound = cell.bound;
+          options.parallel_keywords = parallel;
+          options.reachability_prune = pruned;
+
+          options.guided_search = false;
+          auto off = engine.Search(*query, options);
+          ASSERT_TRUE(off.ok()) << off.status();
+
+          options.guided_search = true;
+          auto on = engine.Search(*query, options);
+          ASSERT_TRUE(on.ok()) << on.status();
+
+          std::ostringstream context;
+          context << "guided search changed the results: seed " << GetParam()
+                  << " round " << round << " query \"" << query_text
+                  << "\" cell " << cell.name
+                  << (parallel ? " parallel" : " sequential")
+                  << (pruned ? " pruned" : " unpruned");
+          if (cell.k <= 0) {
+            // Exhaustive: the frontier drains fully, so the entire result
+            // set must be bit-identical.
+            EXPECT_EQ(Fingerprint(*off), Fingerprint(*on)) << context.str();
+          } else {
+            ExpectSameBoundedTopK(*off, *on, context.str());
+          }
+        }
+      }
+    }
+  }
+}
+
+// 10 seeds x 6 rounds = 60 random graphs.
+INSTANTIATE_TEST_SUITE_P(Seeds, GuidedDifferentialTest,
+                         ::testing::Values(13, 29, 41, 57, 63, 78, 86, 92,
+                                           104, 115));
+
+}  // namespace
+}  // namespace tgks::search

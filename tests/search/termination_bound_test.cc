@@ -125,6 +125,104 @@ TEST(TerminationBoundTest, EmpiricalBoundStopsAtFirstKResults) {
   EXPECT_EQ(r->stop_reason, StopReason::kBound);
 }
 
+// Adversarial graph for the guided termination tightening: a bicluster of
+// four relay roots joins the "alpha"/"beta" matches with ascending weights,
+// so the top-3 fills fast and cheap — but a second "alpha" match sits at
+// the end of a chain of 0.1-weight fragments below a gate whose only route
+// to "beta" costs 6. Every tree through the chain weighs >= 6 (its cone
+// floor), yet its fragments are the cheapest NTDs on the frontier, so the
+// untightened empirical search drains the whole chain before §4.2 can
+// fire. Guided search caps the stranded iterator at -floor/m and the stop
+// fires without touching it.
+struct TightenFixture {
+  TemporalGraph graph;
+};
+
+TightenFixture MakeTightenGraph() {
+  GraphBuilder builder(8);
+  const IntervalSet always{{0, 7}};
+  const NodeId a1 = builder.AddNode("alpha", always);
+  const NodeId b = builder.AddNode("beta", always);
+  const NodeId a2 = builder.AddNode("alpha", always);  // stranded match
+  for (int i = 1; i <= 4; ++i) {
+    const NodeId relay = builder.AddNode("relay", always);
+    builder.AddEdge(relay, a1, always, 0.5 * i);
+    builder.AddEdge(relay, b, always, 0.5 * i);
+  }
+  const NodeId gate = builder.AddNode("gate", always);
+  NodeId prev = gate;
+  for (int i = 0; i < 6; ++i) {
+    const NodeId link = builder.AddNode("link", always);
+    builder.AddEdge(prev, link, always, 0.1);
+    prev = link;
+  }
+  builder.AddEdge(prev, a2, always, 0.1);
+  builder.AddEdge(gate, b, always, 6.0);
+  return TightenFixture{std::move(builder.Build()).value()};
+}
+
+TEST(TerminationBoundTest, GuidedTightensEmpiricalStop) {
+  const TightenFixture f = MakeTightenGraph();
+  const InvertedIndex index(f.graph);
+  const SearchEngine engine(f.graph, &index);
+  SearchOptions options;
+  options.k = 3;
+  options.bound = UpperBoundKind::kEmpirical;
+
+  auto baseline = engine.Search(AlphaBeta(), options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  ASSERT_EQ(baseline->results.size(), 3u);
+  EXPECT_EQ(baseline->stop_reason, StopReason::kBound);
+
+  options.guided_search = true;
+  auto guided = engine.Search(AlphaBeta(), options);
+  ASSERT_TRUE(guided.ok()) << guided.status();
+
+  // Identical trees in identical order...
+  ASSERT_EQ(guided->results.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(guided->results[i].nodes, baseline->results[i].nodes) << i;
+    EXPECT_DOUBLE_EQ(guided->results[i].total_weight,
+                     baseline->results[i].total_weight)
+        << i;
+  }
+  EXPECT_EQ(guided->stop_reason, StopReason::kBound);
+
+  // ...with strictly fewer pops: the chain's seven fragments never pop.
+  EXPECT_LT(guided->counters.pops, baseline->counters.pops)
+      << "the cone-floor cap should defer the stranded chain past the stop";
+  // The stop test fired while the stranded iterator sat capped in the
+  // alpha heap, and the caps actually lowered priorities.
+  EXPECT_GE(guided->counters.bound_tightenings, 1);
+  EXPECT_GE(guided->counters.guided_reorders, 1);
+}
+
+TEST(TerminationBoundTest, GuidedAccurateBoundKeepsExactTopK) {
+  // Under kAccurate the guided stop is provably exact: same fixture, the
+  // guarantee rather than the savings is the contract under test.
+  const TightenFixture f = MakeTightenGraph();
+  const InvertedIndex index(f.graph);
+  const SearchEngine engine(f.graph, &index);
+  SearchOptions options;
+  options.k = 3;
+  options.bound = UpperBoundKind::kAccurate;
+
+  auto baseline = engine.Search(AlphaBeta(), options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  options.guided_search = true;
+  auto guided = engine.Search(AlphaBeta(), options);
+  ASSERT_TRUE(guided.ok()) << guided.status();
+
+  ASSERT_EQ(guided->results.size(), baseline->results.size());
+  for (size_t i = 0; i < guided->results.size(); ++i) {
+    EXPECT_EQ(guided->results[i].nodes, baseline->results[i].nodes) << i;
+    EXPECT_DOUBLE_EQ(guided->results[i].total_weight,
+                     baseline->results[i].total_weight)
+        << i;
+  }
+  EXPECT_LE(guided->counters.pops, baseline->counters.pops);
+}
+
 TEST(TerminationBoundTest, BoundTightnessOrdering) {
   // Looser bounds stop no later: pops(empirical) <= pops(average) <=
   // pops(accurate), and every variant actually terminates on the bound

@@ -11,7 +11,13 @@
 //   tgks_loadgen --workload dblp|social [--host H] [--port P]
 //                [--qps Q] [--duration-s S] [--connections C]
 //                [--num-queries N] [--k K] [--deadline-ms MS]
-//                [--zipf S] [--no-cache] [--label NAME] [--json-out FILE]
+//                [--guided] [--zipf S] [--no-cache] [--label NAME]
+//                [--json-out FILE]
+//
+// --guided sets "guided_search": true on every request body, exercising the
+// server's distance-guided search path (docs/reachability.md); the flag is
+// echoed in the JSON row as guided_search so baseline and guided runs stay
+// distinguishable in BENCH_throughput.json.
 //
 // --zipf S replays the workload with Zipf(S)-distributed query popularity
 // instead of round-robin: a fixed-seed schedule maps request ticks onto
@@ -74,6 +80,7 @@ struct Options {
   int k = 0;             // 0 = server default.
   int deadline_ms = 0;   // 0 = no deadline-ms header.
   bool parallel_keywords = false;  // Request the server's parallel mode.
+  bool guided = false;   // Send "guided_search": true on every request.
   double zipf = 0;       // 0 = round-robin; > 0 = Zipf popularity skew.
   bool no_cache = false;  // Send "cache": false on every request.
   std::string label = "loadgen";
@@ -85,7 +92,8 @@ void Usage(const char* argv0) {
                "usage: %s --workload dblp|social [--host H] [--port P]\n"
                "          [--qps Q] [--duration-s S] [--connections C]\n"
                "          [--num-queries N] [--k K] [--deadline-ms MS]\n"
-               "          [--parallel-keywords] [--zipf S] [--no-cache]\n"
+               "          [--parallel-keywords] [--guided] [--zipf S]"
+               " [--no-cache]\n"
                "          [--label NAME] [--json-out FILE]\n",
                argv0);
 }
@@ -103,6 +111,10 @@ std::string BuildRequest(const Options& opts,
   }
   if (opts.parallel_keywords) {
     body.Key("parallel_keywords");
+    body.Bool(true);
+  }
+  if (opts.guided) {
+    body.Key("guided_search");
     body.Bool(true);
   }
   if (opts.no_cache) {
@@ -395,6 +407,8 @@ int main(int argc, char** argv) {
       opts.deadline_ms = std::atoi(next("--deadline-ms"));
     } else if (arg == "--parallel-keywords") {
       opts.parallel_keywords = true;
+    } else if (arg == "--guided") {
+      opts.guided = true;
     } else if (arg == "--zipf") {
       opts.zipf = std::atof(next("--zipf"));
     } else if (arg == "--no-cache") {
@@ -567,6 +581,8 @@ int main(int argc, char** argv) {
   row.Int(opts.deadline_ms == 0 ? -1 : opts.deadline_ms);
   row.Key("parallel_keywords");
   row.Bool(opts.parallel_keywords);
+  row.Key("guided_search");
+  row.Bool(opts.guided);
   row.Key("retry_after_waits");
   row.Int(total.retry_after_waits);
   // Zipf/cache accounting: zipf_s 0 = round-robin replay; the x-cache

@@ -12,8 +12,9 @@
 // Two suites:
 //
 //  * Golden files: tiny checked-in .tgf graphs with hand-written queries
-//    (social / archive / sparse stems in tests/golden/).
-//  * Generated datasets (--dataset dblp|social): the seeded datagen
+//    (social / archive / sparse / weighted stems in tests/golden/).
+//  * Generated datasets (--dataset dblp|dblp-bounded|social): the seeded
+//    datagen
 //    workloads the throughput benchmarks run, at a fixed scale and query
 //    count independent of the TGKS_BENCH_* environment, so layout and
 //    data-structure changes are pinned on benchmark-shaped graphs — not
@@ -38,6 +39,14 @@
 // diffs the result fingerprints against the unpruned run where equality
 // holds (golden suite, dblp) and pins the rest bit-for-bit (see
 // docs/reachability.md, "Bounded stops").
+//
+// --guided enables SearchOptions::guided_search and appends the
+// guided_reorders / bound_tightenings / guided_prunes counters to each line
+// (only then, same byte-stability contract). scripts/workcount_check.sh
+// --guided diffs the guided result fingerprints against the unguided run
+// (guided search never changes the top-k) and asserts per-query
+// ntds_popped(guided) <= ntds_popped(baseline) plus an aggregate savings
+// floor (see docs/reachability.md, "Distance-guided search").
 //
 // --layout prints the ExpansionView packing statistics (slot counts,
 // inline/pooled split, validity-pool interning hit rate) for a generated
@@ -77,11 +86,13 @@ bool g_parallel = false;  // Run queries in parallel-keyword mode.
 bool g_results = false;   // Print result fingerprints, not work counters.
 bool g_pruned = false;    // Run with the reachability prune enabled.
 bool g_cache = false;     // Run with the query caches (levels 1-2) enabled.
+bool g_guided = false;    // Run with distance-guided search enabled.
 
 tgks::search::SearchOptions SuiteOptions(tgks::cache::QueryCaches* caches) {
   tgks::search::SearchOptions options;
   options.k = 10;
   options.reachability_prune = g_pruned;
+  options.guided_search = g_guided;
   options.query_caches = caches;
   if (g_parallel) {
     options.parallel_keywords = true;
@@ -180,6 +191,13 @@ void PrintCounters(const std::string& tag, int index,
     std::printf(" reachability_prunes=%lld",
                 static_cast<long long>(c.reachability_prunes));
   }
+  if (g_guided) {
+    std::printf(" guided_reorders=%lld bound_tightenings=%lld"
+                " guided_prunes=%lld",
+                static_cast<long long>(c.guided_reorders),
+                static_cast<long long>(c.bound_tightenings),
+                static_cast<long long>(c.guided_prunes));
+  }
   std::printf("\n");
 }
 
@@ -233,13 +251,17 @@ int BuildDataset(const std::string& name, tgks::graph::TemporalGraph* graph,
                  std::vector<tgks::datagen::WorkloadQuery>* workload) {
   tgks::datagen::QueryWorkloadParams params;
   params.num_queries = kDatasetQueries;
-  if (name == "dblp") {
+  if (name == "dblp" || name == "dblp-bounded") {
     tgks::datagen::DblpParams dp;
     dp.num_papers = 8000;
     dp.num_authors = 3000;
     dp.num_venues = 60;
     dp.vocab_size = 2500;
     dp.seed = 42;
+    // dblp-bounded truncates each paper 8 instants past publication, so
+    // subtree validity is no longer a timeline suffix — the coverage hole
+    // the append-only default can never exercise (docs/reachability.md).
+    if (name == "dblp-bounded") dp.validity_horizon = 8;
     auto d = tgks::datagen::GenerateDblp(dp);
     if (!d.ok()) {
       std::fprintf(stderr, "dblp generation failed: %s\n",
@@ -266,7 +288,8 @@ int BuildDataset(const std::string& name, tgks::graph::TemporalGraph* graph,
     mp.matches_max = 400;
     *workload = tgks::datagen::MakeMatchSetWorkload(*graph, params, mp);
   } else {
-    std::fprintf(stderr, "unknown dataset '%s' (dblp|social)\n", name.c_str());
+    std::fprintf(stderr, "unknown dataset '%s' (dblp|dblp-bounded|social)\n",
+                 name.c_str());
     return 2;
   }
   return 0;
@@ -361,6 +384,8 @@ int main(int argc, char** argv) {
       g_pruned = true;
     } else if (std::strcmp(argv[i], "--cache") == 0) {
       g_cache = true;
+    } else if (std::strcmp(argv[i], "--guided") == 0) {
+      g_guided = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -368,11 +393,11 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(
         stderr,
-        "usage: %s [--parallel] [--results] [--pruned] [--cache] "
+        "usage: %s [--parallel] [--results] [--pruned] [--cache] [--guided] "
         "<golden-dir> [graph stems...]\n"
-        "       %s [--parallel] [--results] [--pruned] [--cache] --dataset "
-        "<dblp|social> ...\n"
-        "       %s --layout <dblp|social> [--layout ...]\n",
+        "       %s [--parallel] [--results] [--pruned] [--cache] [--guided] "
+        "--dataset <dblp|dblp-bounded|social> ...\n"
+        "       %s --layout <dblp|dblp-bounded|social> [--layout ...]\n",
         argv[0], argv[0], argv[0]);
     return 2;
   }
@@ -392,7 +417,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   const std::string dir = args[0];
-  std::vector<std::string> stems = {"social", "archive", "sparse"};
+  std::vector<std::string> stems = {"social", "archive", "sparse", "weighted"};
   if (args.size() > 1) {
     stems.assign(args.begin() + 1, args.end());
   }
