@@ -53,6 +53,17 @@
 //   --max-inflight-bytes N  admitted request-body bytes (default 8 MiB)
 //   --drain-timeout-ms N    graceful-shutdown grace period (default 5000)
 //
+// Live-ingest options (see docs/ingest.md; all require --serve):
+//   --live                  accept POST /v1/ingest and /v1/compact: the
+//                           graph becomes a sequence of immutable snapshots
+//                           each search pins at admission
+//   --max-ingest-bytes N    /v1/ingest body ceiling, 413 above (default 4 MiB)
+//   --compact-bytes N       fold the delta once it reaches N approximate
+//                           bytes (default 8 MiB)
+//   --compact-age-ms N      fold the delta once its oldest publish is this
+//                           old (default 30000; <= 0 disables the age
+//                           trigger)
+//
 // Examples:
 //   tgks_cli --demo "Mary, John"
 //   tgks_cli --demo --k 3 "Mary, John rank by ascending order of result
@@ -71,6 +82,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -85,6 +97,7 @@
 #include "graph/graph_builder.h"
 #include "graph/inverted_index.h"
 #include "graph/serialization.h"
+#include "ingest/live_graph.h"
 #include "search/query_parser.h"
 #include "search/search_engine.h"
 #include "server/http_server.h"
@@ -131,7 +144,8 @@ int Usage() {
          "[--host ADDR] [--port N] [--threads N] [--max-queue N] "
          "[--max-inflight-bytes N] [--deadline-ms N] [--drain-timeout-ms N] "
          "[--parallel-keywords] [--reachability-prune] [--guided] "
-         "[--cache]\n";
+         "[--cache] [--live [--max-ingest-bytes N] [--compact-bytes N] "
+         "[--compact-age-ms N]]\n";
   return 2;
 }
 
@@ -148,7 +162,8 @@ int RunServe(const tgks::graph::TemporalGraph& graph,
              int64_t max_queue, int64_t max_inflight_bytes,
              int64_t drain_timeout_ms,
              tgks::cache::QueryCaches* query_caches,
-             int64_t cache_result_bytes) {
+             int64_t cache_result_bytes, tgks::ingest::LiveGraph* live,
+             int64_t max_ingest_bytes) {
   std::atomic<bool> draining{false};
   std::atomic<bool> shutdown_cancel{false};
 
@@ -174,6 +189,15 @@ int RunServe(const tgks::graph::TemporalGraph& graph,
         std::make_unique<tgks::cache::ResultCache>(cache_result_bytes);
   }
 
+  // Live mode: every publish invalidates the serving-layer result cache,
+  // so a post-publish hit can never surface a pre-publish answer
+  // (docs/ingest.md). Levels 1-2 need no hook — each snapshot carries its
+  // own fresh bundle, so the router-level pointer stays unset.
+  if (live != nullptr && result_cache != nullptr) {
+    tgks::cache::ResultCache* rc = result_cache.get();
+    live->set_on_publish([rc](uint64_t) { rc->InvalidateAll(); });
+  }
+
   tgks::server::RouterContext context;
   context.graph = &graph;
   context.executor = &executor;
@@ -183,7 +207,9 @@ int RunServe(const tgks::graph::TemporalGraph& graph,
   context.default_deadline_ms = deadline_ms;
   context.dataset_name = dataset_name;
   context.result_cache = result_cache.get();
-  context.query_caches = query_caches;
+  context.query_caches = live != nullptr ? nullptr : query_caches;
+  context.live = live;
+  context.max_ingest_bytes = max_ingest_bytes;
   tgks::server::RequestRouter router(context);
 
   tgks::server::HttpServerOptions server_options;
@@ -208,10 +234,15 @@ int RunServe(const tgks::graph::TemporalGraph& graph,
   std::cout << "serving " << dataset_name << " ("
             << graph.num_nodes() << " nodes, " << graph.num_edges()
             << " edges) on http://" << host << ":" << server.port() << "\n"
-            << "endpoints: POST /v1/search  GET /metrics /healthz /varz\n"
+            << (live != nullptr
+                    ? "endpoints: POST /v1/search /v1/ingest /v1/compact  "
+                      "GET /metrics /healthz /varz\n"
+                    : "endpoints: POST /v1/search  GET /metrics /healthz "
+                      "/varz\n")
             << "threads " << executor.threads() << "  max-queue " << max_queue
             << "  max-inflight-bytes " << max_inflight_bytes << "  cache "
-            << (query_caches != nullptr ? "on" : "off") << "\n"
+            << (query_caches != nullptr ? "on" : "off") << "  live "
+            << (live != nullptr ? "on" : "off") << "\n"
             << std::flush;
 
   while (g_stop_requested == 0) {
@@ -313,6 +344,9 @@ int main(int argc, char** argv) {
   bool cache_enabled = false;
   tgks::cache::QueryCachesOptions cache_options;
   int64_t cache_result_bytes = int64_t{64} << 20;
+  bool live_enabled = false;
+  int64_t max_ingest_bytes = int64_t{4} << 20;
+  tgks::ingest::CompactionPolicy compaction_policy;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -344,6 +378,15 @@ int main(int argc, char** argv) {
       cache_options.viability_bytes = std::atoll(argv[++i]);
     } else if (arg == "--cache-result-bytes" && i + 1 < argc) {
       cache_result_bytes = std::atoll(argv[++i]);
+    } else if (arg == "--live") {
+      live_enabled = true;
+    } else if (arg == "--max-ingest-bytes" && i + 1 < argc) {
+      max_ingest_bytes = std::atoll(argv[++i]);
+    } else if (arg == "--compact-bytes" && i + 1 < argc) {
+      compaction_policy.max_delta_bytes =
+          static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--compact-age-ms" && i + 1 < argc) {
+      compaction_policy.max_delta_age_ms = std::atoll(argv[++i]);
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       deadline_ms = std::atoll(argv[++i]);
     } else if (arg == "--batch" && i + 1 < argc) {
@@ -399,6 +442,9 @@ int main(int argc, char** argv) {
     if (!query_text.empty() || batch_mode || trace || !has_graph_source) {
       return Usage();
     }
+  } else if (live_enabled) {
+    std::cerr << "--live requires --serve\n";
+    return Usage();
   } else if (batch_mode) {
     if (!query_text.empty() || !has_graph_source) return Usage();
     if (trace) {
@@ -430,22 +476,41 @@ int main(int argc, char** argv) {
     graph = std::move(loaded).value();
   }
 
-  const tgks::graph::InvertedIndex index(graph);
+  // --live hands the base graph to the LiveGraph, which owns it from then
+  // on; the first snapshot pins it (and the index built alongside) for the
+  // executor's lifetime. Static modes keep the local graph and build the
+  // index here.
+  std::unique_ptr<tgks::ingest::LiveGraph> live;
+  tgks::ingest::GraphSnapshotHandle live_base;
+  if (live_enabled) {
+    live = std::make_unique<tgks::ingest::LiveGraph>(
+        std::move(graph), compaction_policy,
+        cache_enabled ? std::optional(cache_options) : std::nullopt);
+    live_base = live->Acquire();
+  }
+  const tgks::graph::TemporalGraph& base_graph =
+      live != nullptr ? *live_base->graph : graph;
+  std::optional<tgks::graph::InvertedIndex> local_index;
+  if (live == nullptr) local_index.emplace(base_graph);
+  const tgks::graph::InvertedIndex& index =
+      live != nullptr ? *live_base->index : *local_index;
 
   // --cache: one bundle shared by every query this process runs (single,
-  // batch, or served); search results are bit-identical either way.
+  // batch, or served); search results are bit-identical either way. In
+  // live mode the per-snapshot bundles take over instead.
   std::unique_ptr<tgks::cache::QueryCaches> query_caches;
   if (cache_enabled) {
     query_caches = std::make_unique<tgks::cache::QueryCaches>(cache_options);
-    options.query_caches = query_caches.get();
+    if (live == nullptr) options.query_caches = query_caches.get();
   }
 
   if (serve) {
     std::string served_name = dataset_name;
     if (served_name.empty()) served_name = demo ? "demo" : graph_path;
-    return RunServe(graph, index, served_name, options, threads, deadline_ms,
-                    host, port, max_queue, max_inflight_bytes,
-                    drain_timeout_ms, query_caches.get(), cache_result_bytes);
+    return RunServe(base_graph, index, served_name, options, threads,
+                    deadline_ms, host, port, max_queue, max_inflight_bytes,
+                    drain_timeout_ms, query_caches.get(), cache_result_bytes,
+                    live.get(), max_ingest_bytes);
   }
 
   if (batch_mode) {

@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# Live-ingest smoke test (CI): boots `tgks_cli --serve --live` on the bench
+# social dataset and walks the whole streaming lifecycle over real HTTP —
+# ingest a batch, verify a query admitted after the publish sees it, fold
+# the delta via /v1/compact, verify the folded graph still answers, then
+# replay a mixed read/write tgks_loadgen run and SIGTERM the server with
+# ingest traffic in flight to prove the drain stays clean.
+#
+# usage: scripts/ingest_smoke.sh <build-dir>
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: ingest_smoke.sh <build-dir>}"
+CLI="${BUILD_DIR}/examples/tgks_cli"
+LOADGEN="${BUILD_DIR}/tools/tgks_loadgen"
+[[ -x "${CLI}" ]] || { echo "ingest_smoke: ${CLI} not built" >&2; exit 1; }
+[[ -x "${LOADGEN}" ]] || { echo "ingest_smoke: ${LOADGEN} not built" >&2; exit 1; }
+
+export TGKS_BENCH_SCALE="${TGKS_BENCH_SCALE:-0.3}"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [[ -n "${SERVER_PID}" ]] && kill "${SERVER_PID}" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+start_server() {  # args: extra tgks_cli flags; sets SERVER_PID and PORT.
+  : > "${WORK}/server.log"
+  "${CLI}" --dataset social --serve --port 0 "$@" \
+      > "${WORK}/server.log" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 200); do
+    PORT="$(grep -oE 'http://127\.0\.0\.1:[0-9]+' "${WORK}/server.log" \
+            | head -1 | sed 's/.*://' || true)"
+    [[ -n "${PORT}" ]] && return 0
+    kill -0 "${SERVER_PID}" 2>/dev/null \
+        || { echo "ingest_smoke: server died:"; cat "${WORK}/server.log"; exit 1; }
+    sleep 0.3
+  done
+  echo "ingest_smoke: server never printed its port" >&2
+  cat "${WORK}/server.log" >&2
+  exit 1
+}
+
+stop_server() {  # SIGTERM must drain and exit 0.
+  kill -TERM "${SERVER_PID}"
+  local status=0
+  wait "${SERVER_PID}" || status=$?
+  SERVER_PID=""
+  if [[ "${status}" -ne 0 ]]; then
+    echo "ingest_smoke: server exited ${status} after SIGTERM" >&2
+    cat "${WORK}/server.log" >&2
+    exit 1
+  fi
+  grep -q "shutdown requested" "${WORK}/server.log" \
+      || { echo "ingest_smoke: no drain banner" >&2; exit 1; }
+}
+
+expect_code() {  # args: expected-code curl-args...
+  local expected="$1"; shift
+  local code
+  code="$(curl -s -o "${WORK}/body.out" -w '%{http_code}' "$@")"
+  if [[ "${code}" != "${expected}" ]]; then
+    echo "ingest_smoke: expected ${expected}, got ${code} for: $*" >&2
+    cat "${WORK}/body.out" >&2
+    exit 1
+  fi
+}
+
+body_has() {  # args: grep pattern; asserts against the last response body.
+  grep -q "$1" "${WORK}/body.out" || {
+    echo "ingest_smoke: body missing $1:" >&2
+    cat "${WORK}/body.out" >&2
+    exit 1
+  }
+}
+
+echo "== pass 1: ingest -> search -> compact -> search lifecycle =="
+start_server --live
+expect_code 200 "http://127.0.0.1:${PORT}/varz"
+body_has '"live":true'
+body_has '"snapshot_generation":0'
+
+# Nothing matches the keyword before the publish.
+expect_code 200 -X POST --data '{"query":"smoketest"}' \
+    "http://127.0.0.1:${PORT}/v1/search"
+body_has '"result_count":0'
+
+# One batch: a fresh node stitched to base node 0. The response reports the
+# published generation and the delta it now carries.
+expect_code 200 -X POST --data \
+    '{"nodes":[{"label":"smoketest fresh","weight":1.0}],
+      "edges":[{"src":0,"dst_new":0}]}' \
+    "http://127.0.0.1:${PORT}/v1/ingest"
+body_has '"generation":1'
+body_has '"nodes_added":1'
+body_has '"edges_added":1'
+
+# A query admitted after the publish answers through the overlay.
+expect_code 200 -X POST --data '{"query":"smoketest"}' \
+    "http://127.0.0.1:${PORT}/v1/search"
+body_has '"result_count":1'
+
+# Validation errors come back structured, and never publish.
+expect_code 400 -X POST --data '{"nodes":[{"label":7}]}' \
+    "http://127.0.0.1:${PORT}/v1/ingest"
+body_has '"code":"bad-shape"'
+
+# Fold the delta; the rebuilt graph must still answer for the ingested node.
+expect_code 200 -X POST "http://127.0.0.1:${PORT}/v1/compact"
+body_has '"generation":2'
+body_has '"manual_runs":1'
+body_has '"delta_bytes":0'
+expect_code 200 -X POST --data '{"query":"smoketest"}' \
+    "http://127.0.0.1:${PORT}/v1/search"
+body_has '"result_count":1'
+expect_code 200 "http://127.0.0.1:${PORT}/varz"
+body_has '"snapshot_generation":2'
+body_has '"delta_bytes":0'
+stop_server
+
+echo "== pass 2: ingest endpoints 404 without --live =="
+start_server
+expect_code 404 -X POST --data '{"nodes":[]}' \
+    "http://127.0.0.1:${PORT}/v1/ingest"
+expect_code 404 -X POST "http://127.0.0.1:${PORT}/v1/compact"
+stop_server
+
+echo "== pass 3: mixed read/write replay, then drain with writes in flight =="
+start_server --live
+"${LOADGEN}" --workload social --port "${PORT}" --connections 2 --qps 50 \
+    --duration-s 5 --num-queries 20 --deadline-ms 2000 --ingest-mix 0.2 \
+    --json-out "${WORK}/rows.jsonl"
+python3 - "${WORK}/rows.jsonl" <<'EOF'
+import json, sys
+row = json.loads(open(sys.argv[1]).read().splitlines()[-1])
+assert row["ingest_2xx"] > 0, f"no ingest succeeded: {row}"
+assert row["status_429"] == 0, f"unexpected shed on healthy server: {row}"
+assert row["status_other"] == 0 and row["errors"] == 0, row
+assert row["final_generation"] >= row["ingest_2xx"], row
+print(f"pass 3 ok: {row['ingest_2xx']} writes published, "
+      f"generation {row['final_generation']}, "
+      f"gen-lag mean {row['gen_lag_mean']:.2f}")
+EOF
+
+# Drain while a background writer is mid-stream: in-flight requests finish
+# or shed, the listener closes, and the exit stays clean.
+"${LOADGEN}" --workload social --port "${PORT}" --connections 2 --qps 50 \
+    --duration-s 10 --num-queries 20 --ingest-mix 0.5 \
+    --json-out "${WORK}/rows2.jsonl" > /dev/null 2>&1 &
+LOADGEN_PID=$!
+sleep 2
+stop_server
+wait "${LOADGEN_PID}" 2>/dev/null || true
+
+echo "ingest_smoke: OK"

@@ -2,7 +2,9 @@
 
 #include <cassert>
 
+#include "graph/delta_overlay.h"
 #include "graph/expansion_view.h"
+#include "search/expansion_reader.h"
 
 namespace tgks::baseline {
 
@@ -12,16 +14,23 @@ using graph::NodeId;
 DijkstraIterator::DijkstraIterator(
     const graph::TemporalGraph& graph, NodeId source,
     std::optional<temporal::TimePoint> snapshot,
-    const std::vector<temporal::IntervalSet>* viability)
+    const std::vector<temporal::IntervalSet>* viability,
+    const graph::DeltaOverlay* overlay)
     : graph_(&graph),
       source_(source),
       snapshot_(snapshot),
       viability_(viability),
+      overlay_(overlay),
       scratch_(DijkstraScratchPool::Acquire()) {
-  assert(source >= 0 && source < graph.num_nodes());
+  assert(source >= 0 &&
+         source < (overlay_ != nullptr ? overlay_->total_nodes()
+                                       : graph.num_nodes()));
+  assert(overlay_ == nullptr || overlay_->empty() || viability_ == nullptr);
   scratch_->Reset();
   if (!NodeVisible(source)) return;
-  const double d0 = graph.node(source).weight;
+  const double d0 = overlay_ != nullptr
+                        ? overlay_->NodeAt(graph, source).weight
+                        : graph.node(source).weight;
   DijkstraLabel& label = scratch_->labels.Activate(
       static_cast<uint32_t>(source),
       [](DijkstraLabel& stale) { stale = DijkstraLabel{}; });
@@ -31,7 +40,10 @@ DijkstraIterator::DijkstraIterator(
 
 bool DijkstraIterator::NodeVisible(NodeId n) {
   if (!snapshot_.has_value()) return true;
-  if (!graph_->NodeAliveAt(n, *snapshot_)) return false;
+  const bool alive = overlay_ != nullptr && overlay_->IsDeltaNode(n)
+                         ? overlay_->NodeAliveAt(n, *snapshot_)
+                         : graph_->NodeAliveAt(n, *snapshot_);
+  if (!alive) return false;
   if (viability_ != nullptr &&
       !(*viability_)[static_cast<size_t>(n)].Contains(*snapshot_)) {
     ++reachability_prunes_;
@@ -68,32 +80,39 @@ NodeId DijkstraIterator::Next() {
   scratch_->labels.Find(static_cast<uint32_t>(top.node))->settled = true;
   ++nodes_settled_;
   const graph::ExpansionView& view = graph_->expansion_view();
-  const graph::ExpansionView::SlotRange slots = view.InSlots(top.node);
-  for (int64_t s = slots.begin; s < slots.end; ++s) {
-    if (snapshot_.has_value() && !view.EdgeAliveAt(s, *snapshot_)) continue;
-    const NodeId neighbor = view.src(s);
-    if (snapshot_.has_value() && !view.NodeAliveAt(neighbor, *snapshot_)) {
-      continue;
-    }
-    if (snapshot_.has_value() && viability_ != nullptr &&
-        !(*viability_)[static_cast<size_t>(neighbor)].Contains(*snapshot_)) {
-      ++reachability_prunes_;
-      continue;
-    }
-    const double nd =
-        top.dist + view.edge_weight(s) + view.node_weight(neighbor);
-    bool fresh = false;
-    DijkstraLabel& label = scratch_->labels.Activate(
-        static_cast<uint32_t>(neighbor), [&fresh](DijkstraLabel& stale) {
-          stale = DijkstraLabel{};
-          fresh = true;
-        });
-    if (label.settled) continue;
-    if (fresh || nd < label.dist) {
-      label.dist = nd;
-      label.parent_edge = view.edge_id(s);
-      scratch_->queue.push(DijkstraQueueEntry{nd, neighbor});
-    }
+  const auto expand = [&](const auto& reader) {
+    reader.ForEachInSlot(top.node, [&](int64_t s) {
+      if (snapshot_.has_value() && !reader.EdgeAliveAt(s, *snapshot_)) return;
+      const NodeId neighbor = reader.src(s);
+      if (snapshot_.has_value() &&
+          !reader.NodeAliveAt(neighbor, *snapshot_)) {
+        return;
+      }
+      if (snapshot_.has_value() && viability_ != nullptr &&
+          !(*viability_)[static_cast<size_t>(neighbor)].Contains(*snapshot_)) {
+        ++reachability_prunes_;
+        return;
+      }
+      const double nd =
+          top.dist + reader.edge_weight(s) + reader.node_weight(neighbor);
+      bool fresh = false;
+      DijkstraLabel& label = scratch_->labels.Activate(
+          static_cast<uint32_t>(neighbor), [&fresh](DijkstraLabel& stale) {
+            stale = DijkstraLabel{};
+            fresh = true;
+          });
+      if (label.settled) return;
+      if (fresh || nd < label.dist) {
+        label.dist = nd;
+        label.parent_edge = reader.edge_id(s);
+        scratch_->queue.push(DijkstraQueueEntry{nd, neighbor});
+      }
+    });
+  };
+  if (overlay_ != nullptr && !overlay_->empty()) {
+    expand(search::OverlayExpansionReader{view, *overlay_});
+  } else {
+    expand(search::BaseExpansionReader{view});
   }
   return top.node;
 }
@@ -113,7 +132,8 @@ std::vector<EdgeId> DijkstraIterator::PathEdges(NodeId node) const {
     const EdgeId e = scratch_->labels.Find(static_cast<uint32_t>(cur))
                          ->parent_edge;
     edges.push_back(e);
-    cur = graph_->edge(e).dst;
+    cur = overlay_ != nullptr ? overlay_->EdgeAt(*graph_, e).dst
+                              : graph_->edge(e).dst;
   }
   return edges;
 }

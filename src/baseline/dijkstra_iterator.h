@@ -22,6 +22,10 @@
 #include "temporal/interval_set.h"
 #include "temporal/time_point.h"
 
+namespace tgks::graph {
+class DeltaOverlay;  // delta_overlay.h
+}
+
 namespace tgks::baseline {
 
 /// Per-node Dijkstra label: the best distance seen, the edge it came in
@@ -69,12 +73,15 @@ class DijkstraIterator {
   /// invisible. `viability` (not owned; one IntervalSet per graph node)
   /// additionally hides nodes whose viability set misses the snapshot
   /// instant — the reachability prune of docs/reachability.md applied to
-  /// the BANKS(I) inner runs; ignored in whole-graph mode. The graph must
-  /// outlive the iterator.
+  /// the BANKS(I) inner runs; ignored in whole-graph mode. `overlay` (not
+  /// owned) extends the walk over a live snapshot's delta; it must not be
+  /// combined with `viability` while non-empty. The graph must outlive the
+  /// iterator.
   DijkstraIterator(const graph::TemporalGraph& graph, graph::NodeId source,
                    std::optional<temporal::TimePoint> snapshot = std::nullopt,
                    const std::vector<temporal::IntervalSet>* viability =
-                       nullptr);
+                       nullptr,
+                   const graph::DeltaOverlay* overlay = nullptr);
 
   DijkstraIterator(const DijkstraIterator&) = delete;
   DijkstraIterator& operator=(const DijkstraIterator&) = delete;
@@ -108,6 +115,7 @@ class DijkstraIterator {
   graph::NodeId source_;
   std::optional<temporal::TimePoint> snapshot_;
   const std::vector<temporal::IntervalSet>* viability_;
+  const graph::DeltaOverlay* overlay_ = nullptr;
   DijkstraScratchPool::Handle scratch_;
   int64_t nodes_settled_ = 0;
   int64_t reachability_prunes_ = 0;

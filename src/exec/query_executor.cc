@@ -205,6 +205,13 @@ void QueryExecutor::Submit(SingleQuery single, SingleQueryCallback done) {
   if (single.guided_search.has_value()) {
     options.guided_search = *single.guided_search;
   }
+  if (single.snapshot.graph != nullptr) {
+    // Live snapshot: the overlay and the snapshot's own cache bundle
+    // replace the executor-wide defaults (the bundle was created at the
+    // snapshot's publish, so its entries can never predate the data).
+    options.overlay = single.snapshot.overlay;
+    options.query_caches = single.snapshot.caches;
+  }
   if (single.use_query_caches.has_value() && !*single.use_query_caches) {
     options.query_caches = nullptr;
   }
@@ -213,11 +220,20 @@ void QueryExecutor::Submit(SingleQuery single, SingleQueryCallback done) {
                  done = std::move(done)]() mutable {
     Stopwatch latency;
     latency.Start();
+    // A snapshot-bound query runs on a throwaway engine over the pinned
+    // graph + index; SearchEngine is two pointers, so this costs nothing
+    // and keeps the executor's build-time engine untouched.
+    const auto run = [&](const search::SearchEngine& engine) {
+      return single.query.matches.empty()
+                 ? engine.Search(single.query.query, options)
+                 : engine.SearchWithMatches(single.query.query,
+                                            single.query.matches, options);
+    };
     Result<search::SearchResponse> response =
-        single.query.matches.empty()
-            ? engine_.Search(single.query.query, options)
-            : engine_.SearchWithMatches(single.query.query,
-                                        single.query.matches, options);
+        single.snapshot.graph != nullptr
+            ? run(search::SearchEngine(*single.snapshot.graph,
+                                       single.snapshot.index))
+            : run(engine_);
     latency.Stop();
 #ifndef TGKS_NO_STATS
     {

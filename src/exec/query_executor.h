@@ -123,6 +123,23 @@ struct SingleQuery {
   /// out — the per-request "cache": false bypass (docs/caching.md). Unset
   /// or true inherits the executor default.
   std::optional<bool> use_query_caches;
+  /// Live-serving snapshot binding (docs/ingest.md). When `graph` is set
+  /// the query runs on a per-request SearchEngine over this snapshot's
+  /// graph + index instead of the executor's build-time pair, with the
+  /// delta overlay and the snapshot's cache bundle wired into
+  /// SearchOptions (the bundle still yields to a use_query_caches=false
+  /// bypass). `pin` is the RCU epoch hold: it keeps every pointed-to
+  /// structure alive until the query — including its callback — is done,
+  /// so a publish racing this query retires the old snapshot only after
+  /// the last pinned reader drops out.
+  struct SnapshotBinding {
+    std::shared_ptr<const void> pin;
+    const graph::TemporalGraph* graph = nullptr;
+    const graph::InvertedIndex* index = nullptr;
+    const graph::DeltaOverlay* overlay = nullptr;
+    cache::QueryCaches* caches = nullptr;
+  };
+  SnapshotBinding snapshot;
 };
 
 /// Completion callback for Submit(): invoked exactly once on a worker

@@ -1,0 +1,249 @@
+#include "ingest/ingest_batch.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "server/json_io.h"
+#include "temporal/interval.h"
+
+namespace tgks::ingest {
+
+using server::JsonValue;
+using temporal::Interval;
+using temporal::IntervalSet;
+using temporal::TimePoint;
+
+std::string_view IngestErrorCodeName(IngestErrorCode code) {
+  switch (code) {
+    case IngestErrorCode::kNone:
+      return "none";
+    case IngestErrorCode::kBadShape:
+      return "bad-shape";
+    case IngestErrorCode::kIntervalOrder:
+      return "interval-order";
+    case IngestErrorCode::kWeightNotFinite:
+      return "weight-not-finite";
+    case IngestErrorCode::kWeightNegative:
+      return "weight-negative";
+    case IngestErrorCode::kBadNodeRef:
+      return "bad-node-ref";
+    case IngestErrorCode::kEdgeNeverValid:
+      return "edge-never-valid";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::nullopt_t Fail(IngestErrorDetail* error, IngestErrorCode code,
+                    std::string_view field, int64_t offset,
+                    std::string message) {
+  error->code = code;
+  error->field = std::string(field);
+  error->offset = offset;
+  error->message = std::move(message);
+  return std::nullopt;
+}
+
+/// Parses a "validity" member ([[start, end], ...]) into a canonical
+/// IntervalSet clipped to [0, timeline_length). Returns false with *error
+/// filled on any shape or ordering violation; overlapping, adjacent, or
+/// unsorted input intervals are legal and merge in the normalizing
+/// IntervalSet constructor.
+bool ParseValidity(const JsonValue& value, TimePoint timeline_length,
+                   std::string_view field, int64_t offset, IntervalSet* out,
+                   IngestErrorDetail* error) {
+  if (!value.is_array()) {
+    Fail(error, IngestErrorCode::kBadShape, field, offset,
+         "validity must be an array of [start, end] pairs");
+    return false;
+  }
+  std::vector<Interval> intervals;
+  intervals.reserve(value.items().size());
+  for (const JsonValue& pair : value.items()) {
+    if (!pair.is_array() || pair.items().size() != 2 ||
+        !pair.items()[0].is_int() || !pair.items()[1].is_int()) {
+      Fail(error, IngestErrorCode::kBadShape, field, offset,
+           "validity entries must be [start, end] integer pairs");
+      return false;
+    }
+    const int64_t start = pair.items()[0].AsInt();
+    const int64_t end = pair.items()[1].AsInt();
+    if (start > end) {
+      std::ostringstream msg;
+      msg << "interval [" << start << ", " << end << "] has start > end";
+      Fail(error, IngestErrorCode::kIntervalOrder, field, offset, msg.str());
+      return false;
+    }
+    // Clip to the timeline (GraphBuilder::AddNode's convention); intervals
+    // entirely outside contribute nothing.
+    const int64_t lo = std::max<int64_t>(start, 0);
+    const int64_t hi =
+        std::min<int64_t>(end, static_cast<int64_t>(timeline_length) - 1);
+    if (lo > hi) continue;
+    intervals.push_back(
+        Interval(static_cast<TimePoint>(lo), static_cast<TimePoint>(hi)));
+  }
+  *out = IntervalSet(intervals);
+  return true;
+}
+
+/// Reads an optional finite, non-negative "weight" member.
+bool ParseWeight(const JsonValue& object, double fallback,
+                 std::string_view field, int64_t offset, double* out,
+                 IngestErrorDetail* error) {
+  const JsonValue* weight = object.Find("weight");
+  if (weight == nullptr) {
+    *out = fallback;
+    return true;
+  }
+  if (!weight->is_number()) {
+    Fail(error, IngestErrorCode::kBadShape, field, offset,
+         "weight must be a number");
+    return false;
+  }
+  const double w = weight->AsDouble();
+  if (!std::isfinite(w)) {
+    Fail(error, IngestErrorCode::kWeightNotFinite, field, offset,
+         "weight must be finite");
+    return false;
+  }
+  if (w < 0) {
+    Fail(error, IngestErrorCode::kWeightNegative, field, offset,
+         "weight must be non-negative");
+    return false;
+  }
+  *out = w;
+  return true;
+}
+
+/// Reads one endpoint: exactly one of `key` (absolute id) and `key_new`
+/// (index into this batch's nodes array) must be a non-negative integer.
+/// Range checks against the live graph happen at apply time.
+bool ParseEndpoint(const JsonValue& object, std::string_view key,
+                   std::string_view key_new, int64_t offset,
+                   graph::NodeId* absolute, int64_t* relative,
+                   IngestErrorDetail* error) {
+  const JsonValue* abs = object.Find(key);
+  const JsonValue* rel = object.Find(key_new);
+  if ((abs != nullptr) == (rel != nullptr)) {
+    std::ostringstream msg;
+    msg << "edge must set exactly one of \"" << key << "\" and \"" << key_new
+        << "\"";
+    Fail(error, IngestErrorCode::kBadNodeRef, "edges", offset, msg.str());
+    return false;
+  }
+  const JsonValue* ref = abs != nullptr ? abs : rel;
+  if (!ref->is_int() || ref->AsInt() < 0) {
+    std::ostringstream msg;
+    msg << "\"" << (abs != nullptr ? key : key_new)
+        << "\" must be a non-negative integer";
+    Fail(error, IngestErrorCode::kBadNodeRef, "edges", offset, msg.str());
+    return false;
+  }
+  if (abs != nullptr) {
+    *absolute = static_cast<graph::NodeId>(abs->AsInt());
+  } else {
+    *relative = rel->AsInt();
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<IngestBatch> ParseIngestBatch(const JsonValue& body,
+                                            TimePoint timeline_length,
+                                            IngestErrorDetail* error) {
+  if (!body.is_object()) {
+    return Fail(error, IngestErrorCode::kBadShape, "", -1,
+                "ingest body must be a JSON object");
+  }
+  IngestBatch batch;
+
+  if (const JsonValue* nodes = body.Find("nodes"); nodes != nullptr) {
+    if (!nodes->is_array()) {
+      return Fail(error, IngestErrorCode::kBadShape, "nodes", -1,
+                  "\"nodes\" must be an array");
+    }
+    batch.nodes.reserve(nodes->items().size());
+    for (size_t i = 0; i < nodes->items().size(); ++i) {
+      const JsonValue& item = nodes->items()[i];
+      const int64_t offset = static_cast<int64_t>(i);
+      if (!item.is_object()) {
+        return Fail(error, IngestErrorCode::kBadShape, "nodes", offset,
+                    "node entries must be objects");
+      }
+      IngestNode node;
+      const JsonValue* label = item.Find("label");
+      if (label == nullptr || !label->is_string()) {
+        return Fail(error, IngestErrorCode::kBadShape, "nodes", offset,
+                    "node requires a string \"label\"");
+      }
+      node.label = label->AsString();
+      if (!ParseWeight(item, /*fallback=*/0.0, "nodes", offset, &node.weight,
+                       error)) {
+        return std::nullopt;
+      }
+      if (const JsonValue* validity = item.Find("validity");
+          validity != nullptr) {
+        if (!ParseValidity(*validity, timeline_length, "nodes", offset,
+                           &node.validity, error)) {
+          return std::nullopt;
+        }
+      } else {
+        node.validity = IntervalSet::All(timeline_length);
+      }
+      batch.nodes.push_back(std::move(node));
+    }
+  }
+
+  if (const JsonValue* edges = body.Find("edges"); edges != nullptr) {
+    if (!edges->is_array()) {
+      return Fail(error, IngestErrorCode::kBadShape, "edges", -1,
+                  "\"edges\" must be an array");
+    }
+    batch.edges.reserve(edges->items().size());
+    for (size_t i = 0; i < edges->items().size(); ++i) {
+      const JsonValue& item = edges->items()[i];
+      const int64_t offset = static_cast<int64_t>(i);
+      if (!item.is_object()) {
+        return Fail(error, IngestErrorCode::kBadShape, "edges", offset,
+                    "edge entries must be objects");
+      }
+      IngestEdge edge;
+      if (!ParseEndpoint(item, "src", "src_new", offset, &edge.src,
+                         &edge.src_new, error) ||
+          !ParseEndpoint(item, "dst", "dst_new", offset, &edge.dst,
+                         &edge.dst_new, error)) {
+        return std::nullopt;
+      }
+      if (edge.src_new >= 0 &&
+          edge.src_new >= static_cast<int64_t>(batch.nodes.size())) {
+        return Fail(error, IngestErrorCode::kBadNodeRef, "edges", offset,
+                    "\"src_new\" exceeds this batch's nodes array");
+      }
+      if (edge.dst_new >= 0 &&
+          edge.dst_new >= static_cast<int64_t>(batch.nodes.size())) {
+        return Fail(error, IngestErrorCode::kBadNodeRef, "edges", offset,
+                    "\"dst_new\" exceeds this batch's nodes array");
+      }
+      if (!ParseWeight(item, /*fallback=*/1.0, "edges", offset, &edge.weight,
+                       error)) {
+        return std::nullopt;
+      }
+      if (const JsonValue* validity = item.Find("validity");
+          validity != nullptr) {
+        IntervalSet parsed;
+        if (!ParseValidity(*validity, timeline_length, "edges", offset,
+                           &parsed, error)) {
+          return std::nullopt;
+        }
+        edge.validity = std::move(parsed);
+      }
+      batch.edges.push_back(std::move(edge));
+    }
+  }
+  return batch;
+}
+
+}  // namespace tgks::ingest

@@ -1,0 +1,115 @@
+// IngestBatch: the validated form of one POST /v1/ingest body.
+//
+// The wire format is a JSON object with two optional arrays:
+//
+//   {
+//     "nodes": [
+//       {"label": "alice smith", "weight": 1.5,
+//        "validity": [[0, 10], [20, 30]]},          // optional; default =
+//       ...                                         // the whole timeline
+//     ],
+//     "edges": [
+//       {"src": 3, "dst_new": 0, "weight": 2.0,     // endpoints: "src"/"dst"
+//        "validity": [[5, 8]]},                     // are absolute node ids,
+//       ...                                         // "src_new"/"dst_new"
+//     ]                                             // index this batch's
+//   }                                               // nodes array
+//
+// Batch-relative endpoint references exist because clients cannot know the
+// ids the server will assign under concurrent ingest: "src_new": 0 means
+// "the first node of THIS batch", resolved to an absolute id at apply time.
+// Omitted edge validity defaults to the endpoint intersection (Fig. 2's
+// convention), omitted node validity to the whole timeline — the exact
+// semantics of GraphBuilder under ValidityPolicy::kClamp, which is what
+// keeps a chunked-ingest graph element-for-element identical to the same
+// data handed to the builder (the replay-equivalence contract).
+//
+// ParseIngestBatch performs every check that does not need the live graph:
+// shape, interval order (start <= end), non-finite or negative weights,
+// canonicalization (overlapping/unsorted validity intervals are merged via
+// IntervalSet's normalizing constructor), and clipping to the timeline.
+// Endpoint resolution and edge-validity clamping happen in
+// LiveGraph::Apply, which owns the snapshot the batch lands on. Both
+// phases report errors through IngestErrorDetail so the server can render
+// the structured {"error":{"type":"ingest-validate",...}} body.
+
+#ifndef TGKS_INGEST_INGEST_BATCH_H_
+#define TGKS_INGEST_INGEST_BATCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/temporal_graph.h"
+#include "temporal/interval_set.h"
+#include "temporal/time_point.h"
+
+namespace tgks::server {
+class JsonValue;  // server/json_io.h
+}
+
+namespace tgks::ingest {
+
+/// Machine-readable validation failure categories (the `code` field of the
+/// ingest-validate error body).
+enum class IngestErrorCode {
+  kNone,
+  kBadShape,        ///< Wrong JSON type / missing required field.
+  kIntervalOrder,   ///< Interval with start > end.
+  kWeightNotFinite, ///< NaN or infinite weight.
+  kWeightNegative,  ///< Negative weight (model requires >= 0).
+  kBadNodeRef,      ///< Endpoint id/index out of range, or both/neither of
+                    ///< the absolute and batch-relative forms given.
+  kEdgeNeverValid,  ///< Edge validity empty after endpoint clamping.
+};
+
+std::string_view IngestErrorCodeName(IngestErrorCode code);
+
+/// Structured validation failure: which array element broke which rule.
+/// `offset` is the element index within `field`'s array (-1 when the error
+/// is not tied to one element).
+struct IngestErrorDetail {
+  IngestErrorCode code = IngestErrorCode::kNone;
+  std::string field;  ///< "nodes" or "edges" ("" for body-level errors).
+  int64_t offset = -1;
+  std::string message;
+};
+
+/// One new node, validity already canonicalized and clipped to the
+/// timeline.
+struct IngestNode {
+  std::string label;
+  double weight = 0.0;
+  temporal::IntervalSet validity;
+};
+
+/// One new edge; endpoints still unresolved (absolute id or batch-relative
+/// index), validity canonicalized but not yet endpoint-clamped.
+struct IngestEdge {
+  /// Exactly one of {src, src_new} is set (>= 0); same for dst.
+  graph::NodeId src = graph::kInvalidNode;
+  int64_t src_new = -1;
+  graph::NodeId dst = graph::kInvalidNode;
+  int64_t dst_new = -1;
+  double weight = 1.0;
+  /// Unset = default to the endpoint intersection at apply time.
+  std::optional<temporal::IntervalSet> validity;
+};
+
+/// A validated batch, ready for LiveGraph::Apply.
+struct IngestBatch {
+  std::vector<IngestNode> nodes;
+  std::vector<IngestEdge> edges;
+  bool empty() const { return nodes.empty() && edges.empty(); }
+};
+
+/// Parses and statically validates one ingest body. On failure returns
+/// std::nullopt with `*error` filled (error must be non-null).
+std::optional<IngestBatch> ParseIngestBatch(const server::JsonValue& body,
+                                            temporal::TimePoint timeline_length,
+                                            IngestErrorDetail* error);
+
+}  // namespace tgks::ingest
+
+#endif  // TGKS_INGEST_INGEST_BATCH_H_

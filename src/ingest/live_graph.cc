@@ -1,0 +1,384 @@
+#include "ingest/live_graph.h"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "graph/graph_builder.h"
+#include "obs/metrics.h"
+#include "obs/search_stats.h"
+
+namespace tgks::ingest {
+
+using graph::EdgeId;
+using graph::NodeId;
+using temporal::IntervalSet;
+
+namespace {
+
+#ifndef TGKS_NO_STATS
+struct IngestMetrics {
+  obs::Counter* batches;
+  obs::Counter* nodes;
+  obs::Counter* edges;
+  obs::Counter* rejected;
+  obs::Counter* publishes;
+  obs::Counter* compactions;
+  obs::Gauge* generation;
+  obs::Gauge* delta_bytes;
+  obs::Histogram* apply_micros;
+  obs::Histogram* compact_micros;
+
+  static IngestMetrics& Get() {
+    static IngestMetrics* m = [] {
+      obs::MetricsRegistry& reg = obs::GlobalMetrics();
+      auto* out = new IngestMetrics;
+      out->batches = reg.GetCounter("tgks_ingest_batches_total",
+                                    "Ingest batches applied.");
+      out->nodes = reg.GetCounter("tgks_ingest_nodes_total",
+                                  "Nodes appended through ingest.");
+      out->edges = reg.GetCounter("tgks_ingest_edges_total",
+                                  "Edges appended through ingest.");
+      out->rejected = reg.GetCounter(
+          "tgks_ingest_rejected_total",
+          "Ingest batches rejected by semantic validation.");
+      out->publishes = reg.GetCounter(
+          "tgks_snapshot_publishes_total",
+          "Snapshot publications (ingest batches plus compactions).");
+      out->compactions = reg.GetCounter("tgks_compactions_total",
+                                        "Delta-folding compaction runs.");
+      out->generation = reg.GetGauge("tgks_snapshot_generation",
+                                     "Current snapshot generation.");
+      out->delta_bytes = reg.GetGauge(
+          "tgks_delta_bytes",
+          "Approximate footprint of the uncompacted delta overlay.");
+      out->apply_micros = reg.GetHistogram(
+          "tgks_ingest_apply_micros",
+          "Ingest batch apply+publish time (microseconds).");
+      out->compact_micros = reg.GetHistogram(
+          "tgks_compaction_rebuild_micros",
+          "Compaction rebuild+publish time (microseconds).");
+      return out;
+    }();
+    return *m;
+  }
+};
+#endif  // TGKS_NO_STATS
+
+void FillError(IngestErrorDetail* error, IngestErrorCode code, int64_t offset,
+               std::string message) {
+  error->code = code;
+  error->field = "edges";
+  error->offset = offset;
+  error->message = std::move(message);
+}
+
+}  // namespace
+
+LiveGraph::LiveGraph(graph::TemporalGraph base, CompactionPolicy policy,
+                     std::optional<cache::QueryCachesOptions> cache_options)
+    : policy_(policy), cache_options_(std::move(cache_options)) {
+  auto snapshot = std::make_shared<GraphSnapshot>();
+  snapshot->generation = 0;
+  snapshot->graph =
+      std::make_shared<const graph::TemporalGraph>(std::move(base));
+  snapshot->index =
+      std::make_shared<const graph::InvertedIndex>(*snapshot->graph);
+  snapshot->overlay = nullptr;
+  snapshot->caches = MakeCaches();
+  head_ = std::move(snapshot);
+  if (policy_.background) {
+    compactor_ = std::thread([this] { BackgroundLoop(); });
+  }
+}
+
+LiveGraph::~LiveGraph() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (compactor_.joinable()) compactor_.join();
+}
+
+std::shared_ptr<cache::QueryCaches> LiveGraph::MakeCaches() const {
+  return cache_options_.has_value()
+             ? std::make_shared<cache::QueryCaches>(*cache_options_)
+             : nullptr;
+}
+
+GraphSnapshotHandle LiveGraph::Acquire() const {
+  std::lock_guard<std::mutex> lock(head_mu_);
+  return head_;
+}
+
+uint64_t LiveGraph::generation() const {
+  std::lock_guard<std::mutex> lock(head_mu_);
+  return head_->generation;
+}
+
+temporal::TimePoint LiveGraph::timeline_length() const {
+  return Acquire()->graph->timeline_length();
+}
+
+CompactionStats LiveGraph::compaction_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compaction_stats_;
+}
+
+IngestStats LiveGraph::ingest_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ingest_stats_;
+}
+
+size_t LiveGraph::delta_bytes() const {
+  const GraphSnapshotHandle snap = Acquire();
+  return snap->overlay != nullptr ? snap->overlay->ApproxBytes() : 0;
+}
+
+void LiveGraph::Publish(std::shared_ptr<const GraphSnapshot> next) {
+  const uint64_t generation = next->generation;
+  {
+    std::lock_guard<std::mutex> lock(head_mu_);
+    head_ = std::move(next);
+  }
+  if (on_publish_) on_publish_(generation);
+}
+
+Result<uint64_t> LiveGraph::Apply(const IngestBatch& batch,
+                                  IngestErrorDetail* error) {
+  Stopwatch timer;
+  timer.Start();
+  std::lock_guard<std::mutex> lock(mu_);
+  GraphSnapshotHandle snap;
+  {
+    std::lock_guard<std::mutex> head_lock(head_mu_);
+    snap = head_;
+  }
+  const NodeId base_total = snap->total_nodes();
+
+  // Resolve and clamp edges against the snapshot + this batch. All
+  // validation completes before anything is published: a rejected batch
+  // leaves the live graph untouched (all-or-nothing).
+  std::vector<graph::Node> new_nodes;
+  new_nodes.reserve(batch.nodes.size());
+  for (const IngestNode& node : batch.nodes) {
+    graph::Node out;
+    out.label = node.label;
+    out.weight = node.weight;
+    out.validity = node.validity;
+    new_nodes.push_back(std::move(out));
+  }
+
+  const auto validity_of = [&](NodeId id) -> const IntervalSet& {
+    if (id >= base_total) {
+      return new_nodes[static_cast<size_t>(id - base_total)].validity;
+    }
+    if (snap->overlay != nullptr) {
+      return snap->overlay->NodeAt(*snap->graph, id).validity;
+    }
+    return snap->graph->node(id).validity;
+  };
+
+  std::vector<graph::Edge> new_edges;
+  new_edges.reserve(batch.edges.size());
+  for (size_t i = 0; i < batch.edges.size(); ++i) {
+    const IngestEdge& edge = batch.edges[i];
+    const int64_t offset = static_cast<int64_t>(i);
+    graph::Edge out;
+    out.src = edge.src_new >= 0
+                  ? base_total + static_cast<NodeId>(edge.src_new)
+                  : edge.src;
+    out.dst = edge.dst_new >= 0
+                  ? base_total + static_cast<NodeId>(edge.dst_new)
+                  : edge.dst;
+    // Absolute references must name nodes that already exist; clients
+    // cannot know the ids of nodes they are concurrently inserting, which
+    // is exactly what the batch-relative form is for.
+    if (edge.src_new < 0 && (out.src < 0 || out.src >= base_total)) {
+      std::ostringstream msg;
+      msg << "\"src\" " << out.src << " does not exist (have " << base_total
+          << " nodes)";
+      FillError(error, IngestErrorCode::kBadNodeRef, offset, msg.str());
+      TGKS_STATS(IngestMetrics::Get().rejected->Increment());
+      return Status::InvalidArgument(error->message);
+    }
+    if (edge.dst_new < 0 && (out.dst < 0 || out.dst >= base_total)) {
+      std::ostringstream msg;
+      msg << "\"dst\" " << out.dst << " does not exist (have " << base_total
+          << " nodes)";
+      FillError(error, IngestErrorCode::kBadNodeRef, offset, msg.str());
+      TGKS_STATS(IngestMetrics::Get().rejected->Increment());
+      return Status::InvalidArgument(error->message);
+    }
+    out.weight = edge.weight;
+    // GraphBuilder kClamp semantics: omitted validity defaults to the
+    // endpoint intersection, explicit validity is clamped to it, and an
+    // edge that could never exist is rejected.
+    const IntervalSet endpoint_common =
+        validity_of(out.src).Intersect(validity_of(out.dst));
+    out.validity = edge.validity.has_value()
+                       ? edge.validity->Intersect(endpoint_common)
+                       : endpoint_common;
+    if (out.validity.IsEmpty()) {
+      std::ostringstream msg;
+      msg << "edge " << out.src << "->" << out.dst
+          << " is never valid within its endpoints' lifetimes";
+      FillError(error, IngestErrorCode::kEdgeNeverValid, offset, msg.str());
+      TGKS_STATS(IngestMetrics::Get().rejected->Increment());
+      return Status::InvalidArgument(error->message);
+    }
+    new_edges.push_back(std::move(out));
+  }
+
+  auto next = std::make_shared<GraphSnapshot>();
+  next->generation = ++generation_;
+  next->graph = snap->graph;
+  next->index = snap->index;
+  next->overlay =
+      graph::DeltaOverlay::Extend(*snap->graph, snap->overlay.get(),
+                                  std::move(new_nodes), std::move(new_edges));
+  next->caches = MakeCaches();
+  const bool was_compacted =
+      snap->overlay == nullptr || snap->overlay->empty();
+  if (was_compacted) {
+    first_uncompacted_publish_ = std::chrono::steady_clock::now();
+  }
+  ingest_stats_.batches += 1;
+  ingest_stats_.nodes_added += static_cast<int64_t>(batch.nodes.size());
+  ingest_stats_.edges_added += static_cast<int64_t>(batch.edges.size());
+#ifndef TGKS_NO_STATS
+  {
+    IngestMetrics& m = IngestMetrics::Get();
+    m.batches->Increment();
+    m.nodes->Increment(static_cast<int64_t>(batch.nodes.size()));
+    m.edges->Increment(static_cast<int64_t>(batch.edges.size()));
+    m.publishes->Increment();
+    m.generation->Set(static_cast<int64_t>(next->generation));
+    m.delta_bytes->Set(static_cast<int64_t>(next->overlay->ApproxBytes()));
+  }
+#endif  // TGKS_NO_STATS
+  const uint64_t generation = next->generation;
+  Publish(std::move(next));
+  timer.Stop();
+  TGKS_STATS(IngestMetrics::Get().apply_micros->Observe(
+      static_cast<int64_t>(timer.seconds() * 1e6)));
+  stop_cv_.notify_all();  // Wake the compactor to re-check the size policy.
+  return generation;
+}
+
+Result<uint64_t> LiveGraph::Compact(bool manual) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactLocked(manual);
+}
+
+Result<uint64_t> LiveGraph::CompactLocked(bool manual) {
+  GraphSnapshotHandle snap;
+  {
+    std::lock_guard<std::mutex> head_lock(head_mu_);
+    snap = head_;
+  }
+  if (snap->overlay == nullptr || snap->overlay->empty()) {
+    return snap->generation;  // Nothing to fold.
+  }
+  Stopwatch rebuild;
+  rebuild.Start();
+  const graph::DeltaOverlay& overlay = *snap->overlay;
+  const graph::TemporalGraph& base = *snap->graph;
+
+  // Full rebuild: every element re-enters the builder in id order, so the
+  // compacted graph assigns identical ids and its CSR enumerates edges in
+  // the identical order — a query cannot tell a compacted snapshot from a
+  // graph that was built with the data from day one. This also rebuilds
+  // the reachability labeling, re-arming the prunes the overlay disabled.
+  graph::GraphBuilder builder(base.timeline_length());
+  const NodeId total_nodes = overlay.total_nodes();
+  for (NodeId n = 0; n < total_nodes; ++n) {
+    const graph::Node& node = overlay.NodeAt(base, n);
+    builder.AddNode(node.label, node.validity, node.weight);
+  }
+  const EdgeId total_edges = overlay.total_edges();
+  for (EdgeId e = 0; e < total_edges; ++e) {
+    const graph::Edge& edge = overlay.EdgeAt(base, e);
+    builder.AddEdge(edge.src, edge.dst, edge.validity, edge.weight);
+  }
+  Result<graph::TemporalGraph> rebuilt = builder.Build();
+  if (!rebuilt.ok()) {
+    // Unreachable in practice: every element was validated at ingest.
+    return rebuilt.status();
+  }
+
+  auto next = std::make_shared<GraphSnapshot>();
+  next->generation = ++generation_;
+  next->graph =
+      std::make_shared<const graph::TemporalGraph>(*std::move(rebuilt));
+  next->index =
+      std::make_shared<const graph::InvertedIndex>(*next->graph);
+  next->overlay = nullptr;
+  next->caches = MakeCaches();
+  rebuild.Stop();
+
+  Stopwatch swap;
+  swap.Start();
+  const uint64_t generation = next->generation;
+  Publish(std::move(next));
+  swap.Stop();
+
+  compaction_stats_.runs += 1;
+  if (manual) compaction_stats_.manual_runs += 1;
+  compaction_stats_.nodes_folded += overlay.num_delta_nodes();
+  compaction_stats_.edges_folded += overlay.num_delta_edges();
+  compaction_stats_.last_rebuild_seconds = rebuild.seconds();
+  compaction_stats_.last_swap_seconds = swap.seconds();
+#ifndef TGKS_NO_STATS
+  {
+    IngestMetrics& m = IngestMetrics::Get();
+    m.compactions->Increment();
+    m.publishes->Increment();
+    m.generation->Set(static_cast<int64_t>(generation));
+    m.delta_bytes->Set(0);
+    m.compact_micros->Observe(
+        static_cast<int64_t>(rebuild.seconds() * 1e6));
+  }
+#endif  // TGKS_NO_STATS
+  return generation;
+}
+
+bool LiveGraph::ShouldCompactLocked() const {
+  GraphSnapshotHandle snap;
+  {
+    std::lock_guard<std::mutex> head_lock(head_mu_);
+    snap = head_;
+  }
+  if (snap->overlay == nullptr || snap->overlay->empty()) return false;
+  if (policy_.max_delta_bytes > 0 &&
+      snap->overlay->ApproxBytes() >= policy_.max_delta_bytes) {
+    return true;
+  }
+  if (policy_.max_delta_age_ms > 0) {
+    const auto age = std::chrono::steady_clock::now() -
+                     first_uncompacted_publish_;
+    if (age >= std::chrono::milliseconds(policy_.max_delta_age_ms)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void LiveGraph::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    stop_cv_.wait_for(lock,
+                      std::chrono::milliseconds(policy_.poll_interval_ms));
+    if (stopping_) return;
+    if (ShouldCompactLocked()) {
+      // Errors are unreachable for validated data; ignore defensively (the
+      // delta stays in place and the next poll retries).
+      (void)CompactLocked(/*manual=*/false);
+    }
+  }
+}
+
+}  // namespace tgks::ingest

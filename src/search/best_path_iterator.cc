@@ -6,7 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "graph/delta_overlay.h"
 #include "graph/expansion_view.h"
+#include "search/expansion_reader.h"
 
 namespace tgks::search {
 
@@ -20,9 +22,18 @@ BestPathIterator::BestPathIterator(const graph::TemporalGraph& graph,
       source_(source),
       options_(std::move(options)),
       scratch_(BestPathScratchPool::Acquire()) {
-  assert(source >= 0 && source < graph.num_nodes());
+  assert(source >= 0 &&
+         source < (options_.overlay != nullptr
+                       ? options_.overlay->total_nodes()
+                       : graph.num_nodes()));
+  // Reachability/guidance labels do not cover delta elements; callers must
+  // disable both while a non-empty overlay is live (the engine does).
+  assert(options_.overlay == nullptr || options_.overlay->empty() ||
+         (options_.viability == nullptr && options_.guidance_floor == nullptr));
   scratch_->Reset();
-  const graph::Node& src = graph.node(source);
+  const graph::Node& src = options_.overlay != nullptr
+                               ? options_.overlay->NodeAt(graph, source)
+                               : graph.node(source);
   if (options_.prune != nullptr &&
       !options_.prune->ElementMayQualify(src.validity,
           options_.containedby_prune)) {
@@ -149,26 +160,38 @@ NtdId BestPathIterator::Next() {
 }
 
 void BestPathIterator::ExpandNeighbors(NtdId id) {
+  const graph::ExpansionView& view = graph_->expansion_view();
+  if (options_.overlay != nullptr && !options_.overlay->empty()) {
+    const OverlayExpansionReader reader{view, *options_.overlay};
+    if (UsesSubsumptionSemantics()) {
+      ExpandNeighborsSubsumption(id, reader);
+    } else {
+      ExpandNeighborsPartition(id, reader);
+    }
+    return;
+  }
+  const BaseExpansionReader reader{view};
   if (UsesSubsumptionSemantics()) {
-    ExpandNeighborsSubsumption(id);
+    ExpandNeighborsSubsumption(id, reader);
   } else {
-    ExpandNeighborsPartition(id);
+    ExpandNeighborsPartition(id, reader);
   }
 }
 
-void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
+template <typename Reader>
+void BestPathIterator::ExpandNeighborsPartition(NtdId id,
+                                                const Reader& view) {
   // Arena blocks never move, so the parent NTD can be read by reference
   // across pushes.
   const Ntd& parent = scratch_->arena[static_cast<size_t>(id)];
   const NodeId node = parent.node;
   const double parent_dist = parent.dist;
 
-  // Expansion runs over the SoA view: slot order mirrors InEdges(node), and
-  // weights are verbatim copies, so the explored state space — and with it
-  // every work counter — is identical to expanding through the graph.
-  const graph::ExpansionView& view = graph_->expansion_view();
-  const graph::ExpansionView::SlotRange slots = view.InSlots(node);
-  for (int64_t s = slots.begin; s < slots.end; ++s) {
+  // Expansion runs over the SoA view (plus the delta run when an overlay is
+  // live): slot order mirrors InEdges(node), and weights are verbatim
+  // copies, so the explored state space — and with it every work counter —
+  // is identical to expanding through the graph.
+  view.ForEachInSlot(node, [&](int64_t s) {
     ++stats_.edges_scanned;
     const NodeId neighbor = view.src(s);
     if (options_.prune != nullptr) {
@@ -182,7 +205,7 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
           options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
                                  options_.trace_iter, parent_dist);
         });
-        continue;
+        return;
       }
       if (!view.WithNodeValidity(neighbor, may_qualify)) {
         TGKS_STATS(++stats_.prunes);
@@ -190,7 +213,7 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
           options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
                                  options_.trace_iter, parent_dist);
         });
-        continue;
+        return;
       }
     }
     // T∩ = T ∩ val(n' -> n); by the model invariant T∩ ⊆ val(n').
@@ -201,7 +224,7 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
     // update).
     view.IntersectEdgeValidity(s, parent.time, &scratch_->tmp);
     TGKS_STATS(++stats_.interval_ops);
-    if (scratch_->tmp.IsEmpty()) continue;
+    if (scratch_->tmp.IsEmpty()) return;
     if (options_.viability != nullptr &&
         !scratch_->tmp.Overlaps(
             (*options_.viability)[static_cast<size_t>(neighbor)])) {
@@ -209,7 +232,7 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
       // leaves claims over non-viable instants unrecorded, which never
       // changes accepted results (see docs/reachability.md).
       ++stats_.reachability_prunes;
-      continue;
+      return;
     }
     if (options_.guidance_floor != nullptr &&
         (*options_.guidance_floor)[static_cast<size_t>(neighbor)] ==
@@ -218,7 +241,7 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
       // path through it; its unrecorded claims only concern equally dead
       // instants at an equally dead node.
       ++stats_.guided_prunes;
-      continue;
+      return;
     }
     TGKS_STATS(++stats_.interval_ops);
     if (FullyClaimed(neighbor, scratch_->tmp)) {
@@ -228,15 +251,17 @@ void BestPathIterator::ExpandNeighborsPartition(NtdId id) {
         options_.trace->Record(obs::TraceEventKind::kDedupHit, neighbor,
                                options_.trace_iter, parent_dist);
       });
-      continue;
+      return;
     }
     PushNtd(neighbor, scratch_->tmp,
             parent_dist + view.edge_weight(s) + view.node_weight(neighbor),
             id, view.edge_id(s));
-  }
+  });
 }
 
-void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
+template <typename Reader>
+void BestPathIterator::ExpandNeighborsSubsumption(NtdId id,
+                                                  const Reader& view) {
   const Ntd& parent = scratch_->arena[static_cast<size_t>(id)];
   const NodeId node = parent.node;
   const double parent_dist = parent.dist;
@@ -257,9 +282,7 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
     }
   }
 
-  const graph::ExpansionView& view = graph_->expansion_view();
-  const graph::ExpansionView::SlotRange slots = view.InSlots(node);
-  for (int64_t s = slots.begin; s < slots.end; ++s) {
+  view.ForEachInSlot(node, [&](int64_t s) {
     ++stats_.edges_scanned;
     const NodeId neighbor = view.src(s);
     if (options_.prune != nullptr) {
@@ -273,7 +296,7 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
           options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
                                  options_.trace_iter, parent_dist);
         });
-        continue;
+        return;
       }
       if (!view.WithNodeValidity(neighbor, may_qualify)) {
         TGKS_STATS(++stats_.prunes);
@@ -281,12 +304,12 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
           options_.trace->Record(obs::TraceEventKind::kPrune, neighbor,
                                  options_.trace_iter, parent_dist);
         });
-        continue;
+        return;
       }
     }
     view.IntersectEdgeValidity(s, parent.time, &scratch_->tmp);
     TGKS_STATS(++stats_.interval_ops);
-    if (scratch_->tmp.IsEmpty()) continue;
+    if (scratch_->tmp.IsEmpty()) return;
     if (options_.viability != nullptr &&
         !scratch_->tmp.Overlaps(
             (*options_.viability)[static_cast<size_t>(neighbor)])) {
@@ -294,7 +317,7 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
       // subsume anything a viable path needs: any NTD it would subsume is
       // itself wholly non-viable and gets pruned here too.
       ++stats_.reachability_prunes;
-      continue;
+      return;
     }
     if (options_.guidance_floor != nullptr &&
         (*options_.guidance_floor)[static_cast<size_t>(neighbor)] ==
@@ -302,7 +325,7 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
       // Same argument per node instead of per instant: anything this NTD
       // would subsume lives at the same dead node and is equally useless.
       ++stats_.guided_prunes;
-      continue;
+      return;
     }
 
     NodeSubsumption& entry =
@@ -317,7 +340,7 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
         options_.trace->Record(obs::TraceEventKind::kDedupHit, neighbor,
                                options_.trace_iter, parent_dist);
       });
-      continue;
+      return;
     }
     // Case 3 (lines 13-15): evict NTDs strictly subsumed by T∩. Only queued
     // NTDs can be evicted: pops are in non-increasing duration order, so a
@@ -342,7 +365,7 @@ void BestPathIterator::ExpandNeighborsSubsumption(NtdId id) {
         view.edge_id(s));
     scratch_->arena[static_cast<size_t>(next_id)].index_row = row;
     entry.BindRow(row, next_id);
-  }
+  });
 }
 
 std::span<const NtdId> BestPathIterator::PoppedAt(NodeId node) const {

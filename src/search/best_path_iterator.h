@@ -48,6 +48,10 @@
 #include "temporal/interval_set.h"
 #include "temporal/ntd_bitmap_index.h"
 
+namespace tgks::graph {
+class DeltaOverlay;  // delta_overlay.h
+}
+
 namespace tgks::search {
 
 /// Work counters exposed for the evaluation harness.
@@ -117,6 +121,14 @@ class BestPathIterator {
     /// Hereditary like viability: expansion from a finite-floor NTD only
     /// needs nodes on root->match paths, all of which have finite floors.
     const std::vector<double>* guidance_floor = nullptr;
+    /// Optional append overlay for live graphs (not owned; see
+    /// graph/delta_overlay.h). When set and non-empty, expansion walks the
+    /// base ExpansionView run and then the node's delta in-edge run — the
+    /// exact enumeration a rebuilt graph would produce — and node reads
+    /// route by id between base and delta storage. Must not be combined
+    /// with viability/guidance_floor: reachability labels do not cover
+    /// delta elements (the engine forces both off while a delta is live).
+    const graph::DeltaOverlay* overlay = nullptr;
   };
 
   /// Starts a backward expansion from `source`. If the source itself fails
@@ -177,8 +189,14 @@ class BestPathIterator {
   NtdId PushNtd(graph::NodeId node, const temporal::IntervalSet& time,
                 double dist, NtdId parent, graph::EdgeId via_edge);
   void ExpandNeighbors(NtdId id);
-  void ExpandNeighborsPartition(NtdId id);
-  void ExpandNeighborsSubsumption(NtdId id);
+  /// Expansion loop bodies, templated over a slot reader (base-only or
+  /// base + delta overlay; see best_path_iterator.cc). The base-reader
+  /// instantiation inlines to exactly the pre-overlay code, so build-once
+  /// graphs see zero behavior or performance change.
+  template <typename Reader>
+  void ExpandNeighborsPartition(NtdId id, const Reader& reader);
+  template <typename Reader>
+  void ExpandNeighborsSubsumption(NtdId id, const Reader& reader);
 
   /// True iff every instant of `time` is already claimed at `node`
   /// (allocation-free; replaces the old Subtract-then-IsEmpty).

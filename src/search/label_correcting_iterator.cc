@@ -6,8 +6,10 @@
 #include <set>
 #include <unordered_set>
 
+#include "graph/delta_overlay.h"
 #include "graph/expansion_view.h"
 #include "graph/reachability_index.h"
+#include "search/expansion_reader.h"
 #include "search/result_tree.h"
 
 namespace tgks::search {
@@ -48,9 +50,17 @@ LabelCorrectingIterator::LabelCorrectingIterator(
       source_(source),
       options_(options),
       scratch_(LabelCorrectingScratchPool::Acquire()) {
-  assert(source >= 0 && source < graph.num_nodes());
+  assert(source >= 0 &&
+         source < (options_.overlay != nullptr
+                       ? options_.overlay->total_nodes()
+                       : graph.num_nodes()));
+  assert(options_.overlay == nullptr || options_.overlay->empty() ||
+         (options_.viability == nullptr && options_.guidance_floor == nullptr));
   scratch_->Reset();
-  const IntervalSet& validity = graph.node(source).validity;
+  const IntervalSet& validity =
+      options_.overlay != nullptr
+          ? options_.overlay->NodeAt(graph, source).validity
+          : graph.node(source).validity;
   if (validity.IsEmpty()) return;
   const NtdId id =
       TryKeep(source, validity, kInvalidNtd, graph::kInvalidEdge);
@@ -139,14 +149,20 @@ bool LabelCorrectingIterator::Run() {
                              static_cast<double>(time.Duration()));
     });
     const graph::ExpansionView& view = graph_->expansion_view();
-    const graph::ExpansionView::SlotRange slots = view.InSlots(node);
-    for (int64_t s = slots.begin; s < slots.end; ++s) {
-      view.IntersectEdgeValidity(s, time, &scratch_->tmp);
-      TGKS_STATS(++stats_.interval_ops);
-      if (scratch_->tmp.IsEmpty()) continue;
-      const NtdId kept =
-          TryKeep(view.src(s), scratch_->tmp, id, view.edge_id(s));
-      if (kept != kInvalidNtd) worklist_.push_back(kept);
+    const auto relax = [&](const auto& reader) {
+      reader.ForEachInSlot(node, [&](int64_t s) {
+        reader.IntersectEdgeValidity(s, time, &scratch_->tmp);
+        TGKS_STATS(++stats_.interval_ops);
+        if (scratch_->tmp.IsEmpty()) return;
+        const NtdId kept =
+            TryKeep(reader.src(s), scratch_->tmp, id, reader.edge_id(s));
+        if (kept != kInvalidNtd) worklist_.push_back(kept);
+      });
+    };
+    if (options_.overlay != nullptr && !options_.overlay->empty()) {
+      relax(OverlayExpansionReader{view, *options_.overlay});
+    } else {
+      relax(BaseExpansionReader{view});
     }
     TGKS_STATS(stats_.worklist_high_water =
                    std::max(stats_.worklist_high_water,
@@ -204,11 +220,18 @@ std::vector<InverseSearchResult> SearchInverse(
     const std::vector<std::vector<NodeId>>& matches,
     InverseRankFactor factor, int32_t k,
     int64_t max_relaxations_per_iterator, bool reachability_prune,
-    bool guided_prune) {
+    bool guided_prune, const graph::DeltaOverlay* overlay) {
   const size_t m = matches.size();
   LabelCorrectingIterator::Options options;
   options.factor = factor;
   options.max_relaxations = max_relaxations_per_iterator;
+  if (overlay != nullptr && !overlay->empty()) {
+    // Reachability labels do not cover delta elements; fall back to the
+    // sound no-prune mode until the next compaction rebuilds them.
+    reachability_prune = false;
+    guided_prune = false;
+    options.overlay = overlay;
+  }
   std::vector<IntervalSet> viability;
   if (reachability_prune) {
     graph.reachability().ComputeViability(matches, &viability);
@@ -241,7 +264,10 @@ std::vector<InverseSearchResult> SearchInverse(
   // fragment per keyword, intersect, assemble.
   std::vector<InverseSearchResult> results;
   std::set<std::string> seen;
-  for (NodeId root = 0; root < graph.num_nodes(); ++root) {
+  const NodeId total_nodes = options.overlay != nullptr
+                                 ? options.overlay->total_nodes()
+                                 : graph.num_nodes();
+  for (NodeId root = 0; root < total_nodes; ++root) {
     // Gather (iterator, fragment) pairs per keyword at this node.
     std::vector<std::vector<std::pair<const LabelCorrectingIterator*, NtdId>>>
         lists(m);
@@ -272,7 +298,8 @@ std::vector<InverseSearchResult> SearchInverse(
           leaf_matches[i] = chosen[i].first->source();
         }
         auto tree = AssembleCandidate(graph, root, paths, leaf_matches,
-                                      &match_views);
+                                      &match_views, /*rejection=*/nullptr,
+                                      options.overlay);
         if (!tree.has_value()) return;
         if (!seen.insert(tree->Signature()).second) return;
         InverseSearchResult result;

@@ -50,6 +50,10 @@
 #include "temporal/interval_set.h"
 #include "temporal/ntd_bitmap_index.h"
 
+namespace tgks::graph {
+class DeltaOverlay;  // delta_overlay.h
+}
+
 namespace tgks::search {
 
 /// Work counters for the label-correcting relaxation (observability; all
@@ -108,6 +112,10 @@ class LabelCorrectingIterator {
     /// dominance check. Finite floors are weight bounds and do not apply to
     /// the inverse (time-only) ranking directions.
     const std::vector<double>* guidance_floor = nullptr;
+    /// Optional append overlay for live graphs (not owned; see
+    /// graph/delta_overlay.h and search/expansion_reader.h). Must not be
+    /// combined with viability/guidance_floor while non-empty.
+    const graph::DeltaOverlay* overlay = nullptr;
   };
 
   /// Prepares a run from `source`; the graph must outlive the iterator.
@@ -191,12 +199,16 @@ struct InverseSearchResult {
 /// `guided_prune` opts into the guidance infinity-floor prune (also
 /// identical results: only nodes provably outside every answer tree are
 /// skipped).
+/// `overlay`, when set and non-empty, searches the live snapshot (base
+/// graph + delta); both prunes are forced off in that case because the
+/// reachability labels do not cover delta elements.
 std::vector<InverseSearchResult> SearchInverse(
     const graph::TemporalGraph& graph,
     const std::vector<std::vector<graph::NodeId>>& matches,
     InverseRankFactor factor, int32_t k,
     int64_t max_relaxations_per_iterator = 200000,
-    bool reachability_prune = false, bool guided_prune = false);
+    bool reachability_prune = false, bool guided_prune = false,
+    const graph::DeltaOverlay* overlay = nullptr);
 
 }  // namespace tgks::search
 

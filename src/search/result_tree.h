@@ -19,6 +19,10 @@
 #include "search/ranking.h"
 #include "temporal/interval_set.h"
 
+namespace tgks::graph {
+class DeltaOverlay;  // delta_overlay.h
+}
+
 namespace tgks::search {
 
 /// A validated query result.
@@ -64,13 +68,16 @@ enum class CandidateRejection {
 /// tree node matching keyword i counts as covering it during reduction;
 /// otherwise only the designated `matches[i]` covers i.
 /// `rejection` (optional) reports the failure reason.
+/// `overlay` (optional) routes element reads for delta node/edge ids on
+/// live snapshots; base-only candidates read the graph directly either way.
 std::optional<ResultTree> AssembleCandidate(
     const graph::TemporalGraph& graph, graph::NodeId root,
     const std::vector<std::vector<graph::EdgeId>>& paths,
     const std::vector<graph::NodeId>& matches,
     const std::vector<const std::unordered_set<graph::NodeId>*>* match_sets =
         nullptr,
-    CandidateRejection* rejection = nullptr);
+    CandidateRejection* rejection = nullptr,
+    const graph::DeltaOverlay* overlay = nullptr);
 
 }  // namespace tgks::search
 

@@ -4,7 +4,9 @@
 #include "cache/match_set_cache.h"
 #include "cache/query_caches.h"
 #include "cache/viability_cache.h"
+#include "common/strings.h"
 #include "common/timer.h"
+#include "graph/delta_overlay.h"
 #include "graph/reachability_index.h"
 #include "obs/metrics.h"
 
@@ -159,7 +161,23 @@ class Runner {
         options_(options),
         m_(query.keywords.size()),
         match_lists_(std::move(matches)),
-        reached_(static_cast<size_t>(graph.num_nodes())) {}
+        reached_(static_cast<size_t>(options.overlay != nullptr
+                                         ? options.overlay->total_nodes()
+                                         : graph.num_nodes())) {
+    // An empty overlay is indistinguishable from none; normalizing here
+    // keeps every downstream check a plain null test.
+    if (options_.overlay != nullptr && options_.overlay->empty()) {
+      options_.overlay = nullptr;
+    }
+    if (options_.overlay != nullptr) {
+      // Conservative no-prune fallback on live snapshots: the base
+      // ReachabilityIndex does not cover delta connectivity, so pruning
+      // with it would be unsound until compaction rebuilds the labeling
+      // (docs/ingest.md, "Conservative pruning").
+      options_.reachability_prune = false;
+      options_.guided_search = false;
+    }
+  }
 
   SearchResponse Run() {
     if (options_.deadline_ms > 0) {
@@ -357,7 +375,11 @@ class Runner {
       list.erase(std::unique(list.begin(), list.end()), list.end());
       if (pred != nullptr) {
         std::erase_if(list, [&](NodeId n) {
-          return !pred->ElementMayQualify(graph_.node(n).validity,
+          const IntervalSet& validity =
+              options_.overlay != nullptr
+                  ? options_.overlay->NodeAt(graph_, n).validity
+                  : graph_.node(n).validity;
+          return !pred->ElementMayQualify(validity,
                                           options_.containedby_prune);
         });
       }
@@ -381,6 +403,7 @@ class Runner {
     iter_options.containedby_prune = options_.containedby_prune;
     iter_options.duration_index = options_.duration_index;
     iter_options.trace = options_.trace;
+    iter_options.overlay = options_.overlay;
     if (options_.reachability_prune) iter_options.viability = viability_view_;
     if (guided_active_) {
       iter_options.guidance_floor = &guidance_view_->cone_floor;
@@ -584,7 +607,8 @@ class Runner {
     }
     CandidateRejection rejection = CandidateRejection::kAccepted;
     auto tree = AssembleCandidate(graph_, root, paths, matches,
-                                  &match_set_views_, &rejection);
+                                  &match_set_views_, &rejection,
+                                  options_.overlay);
     if (!tree.has_value()) {
       switch (rejection) {
         case CandidateRejection::kNotATree:
@@ -1120,6 +1144,7 @@ class Runner {
     iter_options.prune = query_.predicate.get();
     iter_options.containedby_prune = options_.containedby_prune;
     iter_options.duration_index = options_.duration_index;
+    iter_options.overlay = options_.overlay;
     if (options_.reachability_prune) iter_options.viability = viability_view_;
     if (guided_active_) {
       iter_options.guidance_floor = &guidance_view_->cone_floor;
@@ -1281,7 +1306,9 @@ class Runner {
  private:
   const graph::TemporalGraph& graph_;
   const Query& query_;
-  const SearchOptions& options_;
+  /// By value: the ctor normalizes an empty overlay to null and forces the
+  /// prune flags off on live snapshots, so the struct must be mutable.
+  SearchOptions options_;
   const size_t m_;
 
   std::chrono::steady_clock::time_point deadline_{};
@@ -1363,6 +1390,10 @@ Result<SearchResponse> SearchEngine::Search(const Query& query,
   cache::MatchSetCache* mcache = options.query_caches != nullptr
                                      ? &options.query_caches->match_sets()
                                      : nullptr;
+  const graph::DeltaOverlay* overlay =
+      options.overlay != nullptr && !options.overlay->empty()
+          ? options.overlay
+          : nullptr;
   for (const std::string& keyword : query.keywords) {
     if (mcache != nullptr) {
       // Level-1 cache (docs/caching.md): the cached MatchSet stores the
@@ -1375,6 +1406,15 @@ Result<SearchResponse> SearchEngine::Search(const Query& query,
     } else {
       const auto posting = index_->Lookup(keyword);
       matches.emplace_back(posting.begin(), posting.end());
+    }
+    if (overlay != nullptr) {
+      // Incremental index maintenance (docs/ingest.md): delta postings are
+      // merged at match-materialization time. Cached match sets stay
+      // base-only (they belong to the snapshot's base index); delta ids
+      // all exceed base ids, so the append preserves sorted-unique form —
+      // exactly what a rebuilt index would have returned.
+      const auto extra = overlay->Postings(AsciiToLower(keyword));
+      matches.back().insert(matches.back().end(), extra.begin(), extra.end());
     }
   }
   match_timer.Stop();
@@ -1393,9 +1433,12 @@ Result<SearchResponse> SearchEngine::SearchWithMatches(
   if (matches.size() != query.keywords.size()) {
     return Status::InvalidArgument("one match list per keyword required");
   }
+  const NodeId total_nodes = options.overlay != nullptr
+                                 ? options.overlay->total_nodes()
+                                 : graph_->num_nodes();
   for (const auto& list : matches) {
     for (const NodeId n : list) {
-      if (n < 0 || n >= graph_->num_nodes()) {
+      if (n < 0 || n >= total_nodes) {
         return Status::InvalidArgument("match node out of range");
       }
     }

@@ -32,6 +32,10 @@ namespace tgks::cache {
 class QueryCaches;  // cache/query_caches.h
 }  // namespace tgks::cache
 
+namespace tgks::graph {
+class DeltaOverlay;  // graph/delta_overlay.h
+}  // namespace tgks::graph
+
 namespace tgks::search {
 
 /// Score upper bounds for unseen results (§4.2).
@@ -125,6 +129,18 @@ struct SearchOptions {
   /// recomputation. Results and work counters are unchanged by caching —
   /// only wall time and the SearchCounters::cache_* fields differ.
   cache::QueryCaches* query_caches = nullptr;
+  /// Live-snapshot delta overlay (docs/ingest.md; not owned, immutable,
+  /// must outlive the call). When non-null and non-empty the engine reads
+  /// graph elements through it — keyword match lists gain the overlay's
+  /// delta postings, expansion walks base in-edge runs followed by delta
+  /// runs (the exact enumeration order a rebuilt graph would produce), and
+  /// candidate assembly routes delta element ids through the overlay. A
+  /// non-empty overlay forces reachability_prune and guided_search OFF for
+  /// the call: the base ReachabilityIndex does not speak for delta-touched
+  /// connectivity, so the only sound policy until compaction folds the
+  /// delta in is to not prune (docs/ingest.md, "Conservative pruning").
+  /// An empty overlay is identical to null.
+  const graph::DeltaOverlay* overlay = nullptr;
   /// Safety valve: stop after this many NTD pops (<= 0 = unlimited).
   int64_t max_pops = -1;
   /// Safety valve: cap on NTD-set cross products explored per pop.

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "ingest/ingest_batch.h"
+#include "ingest/live_graph.h"
 #include "obs/metrics.h"
 #include "obs/search_stats.h"
 #include "server/json_io.h"
@@ -186,6 +188,26 @@ std::string JsonParseErrorBody(const search::ParseErrorDetail& detail) {
   return w.Take();
 }
 
+std::string JsonIngestErrorBody(const ingest::IngestErrorDetail& detail) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.BeginObject();
+  w.Key("type");
+  w.String("ingest-validate");
+  w.Key("code");
+  w.String(ingest::IngestErrorCodeName(detail.code));
+  w.Key("field");
+  w.String(detail.field);
+  w.Key("offset");
+  w.Int(detail.offset);
+  w.Key("message");
+  w.String(detail.message);
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
 std::string JsonSearchBody(const search::SearchResponse& response,
                            double latency_seconds, bool include_stats) {
   JsonWriter w;
@@ -314,6 +336,153 @@ HttpResponse RequestRouter::HandleCacheInvalidate() const {
   return JsonResponse(200, w.Take());
 }
 
+HttpResponse RequestRouter::HandleIngest(const HttpRequest& request) const {
+  if (context_.live == nullptr) {
+    return JsonResponse(
+        404, JsonErrorBody("not-found",
+                           "live ingest is not enabled (serve with --live)"));
+  }
+  // Size gate first: a body over the ceiling is refused before any JSON
+  // work, so an oversized payload costs the server nothing but the read.
+  const int64_t bytes = static_cast<int64_t>(request.body.size());
+  if (context_.max_ingest_bytes > 0 && bytes > context_.max_ingest_bytes) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("error");
+    w.BeginObject();
+    w.Key("type");
+    w.String("too-large");
+    w.Key("max_bytes");
+    w.Int(context_.max_ingest_bytes);
+    w.Key("message");
+    w.String("ingest body exceeds the configured ceiling");
+    w.EndObject();
+    w.EndObject();
+    return JsonResponse(413, w.Take());
+  }
+  // Ingest shares the search admission budget: its bytes count against
+  // --max-inflight-bytes and its slot against --max-queue, so a flood of
+  // writes sheds with 429 instead of starving reads (docs/ingest.md).
+  ShedReason shed = ShedReason::kNone;
+  if (context_.admission != nullptr &&
+      !context_.admission->TryAdmit(bytes, &shed)) {
+    if (shed == ShedReason::kShuttingDown) {
+      HttpResponse response = JsonResponse(
+          503, JsonErrorBody("draining", "server is shutting down"));
+      response.close_connection = true;
+      return response;
+    }
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("error");
+    w.BeginObject();
+    w.Key("type");
+    w.String("overload");
+    w.Key("reason");
+    w.String(ShedReasonName(shed));
+    w.Key("retry_after_seconds");
+    w.Int(context_.admission->options().retry_after_seconds);
+    w.EndObject();
+    w.EndObject();
+    HttpResponse response = JsonResponse(429, w.Take());
+    response.extra_headers.emplace_back(
+        "retry-after",
+        std::to_string(context_.admission->options().retry_after_seconds));
+    return response;
+  }
+  // Admitted: everything below runs synchronously (validation plus an
+  // O(delta) overlay copy), so release on every exit path.
+  const auto release = [&] {
+    if (context_.admission != nullptr) context_.admission->Release(bytes);
+  };
+
+  Result<JsonValue> doc = JsonValue::Parse(request.body);
+  if (!doc.ok()) {
+    release();
+    return JsonResponse(400,
+                        JsonErrorBody("json", doc.status().message()));
+  }
+  ingest::IngestErrorDetail detail;
+  std::optional<ingest::IngestBatch> batch = ingest::ParseIngestBatch(
+      *doc, context_.live->timeline_length(), &detail);
+  if (!batch.has_value()) {
+    release();
+    return JsonResponse(400, JsonIngestErrorBody(detail));
+  }
+  if (batch->empty()) {
+    // Rejected rather than applied: an empty publish would bump the
+    // generation and flush every cache for nothing.
+    detail.code = ingest::IngestErrorCode::kBadShape;
+    detail.field = "";
+    detail.offset = -1;
+    detail.message = "batch must contain at least one node or edge";
+    release();
+    return JsonResponse(400, JsonIngestErrorBody(detail));
+  }
+  const size_t nodes = batch->nodes.size();
+  const size_t edges = batch->edges.size();
+  Result<uint64_t> generation = context_.live->Apply(*batch, &detail);
+  release();
+  if (!generation.ok()) {
+    return JsonResponse(400, JsonIngestErrorBody(detail));
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String("ok");
+  w.Key("generation");
+  w.Int(static_cast<int64_t>(*generation));
+  w.Key("nodes_added");
+  w.Int(static_cast<int64_t>(nodes));
+  w.Key("edges_added");
+  w.Int(static_cast<int64_t>(edges));
+  w.Key("delta_bytes");
+  w.Int(static_cast<int64_t>(context_.live->delta_bytes()));
+  w.EndObject();
+  HttpResponse response = JsonResponse(200, w.Take());
+  // Same header searches carry, so clients can compute how far reads lag
+  // the newest published generation from one header.
+  response.extra_headers.emplace_back("x-snapshot-generation",
+                                      std::to_string(*generation));
+  return response;
+}
+
+HttpResponse RequestRouter::HandleCompact() const {
+  if (context_.live == nullptr) {
+    return JsonResponse(
+        404, JsonErrorBody("not-found",
+                           "live ingest is not enabled (serve with --live)"));
+  }
+  Result<uint64_t> generation = context_.live->Compact(/*manual=*/true);
+  if (!generation.ok()) {
+    return JsonResponse(
+        500, JsonErrorBody("internal", generation.status().message()));
+  }
+  const ingest::CompactionStats stats = context_.live->compaction_stats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String("ok");
+  w.Key("generation");
+  w.Int(static_cast<int64_t>(*generation));
+  w.Key("runs");
+  w.Int(stats.runs);
+  w.Key("manual_runs");
+  w.Int(stats.manual_runs);
+  w.Key("nodes_folded");
+  w.Int(stats.nodes_folded);
+  w.Key("edges_folded");
+  w.Int(stats.edges_folded);
+  w.Key("last_rebuild_seconds");
+  w.Double(stats.last_rebuild_seconds);
+  w.Key("last_swap_seconds");
+  w.Double(stats.last_swap_seconds);
+  w.Key("delta_bytes");
+  w.Int(static_cast<int64_t>(context_.live->delta_bytes()));
+  w.EndObject();
+  return JsonResponse(200, w.Take());
+}
+
 HttpResponse RequestRouter::HandleVarz() const {
   JsonWriter w;
   w.BeginObject();
@@ -326,6 +495,37 @@ HttpResponse RequestRouter::HandleVarz() const {
     w.Int(static_cast<int64_t>(context_.graph->num_edges()));
     w.Key("timeline_length");
     w.Int(static_cast<int64_t>(context_.graph->timeline_length()));
+  }
+  if (context_.live != nullptr) {
+    const ingest::GraphSnapshotHandle snap = context_.live->Acquire();
+    const ingest::IngestStats ingested = context_.live->ingest_stats();
+    const ingest::CompactionStats compaction =
+        context_.live->compaction_stats();
+    w.Key("live");
+    w.Bool(true);
+    w.Key("snapshot_generation");
+    w.Int(static_cast<int64_t>(snap->generation));
+    w.Key("snapshot_nodes");
+    w.Int(static_cast<int64_t>(snap->total_nodes()));
+    w.Key("snapshot_edges");
+    w.Int(static_cast<int64_t>(snap->total_edges()));
+    w.Key("delta_bytes");
+    w.Int(static_cast<int64_t>(
+        snap->overlay != nullptr ? snap->overlay->ApproxBytes() : 0));
+    w.Key("ingest_batches");
+    w.Int(ingested.batches);
+    w.Key("ingest_nodes");
+    w.Int(ingested.nodes_added);
+    w.Key("ingest_edges");
+    w.Int(ingested.edges_added);
+    w.Key("compactions");
+    w.Int(compaction.runs);
+    w.Key("manual_compactions");
+    w.Int(compaction.manual_runs);
+    w.Key("last_compaction_rebuild_seconds");
+    w.Double(compaction.last_rebuild_seconds);
+    w.Key("last_compaction_swap_seconds");
+    w.Double(compaction.last_swap_seconds);
   }
   if (context_.executor != nullptr) {
     w.Key("threads");
@@ -420,7 +620,15 @@ bool RequestRouter::Handle(const HttpRequest& request, HttpResponse* immediate,
   }
 
   std::string route{path};
-  if (path == "/v1/cache/invalidate") {
+  if (path == "/v1/ingest") {
+    *immediate = request.method == "POST"
+                     ? HandleIngest(request)
+                     : JsonResponse(405, JsonErrorBody("method", "use POST"));
+  } else if (path == "/v1/compact") {
+    *immediate = request.method == "POST"
+                     ? HandleCompact()
+                     : JsonResponse(405, JsonErrorBody("method", "use POST"));
+  } else if (path == "/v1/cache/invalidate") {
     *immediate =
         request.method == "POST"
             ? HandleCacheInvalidate()
@@ -477,6 +685,14 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
     return true;
   }
 
+  // Live mode (docs/ingest.md): pin ONE snapshot for the whole request,
+  // right here at admission. Everything downstream — matches bounds, the
+  // engine's graph/index/overlay, the per-snapshot query caches — reads
+  // this immutable view; a publish racing the request retires the old
+  // snapshot only after the query drops the pin.
+  ingest::GraphSnapshotHandle snapshot;
+  if (context_.live != nullptr) snapshot = context_.live->Acquire();
+
   exec::SingleQuery single;
   single.query.query = *std::move(query);
 
@@ -515,9 +731,11 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
       return true;
     }
     const int64_t num_nodes =
-        context_.graph != nullptr
-            ? static_cast<int64_t>(context_.graph->num_nodes())
-            : 0;
+        snapshot != nullptr
+            ? static_cast<int64_t>(snapshot->total_nodes())
+            : (context_.graph != nullptr
+                   ? static_cast<int64_t>(context_.graph->num_nodes())
+                   : 0);
     for (const JsonValue& list : matches->items()) {
       if (!list.is_array()) {
         *immediate = JsonResponse(
@@ -628,11 +846,23 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
   uint64_t cache_generation = 0;
   if (cache_eligible) {
     fingerprint = CacheFingerprint(single);
+    if (snapshot != nullptr) {
+      // Scope the key to the pinned snapshot: a request admitted after a
+      // publish can never hit — or coalesce onto — a flight answering from
+      // the previous snapshot. (InvalidateAll on publish already flushes
+      // stored entries; this closes the in-flight coalescing window too.)
+      fingerprint += "\x1f snap=";
+      fingerprint += std::to_string(snapshot->generation);
+    }
     // Tier 1: fingerprint hit. Serves the stored bytes immediately,
     // bypassing admission — that is the cache's whole point under load.
     if (const auto hit = context_.result_cache->Lookup(fingerprint)) {
       *immediate = JsonResponse(200, hit->body);
       immediate->extra_headers.emplace_back("x-cache", "hit");
+      if (snapshot != nullptr) {
+        immediate->extra_headers.emplace_back(
+            "x-snapshot-generation", std::to_string(snapshot->generation));
+      }
       return true;
     }
     cache_generation = context_.result_cache->generation();
@@ -693,6 +923,19 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
   if (pending != nullptr && !cache_eligible) *pending = handle;
   single.cancel = &handle->cancel;
 
+  // Bind the pinned snapshot to the query: the executor runs it against
+  // exactly this view, and the pin rides along until the completion has
+  // delivered the response.
+  const int64_t snapshot_generation =
+      snapshot != nullptr ? static_cast<int64_t>(snapshot->generation) : -1;
+  if (snapshot != nullptr) {
+    single.snapshot.pin = snapshot;
+    single.snapshot.graph = snapshot->graph.get();
+    single.snapshot.index = snapshot->index.get();
+    single.snapshot.overlay = snapshot->overlay_or_null();
+    single.snapshot.caches = snapshot->caches.get();
+  }
+
   AdmissionController* admission = context_.admission;
   cache::ResultCache* result_cache = context_.result_cache;
   RequestRouter* self = this;
@@ -700,6 +943,7 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
       std::move(single),
       [self, admission, bytes, include_stats, handle, cache_eligible,
        result_cache, fingerprint = std::move(fingerprint), cache_generation,
+       snapshot_generation,
        done = std::move(done)](Result<search::SearchResponse> response,
                                double seconds) {
         HttpResponse http;
@@ -726,6 +970,12 @@ bool RequestRouter::HandleSearch(const HttpRequest& request,
                                cache_generation);
         }
         if (admission != nullptr) admission->Release(bytes);
+        if (snapshot_generation >= 0) {
+          // Which snapshot answered: loadgen reads this to measure how far
+          // reads lag the newest published generation.
+          http.extra_headers.emplace_back("x-snapshot-generation",
+                                          std::to_string(snapshot_generation));
+        }
         self->CountRequest("/v1/search", http.status);
 #ifndef TGKS_NO_STATS
         obs::GlobalMetrics()

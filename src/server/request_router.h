@@ -3,6 +3,10 @@
 //   POST /v1/search  JSON query in, JSON results out (through the result
 //                    cache when configured, then admission control and the
 //                    executor's asynchronous Submit path)
+//   POST /v1/ingest  live mode only (docs/ingest.md): appends a batch of
+//                    nodes/edges and publishes a new graph snapshot
+//   POST /v1/compact live mode only: synchronously folds the delta into a
+//                    rebuilt base graph
 //   POST /v1/cache/invalidate  epoch invalidation hook: clears every
 //                    configured cache level and bumps the generation
 //   GET  /metrics    Prometheus text exposition of the global registry
@@ -44,6 +48,11 @@
 #include "server/admission.h"
 #include "server/connection.h"
 
+namespace tgks::ingest {
+class LiveGraph;           // ingest/live_graph.h
+struct IngestErrorDetail;  // ingest/ingest_batch.h
+}  // namespace tgks::ingest
+
 namespace tgks::server {
 
 /// Everything the router needs; all pointers are borrowed and must outlive
@@ -73,6 +82,15 @@ struct RouterContext {
   /// reaches it through its SearchOptions; the router only needs it for
   /// /varz and the /v1/cache/invalidate hook.
   cache::QueryCaches* query_caches = nullptr;
+  /// Optional live-graph publication layer (docs/ingest.md; not owned).
+  /// Null = static serving: /v1/ingest and /v1/compact answer 404, searches
+  /// run against `graph` directly. Non-null = every search pins one
+  /// snapshot at admission and the per-snapshot cache bundle replaces
+  /// `query_caches` on the engine path.
+  ingest::LiveGraph* live = nullptr;
+  /// Ceiling for /v1/ingest request bodies; larger bodies get 413 before
+  /// any parsing.
+  int64_t max_ingest_bytes = 4 * 1024 * 1024;
 };
 
 /// A deferred search in flight: the server keeps the handle to cancel the
@@ -108,6 +126,10 @@ class RequestRouter {
   HttpResponse HandleVarz() const;
   /// POST /v1/cache/invalidate: InvalidateAll on every configured level.
   HttpResponse HandleCacheInvalidate() const;
+  /// POST /v1/ingest: validate + apply one batch, publish a new snapshot.
+  HttpResponse HandleIngest(const HttpRequest& request) const;
+  /// POST /v1/compact: synchronously fold the delta into the base.
+  HttpResponse HandleCompact() const;
   /// Parses + admits + submits; fills *immediate on any synchronous outcome.
   bool HandleSearch(const HttpRequest& request, HttpResponse* immediate,
                     Completion done, std::shared_ptr<PendingSearch>* pending);
@@ -136,6 +158,11 @@ std::string JsonErrorBody(std::string_view type, std::string_view message);
 /// Renders the JSON body for a structured query parse error (the HTTP 400
 /// mapping of search::ParseErrorDetail).
 std::string JsonParseErrorBody(const search::ParseErrorDetail& detail);
+
+/// Renders the JSON body for a structured ingest validation error (the
+/// HTTP 400 mapping of ingest::IngestErrorDetail): {"error":{"type":
+/// "ingest-validate","code":...,"field":...,"offset":...,"message":...}}.
+std::string JsonIngestErrorBody(const ingest::IngestErrorDetail& detail);
 
 /// Renders a SearchResponse as the /v1/search response body.
 /// `include_stats` gates the counters/stats/latency sections so default

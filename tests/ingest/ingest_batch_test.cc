@@ -1,0 +1,224 @@
+// Unit tests for the ingest wire format: parsing, static validation, and
+// canonicalization of POST /v1/ingest bodies (src/ingest/ingest_batch.h).
+// Every IngestErrorCode is exercised at least once, and canonicalization
+// is pinned to GraphBuilder's kClamp conventions (merge + clip).
+
+#include "ingest/ingest_batch.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "server/json_io.h"
+#include "temporal/interval_set.h"
+
+namespace tgks::ingest {
+namespace {
+
+using server::JsonValue;
+using temporal::IntervalSet;
+
+constexpr temporal::TimePoint kTimeline = 10;
+
+std::optional<IngestBatch> Parse(const std::string& body,
+                                 IngestErrorDetail* error) {
+  auto doc = JsonValue::Parse(body);
+  EXPECT_TRUE(doc.ok()) << body;
+  return ParseIngestBatch(*doc, kTimeline, error);
+}
+
+TEST(IngestBatchTest, ParsesNodesAndEdgesWithDefaults) {
+  IngestErrorDetail error;
+  const auto batch = Parse(
+      R"({"nodes": [{"label": "alice smith"}],
+          "edges": [{"src": 3, "dst_new": 0}]})",
+      &error);
+  ASSERT_TRUE(batch.has_value()) << error.message;
+  ASSERT_EQ(batch->nodes.size(), 1u);
+  EXPECT_EQ(batch->nodes[0].label, "alice smith");
+  EXPECT_EQ(batch->nodes[0].weight, 0.0);  // Node weight default.
+  // Omitted node validity = the whole timeline.
+  EXPECT_TRUE(batch->nodes[0].validity == IntervalSet::All(kTimeline));
+  ASSERT_EQ(batch->edges.size(), 1u);
+  EXPECT_EQ(batch->edges[0].src, 3);
+  EXPECT_EQ(batch->edges[0].src_new, -1);
+  EXPECT_EQ(batch->edges[0].dst_new, 0);
+  EXPECT_EQ(batch->edges[0].weight, 1.0);  // Edge weight default.
+  // Omitted edge validity stays unset: resolved to the endpoint
+  // intersection at apply time, not here.
+  EXPECT_FALSE(batch->edges[0].validity.has_value());
+}
+
+TEST(IngestBatchTest, EmptyBodyYieldsEmptyBatch) {
+  IngestErrorDetail error;
+  const auto batch = Parse("{}", &error);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_TRUE(batch->empty());
+}
+
+TEST(IngestBatchTest, CanonicalizesOverlappingUnsortedIntervals) {
+  IngestErrorDetail error;
+  const auto batch = Parse(
+      R"({"nodes": [{"label": "n",
+                     "validity": [[6, 8], [0, 3], [2, 5]]}]})",
+      &error);
+  ASSERT_TRUE(batch.has_value()) << error.message;
+  // [0,3] ∪ [2,5] merge; [6,8] stays separate (not adjacent to 5? 5 and 6
+  // ARE adjacent instants, so the normalizing constructor coalesces them).
+  const IntervalSet expected{{0, 8}};
+  EXPECT_TRUE(batch->nodes[0].validity == expected)
+      << batch->nodes[0].validity.ToString();
+}
+
+TEST(IngestBatchTest, ClipsValidityToTimeline) {
+  IngestErrorDetail error;
+  const auto batch = Parse(
+      R"({"nodes": [{"label": "n", "validity": [[-4, 2], [8, 99]]}],
+          "edges": [{"src": 0, "dst": 1, "validity": [[40, 50]]}]})",
+      &error);
+  ASSERT_TRUE(batch.has_value()) << error.message;
+  const IntervalSet expected{{0, 2}, {8, 9}};
+  EXPECT_TRUE(batch->nodes[0].validity == expected)
+      << batch->nodes[0].validity.ToString();
+  // An interval entirely outside the timeline contributes nothing; the
+  // explicitly-empty edge validity survives to apply time (where it
+  // becomes edge-never-valid).
+  ASSERT_TRUE(batch->edges[0].validity.has_value());
+  EXPECT_TRUE(batch->edges[0].validity->IsEmpty());
+}
+
+TEST(IngestBatchTest, RejectsNonObjectBody) {
+  IngestErrorDetail error;
+  EXPECT_FALSE(Parse("[1, 2]", &error).has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadShape);
+  EXPECT_EQ(error.field, "");
+  EXPECT_EQ(error.offset, -1);
+}
+
+TEST(IngestBatchTest, RejectsNonArrayNodesAndEdges) {
+  IngestErrorDetail error;
+  EXPECT_FALSE(Parse(R"({"nodes": 7})", &error).has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadShape);
+  EXPECT_EQ(error.field, "nodes");
+
+  EXPECT_FALSE(Parse(R"({"edges": {}})", &error).has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadShape);
+  EXPECT_EQ(error.field, "edges");
+}
+
+TEST(IngestBatchTest, RejectsNodeWithoutLabel) {
+  IngestErrorDetail error;
+  EXPECT_FALSE(
+      Parse(R"({"nodes": [{"label": "ok"}, {"weight": 1}]})", &error)
+          .has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadShape);
+  EXPECT_EQ(error.field, "nodes");
+  EXPECT_EQ(error.offset, 1);  // The second element broke the rule.
+}
+
+TEST(IngestBatchTest, RejectsMalformedValidityShapes) {
+  IngestErrorDetail error;
+  EXPECT_FALSE(
+      Parse(R"({"nodes": [{"label": "n", "validity": 3}]})", &error)
+          .has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadShape);
+
+  EXPECT_FALSE(
+      Parse(R"({"nodes": [{"label": "n", "validity": [[1, 2, 3]]}]})", &error)
+          .has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadShape);
+
+  EXPECT_FALSE(
+      Parse(R"({"nodes": [{"label": "n", "validity": [[1, "x"]]}]})", &error)
+          .has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadShape);
+}
+
+TEST(IngestBatchTest, RejectsIntervalOrderViolation) {
+  IngestErrorDetail error;
+  EXPECT_FALSE(
+      Parse(R"({"edges": [{"src": 0, "dst": 1, "validity": [[5, 2]]}]})",
+            &error)
+          .has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kIntervalOrder);
+  EXPECT_EQ(error.field, "edges");
+  EXPECT_EQ(error.offset, 0);
+}
+
+TEST(IngestBatchTest, RejectsNonFiniteWeight) {
+  IngestErrorDetail error;
+  // 1e999 overflows double parsing to infinity.
+  EXPECT_FALSE(
+      Parse(R"({"nodes": [{"label": "n", "weight": 1e999}]})", &error)
+          .has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kWeightNotFinite);
+}
+
+TEST(IngestBatchTest, RejectsNegativeWeight) {
+  IngestErrorDetail error;
+  EXPECT_FALSE(
+      Parse(R"({"edges": [{"src": 0, "dst": 1, "weight": -0.5}]})", &error)
+          .has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kWeightNegative);
+  EXPECT_EQ(error.field, "edges");
+}
+
+TEST(IngestBatchTest, RejectsNonNumericWeight) {
+  IngestErrorDetail error;
+  EXPECT_FALSE(
+      Parse(R"({"nodes": [{"label": "n", "weight": "heavy"}]})", &error)
+          .has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadShape);
+}
+
+TEST(IngestBatchTest, RejectsBothOrNeitherEndpointForm) {
+  IngestErrorDetail error;
+  EXPECT_FALSE(
+      Parse(R"({"edges": [{"src": 0, "src_new": 0, "dst": 1}]})", &error)
+          .has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadNodeRef);
+
+  EXPECT_FALSE(Parse(R"({"edges": [{"dst": 1}]})", &error).has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadNodeRef);
+}
+
+TEST(IngestBatchTest, RejectsNegativeOrNonIntegerEndpoint) {
+  IngestErrorDetail error;
+  EXPECT_FALSE(
+      Parse(R"({"edges": [{"src": -1, "dst": 1}]})", &error).has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadNodeRef);
+
+  EXPECT_FALSE(
+      Parse(R"({"edges": [{"src": "zero", "dst": 1}]})", &error).has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadNodeRef);
+}
+
+TEST(IngestBatchTest, RejectsBatchRelativeRefBeyondBatch) {
+  IngestErrorDetail error;
+  EXPECT_FALSE(
+      Parse(R"({"nodes": [{"label": "n"}],
+                "edges": [{"src_new": 1, "dst": 0}]})",
+            &error)
+          .has_value());
+  EXPECT_EQ(error.code, IngestErrorCode::kBadNodeRef);
+  EXPECT_EQ(error.field, "edges");
+  EXPECT_EQ(error.offset, 0);
+}
+
+TEST(IngestBatchTest, ErrorCodeNamesAreStable) {
+  // The names are the wire-visible `code` field of the structured error
+  // body; renaming one is a breaking API change.
+  EXPECT_EQ(IngestErrorCodeName(IngestErrorCode::kBadShape), "bad-shape");
+  EXPECT_EQ(IngestErrorCodeName(IngestErrorCode::kIntervalOrder),
+            "interval-order");
+  EXPECT_EQ(IngestErrorCodeName(IngestErrorCode::kWeightNotFinite),
+            "weight-not-finite");
+  EXPECT_EQ(IngestErrorCodeName(IngestErrorCode::kWeightNegative),
+            "weight-negative");
+  EXPECT_EQ(IngestErrorCodeName(IngestErrorCode::kBadNodeRef), "bad-node-ref");
+  EXPECT_EQ(IngestErrorCodeName(IngestErrorCode::kEdgeNeverValid),
+            "edge-never-valid");
+}
+
+}  // namespace
+}  // namespace tgks::ingest

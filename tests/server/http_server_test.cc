@@ -657,5 +657,23 @@ TEST(HttpServerTest, ConcurrentClientsMixedTraffic) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(HttpServerTest, IngestEndpointsRequireLiveMode) {
+  // A static server (no --live) has no LiveGraph behind the router; the
+  // ingest endpoints must say so rather than half-work.
+  TestServer ts(testutil::MakeSocialNetworkGraph());
+  ClientResponse r;
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest("/v1/ingest", R"({"nodes":[]})"), &r),
+            404);
+  EXPECT_NE(r.body.find("live ingest is not enabled"), std::string::npos)
+      << r.body;
+  ASSERT_EQ(FetchOnce(ts.port(), PostRequest("/v1/compact", ""), &r), 404);
+  // And a static search response carries no snapshot-generation header.
+  ASSERT_EQ(FetchOnce(ts.port(),
+                      PostRequest("/v1/search", R"({"query":"Mary"})"), &r),
+            200);
+  EXPECT_EQ(r.FindHeader("x-snapshot-generation"), nullptr);
+}
+
 }  // namespace
 }  // namespace tgks::server

@@ -11,8 +11,19 @@
 //   tgks_loadgen --workload dblp|social [--host H] [--port P]
 //                [--qps Q] [--duration-s S] [--connections C]
 //                [--num-queries N] [--k K] [--deadline-ms MS]
-//                [--guided] [--zipf S] [--no-cache] [--label NAME]
-//                [--json-out FILE]
+//                [--guided] [--zipf S] [--no-cache] [--ingest-mix R]
+//                [--label NAME] [--json-out FILE]
+//
+// --ingest-mix R (0 < R <= 1, server must run --serve --live) interleaves
+// POST /v1/ingest into the stream: a fixed-seed schedule marks fraction R
+// of the ticks as writes, each appending one node plus two edges stitched
+// to a base node, with validity windows that advance over the timeline as
+// the run progresses. Windows are derived from the chosen base node's own
+// validity so every batch is accepted. The report then splits percentiles
+// by class (search rows keep the regular columns; ingest gets its own),
+// and every response's x-snapshot-generation header feeds a lag metric:
+// how many generations behind the newest published snapshot each search's
+// pinned snapshot was. R = 1 measures ingest-only throughput.
 //
 // --guided sets "guided_search": true on every request body, exercising the
 // server's distance-guided search path (docs/reachability.md); the flag is
@@ -83,6 +94,7 @@ struct Options {
   bool guided = false;   // Send "guided_search": true on every request.
   double zipf = 0;       // 0 = round-robin; > 0 = Zipf popularity skew.
   bool no_cache = false;  // Send "cache": false on every request.
+  double ingest_mix = 0;  // Fraction of ticks that POST /v1/ingest.
   std::string label = "loadgen";
   std::string json_out;  // Append the JSON row here if non-empty.
 };
@@ -94,7 +106,7 @@ void Usage(const char* argv0) {
                "          [--num-queries N] [--k K] [--deadline-ms MS]\n"
                "          [--parallel-keywords] [--guided] [--zipf S]"
                " [--no-cache]\n"
-               "          [--label NAME] [--json-out FILE]\n",
+               "          [--ingest-mix R] [--label NAME] [--json-out FILE]\n",
                argv0);
 }
 
@@ -142,6 +154,72 @@ std::string BuildRequest(const Options& opts,
   if (opts.deadline_ms > 0) {
     request += "deadline-ms: " + std::to_string(opts.deadline_ms) + "\r\n";
   }
+  request += "content-length: " + std::to_string(payload.size()) + "\r\n";
+  request += "\r\n";
+  request += payload;
+  return request;
+}
+
+/// One serialized POST /v1/ingest request: a new node stitched to base
+/// node `anchor` by a forward and a reverse edge. The validity window
+/// starts at a tick-advancing point inside the anchor's own validity, so
+/// timestamps march forward over the run and the server accepts every
+/// batch (the edge can never be empty after endpoint clamping).
+std::string BuildIngestRequest(const Options& opts,
+                               const tgks::graph::TemporalGraph& graph,
+                               tgks::graph::NodeId anchor, int64_t tick) {
+  const auto& intervals = graph.node(anchor).validity.intervals();
+  const auto& last = intervals.back();
+  const int64_t span = static_cast<int64_t>(last.end - last.start) + 1;
+  const int64_t t = static_cast<int64_t>(last.start) + tick % span;
+  const int64_t horizon = static_cast<int64_t>(graph.timeline_length()) - 1;
+
+  tgks::server::JsonWriter body;
+  body.BeginObject();
+  body.Key("nodes");
+  body.BeginArray();
+  body.BeginObject();
+  body.Key("label");
+  body.String("live ingest node " + std::to_string(tick));
+  body.Key("weight");
+  body.Double(0.1);
+  body.Key("validity");
+  body.BeginArray();
+  body.BeginArray();
+  body.Int(t);
+  body.Int(horizon);
+  body.EndArray();
+  body.EndArray();
+  body.EndObject();
+  body.EndArray();
+  body.Key("edges");
+  body.BeginArray();
+  const auto edge = [&](bool forward) {
+    body.BeginObject();
+    body.Key(forward ? "src" : "dst");
+    body.Int(static_cast<int64_t>(anchor));
+    body.Key(forward ? "dst_new" : "src_new");
+    body.Int(0);
+    body.Key("validity");
+    body.BeginArray();
+    body.BeginArray();
+    body.Int(t);
+    body.Int(static_cast<int64_t>(last.end));
+    body.EndArray();
+    body.EndArray();
+    body.EndObject();
+  };
+  edge(/*forward=*/true);
+  edge(/*forward=*/false);
+  body.EndArray();
+  body.EndObject();
+  const std::string payload = body.Take();
+
+  std::string request;
+  request.reserve(payload.size() + 160);
+  request += "POST /v1/ingest HTTP/1.1\r\n";
+  request += "host: " + opts.host + ":" + std::to_string(opts.port) + "\r\n";
+  request += "content-type: application/json\r\n";
   request += "content-length: " + std::to_string(payload.size()) + "\r\n";
   request += "\r\n";
   request += payload;
@@ -258,6 +336,18 @@ std::string CacheHeaderValue(const std::string& head) {
                                  : line_end - begin);
 }
 
+/// Returns the integer value of the x-snapshot-generation header in
+/// `head`, or -1 when absent (server not running --live).
+int64_t SnapshotGenerationOf(const std::string& head) {
+  std::string lower = head;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  const size_t pos = lower.find("\r\nx-snapshot-generation:");
+  if (pos == std::string::npos) return -1;
+  return std::atoll(lower.c_str() + pos +
+                    std::strlen("\r\nx-snapshot-generation:"));
+}
+
 struct WorkerStats {
   std::vector<double> latencies_ms;
   int64_t completed = 0;
@@ -271,6 +361,16 @@ struct WorkerStats {
   int64_t cache_hits = 0;
   int64_t cache_coalesced = 0;
   int64_t cache_misses = 0;
+  // --ingest-mix accounting (all zero otherwise): the ingest class keeps
+  // its own latency set, and each search-class 2xx samples how many
+  // generations its pinned snapshot trailed the newest acknowledged
+  // publish.
+  std::vector<double> ingest_latencies_ms;
+  int64_t ingest_completed = 0;
+  int64_t ingest_2xx = 0;
+  int64_t gen_lag_samples = 0;
+  double gen_lag_sum = 0;
+  int64_t gen_lag_max = 0;
   tgks::loadgen::SchedulerLag lag;  // Open-loop send-time accounting.
 };
 
@@ -284,7 +384,10 @@ double Percentile(const std::vector<double>& sorted, double p) {
 }
 
 void RunWorker(const Options& opts, const std::vector<std::string>& requests,
-               const std::vector<uint32_t>& schedule, Clock::time_point start,
+               const std::vector<uint32_t>& schedule,
+               const std::vector<std::string>& ingest_requests,
+               const std::vector<uint8_t>& ingest_schedule,
+               std::atomic<int64_t>* max_generation, Clock::time_point start,
                Clock::time_point end, std::atomic<int64_t>* next_index,
                WorkerStats* stats) {
   int fd = ConnectTo(opts.host, opts.port);
@@ -312,13 +415,21 @@ void RunWorker(const Options& opts, const std::vector<std::string>& requests,
     }
     if (Clock::now() >= end) break;
 
+    // With --ingest-mix, a fixed-seed class schedule marks this tick as a
+    // write; otherwise (and on unmarked ticks) it is a search.
+    const bool is_ingest =
+        !ingest_schedule.empty() &&
+        ingest_schedule[static_cast<size_t>(i) % ingest_schedule.size()] != 0;
     // Round-robin by default; with --zipf, the tick indexes a fixed-seed
     // popularity schedule so hot queries repeat across all connections.
     const size_t slot =
         schedule.empty()
             ? static_cast<size_t>(i) % requests.size()
             : schedule[static_cast<size_t>(i) % schedule.size()];
-    const std::string& request = requests[slot];
+    const std::string& request =
+        is_ingest
+            ? ingest_requests[static_cast<size_t>(i) % ingest_requests.size()]
+            : requests[slot];
     const auto sent_at = Clock::now();
     if (!WriteAll(fd, request)) {
       ++stats->errors;
@@ -340,9 +451,24 @@ void RunWorker(const Options& opts, const std::vector<std::string>& requests,
     const double ms =
         std::chrono::duration<double, std::milli>(Clock::now() - sent_at)
             .count();
-    stats->latencies_ms.push_back(ms);
+    if (is_ingest) {
+      stats->ingest_latencies_ms.push_back(ms);
+      ++stats->ingest_completed;
+    } else {
+      stats->latencies_ms.push_back(ms);
+    }
     ++stats->completed;
-    if (status >= 200 && status < 300) {
+    if (status >= 200 && status < 300 && is_ingest) {
+      ++stats->ingest_2xx;
+      // Every acknowledged write advances the newest generation any
+      // connection has seen; searches measure their lag against it.
+      const int64_t gen = SnapshotGenerationOf(head);
+      int64_t seen = max_generation->load(std::memory_order_relaxed);
+      while (gen > seen &&
+             !max_generation->compare_exchange_weak(
+                 seen, gen, std::memory_order_relaxed)) {
+      }
+    } else if (status >= 200 && status < 300) {
       ++stats->status_2xx;
       const std::string cache = CacheHeaderValue(head);
       if (cache == "hit") {
@@ -351,6 +477,14 @@ void RunWorker(const Options& opts, const std::vector<std::string>& requests,
         ++stats->cache_coalesced;
       } else if (cache == "miss") {
         ++stats->cache_misses;
+      }
+      const int64_t gen = SnapshotGenerationOf(head);
+      if (gen >= 0 && !ingest_schedule.empty()) {
+        const int64_t lag = std::max<int64_t>(
+            0, max_generation->load(std::memory_order_relaxed) - gen);
+        ++stats->gen_lag_samples;
+        stats->gen_lag_sum += static_cast<double>(lag);
+        stats->gen_lag_max = std::max(stats->gen_lag_max, lag);
       }
     } else if (status == 429) {
       ++stats->status_429;
@@ -413,6 +547,8 @@ int main(int argc, char** argv) {
       opts.zipf = std::atof(next("--zipf"));
     } else if (arg == "--no-cache") {
       opts.no_cache = true;
+    } else if (arg == "--ingest-mix") {
+      opts.ingest_mix = std::atof(next("--ingest-mix"));
     } else if (arg == "--label") {
       opts.label = next("--label");
     } else if (arg == "--json-out") {
@@ -435,6 +571,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "invalid --connections/--duration-s/--num-queries\n");
     return 2;
   }
+  if (opts.ingest_mix < 0 || opts.ingest_mix > 1) {
+    std::fprintf(stderr, "--ingest-mix must be in [0, 1]\n");
+    return 2;
+  }
   signal(SIGPIPE, SIG_IGN);
 
   // Regenerate the server's dataset so node ids in match sets line up.
@@ -443,13 +583,16 @@ int main(int argc, char** argv) {
   tgks::datagen::QueryWorkloadParams params;
   params.num_queries = opts.num_queries;
   std::vector<tgks::datagen::WorkloadQuery> workload;
+  tgks::graph::TemporalGraph base_graph;
   if (opts.workload == "dblp") {
-    const auto dataset = tgks::bench::MakeDblp();
+    auto dataset = tgks::bench::MakeDblp();
     workload = tgks::datagen::MakeDblpWorkload(dataset, params);
+    base_graph = std::move(dataset.graph);
   } else {
-    const auto dataset = tgks::bench::MakeSocial();
+    auto dataset = tgks::bench::MakeSocial();
     workload = tgks::datagen::MakeMatchSetWorkload(
         dataset.graph, params, tgks::bench::ScaledMatches());
+    base_graph = std::move(dataset.graph);
   }
   std::vector<std::string> requests;
   requests.reserve(workload.size());
@@ -466,6 +609,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --ingest-mix: a fixed-seed class schedule (fraction R of ticks are
+  // writes) plus a pool of pre-serialized ingest bodies. Anchors are base
+  // nodes with non-empty validity, so the server accepts every batch.
+  std::vector<std::string> ingest_requests;
+  std::vector<uint8_t> ingest_schedule;
+  if (opts.ingest_mix > 0) {
+    tgks::Rng rng(0x16e57f10ULL);
+    std::vector<tgks::graph::NodeId> anchors;
+    anchors.reserve(1024);
+    while (anchors.size() < 1024) {
+      const auto n = static_cast<tgks::graph::NodeId>(
+          rng.Uniform(static_cast<uint64_t>(base_graph.num_nodes())));
+      if (!base_graph.node(n).validity.IsEmpty()) anchors.push_back(n);
+    }
+    ingest_requests.reserve(4096);
+    for (int64_t t = 0; t < 4096; ++t) {
+      ingest_requests.push_back(BuildIngestRequest(
+          opts, base_graph, anchors[static_cast<size_t>(t) % anchors.size()],
+          t));
+    }
+    ingest_schedule.resize(1 << 16);
+    for (uint8_t& b : ingest_schedule) {
+      b = rng.Bernoulli(opts.ingest_mix) ? 1 : 0;
+    }
+  }
+  std::atomic<int64_t> max_generation{-1};
+
   const auto start = Clock::now();
   const auto end =
       start + std::chrono::duration_cast<Clock::duration>(
@@ -477,8 +647,9 @@ int main(int argc, char** argv) {
   workers.reserve(static_cast<size_t>(opts.connections));
   for (int c = 0; c < opts.connections; ++c) {
     workers.emplace_back(RunWorker, std::cref(opts), std::cref(requests),
-                         std::cref(schedule), start, end, &next_index,
-                         &worker_stats[c]);
+                         std::cref(schedule), std::cref(ingest_requests),
+                         std::cref(ingest_schedule), &max_generation, start,
+                         end, &next_index, &worker_stats[c]);
   }
   for (auto& w : workers) w.join();
   const double wall =
@@ -495,10 +666,18 @@ int main(int argc, char** argv) {
     total.cache_hits += ws.cache_hits;
     total.cache_coalesced += ws.cache_coalesced;
     total.cache_misses += ws.cache_misses;
+    total.ingest_completed += ws.ingest_completed;
+    total.ingest_2xx += ws.ingest_2xx;
+    total.gen_lag_samples += ws.gen_lag_samples;
+    total.gen_lag_sum += ws.gen_lag_sum;
+    total.gen_lag_max = std::max(total.gen_lag_max, ws.gen_lag_max);
     total.lag.Merge(ws.lag);
     total.latencies_ms.insert(total.latencies_ms.end(),
                               ws.latencies_ms.begin(),
                               ws.latencies_ms.end());
+    total.ingest_latencies_ms.insert(total.ingest_latencies_ms.end(),
+                                     ws.ingest_latencies_ms.begin(),
+                                     ws.ingest_latencies_ms.end());
   }
   const int64_t planned =
       tgks::loadgen::PlannedRequests(opts.qps, opts.duration_s);
@@ -529,6 +708,31 @@ int main(int argc, char** argv) {
   } else if (total.retry_after_waits > 0) {
     std::printf("closed-loop: honored Retry-After %lld times\n",
                 static_cast<long long>(total.retry_after_waits));
+  }
+  std::sort(total.ingest_latencies_ms.begin(),
+            total.ingest_latencies_ms.end());
+  const int64_t search_completed = total.completed - total.ingest_completed;
+  const double search_qps =
+      wall > 0 ? static_cast<double>(search_completed) / wall : 0;
+  const double ingest_qps =
+      wall > 0 ? static_cast<double>(total.ingest_completed) / wall : 0;
+  const double ingest_p50 = Percentile(total.ingest_latencies_ms, 0.50);
+  const double ingest_p90 = Percentile(total.ingest_latencies_ms, 0.90);
+  const double ingest_p99 = Percentile(total.ingest_latencies_ms, 0.99);
+  const double gen_lag_mean =
+      total.gen_lag_samples > 0
+          ? total.gen_lag_sum / static_cast<double>(total.gen_lag_samples)
+          : 0;
+  if (opts.ingest_mix > 0) {
+    std::printf("mixed: search qps %.2f, ingest qps %.2f (mix %.2f);"
+                " ingest p50 %.3f ms, p90 %.3f, p99 %.3f, 2xx %lld\n",
+                search_qps, ingest_qps, opts.ingest_mix, ingest_p50,
+                ingest_p90, ingest_p99,
+                static_cast<long long>(total.ingest_2xx));
+    std::printf("snapshot lag: mean %.3f generations, max %lld"
+                " (final generation %lld)\n",
+                gen_lag_mean, static_cast<long long>(total.gen_lag_max),
+                static_cast<long long>(max_generation.load()));
   }
   const int64_t cache_tallied =
       total.cache_hits + total.cache_coalesced + total.cache_misses;
@@ -599,6 +803,31 @@ int main(int argc, char** argv) {
   row.Int(total.cache_misses);
   row.Key("cache_hit_rate");
   row.Double(cache_hit_rate);
+  // Mixed-workload accounting (all zero without --ingest-mix): per-class
+  // throughput and latency, plus how many generations search responses
+  // trailed the newest acknowledged publish (docs/ingest.md).
+  row.Key("ingest_mix");
+  row.Double(opts.ingest_mix);
+  row.Key("search_qps");
+  row.Double(search_qps);
+  row.Key("ingest_qps");
+  row.Double(ingest_qps);
+  row.Key("ingest_completed");
+  row.Int(total.ingest_completed);
+  row.Key("ingest_2xx");
+  row.Int(total.ingest_2xx);
+  row.Key("ingest_p50_ms");
+  row.Double(ingest_p50);
+  row.Key("ingest_p90_ms");
+  row.Double(ingest_p90);
+  row.Key("ingest_p99_ms");
+  row.Double(ingest_p99);
+  row.Key("gen_lag_mean");
+  row.Double(gen_lag_mean);
+  row.Key("gen_lag_max");
+  row.Int(total.gen_lag_max);
+  row.Key("final_generation");
+  row.Int(max_generation.load());
   // Open-loop schedule accounting (all zero in closed-loop runs): how many
   // ticks the run planned, how many actually left the client, and how late
   // they were. planned >> sends or a large lag means the client could not
